@@ -1,0 +1,62 @@
+//! Table-2 kernels on the real runtime: per-benchmark wall time of the
+//! parallel kernels (small inputs; the paper-scale runs live in the
+//! harness).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dws_apps::common::{random_u64s, random_vec, Matrix};
+use dws_apps::{cholesky, fft, ge, heat, lu, mergesort, sor};
+use dws_rt::{Policy, Runtime, RuntimeConfig};
+
+fn bench_kernels(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+    let mut g = c.benchmark_group("apps");
+    g.sample_size(10);
+
+    let signal: Vec<fft::Complex> =
+        random_vec(4096, 1).into_iter().zip(random_vec(4096, 2)).collect();
+    g.bench_function("fft_4096", |b| {
+        b.iter(|| rt.block_on(|| fft::fft_parallel(&signal, 256)));
+    });
+
+    g.bench_function("mergesort_100k", |b| {
+        b.iter_batched(
+            || random_u64s(100_000, 3),
+            |mut v| rt.block_on(|| mergesort::mergesort_parallel(&mut v, 2048)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    let spd = Matrix::spd(96, 5);
+    g.bench_function("cholesky_96", |b| {
+        b.iter(|| rt.block_on(|| cholesky::cholesky_parallel(&spd, 8)));
+    });
+
+    let dom = lu::dominant_matrix(96, 6);
+    g.bench_function("lu_96", |b| {
+        b.iter(|| rt.block_on(|| lu::lu_parallel(&dom, 8)));
+    });
+
+    let rhs = random_vec(96, 7);
+    g.bench_function("ge_96", |b| {
+        b.iter(|| rt.block_on(|| ge::ge_parallel(&dom, &rhs, 8)));
+    });
+
+    let grid = heat::Grid::hot_plate(128, 128);
+    g.bench_function("heat_128x128_x20", |b| {
+        b.iter(|| rt.block_on(|| heat::heat_parallel(&grid, 20, 16)));
+    });
+    g.bench_function("sor_128x128_x20", |b| {
+        b.iter(|| rt.block_on(|| sor::sor_parallel(&grid, 20, sor::DEFAULT_OMEGA, 16)));
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the work-stealing deque substrate: owner-side
+//! push/pop throughput, steal throughput, and the lock-free deque vs the
+//! mutex-based oracle.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dws_deque::{deque, Injector, MutexDeque, Steal};
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deque/owner");
+    g.bench_function("chase_lev_push_pop_1k", |b| {
+        let (w, _s) = deque::<u64>();
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                w.push(i);
+            }
+            let mut acc = 0u64;
+            while let Some(v) = w.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        });
+    });
+    g.bench_function("mutex_push_pop_1k", |b| {
+        let d = MutexDeque::<u64>::new();
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                d.push(i);
+            }
+            let mut acc = 0u64;
+            while let Some(v) = d.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+fn bench_steal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deque/thief");
+    g.bench_function("chase_lev_steal_1k", |b| {
+        b.iter_batched(
+            || {
+                let (w, s) = deque::<u64>();
+                for i in 0..1_000u64 {
+                    w.push(i);
+                }
+                (w, s)
+            },
+            |(_w, s)| {
+                let mut acc = 0u64;
+                loop {
+                    match s.steal() {
+                        Steal::Success(v) => acc = acc.wrapping_add(v),
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("steal_empty_probe", |b| {
+        let (_w, s) = deque::<u64>();
+        b.iter(|| s.steal().is_empty());
+    });
+    g.finish();
+}
+
+fn bench_injector(c: &mut Criterion) {
+    c.bench_function("injector/push_pop_1k", |b| {
+        let inj = Injector::<u64>::new();
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                inj.push(i);
+            }
+            let mut acc = 0u64;
+            while let Some(v) = inj.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_push_pop, bench_steal, bench_injector
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 4 regeneration bench: simulates each benchmark mix under ABP, EP
+//! and DWS. Criterion measures the wall cost of regenerating each bar;
+//! the *simulated* results themselves (the figure's numbers) are printed
+//! by `cargo run -p dws-harness --bin fig4` and recorded in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dws_harness::{run_mix, Effort};
+use dws_sim::{Policy, SimConfig};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    // One representative asymmetric mix and one saturated mix keep the
+    // bench suite fast; the harness binary covers all eight.
+    let mixes = [(1usize, 8usize), (3usize, 6usize)];
+    let effort = Effort { min_runs: 1, warmup_runs: 0, max_time_us: 30_000_000 };
+    for &mix in &mixes {
+        for policy in [Policy::Abp, Policy::Ep, Policy::Dws] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("mix_{}_{}", mix.0, mix.1), policy.label()),
+                &policy,
+                |b, &policy| {
+                    b.iter(|| {
+                        let cfg = SimConfig::default();
+                        // Baselines of 1.0: the bench times regeneration,
+                        // not normalization.
+                        run_mix(mix, policy, None, (1.0, 1.0), &cfg, effort)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(8));
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 5 regeneration bench: DWS vs DWS-NC (the coordinator-exclusivity
+//! ablation) on a representative mix. Numbers for the figure come from
+//! `cargo run -p dws-harness --bin fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dws_harness::{run_mix, Effort};
+use dws_sim::{Policy, SimConfig};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    let effort = Effort { min_runs: 1, warmup_runs: 0, max_time_us: 30_000_000 };
+    for policy in [Policy::DwsNc, Policy::Dws] {
+        g.bench_with_input(
+            BenchmarkId::new("mix_1_8", policy.label()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    run_mix((1, 8), policy, None, (1.0, 1.0), &SimConfig::default(), effort)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(8));
+    targets = bench_fig5
+}
+criterion_main!(benches);

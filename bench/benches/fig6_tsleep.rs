@@ -1,0 +1,41 @@
+//! Fig. 6 regeneration bench: the T_SLEEP sweep on mix (1,8). The full
+//! sweep's simulated results come from `cargo run -p dws-harness --bin
+//! fig6`; the bench times regeneration at the extremes plus the optimum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dws_harness::{run_mix, Effort};
+use dws_sim::{Policy, SimConfig};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    let effort = Effort { min_runs: 1, warmup_runs: 0, max_time_us: 30_000_000 };
+    for t_sleep in [1u32, 16, 128] {
+        g.bench_with_input(
+            BenchmarkId::new("t_sleep", t_sleep),
+            &t_sleep,
+            |b, &t| {
+                b.iter(|| {
+                    run_mix(
+                        (1, 8),
+                        Policy::Dws,
+                        Some(t),
+                        (1.0, 1.0),
+                        &SimConfig::default(),
+                        effort,
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(8));
+    targets = bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Runtime microbenchmarks: fork-join overhead, scope spawning, block_on
+//! round-trip latency, and the coordinator's cost on a live pool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dws_rt::{join, Policy, Runtime, RuntimeConfig};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+fn bench_join(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+    let mut g = c.benchmark_group("runtime/join");
+    g.bench_function("fib_16", |b| {
+        b.iter(|| rt.block_on(|| fib(16)));
+    });
+    g.bench_function("join_leaf_pair", |b| {
+        b.iter(|| rt.block_on(|| join(|| 1u64, || 2u64)));
+    });
+    g.finish();
+}
+
+fn bench_scope(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+    c.bench_function("runtime/scope_spawn_100", |b| {
+        b.iter(|| {
+            rt.scope(|s| {
+                for _ in 0..100 {
+                    s.spawn(|| {});
+                }
+            })
+        });
+    });
+}
+
+fn bench_block_on(c: &mut Criterion) {
+    let rt = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+    c.bench_function("runtime/block_on_roundtrip", |b| {
+        b.iter(|| rt.block_on(|| 42u64));
+    });
+}
+
+/// §4.4 on real threads: the same work with and without the coordinator
+/// machinery (solo DWS falls back to WS; a DWS runtime on a 2-program
+/// table keeps its coordinator alive).
+fn bench_coordinator_overhead(c: &mut Criterion) {
+    use dws_rt::{CoreTable, InProcessTable};
+    use std::sync::Arc;
+
+    let plain = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
+    let dws = Runtime::with_table(RuntimeConfig::new(2, Policy::Dws), table, 0);
+
+    let mut g = c.benchmark_group("runtime/coordinator_overhead");
+    g.bench_function("ws_fib_14", |b| b.iter(|| plain.block_on(|| fib(14))));
+    g.bench_function("dws_fib_14", |b| b.iter(|| dws.block_on(|| fib(14))));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_join, bench_scope, bench_block_on, bench_coordinator_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! §4.4 regeneration bench: a single program under plain work-stealing
+//! vs under full DWS machinery — the coordinator-overhead experiment on
+//! both the simulator and the real runtime. Simulated numbers come from
+//! `cargo run -p dws-harness --bin single_program`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dws_apps::Benchmark;
+use dws_harness::{solo_with_policy, Effort};
+use dws_sim::{Policy, SimConfig};
+
+fn bench_solo_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_program");
+    g.sample_size(10);
+    let effort = Effort { min_runs: 1, warmup_runs: 0, max_time_us: 30_000_000 };
+    for bench in [Benchmark::Fft, Benchmark::Heat] {
+        for policy in [Policy::Ws, Policy::Dws] {
+            g.bench_with_input(
+                BenchmarkId::new(bench.name(), policy.label()),
+                &policy,
+                |b, &policy| {
+                    b.iter(|| solo_with_policy(bench, policy, &SimConfig::default(), effort));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(8));
+    targets = bench_solo_policies
+}
+criterion_main!(benches);

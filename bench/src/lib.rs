@@ -1,0 +1,3 @@
+//! Support crate for the Criterion benchmark targets (see `benches/`).
+//! The benchmarks regenerate the paper's figures and measure the runtime
+//! substrates; run them with `cargo bench --workspace`.

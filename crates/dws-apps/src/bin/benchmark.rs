@@ -1,0 +1,187 @@
+//! Standalone benchmark program — the paper's actual deployment unit.
+//!
+//! Each invocation is one "work-stealing program": it builds a DWS
+//! runtime, optionally attaches to a shared core-allocation table file
+//! (`--table`), and runs one Table-2 kernel repeatedly, printing per-run
+//! times and the Eq. 2 mean. Launch two of these with the same `--table`
+//! to co-run real processes exactly as the paper does:
+//!
+//! ```sh
+//! cargo build --release -p dws-apps --bin benchmark
+//! T=/dev/shm/dws-table
+//! ./target/release/benchmark --bench mergesort --policy dws --table $T --programs 2 --reps 5 &
+//! ./target/release/benchmark --bench fft       --policy dws --table $T --programs 2 --reps 5 &
+//! wait
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dws_apps::common::{random_u64s, random_vec, Matrix};
+use dws_apps::{cholesky, fft, ge, heat, lu, mergesort, pnn, sor};
+use dws_rt::{CoreTable, Policy, Runtime, RuntimeConfig, ShmTable};
+
+struct Args {
+    bench: String,
+    policy: Policy,
+    table: Option<std::path::PathBuf>,
+    programs: usize,
+    workers: usize,
+    reps: usize,
+    size: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bench: "mergesort".into(),
+        policy: Policy::Dws,
+        table: None,
+        programs: 2,
+        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        reps: 3,
+        size: "small".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--bench" => args.bench = val(),
+            "--policy" => {
+                args.policy = match val().to_lowercase().as_str() {
+                    "ws" => Policy::Ws,
+                    "abp" => Policy::Abp,
+                    "ep" => Policy::Ep,
+                    "dws" => Policy::Dws,
+                    "dws-nc" | "nc" => Policy::DwsNc,
+                    other => panic!("unknown policy {other}"),
+                }
+            }
+            "--table" => args.table = Some(val().into()),
+            "--programs" => args.programs = val().parse().expect("--programs: integer"),
+            "--workers" => args.workers = val().parse().expect("--workers: integer"),
+            "--reps" => args.reps = val().parse().expect("--reps: integer"),
+            "--size" => args.size = val(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: benchmark --bench <fft|pnn|cholesky|lu|ge|heat|sor|mergesort> \
+                     [--policy ws|abp|ep|dws|dws-nc] [--table PATH --programs M] \
+                     [--workers N] [--reps R] [--size small|medium|large]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+/// One repetition of the chosen kernel; returns a checksum to keep the
+/// optimizer honest.
+fn run_once(bench: &str, size: &str, rt: &Runtime, rep: u64) -> f64 {
+    let scale = match size {
+        "small" => 1usize,
+        "medium" => 4,
+        "large" => 16,
+        other => panic!("unknown size {other}"),
+    };
+    match bench {
+        "fft" => {
+            let n = 4096 * scale;
+            let x: Vec<fft::Complex> =
+                random_vec(n, rep).into_iter().zip(random_vec(n, rep + 1)).collect();
+            let y = rt.block_on(|| fft::fft_parallel(&x, 256));
+            y[0].0
+        }
+        "pnn" => {
+            let net = pnn::Pnn::random(16, 64 * scale, 4, 7);
+            let batch: Vec<Vec<f64>> = (0..32).map(|i| random_vec(16, rep + i)).collect();
+            let out = rt.block_on(|| net.batch_parallel(&batch));
+            out[0][0]
+        }
+        "cholesky" => {
+            let a = Matrix::spd(64 * scale, rep);
+            let l = rt.block_on(|| cholesky::cholesky_parallel(&a, 8));
+            l.get(0, 0)
+        }
+        "lu" => {
+            let a = lu::dominant_matrix(64 * scale, rep);
+            let f = rt.block_on(|| lu::lu_parallel(&a, 8));
+            f.get(0, 0)
+        }
+        "ge" => {
+            let a = lu::dominant_matrix(64 * scale, rep);
+            let b = random_vec(64 * scale, rep + 2);
+            let x = rt.block_on(|| ge::ge_parallel(&a, &b, 8));
+            x[0]
+        }
+        "heat" => {
+            let g = heat::Grid::hot_plate(64 * scale, 64 * scale);
+            let out = rt.block_on(|| heat::heat_parallel(&g, 30, 8));
+            out.mean_interior()
+        }
+        "sor" => {
+            let g = heat::Grid::hot_plate(64 * scale, 64 * scale);
+            let out = rt.block_on(|| sor::sor_parallel(&g, 30, sor::DEFAULT_OMEGA, 8));
+            out.mean_interior()
+        }
+        "mergesort" => {
+            // Paper input: 4E6 numbers at "large".
+            let n = 250_000 * scale;
+            let mut v = random_u64s(n, rep);
+            rt.block_on(|| mergesort::mergesort_parallel(&mut v, 2048));
+            v[n / 2] as f64
+        }
+        other => panic!("unknown benchmark {other} (try --help)"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    let rt = match &args.table {
+        Some(path) => {
+            let table = ShmTable::create_or_open(path, args.workers, args.programs)
+                .expect("open shared table");
+            let prog_id = table.register().expect("register program");
+            eprintln!("[{}] registered as program {prog_id} in {}", args.bench, path.display());
+            Runtime::with_table(
+                RuntimeConfig::new(args.workers, args.policy),
+                Arc::new(table) as Arc<dyn CoreTable>,
+                prog_id,
+            )
+        }
+        None => Runtime::new(RuntimeConfig::new(args.workers, args.policy)),
+    };
+
+    let mut times = Vec::with_capacity(args.reps);
+    let mut checksum = 0.0;
+    for rep in 0..args.reps {
+        let t0 = Instant::now();
+        checksum += run_once(&args.bench, &args.size, &rt, rep as u64);
+        let dt = t0.elapsed();
+        times.push(dt.as_secs_f64() * 1e3);
+        println!("[{}] run {} took {:.2} ms", args.bench, rep + 1, dt.as_secs_f64() * 1e3);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let m = rt.metrics();
+    println!(
+        "[{}] mean {:.2} ms over {} runs (policy {}, checksum {:.3e})",
+        args.bench,
+        mean,
+        times.len(),
+        rt.effective_policy(),
+        checksum
+    );
+    println!(
+        "[{}] metrics: jobs={} steals={}/{} sleeps={} wakes={} acquired={} reclaimed={} released={}",
+        args.bench,
+        m.jobs_executed,
+        m.steals_ok,
+        m.steals_failed,
+        m.sleeps,
+        m.wakes,
+        m.cores_acquired,
+        m.cores_reclaimed,
+        m.cores_released
+    );
+}

@@ -1,0 +1,168 @@
+//! p-3: Cholesky decomposition `A = L·Lᵀ` of a symmetric positive-definite
+//! matrix.
+//!
+//! Right-looking elimination: at step `k` the pivot column is scaled, then
+//! the trailing submatrix update is fanned out over row bands with a
+//! [`dws_rt::scope`]. The per-step parallel width shrinks as elimination
+//! proceeds — the "decreasing waves" demand profile.
+
+use dws_rt::scope;
+
+use crate::common::Matrix;
+
+/// Rows per parallel task in the trailing update.
+pub const DEFAULT_BAND: usize = 8;
+
+/// Sequential Cholesky (reference). Returns the lower-triangular `L`
+/// (upper triangle zeroed).
+pub fn cholesky_sequential(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    assert_eq!(n, a.cols());
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                assert!(s > 0.0, "matrix is not positive definite");
+                l.set(i, j, s.sqrt());
+            } else {
+                l.set(i, j, s / l.get(j, j));
+            }
+        }
+    }
+    l
+}
+
+/// Parallel right-looking Cholesky. Call inside a
+/// [`dws_rt::Runtime::block_on`]. `band` is the number of rows per task.
+pub fn cholesky_parallel(a: &Matrix, band: usize) -> Matrix {
+    let n = a.rows();
+    assert_eq!(n, a.cols());
+    let band = band.max(1);
+    // Work on a copy; eliminate in place, then zero the upper triangle.
+    let mut w = a.clone();
+
+    for k in 0..n {
+        let pivot = w.get(k, k);
+        assert!(pivot > 0.0, "matrix is not positive definite");
+        let pivot = pivot.sqrt();
+        w.set(k, k, pivot);
+        for i in k + 1..n {
+            w.set(i, k, w.get(i, k) / pivot);
+        }
+        if k + 1 == n {
+            break;
+        }
+        // Snapshot of the scaled pivot column below the diagonal; the
+        // trailing rows then update independently.
+        let col_k: Vec<f64> = (k + 1..n).map(|i| w.get(i, k)).collect();
+        let ncols = w.cols();
+        let tail_start = (k + 1) * ncols;
+        let tail = &mut w.data_mut()[tail_start..];
+        scope(|s| {
+            for (band_idx, rows) in tail.chunks_mut(band * ncols).enumerate() {
+                let col_k = &col_k;
+                s.spawn(move || {
+                    let first_row = k + 1 + band_idx * band;
+                    for (r, row) in rows.chunks_mut(ncols).enumerate() {
+                        let i = first_row + r;
+                        let lik = col_k[i - (k + 1)];
+                        // Only the lower triangle (j in k+1..=i) matters.
+                        for j in k + 1..=i {
+                            row[j] -= lik * col_k[j - (k + 1)];
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    // Zero out the upper triangle (the elimination left A's values there).
+    for i in 0..n {
+        for j in i + 1..n {
+            w.set(i, j, 0.0);
+        }
+    }
+    w
+}
+
+/// Verifies `L·Lᵀ ≈ A`, returning the max absolute error.
+pub fn reconstruction_error(a: &Matrix, l: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut err: f64 = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..=i.min(j) {
+                s += l.get(i, k) * l.get(j, k);
+            }
+            err = err.max((s - a.get(i, j)).abs());
+        }
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_rt::{Policy, Runtime, RuntimeConfig};
+
+    #[test]
+    fn sequential_reconstructs_input() {
+        let a = Matrix::spd(24, 11);
+        let l = cholesky_sequential(&a);
+        assert!(reconstruction_error(&a, &l) < 1e-8);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = Runtime::new(RuntimeConfig::new(4, Policy::Ws));
+        let a = Matrix::spd(48, 7);
+        let seq = cholesky_sequential(&a);
+        let par = pool.block_on(|| cholesky_parallel(&a, 4));
+        assert!(
+            seq.max_abs_diff(&par) < 1e-9,
+            "diff = {}",
+            seq.max_abs_diff(&par)
+        );
+    }
+
+    #[test]
+    fn parallel_reconstructs_input() {
+        let pool = Runtime::new(RuntimeConfig::new(4, Policy::Ws));
+        let a = Matrix::spd(32, 3);
+        let l = pool.block_on(|| cholesky_parallel(&a, DEFAULT_BAND));
+        assert!(reconstruction_error(&a, &l) < 1e-8);
+    }
+
+    #[test]
+    fn lower_triangular_output() {
+        let pool = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+        let a = Matrix::spd(16, 5);
+        let l = pool.block_on(|| cholesky_parallel(&a, 3));
+        for i in 0..16 {
+            for j in i + 1..16 {
+                assert_eq!(l.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let mut a = Matrix::zeros(1, 1);
+        a.set(0, 0, 9.0);
+        let l = cholesky_sequential(&a);
+        assert_eq!(l.get(0, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive definite")]
+    fn non_spd_rejected() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, -1.0);
+        cholesky_sequential(&a);
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared numeric helpers for the benchmark kernels.
+
+/// A dense row-major square-capable matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A full row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw data (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Splits the underlying storage into disjoint mutable row bands of at
+    /// most `band_rows` rows each (for scope-parallel row updates).
+    pub fn row_bands_mut(&mut self, band_rows: usize) -> Vec<&mut [f64]> {
+        assert!(band_rows > 0);
+        self.data.chunks_mut(band_rows * self.cols).collect()
+    }
+
+    /// Max absolute element-wise difference to another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Symmetric positive-definite test matrix: `A = B·Bᵀ + n·I` for a
+    /// pseudo-random B — guaranteed SPD, suitable for Cholesky.
+    pub fn spd(n: usize, seed: u64) -> Matrix {
+        let b = Matrix::from_fn(n, n, |r, c| {
+            let x = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(((r * n + c) as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+            ((x >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        });
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b.get(i, k) * b.get(j, k);
+                }
+                a.set(i, j, s + if i == j { n as f64 } else { 0.0 });
+            }
+        }
+        a
+    }
+}
+
+/// Deterministic pseudo-random vector in `[-1, 1)`.
+pub fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D))
+                .wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            ((x >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random u64 vector (for sorting benchmarks).
+pub fn random_u64s(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_basics() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let m = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.data(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn row_bands_cover_disjointly() {
+        let mut m = Matrix::from_fn(5, 2, |r, _| r as f64);
+        let bands = m.row_bands_mut(2);
+        assert_eq!(bands.len(), 3); // 2 + 2 + 1 rows
+        assert_eq!(bands[0].len(), 4);
+        assert_eq!(bands[2].len(), 2);
+    }
+
+    #[test]
+    fn spd_matrix_is_symmetric_with_dominant_diagonal() {
+        let a = Matrix::spd(8, 42);
+        for i in 0..8 {
+            assert!(a.get(i, i) > 0.0);
+            for j in 0..8 {
+                assert!((a.get(i, j) - a.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn random_vectors_are_deterministic() {
+        assert_eq!(random_vec(16, 7), random_vec(16, 7));
+        assert_ne!(random_vec(16, 7), random_vec(16, 8));
+        assert_eq!(random_u64s(16, 7), random_u64s(16, 7));
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = Matrix::zeros(2, 2);
+        let mut b = Matrix::zeros(2, 2);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.set(0, 1, 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+}

@@ -1,0 +1,160 @@
+//! p-1: FFT — radix-2 Cooley–Tukey Fast Fourier Transform.
+//!
+//! The parallel version forks the even/odd half-transforms with
+//! [`dws_rt::join`], exactly the recursive structure of the Cilk `fft`
+//! example the paper benchmarks: parallelism ramps up 1 → n/grain → 1
+//! with an O(n) combine at every level (the "merge_grows" demand shape in
+//! the simulator profile).
+
+use dws_rt::join;
+
+/// A complex number as (re, im). Kept as a bare tuple so the FFT buffers
+/// are plain `Vec`s with no padding.
+pub type Complex = (f64, f64);
+
+#[inline]
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+#[inline]
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// Below this size the recursion runs sequentially (task grain).
+pub const DEFAULT_GRAIN: usize = 256;
+
+/// Sequential recursive radix-2 FFT. `input.len()` must be a power of two.
+pub fn fft_sequential(input: &[Complex]) -> Vec<Complex> {
+    assert!(input.len().is_power_of_two(), "FFT length must be a power of two");
+    fft_rec(input, usize::MAX) // grain larger than everything: no forks
+}
+
+/// Parallel radix-2 FFT with the given task grain.
+/// Call inside a [`dws_rt::Runtime::block_on`] for parallel execution;
+/// outside a pool it degrades to sequential.
+pub fn fft_parallel(input: &[Complex], grain: usize) -> Vec<Complex> {
+    assert!(input.len().is_power_of_two(), "FFT length must be a power of two");
+    fft_rec(input, grain.max(2))
+}
+
+fn fft_rec(input: &[Complex], grain: usize) -> Vec<Complex> {
+    let n = input.len();
+    if n == 1 {
+        return vec![input[0]];
+    }
+    let even: Vec<Complex> = input.iter().copied().step_by(2).collect();
+    let odd: Vec<Complex> = input.iter().copied().skip(1).step_by(2).collect();
+
+    let (fe, fo) = if n <= grain {
+        (fft_rec(&even, grain), fft_rec(&odd, grain))
+    } else {
+        join(|| fft_rec(&even, grain), || fft_rec(&odd, grain))
+    };
+
+    // Combine: O(n) butterfly pass (the per-level merge work).
+    let mut out = vec![(0.0, 0.0); n];
+    for k in 0..n / 2 {
+        let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        let tw = (angle.cos(), angle.sin());
+        let t = c_mul(tw, fo[k]);
+        out[k] = c_add(fe[k], t);
+        out[k + n / 2] = c_sub(fe[k], t);
+    }
+    out
+}
+
+/// Naive O(n²) DFT, the ground truth for tests.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = (0.0, 0.0);
+            for (j, &x) in input.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = c_add(acc, c_mul((angle.cos(), angle.sin()), x));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Inverse FFT (for round-trip tests).
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len() as f64;
+    let conj: Vec<Complex> = input.iter().map(|&(re, im)| (re, -im)).collect();
+    fft_sequential(&conj)
+        .into_iter()
+        .map(|(re, im)| (re / n, -im / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::random_vec;
+    use dws_rt::{Policy, Runtime, RuntimeConfig};
+
+    fn signal(n: usize, seed: u64) -> Vec<Complex> {
+        let re = random_vec(n, seed);
+        let im = random_vec(n, seed + 1);
+        re.into_iter().zip(im).collect()
+    }
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| ((x.0 - y.0).abs()).max((x.1 - y.1).abs()))
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn sequential_matches_naive_dft() {
+        let x = signal(64, 3);
+        let err = max_err(&fft_sequential(&x), &dft_naive(&x));
+        assert!(err < 1e-9, "err = {err}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let pool = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+        let x = signal(1024, 9);
+        let seq = fft_sequential(&x);
+        let par = pool.block_on(|| fft_parallel(&x, 64));
+        // Same operation order: results are bit-identical.
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn round_trip_recovers_signal() {
+        let x = signal(256, 5);
+        let back = ifft(&fft_sequential(&x));
+        assert!(max_err(&x, &back) < 1e-9);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![(0.0, 0.0); 16];
+        x[0] = (1.0, 0.0);
+        for c in fft_sequential(&x) {
+            assert!((c.0 - 1.0).abs() < 1e-12 && c.1.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_element_is_identity() {
+        assert_eq!(fft_sequential(&[(3.0, 4.0)]), vec![(3.0, 4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        fft_sequential(&[(0.0, 0.0); 12]);
+    }
+}

@@ -1,0 +1,163 @@
+//! p-5: GE — Gaussian elimination solving `A·x = b`.
+//!
+//! Forward elimination parallelized over row bands per pivot step (width
+//! shrinks with progress), followed by sequential back-substitution — the
+//! classic shrinking-wave + serial-tail demand shape.
+
+use dws_rt::scope;
+
+use crate::common::Matrix;
+
+/// Rows per parallel task.
+pub const DEFAULT_BAND: usize = 8;
+
+/// Sequential Gaussian elimination (partial pivoting omitted — inputs are
+/// diagonally dominant). Returns `x` with `A·x = b`.
+pub fn ge_sequential(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = a.rows();
+    assert_eq!(n, a.cols());
+    assert_eq!(n, b.len());
+    let mut w = a.clone();
+    let mut rhs = b.to_vec();
+    for k in 0..n {
+        let pivot = w.get(k, k);
+        assert!(pivot.abs() > 1e-12, "zero pivot at {k}");
+        for i in k + 1..n {
+            let f = w.get(i, k) / pivot;
+            for j in k..n {
+                w.set(i, j, w.get(i, j) - f * w.get(k, j));
+            }
+            rhs[i] -= f * rhs[k];
+        }
+    }
+    back_substitute(&w, &rhs)
+}
+
+/// Parallel forward elimination, sequential back-substitution. Call
+/// inside a [`dws_rt::Runtime::block_on`].
+pub fn ge_parallel(a: &Matrix, b: &[f64], band: usize) -> Vec<f64> {
+    let n = a.rows();
+    assert_eq!(n, a.cols());
+    assert_eq!(n, b.len());
+    let band = band.max(1);
+    let mut w = a.clone();
+    let mut rhs = b.to_vec();
+    for k in 0..n {
+        let pivot = w.get(k, k);
+        assert!(pivot.abs() > 1e-12, "zero pivot at {k}");
+        if k + 1 == n {
+            break;
+        }
+        let row_k: Vec<f64> = w.row(k).to_vec();
+        let rhs_k = rhs[k];
+        let ncols = w.cols();
+        let tail = &mut w.data_mut()[(k + 1) * ncols..];
+        let rhs_tail = &mut rhs[k + 1..];
+        scope(|s| {
+            for (rows, rvals) in tail
+                .chunks_mut(band * ncols)
+                .zip(rhs_tail.chunks_mut(band))
+            {
+                let row_k = &row_k;
+                s.spawn(move || {
+                    for (row, rv) in rows.chunks_mut(ncols).zip(rvals.iter_mut()) {
+                        let f = row[k] / pivot;
+                        for j in k..ncols {
+                            row[j] -= f * row_k[j];
+                        }
+                        *rv -= f * rhs_k;
+                    }
+                });
+            }
+        });
+    }
+    back_substitute(&w, &rhs)
+}
+
+fn back_substitute(u: &Matrix, rhs: &[f64]) -> Vec<f64> {
+    let n = u.rows();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = rhs[i];
+        #[allow(clippy::needless_range_loop)] // j indexes both u and x
+        for j in i + 1..n {
+            s -= u.get(i, j) * x[j];
+        }
+        x[i] = s / u.get(i, i);
+    }
+    x
+}
+
+/// Max |A·x − b| residual, for verification.
+pub fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    let n = a.rows();
+    (0..n)
+        .map(|i| {
+            let ax: f64 = (0..n).map(|j| a.get(i, j) * x[j]).sum();
+            (ax - b[i]).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::random_vec;
+    use crate::lu::dominant_matrix;
+    use dws_rt::{Policy, Runtime, RuntimeConfig};
+
+    #[test]
+    fn sequential_solves_system() {
+        let a = dominant_matrix(24, 3);
+        let b = random_vec(24, 4);
+        let x = ge_sequential(&a, &b);
+        assert!(residual(&a, &x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = Runtime::new(RuntimeConfig::new(4, Policy::Ws));
+        let a = dominant_matrix(40, 8);
+        let b = random_vec(40, 9);
+        let xs = ge_sequential(&a, &b);
+        let xp = pool.block_on(|| ge_parallel(&a, &b, 4));
+        let diff = xs
+            .iter()
+            .zip(&xp)
+            .map(|(s, p)| (s - p).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-9, "diff = {diff}");
+    }
+
+    #[test]
+    fn parallel_solves_system() {
+        let pool = Runtime::new(RuntimeConfig::new(4, Policy::Ws));
+        let a = dominant_matrix(32, 5);
+        let b = random_vec(32, 6);
+        let x = pool.block_on(|| ge_parallel(&a, &b, DEFAULT_BAND));
+        assert!(residual(&a, &x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn identity_system_returns_rhs() {
+        let a = Matrix::from_fn(8, 8, |r, c| if r == c { 1.0 } else { 0.0 });
+        let b = random_vec(8, 7);
+        let x = ge_sequential(&a, &b);
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_2x2_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 3.0);
+        let x = ge_sequential(&a, &[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

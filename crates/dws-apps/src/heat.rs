@@ -1,0 +1,187 @@
+//! p-6: Heat — five-point heat distribution (Jacobi iteration).
+//!
+//! Each time step computes every interior cell from its four neighbours
+//! into a fresh buffer (so cells are independent), parallel over row
+//! bands; buffers swap between steps. Steady wide waves with a small
+//! serial gap — the high-sustained-demand, data-intensive profile.
+
+use dws_rt::scope;
+
+/// Rows per parallel task.
+pub const DEFAULT_BAND: usize = 8;
+
+/// A rows×cols grid with fixed boundary values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+    cells: Vec<f64>,
+}
+
+impl Grid {
+    /// Grid with a hot top edge (100.0) and cold elsewhere — the textbook
+    /// heat-plate setup.
+    pub fn hot_plate(rows: usize, cols: usize) -> Grid {
+        assert!(rows >= 2 && cols >= 2);
+        let mut cells = vec![0.0; rows * cols];
+        cells[..cols].fill(100.0);
+        Grid { rows, cols, cells }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cell accessor.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.cells[r * self.cols + c]
+    }
+
+    /// Max absolute cell difference.
+    pub fn max_abs_diff(&self, other: &Grid) -> f64 {
+        self.cells
+            .iter()
+            .zip(&other.cells)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Mutable access to the backing cells (crate-internal; used by SOR,
+    /// which shares this grid type).
+    pub(crate) fn cells_mut(&mut self) -> &mut [f64] {
+        &mut self.cells
+    }
+
+    /// Mean interior temperature (diagnostic).
+    pub fn mean_interior(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in 1..self.rows - 1 {
+            for c in 1..self.cols - 1 {
+                sum += self.get(r, c);
+                n += 1;
+            }
+        }
+        sum / n as f64
+    }
+}
+
+fn jacobi_row(src: &[f64], dst: &mut [f64], cols: usize, row_above: &[f64], row_below: &[f64]) {
+    for c in 1..cols - 1 {
+        dst[c] = 0.25 * (row_above[c] + row_below[c] + src[c - 1] + src[c + 1]);
+    }
+    dst[0] = src[0];
+    dst[cols - 1] = src[cols - 1];
+}
+
+/// Runs `steps` Jacobi iterations sequentially.
+pub fn heat_sequential(grid: &Grid, steps: usize) -> Grid {
+    let (rows, cols) = (grid.rows, grid.cols);
+    let mut cur = grid.clone();
+    let mut next = grid.clone();
+    for _ in 0..steps {
+        for r in 1..rows - 1 {
+            let (above, rest) = cur.cells.split_at(r * cols);
+            let (row, below) = rest.split_at(cols);
+            let dst = &mut next.cells[r * cols..(r + 1) * cols];
+            jacobi_row(row, dst, cols, &above[(r - 1) * cols..], &below[..cols]);
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Runs `steps` Jacobi iterations with row-banded parallel sweeps. Call
+/// inside a [`dws_rt::Runtime::block_on`].
+pub fn heat_parallel(grid: &Grid, steps: usize, band: usize) -> Grid {
+    let (rows, cols) = (grid.rows, grid.cols);
+    let band = band.max(1);
+    let mut cur = grid.clone();
+    let mut next = grid.clone();
+    for _ in 0..steps {
+        {
+            let src = &cur.cells;
+            // Interior rows 1..rows-1, banded.
+            let interior = &mut next.cells[cols..(rows - 1) * cols];
+            scope(|s| {
+                for (band_idx, out_rows) in interior.chunks_mut(band * cols).enumerate() {
+                    s.spawn(move || {
+                        let first_row = 1 + band_idx * band;
+                        for (k, dst) in out_rows.chunks_mut(cols).enumerate() {
+                            let r = first_row + k;
+                            let row = &src[r * cols..(r + 1) * cols];
+                            let above = &src[(r - 1) * cols..r * cols];
+                            let below = &src[(r + 1) * cols..(r + 2) * cols];
+                            jacobi_row(row, dst, cols, above, below);
+                        }
+                    });
+                }
+            });
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_rt::{Policy, Runtime, RuntimeConfig};
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let pool = Runtime::new(RuntimeConfig::new(4, Policy::Ws));
+        let g = Grid::hot_plate(33, 20);
+        let seq = heat_sequential(&g, 25);
+        let par = pool.block_on(|| heat_parallel(&g, 25, 4));
+        // Jacobi cells are order-independent: results are bit-identical.
+        assert_eq!(seq.max_abs_diff(&par), 0.0);
+    }
+
+    #[test]
+    fn heat_diffuses_downward() {
+        let g = Grid::hot_plate(16, 16);
+        let after = heat_sequential(&g, 100);
+        assert!(after.get(1, 8) > after.get(14, 8), "closer to hot edge is warmer");
+        assert!(after.mean_interior() > g.mean_interior());
+    }
+
+    #[test]
+    fn boundaries_are_fixed() {
+        let g = Grid::hot_plate(12, 12);
+        let after = heat_sequential(&g, 50);
+        for c in 0..12 {
+            assert_eq!(after.get(0, c), 100.0);
+            assert_eq!(after.get(11, c), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let g = Grid::hot_plate(8, 8);
+        assert_eq!(heat_sequential(&g, 0).max_abs_diff(&g), 0.0);
+    }
+
+    #[test]
+    fn converges_toward_steady_state() {
+        let g = Grid::hot_plate(10, 10);
+        let a = heat_sequential(&g, 500);
+        let b = heat_sequential(&g, 501);
+        assert!(a.max_abs_diff(&b) < 0.05, "late steps change little");
+    }
+
+    #[test]
+    fn band_bigger_than_grid_ok() {
+        let pool = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+        let g = Grid::hot_plate(6, 6);
+        let seq = heat_sequential(&g, 10);
+        let par = pool.block_on(|| heat_parallel(&g, 10, 1000));
+        assert_eq!(seq.max_abs_diff(&par), 0.0);
+    }
+}

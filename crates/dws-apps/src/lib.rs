@@ -1,0 +1,46 @@
+//! # dws-apps — the eight benchmarks of the DWS paper (Table 2)
+//!
+//! Real task-parallel implementations of the benchmarks the paper
+//! evaluates, written against the [`dws_rt`] fork-join API, each paired
+//! with a sequential reference used by the test suite:
+//!
+//! | id  | module | kernel |
+//! |-----|--------|--------|
+//! | p-1 | [`fft`] | radix-2 Cooley–Tukey FFT |
+//! | p-2 | [`pnn`] | polynomial neural network forward pass |
+//! | p-3 | [`cholesky`] | Cholesky decomposition |
+//! | p-4 | [`lu`] | LU decomposition |
+//! | p-5 | [`ge`] | Gaussian elimination |
+//! | p-6 | [`heat`] | five-point heat distribution (Jacobi) |
+//! | p-7 | [`sor`] | 2D red-black successive over-relaxation |
+//! | p-8 | [`mergesort`] | merge sort (paper input: 4·10⁶ numbers) |
+//!
+//! [`profiles`] additionally provides each benchmark's *simulator
+//! workload profile* — the demand shape used by `dws-sim` to regenerate
+//! the paper's figures on the simulated 16-core machine — and the Fig. 4
+//! mix list.
+//!
+//! ```
+//! use dws_apps::mergesort::mergesort_parallel;
+//! use dws_rt::{Policy, Runtime, RuntimeConfig};
+//!
+//! let pool = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+//! let mut v = vec![5u64, 3, 9, 1, 4];
+//! pool.block_on(|| mergesort_parallel(&mut v, 2));
+//! assert_eq!(v, [1, 3, 4, 5, 9]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod common;
+pub mod fft;
+pub mod ge;
+pub mod heat;
+pub mod lu;
+pub mod mergesort;
+pub mod pnn;
+pub mod profiles;
+pub mod sor;
+
+pub use profiles::{Benchmark, FIG4_MIXES, FIG6_MIX, FIG6_T_SLEEP_VALUES};

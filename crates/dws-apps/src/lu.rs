@@ -1,0 +1,144 @@
+//! p-4: LU decomposition `A = L·U` (Doolittle, no pivoting — inputs are
+//! made diagonally dominant, as the Cilk example does).
+//!
+//! Right-looking elimination with the trailing update parallelized over
+//! row bands per step; like Cholesky the parallel width shrinks with `k`.
+
+use dws_rt::scope;
+
+use crate::common::Matrix;
+
+/// Rows per parallel task in the trailing update.
+pub const DEFAULT_BAND: usize = 8;
+
+/// Builds a well-conditioned (diagonally dominant) test matrix.
+pub fn dominant_matrix(n: usize, seed: u64) -> Matrix {
+    let mut a = Matrix::from_fn(n, n, |r, c| {
+        let x = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(((r * n + c) as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        ((x >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+    });
+    for i in 0..n {
+        a.set(i, i, a.get(i, i) + n as f64);
+    }
+    a
+}
+
+/// Sequential in-place LU: returns the packed factors (L strictly below
+/// the diagonal with implicit unit diagonal, U on and above).
+pub fn lu_sequential(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    assert_eq!(n, a.cols());
+    let mut w = a.clone();
+    for k in 0..n {
+        let pivot = w.get(k, k);
+        assert!(pivot.abs() > 1e-12, "zero pivot at {k}");
+        for i in k + 1..n {
+            let l = w.get(i, k) / pivot;
+            w.set(i, k, l);
+            for j in k + 1..n {
+                w.set(i, j, w.get(i, j) - l * w.get(k, j));
+            }
+        }
+    }
+    w
+}
+
+/// Parallel LU with row-banded trailing updates. Call inside a
+/// [`dws_rt::Runtime::block_on`].
+pub fn lu_parallel(a: &Matrix, band: usize) -> Matrix {
+    let n = a.rows();
+    assert_eq!(n, a.cols());
+    let band = band.max(1);
+    let mut w = a.clone();
+    for k in 0..n {
+        let pivot = w.get(k, k);
+        assert!(pivot.abs() > 1e-12, "zero pivot at {k}");
+        if k + 1 == n {
+            break;
+        }
+        // Snapshot row k (read by every update row).
+        let row_k: Vec<f64> = w.row(k).to_vec();
+        let ncols = w.cols();
+        let tail = &mut w.data_mut()[(k + 1) * ncols..];
+        scope(|s| {
+            for rows in tail.chunks_mut(band * ncols) {
+                let row_k = &row_k;
+                s.spawn(move || {
+                    for row in rows.chunks_mut(ncols) {
+                        let l = row[k] / pivot;
+                        row[k] = l;
+                        for j in k + 1..ncols {
+                            row[j] -= l * row_k[j];
+                        }
+                    }
+                });
+            }
+        });
+    }
+    w
+}
+
+/// Max |L·U − A| over all entries, from the packed factor matrix.
+pub fn reconstruction_error(a: &Matrix, lu: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut err: f64 = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            // (L·U)[i][j] = Σ_k L[i][k]·U[k][j], L unit-diagonal.
+            for k in 0..=i.min(j) {
+                let l = if k == i { 1.0 } else { lu.get(i, k) };
+                s += l * lu.get(k, j);
+            }
+            err = err.max((s - a.get(i, j)).abs());
+        }
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_rt::{Policy, Runtime, RuntimeConfig};
+
+    #[test]
+    fn sequential_reconstructs_input() {
+        let a = dominant_matrix(20, 2);
+        let lu = lu_sequential(&a);
+        assert!(reconstruction_error(&a, &lu) < 1e-8);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = Runtime::new(RuntimeConfig::new(4, Policy::Ws));
+        let a = dominant_matrix(40, 9);
+        let seq = lu_sequential(&a);
+        let par = pool.block_on(|| lu_parallel(&a, 4));
+        assert!(seq.max_abs_diff(&par) < 1e-9);
+    }
+
+    #[test]
+    fn parallel_reconstructs_input() {
+        let pool = Runtime::new(RuntimeConfig::new(4, Policy::Ws));
+        let a = dominant_matrix(32, 4);
+        let lu = pool.block_on(|| lu_parallel(&a, DEFAULT_BAND));
+        assert!(reconstruction_error(&a, &lu) < 1e-8);
+    }
+
+    #[test]
+    fn identity_factors_to_identity() {
+        let a = Matrix::from_fn(8, 8, |r, c| if r == c { 1.0 } else { 0.0 });
+        let lu = lu_sequential(&a);
+        assert_eq!(lu.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn band_larger_than_matrix_is_fine() {
+        let pool = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+        let a = dominant_matrix(8, 6);
+        let par = pool.block_on(|| lu_parallel(&a, 1000));
+        assert!(reconstruction_error(&a, &par) < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! p-8: Mergesort — parallel merge sort (the paper sorts 4·10⁶ numbers).
+//!
+//! The recursion forks halves with [`dws_rt::join`]; merges are
+//! sequential, so per-level merge work doubles toward the root — the long
+//! serial tail that makes mergesort the paper's poster child for demand
+//! variation (and our mix (1,8) / Fig. 6 workload).
+
+use dws_rt::join;
+
+/// Below this many elements the sort runs sequentially (task grain).
+pub const DEFAULT_GRAIN: usize = 2048;
+
+/// The paper's input size: 4E6 numbers (Table 2).
+pub const PAPER_INPUT_SIZE: usize = 4_000_000;
+
+/// Sorts in place, sequentially (reference implementation).
+pub fn mergesort_sequential<T: Ord + Copy + Send>(data: &mut [T]) {
+    let mut buf = data.to_vec();
+    sort_rec(data, &mut buf, usize::MAX);
+}
+
+/// Sorts in place with fork-join parallelism at the given grain.
+/// Call inside a [`dws_rt::Runtime::block_on`] for parallel execution.
+pub fn mergesort_parallel<T: Ord + Copy + Send>(data: &mut [T], grain: usize) {
+    let mut buf = data.to_vec();
+    sort_rec(data, &mut buf, grain.max(2));
+}
+
+fn sort_rec<T: Ord + Copy + Send>(data: &mut [T], buf: &mut [T], grain: usize) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n <= 32 {
+        insertion_sort(data);
+        return;
+    }
+    let mid = n / 2;
+    let (dl, dr) = data.split_at_mut(mid);
+    let (bl, br) = buf.split_at_mut(mid);
+    if n <= grain {
+        sort_rec(dl, bl, grain);
+        sort_rec(dr, br, grain);
+    } else {
+        join(|| sort_rec(dl, bl, grain), || sort_rec(dr, br, grain));
+    }
+    merge(data, buf, mid);
+}
+
+fn insertion_sort<T: Ord + Copy>(data: &mut [T]) {
+    for i in 1..data.len() {
+        let x = data[i];
+        let mut j = i;
+        while j > 0 && data[j - 1] > x {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = x;
+    }
+}
+
+/// Merges `data[..mid]` and `data[mid..]` (each sorted) using `buf`.
+fn merge<T: Ord + Copy>(data: &mut [T], buf: &mut [T], mid: usize) {
+    buf[..data.len()].copy_from_slice(data);
+    let (left, right) = buf[..data.len()].split_at(mid);
+    let (mut i, mut j) = (0, 0);
+    for slot in data.iter_mut() {
+        if i < left.len() && (j >= right.len() || left[i] <= right[j]) {
+            *slot = left[i];
+            i += 1;
+        } else {
+            *slot = right[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::random_u64s;
+    use dws_rt::{Policy, Runtime, RuntimeConfig};
+
+    #[test]
+    fn sequential_sorts_correctly() {
+        let mut v = random_u64s(10_000, 1);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        mergesort_sequential(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn parallel_sorts_correctly() {
+        let pool = Runtime::new(RuntimeConfig::new(4, Policy::Ws));
+        let mut v = random_u64s(50_000, 2);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        pool.block_on(|| mergesort_parallel(&mut v, 1024));
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in 0..=8 {
+            let mut v = random_u64s(n, 3);
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            mergesort_sequential(&mut v);
+            assert_eq!(v, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let mut asc: Vec<u64> = (0..1000).collect();
+        let mut desc: Vec<u64> = (0..1000).rev().collect();
+        mergesort_sequential(&mut asc);
+        mergesort_sequential(&mut desc);
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(asc, desc);
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let mut v: Vec<u64> = (0..500).map(|i| i % 7).collect();
+        mergesort_sequential(&mut v);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        let expected = (0..500).filter(|i| i % 7 == 3).count();
+        assert_eq!(v.iter().filter(|&&x| x == 3).count(), expected);
+    }
+
+    #[test]
+    fn parallel_grain_one_degenerates_safely() {
+        let pool = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+        let mut v = random_u64s(500, 4);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        pool.block_on(|| mergesort_parallel(&mut v, 1));
+        assert_eq!(v, expected);
+    }
+}

@@ -1,0 +1,188 @@
+//! p-2: PNN — Polynomial Neural Network forward evaluation.
+//!
+//! A GMDH-style polynomial network: each unit combines two inputs with a
+//! quadratic polynomial `w0 + w1·a + w2·b + w3·a² + w4·b² + w5·a·b`.
+//! Evaluating one layer is parallel over its units (scope fan-out); the
+//! weight update between layers is a serial section — giving PNN the
+//! bursty, serial-heavy demand profile the paper's mix (2,7) exploits.
+
+use dws_rt::scope;
+
+use crate::common::random_vec;
+
+/// One polynomial unit: input indices and 6 coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unit {
+    /// First input index into the previous layer.
+    pub ia: usize,
+    /// Second input index into the previous layer.
+    pub ib: usize,
+    /// Polynomial coefficients `[w0, w1, w2, w3, w4, w5]`.
+    pub w: [f64; 6],
+}
+
+impl Unit {
+    /// Evaluates the unit on the previous layer's outputs.
+    #[inline]
+    pub fn eval(&self, prev: &[f64]) -> f64 {
+        let a = prev[self.ia];
+        let b = prev[self.ib];
+        let [w0, w1, w2, w3, w4, w5] = self.w;
+        // A bounded nonlinearity keeps deep networks numerically sane.
+        (w0 + w1 * a + w2 * b + w3 * a * a + w4 * b * b + w5 * a * b).tanh()
+    }
+}
+
+/// A feed-forward polynomial network: layers of units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pnn {
+    /// Width of the input vector.
+    pub inputs: usize,
+    /// Layers, each a vector of units reading the previous layer.
+    pub layers: Vec<Vec<Unit>>,
+}
+
+impl Pnn {
+    /// Builds a deterministic random network: `depth` layers of `width`
+    /// units over `inputs` inputs.
+    pub fn random(inputs: usize, width: usize, depth: usize, seed: u64) -> Pnn {
+        assert!(inputs >= 2 && width >= 1 && depth >= 1);
+        let mut layers = Vec::with_capacity(depth);
+        let mut prev_width = inputs;
+        for l in 0..depth {
+            let coeffs = random_vec(width * 8, seed.wrapping_add(l as u64 * 7919));
+            let layer = (0..width)
+                .map(|u| {
+                    let base = u * 8;
+                    let ia = ((coeffs[base].abs() * 1e6) as usize) % prev_width;
+                    let ib = ((coeffs[base + 1].abs() * 1e6) as usize) % prev_width;
+                    Unit {
+                        ia,
+                        ib,
+                        w: [
+                            coeffs[base + 2],
+                            coeffs[base + 3],
+                            coeffs[base + 4],
+                            coeffs[base + 5],
+                            coeffs[base + 6],
+                            coeffs[base + 7],
+                        ],
+                    }
+                })
+                .collect();
+            layers.push(layer);
+            prev_width = width;
+        }
+        Pnn { inputs, layers }
+    }
+
+    /// Sequential forward pass for one sample.
+    pub fn forward_sequential(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.inputs);
+        let mut prev = input.to_vec();
+        for layer in &self.layers {
+            prev = layer.iter().map(|u| u.eval(&prev)).collect();
+        }
+        prev
+    }
+
+    /// Parallel forward pass: each layer's units are evaluated as scope
+    /// tasks in `chunk`-sized groups. Call inside a
+    /// [`dws_rt::Runtime::block_on`].
+    pub fn forward_parallel(&self, input: &[f64], chunk: usize) -> Vec<f64> {
+        assert_eq!(input.len(), self.inputs);
+        let chunk = chunk.max(1);
+        let mut prev = input.to_vec();
+        for layer in &self.layers {
+            let mut out = vec![0.0; layer.len()];
+            {
+                let prev = &prev;
+                scope(|s| {
+                    for (units, outs) in layer.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                        s.spawn(move || {
+                            for (u, o) in units.iter().zip(outs.iter_mut()) {
+                                *o = u.eval(prev);
+                            }
+                        });
+                    }
+                });
+            }
+            prev = out;
+            // Serial section: (placeholder for the GMDH selection step —
+            // in the benchmark workload this is modelled as serial time).
+        }
+        prev
+    }
+
+    /// Evaluates a whole batch in parallel over samples (each sample's
+    /// forward pass stays sequential). Call inside a pool.
+    pub fn batch_parallel(&self, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); batch.len()];
+        scope(|s| {
+            for (sample, slot) in batch.iter().zip(out.iter_mut()) {
+                s.spawn(move || {
+                    *slot = self.forward_sequential(sample);
+                });
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_rt::{Policy, Runtime, RuntimeConfig};
+
+    #[test]
+    fn forward_is_deterministic() {
+        let net = Pnn::random(4, 6, 3, 42);
+        let x = random_vec(4, 1);
+        assert_eq!(net.forward_sequential(&x), net.forward_sequential(&x));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let pool = Runtime::new(RuntimeConfig::new(4, Policy::Ws));
+        let net = Pnn::random(8, 32, 4, 7);
+        let x = random_vec(8, 2);
+        let seq = net.forward_sequential(&x);
+        let par = pool.block_on(|| net.forward_parallel(&x, 4));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn batch_matches_per_sample() {
+        let pool = Runtime::new(RuntimeConfig::new(4, Policy::Ws));
+        let net = Pnn::random(4, 8, 2, 9);
+        let batch: Vec<Vec<f64>> = (0..16).map(|i| random_vec(4, 100 + i)).collect();
+        let got = pool.block_on(|| net.batch_parallel(&batch));
+        for (x, y) in batch.iter().zip(&got) {
+            assert_eq!(&net.forward_sequential(x), y);
+        }
+    }
+
+    #[test]
+    fn outputs_are_bounded_by_tanh() {
+        let net = Pnn::random(4, 16, 5, 11);
+        let y = net.forward_sequential(&random_vec(4, 3));
+        assert!(y.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn unit_eval_known_values() {
+        let u = Unit { ia: 0, ib: 1, w: [0.0, 1.0, 1.0, 0.0, 0.0, 0.0] };
+        // tanh(0.2 + 0.3)
+        let y = u.eval(&[0.2, 0.3]);
+        assert!((y - 0.5f64.tanh()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_shape_respected() {
+        let net = Pnn::random(5, 7, 3, 13);
+        assert_eq!(net.layers.len(), 3);
+        assert!(net.layers.iter().all(|l| l.len() == 7));
+        let y = net.forward_sequential(&random_vec(5, 4));
+        assert_eq!(y.len(), 7);
+    }
+}

@@ -1,0 +1,118 @@
+//! Growable circular buffer underlying the Chase–Lev deque.
+//!
+//! The buffer is a power-of-two array indexed by monotonically increasing
+//! `isize` positions taken modulo the capacity. Elements are stored as
+//! `MaybeUninit<T>`: ownership of a slot's contents is governed entirely by
+//! the deque's `top`/`bottom` protocol, never by the buffer itself.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+
+/// A fixed-capacity circular array of `T` slots.
+///
+/// All accesses are unsafe raw reads/writes; the deque protocol guarantees
+/// that a slot is never read and written concurrently with conflicting
+/// ownership.
+pub(crate) struct Buffer<T> {
+    /// Power-of-two number of slots.
+    cap: usize,
+    /// `cap - 1`, used to mask indices.
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// The deque protocol transfers element ownership across threads.
+unsafe impl<T: Send> Send for Buffer<T> {}
+unsafe impl<T: Send> Sync for Buffer<T> {}
+
+impl<T> Buffer<T> {
+    /// Allocates a buffer with `cap` slots. `cap` must be a power of two.
+    pub(crate) fn new(cap: usize) -> Self {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Buffer { cap, mask: cap - 1, slots }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub(crate) fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Writes `value` into the slot for position `index`.
+    ///
+    /// # Safety
+    /// The caller must own the slot (no concurrent read or write) and the
+    /// slot must not currently hold a live value that would be leaked,
+    /// unless that value is still owned elsewhere by the protocol.
+    #[inline]
+    pub(crate) unsafe fn write(&self, index: isize, value: T) {
+        // SAFETY: masking keeps the index in range; exclusivity is the
+        // caller's obligation.
+        unsafe {
+            let slot = self.slots.get_unchecked(index as usize & self.mask);
+            slot.get().write(MaybeUninit::new(value));
+        }
+    }
+
+    /// Reads the value at position `index`, leaving the slot logically empty.
+    ///
+    /// # Safety
+    /// The caller must have exclusive logical ownership of the value in the
+    /// slot per the deque protocol.
+    #[inline]
+    pub(crate) unsafe fn read(&self, index: isize) -> T {
+        // SAFETY: masking keeps the index in range; the caller guarantees
+        // the slot holds an initialized value it has ownership of.
+        unsafe {
+            let slot = self.slots.get_unchecked(index as usize & self.mask);
+            slot.get().read().assume_init()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let buf = Buffer::<u64>::new(8);
+        unsafe {
+            buf.write(3, 42);
+            assert_eq!(buf.read(3), 42);
+        }
+    }
+
+    #[test]
+    fn indices_wrap_modulo_capacity() {
+        let buf = Buffer::<u64>::new(4);
+        unsafe {
+            // Positions 1 and 5 alias the same slot in a 4-slot buffer.
+            buf.write(1, 10);
+            buf.write(5, 20);
+            assert_eq!(buf.read(1), 20);
+        }
+    }
+
+    #[test]
+    fn negative_wrapping_is_consistent() {
+        // The deque only ever uses non-negative positions, but masking must
+        // be self-consistent for any isize that maps to the same residue.
+        let buf = Buffer::<u32>::new(8);
+        unsafe {
+            buf.write(8, 7);
+            assert_eq!(buf.read(8), 7);
+            buf.write(16, 9);
+            assert_eq!(buf.read(16), 9);
+        }
+    }
+
+    #[test]
+    fn capacity_reported() {
+        assert_eq!(Buffer::<u8>::new(64).cap(), 64);
+    }
+}

@@ -1,0 +1,513 @@
+//! Lock-free Chase–Lev work-stealing deque.
+//!
+//! The owner pushes and pops at the *bottom*; thieves steal from the *top*.
+//! This is the memory-ordering-exact formulation of Lê, Pop, Cohen and
+//! Nardelli, *"Correct and Efficient Work-Stealing for Weak Memory Models"*
+//! (PPoPP'13), which is itself the C11 port of the original Chase–Lev
+//! algorithm (SPAA'05) used by Cilk-class runtimes.
+//!
+//! Growth strategy: when the owner pushes into a full buffer, a buffer of
+//! twice the capacity is allocated and the live range copied. The retired
+//! buffer cannot be freed immediately — a stalled thief may still hold a
+//! pointer into it — so it is parked on a retire list owned by the `Worker`
+//! and freed when the deque is dropped. Because capacities double, the
+//! retire list holds less total memory than the live buffer, so this simple
+//! scheme is bounded and avoids an epoch/hazard-pointer dependency.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use crate::buffer::Buffer;
+
+/// Initial buffer capacity (slots). Must be a power of two.
+const MIN_CAP: usize = 64;
+
+/// Result of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// The steal lost a race (with the owner's `pop` or another thief) and
+    /// may be retried; the deque was not necessarily empty.
+    Retry,
+    /// A task was stolen.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True if this is `Steal::Empty`.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True if this is `Steal::Retry`.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// True if this is `Steal::Success`.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+}
+
+struct Inner<T> {
+    /// Next position a thief will steal from. Monotonically increasing.
+    top: AtomicIsize,
+    /// Next position the owner will push to. Only the owner writes it.
+    bottom: AtomicIsize,
+    /// Current buffer. Only the owner swaps it (on growth).
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers retired by growth; freed on drop. Only the owner pushes.
+    retired: UnsafeCell<Vec<Box<Buffer<T>>>>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // At drop time no other thread holds a reference, so relaxed loads
+        // are sufficient and remaining elements can be dropped in place.
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let top = self.top.load(Ordering::Relaxed);
+        let buf_ptr = self.buffer.load(Ordering::Relaxed);
+        unsafe {
+            let buf = &*buf_ptr;
+            let mut i = top;
+            while i < bottom {
+                drop(buf.read(i));
+                i += 1;
+            }
+            drop(Box::from_raw(buf_ptr));
+        }
+        // `retired` buffers contain no live elements; Vec drop frees them.
+    }
+}
+
+/// The owner-side handle: single-threaded `push`/`pop` at the bottom.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// `Worker` is intentionally `!Sync`; only one thread may own it.
+    _not_sync: PhantomData<*mut ()>,
+}
+
+unsafe impl<T: Send> Send for Worker<T> {}
+
+/// The thief-side handle: `steal` from the top. Cloneable and shareable.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+unsafe impl<T: Send> Send for Stealer<T> {}
+unsafe impl<T: Send> Sync for Stealer<T> {}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// Creates a new work-stealing deque, returning the owner handle and a
+/// thief handle (clone the latter for more thieves).
+pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
+    let inner = Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(MIN_CAP)))),
+        retired: UnsafeCell::new(Vec::new()),
+    });
+    (
+        Worker { inner: Arc::clone(&inner), _not_sync: PhantomData },
+        Stealer { inner },
+    )
+}
+
+impl<T: Send> Worker<T> {
+    /// Pushes a task onto the bottom of the deque.
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+
+        let len = b.wrapping_sub(t);
+        unsafe {
+            if len >= (*buf).cap() as isize {
+                self.grow(b, t);
+                buf = inner.buffer.load(Ordering::Relaxed);
+            }
+            (*buf).write(b, value);
+        }
+        // Release makes the element visible to a thief that acquires
+        // `bottom`; thieves read `top` with acquire and the buffer slot
+        // after checking `top <= b`.
+        inner.bottom.store(b.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Pops a task from the bottom of the deque (LIFO for the owner).
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        // The SeqCst fence orders the `bottom` store before the `top` load,
+        // pairing with the fence (implied by the SeqCst CAS) in `steal`.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+
+        let len = b.wrapping_sub(t);
+        if len < 0 {
+            // Deque was empty; restore bottom.
+            inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return None;
+        }
+
+        let value = unsafe { (*buf).read(b) };
+        if len > 0 {
+            // More than one element: no race with thieves on this slot.
+            return Some(value);
+        }
+
+        // Exactly one element: race with thieves for it via CAS on top.
+        let won = inner
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+        if won {
+            Some(value)
+        } else {
+            // A thief took the last element; the value we read must not be
+            // dropped or returned — forget it (the thief owns it now).
+            std::mem::forget(value);
+            None
+        }
+    }
+
+    /// Number of tasks currently queued (approximate under concurrency;
+    /// exact when quiescent).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        b.wrapping_sub(t).max(0) as usize
+    }
+
+    /// True if the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a new thief handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Doubles the buffer, copying live positions `[t, b)`.
+    #[cold]
+    fn grow(&self, b: isize, t: isize) {
+        let inner = &*self.inner;
+        let old_ptr = inner.buffer.load(Ordering::Relaxed);
+        unsafe {
+            let old = &*old_ptr;
+            let new = Box::new(Buffer::<T>::new(old.cap() * 2));
+            let mut i = t;
+            while i != b {
+                // Move the bit pattern; logical ownership is unchanged.
+                let v = old.read(i);
+                new.write(i, v);
+                i = i.wrapping_add(1);
+            }
+            let new_ptr = Box::into_raw(new);
+            inner.buffer.store(new_ptr, Ordering::Release);
+            // Park the old buffer until drop: a stalled thief may still
+            // read from it (it will fail its CAS and retry against the
+            // new buffer, but the read itself must stay valid).
+            (*inner.retired.get()).push(Box::from_raw(old_ptr));
+        }
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Attempts to steal a task from the top of the deque (FIFO for
+    /// thieves).
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+
+        if t.wrapping_sub(b) >= 0 {
+            return Steal::Empty;
+        }
+
+        // Non-empty: read the element *before* the CAS; if the CAS succeeds
+        // we own it, otherwise we must forget the read.
+        let buf = inner.buffer.load(Ordering::Acquire);
+        let value = unsafe { (*buf).read(t) };
+        match inner.top.compare_exchange(
+            t,
+            t.wrapping_add(1),
+            Ordering::SeqCst,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => Steal::Success(value),
+            Err(_) => {
+                std::mem::forget(value);
+                Steal::Retry
+            }
+        }
+    }
+
+    /// Steals with bounded retries, converting persistent `Retry` into
+    /// `None`. Convenience for callers that treat contention as failure
+    /// (as the DWS worker loop does when counting failed steals).
+    pub fn steal_with_retries(&self, max_retries: usize) -> Option<T> {
+        for _ in 0..=max_retries {
+            match self.steal() {
+                Steal::Success(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
+        None
+    }
+
+    /// Number of tasks currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let t = self.inner.top.load(Ordering::Relaxed);
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        b.wrapping_sub(t).max(0) as usize
+    }
+
+    /// True if the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Worker").field("len", &{
+            let b = self.inner.bottom.load(Ordering::Relaxed);
+            let t = self.inner.top.load(Ordering::Relaxed);
+            b.wrapping_sub(t)
+        }).finish()
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stealer").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn push_pop_lifo_order() {
+        let (w, _s) = deque::<u32>();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn steal_fifo_order() {
+        let (w, s) = deque::<u32>();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(s.steal(), Steal::Success(3));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn empty_deque_reports_empty() {
+        let (w, s) = deque::<u32>();
+        assert!(w.is_empty());
+        assert!(s.is_empty());
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let (w, s) = deque::<u32>();
+        for i in 0..10 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 10);
+        assert_eq!(s.len(), 10);
+        w.pop();
+        s.steal();
+        assert_eq!(w.len(), 8);
+    }
+
+    #[test]
+    fn growth_preserves_all_elements() {
+        let (w, s) = deque::<usize>();
+        let n = MIN_CAP * 4 + 3;
+        for i in 0..n {
+            w.push(i);
+        }
+        // Steal half from the top (oldest first), pop half from the bottom.
+        let mut stolen = Vec::new();
+        for _ in 0..n / 2 {
+            stolen.push(s.steal().success().unwrap());
+        }
+        let mut popped = Vec::new();
+        while let Some(v) = w.pop() {
+            popped.push(v);
+        }
+        assert_eq!(stolen.len() + popped.len(), n);
+        // Stolen values are the oldest, in FIFO order.
+        assert_eq!(stolen, (0..n / 2).collect::<Vec<_>>());
+        // Popped values are the rest, newest first.
+        assert_eq!(popped, (n / 2..n).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn growth_interleaved_with_wraparound() {
+        let (w, s) = deque::<usize>();
+        // Cycle pushes and steals so indices advance far past the capacity,
+        // exercising modular indexing across several growths.
+        let mut next_expected_steal = 0;
+        let mut pushed = 0;
+        for round in 0..50 {
+            for _ in 0..(MIN_CAP / 2 + round) {
+                w.push(pushed);
+                pushed += 1;
+            }
+            for _ in 0..(MIN_CAP / 4) {
+                if let Steal::Success(v) = s.steal() {
+                    assert_eq!(v, next_expected_steal);
+                    next_expected_steal += 1;
+                }
+            }
+        }
+        while let Some(_) = w.pop() {}
+    }
+
+    #[test]
+    fn steal_race_for_last_element_is_exclusive() {
+        // Single element; owner pop and thief steal race. Exactly one wins.
+        for _ in 0..200 {
+            let (w, s) = deque::<u64>();
+            w.push(7);
+            let s2 = s.clone();
+            let h = std::thread::spawn(move || s2.steal().success());
+            let popped = w.pop();
+            let stolen = h.join().unwrap();
+            match (popped, stolen) {
+                (Some(7), None) | (None, Some(7)) => {}
+                other => panic!("both or neither got the element: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_thieves_never_duplicate_or_lose() {
+        const N: usize = 20_000;
+        const THIEVES: usize = 4;
+        let (w, s) = deque::<usize>();
+        let seen = StdArc::new((0..N).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+        let done = StdArc::new(AtomicUsize::new(0));
+
+        let handles: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let s = s.clone();
+                let seen = StdArc::clone(&seen);
+                let done = StdArc::clone(&done);
+                std::thread::spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            seen[v].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                    }
+                })
+            })
+            .collect();
+
+        for i in 0..N {
+            w.push(i);
+            // Owner also pops occasionally, competing with the thieves.
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    seen[v].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            seen[v].fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(1, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "element {i} seen wrong number of times");
+        }
+    }
+
+    #[test]
+    fn drop_releases_queued_elements() {
+        // Dropping a non-empty deque must drop remaining elements exactly
+        // once (checked via Arc strong counts).
+        let tracker = StdArc::new(());
+        {
+            let (w, _s) = deque::<StdArc<()>>();
+            for _ in 0..100 {
+                w.push(StdArc::clone(&tracker));
+            }
+            for _ in 0..40 {
+                w.pop();
+            }
+            assert_eq!(StdArc::strong_count(&tracker), 61);
+        }
+        assert_eq!(StdArc::strong_count(&tracker), 1);
+    }
+
+    #[test]
+    fn steal_with_retries_eventually_returns_none_on_empty() {
+        let (_w, s) = deque::<u8>();
+        assert_eq!(s.steal_with_retries(16), None);
+    }
+
+    #[test]
+    fn steal_enum_helpers() {
+        assert!(Steal::<u8>::Empty.is_empty());
+        assert!(Steal::<u8>::Retry.is_retry());
+        assert!(Steal::Success(1u8).is_success());
+        assert_eq!(Steal::Success(3u8).success(), Some(3));
+        assert_eq!(Steal::<u8>::Empty.success(), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Global FIFO injector queue.
+//!
+//! A work-stealing runtime needs one multi-producer multi-consumer queue for
+//! work that originates *outside* the pool (the main thread submitting a
+//! root task, or — in DWS — the coordinator re-routing work). Throughput
+//! requirements here are orders of magnitude below the per-worker deques, so
+//! a mutex-protected ring is the right tool: it is trivially correct and the
+//! lock is uncontended in steady state.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Multi-producer multi-consumer FIFO queue for external task injection.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Cached length so `len`/`is_empty` never take the lock — workers poll
+    /// this on their idle path.
+    len: AtomicUsize,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector { queue: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0) }
+    }
+
+    /// Enqueues a task at the back.
+    pub fn push(&self, value: T) {
+        let mut q = self.queue.lock().unwrap();
+        q.push_back(value);
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    /// Dequeues a task from the front, if any.
+    pub fn pop(&self) -> Option<T> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.queue.lock().unwrap();
+        let v = q.pop_front();
+        self.len.store(q.len(), Ordering::Release);
+        v
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True if no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        inj.push(3);
+        assert_eq!(inj.pop(), Some(1));
+        assert_eq!(inj.pop(), Some(2));
+        assert_eq!(inj.pop(), Some(3));
+        assert_eq!(inj.pop(), None);
+    }
+
+    #[test]
+    fn len_is_consistent() {
+        let inj = Injector::new();
+        assert!(inj.is_empty());
+        for i in 0..5 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 5);
+        inj.pop();
+        assert_eq!(inj.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_elements() {
+        const PER_PRODUCER: usize = 5_000;
+        const PRODUCERS: usize = 3;
+        const CONSUMERS: usize = 3;
+        let inj = Arc::new(Injector::new());
+        let produced_done = Arc::new(AtomicUsize::new(0));
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let inj = Arc::clone(&inj);
+                let done = Arc::clone(&produced_done);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        inj.push(p * PER_PRODUCER + i);
+                    }
+                    done.fetch_add(1, Ordering::Release);
+                })
+            })
+            .collect();
+
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                let done = Arc::clone(&produced_done);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match inj.pop() {
+                            Some(v) => got.push(v),
+                            None => {
+                                if done.load(Ordering::Acquire) == PRODUCERS
+                                    && inj.is_empty()
+                                {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> =
+            consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..PRODUCERS * PER_PRODUCER).collect::<Vec<_>>());
+    }
+}

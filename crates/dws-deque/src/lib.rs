@@ -1,0 +1,37 @@
+//! # dws-deque — work-stealing deques for the DWS runtime
+//!
+//! This crate provides the queueing substrate used by
+//! [`dws-rt`](../dws_rt/index.html), the Rust reproduction of *"DWS:
+//! Demand-aware Work-Stealing in Multi-programmed Multi-core
+//! Architectures"* (Chen, Zheng, Guo — PMAM'14 / PPoPP 2014):
+//!
+//! - [`deque`] / [`Worker`] / [`Stealer`]: a lock-free Chase–Lev
+//!   work-stealing deque (owner pushes/pops LIFO at the bottom, thieves
+//!   steal FIFO from the top), following the weak-memory-exact formulation
+//!   of Lê et al. (PPoPP'13).
+//! - [`Injector`]: a multi-producer multi-consumer FIFO used for work that
+//!   enters the pool from outside (root-task submission).
+//! - [`MutexDeque`]: a locked reference implementation used as a test
+//!   oracle and as the baseline in the deque microbenchmarks.
+//!
+//! ```
+//! use dws_deque::{deque, Steal};
+//!
+//! let (worker, stealer) = deque::<u32>();
+//! worker.push(1);
+//! worker.push(2);
+//! assert_eq!(stealer.steal(), Steal::Success(1)); // thieves take oldest
+//! assert_eq!(worker.pop(), Some(2));              // owner takes newest
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod buffer;
+mod chase_lev;
+mod injector;
+mod mutex_deque;
+
+pub use chase_lev::{deque, Steal, Stealer, Worker};
+pub use injector::Injector;
+pub use mutex_deque::MutexDeque;

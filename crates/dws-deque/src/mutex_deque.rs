@@ -1,0 +1,88 @@
+//! Mutex-based reference deque.
+//!
+//! A trivially correct implementation of the same owner-bottom /
+//! thief-top contract as [`crate::chase_lev`]. It exists as (a) a test
+//! oracle for differential and property tests against the lock-free deque
+//! and (b) the baseline side of the `deque` Criterion bench, quantifying
+//! what the lock-free implementation buys.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Owner + thief handle over a locked `VecDeque`. Cloning produces another
+/// handle to the same deque (any handle may push/pop/steal — the lock makes
+/// every interleaving safe, which is exactly why it is a useful oracle).
+pub struct MutexDeque<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for MutexDeque<T> {
+    fn clone(&self) -> Self {
+        MutexDeque { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Default for MutexDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MutexDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        MutexDeque { inner: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Owner push at the bottom (back).
+    pub fn push(&self, value: T) {
+        self.inner.lock().unwrap().push_back(value);
+    }
+
+    /// Owner pop at the bottom (back): LIFO.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_back()
+    }
+
+    /// Thief steal at the top (front): FIFO.
+    pub fn steal(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d = MutexDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let d = MutexDeque::new();
+        let d2 = d.clone();
+        d.push(9);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2.steal(), Some(9));
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based differential tests: the lock-free Chase–Lev deque must
+//! agree with the mutex-based oracle on every single-threaded operation
+//! sequence, and must conserve elements under concurrent stealing.
+
+use dws_deque::{deque, MutexDeque, Steal};
+use proptest::prelude::*;
+
+/// One operation in a generated single-threaded scenario.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u32>().prop_map(Op::Push),
+        2 => Just(Op::Pop),
+        2 => Just(Op::Steal),
+    ]
+}
+
+proptest! {
+    /// With no concurrency, every op sequence must produce identical
+    /// results to the oracle: same values, same emptiness.
+    #[test]
+    fn matches_mutex_oracle(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        let (w, s) = deque::<u32>();
+        let oracle = MutexDeque::<u32>::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    w.push(v);
+                    oracle.push(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(w.pop(), oracle.pop());
+                }
+                Op::Steal => {
+                    // Single-threaded: Retry is impossible.
+                    let got = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => {
+                            prop_assert!(false, "retry without contention");
+                            unreachable!()
+                        }
+                    };
+                    prop_assert_eq!(got, oracle.steal());
+                }
+            }
+            prop_assert_eq!(w.len(), oracle.len());
+        }
+    }
+
+    /// Pushing n elements then draining from both ends yields exactly the
+    /// pushed multiset, regardless of the drain split point.
+    #[test]
+    fn drain_from_both_ends_conserves(n in 0usize..500, split in 0usize..500) {
+        let (w, s) = deque::<usize>();
+        for i in 0..n {
+            w.push(i);
+        }
+        let take_top = split.min(n);
+        let mut seen = Vec::with_capacity(n);
+        for _ in 0..take_top {
+            match s.steal() {
+                Steal::Success(v) => seen.push(v),
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+        while let Some(v) = w.pop() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Concurrent scenario: one owner interleaving push/pop, several
+    /// thieves stealing. Every pushed element is consumed exactly once.
+    #[test]
+    fn concurrent_conservation(n in 1usize..2_000, thieves in 1usize..4) {
+        use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+        use std::sync::Arc;
+
+        let (w, s) = deque::<usize>();
+        let counts: Arc<Vec<AtomicU8>> =
+            Arc::new((0..n).map(|_| AtomicU8::new(0)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let handles: Vec<_> = (0..thieves)
+            .map(|_| {
+                let s = s.clone();
+                let counts = Arc::clone(&counts);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            counts[v].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty if done.load(Ordering::Acquire) => break,
+                        _ => std::hint::spin_loop(),
+                    }
+                })
+            })
+            .collect();
+
+        for i in 0..n {
+            w.push(i);
+            if i % 5 == 4 {
+                if let Some(v) = w.pop() {
+                    counts[v].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            counts[v].fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "element {} consumed wrong number of times", i);
+        }
+    }
+}

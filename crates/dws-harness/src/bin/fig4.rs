@@ -1,0 +1,18 @@
+//! Regenerates Fig. 4: normalized execution time of the eight benchmark
+//! mixes under ABP, EP and DWS.
+
+use dws_harness::{fig4, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_args();
+    let result = fig4(&opts.sim, opts.effort);
+    if let Some(path) = &opts.svg {
+        std::fs::write(path, dws_harness::report::svg_fig4(&result)).expect("write svg");
+        eprintln!("wrote {}", path.display());
+    }
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&result).unwrap());
+    } else {
+        print!("{}", dws_harness::report::render_fig4(&result));
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 5: the DWS-NC (no coordinator exclusivity) ablation.
+
+use dws_harness::{fig5, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_args();
+    let result = fig5(&opts.sim, opts.effort);
+    if let Some(path) = &opts.svg {
+        std::fs::write(path, dws_harness::report::svg_fig5(&result)).expect("write svg");
+        eprintln!("wrote {}", path.display());
+    }
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&result).unwrap());
+    } else {
+        print!("{}", dws_harness::report::render_fig5(&result));
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 6: T_SLEEP sensitivity on mix (1,8).
+
+use dws_harness::{fig6, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_args();
+    let result = fig6(&opts.sim, opts.effort);
+    if let Some(path) = &opts.svg {
+        std::fs::write(path, dws_harness::report::svg_fig6(&result)).expect("write svg");
+        eprintln!("wrote {}", path.display());
+    }
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&result).unwrap());
+    } else {
+        print!("{}", dws_harness::report::render_fig6(&result));
+    }
+}

@@ -1,0 +1,48 @@
+//! Beyond the paper's pairwise mixes: m = 4 programs co-running on the
+//! 16-core machine under each policy. DWS's decentralized table protocol
+//! needs no changes for more programs (the paper's §1 claim).
+
+use dws_apps::Benchmark;
+use dws_harness::{solo_baseline, Effort};
+use dws_sim::{Policy, ProgramSpec, RunOptions, SchedConfig, SimConfig, Simulator};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let effort = if quick { Effort::quick() } else { Effort::standard() };
+    let opts = RunOptions {
+        min_runs: effort.min_runs,
+        warmup_runs: effort.warmup_runs,
+        max_time_us: 4 * effort.max_time_us,
+    };
+    let four = [Benchmark::Fft, Benchmark::Pnn, Benchmark::Sor, Benchmark::Mergesort];
+
+    let cfg = SimConfig::default();
+    let baselines: Vec<f64> =
+        four.iter().map(|&b| solo_baseline(b, &cfg, effort)).collect();
+
+    println!("four programs on 16 cores (4 home cores each), normalized times:\n");
+    print!("{:<8}", "policy");
+    for b in &four {
+        print!(" {:>10}", b.name());
+    }
+    println!(" {:>8}", "mean");
+    for policy in [Policy::Abp, Policy::Ep, Policy::DwsNc, Policy::Dws] {
+        let sched = SchedConfig::for_policy(policy, cfg.machine.cores);
+        let mut sim = Simulator::new(
+            cfg.clone(),
+            four.iter()
+                .map(|&b| ProgramSpec { workload: b.profile(), sched: sched.clone() })
+                .collect(),
+        );
+        let rep = sim.run(opts);
+        print!("{:<8}", policy.label());
+        let mut sum = 0.0;
+        for (i, p) in rep.programs.iter().enumerate() {
+            let norm = p.mean_run_time_us.unwrap_or(f64::NAN) / baselines[i];
+            sum += norm;
+            print!(" {:>10.3}", norm);
+        }
+        println!(" {:>8.3}", sum / four.len() as f64);
+    }
+    println!("\n(1.0 = each benchmark's solo 16-core baseline)");
+}

@@ -1,0 +1,46 @@
+//! Ablation of the adjacency decision (DESIGN.md §5.4): adjacent home
+//! slices (paper) vs interleaved slices that straddle sockets. Adjacency
+//! is what gives space-sharing its locality benefit.
+
+use dws_apps::Benchmark;
+use dws_harness::Effort;
+use dws_sim::{run_pair, Placement, Policy, ProgramSpec, RunOptions, SchedConfig, SimConfig};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::standard()
+    };
+    let opts = RunOptions {
+        min_runs: effort.min_runs,
+        warmup_runs: effort.warmup_runs,
+        max_time_us: effort.max_time_us,
+    };
+
+    // Two memory-heavy programs make the locality difference visible.
+    let (a, b) = (Benchmark::Sor, Benchmark::Heat);
+    println!("mix: {} + {} under DWS, 16 cores / 2 sockets\n", a.name(), b.name());
+    println!("{:<14} {:>12} {:>12}", "homes", "SOR (ms)", "Heat (ms)");
+    for (label, placement) in [
+        ("adjacent", Placement::Adjacent),
+        ("interleaved", Placement::Interleaved),
+    ] {
+        let cfg = SimConfig { placement, ..Default::default() };
+        let sched = SchedConfig::for_policy(Policy::Dws, 16);
+        let rep = run_pair(
+            cfg,
+            ProgramSpec { workload: a.profile(), sched: sched.clone() },
+            ProgramSpec { workload: b.profile(), sched },
+            opts,
+        );
+        println!(
+            "{:<14} {:>12.1} {:>12.1}",
+            label,
+            rep.programs[0].mean_run_time_us.unwrap_or(f64::NAN) / 1e3,
+            rep.programs[1].mean_run_time_us.unwrap_or(f64::NAN) / 1e3
+        );
+    }
+    println!("\nAdjacent slices keep each program on one socket; interleaving");
+    println!("forces both to span sockets and pay the coherence tax.");
+}

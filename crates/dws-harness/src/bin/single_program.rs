@@ -1,0 +1,14 @@
+//! Regenerates the §4.4 experiment: DWS must not degrade a single
+//! program running alone (coordinator overhead is negligible).
+
+use dws_harness::{single_program, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_args();
+    let result = single_program(&opts.sim, opts.effort);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&result).unwrap());
+    } else {
+        print!("{}", dws_harness::report::render_single(&result));
+    }
+}

@@ -1,0 +1,53 @@
+//! Diagnostic: dumps per-core state when a program owns many cores but
+//! has almost no awake workers (the "owned-but-idle" pathology).
+
+use dws_apps::Benchmark;
+use dws_sim::{Policy, ProgramSpec, SchedConfig, SimConfig, Simulator, Slot};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let sched = SchedConfig::for_policy(Policy::Dws, 16);
+    let mut sim = Simulator::new(
+        cfg,
+        vec![
+            ProgramSpec { workload: Benchmark::Pnn.profile(), sched: sched.clone() },
+            ProgramSpec { workload: Benchmark::Sor.profile(), sched },
+        ],
+    );
+    let mut dumps = 0;
+    let mut last_dump = 0;
+    while sim.now() < 3_000_000 && dumps < 3 {
+        sim.tick();
+        let t = sim.alloc_table();
+        let p0 = sim.program(0);
+        if p0.active_workers() <= 1
+            && t.used_by(0).len() >= 7
+            && p0.queued_tasks() >= 5
+            && sim.now() > 300_000
+            && sim.now() > last_dump + 100_000
+        {
+            dumps += 1;
+            last_dump = sim.now();
+            println!("=== t = {} us", sim.now());
+            for c in 0..16 {
+                let slot = match t.slot(c) {
+                    Slot::Free => "free".into(),
+                    Slot::Used(p) => format!("P{p}"),
+                };
+                let w0 = &sim.program(0).workers[c];
+                let cur = sim
+                    .core_current(c)
+                    .map(|(p, w)| format!("P{p}w{w}"))
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "core {c:>2}: slot={slot:<5} cur={cur:<6} rq={} w0(awake={} fails={:>3} dq={})",
+                    sim.core_queue_len(c), w0.awake, w0.failed_steals, sim.program(0).deques[c].len(),
+                );
+            }
+            println!("pending wakes: {:?}", sim.pending_wakes());
+            println!("p0 Nb={} act={} sleeps={} wakes={}",
+                sim.program(0).queued_tasks(), sim.program(0).active_workers(),
+                sim.program(0).metrics.sleeps, sim.program(0).metrics.wakes);
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Prints Table 2: the benchmark suite with profile characteristics.
+
+fn main() {
+    print!("{}", dws_harness::report::render_table2());
+}

@@ -1,0 +1,60 @@
+//! Diagnostic: tick-level trace of a co-run — samples active workers and
+//! table ownership every 50 ms to expose core-allocation dynamics.
+
+use dws_apps::Benchmark;
+use dws_sim::{Policy, ProgramSpec, SchedConfig, SimConfig, Simulator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let i: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let j: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let horizon_ms: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let cfg = SimConfig::default();
+    let sched = SchedConfig::for_policy(Policy::Dws, 16);
+    let mut sim = Simulator::new(
+        cfg,
+        vec![
+            ProgramSpec { workload: Benchmark::from_paper_id(i).unwrap().profile(), sched: sched.clone() },
+            ProgramSpec { workload: Benchmark::from_paper_id(j).unwrap().profile(), sched },
+        ],
+    );
+    sim.enable_tracing(2_000_000);
+    println!("{:>8} {:>4} {:>4} {:>6} {:>6} {:>5} {:>5} {:>7} {:>7} {:>6} {:>6}",
+        "t_ms", "act0", "act1", "own0", "own1", "free", "runs", "Nb0", "Nb1", "slp0", "slp1");
+    let mut next_sample = 0;
+    while sim.now() < horizon_ms * 1000 {
+        sim.tick();
+        if sim.now() >= next_sample {
+            next_sample += 50_000;
+            let t = sim.alloc_table();
+            let own0 = t.used_by(0).len();
+            let own1 = t.used_by(1).len();
+            let free = t.n_free();
+            let p0 = sim.program(0);
+            let p1 = sim.program(1);
+            println!("{:>8} {:>4} {:>4} {:>6} {:>6} {:>5} {:>2}/{:<2} {:>7} {:>7} {:>6} {:>6}",
+                sim.now() / 1000,
+                p0.active_workers(), p1.active_workers(),
+                own0, own1, free,
+                p0.runs_completed, p1.runs_completed,
+                p0.queued_tasks(), p1.queued_tasks(),
+                p0.metrics.sleeps, p1.metrics.sleeps);
+        }
+    }
+
+    // Event summary from the structured trace.
+    use dws_sim::SchedEvent;
+    let t = sim.trace();
+    let count = |f: fn(&SchedEvent) -> bool| t.count(f);
+    println!("\ntrace summary over {} ms ({} events, {} dropped):",
+        horizon_ms, t.events().len(), t.dropped());
+    println!("  sleeps     : {} (of which evicted: {})",
+        count(|e| matches!(e, SchedEvent::Sleep { .. })),
+        count(|e| matches!(e, SchedEvent::Sleep { evicted: true, .. })));
+    println!("  wakes      : {}", count(|e| matches!(e, SchedEvent::Wake { .. })));
+    println!("  acquires   : {}", count(|e| matches!(e, SchedEvent::Acquire { .. })));
+    println!("  reclaims   : {}", count(|e| matches!(e, SchedEvent::Reclaim { .. })));
+    println!("  releases   : {}", count(|e| matches!(e, SchedEvent::Release { .. })));
+    println!("  coord ticks: {}", count(|e| matches!(e, SchedEvent::CoordTick { .. })));
+    println!("  runs done  : {}", count(|e| matches!(e, SchedEvent::RunComplete { .. })));
+}

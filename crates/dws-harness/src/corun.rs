@@ -1,0 +1,175 @@
+//! Co-run measurement methodology (paper Fig. 3 / Eq. 2).
+//!
+//! Two benchmarks run concurrently, each restarting continuously so their
+//! executions fully overlap; the reported time of each is the mean of its
+//! completed run times (Eq. 2), with the first run dropped as warm-up.
+//! Baselines are solo runs on all 16 (simulated) cores under plain
+//! work-stealing, averaged the same way — "we first run it alone on the
+//! experimental platform ... as its baseline execution time" (§4.1).
+
+use dws_apps::Benchmark;
+use dws_sim::{
+    run_pair, run_solo, Policy, ProgramSpec, RunOptions, SchedConfig, SimConfig,
+    SimReport,
+};
+
+/// Simulation lengths for the harness.
+#[derive(Debug, Clone, Copy)]
+pub struct Effort {
+    /// Completed runs required of every program.
+    pub min_runs: usize,
+    /// Warm-up runs excluded from the mean.
+    pub warmup_runs: usize,
+    /// Simulated-time safety horizon, µs.
+    pub max_time_us: u64,
+}
+
+impl Effort {
+    /// Full-fidelity setting used by the figure binaries.
+    pub fn standard() -> Effort {
+        Effort { min_runs: 4, warmup_runs: 1, max_time_us: 120_000_000 }
+    }
+
+    /// Cheap setting for benches and smoke tests.
+    pub fn quick() -> Effort {
+        Effort { min_runs: 2, warmup_runs: 0, max_time_us: 60_000_000 }
+    }
+}
+
+/// Result of one benchmark-mix co-run under one policy.
+#[derive(Debug, Clone)]
+pub struct MixResult {
+    /// Paper ids of the co-running benchmarks.
+    pub mix: (usize, usize),
+    /// Policy both programs ran under.
+    pub policy: Policy,
+    /// Eq. 2 mean run time of benchmark `i`, µs.
+    pub t_i_us: f64,
+    /// Eq. 2 mean run time of benchmark `j`, µs.
+    pub t_j_us: f64,
+    /// Normalized to the solo baselines (1.0 = no slowdown).
+    pub norm_i: f64,
+    /// Normalized to the solo baselines (1.0 = no slowdown).
+    pub norm_j: f64,
+    /// Full simulator report (metrics, run lists).
+    pub report: SimReport,
+}
+
+impl MixResult {
+    /// Mean normalized slowdown of the two programs (the per-mix summary
+    /// statistic used to compare policies).
+    pub fn mean_norm(&self) -> f64 {
+        0.5 * (self.norm_i + self.norm_j)
+    }
+}
+
+/// Solo baseline: the benchmark alone on the full machine under plain
+/// work-stealing. Returns the Eq. 2 mean run time in µs.
+pub fn solo_baseline(bench: Benchmark, cfg: &SimConfig, effort: Effort) -> f64 {
+    let sched = SchedConfig::for_policy(Policy::Ws, cfg.machine.cores);
+    let report = run_solo(
+        cfg.clone(),
+        bench.profile(),
+        sched,
+        RunOptions {
+            min_runs: effort.min_runs,
+            warmup_runs: effort.warmup_runs,
+            max_time_us: effort.max_time_us,
+        },
+    );
+    report
+        .mean_run_time_us
+        .unwrap_or_else(|| panic!("solo {} did not finish within the horizon", bench.name()))
+}
+
+/// Solo run under an arbitrary policy/T_SLEEP (used by the §4.4
+/// single-program experiment).
+pub fn solo_with_policy(
+    bench: Benchmark,
+    policy: Policy,
+    cfg: &SimConfig,
+    effort: Effort,
+) -> f64 {
+    let sched = SchedConfig::for_policy(policy, cfg.machine.cores);
+    let report = run_solo(
+        cfg.clone(),
+        bench.profile(),
+        sched,
+        RunOptions {
+            min_runs: effort.min_runs,
+            warmup_runs: effort.warmup_runs,
+            max_time_us: effort.max_time_us,
+        },
+    );
+    report
+        .mean_run_time_us
+        .unwrap_or_else(|| panic!("solo {} under {policy} did not finish", bench.name()))
+}
+
+/// Co-runs mix `(i, j)` under `policy`, normalizing against the provided
+/// solo baselines. `t_sleep` overrides the paper default (`k`) when given
+/// (Fig. 6 sweeps it).
+pub fn run_mix(
+    mix: (usize, usize),
+    policy: Policy,
+    t_sleep: Option<u32>,
+    baselines: (f64, f64),
+    cfg: &SimConfig,
+    effort: Effort,
+) -> MixResult {
+    let bi = Benchmark::from_paper_id(mix.0).expect("bad paper id");
+    let bj = Benchmark::from_paper_id(mix.1).expect("bad paper id");
+    let mut sched = SchedConfig::for_policy(policy, cfg.machine.cores);
+    if let Some(t) = t_sleep {
+        sched.t_sleep = t;
+    }
+    let report = run_pair(
+        cfg.clone(),
+        ProgramSpec { workload: bi.profile(), sched: sched.clone() },
+        ProgramSpec { workload: bj.profile(), sched },
+        RunOptions {
+            min_runs: effort.min_runs,
+            warmup_runs: effort.warmup_runs,
+            max_time_us: effort.max_time_us,
+        },
+    );
+    let t_i = report.programs[0].mean_run_time_us.unwrap_or(f64::INFINITY);
+    let t_j = report.programs[1].mean_run_time_us.unwrap_or(f64::INFINITY);
+    MixResult {
+        mix,
+        policy,
+        t_i_us: t_i,
+        t_j_us: t_j,
+        norm_i: t_i / baselines.0,
+        norm_j: t_j / baselines.1,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn solo_baseline_is_finite_and_positive() {
+        let t = solo_baseline(Benchmark::Sor, &tiny_cfg(), Effort::quick());
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn corun_slows_programs_down_relative_to_solo() {
+        let cfg = tiny_cfg();
+        let e = Effort::quick();
+        let b1 = solo_baseline(Benchmark::Heat, &cfg, e);
+        let b2 = solo_baseline(Benchmark::Lu, &cfg, e);
+        let r = run_mix((6, 4), Policy::Ep, None, (b1, b2), &cfg, e);
+        // Two programs sharing 16 cores can't both run at solo speed.
+        assert!(r.norm_i > 0.9, "norm_i = {}", r.norm_i);
+        assert!(r.norm_j > 0.9, "norm_j = {}", r.norm_j);
+        assert!(r.mean_norm() > 1.0, "mean = {}", r.mean_norm());
+    }
+}

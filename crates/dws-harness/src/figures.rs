@@ -1,0 +1,217 @@
+//! Figure drivers: one function per table/figure in the paper's
+//! evaluation (§4), each returning structured data the binaries print.
+
+use std::collections::HashMap;
+
+use dws_apps::{Benchmark, FIG4_MIXES, FIG6_MIX, FIG6_T_SLEEP_VALUES};
+use dws_sim::{Policy, SimConfig};
+use serde::Serialize;
+
+use crate::corun::{run_mix, solo_baseline, solo_with_policy, Effort, MixResult};
+
+/// Normalized execution times of one mix under one policy.
+#[derive(Debug, Clone, Serialize)]
+pub struct MixRow {
+    /// The (i, j) paper ids.
+    pub mix: (usize, usize),
+    /// Benchmark names.
+    pub names: (String, String),
+    /// Normalized time of benchmark i (1.0 = solo baseline).
+    pub norm_i: f64,
+    /// Normalized time of benchmark j.
+    pub norm_j: f64,
+    /// Raw Eq. 2 means, µs.
+    pub t_i_us: f64,
+    /// Raw Eq. 2 means, µs.
+    pub t_j_us: f64,
+}
+
+impl MixRow {
+    fn from_result(r: &MixResult) -> MixRow {
+        let bi = Benchmark::from_paper_id(r.mix.0).unwrap();
+        let bj = Benchmark::from_paper_id(r.mix.1).unwrap();
+        MixRow {
+            mix: r.mix,
+            names: (bi.name().to_string(), bj.name().to_string()),
+            norm_i: r.norm_i,
+            norm_j: r.norm_j,
+            t_i_us: r.t_i_us,
+            t_j_us: r.t_j_us,
+        }
+    }
+}
+
+/// Computes (and caches) the solo baselines every figure normalizes to.
+pub fn baselines(cfg: &SimConfig, effort: Effort) -> HashMap<usize, f64> {
+    Benchmark::all()
+        .into_iter()
+        .map(|b| (b.paper_id(), solo_baseline(b, cfg, effort)))
+        .collect()
+}
+
+/// Fig. 4: the eight benchmark mixes under ABP, EP and DWS.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4 {
+    /// Solo baselines (paper id → µs).
+    pub baselines_us: Vec<(usize, f64)>,
+    /// Rows per policy, keyed by policy label.
+    pub rows: Vec<(String, Vec<MixRow>)>,
+    /// Best observed reduction of DWS vs ABP across mix programs
+    /// (paper: up to 32.3%).
+    pub best_reduction_vs_abp: f64,
+    /// Best observed reduction of DWS vs EP (paper: up to 37.1%).
+    pub best_reduction_vs_ep: f64,
+}
+
+/// Runs the Fig. 4 experiment.
+pub fn fig4(cfg: &SimConfig, effort: Effort) -> Fig4 {
+    let base = baselines(cfg, effort);
+    let policies = [Policy::Abp, Policy::Ep, Policy::Dws];
+    let mut rows: Vec<(String, Vec<MixRow>)> = Vec::new();
+    let mut per_policy: HashMap<Policy, Vec<MixResult>> = HashMap::new();
+    for &policy in &policies {
+        let results: Vec<MixResult> = FIG4_MIXES
+            .iter()
+            .map(|&(i, j)| {
+                run_mix((i, j), policy, None, (base[&i], base[&j]), cfg, effort)
+            })
+            .collect();
+        rows.push((
+            policy.label().to_string(),
+            results.iter().map(MixRow::from_result).collect(),
+        ));
+        per_policy.insert(policy, results);
+    }
+
+    // Per-program reductions: 1 - DWS/baseline-policy.
+    let reduction = |other: Policy| -> f64 {
+        let dws = &per_policy[&Policy::Dws];
+        let oth = &per_policy[&other];
+        dws.iter()
+            .zip(oth)
+            .flat_map(|(d, o)| [1.0 - d.t_i_us / o.t_i_us, 1.0 - d.t_j_us / o.t_j_us])
+            .fold(f64::MIN, f64::max)
+    };
+    Fig4 {
+        baselines_us: base.iter().map(|(&k, &v)| (k, v)).collect(),
+        rows,
+        best_reduction_vs_abp: reduction(Policy::Abp),
+        best_reduction_vs_ep: reduction(Policy::Ep),
+    }
+}
+
+/// Fig. 5: DWS-NC vs DWS on the same mixes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5 {
+    /// DWS-NC rows.
+    pub dws_nc: Vec<MixRow>,
+    /// DWS rows.
+    pub dws: Vec<MixRow>,
+    /// Mean normalized slowdown of each (lower is better).
+    pub mean_norm_nc: f64,
+    /// Mean normalized slowdown of DWS.
+    pub mean_norm_dws: f64,
+}
+
+/// Runs the Fig. 5 ablation.
+pub fn fig5(cfg: &SimConfig, effort: Effort) -> Fig5 {
+    let base = baselines(cfg, effort);
+    let run_all = |policy: Policy| -> Vec<MixResult> {
+        FIG4_MIXES
+            .iter()
+            .map(|&(i, j)| run_mix((i, j), policy, None, (base[&i], base[&j]), cfg, effort))
+            .collect()
+    };
+    let nc = run_all(Policy::DwsNc);
+    let dws = run_all(Policy::Dws);
+    let mean = |rs: &[MixResult]| {
+        rs.iter().map(MixResult::mean_norm).sum::<f64>() / rs.len() as f64
+    };
+    Fig5 {
+        mean_norm_nc: mean(&nc),
+        mean_norm_dws: mean(&dws),
+        dws_nc: nc.iter().map(MixRow::from_result).collect(),
+        dws: dws.iter().map(MixRow::from_result).collect(),
+    }
+}
+
+/// Fig. 6: T_SLEEP sensitivity on mix (1, 8).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6 {
+    /// Swept values.
+    pub t_sleep_values: Vec<u32>,
+    /// Normalized time of p-1 (FFT) per value.
+    pub norm_p1: Vec<f64>,
+    /// Normalized time of p-8 (Mergesort) per value.
+    pub norm_p8: Vec<f64>,
+    /// The T_SLEEP giving the lowest mean normalized time.
+    pub best_t_sleep: u32,
+}
+
+/// Runs the Fig. 6 sweep.
+pub fn fig6(cfg: &SimConfig, effort: Effort) -> Fig6 {
+    let (i, j) = FIG6_MIX;
+    let bi = solo_baseline(Benchmark::from_paper_id(i).unwrap(), cfg, effort);
+    let bj = solo_baseline(Benchmark::from_paper_id(j).unwrap(), cfg, effort);
+    let mut norm_p1 = Vec::new();
+    let mut norm_p8 = Vec::new();
+    for &t in FIG6_T_SLEEP_VALUES.iter() {
+        let r = run_mix((i, j), Policy::Dws, Some(t), (bi, bj), cfg, effort);
+        norm_p1.push(r.norm_i);
+        norm_p8.push(r.norm_j);
+    }
+    let best_idx = (0..norm_p1.len())
+        .min_by(|&a, &b| {
+            let ma = norm_p1[a] + norm_p8[a];
+            let mb = norm_p1[b] + norm_p8[b];
+            ma.partial_cmp(&mb).unwrap()
+        })
+        .unwrap();
+    Fig6 {
+        t_sleep_values: FIG6_T_SLEEP_VALUES.to_vec(),
+        norm_p1,
+        norm_p8,
+        best_t_sleep: FIG6_T_SLEEP_VALUES[best_idx],
+    }
+}
+
+/// §4.4: DWS must not degrade a single program (coordinator overhead is
+/// negligible). Compares solo WS vs solo DWS per benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct SinglePrograms {
+    /// (paper id, name, WS µs, DWS µs, overhead fraction).
+    pub rows: Vec<(usize, String, f64, f64, f64)>,
+    /// Worst overhead across benchmarks.
+    pub max_overhead: f64,
+}
+
+/// Runs the §4.4 single-program experiment.
+pub fn single_program(cfg: &SimConfig, effort: Effort) -> SinglePrograms {
+    let mut rows = Vec::new();
+    let mut max_overhead = f64::MIN;
+    for b in Benchmark::all() {
+        let ws = solo_with_policy(b, Policy::Ws, cfg, effort);
+        let dws = solo_with_policy(b, Policy::Dws, cfg, effort);
+        let overhead = dws / ws - 1.0;
+        max_overhead = max_overhead.max(overhead);
+        rows.push((b.paper_id(), b.name().to_string(), ws, dws, overhead));
+    }
+    SinglePrograms { rows, max_overhead }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_smoke_produces_all_points() {
+        // Keep this test cheap: the full drivers run in the binaries.
+        let cfg = SimConfig::default();
+        let e = Effort { min_runs: 1, warmup_runs: 0, max_time_us: 30_000_000 };
+        let (i, j) = FIG6_MIX;
+        let bi = solo_baseline(Benchmark::from_paper_id(i).unwrap(), &cfg, e);
+        let bj = solo_baseline(Benchmark::from_paper_id(j).unwrap(), &cfg, e);
+        let r = run_mix((i, j), Policy::Dws, Some(16), (bi, bj), &cfg, e);
+        assert!(r.norm_i.is_finite() && r.norm_j.is_finite());
+    }
+}

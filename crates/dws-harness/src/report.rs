@@ -1,0 +1,283 @@
+//! Text rendering of figure results (aligned tables, the same rows the
+//! paper's bar charts plot) plus JSON output for EXPERIMENTS.md.
+
+use crate::figures::{Fig4, Fig5, Fig6, MixRow, SinglePrograms};
+use crate::svg::{bar_chart, line_chart, policy_color, ChartSpec, Series};
+
+fn fmt_ms(us: f64) -> String {
+    format!("{:8.1}", us / 1_000.0)
+}
+
+fn mix_label(row: &MixRow) -> String {
+    format!("({},{}) {}+{}", row.mix.0, row.mix.1, row.names.0, row.names.1)
+}
+
+/// Renders Fig. 4 as an aligned text table (normalized execution times;
+/// 1.00 = the benchmark's solo 16-core baseline).
+pub fn render_fig4(f: &Fig4) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 4 — normalized execution time of benchmark mixes (lower is better)\n");
+    out.push_str(&format!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "mix", "ABP-1", "ABP-2", "EP-1", "EP-2", "DWS-1", "DWS-2"
+    ));
+    let abp = &f.rows.iter().find(|(l, _)| l == "ABP").unwrap().1;
+    let ep = &f.rows.iter().find(|(l, _)| l == "EP").unwrap().1;
+    let dws = &f.rows.iter().find(|(l, _)| l == "DWS").unwrap().1;
+    for k in 0..abp.len() {
+        out.push_str(&format!(
+            "{:<26} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+            mix_label(&abp[k]),
+            abp[k].norm_i,
+            abp[k].norm_j,
+            ep[k].norm_i,
+            ep[k].norm_j,
+            dws[k].norm_i,
+            dws[k].norm_j,
+        ));
+    }
+    out.push_str(&format!(
+        "\nbest DWS time reduction vs ABP: {:.1}%  (paper reports up to 32.3%)\n",
+        f.best_reduction_vs_abp * 100.0
+    ));
+    out.push_str(&format!(
+        "best DWS time reduction vs EP:  {:.1}%  (paper reports up to 37.1%)\n",
+        f.best_reduction_vs_ep * 100.0
+    ));
+    out.push_str("\nsolo baselines (ms): ");
+    let mut bl = f.baselines_us.clone();
+    bl.sort_by_key(|&(id, _)| id);
+    for (id, us) in bl {
+        out.push_str(&format!("p-{id}={} ", fmt_ms(us).trim()));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders Fig. 5 (DWS-NC vs DWS).
+pub fn render_fig5(f: &Fig5) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 5 — DWS-NC vs DWS, normalized execution time (lower is better)\n");
+    out.push_str(&format!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10}\n",
+        "mix", "NC-1", "NC-2", "DWS-1", "DWS-2"
+    ));
+    for (nc, dws) in f.dws_nc.iter().zip(&f.dws) {
+        out.push_str(&format!(
+            "{:<26} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+            mix_label(nc),
+            nc.norm_i,
+            nc.norm_j,
+            dws.norm_i,
+            dws.norm_j,
+        ));
+    }
+    out.push_str(&format!(
+        "\nmean normalized slowdown: DWS-NC {:.3} vs DWS {:.3} (DWS should win)\n",
+        f.mean_norm_nc, f.mean_norm_dws
+    ));
+    out
+}
+
+/// Renders Fig. 6 (T_SLEEP sweep on mix (1,8)).
+pub fn render_fig6(f: &Fig6) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 6 — T_SLEEP sensitivity, mix (1,8) FFT+Mergesort (normalized time)\n");
+    out.push_str(&format!("{:<10} {:>12} {:>12}\n", "T_SLEEP", "p-1 FFT", "p-8 Msort"));
+    for (k, &t) in f.t_sleep_values.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<10} {:>12.3} {:>12.3}\n",
+            t, f.norm_p1[k], f.norm_p8[k]
+        ));
+    }
+    out.push_str(&format!(
+        "\nbest T_SLEEP: {} (paper recommends k or 2k on a k-core machine, i.e. 16/32)\n",
+        f.best_t_sleep
+    ));
+    out
+}
+
+/// Renders the §4.4 single-program table.
+pub fn render_single(s: &SinglePrograms) -> String {
+    let mut out = String::new();
+    out.push_str("§4.4 — single program: WS vs DWS (coordinator overhead)\n");
+    out.push_str(&format!(
+        "{:<6} {:<12} {:>10} {:>10} {:>10}\n",
+        "id", "benchmark", "WS (ms)", "DWS (ms)", "overhead"
+    ));
+    for (id, name, ws, dws, ovh) in &s.rows {
+        out.push_str(&format!(
+            "p-{:<4} {:<12} {} {} {:>9.2}%\n",
+            id,
+            name,
+            fmt_ms(*ws),
+            fmt_ms(*dws),
+            ovh * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "\nmax overhead: {:.2}% (paper: negligible)\n",
+        s.max_overhead * 100.0
+    ));
+    out
+}
+
+/// Renders Table 2 (the benchmark list with profile characteristics).
+pub fn render_table2() -> String {
+    use dws_apps::Benchmark;
+    let mut out = String::new();
+    out.push_str("Table 2 — benchmarks (with simulator profile characteristics)\n");
+    out.push_str(&format!(
+        "{:<6} {:<12} {:>12} {:>12} {:>10}\n",
+        "id", "name", "work (ms)", "span (ms)", "avg par"
+    ));
+    for b in Benchmark::all() {
+        let p = b.profile();
+        out.push_str(&format!(
+            "p-{:<4} {:<12} {:>12.1} {:>12.1} {:>10.1}\n",
+            b.paper_id(),
+            b.name(),
+            p.total_work_us() / 1_000.0,
+            p.critical_path_us() / 1_000.0,
+            p.avg_parallelism()
+        ));
+    }
+    out
+}
+
+fn mix_categories(rows: &[MixRow]) -> Vec<String> {
+    rows.iter()
+        .flat_map(|r| {
+            [
+                format!("({},{}) {}", r.mix.0, r.mix.1, r.names.0),
+                format!("({},{}) {}", r.mix.0, r.mix.1, r.names.1),
+            ]
+        })
+        .collect()
+}
+
+fn mix_values(rows: &[MixRow]) -> Vec<f64> {
+    rows.iter().flat_map(|r| [r.norm_i, r.norm_j]).collect()
+}
+
+/// Fig. 4 as a grouped bar chart (one bar pair per mix, one colour per
+/// policy, dashed line at the solo baseline).
+pub fn svg_fig4(f: &Fig4) -> String {
+    let first = &f.rows[0].1;
+    let spec = ChartSpec {
+        title: "Fig. 4 — normalized execution time of benchmark mixes".into(),
+        y_label: "normalized time (1.0 = solo baseline)".into(),
+        categories: mix_categories(first),
+        reference: Some(1.0),
+    };
+    let series: Vec<Series> = f
+        .rows
+        .iter()
+        .map(|(label, rows)| Series {
+            label: label.clone(),
+            values: mix_values(rows),
+            color: policy_color(label).into(),
+        })
+        .collect();
+    bar_chart(&spec, &series)
+}
+
+/// Fig. 5 as a grouped bar chart (DWS-NC vs DWS).
+pub fn svg_fig5(f: &Fig5) -> String {
+    let spec = ChartSpec {
+        title: "Fig. 5 — DWS-NC vs DWS".into(),
+        y_label: "normalized time (1.0 = solo baseline)".into(),
+        categories: mix_categories(&f.dws),
+        reference: Some(1.0),
+    };
+    let series = vec![
+        Series {
+            label: "DWS-NC".into(),
+            values: mix_values(&f.dws_nc),
+            color: policy_color("DWS-NC").into(),
+        },
+        Series {
+            label: "DWS".into(),
+            values: mix_values(&f.dws),
+            color: policy_color("DWS").into(),
+        },
+    ];
+    bar_chart(&spec, &series)
+}
+
+/// Fig. 6 as a line chart over the T_SLEEP sweep.
+pub fn svg_fig6(f: &Fig6) -> String {
+    let spec = ChartSpec {
+        title: "Fig. 6 — T_SLEEP sensitivity, mix (1,8)".into(),
+        y_label: "normalized time".into(),
+        categories: f.t_sleep_values.iter().map(|t| t.to_string()).collect(),
+        reference: Some(1.0),
+    };
+    let series = vec![
+        Series { label: "p-1 FFT".into(), values: f.norm_p1.clone(), color: "#4f81bd".into() },
+        Series {
+            label: "p-8 Mergesort".into(),
+            values: f.norm_p8.clone(),
+            color: "#c0504d".into(),
+        },
+    ];
+    line_chart(&spec, &series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::MixRow;
+
+    fn row(i: usize, j: usize) -> MixRow {
+        MixRow {
+            mix: (i, j),
+            names: ("A".into(), "B".into()),
+            norm_i: 1.5,
+            norm_j: 2.0,
+            t_i_us: 1000.0,
+            t_j_us: 2000.0,
+        }
+    }
+
+    #[test]
+    fn fig4_rendering_includes_every_mix_and_headline() {
+        let f = Fig4 {
+            baselines_us: vec![(1, 1000.0), (8, 2000.0)],
+            rows: vec![
+                ("ABP".into(), vec![row(1, 8)]),
+                ("EP".into(), vec![row(1, 8)]),
+                ("DWS".into(), vec![row(1, 8)]),
+            ],
+            best_reduction_vs_abp: 0.30,
+            best_reduction_vs_ep: 0.35,
+        };
+        let text = render_fig4(&f);
+        assert!(text.contains("(1,8)"));
+        assert!(text.contains("30.0%"));
+        assert!(text.contains("35.0%"));
+    }
+
+    #[test]
+    fn fig6_rendering_lists_all_values() {
+        let f = Fig6 {
+            t_sleep_values: vec![1, 16, 128],
+            norm_p1: vec![2.0, 1.2, 1.5],
+            norm_p8: vec![2.1, 1.3, 1.6],
+            best_t_sleep: 16,
+        };
+        let text = render_fig6(&f);
+        for t in ["1 ", "16 ", "128 "] {
+            assert!(text.contains(t.trim()), "missing {t}");
+        }
+        assert!(text.contains("best T_SLEEP: 16"));
+    }
+
+    #[test]
+    fn table2_lists_all_eight() {
+        let text = render_table2();
+        for name in ["FFT", "PNN", "Cholesky", "LU", "GE", "Heat", "SOR", "Mergesort"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+}

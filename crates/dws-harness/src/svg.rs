@@ -1,0 +1,274 @@
+//! Minimal self-contained SVG chart rendering for the figure binaries —
+//! no plotting dependency, just enough to draw the paper's grouped bar
+//! charts (Fig. 4, Fig. 5) and line chart (Fig. 6) as standalone `.svg`
+//! files.
+
+/// A named series of values (one bar colour / one line).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// One value per category.
+    pub values: Vec<f64>,
+    /// Fill / stroke colour (any CSS colour).
+    pub color: String,
+}
+
+/// Chart-wide options.
+#[derive(Debug, Clone)]
+pub struct ChartSpec {
+    /// Title above the plot.
+    pub title: String,
+    /// Y-axis caption.
+    pub y_label: String,
+    /// Category names along the X axis.
+    pub categories: Vec<String>,
+    /// A horizontal reference line (e.g. 1.0 = solo baseline).
+    pub reference: Option<f64>,
+}
+
+const W: f64 = 900.0;
+const H: f64 = 420.0;
+const MARGIN_L: f64 = 60.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 46.0;
+const MARGIN_B: f64 = 64.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn y_scale(series: &[Series], reference: Option<f64>) -> f64 {
+    let mut max = reference.unwrap_or(0.0);
+    for s in series {
+        for &v in &s.values {
+            if v.is_finite() {
+                max = max.max(v);
+            }
+        }
+    }
+    if max <= 0.0 {
+        1.0
+    } else {
+        max * 1.1
+    }
+}
+
+fn frame(spec: &ChartSpec, y_max: f64, body: &str, series: &[Series]) -> String {
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let mut out = String::new();
+    out.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"#
+    ));
+    out.push_str(&format!(
+        r#"<rect width="{W}" height="{H}" fill="white"/><text x="{}" y="28" font-size="17" text-anchor="middle">{}</text>"#,
+        W / 2.0,
+        esc(&spec.title)
+    ));
+    // Y axis with 5 ticks.
+    for i in 0..=5 {
+        let v = y_max * i as f64 / 5.0;
+        let y = MARGIN_T + plot_h * (1.0 - i as f64 / 5.0);
+        out.push_str(&format!(
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/><text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{v:.2}</text>"##,
+            W - MARGIN_R,
+            MARGIN_L - 6.0,
+            y + 4.0
+        ));
+    }
+    out.push_str(&format!(
+        r#"<text x="16" y="{:.1}" font-size="12" transform="rotate(-90 16 {:.1})" text-anchor="middle">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        esc(&spec.y_label)
+    ));
+    // Reference line.
+    if let Some(r) = spec.reference {
+        let y = MARGIN_T + plot_h * (1.0 - r / y_max);
+        out.push_str(&format!(
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#888" stroke-dasharray="5,4"/>"##,
+            W - MARGIN_R
+        ));
+    }
+    out.push_str(body);
+    // Legend.
+    for (i, s) in series.iter().enumerate() {
+        let y = MARGIN_T + 16.0 * i as f64;
+        out.push_str(&format!(
+            r#"<rect x="{:.1}" y="{y:.1}" width="12" height="12" fill="{}"/><text x="{:.1}" y="{:.1}" font-size="12">{}</text>"#,
+            W - MARGIN_R + 14.0,
+            s.color,
+            W - MARGIN_R + 30.0,
+            y + 10.0,
+            esc(&s.label)
+        ));
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Renders a grouped bar chart (one group per category, one bar per
+/// series within the group).
+pub fn bar_chart(spec: &ChartSpec, series: &[Series]) -> String {
+    assert!(series.iter().all(|s| s.values.len() == spec.categories.len()));
+    let y_max = y_scale(series, spec.reference);
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let n_cat = spec.categories.len().max(1) as f64;
+    let group_w = plot_w / n_cat;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+
+    let mut body = String::new();
+    for (c, cat) in spec.categories.iter().enumerate() {
+        let gx = MARGIN_L + group_w * c as f64 + group_w * 0.1;
+        for (s_idx, s) in series.iter().enumerate() {
+            let v = s.values[c];
+            if !v.is_finite() {
+                continue;
+            }
+            let h = plot_h * (v / y_max);
+            let x = gx + bar_w * s_idx as f64;
+            let y = MARGIN_T + plot_h - h;
+            body.push_str(&format!(
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{h:.1}" fill="{}"><title>{}: {v:.3}</title></rect>"#,
+                bar_w * 0.92,
+                s.color,
+                esc(&s.label)
+            ));
+        }
+        body.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="middle">{}</text>"#,
+            gx + group_w * 0.4,
+            H - MARGIN_B + 16.0,
+            esc(cat)
+        ));
+    }
+    frame(spec, y_max, &body, series)
+}
+
+/// Renders a line chart (categories are X positions, one polyline per
+/// series, with point markers).
+pub fn line_chart(spec: &ChartSpec, series: &[Series]) -> String {
+    assert!(series.iter().all(|s| s.values.len() == spec.categories.len()));
+    let y_max = y_scale(series, spec.reference);
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let n = spec.categories.len().max(2) as f64;
+
+    let x_of = |i: usize| MARGIN_L + plot_w * (i as f64 + 0.5) / n;
+    let y_of = |v: f64| MARGIN_T + plot_h * (1.0 - v / y_max);
+
+    let mut body = String::new();
+    for s in series {
+        let pts: Vec<String> = s
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_finite())
+            .map(|(i, &v)| format!("{:.1},{:.1}", x_of(i), y_of(v)))
+            .collect();
+        body.push_str(&format!(
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="2"/>"#,
+            pts.join(" "),
+            s.color
+        ));
+        for (i, &v) in s.values.iter().enumerate() {
+            if v.is_finite() {
+                body.push_str(&format!(
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3.2" fill="{}"><title>{}: {v:.3}</title></circle>"#,
+                    x_of(i),
+                    y_of(v),
+                    s.color,
+                    esc(&s.label)
+                ));
+            }
+        }
+    }
+    for (i, cat) in spec.categories.iter().enumerate() {
+        body.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="middle">{}</text>"#,
+            x_of(i),
+            H - MARGIN_B + 16.0,
+            esc(cat)
+        ));
+    }
+    frame(spec, y_max, &body, series)
+}
+
+/// Standard colours for the policy series, matching across figures.
+pub fn policy_color(label: &str) -> &'static str {
+    match label {
+        "ABP" => "#c0504d",
+        "EP" => "#f0a030",
+        "DWS" => "#4f81bd",
+        "DWS-NC" => "#9bbb59",
+        "WS" => "#808080",
+        _ => "#555555",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ChartSpec {
+        ChartSpec {
+            title: "t".into(),
+            y_label: "y".into(),
+            categories: vec!["a".into(), "b".into()],
+            reference: Some(1.0),
+        }
+    }
+
+    fn series() -> Vec<Series> {
+        vec![
+            Series { label: "ABP".into(), values: vec![2.0, 1.5], color: "#c0504d".into() },
+            Series { label: "DWS".into(), values: vec![1.2, 1.1], color: "#4f81bd".into() },
+        ]
+    }
+
+    #[test]
+    fn bar_chart_is_wellformed_svg() {
+        let svg = bar_chart(&spec(), &series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2, "bg + 4 bars + 2 legend");
+        assert!(svg.contains("ABP"));
+        assert!(svg.contains("stroke-dasharray"), "reference line drawn");
+    }
+
+    #[test]
+    fn line_chart_has_polylines_and_markers() {
+        let svg = line_chart(&spec(), &series());
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 4);
+    }
+
+    #[test]
+    fn non_finite_values_are_skipped() {
+        let s = vec![Series {
+            label: "x".into(),
+            values: vec![f64::NAN, 2.0],
+            color: "red".into(),
+        }];
+        let svg = bar_chart(&spec(), &s);
+        // One bar only (plus background rect and one legend rect).
+        assert_eq!(svg.matches("<rect").count(), 3);
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let mut sp = spec();
+        sp.title = "a < b & c".into();
+        let svg = bar_chart(&sp, &series());
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn policy_colors_are_distinct() {
+        let labels = ["ABP", "EP", "DWS", "DWS-NC", "WS"];
+        let colors: std::collections::HashSet<_> =
+            labels.iter().map(|l| policy_color(l)).collect();
+        assert_eq!(colors.len(), labels.len());
+    }
+}

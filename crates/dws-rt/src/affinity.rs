@@ -1,0 +1,86 @@
+//! Thread-to-core pinning (`sched_setaffinity`).
+//!
+//! The space-sharing policies (EP, DWS) rely on each worker being affined
+//! to a specific hardware core (§3.1: "DWS affiliates each of its workers
+//! with an individual hardware core"). On non-Linux targets, or when the
+//! requested core does not exist, pinning degrades to a no-op and the
+//! runtime still operates correctly (just without placement guarantees).
+
+/// Number of logical CPUs visible to this process.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Pins the calling thread to `core` (modulo the available CPU count).
+/// Returns `true` if the affinity call succeeded.
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(core: usize) -> bool {
+    let n = available_cores();
+    let core = core % n;
+    // SAFETY: cpu_set_t is POD; CPU_* are the documented macros-as-fns in
+    // the libc crate; tid 0 = calling thread.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        libc::CPU_SET(core, &mut set);
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    }
+}
+
+/// Pins the calling thread to a set of cores. Returns `true` on success.
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread_to_set(cores: &[usize]) -> bool {
+    if cores.is_empty() {
+        return false;
+    }
+    let n = available_cores();
+    // SAFETY: as above.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        for &c in cores {
+            libc::CPU_SET(c % n, &mut set);
+        }
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    }
+}
+
+/// No-op fallback for non-Linux targets.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_core: usize) -> bool {
+    false
+}
+
+/// No-op fallback for non-Linux targets.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread_to_set(_cores: &[usize]) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_cores_is_positive() {
+        assert!(available_cores() >= 1);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_to_core_zero_succeeds() {
+        // Core 0 always exists.
+        assert!(pin_current_thread(0));
+        // Out-of-range cores wrap rather than fail.
+        assert!(pin_current_thread(available_cores() + 3));
+        // Restore a permissive mask for subsequent tests.
+        let all: Vec<usize> = (0..available_cores()).collect();
+        assert!(pin_current_thread_to_set(&all));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn empty_set_is_rejected() {
+        assert!(!pin_current_thread_to_set(&[]));
+    }
+}

@@ -1,0 +1,250 @@
+//! The shared core-allocation table (paper Table 1) for real runtimes.
+//!
+//! Co-running programs coordinate exclusively through this table — there
+//! is no centralized allocator (the paper's headline design point). Each
+//! slot records the program currently using the core, or FREE. The static
+//! *home* partition (initial equipartition, §3.1) determines which cores a
+//! program may *reclaim* (§3.3 constraint 2).
+//!
+//! Two backends implement the same lock-free protocol:
+//!
+//! * [`InProcessTable`] — plain atomics behind an `Arc`, for co-running
+//!   several [`crate::Runtime`] instances inside one process (how the
+//!   experiment harness hosts its "programs");
+//! * [`crate::shm::ShmTable`] — the paper's actual mechanism, an
+//!   `mmap(2)`-shared file usable across processes (§3.4).
+
+use std::sync::atomic::{AtomicI32, Ordering};
+
+/// Slot value for a free core.
+pub const FREE: i32 = -1;
+
+/// The table protocol. All operations are lock-free single-slot CASes;
+/// `prog` identifiers are indices in `0..max_programs()`.
+pub trait CoreTable: Send + Sync {
+    /// Number of cores (slots).
+    fn cores(&self) -> usize;
+    /// Number of co-running programs the table was sized for.
+    fn max_programs(&self) -> usize;
+    /// Home owner of `core` under the initial equipartition.
+    fn home(&self, core: usize) -> usize;
+    /// Current user of `core`, or `None` if free.
+    fn current(&self, core: usize) -> Option<usize>;
+    /// Releases `core`: `Used(prog) → Free`. Returns false if `prog` was
+    /// not the current user (e.g. the core was reclaimed concurrently).
+    fn release(&self, core: usize, prog: usize) -> bool;
+    /// Acquires a free core: `Free → Used(prog)`. Returns false if the
+    /// core was not free (lost a race).
+    fn try_acquire_free(&self, core: usize, prog: usize) -> bool;
+    /// Reclaims one of `prog`'s home cores from its current user (or from
+    /// FREE). Fails if `core` is not `prog`'s home or already its own.
+    fn try_reclaim(&self, core: usize, prog: usize) -> bool;
+
+    /// `N_f`: all currently free cores.
+    fn free_cores(&self) -> Vec<usize> {
+        (0..self.cores()).filter(|&c| self.current(c).is_none()).collect()
+    }
+
+    /// `N_r` support: `prog`'s home cores currently used by others.
+    fn reclaimable_cores(&self, prog: usize) -> Vec<usize> {
+        (0..self.cores())
+            .filter(|&c| {
+                self.home(c) == prog
+                    && matches!(self.current(c), Some(u) if u != prog)
+            })
+            .collect()
+    }
+
+    /// Cores currently used by `prog`.
+    fn used_by(&self, prog: usize) -> Vec<usize> {
+        (0..self.cores()).filter(|&c| self.current(c) == Some(prog)).collect()
+    }
+}
+
+/// Computes the adjacent equipartition home map (paper §3.1): program `p`
+/// owns `cores/programs` contiguous cores, with the first `cores %
+/// programs` programs absorbing one extra each.
+pub fn equipartition_home(cores: usize, programs: usize) -> Vec<usize> {
+    assert!(programs > 0 && cores >= programs, "need at least one core per program");
+    let base = cores / programs;
+    let extra = cores % programs;
+    let mut home = Vec::with_capacity(cores);
+    for p in 0..programs {
+        let share = base + usize::from(p < extra);
+        home.extend(std::iter::repeat_n(p, share));
+    }
+    home
+}
+
+/// Shared-atomics backend for intra-process co-running.
+#[derive(Debug)]
+pub struct InProcessTable {
+    slots: Vec<AtomicI32>,
+    home: Vec<usize>,
+    programs: usize,
+}
+
+impl InProcessTable {
+    /// Builds the table for `cores` cores and `programs` co-runners, with
+    /// the initial equipartition applied (every core starts used by its
+    /// home program, matching §3.1's all-home-workers-awake start).
+    pub fn new(cores: usize, programs: usize) -> Self {
+        let home = equipartition_home(cores, programs);
+        let slots = home.iter().map(|&p| AtomicI32::new(p as i32)).collect();
+        InProcessTable { slots, home, programs }
+    }
+}
+
+impl CoreTable for InProcessTable {
+    fn cores(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn max_programs(&self) -> usize {
+        self.programs
+    }
+
+    fn home(&self, core: usize) -> usize {
+        self.home[core]
+    }
+
+    fn current(&self, core: usize) -> Option<usize> {
+        match self.slots[core].load(Ordering::Acquire) {
+            FREE => None,
+            p => Some(p as usize),
+        }
+    }
+
+    fn release(&self, core: usize, prog: usize) -> bool {
+        self.slots[core]
+            .compare_exchange(prog as i32, FREE, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn try_acquire_free(&self, core: usize, prog: usize) -> bool {
+        self.slots[core]
+            .compare_exchange(FREE, prog as i32, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn try_reclaim(&self, core: usize, prog: usize) -> bool {
+        if self.home[core] != prog {
+            return false;
+        }
+        let mut cur = self.slots[core].load(Ordering::Acquire);
+        loop {
+            if cur == prog as i32 {
+                return false; // already ours
+            }
+            match self.slots[core].compare_exchange_weak(
+                cur,
+                prog as i32,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => {
+                    if actual == prog as i32 {
+                        return false;
+                    }
+                    cur = actual;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn equipartition_home_is_adjacent() {
+        assert_eq!(equipartition_home(8, 2), [0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(equipartition_home(5, 2), [0, 0, 0, 1, 1]);
+        assert_eq!(equipartition_home(16, 4), {
+            let mut v = vec![0; 4];
+            v.extend([1; 4]);
+            v.extend([2; 4]);
+            v.extend([3; 4]);
+            v
+        });
+    }
+
+    #[test]
+    fn initial_state_is_fully_owned() {
+        let t = InProcessTable::new(8, 2);
+        assert_eq!(t.free_cores(), Vec::<usize>::new());
+        assert_eq!(t.used_by(0), vec![0, 1, 2, 3]);
+        assert_eq!(t.used_by(1), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn release_acquire_cycle() {
+        let t = InProcessTable::new(4, 2);
+        assert!(t.release(0, 0));
+        assert_eq!(t.current(0), None);
+        assert!(!t.release(0, 0), "double release fails");
+        assert!(t.try_acquire_free(0, 1));
+        assert_eq!(t.current(0), Some(1));
+        assert!(!t.try_acquire_free(0, 0), "acquire of used core fails");
+    }
+
+    #[test]
+    fn release_by_non_user_fails() {
+        let t = InProcessTable::new(4, 2);
+        assert!(!t.release(0, 1));
+        assert_eq!(t.current(0), Some(0));
+    }
+
+    #[test]
+    fn reclaim_semantics() {
+        let t = InProcessTable::new(4, 2);
+        // Not my home.
+        assert!(!t.try_reclaim(2, 0));
+        // Already mine.
+        assert!(!t.try_reclaim(0, 0));
+        // Taken by the other program, then reclaimed.
+        t.release(0, 0);
+        t.try_acquire_free(0, 1);
+        assert_eq!(t.reclaimable_cores(0), vec![0]);
+        assert!(t.try_reclaim(0, 0));
+        assert_eq!(t.current(0), Some(0));
+        // Reclaim from FREE also works.
+        t.release(1, 0);
+        assert!(t.try_reclaim(1, 0));
+    }
+
+    #[test]
+    fn concurrent_acquire_is_exclusive() {
+        // Many threads race to acquire the same freed core; exactly one
+        // must win each round.
+        let t = Arc::new(InProcessTable::new(2, 2));
+        for round in 0..200 {
+            t.slots[0].store(FREE, Ordering::Release);
+            let winners: usize = {
+                let handles: Vec<_> = (0..4)
+                    .map(|i| {
+                        let t = Arc::clone(&t);
+                        std::thread::spawn(move || t.try_acquire_free(0, i % 2) as usize)
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            };
+            assert_eq!(winners, 1, "round {round}: {winners} winners");
+        }
+    }
+
+    #[test]
+    fn default_trait_queries_are_consistent() {
+        let t = InProcessTable::new(6, 3);
+        t.release(0, 0);
+        t.release(2, 1);
+        t.try_acquire_free(2, 0);
+        assert_eq!(t.free_cores(), vec![0]);
+        assert_eq!(t.used_by(0), vec![1, 2]);
+        assert_eq!(t.reclaimable_cores(1), vec![2]);
+        assert_eq!(t.reclaimable_cores(0), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,129 @@
+//! Runtime configuration: policy selection and the paper's tuning knobs.
+
+use std::time::Duration;
+
+/// Multiprogramming behaviour of a [`crate::Runtime`] (paper §4's compared
+/// schedulers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Plain random work-stealing: idle workers keep stealing (with a
+    /// `yield_now` back-off so a solo pool does not starve the machine).
+    /// The paper's solo reference, and what DWS falls back to when it is
+    /// the only program (§4.4).
+    Ws,
+    /// ABP yielding: a worker calls `sched_yield` after every failed
+    /// steal; no affinity, the OS time-shares everything (stock MIT Cilk).
+    Abp,
+    /// Equipartition: workers pinned to the program's static `k/m`-core
+    /// slice; ABP yielding within the slice.
+    Ep,
+    /// Demand-aware Work-Stealing (the paper's contribution): one worker
+    /// affined per core, sleep after `T_SLEEP` consecutive failed steals
+    /// releasing the core in the shared table, coordinator wakes per
+    /// Eq. 1 / §3.3.
+    Dws,
+    /// DWS without coordinator-enforced core exclusivity (§4.2 ablation).
+    DwsNc,
+}
+
+impl Policy {
+    /// Do idle workers go to sleep after `T_SLEEP` failures?
+    pub fn sleeps(self) -> bool {
+        matches!(self, Policy::Dws | Policy::DwsNc)
+    }
+
+    /// Does the runtime spawn a coordinator thread?
+    pub fn has_coordinator(self) -> bool {
+        matches!(self, Policy::Dws | Policy::DwsNc)
+    }
+
+    /// Does the policy consult the shared core-allocation table?
+    pub fn uses_alloc_table(self) -> bool {
+        matches!(self, Policy::Dws)
+    }
+
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Ws => "WS",
+            Policy::Abp => "ABP",
+            Policy::Ep => "EP",
+            Policy::Dws => "DWS",
+            Policy::DwsNc => "DWS-NC",
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration for building a [`crate::Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads (the paper launches one per logical core).
+    pub workers: usize,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Consecutive failed steals before a worker sleeps
+    /// (paper §4.3 recommends `k` or `2k`; defaults to `workers`).
+    pub t_sleep: u32,
+    /// Coordinator period (paper §3.4: 10 ms).
+    pub coordinator_period: Duration,
+    /// Upper bound on one sleep interval. A real system must tolerate a
+    /// missed wake-up (coordinator death, table corruption across
+    /// processes), so sleeping workers re-check for work at this rate
+    /// even without a wake. `None` sleeps indefinitely (paper-pure).
+    pub sleep_timeout: Option<Duration>,
+    /// Pin workers to cores with `sched_setaffinity` where supported.
+    /// Defaults to false: pinning 16 workers on a smaller host serializes
+    /// them, so opt in explicitly on dedicated machines.
+    pub pin_workers: bool,
+    /// Yield to the OS every this many failed steals for non-sleeping
+    /// policies' idle spin (WS), to stay polite on shared hosts.
+    pub spin_yield_interval: u32,
+}
+
+impl RuntimeConfig {
+    /// A configuration with the paper's defaults for `workers` workers.
+    pub fn new(workers: usize, policy: Policy) -> Self {
+        assert!(workers > 0, "a runtime needs at least one worker");
+        RuntimeConfig {
+            workers,
+            policy,
+            t_sleep: workers as u32,
+            coordinator_period: Duration::from_millis(10),
+            sleep_timeout: Some(Duration::from_millis(50)),
+            pin_workers: false,
+            spin_yield_interval: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = RuntimeConfig::new(16, Policy::Dws);
+        assert_eq!(c.t_sleep, 16, "T_SLEEP = k (§4.3)");
+        assert_eq!(c.coordinator_period, Duration::from_millis(10), "T = 10ms (§3.4)");
+    }
+
+    #[test]
+    fn policy_capabilities() {
+        assert!(Policy::Dws.sleeps() && Policy::Dws.uses_alloc_table());
+        assert!(Policy::DwsNc.sleeps() && !Policy::DwsNc.uses_alloc_table());
+        assert!(!Policy::Abp.sleeps() && !Policy::Ep.has_coordinator());
+        assert_eq!(Policy::Ep.label(), "EP");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        RuntimeConfig::new(0, Policy::Ws);
+    }
+}

@@ -1,0 +1,140 @@
+//! The per-program coordinator thread (paper §3.3).
+//!
+//! Every `T` milliseconds the coordinator observes `N_b` (queued jobs) and
+//! `N_a` (awake workers), computes the Eq. 1 wake target
+//! `N_w = N_b / N_a`, and wakes sleeping workers on cores it can obtain —
+//! free cores first, then its own cores reclaimed from other programs,
+//! never a core another program holds and has not released.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::config::Policy;
+use crate::metrics::RtMetrics;
+use crate::registry::Registry;
+use crate::rng::VictimRng;
+
+/// Eq. 1 with the divide-by-zero guard (all workers asleep but work is
+/// queued ⇒ demand is the queue length itself).
+#[allow(clippy::manual_checked_ops)]
+pub(crate) fn eq1_wake_target(queued: usize, active: usize) -> usize {
+    // Not a checked division: the zero-active case deliberately returns
+    // the queue length (see the paper-deviation notes in DESIGN.md).
+    if active == 0 {
+        queued
+    } else {
+        queued / active
+    }
+}
+
+/// One coordinator evaluation. Factored out of the loop for testing; the
+/// return value is the number of wakes actually delivered.
+pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
+    RtMetrics::bump(&reg.metrics.coordinator_runs);
+
+    let sleeping = reg.sleeping_workers();
+    if sleeping.is_empty() {
+        return 0;
+    }
+    let queued = reg.queued_jobs();
+    let active = reg.workers.len() - sleeping.len();
+    let n_w = eq1_wake_target(queued, active).min(sleeping.len());
+    if n_w == 0 {
+        return 0;
+    }
+
+    match reg.effective_policy {
+        Policy::Dws => {
+            let prog = reg.prog_id;
+            let table = &*reg.table;
+            let mut woken = 0;
+
+            // Case analysis (§3.3). Work against a snapshot of the free
+            // list; every take is an atomic CAS so races with other
+            // programs' coordinators are safe (a lost CAS just skips).
+            let mut free = table.free_cores();
+            let reclaimable = table.reclaimable_cores(prog);
+            let n_f = free.len();
+            let n_r = reclaimable.len();
+
+            let (want_free, want_reclaim) = if n_w <= n_f {
+                (n_w, 0)
+            } else if n_w <= n_f + n_r {
+                (n_f, n_w - n_f)
+            } else {
+                (n_f, n_r)
+            };
+
+            // Random selection among free cores (paper: "randomly selects
+            // N_w free cores").
+            for i in 0..want_free.min(free.len()) {
+                let j = i + rng.next_below(free.len() - i);
+                free.swap(i, j);
+            }
+            for &core in free.iter().take(want_free) {
+                if core < reg.workers.len() && table.try_acquire_free(core, prog) {
+                    RtMetrics::bump(&reg.metrics.cores_acquired);
+                    reg.wake_worker(core); // worker index == core index
+                    woken += 1;
+                }
+            }
+            for &core in reclaimable.iter().take(want_reclaim) {
+                if core < reg.workers.len() && table.try_reclaim(core, prog) {
+                    RtMetrics::bump(&reg.metrics.cores_reclaimed);
+                    reg.wake_worker(core);
+                    woken += 1;
+                }
+            }
+            woken
+        }
+        Policy::DwsNc => {
+            // Wake N_w arbitrary sleeping workers; no table, no
+            // exclusivity (§4.2 ablation).
+            let mut candidates = sleeping;
+            for i in 0..n_w.min(candidates.len()) {
+                let j = i + rng.next_below(candidates.len() - i);
+                candidates.swap(i, j);
+            }
+            for &w in candidates.iter().take(n_w) {
+                reg.wake_worker(w);
+            }
+            n_w
+        }
+        _ => 0,
+    }
+}
+
+/// The coordinator thread body: evaluate every `coordinator_period` until
+/// shutdown. The period sleep is chunked so shutdown never waits longer
+/// than ~50 ms for the coordinator to notice.
+pub(crate) fn coordinator_loop(reg: Arc<Registry>) {
+    let rng = VictimRng::new(0xC0FF_EE00 ^ (reg.prog_id as u64 + 1).wrapping_mul(0x9E37_79B9));
+    let period = reg.config.coordinator_period;
+    let chunk = period.min(std::time::Duration::from_millis(50));
+    'outer: while !reg.shutdown.load(Ordering::Acquire) {
+        let mut slept = std::time::Duration::ZERO;
+        while slept < period {
+            let step = chunk.min(period - slept);
+            std::thread::sleep(step);
+            slept += step;
+            if reg.shutdown.load(Ordering::Acquire) {
+                break 'outer;
+            }
+        }
+        coordinate_once(&reg, &rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matches_paper() {
+        assert_eq!(eq1_wake_target(0, 4), 0);
+        assert_eq!(eq1_wake_target(3, 4), 0);
+        assert_eq!(eq1_wake_target(4, 4), 1);
+        assert_eq!(eq1_wake_target(100, 4), 25);
+        assert_eq!(eq1_wake_target(6, 0), 6);
+    }
+}

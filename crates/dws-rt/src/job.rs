@@ -1,0 +1,233 @@
+//! Type-erased jobs.
+//!
+//! A work-stealing deque must hold a uniform element type, but the
+//! runtime executes arbitrary closures with arbitrary lifetimes (a
+//! `join`'s second arm borrows the caller's stack). The classic solution
+//! — used by Cilk and rayon alike — is a fat-pointer-free erased job: a
+//! data pointer plus an execute function.
+//!
+//! Safety protocol:
+//! * a [`StackJob`] lives on the spawning thread's stack; that thread
+//!   *must not* return past the job until its latch is set (it waits,
+//!   executing other work meanwhile);
+//! * a [`HeapJob`] owns its closure and frees it on execution.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::mem::ManuallyDrop;
+
+use crate::latch::Latch;
+
+/// A type-erased, executable job reference. `Send` because the deque
+/// moves it across threads; the underlying job guarantees its data
+/// outlives execution.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Erases `job`.
+    ///
+    /// # Safety
+    /// `job` must stay alive until `execute` is called exactly once.
+    pub(crate) unsafe fn new<T: Job>(job: *const T) -> JobRef {
+        JobRef { pointer: job.cast(), execute_fn: |ptr| unsafe { T::execute(ptr.cast()) } }
+    }
+
+    /// Runs the job, consuming this reference.
+    ///
+    /// # Safety
+    /// Must be called exactly once per underlying job.
+    pub(crate) unsafe fn execute(self) {
+        unsafe { (self.execute_fn)(self.pointer) }
+    }
+
+    /// Identity of the underlying job (pointer equality).
+    pub(crate) fn id(&self) -> *const () {
+        self.pointer
+    }
+}
+
+/// A job that can be executed through an erased pointer.
+pub(crate) trait Job {
+    /// Executes the job at `this`.
+    ///
+    /// # Safety
+    /// `this` must point to a live instance; called exactly once.
+    unsafe fn execute(this: *const Self);
+}
+
+/// Captured panic payload, re-thrown on the joining thread.
+pub(crate) type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A stack-allocated job: closure + result slot + completion latch.
+/// Used by `join` for the stolen arm.
+pub(crate) struct StackJob<F, R, L: Latch> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    /// Set when the job has executed (result or panic recorded).
+    pub(crate) latch: L,
+}
+
+pub(crate) enum JobResult<R> {
+    None,
+    Ok(R),
+    Panic(PanicPayload),
+}
+
+impl<F, R, L> StackJob<F, R, L>
+where
+    F: FnOnce() -> R,
+    L: Latch,
+{
+    pub(crate) fn new(func: F, latch: L) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+            latch,
+        }
+    }
+
+    /// Erases this job.
+    ///
+    /// # Safety
+    /// Caller keeps the job alive until the latch is set.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe { JobRef::new(self) }
+    }
+
+    /// Runs the closure in place (the non-stolen fast path of `join`).
+    ///
+    /// # Safety
+    /// Only if the erased `JobRef` was *not* (and will not be) executed.
+    pub(crate) unsafe fn run_inline(&self) -> R {
+        let func = unsafe { (*self.func.get()).take().expect("job run twice") };
+        func()
+    }
+
+    /// Extracts the result after the latch is set, re-raising panics.
+    ///
+    /// # Safety
+    /// Only after the latch is set by `execute`.
+    #[allow(clippy::wrong_self_convention)] // takes &self: the stack job must stay alive for the latch
+    pub(crate) unsafe fn into_result(&self) -> R {
+        match std::mem::replace(unsafe { &mut *self.result.get() }, JobResult::None) {
+            JobResult::None => unreachable!("latch set without result"),
+            JobResult::Ok(r) => r,
+            JobResult::Panic(p) => std::panic::resume_unwind(p),
+        }
+    }
+}
+
+impl<F, R, L> Job for StackJob<F, R, L>
+where
+    F: FnOnce() -> R,
+    L: Latch,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = unsafe { &*this };
+        let func = unsafe { (*this.func.get()).take().expect("job executed twice") };
+        let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(p) => JobResult::Panic(p),
+        };
+        unsafe {
+            *this.result.get() = result;
+        }
+        // Setting the latch publishes the result (release on the latch).
+        this.latch.set();
+    }
+}
+
+/// A heap-allocated fire-and-forget job (scope spawns). Panics are routed
+/// to the handler captured at spawn time (the scope records them).
+pub(crate) struct HeapJob<F: FnOnce()> {
+    func: ManuallyDrop<F>,
+}
+
+impl<F: FnOnce() + Send> HeapJob<F> {
+    /// Boxes the closure and returns an erased reference that owns it.
+    #[allow(clippy::new_ret_no_self)] // intentionally returns the erased JobRef
+    pub(crate) fn new(func: F) -> JobRef {
+        let boxed = Box::new(HeapJob { func: ManuallyDrop::new(func) });
+        let ptr: *const HeapJob<F> = Box::into_raw(boxed);
+        // SAFETY: the box stays alive until execute reconstitutes it.
+        unsafe { JobRef::new(ptr) }
+    }
+}
+
+impl<F: FnOnce()> Job for HeapJob<F> {
+    unsafe fn execute(this: *const Self) {
+        // SAFETY: pointer came from Box::into_raw in `new`; executed once.
+        let mut boxed = unsafe { Box::from_raw(this.cast_mut()) };
+        let func = unsafe { ManuallyDrop::take(&mut boxed.func) };
+        func();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latch::LockLatch;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn stack_job_executes_and_returns_result() {
+        let job = StackJob::new(|| 21 * 2, LockLatch::new());
+        unsafe {
+            let r = job.as_job_ref();
+            r.execute();
+            job.latch.wait();
+            assert_eq!(job.into_result(), 42);
+        }
+    }
+
+    #[test]
+    fn stack_job_inline_path() {
+        let job = StackJob::new(|| "hi", LockLatch::new());
+        let out = unsafe { job.run_inline() };
+        assert_eq!(out, "hi");
+    }
+
+    #[test]
+    fn stack_job_captures_panic() {
+        let job: StackJob<_, (), _> = StackJob::new(|| panic!("boom"), LockLatch::new());
+        unsafe {
+            let r = job.as_job_ref();
+            r.execute(); // must not unwind out of execute
+            job.latch.wait();
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                job.into_result()
+            }));
+            assert!(caught.is_err(), "panic re-raised at join point");
+        }
+    }
+
+    #[test]
+    fn heap_job_runs_and_frees() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let job = HeapJob::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        unsafe { job.execute() };
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        assert_eq!(Arc::strong_count(&counter), 1, "closure dropped after run");
+    }
+
+    #[test]
+    fn stack_job_executes_across_threads() {
+        let job = StackJob::new(|| 7u64, LockLatch::new());
+        let jref = unsafe { job.as_job_ref() };
+        std::thread::scope(|s| {
+            s.spawn(move || unsafe { jref.execute() });
+        });
+        job.latch.wait();
+        assert_eq!(unsafe { job.into_result() }, 7);
+    }
+}

@@ -1,0 +1,176 @@
+//! Completion latches.
+//!
+//! A latch starts unset and is set exactly once (or counted down to zero
+//! for [`CountLatch`]); setters publish with release ordering and probers
+//! acquire, so data written before `set` is visible after a successful
+//! `probe`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Minimal latch interface used by jobs.
+pub(crate) trait Latch {
+    /// Marks completion, publishing prior writes.
+    fn set(&self);
+}
+
+/// A spin-probed latch for worker-side waits (the waiting worker keeps
+/// stealing between probes, so no OS blocking is wanted).
+#[derive(Debug, Default)]
+pub(crate) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch { set: AtomicBool::new(false) }
+    }
+
+    /// True once set.
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    #[inline]
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// A blocking latch for external threads (e.g. `Runtime::block_on`'s
+/// caller), built on a mutex + condvar.
+#[derive(Debug, Default)]
+pub(crate) struct LockLatch {
+    state: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch { state: Mutex::new(false), cond: Condvar::new() }
+    }
+
+    /// Blocks until set.
+    pub(crate) fn wait(&self) {
+        let mut set = self.state.lock();
+        while !*set {
+            self.cond.wait(&mut set);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut set = self.state.lock();
+        *set = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Counts outstanding work; "set" decrements, and the latch reads as
+/// complete at zero. Used by scopes to await all spawned jobs.
+#[derive(Debug)]
+pub(crate) struct CountLatch {
+    count: AtomicUsize,
+}
+
+impl CountLatch {
+    /// Starts with `count` outstanding items.
+    pub(crate) fn with_count(count: usize) -> Self {
+        CountLatch { count: AtomicUsize::new(count) }
+    }
+
+    /// Registers one more outstanding item.
+    #[inline]
+    pub(crate) fn increment(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// True when no items remain.
+    #[inline]
+    pub(crate) fn probe_done(&self) -> bool {
+        self.count.load(Ordering::Acquire) == 0
+    }
+}
+
+impl Latch for CountLatch {
+    #[inline]
+    fn set(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "CountLatch underflow");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_latch_starts_unset() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_wakes_waiter() {
+        let l = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            l2.set();
+        });
+        l.wait(); // must return
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn lock_latch_wait_after_set_returns_immediately() {
+        let l = LockLatch::new();
+        l.set();
+        l.wait();
+    }
+
+    #[test]
+    fn count_latch_completes_at_zero() {
+        let l = CountLatch::with_count(2);
+        assert!(!l.probe_done());
+        l.set();
+        assert!(!l.probe_done());
+        l.set();
+        assert!(l.probe_done());
+    }
+
+    #[test]
+    fn count_latch_increment_reopens() {
+        let l = CountLatch::with_count(1);
+        l.increment();
+        l.set();
+        assert!(!l.probe_done());
+        l.set();
+        assert!(l.probe_done());
+    }
+
+    #[test]
+    fn spin_latch_publishes_data() {
+        // The release/acquire pair must make the write visible.
+        let latch = Arc::new(SpinLatch::new());
+        let data = Arc::new(AtomicUsize::new(0));
+        let (l2, d2) = (Arc::clone(&latch), Arc::clone(&data));
+        let h = std::thread::spawn(move || {
+            d2.store(99, Ordering::Relaxed);
+            l2.set();
+        });
+        while !latch.probe() {
+            std::hint::spin_loop();
+        }
+        assert_eq!(data.load(Ordering::Relaxed), 99);
+        h.join().unwrap();
+    }
+}

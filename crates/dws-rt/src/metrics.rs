@@ -1,0 +1,117 @@
+//! Runtime counters, shared lock-free between workers, the coordinator
+//! and observers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregated counters for one runtime instance. All methods are safe to
+/// call concurrently; reads are monotone snapshots.
+#[derive(Debug, Default)]
+pub struct RtMetrics {
+    /// Successful steals.
+    pub steals_ok: AtomicU64,
+    /// Failed steal attempts.
+    pub steals_failed: AtomicU64,
+    /// Times a worker went to sleep.
+    pub sleeps: AtomicU64,
+    /// Times a worker was woken (coordinator or timeout).
+    pub wakes: AtomicU64,
+    /// `sched_yield`s performed by idle workers.
+    pub yields: AtomicU64,
+    /// Jobs executed to completion.
+    pub jobs_executed: AtomicU64,
+    /// Coordinator invocations.
+    pub coordinator_runs: AtomicU64,
+    /// Free cores acquired from the table.
+    pub cores_acquired: AtomicU64,
+    /// Home cores reclaimed from other programs.
+    pub cores_reclaimed: AtomicU64,
+    /// Cores released to the table on sleep.
+    pub cores_released: AtomicU64,
+}
+
+/// A plain-value snapshot of [`RtMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Successful steals.
+    pub steals_ok: u64,
+    /// Failed steal attempts.
+    pub steals_failed: u64,
+    /// Worker sleeps.
+    pub sleeps: u64,
+    /// Worker wakes.
+    pub wakes: u64,
+    /// Idle yields.
+    pub yields: u64,
+    /// Jobs executed.
+    pub jobs_executed: u64,
+    /// Coordinator invocations.
+    pub coordinator_runs: u64,
+    /// Free cores acquired.
+    pub cores_acquired: u64,
+    /// Home cores reclaimed.
+    pub cores_reclaimed: u64,
+    /// Cores released on sleep.
+    pub cores_released: u64,
+}
+
+impl RtMetrics {
+    /// Bumps a counter by one. All counters use relaxed ordering: they are
+    /// statistics, not synchronization.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            steals_ok: self.steals_ok.load(Ordering::Relaxed),
+            steals_failed: self.steals_failed.load(Ordering::Relaxed),
+            sleeps: self.sleeps.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
+            yields: self.yields.load(Ordering::Relaxed),
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            coordinator_runs: self.coordinator_runs.load(Ordering::Relaxed),
+            cores_acquired: self.cores_acquired.load(Ordering::Relaxed),
+            cores_reclaimed: self.cores_reclaimed.load(Ordering::Relaxed),
+            cores_released: self.cores_released.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let m = RtMetrics::default();
+        RtMetrics::bump(&m.steals_ok);
+        RtMetrics::bump(&m.steals_ok);
+        RtMetrics::bump(&m.sleeps);
+        let s = m.snapshot();
+        assert_eq!(s.steals_ok, 2);
+        assert_eq!(s.sleeps, 1);
+        assert_eq!(s.wakes, 0);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_not_lost() {
+        use std::sync::Arc;
+        let m = Arc::new(RtMetrics::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        RtMetrics::bump(&m.jobs_executed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().jobs_executed, 4_000);
+    }
+}

@@ -1,0 +1,284 @@
+//! Data-parallel helpers built on [`crate::join`]: recursive splitting of
+//! index ranges and slices, map-reduce, and chunked mutation. This is the
+//! convenience layer a Cilk-style runtime is normally used through
+//! (`cilk_for` in the paper's programs).
+//!
+//! All helpers take a `grain`: ranges at or below the grain run
+//! sequentially, larger ones split in half and the halves run as a
+//! fork-join pair. Like [`crate::join`], they degrade to sequential
+//! execution when called outside a pool.
+
+use crate::join::join;
+
+/// Applies `f` to every index in `range`, in parallel below the hood.
+///
+/// ```
+/// use dws_rt::{par_for_each_index, Policy, Runtime, RuntimeConfig};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let rt = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+/// let hits = AtomicU64::new(0);
+/// rt.block_on(|| par_for_each_index(0..1000, 64, |_i| {
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// }));
+/// assert_eq!(hits.load(Ordering::Relaxed), 1000);
+/// ```
+pub fn par_for_each_index<F>(range: std::ops::Range<usize>, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    par_for_each_index_ref(range, grain.max(1), &f);
+}
+
+fn par_for_each_index_ref<F>(range: std::ops::Range<usize>, grain: usize, f: &F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len <= grain {
+        for i in range {
+            f(i);
+        }
+        return;
+    }
+    let mid = range.start + len / 2;
+    join(
+        || par_for_each_index_ref(range.start..mid, grain, f),
+        || par_for_each_index_ref(mid..range.end, grain, f),
+    );
+}
+
+/// Maps every element of `data` and folds the results with `reduce`
+/// (which must be associative; `identity` is its unit).
+///
+/// ```
+/// use dws_rt::{par_map_reduce, Policy, Runtime, RuntimeConfig};
+///
+/// let rt = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+/// let data: Vec<u64> = (1..=100).collect();
+/// let sum = rt.block_on(|| par_map_reduce(&data, 16, 0u64, |&x| x, |a, b| a + b));
+/// assert_eq!(sum, 5050);
+/// ```
+pub fn par_map_reduce<T, R, M, Re>(data: &[T], grain: usize, identity: R, map: M, reduce: Re) -> R
+where
+    T: Sync,
+    R: Send,
+    M: Fn(&T) -> R + Sync + Send,
+    Re: Fn(R, R) -> R + Sync + Send,
+{
+    if data.is_empty() {
+        return identity;
+    }
+    // Non-empty from here down: halving splits never create an empty
+    // side, so the recursion needs no identity (and `R: Clone` is not
+    // required).
+    par_map_reduce_ref(data, grain.max(1), &map, &reduce)
+}
+
+fn par_map_reduce_ref<T, R, M, Re>(data: &[T], grain: usize, map: &M, reduce: &Re) -> R
+where
+    T: Sync,
+    R: Send,
+    M: Fn(&T) -> R + Sync + Send,
+    Re: Fn(R, R) -> R + Sync + Send,
+{
+    debug_assert!(!data.is_empty());
+    if data.len() <= grain {
+        let mut iter = data.iter();
+        let mut acc = map(iter.next().expect("non-empty leaf"));
+        for x in iter {
+            acc = reduce(acc, map(x));
+        }
+        return acc;
+    }
+    let (l, r) = data.split_at(data.len() / 2);
+    let (a, b) = join(
+        || par_map_reduce_ref(l, grain, map, reduce),
+        || par_map_reduce_ref(r, grain, map, reduce),
+    );
+    reduce(a, b)
+}
+
+/// Applies `f` to every element of `data`, in place and in parallel.
+pub fn par_for_each_mut<T, F>(data: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync + Send,
+{
+    par_for_each_mut_ref(data, grain.max(1), &f);
+}
+
+fn par_for_each_mut_ref<T, F>(data: &mut [T], grain: usize, f: &F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync + Send,
+{
+    if data.len() <= grain {
+        for x in data {
+            f(x);
+        }
+        return;
+    }
+    let mid = data.len() / 2;
+    let (l, r) = data.split_at_mut(mid);
+    join(
+        || par_for_each_mut_ref(l, grain, f),
+        || par_for_each_mut_ref(r, grain, f),
+    );
+}
+
+/// Applies `f` to disjoint chunks of at most `chunk` elements, passing
+/// the chunk's starting offset. Useful for row-banded kernels.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync + Send,
+{
+    let chunk = chunk.max(1);
+    par_chunks_mut_ref(data, 0, chunk, &f);
+}
+
+fn par_chunks_mut_ref<T, F>(data: &mut [T], offset: usize, chunk: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync + Send,
+{
+    if data.len() <= chunk {
+        if !data.is_empty() {
+            f(offset, data);
+        }
+        return;
+    }
+    // Split on a chunk boundary so chunk sizes stay stable.
+    let chunks = data.len().div_ceil(chunk);
+    let mid = (chunks / 2) * chunk;
+    let (l, r) = data.split_at_mut(mid);
+    join(
+        || par_chunks_mut_ref(l, offset, chunk, f),
+        || par_chunks_mut_ref(r, offset + mid, chunk, f),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Policy, Runtime, RuntimeConfig};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    fn rt() -> Runtime {
+        Runtime::new(RuntimeConfig::new(4, Policy::Ws))
+    }
+
+    #[test]
+    fn for_each_index_visits_every_index_once() {
+        let pool = rt();
+        let n = 10_000;
+        let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.block_on(|| {
+            par_for_each_index(0..n, 128, |i| {
+                marks[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_index_empty_and_tiny_ranges() {
+        let pool = rt();
+        let count = AtomicU64::new(0);
+        pool.block_on(|| {
+            par_for_each_index(5..5, 8, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+        pool.block_on(|| {
+            par_for_each_index(3..4, 8, |i| {
+                assert_eq!(i, 3);
+                count.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn map_reduce_sums_correctly() {
+        let pool = rt();
+        let data: Vec<u64> = (0..50_000).collect();
+        let sum = pool.block_on(|| par_map_reduce(&data, 512, 0u64, |&x| x, |a, b| a + b));
+        assert_eq!(sum, 50_000 * 49_999 / 2);
+    }
+
+    #[test]
+    fn map_reduce_empty_returns_identity() {
+        let pool = rt();
+        let data: Vec<u64> = vec![];
+        let sum = pool.block_on(|| par_map_reduce(&data, 4, 42u64, |&x| x, |a, b| a + b));
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn map_reduce_max() {
+        let pool = rt();
+        let data: Vec<i64> = (0..10_000).map(|i| (i * 37 % 1001) - 500).collect();
+        let expected = *data.iter().max().unwrap();
+        let got = pool.block_on(|| {
+            par_map_reduce(&data, 64, i64::MIN, |&x| x, |a, b| a.max(b))
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn for_each_mut_transforms_in_place() {
+        let pool = rt();
+        let mut v: Vec<u64> = (0..20_000).collect();
+        pool.block_on(|| par_for_each_mut(&mut v, 256, |x| *x *= 2));
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn chunks_mut_offsets_are_correct() {
+        let pool = rt();
+        let mut v = vec![0usize; 1_000];
+        pool.block_on(|| {
+            par_chunks_mut(&mut v, 64, |offset, chunk| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x = offset + i;
+                }
+            })
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn chunks_respect_max_size() {
+        let pool = rt();
+        let mut v = vec![0u8; 1_000];
+        let max_seen = AtomicUsize::new(0);
+        pool.block_on(|| {
+            par_chunks_mut(&mut v, 33, |_, chunk| {
+                max_seen.fetch_max(chunk.len(), Ordering::Relaxed);
+            })
+        });
+        assert!(max_seen.load(Ordering::Relaxed) <= 33);
+    }
+
+    #[test]
+    fn sequential_fallback_off_pool() {
+        // No pool: helpers run sequentially but correctly.
+        let data: Vec<u64> = (0..100).collect();
+        let sum = par_map_reduce(&data, 8, 0u64, |&x| x, |a, b| a + b);
+        assert_eq!(sum, 4950);
+        let mut v = vec![1u8; 64];
+        par_for_each_mut(&mut v, 8, |x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn grain_zero_is_clamped() {
+        let pool = rt();
+        let data: Vec<u64> = (0..64).collect();
+        let sum = pool.block_on(|| par_map_reduce(&data, 0, 0u64, |&x| x, |a, b| a + b));
+        assert_eq!(sum, 2016);
+    }
+}

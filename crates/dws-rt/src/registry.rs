@@ -1,0 +1,609 @@
+//! The runtime registry: worker threads, their deques, the injector, the
+//! sleep/wake state and the coordinator — i.e. everything behind a
+//! [`Runtime`] handle.
+//!
+//! The worker main loop is the paper's Algorithm 1; the per-policy idle
+//! behaviour (spin / ABP-yield / DWS-sleep) is selected by
+//! [`crate::config::Policy`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dws_deque::{deque, Injector, Steal, Stealer, Worker as Deque};
+
+use crate::affinity;
+use crate::alloc_table::{CoreTable, InProcessTable};
+use crate::config::{Policy, RuntimeConfig};
+use crate::coordinator::coordinator_loop;
+use crate::job::{JobRef, StackJob};
+use crate::latch::LockLatch;
+use crate::metrics::{MetricsSnapshot, RtMetrics};
+use crate::rng::VictimRng;
+use crate::sleep::{Sleeper, WakeReason};
+
+thread_local! {
+    /// The worker currently driving this thread, if any.
+    static CURRENT_WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Shared, per-worker state visible to other workers and the coordinator.
+pub(crate) struct WorkerInfo {
+    pub(crate) stealer: Stealer<JobRef>,
+    pub(crate) sleeper: Sleeper,
+    /// Core this worker is affined to (== worker index for one-per-core
+    /// policies).
+    pub(crate) core: usize,
+}
+
+/// Shared state of one runtime instance.
+pub(crate) struct Registry {
+    pub(crate) config: RuntimeConfig,
+    /// Policy after the §4.4 single-program fallback.
+    pub(crate) effective_policy: Policy,
+    pub(crate) prog_id: usize,
+    pub(crate) table: Arc<dyn CoreTable>,
+    pub(crate) injector: Injector<JobRef>,
+    pub(crate) workers: Vec<WorkerInfo>,
+    pub(crate) metrics: RtMetrics,
+    pub(crate) shutdown: AtomicBool,
+    /// Workers that have exited their main loop (shutdown accounting).
+    exited: AtomicUsize,
+    /// Detached jobs submitted via [`Runtime::spawn`] not yet finished;
+    /// shutdown waits for them.
+    detached: AtomicUsize,
+}
+
+impl Registry {
+    /// `N_b` as the coordinator sees it: queued jobs in all deques plus
+    /// the injector.
+    pub(crate) fn queued_jobs(&self) -> usize {
+        self.injector.len() + self.workers.iter().map(|w| w.stealer.len()).sum::<usize>()
+    }
+
+    /// Indices of currently sleeping workers.
+    pub(crate) fn sleeping_workers(&self) -> Vec<usize> {
+        (0..self.workers.len())
+            .filter(|&i| self.workers[i].sleeper.is_sleeping())
+            .collect()
+    }
+
+    /// Wakes worker `i` (idempotent).
+    pub(crate) fn wake_worker(&self, i: usize) {
+        self.workers[i].sleeper.wake();
+    }
+
+    /// Makes sure at least one worker will notice freshly injected work,
+    /// granting it a core first when the table demands exclusivity.
+    pub(crate) fn ensure_progress(&self) {
+        let sleeping = self.sleeping_workers();
+        if sleeping.len() < self.workers.len() {
+            return; // somebody is awake and will find the work
+        }
+        match self.effective_policy {
+            Policy::Dws => {
+                for &w in &sleeping {
+                    let core = self.workers[w].core;
+                    let held = self.table.current(core) == Some(self.prog_id);
+                    if held
+                        || self.table.try_acquire_free(core, self.prog_id)
+                        || self.table.try_reclaim(core, self.prog_id)
+                    {
+                        self.wake_worker(w);
+                        return;
+                    }
+                }
+                // No core obtainable right now; wake the first home worker
+                // anyway — it will re-sleep if it cannot legitimize, and
+                // the coordinator will sort things out next period.
+                if let Some(&w) = sleeping.first() {
+                    self.wake_worker(w);
+                }
+            }
+            _ => {
+                if let Some(&w) = sleeping.first() {
+                    self.wake_worker(w);
+                }
+            }
+        }
+    }
+}
+
+/// A handle to a demand-aware work-stealing runtime (one "program" in the
+/// paper's sense). Dropping the handle shuts the pool down.
+pub struct Runtime {
+    registry: Arc<Registry>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    coordinator: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Builds a standalone runtime. Per the paper's §4.4, a DWS runtime
+    /// that is the *only* program on the machine falls back to plain
+    /// work-stealing (sleeping and coordination buy nothing solo); use
+    /// [`Runtime::with_table`] to co-run multiple programs.
+    pub fn new(config: RuntimeConfig) -> Runtime {
+        let workers = config.workers;
+        let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(workers, 1));
+        Self::build(config, table, 0, true)
+    }
+
+    /// Builds a runtime participating in multiprogram co-running through a
+    /// shared core-allocation table. `prog_id` must be unique among the
+    /// co-runners (use [`crate::shm::ShmTable::register`] across
+    /// processes).
+    pub fn with_table(
+        config: RuntimeConfig,
+        table: Arc<dyn CoreTable>,
+        prog_id: usize,
+    ) -> Runtime {
+        Self::build(config, table, prog_id, false)
+    }
+
+    fn build(
+        config: RuntimeConfig,
+        table: Arc<dyn CoreTable>,
+        prog_id: usize,
+        solo: bool,
+    ) -> Runtime {
+        assert!(prog_id < table.max_programs(), "prog_id out of range");
+        let mut effective_policy = config.policy;
+        if solo && config.policy.sleeps() {
+            // §4.4: single-program fallback to traditional work-stealing.
+            effective_policy = Policy::Ws;
+        }
+        if effective_policy == Policy::Dws {
+            assert_eq!(
+                config.workers,
+                table.cores(),
+                "DWS requires one worker per table core (worker i ↔ core i)"
+            );
+        }
+
+        let n = config.workers;
+        let mut deques = Vec::with_capacity(n);
+        let mut infos = Vec::with_capacity(n);
+        for i in 0..n {
+            let (w, s) = deque::<JobRef>();
+            deques.push(w);
+            infos.push(WorkerInfo { stealer: s, sleeper: Sleeper::new(), core: i });
+        }
+
+        let registry = Arc::new(Registry {
+            config,
+            effective_policy,
+            prog_id,
+            table,
+            injector: Injector::new(),
+            workers: infos,
+            metrics: RtMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            exited: AtomicUsize::new(0),
+            detached: AtomicUsize::new(0),
+        });
+
+        let threads = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, dq)| {
+                let reg = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("dws-worker-{prog_id}-{i}"))
+                    .spawn(move || WorkerThread::main(reg, i, dq))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+
+        let coordinator = if effective_policy.has_coordinator() {
+            let reg = Arc::clone(&registry);
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("dws-coordinator-{prog_id}"))
+                    .spawn(move || coordinator_loop(reg))
+                    .expect("failed to spawn coordinator"),
+            )
+        } else {
+            None
+        };
+
+        Runtime { registry, threads, coordinator }
+    }
+
+    /// Runs `f` inside the pool and returns its result. If called from a
+    /// worker of this pool, runs in place; otherwise injects the job and
+    /// blocks until completion. `join`/`scope` called inside `f` use this
+    /// pool's workers.
+    pub fn block_on<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some(w) = WorkerThread::current() {
+            if std::ptr::eq(&*w.registry, &*self.registry) {
+                return f();
+            }
+        }
+        let job = StackJob::new(f, LockLatch::new());
+        // SAFETY: the job outlives the wait below; executed exactly once
+        // by a worker.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.registry.injector.push(job_ref);
+        self.registry.ensure_progress();
+        job.latch.wait();
+        // SAFETY: the latch is set, so the result slot is filled.
+        unsafe { job.into_result() }
+    }
+
+    /// Spawns a detached fire-and-forget job on the pool. The job runs at
+    /// some point before the runtime shuts down ([`Runtime`]'s `Drop`
+    /// waits for all detached jobs). Panics in the job are caught and
+    /// counted, not propagated (there is nobody to propagate to).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.registry.detached.fetch_add(1, Ordering::AcqRel);
+        let reg = Arc::clone(&self.registry);
+        let job = crate::job::HeapJob::new(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            reg.detached.fetch_sub(1, Ordering::AcqRel);
+        });
+        if let Some(w) = WorkerThread::current() {
+            if std::ptr::eq(&*w.registry, &*self.registry) {
+                w.push(job);
+                return;
+            }
+        }
+        self.registry.injector.push(job);
+        self.registry.ensure_progress();
+    }
+
+    /// Number of detached jobs not yet completed (diagnostic).
+    pub fn pending_spawns(&self) -> usize {
+        self.registry.detached.load(Ordering::Acquire)
+    }
+
+    /// Fork-join inside the pool: convenience for
+    /// `block_on(|| join(a, b))`.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.block_on(|| crate::join::join(a, b))
+    }
+
+    /// Structured spawning inside the pool: convenience for
+    /// `block_on(|| scope(op))`.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&crate::scope::Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        self.block_on(|| crate::scope::scope(op))
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.registry.config.workers
+    }
+
+    /// The policy actually in effect (after the single-program fallback).
+    pub fn effective_policy(&self) -> Policy {
+        self.registry.effective_policy
+    }
+
+    /// This runtime's program id in the shared table.
+    pub fn program_id(&self) -> usize {
+        self.registry.prog_id
+    }
+
+    /// Snapshot of runtime counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.metrics.snapshot()
+    }
+
+    /// Number of workers currently asleep (diagnostic).
+    pub fn sleeping_workers(&self) -> usize {
+        self.registry.sleeping_workers().len()
+    }
+
+    /// The shared core-allocation table.
+    pub fn table(&self) -> &Arc<dyn CoreTable> {
+        &self.registry.table
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Let detached spawns finish before tearing the pool down.
+        while self.registry.detached.load(Ordering::Acquire) > 0 {
+            self.registry.ensure_progress();
+            std::thread::yield_now();
+        }
+        self.registry.shutdown.store(true, Ordering::Release);
+        for i in 0..self.registry.workers.len() {
+            self.registry.wake_worker(i);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(c) = self.coordinator.take() {
+            let _ = c.join();
+        }
+    }
+}
+
+/// Worker-thread state (owned by the thread itself; published via the
+/// thread-local for `join`/`scope`).
+pub(crate) struct WorkerThread {
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) index: usize,
+    deque: Deque<JobRef>,
+    rng: VictimRng,
+    /// Set after a starvation-escape wake (see `go_to_sleep`): eviction
+    /// checks are suspended until the worker runs out of work again, so a
+    /// hostile or corrupted table cannot livelock the pool.
+    starvation_immune: Cell<bool>,
+}
+
+impl WorkerThread {
+    /// The worker driving the current thread, if any.
+    pub(crate) fn current() -> Option<&'static WorkerThread> {
+        let ptr = CURRENT_WORKER.with(|c| c.get());
+        if ptr.is_null() {
+            None
+        } else {
+            // SAFETY: set for exactly the lifetime of `main`, which only
+            // returns after clearing it; the reference never escapes the
+            // worker's own call stack.
+            Some(unsafe { &*ptr })
+        }
+    }
+
+    fn main(registry: Arc<Registry>, index: usize, deque: Deque<JobRef>) {
+        let me = WorkerThread {
+            rng: VictimRng::new(0x5851_F42D_4C95_7F2D ^ ((index as u64 + 1) * 0x9E37)),
+            registry,
+            index,
+            deque,
+            starvation_immune: Cell::new(false),
+        };
+        CURRENT_WORKER.with(|c| c.set(&me as *const WorkerThread));
+        me.apply_affinity();
+        me.run_main_loop();
+        CURRENT_WORKER.with(|c| c.set(std::ptr::null()));
+        me.registry.exited.fetch_add(1, Ordering::Release);
+    }
+
+    fn apply_affinity(&self) {
+        if !self.registry.config.pin_workers {
+            return;
+        }
+        match self.registry.effective_policy {
+            Policy::Abp => {} // OS decides (time-sharing)
+            Policy::Ep => {
+                let home: Vec<usize> = (0..self.registry.table.cores())
+                    .filter(|&c| self.registry.table.home(c) == self.registry.prog_id)
+                    .collect();
+                affinity::pin_current_thread_to_set(&home);
+            }
+            _ => {
+                affinity::pin_current_thread(self.registry.workers[self.index].core);
+            }
+        }
+    }
+
+    fn run_main_loop(&self) {
+        let reg = &*self.registry;
+        let policy = reg.effective_policy;
+
+        // §3.1: initially, only the workers on the program's home slice
+        // are awake; the rest sleep until the coordinator grants a core.
+        if policy.sleeps() {
+            let core = reg.workers[self.index].core;
+            if reg.table.home(core) != reg.prog_id {
+                self.go_to_sleep();
+            }
+        }
+
+        let mut failed_steals: u32 = 0;
+        loop {
+            // Core eviction (§4.2: a core executes a single active
+            // worker): between tasks, a DWS worker whose core was
+            // reclaimed by its owner — the table no longer names this
+            // program — goes to sleep instead of competing for the core.
+            // Its queued jobs remain stealable by siblings. Suspended
+            // while the worker is starvation-immune (liveness escape).
+            if policy == Policy::Dws
+                && !self.starvation_immune.get()
+                && !reg.shutdown.load(Ordering::Acquire)
+                && reg.table.current(reg.workers[self.index].core) != Some(reg.prog_id)
+            {
+                failed_steals = 0;
+                self.go_to_sleep();
+                continue;
+            }
+            if let Some(job) = self.find_work_with(failed_steals > 0) {
+                failed_steals = 0;
+                self.execute(job);
+                continue;
+            }
+            // Out of work: immunity (if any) has served its purpose.
+            self.starvation_immune.set(false);
+            if reg.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            failed_steals += 1;
+            RtMetrics::bump(&reg.metrics.steals_failed);
+            match policy {
+                Policy::Ws => {
+                    if failed_steals.is_multiple_of(reg.config.spin_yield_interval.max(1)) {
+                        RtMetrics::bump(&reg.metrics.yields);
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                Policy::Abp | Policy::Ep => {
+                    // ABP: yield the core after every failed steal.
+                    RtMetrics::bump(&reg.metrics.yields);
+                    std::thread::yield_now();
+                }
+                Policy::Dws | Policy::DwsNc => {
+                    if failed_steals > reg.config.t_sleep {
+                        failed_steals = 0;
+                        self.go_to_sleep();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Algorithm 1's sleep (lines 14-17): release the core in the table
+    /// (DWS only), block until woken, and on a safety-timeout wake try to
+    /// legitimately re-enter (or sleep again).
+    ///
+    /// Liveness escape: if work is pending but the table refuses to grant
+    /// this worker a core across many consecutive timeouts (corrupted or
+    /// hostile table, dead co-runner holding everything), the worker
+    /// eventually proceeds anyway — a stuck process is worse than a
+    /// briefly over-subscribed core.
+    fn go_to_sleep(&self) {
+        let reg = &*self.registry;
+        let core = reg.workers[self.index].core;
+        let mut starved_timeouts = 0u32;
+        const STARVATION_GRACE: u32 = 6;
+        loop {
+            if reg.effective_policy == Policy::Dws
+                && reg.table.release(core, reg.prog_id)
+            {
+                RtMetrics::bump(&reg.metrics.cores_released);
+            }
+            RtMetrics::bump(&reg.metrics.sleeps);
+            let reason = reg.workers[self.index].sleeper.sleep(reg.config.sleep_timeout);
+            RtMetrics::bump(&reg.metrics.wakes);
+            if reg.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match reason {
+                WakeReason::Woken => return, // a core was granted (or shutdown)
+                WakeReason::TimedOut => {
+                    // Self-recovery: only resume if there is work *and* we
+                    // can hold our core under DWS exclusivity.
+                    let has_work = reg.queued_jobs() > 0;
+                    if !has_work {
+                        starved_timeouts = 0;
+                        continue;
+                    }
+                    if reg.effective_policy == Policy::Dws {
+                        let legit = reg.table.current(core) == Some(reg.prog_id)
+                            || reg.table.try_acquire_free(core, reg.prog_id)
+                            || reg.table.try_reclaim(core, reg.prog_id);
+                        if !legit {
+                            starved_timeouts += 1;
+                            if starved_timeouts < STARVATION_GRACE {
+                                continue;
+                            }
+                            // Liveness over protocol purity: run anyway
+                            // and stay immune to eviction until the work
+                            // drought ends.
+                            self.starvation_immune.set(true);
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One round of Algorithm 1's work acquisition: own pool, then the
+    /// injector, then one steal attempt (random victim).
+    pub(crate) fn find_work(&self) -> Option<JobRef> {
+        self.find_work_with(false)
+    }
+
+    /// As [`WorkerThread::find_work`], sweeping victims when `sweeping`
+    /// (set across consecutive failed attempts).
+    pub(crate) fn find_work_with(&self, sweeping: bool) -> Option<JobRef> {
+        if let Some(job) = self.deque.pop() {
+            return Some(job);
+        }
+        if let Some(job) = self.registry.injector.pop() {
+            return Some(job);
+        }
+        if sweeping {
+            self.steal_sweep()
+        } else {
+            self.steal_once()
+        }
+    }
+
+    fn steal_once(&self) -> Option<JobRef> {
+        self.steal_from(|n, me| self.rng.victim(n, me))
+    }
+
+    /// As [`WorkerThread::steal_once`], but sweeping from the previous
+    /// victim — used on consecutive failures so one pass visits everyone.
+    fn steal_sweep(&self) -> Option<JobRef> {
+        self.steal_from(|n, me| self.rng.victim_sweep(n, me))
+    }
+
+    fn steal_from(&self, pick: impl Fn(usize, usize) -> usize) -> Option<JobRef> {
+        let n = self.registry.workers.len();
+        if n <= 1 {
+            return None;
+        }
+        let victim = pick(n, self.index);
+        match self.registry.workers[victim].stealer.steal() {
+            Steal::Success(job) => {
+                RtMetrics::bump(&self.registry.metrics.steals_ok);
+                Some(job)
+            }
+            Steal::Empty | Steal::Retry => None,
+        }
+    }
+
+    /// Pushes a job onto this worker's own deque.
+    pub(crate) fn push(&self, job: JobRef) {
+        self.deque.push(job);
+    }
+
+    /// Pops the most recently pushed job, if still present.
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.deque.pop()
+    }
+
+    /// Executes a job, counting it.
+    pub(crate) fn execute(&self, job: JobRef) {
+        RtMetrics::bump(&self.registry.metrics.jobs_executed);
+        // SAFETY: every JobRef in the system is executed exactly once;
+        // provenance is guaranteed by push/steal discipline.
+        unsafe { job.execute() };
+    }
+
+    /// Works until `done` reports true: keeps popping/stealing jobs, and
+    /// yields politely when none are available. Used by `join` (waiting on
+    /// a stolen arm) and `scope` (waiting for spawned jobs). Never sleeps:
+    /// a blocked wait must stay responsive to its completion.
+    pub(crate) fn work_until(&self, done: impl Fn() -> bool) {
+        let mut idle_spins = 0u32;
+        while !done() {
+            if let Some(job) = self.find_work() {
+                self.execute(job);
+                idle_spins = 0;
+            } else {
+                idle_spins += 1;
+                if idle_spins.is_multiple_of(8) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Per-worker victim-selection RNG.
+//!
+//! Victim choice must be cheap (it sits on the steal path) and must not
+//! share state across workers (a global RNG would serialize thieves), so
+//! each worker owns an xorshift64* generator seeded from its index.
+
+use std::cell::Cell;
+
+/// Small, fast xorshift64* generator. One per worker, never shared.
+#[derive(Debug)]
+pub(crate) struct VictimRng {
+    state: Cell<u64>,
+    /// Victim-scan cursor for the cyclic sweep after a failed attempt.
+    scan: Cell<usize>,
+}
+
+impl VictimRng {
+    /// Seeds from an arbitrary value (zero remapped off the fixed point).
+    pub(crate) fn new(seed: u64) -> Self {
+        VictimRng {
+            state: Cell::new(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed }),
+            scan: Cell::new(0),
+        }
+    }
+
+    #[inline]
+    fn next_u64(&self) -> u64 {
+        let mut x = self.state.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    #[inline]
+    pub(crate) fn next_below(&self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// A victim index in `[0, n)` that is never `me` (requires `n > 1`).
+    #[inline]
+    pub(crate) fn victim(&self, n: usize, me: usize) -> usize {
+        debug_assert!(n > 1);
+        let mut v = self.next_below(n - 1);
+        if v >= me {
+            v += 1;
+        }
+        self.scan.set(v);
+        v
+    }
+
+    /// Victim for a retry after a failed attempt: sweeps cyclically from
+    /// the last victim (so one full pass visits every peer), never `me`.
+    #[inline]
+    pub(crate) fn victim_sweep(&self, n: usize, me: usize) -> usize {
+        debug_assert!(n > 1);
+        let mut v = (self.scan.get() + 1) % n;
+        if v == me {
+            v = (v + 1) % n;
+        }
+        self.scan.set(v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_never_self() {
+        let rng = VictimRng::new(123);
+        for _ in 0..10_000 {
+            let v = rng.victim(8, 3);
+            assert!(v < 8);
+            assert_ne!(v, 3);
+        }
+    }
+
+    #[test]
+    fn victim_covers_everyone_else() {
+        let rng = VictimRng::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.victim(8, 0)] = true;
+        }
+        assert!(!seen[0]);
+        assert!(seen[1..].iter().all(|&s| s));
+    }
+
+    #[test]
+    fn two_worker_pool_always_picks_the_other() {
+        let rng = VictimRng::new(5);
+        for _ in 0..100 {
+            assert_eq!(rng.victim(2, 1), 0);
+            assert_eq!(rng.victim(2, 0), 1);
+        }
+    }
+}

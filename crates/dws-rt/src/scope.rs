@@ -1,0 +1,112 @@
+//! Structured task spawning: `scope(|s| { s.spawn(...); ... })`.
+//!
+//! A scope lets tasks borrow from the enclosing stack frame: every job
+//! spawned on the scope is guaranteed to finish before `scope` returns,
+//! so closures may capture `&'scope` references. This is the API the
+//! wave-style benchmarks (Heat, SOR, GE...) use to fan out one iteration's
+//! tasks.
+
+use std::marker::PhantomData;
+
+use parking_lot::Mutex;
+
+use crate::job::{HeapJob, PanicPayload};
+use crate::latch::{CountLatch, Latch};
+use crate::registry::WorkerThread;
+
+/// A spawn scope tied to lifetime `'scope`. Create with [`scope`].
+pub struct Scope<'scope> {
+    /// Outstanding spawned jobs.
+    pending: CountLatch,
+    /// First panic from a spawned job, re-thrown when the scope closes.
+    panic: Mutex<Option<PanicPayload>>,
+    /// Invariant over 'scope (captures must outlive the scope's body).
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `f` on the pool. The closure may borrow anything that lives
+    /// at least as long as `'scope`; it will run before [`scope`] returns.
+    ///
+    /// Must be called from a pool thread (any thread currently inside the
+    /// scope's body qualifies, since the body runs on a worker).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let worker = WorkerThread::current()
+            .expect("Scope::spawn called off the pool; scopes run on worker threads");
+        self.pending.increment();
+
+        // Erase 'scope: the job ref may sit in a deque typed for 'static.
+        // SAFETY: `scope` does not return until `pending` reaches zero,
+        // so every borrow in `f` outlives the job's execution.
+        struct ScopePtr<'s>(*const Scope<'s>);
+        // SAFETY: the Scope's fields (atomic counter, mutex) are Sync;
+        // only the raw pointer makes this !Send automatically.
+        unsafe impl Send for ScopePtr<'_> {}
+        impl<'s> ScopePtr<'s> {
+            // Method access (rather than field access) makes the closure
+            // capture the whole Send wrapper, not the raw pointer field.
+            fn get(&self) -> *const Scope<'s> {
+                self.0
+            }
+        }
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        let job = HeapJob::new(move || {
+            // SAFETY: the scope outlives all its jobs (waited on below).
+            let scope = unsafe { &*scope_ptr.get() };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            if let Err(payload) = result {
+                let mut slot = scope.panic.lock();
+                slot.get_or_insert(payload);
+            }
+            scope.pending.set();
+        });
+        worker.push(job);
+    }
+
+    fn done(&self) -> bool {
+        self.pending.probe_done()
+    }
+}
+
+/// Creates a scope, runs `op` inside it, waits for every spawned job, and
+/// returns `op`'s result. Panics from spawned jobs (the first one) and
+/// from `op` itself are propagated; spawned jobs always complete before
+/// the panic resumes.
+///
+/// Must be called from inside a pool (e.g. within
+/// [`crate::Runtime::block_on`]); [`crate::Runtime::scope`] wraps the two.
+/// Called from outside any pool, spawns would have nowhere to run, so this
+/// panics with a descriptive message.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let worker = WorkerThread::current()
+        .expect("scope() called off the pool; use Runtime::scope or call inside block_on");
+
+    let s = Scope {
+        pending: CountLatch::with_count(0),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(&s)));
+
+    // Wait for all spawned jobs, helping to execute them.
+    worker.work_until(|| s.done());
+
+    // Propagation order: op's own panic first, then the first job panic.
+    match result {
+        Err(payload) => std::panic::resume_unwind(payload),
+        Ok(r) => {
+            if let Some(payload) = s.panic.lock().take() {
+                std::panic::resume_unwind(payload);
+            }
+            r
+        }
+    }
+}

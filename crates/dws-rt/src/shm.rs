@@ -1,0 +1,340 @@
+//! The `mmap`-backed cross-process core-allocation table (paper §3.4).
+//!
+//! "The first-launched work-stealing program creates a new file and maps
+//! the file into the shared memory using `mmap()` ... all the following
+//! programs can easily access the core allocation table using `mmap()`."
+//!
+//! Layout of the mapped file (all fields little-endian, cache-line
+//! alignment is irrelevant at this scale):
+//!
+//! ```text
+//! offset 0   u64  MAGIC (written last by the creator, release order)
+//! offset 8   u32  version
+//! offset 12  u32  cores (k)
+//! offset 16  u32  max programs (m)
+//! offset 20  u32  registered-programs counter (atomic fetch_add)
+//! offset 24  i32  slot[0] .. slot[k-1]   (-1 = FREE, else program id)
+//! ```
+//!
+//! The creator initializes dimensions and slots (the §3.1 equipartition)
+//! and then publishes `MAGIC`; openers spin until the magic appears, so a
+//! concurrent create/open race is benign.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, Ordering};
+
+use crate::alloc_table::{equipartition_home, CoreTable, FREE};
+
+const MAGIC: u64 = 0x4457_535F_5441_424C; // "DWS_TABL"
+const VERSION: u32 = 1;
+const HEADER_BYTES: usize = 24;
+
+struct Mapping {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The mapping is shared memory accessed exclusively through atomics.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len came from a successful mmap of exactly len bytes.
+        unsafe {
+            libc::munmap(self.ptr.cast(), self.len);
+        }
+    }
+}
+
+/// Cross-process core-allocation table over a shared file.
+pub struct ShmTable {
+    // (fields below; Debug is implemented manually to avoid printing the
+    // raw mapping pointer contents)
+    map: Mapping,
+    home: Vec<usize>,
+    cores: usize,
+    programs: usize,
+}
+
+impl ShmTable {
+    /// Creates the table file (or opens it if another program got there
+    /// first) and maps it. `cores` and `programs` must match across all
+    /// participants; a mismatch with an existing table is an error.
+    pub fn create_or_open(path: &Path, cores: usize, programs: usize) -> io::Result<ShmTable> {
+        assert!(cores > 0 && cores < 4096, "unreasonable core count");
+        assert!(programs > 0 && programs <= cores);
+        let len = HEADER_BYTES + cores * 4;
+
+        let cpath = std::ffi::CString::new(path.as_os_str().as_encoded_bytes())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "NUL in path"))?;
+
+        // Try exclusive creation first.
+        // SAFETY: plain libc calls with a valid C string.
+        let (fd, creator) = unsafe {
+            let fd = libc::open(cpath.as_ptr(), libc::O_RDWR | libc::O_CREAT | libc::O_EXCL, 0o600);
+            if fd >= 0 {
+                (fd, true)
+            } else {
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() != Some(libc::EEXIST) {
+                    return Err(err);
+                }
+                let fd = libc::open(cpath.as_ptr(), libc::O_RDWR);
+                if fd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                (fd, false)
+            }
+        };
+
+        // SAFETY: fd is a valid open descriptor; we size and map it.
+        let map = unsafe {
+            if creator && libc::ftruncate(fd, len as libc::off_t) != 0 {
+                let e = io::Error::last_os_error();
+                libc::close(fd);
+                return Err(e);
+            }
+            // Wait for a non-creator's file to be sized (creator may still
+            // be between open and ftruncate).
+            if !creator {
+                for _ in 0..10_000 {
+                    let mut st: libc::stat = std::mem::zeroed();
+                    if libc::fstat(fd, &mut st) == 0 && st.st_size as usize >= len {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            let ptr = libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                fd,
+                0,
+            );
+            libc::close(fd);
+            if ptr == libc::MAP_FAILED {
+                return Err(io::Error::last_os_error());
+            }
+            Mapping { ptr: ptr.cast(), len }
+        };
+
+        let table = ShmTable {
+            map,
+            home: equipartition_home(cores, programs),
+            cores,
+            programs,
+        };
+
+        if creator {
+            table.u32_at(8).store(VERSION, Ordering::Relaxed);
+            table.u32_at(12).store(cores as u32, Ordering::Relaxed);
+            table.u32_at(16).store(programs as u32, Ordering::Relaxed);
+            table.u32_at(20).store(0, Ordering::Relaxed);
+            for c in 0..cores {
+                table.slot(c).store(table.home[c] as i32, Ordering::Relaxed);
+            }
+            // Publish.
+            table.magic().store(MAGIC, Ordering::Release);
+        } else {
+            // Spin until the creator publishes, then validate dimensions.
+            let mut ok = false;
+            for _ in 0..1_000_000 {
+                if table.magic().load(Ordering::Acquire) == MAGIC {
+                    ok = true;
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            if !ok {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "shared table never initialized",
+                ));
+            }
+            let (k, m) = (
+                table.u32_at(12).load(Ordering::Relaxed) as usize,
+                table.u32_at(16).load(Ordering::Relaxed) as usize,
+            );
+            if k != cores || m != programs {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("table is {k} cores / {m} programs, expected {cores}/{programs}"),
+                ));
+            }
+        }
+        Ok(table)
+    }
+
+    /// Registers the calling program, returning its program id (creation
+    /// order, as in the paper where the first-launched program creates the
+    /// table). Errors once `max_programs` registrations have happened.
+    pub fn register(&self) -> io::Result<usize> {
+        let id = self.u32_at(20).fetch_add(1, Ordering::AcqRel) as usize;
+        if id >= self.programs {
+            Err(io::Error::new(io::ErrorKind::QuotaExceeded, "all program slots taken"))
+        } else {
+            Ok(id)
+        }
+    }
+
+    fn magic(&self) -> &AtomicU64 {
+        // SAFETY: offset 0 is within the mapping and 8-aligned (mmap is
+        // page-aligned); shared-memory atomics are the intended use.
+        unsafe { &*self.map.ptr.cast::<AtomicU64>() }
+    }
+
+    fn u32_at(&self, off: usize) -> &AtomicU32 {
+        debug_assert!(off + 4 <= HEADER_BYTES && off.is_multiple_of(4));
+        // SAFETY: in-bounds, 4-aligned.
+        unsafe { &*self.map.ptr.add(off).cast::<AtomicU32>() }
+    }
+
+    fn slot(&self, core: usize) -> &AtomicI32 {
+        debug_assert!(core < self.cores);
+        // SAFETY: in-bounds (len covers HEADER + cores*4), 4-aligned.
+        unsafe { &*self.map.ptr.add(HEADER_BYTES + core * 4).cast::<AtomicI32>() }
+    }
+}
+
+impl std::fmt::Debug for ShmTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmTable")
+            .field("cores", &self.cores)
+            .field("programs", &self.programs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CoreTable for ShmTable {
+    fn cores(&self) -> usize {
+        self.cores
+    }
+
+    fn max_programs(&self) -> usize {
+        self.programs
+    }
+
+    fn home(&self, core: usize) -> usize {
+        self.home[core]
+    }
+
+    fn current(&self, core: usize) -> Option<usize> {
+        match self.slot(core).load(Ordering::Acquire) {
+            FREE => None,
+            p => Some(p as usize),
+        }
+    }
+
+    fn release(&self, core: usize, prog: usize) -> bool {
+        self.slot(core)
+            .compare_exchange(prog as i32, FREE, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn try_acquire_free(&self, core: usize, prog: usize) -> bool {
+        self.slot(core)
+            .compare_exchange(FREE, prog as i32, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn try_reclaim(&self, core: usize, prog: usize) -> bool {
+        if self.home[core] != prog {
+            return false;
+        }
+        let mut cur = self.slot(core).load(Ordering::Acquire);
+        loop {
+            if cur == prog as i32 {
+                return false;
+            }
+            match self.slot(core).compare_exchange_weak(
+                cur,
+                prog as i32,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => {
+                    if actual == prog as i32 {
+                        return false;
+                    }
+                    cur = actual;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dws-table-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn create_initializes_equipartition() {
+        let path = temp_path("init");
+        let t = ShmTable::create_or_open(&path, 8, 2).unwrap();
+        assert_eq!(t.cores(), 8);
+        assert_eq!(t.max_programs(), 2);
+        assert_eq!(t.used_by(0), vec![0, 1, 2, 3]);
+        assert_eq!(t.used_by(1), vec![4, 5, 6, 7]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn second_open_sees_first_programs_writes() {
+        let path = temp_path("share");
+        let a = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        let b = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert!(a.release(0, 0));
+        // b observes through its own mapping.
+        assert_eq!(b.current(0), None);
+        assert!(b.try_acquire_free(0, 1));
+        assert_eq!(a.current(0), Some(1));
+        assert_eq!(a.reclaimable_cores(0), vec![0]);
+        assert!(a.try_reclaim(0, 0));
+        assert_eq!(b.current(0), Some(0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let path = temp_path("mismatch");
+        let _a = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        let err = ShmTable::create_or_open(&path, 8, 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn registration_hands_out_sequential_ids() {
+        let path = temp_path("register");
+        let t = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(t.register().unwrap(), 0);
+        let t2 = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(t2.register().unwrap(), 1);
+        assert!(t.register().is_err(), "third program rejected");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_create_or_open_converges() {
+        let path = temp_path("race");
+        let p2 = path.clone();
+        let h = std::thread::spawn(move || ShmTable::create_or_open(&p2, 4, 2).unwrap());
+        let a = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        let b = h.join().unwrap();
+        // Whichever created it, both see the same initialized state.
+        assert_eq!(a.used_by(0), b.used_by(0));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

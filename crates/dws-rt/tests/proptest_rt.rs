@@ -1,0 +1,146 @@
+//! Property tests for the runtime: randomly shaped computations executed
+//! through `join`/`scope`/`par_*` must agree exactly with a sequential
+//! oracle, under every policy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dws_rt::{join, par_chunks_mut, par_for_each_mut, par_map_reduce, Policy, Runtime, RuntimeConfig};
+use proptest::prelude::*;
+
+/// A random expression tree: leaves are values, nodes combine children
+/// with wrapping arithmetic.
+#[derive(Debug, Clone)]
+enum Expr {
+    Leaf(u64),
+    Add(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = any::<u64>().prop_map(Expr::Leaf);
+    leaf.prop_recursive(6, 64, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_seq(e: &Expr) -> u64 {
+    match e {
+        Expr::Leaf(v) => *v,
+        Expr::Add(a, b) => eval_seq(a).wrapping_add(eval_seq(b)),
+        Expr::Mul(a, b) => eval_seq(a).wrapping_mul(eval_seq(b)),
+    }
+}
+
+fn eval_par(e: &Expr) -> u64 {
+    match e {
+        Expr::Leaf(v) => *v,
+        Expr::Add(a, b) => {
+            let (x, y) = join(|| eval_par(a), || eval_par(b));
+            x.wrapping_add(y)
+        }
+        Expr::Mul(a, b) => {
+            let (x, y) = join(|| eval_par(a), || eval_par(b));
+            x.wrapping_mul(y)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fork-join evaluation of any random DAG equals sequential
+    /// evaluation, on pools of any policy and size.
+    #[test]
+    fn join_tree_matches_sequential(
+        e in expr_strategy(),
+        workers in 1usize..4,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [Policy::Ws, Policy::Abp, Policy::Ep][policy_idx];
+        let pool = Runtime::new(RuntimeConfig::new(workers, policy));
+        let expected = eval_seq(&e);
+        let got = pool.block_on(|| eval_par(&e));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Scoped fan-out writes every slot exactly once, whatever the shape.
+    #[test]
+    fn scope_fanout_covers_all_slots(
+        sizes in proptest::collection::vec(0usize..80, 1..8),
+    ) {
+        let pool = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+        for &n in &sizes {
+            let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool.scope(|s| {
+                for (i, slot) in slots.iter().enumerate() {
+                    s.spawn(move || {
+                        slot.fetch_add(i as u64 + 1, Ordering::Relaxed);
+                    });
+                }
+            });
+            for (i, slot) in slots.iter().enumerate() {
+                prop_assert_eq!(slot.load(Ordering::Relaxed), i as u64 + 1);
+            }
+        }
+    }
+
+    /// par_map_reduce equals the sequential fold for any data and grain.
+    #[test]
+    fn map_reduce_matches_fold(
+        data in proptest::collection::vec(any::<u32>(), 0..2_000),
+        grain in 1usize..512,
+    ) {
+        let pool = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+        let expected = data
+            .iter()
+            .fold(0u64, |acc, &x| acc.wrapping_add(x as u64).rotate_left(1));
+        // rotate_left makes the fold order-sensitive — so use a plain sum
+        // for the parallel comparison (reduce must be associative).
+        let expected_sum: u64 = data.iter().map(|&x| x as u64).sum();
+        let got = pool.block_on(|| {
+            par_map_reduce(&data, grain, 0u64, |&x| x as u64, |a, b| a + b)
+        });
+        prop_assert_eq!(got, expected_sum);
+        let _ = expected;
+    }
+
+    /// par_for_each_mut touches every element exactly once.
+    #[test]
+    fn for_each_mut_is_a_permutation_free_map(
+        len in 0usize..3_000,
+        grain in 1usize..256,
+    ) {
+        let pool = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+        let mut v: Vec<u64> = (0..len as u64).collect();
+        pool.block_on(|| par_for_each_mut(&mut v, grain, |x| *x = x.wrapping_mul(3) + 1));
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert_eq!(x, (i as u64).wrapping_mul(3) + 1);
+        }
+    }
+
+    /// par_chunks_mut partitions exactly: every index visited once with
+    /// its correct offset.
+    #[test]
+    fn chunks_mut_partitions_exactly(
+        len in 0usize..3_000,
+        chunk in 1usize..300,
+    ) {
+        let pool = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+        let mut v = vec![u64::MAX; len];
+        pool.block_on(|| {
+            par_chunks_mut(&mut v, chunk, |offset, slice| {
+                for (k, x) in slice.iter_mut().enumerate() {
+                    *x = (offset + k) as u64;
+                }
+            })
+        });
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert_eq!(x, i as u64);
+        }
+    }
+}

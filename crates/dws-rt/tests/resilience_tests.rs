@@ -1,0 +1,173 @@
+//! Failure-injection and resilience tests for the real runtime: lost
+//! wake-ups, a crippled coordinator, table contention storms, and
+//! worst-case configuration values. A production runtime must make
+//! progress through all of them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dws_rt::{join, CoreTable, InProcessTable, Policy, Runtime, RuntimeConfig};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+/// A table that refuses every acquisition: simulates a pathological
+/// co-runner that never releases anything and swallows our releases.
+struct HostileTable {
+    inner: InProcessTable,
+    denied: AtomicUsize,
+}
+
+impl HostileTable {
+    fn new(cores: usize) -> Self {
+        HostileTable { inner: InProcessTable::new(cores, 2), denied: AtomicUsize::new(0) }
+    }
+}
+
+impl CoreTable for HostileTable {
+    fn cores(&self) -> usize {
+        self.inner.cores()
+    }
+    fn max_programs(&self) -> usize {
+        self.inner.max_programs()
+    }
+    fn home(&self, core: usize) -> usize {
+        self.inner.home(core)
+    }
+    fn current(&self, core: usize) -> Option<usize> {
+        self.inner.current(core)
+    }
+    fn release(&self, core: usize, prog: usize) -> bool {
+        self.inner.release(core, prog)
+    }
+    fn try_acquire_free(&self, _core: usize, _prog: usize) -> bool {
+        self.denied.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+    fn try_reclaim(&self, _core: usize, _prog: usize) -> bool {
+        self.denied.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+}
+
+#[test]
+fn progress_with_a_hostile_table() {
+    // Even when no core can ever be (re)acquired, the runtime must not
+    // deadlock: the worker's initial ownership plus the ensure-progress
+    // wake path keep things moving.
+    let table = Arc::new(HostileTable::new(2));
+    let rt = Runtime::with_table(
+        RuntimeConfig::new(2, Policy::Dws),
+        Arc::clone(&table) as Arc<dyn CoreTable>,
+        0,
+    );
+    for _ in 0..5 {
+        assert_eq!(rt.block_on(|| fib(12)), 144);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn progress_with_a_glacial_coordinator() {
+    // Coordinator period far beyond the test duration: the sleep-timeout
+    // self-recovery must carry all wake-ups.
+    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
+    let mut cfg = RuntimeConfig::new(2, Policy::Dws);
+    cfg.coordinator_period = Duration::from_secs(3600);
+    cfg.sleep_timeout = Some(Duration::from_millis(10));
+    let rt = Runtime::with_table(cfg, table, 0);
+    std::thread::sleep(Duration::from_millis(80)); // let workers sleep
+    for _ in 0..5 {
+        assert_eq!(rt.block_on(|| fib(13)), 233);
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+#[test]
+fn t_sleep_zero_and_huge_both_work() {
+    for t_sleep in [0u32, u32::MAX] {
+        let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
+        let mut cfg = RuntimeConfig::new(2, Policy::Dws);
+        cfg.t_sleep = t_sleep;
+        let rt = Runtime::with_table(cfg, table, 0);
+        assert_eq!(rt.block_on(|| fib(12)), 144, "t_sleep = {t_sleep}");
+    }
+}
+
+#[test]
+fn rapid_create_destroy_cycles() {
+    // Shutdown while workers are in every possible state.
+    for i in 0..20 {
+        let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
+        let rt = Runtime::with_table(
+            RuntimeConfig::new(2, Policy::Dws),
+            table,
+            i % 2,
+        );
+        if i % 3 == 0 {
+            let _ = rt.block_on(|| fib(8));
+        }
+        if i % 3 == 1 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(rt);
+    }
+}
+
+#[test]
+fn deep_recursion_does_not_overflow_or_starve() {
+    let rt = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+    // A 2^14-leaf unbalanced reduction.
+    fn count(depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = join(|| count(depth - 1), || count(depth - 1));
+        a + b
+    }
+    assert_eq!(rt.block_on(|| count(14)), 1 << 14);
+}
+
+#[test]
+fn scope_under_memory_churn() {
+    // Many scopes with allocating jobs: exercises HeapJob alloc/free and
+    // the panic-free path under churn.
+    let rt = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
+    let total = Arc::new(AtomicUsize::new(0));
+    for round in 0..50 {
+        let total = Arc::clone(&total);
+        rt.scope(|s| {
+            for i in 0..64 {
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    let v: Vec<usize> = (0..i + round).collect();
+                    total.fetch_add(v.len(), Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    let expected: usize = (0..50).map(|r| (0..64).map(|i| i + r).sum::<usize>()).sum();
+    assert_eq!(total.load(Ordering::Relaxed), expected);
+}
+
+#[test]
+fn sleep_timeout_none_still_completes_with_coordinator() {
+    // Paper-pure mode: no timeout; wake-ups come only from the
+    // coordinator (and the injection path).
+    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
+    let mut cfg = RuntimeConfig::new(2, Policy::Dws);
+    cfg.sleep_timeout = None;
+    let rt = Runtime::with_table(cfg, table, 0);
+    std::thread::sleep(Duration::from_millis(60));
+    for _ in 0..3 {
+        assert_eq!(rt.block_on(|| fib(12)), 144);
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // Shutdown with indefinitely sleeping workers must not hang.
+}

@@ -1,0 +1,275 @@
+//! The core-allocation table (paper Table 1).
+//!
+//! One slot per core recording the program currently *using* the core, or
+//! `FREE`. Separately, each core has a static *home owner* — the program it
+//! was assigned to by the initial equipartition — which is what the
+//! coordinator's `N_r` ("my cores that other programs are using") is
+//! computed against (§3.3).
+//!
+//! This module is the simulator's in-memory model of the table; the real
+//! runtime's mmap-backed equivalent lives in `dws-rt::alloc_table` and
+//! implements the same transition protocol.
+
+/// Identifier of a co-running program (index into the simulator's program
+/// vector).
+pub type ProgId = usize;
+
+/// A table slot: which program currently uses the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// The core was released and may be taken by any program.
+    Free,
+    /// The core is in use by the given program.
+    Used(ProgId),
+}
+
+/// The shared core-allocation table plus the static home-ownership map.
+#[derive(Debug, Clone)]
+pub struct AllocTable {
+    slots: Vec<Slot>,
+    home: Vec<ProgId>,
+}
+
+impl AllocTable {
+    /// Builds the table for `cores` cores shared by `programs` programs,
+    /// applying the paper's initial allocation: each program gets
+    /// `cores / programs` *adjacent* cores (the first `cores % programs`
+    /// programs absorb the remainder, one extra core each), and initially
+    /// uses all of them.
+    pub fn equipartition(cores: usize, programs: usize) -> Self {
+        assert!(programs > 0 && cores >= programs, "need at least one core per program");
+        let base = cores / programs;
+        let extra = cores % programs;
+        let mut home = Vec::with_capacity(cores);
+        for p in 0..programs {
+            let share = base + usize::from(p < extra);
+            home.extend(std::iter::repeat_n(p, share));
+        }
+        debug_assert_eq!(home.len(), cores);
+        Self::with_homes(home, programs)
+    }
+
+    /// Interleaved equipartition (ablation of the adjacency decision):
+    /// core `c` is homed to program `c % programs`, so every program's
+    /// slice straddles all sockets.
+    pub fn equipartition_interleaved(cores: usize, programs: usize) -> Self {
+        assert!(programs > 0 && cores >= programs, "need at least one core per program");
+        let home = (0..cores).map(|c| c % programs).collect();
+        Self::with_homes(home, programs)
+    }
+
+    /// Builds a table from an explicit home map (used for demand-aware
+    /// placement on asymmetric machines). Every program in
+    /// `0..programs` must own at least one core.
+    pub fn with_homes(home: Vec<usize>, programs: usize) -> Self {
+        assert!(programs > 0);
+        for p in 0..programs {
+            assert!(
+                home.contains(&p),
+                "program {p} owns no core in the home map"
+            );
+        }
+        assert!(home.iter().all(|&h| h < programs), "home map names unknown program");
+        let slots = home.iter().map(|&p| Slot::Used(p)).collect();
+        AllocTable { slots, home }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current user of `core`.
+    pub fn slot(&self, core: usize) -> Slot {
+        self.slots[core]
+    }
+
+    /// Static home owner of `core` (initial equipartition).
+    pub fn home(&self, core: usize) -> ProgId {
+        self.home[core]
+    }
+
+    /// The cores initially allocated to `prog`, in order.
+    pub fn home_cores(&self, prog: ProgId) -> Vec<usize> {
+        (0..self.cores()).filter(|&c| self.home[c] == prog).collect()
+    }
+
+    /// Marks `core` free. Called when a worker of the using program goes to
+    /// sleep (Algorithm 1: "the correspondence item ... is set as 0").
+    /// Releasing a core the program does not use is a protocol error.
+    pub fn release(&mut self, core: usize, prog: ProgId) {
+        debug_assert_eq!(
+            self.slots[core],
+            Slot::Used(prog),
+            "program {prog} released core {core} it does not use"
+        );
+        self.slots[core] = Slot::Free;
+    }
+
+    /// Acquires a free core for `prog`. Returns false if the core was not
+    /// free (lost a race / stale view).
+    pub fn acquire_free(&mut self, core: usize, prog: ProgId) -> bool {
+        if self.slots[core] == Slot::Free {
+            self.slots[core] = Slot::Used(prog);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reclaims one of `prog`'s *home* cores currently used by another
+    /// program (§3.3 constraint 2). Returns false if `core` is not
+    /// reclaimable by `prog` (not its home, or not used by someone else).
+    pub fn reclaim(&mut self, core: usize, prog: ProgId) -> bool {
+        if self.home[core] != prog {
+            return false;
+        }
+        match self.slots[core] {
+            Slot::Used(user) if user != prog => {
+                self.slots[core] = Slot::Used(prog);
+                true
+            }
+            Slot::Free => {
+                self.slots[core] = Slot::Used(prog);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All currently free cores.
+    pub fn free_cores(&self) -> Vec<usize> {
+        (0..self.cores()).filter(|&c| self.slots[c] == Slot::Free).collect()
+    }
+
+    /// `N_f`: number of free cores in the whole system.
+    pub fn n_free(&self) -> usize {
+        self.slots.iter().filter(|s| **s == Slot::Free).count()
+    }
+
+    /// `N_r` for `prog`: its home cores currently used by *other* programs.
+    pub fn n_reclaimable(&self, prog: ProgId) -> usize {
+        self.reclaimable_cores(prog).len()
+    }
+
+    /// The home cores of `prog` currently used by other programs.
+    pub fn reclaimable_cores(&self, prog: ProgId) -> Vec<usize> {
+        (0..self.cores())
+            .filter(|&c| {
+                self.home[c] == prog
+                    && matches!(self.slots[c], Slot::Used(u) if u != prog)
+            })
+            .collect()
+    }
+
+    /// Cores currently used by `prog`.
+    pub fn used_by(&self, prog: ProgId) -> Vec<usize> {
+        (0..self.cores())
+            .filter(|&c| self.slots[c] == Slot::Used(prog))
+            .collect()
+    }
+
+    /// Invariant check used by tests and debug assertions: every slot is
+    /// either free or names a valid program; home is a permutation-stable
+    /// partition.
+    pub fn check_invariants(&self, programs: usize) {
+        assert_eq!(self.home.len(), self.slots.len());
+        for (c, s) in self.slots.iter().enumerate() {
+            if let Slot::Used(p) = s {
+                assert!(*p < programs, "core {c} used by out-of-range program {p}");
+            }
+            assert!(self.home[c] < programs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equipartition_is_adjacent_and_even() {
+        let t = AllocTable::equipartition(16, 2);
+        assert_eq!(t.home_cores(0), (0..8).collect::<Vec<_>>());
+        assert_eq!(t.home_cores(1), (8..16).collect::<Vec<_>>());
+        for c in 0..8 {
+            assert_eq!(t.slot(c), Slot::Used(0));
+        }
+        for c in 8..16 {
+            assert_eq!(t.slot(c), Slot::Used(1));
+        }
+    }
+
+    #[test]
+    fn equipartition_distributes_remainder() {
+        let t = AllocTable::equipartition(16, 3);
+        // 16 = 6 + 5 + 5.
+        assert_eq!(t.home_cores(0).len(), 6);
+        assert_eq!(t.home_cores(1).len(), 5);
+        assert_eq!(t.home_cores(2).len(), 5);
+        t.check_invariants(3);
+    }
+
+    #[test]
+    fn release_then_acquire_moves_core_between_programs() {
+        let mut t = AllocTable::equipartition(4, 2);
+        t.release(0, 0);
+        assert_eq!(t.slot(0), Slot::Free);
+        assert_eq!(t.n_free(), 1);
+        assert!(t.acquire_free(0, 1));
+        assert_eq!(t.slot(0), Slot::Used(1));
+        assert_eq!(t.n_free(), 0);
+    }
+
+    #[test]
+    fn acquire_non_free_core_fails() {
+        let mut t = AllocTable::equipartition(4, 2);
+        assert!(!t.acquire_free(0, 1));
+        assert_eq!(t.slot(0), Slot::Used(0));
+    }
+
+    #[test]
+    fn n_reclaimable_counts_only_foreign_used_home_cores() {
+        let mut t = AllocTable::equipartition(4, 2);
+        // Program 0 releases core 0; program 1 takes it.
+        t.release(0, 0);
+        t.acquire_free(0, 1);
+        assert_eq!(t.n_reclaimable(0), 1);
+        assert_eq!(t.reclaimable_cores(0), vec![0]);
+        // Program 1's own cores are untouched.
+        assert_eq!(t.n_reclaimable(1), 0);
+    }
+
+    #[test]
+    fn reclaim_takes_back_home_core() {
+        let mut t = AllocTable::equipartition(4, 2);
+        t.release(1, 0);
+        t.acquire_free(1, 1);
+        assert!(t.reclaim(1, 0));
+        assert_eq!(t.slot(1), Slot::Used(0));
+        assert_eq!(t.n_reclaimable(0), 0);
+    }
+
+    #[test]
+    fn reclaim_rejects_foreign_home() {
+        let mut t = AllocTable::equipartition(4, 2);
+        // Core 2 is home to program 1; program 0 cannot reclaim it even
+        // though program 1 uses it.
+        assert!(!t.reclaim(2, 0));
+        assert_eq!(t.slot(2), Slot::Used(1));
+    }
+
+    #[test]
+    fn used_by_reflects_current_state() {
+        let mut t = AllocTable::equipartition(4, 2);
+        assert_eq!(t.used_by(0), vec![0, 1]);
+        t.release(0, 0);
+        assert_eq!(t.used_by(0), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn more_programs_than_cores_rejected() {
+        AllocTable::equipartition(2, 3);
+    }
+}

@@ -1,0 +1,276 @@
+//! Cache-interference model.
+//!
+//! The paper's §2.1 identifies cache contention as the second drawback of
+//! time-sharing: workers of different programs scheduled on the same core
+//! evict each other's working sets, and co-runners pressure the shared
+//! last-level cache. §4.1 additionally credits DWS's space-sharing with a
+//! *locality bonus* (p-7 beating its solo baseline) because a compacted
+//! program stops spanning sockets.
+//!
+//! The model charges a multiplicative slowdown to task execution:
+//!
+//! ```text
+//! slowdown = 1 + cold + llc_other + llc_self + spread
+//!   cold      = cold_penalty · mem                (inside the cold window)
+//!   llc_other = llc_coeff · mem · P_other         (foreign socket pressure)
+//!   llc_self  = llc_coeff · self_frac · mem · P_self
+//!   spread    = spread_penalty · mem              (program spans >1 socket)
+//! ```
+//!
+//! where `P_other`/`P_self` are the mean memory intensities that other
+//! programs / the same program are currently driving into the socket from
+//! *other* cores.
+
+use crate::config::{CacheConfig, MachineConfig, SimTime};
+
+/// Per-tick snapshot of who is driving memory traffic where.
+#[derive(Debug, Clone)]
+pub struct PressureSnapshot {
+    /// Sum of running-task memory intensity per socket.
+    socket_mem: Vec<f64>,
+    /// Same, broken down per program: `[prog][socket]`.
+    prog_socket_mem: Vec<Vec<f64>>,
+    /// Number of sockets on which each program has an awake worker with a
+    /// task in flight.
+    prog_spread: Vec<u32>,
+    /// Machine-wide bandwidth demand (sum of running-task intensities,
+    /// inflated for socket-spread programs). Filled in by
+    /// [`PressureSnapshot::finalize`].
+    global_demand: f64,
+    spread_bw_factor: f64,
+}
+
+impl PressureSnapshot {
+    /// Creates an empty snapshot for `programs` programs.
+    pub fn new(programs: usize, sockets: usize) -> Self {
+        Self::with_spread_bw(programs, sockets, CacheConfig::default().spread_bw_factor)
+    }
+
+    /// As [`PressureSnapshot::new`] with an explicit coherence-inflation
+    /// factor for spread programs.
+    pub fn with_spread_bw(programs: usize, sockets: usize, spread_bw_factor: f64) -> Self {
+        PressureSnapshot {
+            socket_mem: vec![0.0; sockets],
+            prog_socket_mem: vec![vec![0.0; sockets]; programs],
+            prog_spread: vec![0; programs],
+            global_demand: 0.0,
+            spread_bw_factor,
+        }
+    }
+
+    /// Records that `prog` is running a task of intensity `mem` on a core
+    /// of `socket` this tick.
+    pub fn add_running(&mut self, prog: usize, socket: usize, mem: f64) {
+        self.socket_mem[socket] += mem;
+        self.prog_socket_mem[prog][socket] += mem;
+    }
+
+    /// Finalizes spread counts and the global bandwidth demand (call once
+    /// after all `add_running`s).
+    pub fn finalize(&mut self) {
+        self.global_demand = 0.0;
+        for (p, per_socket) in self.prog_socket_mem.iter().enumerate() {
+            let spread = per_socket.iter().filter(|&&m| m > 0.0).count() as u32;
+            self.prog_spread[p] = spread;
+            let total: f64 = per_socket.iter().sum();
+            let inflation = if spread > 1 { 1.0 + self.spread_bw_factor } else { 1.0 };
+            self.global_demand += total * inflation;
+        }
+    }
+
+    /// Machine-wide bandwidth demand after inflation.
+    pub fn global_demand(&self) -> f64 {
+        self.global_demand
+    }
+
+    /// Memory pressure other programs place on `socket`, excluding `prog`.
+    pub fn other_pressure(&self, prog: usize, socket: usize) -> f64 {
+        self.socket_mem[socket] - self.prog_socket_mem[prog][socket]
+    }
+
+    /// Memory pressure `prog` itself places on `socket`.
+    pub fn self_pressure(&self, prog: usize, socket: usize) -> f64 {
+        self.prog_socket_mem[prog][socket]
+    }
+
+    /// Sockets `prog` is actively using.
+    pub fn spread(&self, prog: usize) -> u32 {
+        self.prog_spread[prog]
+    }
+
+    /// The socket carrying most of `prog`'s running memory traffic (its
+    /// data's likely home). Ties resolve to the lower socket id.
+    pub fn primary_socket(&self, prog: usize) -> usize {
+        let per_socket = &self.prog_socket_mem[prog];
+        let mut best = 0;
+        for (s, &m) in per_socket.iter().enumerate() {
+            if m > per_socket[best] {
+                best = s;
+            }
+        }
+        best
+    }
+}
+
+/// The slowdown formula with its configuration.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    cfg: CacheConfig,
+    cores_per_socket: f64,
+}
+
+impl CacheModel {
+    /// Builds the model for a machine.
+    pub fn new(cfg: CacheConfig, machine: &MachineConfig) -> Self {
+        CacheModel { cfg, cores_per_socket: machine.cores_per_socket() as f64 }
+    }
+
+    /// Cold-window length (used by the OS on cross-program switches).
+    pub fn cold_period_us(&self) -> SimTime {
+        self.cfg.cold_period_us
+    }
+
+    /// Computes the slowdown for `prog` executing work of intensity `mem`
+    /// on a core of `socket` at time `now`, where the core's cold window
+    /// ends at `cold_until`.
+    pub fn slowdown(
+        &self,
+        snapshot: &PressureSnapshot,
+        prog: usize,
+        socket: usize,
+        mem: f64,
+        now: SimTime,
+        cold_until: SimTime,
+    ) -> f64 {
+        if mem <= 0.0 {
+            return 1.0;
+        }
+        let mut s = 1.0;
+        if now < cold_until {
+            s += self.cfg.cold_penalty * mem;
+        }
+        // Normalize pressure by socket size so the coefficient is
+        // machine-shape independent; subtract this task's own contribution
+        // from self pressure (a task does not contend with itself).
+        let other = snapshot.other_pressure(prog, socket) / self.cores_per_socket;
+        let own = (snapshot.self_pressure(prog, socket) - mem).max(0.0) / self.cores_per_socket;
+        s += self.cfg.llc_coeff * mem * other;
+        s += self.cfg.llc_coeff * self.cfg.self_llc_fraction * mem * own;
+        // Positional spread penalty: when the program spans sockets, work
+        // running *off* its primary socket pays the coherence/locality tax
+        // (its data lives with the majority of its traffic).
+        if snapshot.spread(prog) > 1 && socket != snapshot.primary_socket(prog) {
+            s += self.cfg.spread_penalty * mem;
+        }
+        // Global DRAM bandwidth saturation: beyond capacity, memory-bound
+        // work slows in proportion to the overshoot.
+        let overshoot = (snapshot.global_demand() / self.cfg.bw_capacity - 1.0).max(0.0);
+        s += overshoot * mem;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CacheModel {
+        CacheModel::new(CacheConfig::default(), &MachineConfig::default())
+    }
+
+    #[test]
+    fn compute_bound_work_is_never_slowed() {
+        let m = model();
+        let mut snap = PressureSnapshot::new(2, 2);
+        snap.add_running(1, 0, 1.0);
+        snap.finalize();
+        assert_eq!(m.slowdown(&snap, 0, 0, 0.0, 0, 1_000), 1.0);
+    }
+
+    #[test]
+    fn cold_window_applies_only_before_expiry() {
+        let m = model();
+        let mut snap = PressureSnapshot::new(2, 2);
+        snap.finalize();
+        let cold = m.slowdown(&snap, 0, 0, 1.0, 100, 200);
+        let warm = m.slowdown(&snap, 0, 0, 1.0, 300, 200);
+        assert!(cold > warm);
+        assert!((cold - warm - CacheConfig::default().cold_penalty).abs() < 1e-9);
+    }
+
+    #[test]
+    fn foreign_pressure_slows_more_than_own() {
+        let m = model();
+        // Scenario A: other program drives 4 units into our socket.
+        let mut foreign = PressureSnapshot::new(2, 2);
+        for _ in 0..4 {
+            foreign.add_running(1, 0, 1.0);
+        }
+        foreign.add_running(0, 0, 0.8);
+        foreign.finalize();
+        // Scenario B: our own program drives the same 4 units.
+        let mut own = PressureSnapshot::new(2, 2);
+        for _ in 0..4 {
+            own.add_running(0, 0, 1.0);
+        }
+        own.add_running(0, 0, 0.8);
+        own.finalize();
+        let s_foreign = m.slowdown(&foreign, 0, 0, 0.8, 1_000, 0);
+        let s_own = m.slowdown(&own, 0, 0, 0.8, 1_000, 0);
+        assert!(s_foreign > s_own, "foreign {s_foreign} vs own {s_own}");
+        assert!(s_own > 1.0);
+    }
+
+    #[test]
+    fn spread_penalty_charged_off_primary_socket() {
+        let m = model();
+        // Program 0 runs mostly on socket 0 but has one task on socket 1.
+        let mut spread = PressureSnapshot::new(1, 2);
+        spread.add_running(0, 0, 0.9);
+        spread.add_running(0, 0, 0.9);
+        spread.add_running(0, 1, 0.9);
+        spread.finalize();
+        assert_eq!(spread.primary_socket(0), 0);
+        let on_primary = m.slowdown(&spread, 0, 0, 0.9, 0, 0);
+        let off_primary = m.slowdown(&spread, 0, 1, 0.9, 0, 0);
+        // Off-primary pays the spread tax (partly offset by lower
+        // same-socket self-LLC pressure there).
+        assert!(
+            off_primary > on_primary + 0.9 * CacheConfig::default().spread_penalty * 0.6,
+            "off {off_primary} vs on {on_primary}"
+        );
+        // A fully compact program pays no spread anywhere.
+        let mut compact = PressureSnapshot::new(1, 2);
+        compact.add_running(0, 0, 0.9);
+        compact.add_running(0, 0, 0.9);
+        compact.finalize();
+        let s_compact = m.slowdown(&compact, 0, 0, 0.9, 0, 0);
+        assert!(on_primary <= s_compact + 1e-9);
+    }
+
+    #[test]
+    fn own_contribution_excluded_from_self_pressure() {
+        let m = model();
+        let mut snap = PressureSnapshot::new(1, 1);
+        snap.add_running(0, 0, 1.0); // only this task on the socket
+        snap.finalize();
+        // Alone on the socket and warm: no slowdown at all.
+        let s = m.slowdown(&snap, 0, 0, 1.0, 1_000, 0);
+        assert!((s - 1.0).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn pressure_is_per_socket() {
+        let m = model();
+        let mut snap = PressureSnapshot::new(2, 2);
+        // Foreign load entirely on socket 1.
+        for _ in 0..6 {
+            snap.add_running(1, 1, 1.0);
+        }
+        snap.finalize();
+        let on_socket0 = m.slowdown(&snap, 0, 0, 1.0, 1_000, 0);
+        let on_socket1 = m.slowdown(&snap, 0, 1, 1.0, 1_000, 0);
+        assert!((on_socket0 - 1.0).abs() < 1e-12);
+        assert!(on_socket1 > 1.2);
+    }
+}

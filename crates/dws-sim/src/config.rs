@@ -1,0 +1,258 @@
+//! Simulation configuration: the machine, the OS scheduler, the cache
+//! model, and the scheduling-policy parameters of the paper.
+//!
+//! Defaults model the paper's testbed: two quad-core Intel Xeon E5620
+//! packages with Hyper-Threading — 16 logical cores over 2 sockets — under
+//! Linux 2.6.32 (§4 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::policy::Policy;
+
+/// Time is measured in simulated microseconds throughout the simulator.
+pub type SimTime = u64;
+
+/// Description of the simulated hardware.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of logical cores (paper: 16).
+    pub cores: usize,
+    /// Number of sockets; cores are split contiguously across sockets
+    /// (paper: 2, so cores 0..8 are socket 0 and 8..16 socket 1).
+    pub sockets: usize,
+    /// Simulation tick in microseconds. Each scheduled thread advances by
+    /// at most one tick of CPU time before the OS re-evaluates the core.
+    pub tick_us: SimTime,
+    /// OS preemption quantum in microseconds (Linux CFS-era timeslice
+    /// magnitude; threads on a shared core are preempted at this rate).
+    pub quantum_us: SimTime,
+    /// Cost charged to a thread when the core context-switches to it.
+    pub ctx_switch_us: SimTime,
+    /// Per-core relative clock speeds in `(0, 1]` (1.0 = nominal). Empty
+    /// means a symmetric machine. Models the asymmetric multi-core
+    /// architectures of the paper's §4.4 extension discussion.
+    #[serde(default)]
+    pub core_speeds: Vec<f64>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cores: 16,
+            sockets: 2,
+            tick_us: 10,
+            quantum_us: 4_000,
+            ctx_switch_us: 5,
+            core_speeds: Vec::new(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Socket housing `core`.
+    pub fn socket_of(&self, core: usize) -> usize {
+        debug_assert!(core < self.cores);
+        core * self.sockets / self.cores
+    }
+
+    /// Number of cores per socket.
+    pub fn cores_per_socket(&self) -> usize {
+        self.cores / self.sockets
+    }
+
+    /// Relative clock speed of `core` (1.0 on symmetric machines).
+    pub fn speed_of(&self, core: usize) -> f64 {
+        self.core_speeds.get(core).copied().unwrap_or(1.0)
+    }
+
+    /// An asymmetric machine: the first half of the cores run at nominal
+    /// speed, the second half at `slow_speed` (big.LITTLE-style).
+    pub fn asymmetric(cores: usize, sockets: usize, slow_speed: f64) -> MachineConfig {
+        assert!(slow_speed > 0.0 && slow_speed <= 1.0);
+        let fast = cores / 2;
+        let core_speeds = (0..cores)
+            .map(|c| if c < fast { 1.0 } else { slow_speed })
+            .collect();
+        MachineConfig { cores, sockets, core_speeds, ..Default::default() }
+    }
+}
+
+/// Parameters of the cache-interference model (§2.1 drawback 2, §4.1's
+/// locality discussion). The model charges multiplicative slowdowns to
+/// memory-intensive work:
+///
+/// * **cold-cache penalty** — after a core switches between threads of
+///   *different programs*, the incoming thread's memory accesses are slowed
+///   for `cold_period_us` (its working set was evicted);
+/// * **LLC contention** — work is slowed in proportion to the memory
+///   pressure other programs place on the same socket's shared cache;
+/// * **socket-spread penalty** — a program actively running on more than
+///   one socket pays a coherence/locality tax on memory-intensive work
+///   (this is what lets p-7/SOR beat its own 16-core solo baseline when
+///   DWS compacts it onto one socket, §4.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Duration of the cold-cache window after a cross-program switch.
+    pub cold_period_us: SimTime,
+    /// Peak slowdown multiplier applied during the cold window, scaled by
+    /// the task's memory intensity: `1 + cold_penalty * mem`.
+    pub cold_penalty: f64,
+    /// LLC contention coefficient: slowdown `llc_coeff * mem * pressure`
+    /// where pressure is the mean memory intensity other programs are
+    /// driving into this socket.
+    pub llc_coeff: f64,
+    /// Same-program LLC contention is real but weaker (shared working
+    /// set); scaled by this fraction of `llc_coeff`.
+    pub self_llc_fraction: f64,
+    /// Penalty for a program spanning multiple sockets: `spread_penalty *
+    /// mem` while > 1 socket hosts active workers of the program.
+    pub spread_penalty: f64,
+    /// Machine-wide memory-bandwidth capacity in units of summed task
+    /// memory intensity; when the running tasks' total demand exceeds it,
+    /// memory-bound work slows proportionally (§2.2's "contention for
+    /// the caches and DRAM").
+    pub bw_capacity: f64,
+    /// A program spanning multiple sockets adds coherence traffic: its
+    /// contribution to global bandwidth demand is inflated by this factor.
+    pub spread_bw_factor: f64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            // Refilling a multi-MB working set after eviction takes on
+            // the order of a millisecond on the paper's Xeon.
+            cold_period_us: 1_000,
+            cold_penalty: 1.0,
+            llc_coeff: 0.55,
+            self_llc_fraction: 0.35,
+            spread_penalty: 0.3,
+            bw_capacity: 10.0,
+            spread_bw_factor: 0.15,
+        }
+    }
+}
+
+/// Parameters of the work-stealing scheduler under simulation, including
+/// the paper's knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// Which multiprogramming policy this program uses.
+    pub policy: Policy,
+    /// Consecutive failed steals before a DWS worker sleeps
+    /// (paper §3.2/§4.3; default k = 16 on the 16-core platform).
+    pub t_sleep: u32,
+    /// Coordinator period in microseconds (paper §3.4: T = 10 ms).
+    pub coord_period_us: SimTime,
+    /// CPU cost of a successful steal (victim deque CAS + cache transfer).
+    pub steal_cost_us: f64,
+    /// CPU cost of a failed steal attempt (victim probe).
+    pub steal_fail_cost_us: f64,
+    /// CPU cost of popping the local deque.
+    pub pop_cost_us: f64,
+    /// CPU cost of spawning one child task.
+    pub spawn_cost_us: f64,
+    /// Latency between a wake decision and the worker becoming runnable
+    /// (futex wake + OS enqueue).
+    pub wake_latency_us: SimTime,
+}
+
+impl SchedConfig {
+    /// Scheduler configuration for a given policy with paper defaults for
+    /// a `cores`-core machine (`T = 10 ms`; `T_SLEEP = 2k` — the paper's
+    /// §4.3 finds k and 2k equally good, and 2k is the robust choice
+    /// here: a worker's patience must cover a transient drought *plus*
+    /// one full victim sweep, which is k−1 probes by itself).
+    pub fn for_policy(policy: Policy, cores: usize) -> Self {
+        SchedConfig {
+            policy,
+            t_sleep: 2 * cores as u32,
+            coord_period_us: 10_000,
+            // A successful steal pays a CAS plus a cold task transfer; a
+            // failed attempt pays a remote deque probe (cache miss) plus
+            // the random-victim bookkeeping. These magnitudes set the
+            // T_SLEEP "patience window": with the paper's T_SLEEP = k = 16
+            // a worker tolerates ~45 µs of drought before sleeping —
+            // longer than wave-boundary stragglers, far shorter than a
+            // serial phase.
+            steal_cost_us: 1.8,
+            steal_fail_cost_us: 4.0,
+            pop_cost_us: 0.2,
+            spawn_cost_us: 0.3,
+            wake_latency_us: 30,
+        }
+    }
+}
+
+/// How the initial equipartition assigns core slices to programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Placement {
+    /// The paper's scheme: adjacent `k/m`-core slices in program order.
+    #[default]
+    Adjacent,
+    /// Ablation: core `c` homed to program `c mod m` (slices straddle
+    /// sockets; isolates the locality benefit of adjacency).
+    Interleaved,
+    /// §4.4 extension: adjacent slices, but slice order chosen by demand
+    /// class — memory-intensive programs take the slower cores,
+    /// compute-intensive programs the faster ones (meaningful on
+    /// asymmetric machines; equals `Adjacent` otherwise).
+    DemandAware,
+}
+
+/// Everything a simulation run needs besides the workloads.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Hardware description.
+    pub machine: MachineConfig,
+    /// Cache-interference model parameters.
+    pub cache: CacheConfig,
+    /// Master seed; all stochastic streams derive from it.
+    pub seed: u64,
+    /// Initial home-slice placement.
+    #[serde(default)]
+    pub placement: Placement,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_machine_matches_paper_testbed() {
+        let m = MachineConfig::default();
+        assert_eq!(m.cores, 16);
+        assert_eq!(m.sockets, 2);
+        assert_eq!(m.cores_per_socket(), 8);
+    }
+
+    #[test]
+    fn socket_mapping_is_contiguous() {
+        let m = MachineConfig::default();
+        for c in 0..8 {
+            assert_eq!(m.socket_of(c), 0);
+        }
+        for c in 8..16 {
+            assert_eq!(m.socket_of(c), 1);
+        }
+    }
+
+    #[test]
+    fn socket_mapping_handles_other_shapes() {
+        let m = MachineConfig { cores: 12, sockets: 3, ..Default::default() };
+        assert_eq!(m.cores_per_socket(), 4);
+        assert_eq!(m.socket_of(0), 0);
+        assert_eq!(m.socket_of(3), 0);
+        assert_eq!(m.socket_of(4), 1);
+        assert_eq!(m.socket_of(11), 2);
+    }
+
+    #[test]
+    fn paper_default_t_sleep_is_2k() {
+        // §4.3: "we suggest choosing T_SLEEP = k or 2k on a k-core
+        // system"; we default to 2k (see for_policy docs).
+        let s = SchedConfig::for_policy(Policy::Dws, 16);
+        assert_eq!(s.t_sleep, 32);
+        assert_eq!(s.coord_period_us, 10_000);
+    }
+}

@@ -1,0 +1,994 @@
+//! The top-level simulator: wires the OS model, cache model, allocation
+//! table, coordinators and programs together and advances simulated time.
+//!
+//! One [`Simulator`] models the paper's experimental setup: a k-core
+//! machine executing m co-running work-stealing programs, each restarting
+//! its workload continuously (the overlapped-repetition methodology of
+//! Fig. 3), until every program has completed a requested number of runs.
+
+use crate::alloc_table::{AllocTable, Slot};
+use crate::cache::{CacheModel, PressureSnapshot};
+use crate::config::{SchedConfig, SimConfig, SimTime};
+use crate::coordinator::{decide_dws, decide_nc, CoordObservation};
+use crate::metrics::ProgramMetrics;
+use crate::os::{Os, SliceResult, ThreadId};
+use crate::policy::Policy;
+use crate::program::{SimProgram, StepOutcome, WorkerState};
+use crate::rng::XorShift64Star;
+use crate::trace::{SchedEvent, Trace};
+use crate::workload::WorkloadSpec;
+
+/// CPU cost charged to a random core each time a coordinator fires
+/// (the "negligible overhead" of §3.4 / §4.4, made explicit).
+const COORDINATOR_COST_US: f64 = 5.0;
+
+/// One co-running program: its workload and scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct ProgramSpec {
+    /// The benchmark to run.
+    pub workload: WorkloadSpec,
+    /// Policy and parameters.
+    pub sched: SchedConfig,
+}
+
+/// Options for a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Stop once every program completed this many runs...
+    pub min_runs: usize,
+    /// ...or when simulated time reaches this horizon, whichever first.
+    pub max_time_us: SimTime,
+    /// Runs to drop from each program's mean (cold start).
+    pub warmup_runs: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { min_runs: 4, max_time_us: 60_000_000, warmup_runs: 1 }
+    }
+}
+
+/// Results for one program after a simulation.
+#[derive(Debug, Clone)]
+pub struct ProgramReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Policy it ran under.
+    pub policy: Policy,
+    /// Mean run time (Eq. 2) in µs, warm-up excluded; `None` if the
+    /// program never completed enough runs inside the horizon.
+    pub mean_run_time_us: Option<f64>,
+    /// Full metrics.
+    pub metrics: ProgramMetrics,
+}
+
+/// Results of a simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-program results, in program order.
+    pub programs: Vec<ProgramReport>,
+    /// Simulated time at which the run stopped, µs.
+    pub elapsed_us: SimTime,
+    /// True if the horizon was hit before all programs finished.
+    pub hit_horizon: bool,
+}
+
+/// The simulator itself.
+pub struct Simulator {
+    cfg: SimConfig,
+    programs: Vec<SimProgram>,
+    os: Os,
+    cache: CacheModel,
+    table: AllocTable,
+    table_live: bool,
+    now: SimTime,
+    rng: XorShift64Star,
+    next_coord: Vec<SimTime>,
+    pending_wakes: Vec<(SimTime, ThreadId)>,
+    trace: Trace,
+    traced_runs: Vec<usize>,
+}
+
+impl Simulator {
+    /// Builds a simulator for `specs` co-running programs on the machine
+    /// described by `cfg`. Worker placement and initial sleep states
+    /// follow each program's policy (§3.1).
+    pub fn new(cfg: SimConfig, specs: Vec<ProgramSpec>) -> Self {
+        let k = cfg.machine.cores;
+        let m = specs.len();
+        assert!(m > 0, "need at least one program");
+        assert!(k >= m, "need at least one core per program");
+
+        let table = match cfg.placement {
+            crate::config::Placement::Adjacent => AllocTable::equipartition(k, m),
+            crate::config::Placement::Interleaved => {
+                AllocTable::equipartition_interleaved(k, m)
+            }
+            crate::config::Placement::DemandAware => {
+                // §4.4: adjacent slices, ordered so the most memory-bound
+                // program lands on the slowest slice. Slice p of the plain
+                // equipartition covers a contiguous core range whose mean
+                // speed we compare.
+                let plain = AllocTable::equipartition(k, m);
+                let slice_speed = |p: usize| -> f64 {
+                    let cores = plain.home_cores(p);
+                    cores.iter().map(|&c| cfg.machine.speed_of(c)).sum::<f64>()
+                        / cores.len() as f64
+                };
+                // Programs sorted most-memory-bound first; slices sorted
+                // slowest first; pair them up.
+                let mut prog_order: Vec<usize> = (0..m).collect();
+                prog_order.sort_by(|&a, &b| {
+                    specs[b]
+                        .workload
+                        .mean_mem()
+                        .partial_cmp(&specs[a].workload.mean_mem())
+                        .unwrap()
+                });
+                let mut slice_order: Vec<usize> = (0..m).collect();
+                slice_order.sort_by(|&a, &b| {
+                    slice_speed(a).partial_cmp(&slice_speed(b)).unwrap()
+                });
+                let mut homes = vec![0usize; k];
+                for (rank, &slice) in slice_order.iter().enumerate() {
+                    let prog = prog_order[rank];
+                    for c in plain.home_cores(slice) {
+                        homes[c] = prog;
+                    }
+                }
+                AllocTable::with_homes(homes, m)
+            }
+        };
+        let table_live = specs.iter().any(|s| s.sched.policy == Policy::Dws);
+        let mut rng = XorShift64Star::new(cfg.seed ^ 0xA076_1D64_78BD_642F);
+        let os = Os::new(cfg.machine.clone());
+        let cache = CacheModel::new(cfg.cache.clone(), &cfg.machine);
+
+        let mut programs = Vec::with_capacity(m);
+        for (p, spec) in specs.into_iter().enumerate() {
+            let home: Vec<usize> = table.home_cores(p);
+            let share = home.len();
+            let (cores, active): (Vec<usize>, Vec<bool>) = match spec.sched.policy {
+                Policy::Ws => ((0..k).collect(), vec![true; k]),
+                Policy::Abp | Policy::Bws => {
+                    // OS spreads all m·k workers; stagger so each program's
+                    // main worker lands on a different core.
+                    let cores = (0..k).map(|i| (i + p * share) % k).collect();
+                    (cores, vec![true; k])
+                }
+                Policy::Ep => {
+                    // k workers confined to the program's static slice.
+                    let cores = (0..k).map(|i| home[i % share]).collect();
+                    (cores, vec![true; k])
+                }
+                Policy::Dws | Policy::DwsNc => {
+                    // Worker i affined to core i; only home workers awake.
+                    let active = (0..k).map(|c| table.home(c) == p).collect();
+                    ((0..k).collect(), active)
+                }
+            };
+            programs.push(SimProgram::new(
+                p,
+                spec.workload,
+                spec.sched,
+                &cores,
+                &active,
+                rng.next_u64(),
+                true, // continuous restarts: overlapped-repetition method
+            ));
+        }
+
+        let mut sim = Simulator {
+            next_coord: programs
+                .iter()
+                .map(|pr| pr.sched.coord_period_us.max(1))
+                .collect(),
+            cfg,
+            programs,
+            os,
+            cache,
+            table,
+            table_live,
+            now: 0,
+            rng,
+            pending_wakes: Vec::new(),
+            trace: Trace::default(),
+            traced_runs: vec![0; m],
+        };
+        sim.seed_run_queues();
+        sim
+    }
+
+    fn seed_run_queues(&mut self) {
+        // Enqueue awake workers on their cores, interleaving programs so
+        // no program systematically goes first on shared cores.
+        let k = self.cfg.machine.cores;
+        for slot in 0..k {
+            for (p, prog) in self.programs.iter().enumerate() {
+                for (w, worker) in prog.workers.iter().enumerate() {
+                    if worker.awake && worker.core == slot {
+                        let _ = (p, w);
+                    }
+                }
+            }
+        }
+        // Two passes to satisfy the borrow checker: collect, then enqueue.
+        let mut to_enqueue: Vec<(usize, ThreadId)> = Vec::new();
+        for (p, prog) in self.programs.iter().enumerate() {
+            for (w, worker) in prog.workers.iter().enumerate() {
+                if worker.awake {
+                    to_enqueue.push((worker.core, (p, w)));
+                }
+            }
+        }
+        // Sort by core, then rotate program order per core for fairness.
+        to_enqueue.sort_by_key(|&(core, (p, _))| (core, p));
+        for (core, thread) in to_enqueue {
+            self.os.enqueue(core, thread);
+        }
+    }
+
+    /// Current simulated time, µs.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to the allocation table (meaningful when a DWS program
+    /// participates).
+    pub fn alloc_table(&self) -> &AllocTable {
+        &self.table
+    }
+
+    /// Read access to program state (tests / diagnostics).
+    pub fn program(&self, p: usize) -> &SimProgram {
+        &self.programs[p]
+    }
+
+    /// Turns on scheduling-event recording (at most `capacity` events).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Trace::enabled(capacity);
+    }
+
+    /// The recorded scheduling events (empty unless tracing is enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Pending wake deliveries (diagnostics): (due time, (program, worker)).
+    pub fn pending_wakes(&self) -> &[(SimTime, ThreadId)] {
+        &self.pending_wakes
+    }
+
+    /// Thread currently scheduled on `core`, if any (diagnostics).
+    pub fn core_current(&self, core: usize) -> Option<ThreadId> {
+        self.os.cores[core].current.map(|c| c.thread)
+    }
+
+    /// Length of `core`'s run queue (diagnostics).
+    pub fn core_queue_len(&self, core: usize) -> usize {
+        self.os.cores[core].run_queue.len()
+    }
+
+    /// Advances the simulation by one tick.
+    pub fn tick(&mut self) {
+        let tick_us = self.cfg.machine.tick_us;
+        self.now += tick_us;
+        let now = self.now;
+
+        self.deliver_wakes(now);
+        self.run_coordinators(now);
+
+        // Snapshot memory pressure from what is scheduled right now.
+        let snapshot = self.pressure_snapshot();
+
+        let k = self.cfg.machine.cores;
+        for core in 0..k {
+            self.tick_core(core, now, tick_us, &snapshot);
+        }
+
+        if self.trace.is_enabled() {
+            for p in 0..self.programs.len() {
+                while self.traced_runs[p] < self.programs[p].runs_completed {
+                    let run = self.traced_runs[p];
+                    let duration_us = self.programs[p].metrics.run_times_us[run];
+                    self.trace.record(
+                        now,
+                        SchedEvent::RunComplete { prog: p, run, duration_us },
+                    );
+                    self.traced_runs[p] += 1;
+                }
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        self.table.check_invariants(self.programs.len());
+    }
+
+    fn deliver_wakes(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.pending_wakes.len() {
+            if self.pending_wakes[i].0 <= now {
+                let (_, (p, w)) = self.pending_wakes.swap_remove(i);
+                let worker = &mut self.programs[p].workers[w];
+                if !worker.awake {
+                    worker.awake = true;
+                    worker.failed_steals = 0;
+                    self.programs[p].metrics.wakes += 1;
+                    self.trace.record(now, SchedEvent::Wake { prog: p, worker: w });
+                    let core = self.programs[p].workers[w].core;
+                    self.os.enqueue(core, (p, w));
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn schedule_wake(&mut self, p: usize, w: usize, now: SimTime) {
+        if self.programs[p].workers[w].awake {
+            return;
+        }
+        if self.pending_wakes.iter().any(|&(_, t)| t == (p, w)) {
+            return;
+        }
+        let latency = self.programs[p].sched.wake_latency_us;
+        self.pending_wakes.push((now + latency, (p, w)));
+    }
+
+    fn run_coordinators(&mut self, now: SimTime) {
+        let m = self.programs.len();
+        // Rotate evaluation order so no program wins free-core races by id.
+        let start = (now / 10_000) as usize % m;
+        for off in 0..m {
+            let p = (start + off) % m;
+            if !self.programs[p].sched.policy.has_coordinator() {
+                continue;
+            }
+            if now < self.next_coord[p] {
+                continue;
+            }
+            self.next_coord[p] += self.programs[p].sched.coord_period_us;
+            self.programs[p].metrics.coordinator_runs += 1;
+            // The coordinator thread consumes a sliver of CPU somewhere.
+            let victim_core = self.rng.next_below(self.cfg.machine.cores);
+            self.os.cores[victim_core].pending_overhead_us += COORDINATOR_COST_US;
+
+            let obs = CoordObservation {
+                queued_tasks: self.programs[p].queued_tasks(),
+                active_workers: self.programs[p].active_workers(),
+                sleeping_workers: self.programs[p].sleeping_workers().len(),
+            };
+            match self.programs[p].sched.policy {
+                Policy::Dws => {
+                    let decision = decide_dws(p, obs, &self.table, &mut self.rng);
+                    self.trace.record(now, SchedEvent::CoordTick {
+                        prog: p,
+                        n_b: obs.queued_tasks,
+                        n_a: obs.active_workers,
+                        n_w: decision.n_w,
+                    });
+                    for &core in &decision.take_free {
+                        if self.table.acquire_free(core, p) {
+                            self.programs[p].metrics.cores_acquired += 1;
+                            self.trace.record(now, SchedEvent::Acquire { prog: p, core });
+                            self.schedule_wake(p, core, now);
+                        }
+                    }
+                    for &core in &decision.reclaim {
+                        if self.table.reclaim(core, p) {
+                            self.programs[p].metrics.cores_reclaimed += 1;
+                            self.trace.record(now, SchedEvent::Reclaim { prog: p, core });
+                            self.schedule_wake(p, core, now);
+                        }
+                    }
+                }
+                Policy::DwsNc => {
+                    let n = decide_nc(obs);
+                    self.trace.record(now, SchedEvent::CoordTick {
+                        prog: p,
+                        n_b: obs.queued_tasks,
+                        n_a: obs.active_workers,
+                        n_w: n,
+                    });
+                    if n > 0 {
+                        let mut sleeping = self.programs[p].sleeping_workers();
+                        // Random subset.
+                        for i in 0..n.min(sleeping.len()) {
+                            let j = i + self.rng.next_below(sleeping.len() - i);
+                            sleeping.swap(i, j);
+                        }
+                        sleeping.truncate(n);
+                        for w in sleeping {
+                            self.schedule_wake(p, w, now);
+                        }
+                    }
+                }
+                _ => unreachable!("coordinator on non-coordinated policy"),
+            }
+        }
+    }
+
+    fn pressure_snapshot(&self) -> PressureSnapshot {
+        let mut snap = PressureSnapshot::with_spread_bw(
+            self.programs.len(),
+            self.cfg.machine.sockets,
+            self.cfg.cache.spread_bw_factor,
+        );
+        for (core_id, core) in self.os.cores.iter().enumerate() {
+            if let Some(cur) = core.current {
+                let (p, w) = cur.thread;
+                if let WorkerState::Running { ref task, .. } = self.programs[p].workers[w].state {
+                    let socket = self.cfg.machine.socket_of(core_id);
+                    snap.add_running(p, socket, task.mem);
+                }
+            }
+        }
+        snap.finalize();
+        snap
+    }
+
+    fn tick_core(
+        &mut self,
+        core: usize,
+        now: SimTime,
+        tick_us: SimTime,
+        snapshot: &PressureSnapshot,
+    ) {
+        let overhead = std::mem::take(&mut self.os.cores[core].pending_overhead_us);
+        let mut budget = tick_us as f64 - overhead;
+
+        if self.os.cores[core].current.is_none() {
+            match self.os.dispatch(core, now, self.cache.cold_period_us()) {
+                Some((_, switch_cost)) => budget -= switch_cost,
+                None => return, // idle core
+            }
+        }
+        if budget <= 0.0 {
+            return;
+        }
+
+        let (p, w) = self.os.cores[core].current.expect("dispatched above").thread;
+
+        // Core eviction (§4.2: DWS ensures a core executes a single active
+        // worker): a worker whose core the table no longer grants its
+        // program must sleep at the next task boundary; its queued tasks
+        // stay stealable by its siblings.
+        let evict = self.table_live
+            && self.programs[p].sched.policy == Policy::Dws
+            && self.table.slot(core) != Slot::Used(p);
+
+        let slowdown = match self.programs[p].workers[w].state {
+            WorkerState::Running { ref task, .. } => self.cache.slowdown(
+                snapshot,
+                p,
+                self.cfg.machine.socket_of(core),
+                task.mem,
+                now,
+                self.os.cores[core].cold_until,
+            ),
+            WorkerState::Idle => 1.0,
+        };
+
+        // Asymmetric cores: a slower clock shrinks the useful work done
+        // in a wall-time tick (the OS-side quantum accounting below stays
+        // in wall time).
+        let speed = self.cfg.machine.speed_of(core);
+        let outcome =
+            self.programs[p].step_worker_evictable(w, budget * speed, slowdown, now, evict);
+        let result = match outcome {
+            StepOutcome::Worked => SliceResult::KeepRunning,
+            StepOutcome::Yielded => SliceResult::Yielded {
+                prefer_prog: self.programs[p]
+                    .sched
+                    .policy
+                    .yields_to_own_program()
+                    .then_some(p),
+            },
+            StepOutcome::Slept => SliceResult::Slept,
+        };
+        if outcome == StepOutcome::Slept {
+            self.programs[p].workers[w].awake = false;
+            self.trace.record(now, SchedEvent::Sleep { prog: p, worker: w, evicted: evict });
+            // Release the core in the table (Algorithm 1), unless another
+            // program has already reclaimed it out from under us.
+            if self.table_live
+                && self.programs[p].sched.policy == Policy::Dws
+                && self.table.slot(core) == Slot::Used(p)
+            {
+                self.table.release(core, p);
+                self.trace.record(now, SchedEvent::Release { prog: p, core });
+            }
+        }
+        let descheduled = self.os.after_slice(core, budget, result);
+        if result == SliceResult::KeepRunning && descheduled.is_some() {
+            self.programs[p].metrics.preemptions += 1;
+        }
+        // BWS's directed yield donates the thief's slice to a *preempted
+        // busy* worker of its own program. Model the donation as a
+        // priority boost on the recipient's own core (promote to the
+        // front of its queue); migrating it to the donor's core instead
+        // makes the recipient chase yields around the machine and never
+        // run. The promotion is idempotent, so spinning thieves cannot
+        // compound it.
+        if let SliceResult::Yielded { prefer_prog: Some(pp) } = result {
+            self.promote_preempted_worker(core, pp, (p, w));
+        }
+    }
+
+    /// Finds a queued (preempted) worker of `prog` that is mid-task and
+    /// moves it to the front of its own core's run queue (BWS donation).
+    fn promote_preempted_worker(&mut self, from_core: usize, prog: usize, yielder: ThreadId) {
+        let k = self.cfg.machine.cores;
+        for offset in 0..k {
+            let c = (from_core + offset) % k;
+            let found = self.os.cores[c].run_queue.iter().position(|&(pr, w2)| {
+                pr == prog
+                    && (pr, w2) != yielder
+                    && matches!(
+                        self.programs[pr].workers[w2].state,
+                        WorkerState::Running { .. }
+                    )
+            });
+            if let Some(pos) = found {
+                if pos != 0 {
+                    if let Some(th) = self.os.cores[c].run_queue.remove(pos) {
+                        self.os.cores[c].run_queue.push_front(th);
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    /// Runs the simulation until every program has completed
+    /// `opts.min_runs` runs or the horizon is reached, and reports.
+    pub fn run(&mut self, opts: RunOptions) -> SimReport {
+        loop {
+            let all_done = self
+                .programs
+                .iter()
+                .all(|p| p.runs_completed >= opts.min_runs);
+            if all_done || self.now >= opts.max_time_us {
+                break;
+            }
+            self.tick();
+        }
+        let hit_horizon = self.now >= opts.max_time_us;
+        SimReport {
+            programs: self
+                .programs
+                .iter()
+                .map(|p| ProgramReport {
+                    name: p.spec.name.clone(),
+                    policy: p.sched.policy,
+                    mean_run_time_us: p.metrics.mean_run_time_us(opts.warmup_runs),
+                    metrics: p.metrics.clone(),
+                })
+                .collect(),
+            elapsed_us: self.now,
+            hit_horizon,
+        }
+    }
+}
+
+/// Convenience: runs `workload` alone on the machine under `policy` and
+/// returns its report (the paper's solo baseline uses [`Policy::Ws`]).
+pub fn run_solo(
+    cfg: SimConfig,
+    workload: WorkloadSpec,
+    sched: SchedConfig,
+    opts: RunOptions,
+) -> ProgramReport {
+    let mut sim = Simulator::new(cfg, vec![ProgramSpec { workload, sched }]);
+    let mut report = sim.run(opts);
+    report.programs.remove(0)
+}
+
+/// Convenience: co-runs two programs under the same policy (the paper's
+/// benchmark-mix methodology) and returns the report.
+pub fn run_pair(
+    cfg: SimConfig,
+    a: ProgramSpec,
+    b: ProgramSpec,
+    opts: RunOptions,
+) -> SimReport {
+    let mut sim = Simulator::new(cfg, vec![a, b]);
+    sim.run(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::workload::PhaseSpec;
+
+    fn small_machine() -> SimConfig {
+        SimConfig {
+            machine: MachineConfig { cores: 4, sockets: 2, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn rec_workload(name: &str, depth: u32, leaf_us: f64, mem: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: name.into(),
+            phases: vec![PhaseSpec::Recursive {
+                depth,
+                branch: 2,
+                leaf_work_us: leaf_us,
+                node_work_us: 1.0,
+                merge_work_us: 5.0,
+                merge_grows: true,
+                mem,
+                jitter: 0.1,
+            }],
+        }
+    }
+
+    fn wave_workload(name: &str, iters: u32, width: u32, task_us: f64, serial_us: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: name.into(),
+            phases: vec![PhaseSpec::Waves {
+                iters,
+                width,
+                width_end: 0,
+                task_work_us: task_us,
+                serial_us,
+                mem: 0.4,
+                jitter: 0.1,
+            }],
+        }
+    }
+
+    fn spec(w: WorkloadSpec, policy: Policy, cores: usize) -> ProgramSpec {
+        ProgramSpec { workload: w, sched: SchedConfig::for_policy(policy, cores) }
+    }
+
+    #[test]
+    fn solo_ws_completes_runs() {
+        let cfg = small_machine();
+        let rep = run_solo(
+            cfg,
+            rec_workload("r", 5, 100.0, 0.3),
+            SchedConfig::for_policy(Policy::Ws, 4),
+            RunOptions { min_runs: 3, max_time_us: 50_000_000, warmup_runs: 1 },
+        );
+        assert!(rep.mean_run_time_us.is_some());
+        assert!(rep.metrics.run_times_us.len() >= 3);
+    }
+
+    #[test]
+    fn more_cores_speed_up_a_parallel_workload() {
+        let w = rec_workload("r", 7, 200.0, 0.0);
+        let sched = SchedConfig::for_policy(Policy::Ws, 1);
+        let opts = RunOptions { min_runs: 3, max_time_us: 200_000_000, warmup_runs: 1 };
+        let one = run_solo(
+            SimConfig {
+                machine: MachineConfig { cores: 1, sockets: 1, ..Default::default() },
+                ..Default::default()
+            },
+            w.clone(),
+            sched.clone(),
+            opts,
+        )
+        .mean_run_time_us
+        .unwrap();
+        let four = run_solo(
+            SimConfig {
+                machine: MachineConfig { cores: 4, sockets: 1, ..Default::default() },
+                ..Default::default()
+            },
+            w,
+            SchedConfig::for_policy(Policy::Ws, 4),
+            opts,
+        )
+        .mean_run_time_us
+        .unwrap();
+        let speedup = one / four;
+        assert!(speedup > 2.0, "expected >2x speedup on 4 cores, got {speedup:.2}");
+    }
+
+    #[test]
+    fn corun_completes_under_every_policy() {
+        for policy in [Policy::Abp, Policy::Ep, Policy::Dws, Policy::DwsNc] {
+            let cfg = small_machine();
+            let a = spec(rec_workload("a", 5, 80.0, 0.4), policy, 4);
+            let b = spec(wave_workload("b", 10, 4, 60.0, 100.0), policy, 4);
+            let rep = run_pair(
+                cfg,
+                a,
+                b,
+                RunOptions { min_runs: 2, max_time_us: 100_000_000, warmup_runs: 0 },
+            );
+            assert!(
+                !rep.hit_horizon,
+                "{policy}: horizon hit; a_runs={} b_runs={}",
+                rep.programs[0].metrics.run_times_us.len(),
+                rep.programs[1].metrics.run_times_us.len()
+            );
+            for pr in &rep.programs {
+                assert!(pr.mean_run_time_us.unwrap() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dws_workers_sleep_and_wake() {
+        let cfg = small_machine();
+        let a = spec(rec_workload("a", 6, 100.0, 0.4), Policy::Dws, 4);
+        let b = spec(wave_workload("b", 20, 4, 80.0, 400.0), Policy::Dws, 4);
+        let rep = run_pair(
+            cfg,
+            a,
+            b,
+            RunOptions { min_runs: 3, max_time_us: 200_000_000, warmup_runs: 0 },
+        );
+        let total_sleeps: u64 = rep.programs.iter().map(|p| p.metrics.sleeps).sum();
+        let total_wakes: u64 = rep.programs.iter().map(|p| p.metrics.wakes).sum();
+        assert!(total_sleeps > 0, "DWS workers must sleep on steal failure");
+        assert!(total_wakes > 0, "coordinators must wake workers");
+    }
+
+    #[test]
+    fn dws_moves_cores_between_programs() {
+        let cfg = small_machine();
+        // a: bursty high fan-out; b: mostly serial.
+        let a = spec(rec_workload("a", 8, 150.0, 0.3), Policy::Dws, 4);
+        let b = spec(wave_workload("b", 30, 1, 50.0, 2_000.0), Policy::Dws, 4);
+        let rep = run_pair(
+            cfg,
+            a,
+            b,
+            RunOptions { min_runs: 3, max_time_us: 400_000_000, warmup_runs: 0 },
+        );
+        let acquired: u64 = rep.programs.iter().map(|p| p.metrics.cores_acquired).sum();
+        assert!(acquired > 0, "the high-demand program should borrow released cores");
+    }
+
+    #[test]
+    fn abp_workers_yield() {
+        let cfg = small_machine();
+        let a = spec(rec_workload("a", 5, 80.0, 0.4), Policy::Abp, 4);
+        let b = spec(wave_workload("b", 10, 2, 60.0, 500.0), Policy::Abp, 4);
+        let rep = run_pair(
+            cfg,
+            a,
+            b,
+            RunOptions { min_runs: 2, max_time_us: 100_000_000, warmup_runs: 0 },
+        );
+        let yields: u64 = rep.programs.iter().map(|p| p.metrics.yields).sum();
+        assert!(yields > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let cfg = small_machine();
+            let a = spec(rec_workload("a", 5, 80.0, 0.4), Policy::Dws, 4);
+            let b = spec(wave_workload("b", 10, 4, 60.0, 100.0), Policy::Dws, 4);
+            run_pair(cfg, a, b, RunOptions { min_runs: 3, max_time_us: 100_000_000, warmup_runs: 0 })
+        };
+        let r1 = mk();
+        let r2 = mk();
+        for (p1, p2) in r1.programs.iter().zip(&r2.programs) {
+            assert_eq!(p1.metrics.run_times_us, p2.metrics.run_times_us);
+            assert_eq!(p1.metrics.steals_ok, p2.metrics.steals_ok);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        let mk = |seed| {
+            let mut cfg = small_machine();
+            cfg.seed = seed;
+            let a = spec(rec_workload("a", 6, 80.0, 0.4), Policy::Dws, 4);
+            let b = spec(wave_workload("b", 10, 4, 60.0, 100.0), Policy::Dws, 4);
+            run_pair(cfg, a, b, RunOptions { min_runs: 3, max_time_us: 100_000_000, warmup_runs: 0 })
+        };
+        let r1 = mk(1);
+        let r2 = mk(99);
+        let fingerprint = |r: &SimReport| -> (Vec<Vec<u64>>, u64) {
+            (
+                r.programs.iter().map(|p| p.metrics.run_times_us.clone()).collect(),
+                r.programs.iter().map(|p| p.metrics.steals_ok + p.metrics.steals_failed).sum(),
+            )
+        };
+        assert_ne!(fingerprint(&r1), fingerprint(&r2));
+    }
+
+    #[test]
+    fn work_conservation_across_runs() {
+        // Each completed run must execute at least the spec's total work.
+        let cfg = small_machine();
+        let w = rec_workload("r", 5, 100.0, 0.2);
+        let expected_per_run = w.total_work_us();
+        let rep = run_solo(
+            cfg,
+            w,
+            SchedConfig::for_policy(Policy::Ws, 4),
+            RunOptions { min_runs: 3, max_time_us: 100_000_000, warmup_runs: 0 },
+        );
+        let runs = rep.metrics.run_times_us.len() as f64;
+        assert!(
+            rep.metrics.nominal_work_done_us >= expected_per_run * runs * 0.999,
+            "nominal {} < {} x {}",
+            rep.metrics.nominal_work_done_us,
+            expected_per_run,
+            runs
+        );
+    }
+
+    #[test]
+    fn asymmetric_cores_slow_the_work_down() {
+        let wl = rec_workload("r", 7, 200.0, 0.0);
+        let opts = RunOptions { min_runs: 3, max_time_us: 200_000_000, warmup_runs: 1 };
+        let fast = run_solo(
+            SimConfig {
+                machine: MachineConfig { cores: 4, sockets: 1, ..Default::default() },
+                ..Default::default()
+            },
+            wl.clone(),
+            SchedConfig::for_policy(Policy::Ws, 4),
+            opts,
+        )
+        .mean_run_time_us
+        .unwrap();
+        let half_slow = run_solo(
+            SimConfig {
+                machine: MachineConfig::asymmetric(4, 1, 0.5),
+                ..Default::default()
+            },
+            wl,
+            SchedConfig::for_policy(Policy::Ws, 4),
+            opts,
+        )
+        .mean_run_time_us
+        .unwrap();
+        // 2 nominal + 2 half-speed cores ≈ 3 effective: expect a clear
+        // slowdown bounded by the 2x worst case.
+        assert!(half_slow > fast * 1.1, "fast {fast:.0} vs asym {half_slow:.0}");
+        assert!(half_slow < fast * 2.2);
+    }
+
+    #[test]
+    fn demand_aware_placement_puts_memory_program_on_slow_cores() {
+        let cfg = SimConfig {
+            machine: MachineConfig::asymmetric(4, 2, 0.5),
+            placement: crate::config::Placement::DemandAware,
+            ..Default::default()
+        };
+        // Program 0 is compute-bound, program 1 memory-bound.
+        let a = spec(rec_workload("compute", 4, 50.0, 0.05), Policy::Dws, 4);
+        let b = spec(rec_workload("memory", 4, 50.0, 0.9), Policy::Dws, 4);
+        let sim = Simulator::new(cfg, vec![a, b]);
+        let t = sim.alloc_table();
+        // Slow cores are 2,3 (second half): they must be homed to the
+        // memory-bound program 1.
+        assert_eq!(t.home_cores(1), vec![2, 3]);
+        assert_eq!(t.home_cores(0), vec![0, 1]);
+    }
+
+    #[test]
+    fn interleaved_placement_stripes_homes() {
+        let cfg = SimConfig {
+            machine: MachineConfig { cores: 4, sockets: 2, ..Default::default() },
+            placement: crate::config::Placement::Interleaved,
+            ..Default::default()
+        };
+        let a = spec(rec_workload("a", 4, 50.0, 0.4), Policy::Dws, 4);
+        let b = spec(rec_workload("b", 4, 50.0, 0.4), Policy::Dws, 4);
+        let sim = Simulator::new(cfg, vec![a, b]);
+        assert_eq!(sim.alloc_table().home_cores(0), vec![0, 2]);
+        assert_eq!(sim.alloc_table().home_cores(1), vec![1, 3]);
+    }
+
+    #[test]
+    fn tracing_records_and_replays_table_events() {
+        let cfg = small_machine();
+        let a = spec(rec_workload("a", 6, 100.0, 0.4), Policy::Dws, 4);
+        let b = spec(wave_workload("b", 20, 4, 80.0, 400.0), Policy::Dws, 4);
+        let mut sim = Simulator::new(cfg, vec![a, b]);
+        sim.enable_tracing(500_000);
+        let homes: Vec<usize> = (0..4).map(|c| sim.alloc_table().home(c)).collect();
+        sim.run(RunOptions { min_runs: 2, max_time_us: 100_000_000, warmup_runs: 0 });
+
+        let trace = sim.trace();
+        assert!(trace.dropped() == 0, "trace capacity too small for this test");
+        assert!(trace.count(|e| matches!(e, crate::trace::SchedEvent::Sleep { .. })) > 0);
+        assert!(trace.count(|e| matches!(e, crate::trace::SchedEvent::CoordTick { .. })) > 0);
+        assert!(
+            trace.count(|e| matches!(e, crate::trace::SchedEvent::RunComplete { .. })) >= 4,
+            "both programs completed >= 2 runs"
+        );
+        // Event sourcing: replaying the table events reproduces the final
+        // allocation state exactly.
+        let replayed = trace.replay_table(4, 2, &homes);
+        for c in 0..4 {
+            let actual = match sim.alloc_table().slot(c) {
+                Slot::Free => None,
+                Slot::Used(p) => Some(p),
+            };
+            assert_eq!(replayed[c], actual, "core {c} diverged");
+        }
+        // Timestamps are monotone.
+        let times: Vec<_> = trace.events().iter().map(|e| e.time_us).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bws_corun_completes_and_tracks_abp() {
+        let cfg = small_machine();
+        let run_policy = |policy| {
+            let a = spec(rec_workload("a", 6, 80.0, 0.4), policy, 4);
+            let b = spec(wave_workload("b", 10, 64, 30.0, 20.0), policy, 4);
+            let rep = run_pair(
+                cfg.clone(),
+                a,
+                b,
+                RunOptions { min_runs: 2, max_time_us: 120_000_000, warmup_runs: 0 },
+            );
+            assert!(!rep.hit_horizon, "{policy}: starved");
+            rep.programs
+                .iter()
+                .map(|p| p.mean_run_time_us.unwrap())
+                .sum::<f64>()
+        };
+        let abp = run_policy(Policy::Abp);
+        let bws = run_policy(Policy::Bws);
+        // In the fair round-robin OS model BWS tracks ABP closely.
+        assert!(bws < abp * 1.3, "bws {bws} vs abp {abp}");
+        assert!(bws > abp * 0.5);
+    }
+
+    #[test]
+    fn four_programs_co_run_under_dws() {
+        let cfg = SimConfig {
+            machine: MachineConfig { cores: 8, sockets: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let sched = SchedConfig::for_policy(Policy::Dws, 8);
+        let specs: Vec<ProgramSpec> = (0..4)
+            .map(|i| ProgramSpec {
+                workload: rec_workload(&format!("p{i}"), 5, 80.0, 0.3),
+                sched: sched.clone(),
+            })
+            .collect();
+        let mut sim = Simulator::new(cfg, specs);
+        // Each program starts with a 2-core adjacent home slice.
+        for p in 0..4 {
+            assert_eq!(sim.alloc_table().home_cores(p).len(), 2);
+        }
+        let rep = sim.run(RunOptions {
+            min_runs: 2,
+            max_time_us: 200_000_000,
+            warmup_runs: 0,
+        });
+        assert!(!rep.hit_horizon);
+        for p in &rep.programs {
+            assert!(p.mean_run_time_us.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let cfg = small_machine();
+        let a = spec(rec_workload("a", 4, 100.0, 0.4), Policy::Dws, 4);
+        let b = spec(rec_workload("b", 4, 100.0, 0.4), Policy::Dws, 4);
+        let mut sim = Simulator::new(cfg, vec![a, b]);
+        sim.run(RunOptions { min_runs: 1, max_time_us: 50_000_000, warmup_runs: 0 });
+        assert!(sim.trace().events().is_empty());
+    }
+
+    #[test]
+    fn horizon_stops_runaway_simulations() {
+        let cfg = small_machine();
+        let w = wave_workload("slow", 1000, 4, 10_000.0, 10_000.0);
+        let rep = run_solo(
+            cfg,
+            w,
+            SchedConfig::for_policy(Policy::Ws, 4),
+            RunOptions { min_runs: 100, max_time_us: 1_000_000, warmup_runs: 0 },
+        );
+        let _ = rep;
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-program runtime statistics collected during simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters and timings for one simulated program.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProgramMetrics {
+    /// Completion time of each finished run, µs (one run = one traversal
+    /// of the workload's phases).
+    pub run_times_us: Vec<u64>,
+    /// Successful steals.
+    pub steals_ok: u64,
+    /// Failed steal attempts.
+    pub steals_failed: u64,
+    /// Times a worker went to sleep (DWS/DWS-NC).
+    pub sleeps: u64,
+    /// Times a worker was woken by the coordinator.
+    pub wakes: u64,
+    /// ABP yields performed.
+    pub yields: u64,
+    /// Quantum preemptions suffered.
+    pub preemptions: u64,
+    /// Coordinator invocations.
+    pub coordinator_runs: u64,
+    /// Cores acquired from the free pool.
+    pub cores_acquired: u64,
+    /// Own cores reclaimed from other programs.
+    pub cores_reclaimed: u64,
+    /// CPU time spent executing task work, µs (at effective speed).
+    pub busy_us: f64,
+    /// CPU time burnt on steal attempts (failed + successful), µs.
+    pub steal_overhead_us: f64,
+    /// Nominal task work completed, µs (progress at uncontended speed).
+    pub nominal_work_done_us: f64,
+    /// Tasks executed to completion.
+    pub tasks_executed: u64,
+}
+
+impl ProgramMetrics {
+    /// Mean run time, µs (Eq. 2 of the paper), optionally excluding the
+    /// first `skip` warm-up runs. Returns `None` if no run completed after
+    /// the skip.
+    pub fn mean_run_time_us(&self, skip: usize) -> Option<f64> {
+        let runs = self.run_times_us.get(skip..)?;
+        if runs.is_empty() {
+            return None;
+        }
+        Some(runs.iter().map(|&t| t as f64).sum::<f64>() / runs.len() as f64)
+    }
+
+    /// Steal success ratio in [0, 1]; `None` if no steal was attempted.
+    pub fn steal_success_ratio(&self) -> Option<f64> {
+        let total = self.steals_ok + self.steals_failed;
+        if total == 0 {
+            None
+        } else {
+            Some(self.steals_ok as f64 / total as f64)
+        }
+    }
+
+    /// Fraction of CPU consumed by steal overhead vs. useful work.
+    pub fn steal_overhead_fraction(&self) -> f64 {
+        let denom = self.busy_us + self.steal_overhead_us;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.steal_overhead_us / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_run_time_skips_warmup() {
+        let m = ProgramMetrics { run_times_us: vec![100, 10, 20, 30], ..Default::default() };
+        assert_eq!(m.mean_run_time_us(1), Some(20.0));
+        assert_eq!(m.mean_run_time_us(0), Some(40.0));
+    }
+
+    #[test]
+    fn mean_run_time_none_when_insufficient_runs() {
+        let m = ProgramMetrics { run_times_us: vec![100], ..Default::default() };
+        assert_eq!(m.mean_run_time_us(1), None);
+        assert_eq!(ProgramMetrics::default().mean_run_time_us(0), None);
+    }
+
+    #[test]
+    fn steal_ratio_handles_zero_attempts() {
+        assert_eq!(ProgramMetrics::default().steal_success_ratio(), None);
+        let m = ProgramMetrics { steals_ok: 3, steals_failed: 1, ..Default::default() };
+        assert_eq!(m.steal_success_ratio(), Some(0.75));
+    }
+
+    #[test]
+    fn overhead_fraction_zero_when_idle() {
+        assert_eq!(ProgramMetrics::default().steal_overhead_fraction(), 0.0);
+    }
+}

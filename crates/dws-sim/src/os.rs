@@ -1,0 +1,337 @@
+//! The simulated operating system: per-core run queues with quantum-based
+//! time-sharing, voluntary yields, sleep/wake, and the per-core state the
+//! cache model needs (which program last touched the core).
+//!
+//! This models the Linux-2.6 CFS-era behaviour the paper's §2.1 reasons
+//! about: threads on the same core round-robin at quantum granularity, a
+//! `sched_yield` moves the caller to the back of its core's queue (a no-op
+//! when it is alone), and a sleeping thread leaves the queue entirely.
+
+use std::collections::VecDeque;
+
+use crate::config::{MachineConfig, SimTime};
+
+/// A thread is identified by (program index, worker index).
+pub type ThreadId = (usize, usize);
+
+/// The thread currently holding a core.
+#[derive(Debug, Clone, Copy)]
+pub struct Current {
+    /// Which thread runs.
+    pub thread: ThreadId,
+    /// Microseconds left in its quantum (may go negative transiently).
+    pub quantum_left: i64,
+}
+
+/// Scheduling and cache-tracking state of one core.
+#[derive(Debug)]
+pub struct CoreState {
+    /// Runnable threads waiting for the core, FIFO.
+    pub run_queue: VecDeque<ThreadId>,
+    /// Thread currently scheduled, if any.
+    pub current: Option<Current>,
+    /// Program of the last thread that ran here (cache residency).
+    pub last_prog: Option<usize>,
+    /// Until when memory accesses of the current program run cold
+    /// (set on cross-program switches).
+    pub cold_until: SimTime,
+    /// One-shot CPU deduction for the next tick (models coordinator or
+    /// other housekeeping stealing cycles from this core).
+    pub pending_overhead_us: f64,
+}
+
+impl CoreState {
+    fn new() -> Self {
+        CoreState {
+            run_queue: VecDeque::new(),
+            current: None,
+            last_prog: None,
+            cold_until: 0,
+            pending_overhead_us: 0.0,
+        }
+    }
+
+    /// Total threads on this core (running + queued).
+    pub fn load(&self) -> usize {
+        self.run_queue.len() + usize::from(self.current.is_some())
+    }
+}
+
+/// The OS scheduler over all cores.
+#[derive(Debug)]
+pub struct Os {
+    /// Per-core state, index = core id.
+    pub cores: Vec<CoreState>,
+    machine: MachineConfig,
+}
+
+/// What the OS should do with the current thread after it ran a slice.
+/// Mirrors [`crate::program::StepOutcome`] plus quantum bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceResult {
+    /// Keep running (budget used, quantum not exhausted).
+    KeepRunning,
+    /// Thread voluntarily yielded; with `prefer_prog`, the yield is
+    /// *directed*: a queued thread of that program (BWS's own-program
+    /// preference) is scheduled next if one is waiting.
+    Yielded {
+        /// Program whose queued threads should get the core first.
+        prefer_prog: Option<usize>,
+    },
+    /// Thread went to sleep.
+    Slept,
+}
+
+impl Os {
+    /// Creates the scheduler for the given machine.
+    pub fn new(machine: MachineConfig) -> Self {
+        Os { cores: (0..machine.cores).map(|_| CoreState::new()).collect(), machine }
+    }
+
+    /// Machine description this OS schedules.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Makes `thread` runnable on `core` (enqueue at the back).
+    pub fn enqueue(&mut self, core: usize, thread: ThreadId) {
+        debug_assert!(
+            !self.cores[core].run_queue.contains(&thread),
+            "thread {thread:?} double-enqueued on core {core}"
+        );
+        self.cores[core].run_queue.push_back(thread);
+    }
+
+    /// If the core is free, dispatches the next queued thread and returns
+    /// it along with the context-switch cost to charge this tick. Updates
+    /// cache-residency state on cross-program switches.
+    pub fn dispatch(&mut self, core: usize, now: SimTime, cold_period_us: SimTime) -> Option<(ThreadId, f64)> {
+        let c = &mut self.cores[core];
+        if c.current.is_some() {
+            return None;
+        }
+        let thread = c.run_queue.pop_front()?;
+        let mut cost = self.machine.ctx_switch_us as f64;
+        if c.last_prog != Some(thread.0) {
+            // A different program takes the core: its working set is cold.
+            c.cold_until = now + cold_period_us;
+            c.last_prog = Some(thread.0);
+            // Cross-program switches are costlier (TLB/cache effects are
+            // in the cold window; this is just the direct switch cost).
+            cost += self.machine.ctx_switch_us as f64;
+        }
+        c.current = Some(Current { thread, quantum_left: self.machine.quantum_us as i64 });
+        Some((thread, cost))
+    }
+
+    /// Applies the outcome of a slice to the core's scheduling state.
+    /// Returns the thread that was descheduled, if any.
+    pub fn after_slice(
+        &mut self,
+        core: usize,
+        used_us: f64,
+        result: SliceResult,
+    ) -> Option<ThreadId> {
+        let c = &mut self.cores[core];
+        let cur = c.current.as_mut().expect("after_slice on idle core");
+        cur.quantum_left -= used_us.ceil() as i64;
+        match result {
+            SliceResult::KeepRunning => {
+                if cur.quantum_left <= 0 {
+                    if c.run_queue.is_empty() {
+                        // Alone on the core: quantum renews invisibly.
+                        cur.quantum_left = self.machine.quantum_us as i64;
+                        None
+                    } else {
+                        // Preempt: back of the queue.
+                        let t = cur.thread;
+                        c.current = None;
+                        c.run_queue.push_back(t);
+                        Some(t)
+                    }
+                } else {
+                    None
+                }
+            }
+            SliceResult::Yielded { prefer_prog } => {
+                if c.run_queue.is_empty() {
+                    // sched_yield with no competitor: keep the core but the
+                    // remaining quantum is forfeited per CFS semantics.
+                    cur.quantum_left = self.machine.quantum_us as i64;
+                    None
+                } else {
+                    let t = cur.thread;
+                    c.current = None;
+                    c.run_queue.push_back(t);
+                    // Directed yield (BWS): bring the first waiting thread
+                    // of the preferred program (other than the yielder)
+                    // to the front of the queue.
+                    if let Some(pp) = prefer_prog {
+                        if let Some(pos) = c
+                            .run_queue
+                            .iter()
+                            .position(|&th| th.0 == pp && th != t)
+                        {
+                            if pos != 0 {
+                                if let Some(th) = c.run_queue.remove(pos) {
+                                    c.run_queue.push_front(th);
+                                }
+                            }
+                        }
+                    }
+                    Some(t)
+                }
+            }
+            SliceResult::Slept => {
+                let t = cur.thread;
+                c.current = None;
+                Some(t)
+            }
+        }
+    }
+
+    /// True if the core has neither a current thread nor queued ones.
+    pub fn core_idle(&self, core: usize) -> bool {
+        self.cores[core].current.is_none() && self.cores[core].run_queue.is_empty()
+    }
+
+    /// Number of preemption-eligible threads across all cores (diagnostic).
+    pub fn total_load(&self) -> usize {
+        self.cores.iter().map(|c| c.load()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn os4() -> Os {
+        Os::new(MachineConfig { cores: 4, sockets: 1, tick_us: 10, quantum_us: 100, ctx_switch_us: 2, core_speeds: Vec::new() })
+    }
+
+    #[test]
+    fn dispatch_pops_fifo() {
+        let mut os = os4();
+        os.enqueue(0, (0, 0));
+        os.enqueue(0, (1, 0));
+        let (t, _) = os.dispatch(0, 0, 50).unwrap();
+        assert_eq!(t, (0, 0));
+        // Core busy: no second dispatch.
+        assert!(os.dispatch(0, 0, 50).is_none());
+    }
+
+    #[test]
+    fn cross_program_switch_sets_cold_window_and_extra_cost() {
+        let mut os = os4();
+        os.enqueue(0, (0, 0));
+        let (_, cost_first) = os.dispatch(0, 0, 50).unwrap();
+        // First dispatch is a cross-program switch from "nothing".
+        assert_eq!(cost_first, 4.0);
+        assert_eq!(os.cores[0].cold_until, 50);
+        os.after_slice(0, 10.0, SliceResult::Slept);
+        // Same program again: cheap switch, cold window not extended.
+        os.enqueue(0, (0, 1));
+        let (_, cost_same) = os.dispatch(0, 100, 50).unwrap();
+        assert_eq!(cost_same, 2.0);
+        assert_eq!(os.cores[0].cold_until, 50);
+        os.after_slice(0, 10.0, SliceResult::Slept);
+        // Different program: expensive switch, window set from now.
+        os.enqueue(0, (1, 0));
+        let (_, cost_cross) = os.dispatch(0, 200, 50).unwrap();
+        assert_eq!(cost_cross, 4.0);
+        assert_eq!(os.cores[0].cold_until, 250);
+    }
+
+    #[test]
+    fn quantum_expiry_preempts_only_under_contention() {
+        let mut os = os4();
+        os.enqueue(0, (0, 0));
+        os.dispatch(0, 0, 0);
+        // Alone: quantum renews, no preemption.
+        assert_eq!(os.after_slice(0, 150.0, SliceResult::KeepRunning), None);
+        assert!(os.cores[0].current.is_some());
+        // With a competitor queued: preempted to the back.
+        os.enqueue(0, (1, 0));
+        let out = os.after_slice(0, 150.0, SliceResult::KeepRunning);
+        assert_eq!(out, Some((0, 0)));
+        assert!(os.cores[0].current.is_none());
+        assert_eq!(os.cores[0].run_queue, [(1, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn yield_is_noop_when_alone() {
+        let mut os = os4();
+        os.enqueue(0, (0, 0));
+        os.dispatch(0, 0, 0);
+        assert_eq!(os.after_slice(0, 5.0, SliceResult::Yielded { prefer_prog: None }), None);
+        assert!(os.cores[0].current.is_some());
+    }
+
+    #[test]
+    fn yield_rotates_queue_under_contention() {
+        let mut os = os4();
+        os.enqueue(0, (0, 0));
+        os.enqueue(0, (1, 0));
+        os.dispatch(0, 0, 0);
+        let out = os.after_slice(0, 5.0, SliceResult::Yielded { prefer_prog: None });
+        assert_eq!(out, Some((0, 0)));
+        // The yielder goes behind the waiter: ABP's unfairness mechanism.
+        assert_eq!(os.cores[0].run_queue, [(1, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn directed_yield_prefers_same_program() {
+        let mut os = os4();
+        // Yielder (0,0); queue holds (1,0) then (0,1).
+        os.enqueue(0, (0, 0));
+        os.enqueue(0, (1, 0));
+        os.enqueue(0, (0, 1));
+        os.dispatch(0, 0, 0);
+        let out = os.after_slice(0, 5.0, SliceResult::Yielded { prefer_prog: Some(0) });
+        assert_eq!(out, Some((0, 0)));
+        // (0,1) was rotated in front of (1,0).
+        assert_eq!(os.cores[0].run_queue, [(0, 1), (1, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn directed_yield_without_own_candidate_is_plain_yield() {
+        let mut os = os4();
+        os.enqueue(0, (0, 0));
+        os.enqueue(0, (1, 0));
+        os.dispatch(0, 0, 0);
+        os.after_slice(0, 5.0, SliceResult::Yielded { prefer_prog: Some(0) });
+        // Only own candidate was the yielder itself: normal order stands.
+        assert_eq!(os.cores[0].run_queue, [(1, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn sleep_removes_thread_from_core() {
+        let mut os = os4();
+        os.enqueue(0, (0, 0));
+        os.dispatch(0, 0, 0);
+        assert_eq!(os.after_slice(0, 5.0, SliceResult::Slept), Some((0, 0)));
+        assert!(os.core_idle(0));
+    }
+
+    #[test]
+    fn quantum_partial_use_keeps_running() {
+        let mut os = os4();
+        os.enqueue(0, (0, 0));
+        os.enqueue(0, (1, 0));
+        os.dispatch(0, 0, 0);
+        assert_eq!(os.after_slice(0, 10.0, SliceResult::KeepRunning), None);
+        let cur = os.cores[0].current.unwrap();
+        assert_eq!(cur.quantum_left, 90);
+    }
+
+    #[test]
+    fn load_counts_current_and_queued() {
+        let mut os = os4();
+        assert_eq!(os.total_load(), 0);
+        os.enqueue(1, (0, 1));
+        os.enqueue(1, (1, 1));
+        os.dispatch(1, 0, 0);
+        assert_eq!(os.cores[1].load(), 2);
+        assert_eq!(os.total_load(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! The multiprogramming policies compared in the paper's evaluation (§4).
+
+use serde::{Deserialize, Serialize};
+
+/// How a simulated work-stealing program behaves when co-running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// Plain random work-stealing: workers spin on steal attempts, never
+    /// yield, never sleep. The paper's solo-execution reference and the
+    /// fallback DWS itself uses when it detects it is running alone (§4.4).
+    Ws,
+    /// Time-sharing + ABP yielding (stock MIT Cilk): a worker yields its
+    /// core after every failed steal; the OS time-shares all programs'
+    /// workers across all cores. Baseline "ABP" in §4.
+    Abp,
+    /// Space-sharing + equipartition: each of the `m` programs is pinned
+    /// to a static `k/m`-core slice; within the slice workers behave like
+    /// ABP. Baseline "EP" in §4.
+    Ep,
+    /// Demand-aware Work-Stealing (the paper's contribution): initial
+    /// equipartition, workers sleep after `T_SLEEP` consecutive failed
+    /// steals releasing their core in the shared allocation table, and a
+    /// per-program coordinator wakes workers per Eq. 1 and the three
+    /// constraint cases (§3).
+    Dws,
+    /// DWS without the coordinator's core-exclusivity: workers sleep and
+    /// are woken the same way, but cores are not balanced among programs
+    /// (a core may host several active workers of different programs).
+    /// Ablation "DWS-NC" of §4.2.
+    DwsNc,
+    /// BWS-like balanced work-stealing (Ding et al., EuroSys'12 — the
+    /// closest related system, §5): time-sharing like ABP, but a worker
+    /// that fails a steal yields the core *to a preempted worker of its
+    /// own program* when one is waiting, instead of to whoever is next.
+    /// Simplified model of BWS's directed yield; no sleeping.
+    Bws,
+}
+
+impl Policy {
+    /// Does this policy pin worker *i* to core *i* (one worker per core)?
+    pub fn affine_one_per_core(self) -> bool {
+        matches!(self, Policy::Dws | Policy::DwsNc | Policy::Ws)
+    }
+
+    /// Does this policy use the core-allocation table?
+    pub fn uses_alloc_table(self) -> bool {
+        matches!(self, Policy::Dws)
+    }
+
+    /// Does this policy run a coordinator thread?
+    pub fn has_coordinator(self) -> bool {
+        matches!(self, Policy::Dws | Policy::DwsNc)
+    }
+
+    /// Do workers go to sleep after `T_SLEEP` failed steals?
+    pub fn sleeps(self) -> bool {
+        matches!(self, Policy::Dws | Policy::DwsNc)
+    }
+
+    /// Do workers yield the core after a failed steal (ABP mechanism)?
+    pub fn yields_on_failed_steal(self) -> bool {
+        matches!(self, Policy::Abp | Policy::Ep | Policy::Bws)
+    }
+
+    /// Does a yield prefer a waiting worker of the *same* program
+    /// (BWS's directed yield)?
+    pub fn yields_to_own_program(self) -> bool {
+        matches!(self, Policy::Bws)
+    }
+
+    /// Short display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Ws => "WS",
+            Policy::Abp => "ABP",
+            Policy::Ep => "EP",
+            Policy::Dws => "DWS",
+            Policy::DwsNc => "DWS-NC",
+            Policy::Bws => "BWS",
+        }
+    }
+
+    /// All policies, in the order the paper discusses them (BWS last, as
+    /// the §5 related-work comparison point).
+    pub fn all() -> [Policy; 6] {
+        [Policy::Ws, Policy::Abp, Policy::Ep, Policy::Dws, Policy::DwsNc, Policy::Bws]
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix_matches_paper() {
+        // §3: only DWS both sleeps and coordinates with table exclusivity.
+        assert!(Policy::Dws.sleeps());
+        assert!(Policy::Dws.has_coordinator());
+        assert!(Policy::Dws.uses_alloc_table());
+        // §4.2: DWS-NC sleeps and has a coordinator but no exclusivity.
+        assert!(Policy::DwsNc.sleeps());
+        assert!(Policy::DwsNc.has_coordinator());
+        assert!(!Policy::DwsNc.uses_alloc_table());
+        // ABP/EP never sleep, yield instead.
+        for p in [Policy::Abp, Policy::Ep] {
+            assert!(!p.sleeps());
+            assert!(p.yields_on_failed_steal());
+            assert!(!p.has_coordinator());
+        }
+        // Plain WS neither yields nor sleeps.
+        assert!(!Policy::Ws.sleeps());
+        assert!(!Policy::Ws.yields_on_failed_steal());
+        // BWS (related work, §5): time-sharing with directed yields.
+        assert!(Policy::Bws.yields_on_failed_steal());
+        assert!(Policy::Bws.yields_to_own_program());
+        assert!(!Policy::Bws.sleeps());
+        assert!(!Policy::Bws.uses_alloc_table());
+        assert!(!Policy::Abp.yields_to_own_program());
+    }
+
+    #[test]
+    fn all_lists_every_policy_once() {
+        let all = Policy::all();
+        assert_eq!(all.len(), 6);
+        let set: std::collections::HashSet<_> = all.iter().map(|p| p.label()).collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn labels_are_figure_legends() {
+        assert_eq!(Policy::Dws.label(), "DWS");
+        assert_eq!(Policy::DwsNc.label(), "DWS-NC");
+        assert_eq!(Policy::Abp.to_string(), "ABP");
+    }
+}

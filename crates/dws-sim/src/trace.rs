@@ -1,0 +1,214 @@
+//! Structured scheduling-event traces.
+//!
+//! When enabled, the simulator records every demand-adaptation event —
+//! sleeps (voluntary and evictions), wakes, table acquisitions, reclaims
+//! and releases, coordinator decisions and run completions — with its
+//! simulated timestamp. Traces drive the timeline diagnostics and the
+//! event-sourcing tests (replaying the table events must reproduce the
+//! final allocation state).
+
+use serde::Serialize;
+
+use crate::config::SimTime;
+
+/// One scheduling event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum SchedEvent {
+    /// A worker went to sleep.
+    Sleep {
+        /// Program index.
+        prog: usize,
+        /// Worker index.
+        worker: usize,
+        /// True if the sleep was a core eviction (owner reclaimed it).
+        evicted: bool,
+    },
+    /// A worker was woken by its coordinator.
+    Wake {
+        /// Program index.
+        prog: usize,
+        /// Worker index.
+        worker: usize,
+    },
+    /// A program acquired a free core.
+    Acquire {
+        /// Program index.
+        prog: usize,
+        /// Core taken.
+        core: usize,
+    },
+    /// A program reclaimed one of its home cores.
+    Reclaim {
+        /// Program index.
+        prog: usize,
+        /// Core reclaimed.
+        core: usize,
+    },
+    /// A sleeping worker released its core into the table.
+    Release {
+        /// Program index.
+        prog: usize,
+        /// Core released.
+        core: usize,
+    },
+    /// A coordinator evaluated Eq. 1.
+    CoordTick {
+        /// Program index.
+        prog: usize,
+        /// Observed queued tasks (N_b).
+        n_b: usize,
+        /// Observed active workers (N_a).
+        n_a: usize,
+        /// Wake target (N_w) after clamping.
+        n_w: usize,
+    },
+    /// A program completed a workload traversal.
+    RunComplete {
+        /// Program index.
+        prog: usize,
+        /// Zero-based run number.
+        run: usize,
+        /// Duration of the run, µs.
+        duration_us: SimTime,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceEvent {
+    /// Simulated time of the event, µs.
+    pub time_us: SimTime,
+    /// What happened.
+    pub event: SchedEvent,
+}
+
+/// A bounded event recorder. Disabled by default (zero overhead beyond a
+/// branch); when the capacity is reached further events are counted but
+/// dropped.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// An enabled trace holding at most `capacity` events.
+    pub fn enabled(capacity: usize) -> Trace {
+        Trace { events: Vec::new(), enabled: true, capacity, dropped: 0 }
+    }
+
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled or full).
+    pub fn record(&mut self, time_us: SimTime, event: SchedEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent { time_us, event });
+    }
+
+    /// All recorded events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped after the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events matching `pred`.
+    pub fn count(&self, pred: impl Fn(&SchedEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.event)).count()
+    }
+
+    /// Events within `[from, to)` µs.
+    pub fn between(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.time_us >= from && e.time_us < to)
+    }
+
+    /// Replays the table-affecting events (Acquire / Reclaim / Release /
+    /// the initial equipartition) and returns, per program, the set of
+    /// cores it should hold at the end — the event-sourcing check used by
+    /// tests.
+    pub fn replay_table(
+        &self,
+        cores: usize,
+        programs: usize,
+        initial_home: &[usize],
+    ) -> Vec<Option<usize>> {
+        assert_eq!(initial_home.len(), cores);
+        let mut slots: Vec<Option<usize>> = initial_home.iter().map(|&h| Some(h)).collect();
+        for e in &self.events {
+            match e.event {
+                SchedEvent::Acquire { prog, core } | SchedEvent::Reclaim { prog, core } => {
+                    assert!(prog < programs);
+                    slots[core] = Some(prog);
+                }
+                SchedEvent::Release { prog, core } => {
+                    debug_assert_eq!(slots[core], Some(prog), "release by non-owner in trace");
+                    slots[core] = None;
+                }
+                _ => {}
+            }
+        }
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::default();
+        t.record(5, SchedEvent::Wake { prog: 0, worker: 1 });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn capacity_drops_and_counts() {
+        let mut t = Trace::enabled(2);
+        for i in 0..5 {
+            t.record(i, SchedEvent::Wake { prog: 0, worker: 0 });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn count_and_between_filter() {
+        let mut t = Trace::enabled(100);
+        t.record(10, SchedEvent::Sleep { prog: 0, worker: 1, evicted: false });
+        t.record(20, SchedEvent::Wake { prog: 0, worker: 1 });
+        t.record(30, SchedEvent::Sleep { prog: 1, worker: 2, evicted: true });
+        assert_eq!(t.count(|e| matches!(e, SchedEvent::Sleep { .. })), 2);
+        assert_eq!(
+            t.count(|e| matches!(e, SchedEvent::Sleep { evicted: true, .. })),
+            1
+        );
+        assert_eq!(t.between(15, 35).count(), 2);
+    }
+
+    #[test]
+    fn replay_applies_table_events_in_order() {
+        let mut t = Trace::enabled(100);
+        t.record(1, SchedEvent::Release { prog: 0, core: 0 });
+        t.record(2, SchedEvent::Acquire { prog: 1, core: 0 });
+        t.record(3, SchedEvent::Reclaim { prog: 0, core: 0 });
+        t.record(4, SchedEvent::Wake { prog: 0, worker: 0 }); // ignored
+        let final_slots = t.replay_table(2, 2, &[0, 1]);
+        assert_eq!(final_slots, vec![Some(0), Some(1)]);
+    }
+}

@@ -1,0 +1,361 @@
+//! Workload model: fork-join task DAGs with time-varying parallelism.
+//!
+//! The paper's benchmarks (Table 2) fall into two structural families that
+//! determine how a program's *demand for cores* evolves — which is exactly
+//! what DWS exploits:
+//!
+//! * **Recursive divide-and-conquer** (FFT, Mergesort, Cholesky's
+//!   elimination tree): parallelism ramps 1 → `branch^depth` → 1, with a
+//!   serial merge tail whose node cost can grow toward the root
+//!   (mergesort's final merge touches the whole array). During the tail
+//!   the program wants few cores.
+//! * **Iterative waves** (Heat, SOR, GE, LU, PNN): each iteration spawns a
+//!   `width`-wide batch of tasks, then a serial section (boundary exchange,
+//!   pivot selection, weight update) runs before the next wave. Demand
+//!   oscillates `width` → 1 → `width`. Widths may shrink over time
+//!   (GE/LU/Cholesky eliminate rows).
+//!
+//! A [`WorkloadSpec`] is a sequence of such phases executed back-to-back;
+//! one traversal of all phases is one *run* of the benchmark (one bar in
+//! Fig. 4 is the mean run time under co-running, Eq. 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Index into the per-program join table.
+pub type JoinId = usize;
+
+/// What a task does when its work completes, i.e. the DAG semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskBody {
+    /// Plain work; completing it notifies `notify`.
+    Leaf,
+    /// Internal node of a recursive phase at `depth` (leaves are depth 0);
+    /// spawns `branch` children and a merge continuation.
+    RecNode {
+        /// Levels below this node.
+        depth: u32,
+        /// Phase this node belongs to.
+        phase: usize,
+    },
+    /// Join-side merge work of a recursive node.
+    Merge {
+        /// Level of the corresponding `RecNode`.
+        depth: u32,
+        /// Phase this node belongs to.
+        phase: usize,
+    },
+    /// Wave fan-out root: spawns a binary *split tree* whose leaves are
+    /// the wave's tasks (mirroring how a Cilk `cilk_for`/recursive sweep
+    /// spreads work across deques exponentially rather than queueing the
+    /// whole batch on one worker); the wave's join continues with the
+    /// serial section.
+    WaveMaster {
+        /// Iteration number within the phase.
+        iter: u32,
+        /// Phase this wave belongs to.
+        phase: usize,
+    },
+    /// Interior node of a wave's split tree, covering `count` leaves.
+    WaveSplit {
+        /// Leaves below this split node.
+        count: u32,
+        /// Iteration the node belongs to.
+        iter: u32,
+        /// Phase the node belongs to.
+        phase: usize,
+    },
+    /// Serial section after wave `next_iter - 1`; on completion spawns the
+    /// next wave (or finishes the phase).
+    SerialGap {
+        /// Iteration to start after the serial work.
+        next_iter: u32,
+        /// Phase this gap belongs to.
+        phase: usize,
+    },
+    /// Zero-cost phase boundary; spawns phase `phase`'s root, or completes
+    /// the run when `phase == phases.len()`.
+    PhaseStart {
+        /// Phase about to start.
+        phase: usize,
+    },
+}
+
+/// A schedulable unit: some CPU work plus DAG bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// DAG semantics on completion.
+    pub body: TaskBody,
+    /// CPU time at nominal (uncontended) speed, microseconds.
+    pub work_us: f64,
+    /// Fraction of the work that is memory-bound (drives the cache model).
+    pub mem: f64,
+    /// Join to notify when this task's subtree completes.
+    pub notify: Option<JoinId>,
+}
+
+/// One phase of a workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PhaseSpec {
+    /// Balanced recursive fork-join tree.
+    Recursive {
+        /// Tree depth; the phase has `branch^depth` leaves.
+        depth: u32,
+        /// Fan-out per internal node.
+        branch: u32,
+        /// Work per leaf, µs.
+        leaf_work_us: f64,
+        /// Spawn-side work per internal node, µs.
+        node_work_us: f64,
+        /// Join-side (merge) work unit, µs.
+        merge_work_us: f64,
+        /// If true, a merge at depth `d` costs `merge_work_us * branch^d`
+        /// (mergesort/FFT style: each level does the same total work, so
+        /// the root merge is a long serial tail). If false, merges cost
+        /// `merge_work_us` flat.
+        merge_grows: bool,
+        /// Memory intensity of the phase's tasks, 0..1.
+        mem: f64,
+        /// Multiplicative task-size jitter amplitude, 0..1.
+        jitter: f64,
+    },
+    /// Iterative wave (barrier-style) parallelism.
+    Waves {
+        /// Number of iterations.
+        iters: u32,
+        /// Tasks per iteration at iteration 0.
+        width: u32,
+        /// If nonzero, width shrinks linearly to `width_end` at the final
+        /// iteration (GE/LU/Cholesky row elimination).
+        width_end: u32,
+        /// Work per wave task, µs.
+        task_work_us: f64,
+        /// Serial section between iterations, µs.
+        serial_us: f64,
+        /// Memory intensity of the phase's tasks, 0..1.
+        mem: f64,
+        /// Multiplicative task-size jitter amplitude, 0..1.
+        jitter: f64,
+    },
+}
+
+impl PhaseSpec {
+    /// Width of wave `iter` (interpolates `width → width_end`).
+    pub fn wave_width(&self, iter: u32) -> u32 {
+        match *self {
+            PhaseSpec::Waves { iters, width, width_end, .. } => {
+                if iters <= 1 || width_end == 0 || width_end == width {
+                    width.max(1)
+                } else {
+                    let t = iter as f64 / (iters - 1) as f64;
+                    let w = width as f64 + (width_end as f64 - width as f64) * t;
+                    (w.round() as u32).max(1)
+                }
+            }
+            PhaseSpec::Recursive { .. } => 0,
+        }
+    }
+
+    /// Total CPU work of one traversal of this phase, µs (no jitter).
+    pub fn total_work_us(&self) -> f64 {
+        match *self {
+            PhaseSpec::Recursive {
+                depth,
+                branch,
+                leaf_work_us,
+                node_work_us,
+                merge_work_us,
+                merge_grows,
+                ..
+            } => {
+                let b = branch as f64;
+                let leaves = b.powi(depth as i32);
+                let mut internal = 0.0; // number of internal nodes
+                let mut merge = 0.0;
+                for d in 1..=depth {
+                    let nodes_at_d = b.powi((depth - d) as i32);
+                    internal += nodes_at_d;
+                    let m = if merge_grows { merge_work_us * b.powi(d as i32) } else { merge_work_us };
+                    merge += nodes_at_d * m;
+                }
+                leaves * leaf_work_us + internal * node_work_us + merge
+            }
+            PhaseSpec::Waves { iters, task_work_us, serial_us, .. } => {
+                let mut total = 0.0;
+                for i in 0..iters {
+                    total += self.wave_width(i) as f64 * task_work_us + serial_us;
+                }
+                total
+            }
+        }
+    }
+
+    /// Critical-path length of one traversal, µs (no jitter): the lower
+    /// bound on run time with unlimited cores.
+    pub fn critical_path_us(&self) -> f64 {
+        match *self {
+            PhaseSpec::Recursive {
+                depth,
+                branch,
+                leaf_work_us,
+                node_work_us,
+                merge_work_us,
+                merge_grows,
+                ..
+            } => {
+                let b = branch as f64;
+                let mut cp = leaf_work_us;
+                for d in 1..=depth {
+                    let m = if merge_grows { merge_work_us * b.powi(d as i32) } else { merge_work_us };
+                    cp += node_work_us + m;
+                }
+                cp
+            }
+            PhaseSpec::Waves { iters, task_work_us, serial_us, .. } => {
+                iters as f64 * (task_work_us + serial_us)
+            }
+        }
+    }
+}
+
+/// A complete benchmark workload: named sequence of phases.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Benchmark name (e.g. "FFT", "Mergesort").
+    pub name: String,
+    /// Phases executed back-to-back; one traversal = one run.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl WorkloadSpec {
+    /// Total CPU work of one run, µs.
+    pub fn total_work_us(&self) -> f64 {
+        self.phases.iter().map(|p| p.total_work_us()).sum()
+    }
+
+    /// Critical path of one run, µs.
+    pub fn critical_path_us(&self) -> f64 {
+        self.phases.iter().map(|p| p.critical_path_us()).sum()
+    }
+
+    /// Average parallelism (work / span) — the classical `T1 / T∞`.
+    pub fn avg_parallelism(&self) -> f64 {
+        self.total_work_us() / self.critical_path_us()
+    }
+
+    /// Work-weighted mean memory intensity; classifies the program as
+    /// data- vs compute-intensive (the §4.4 placement hook — the real
+    /// system would read hardware counters / PAPI for this).
+    pub fn mean_mem(&self) -> f64 {
+        let mut work = 0.0;
+        let mut weighted = 0.0;
+        for ph in &self.phases {
+            let w = ph.total_work_us();
+            let mem = match *ph {
+                PhaseSpec::Recursive { mem, .. } => mem,
+                PhaseSpec::Waves { mem, .. } => mem,
+            };
+            work += w;
+            weighted += mem * w;
+        }
+        if work == 0.0 {
+            0.0
+        } else {
+            weighted / work
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(depth: u32, branch: u32) -> PhaseSpec {
+        PhaseSpec::Recursive {
+            depth,
+            branch,
+            leaf_work_us: 100.0,
+            node_work_us: 1.0,
+            merge_work_us: 2.0,
+            merge_grows: false,
+            mem: 0.5,
+            jitter: 0.0,
+        }
+    }
+
+    #[test]
+    fn recursive_total_work_counts_all_nodes() {
+        // depth 2, branch 2: 4 leaves, 3 internal nodes (depths 1,1,2).
+        let p = rec(2, 2);
+        // leaves: 4*100; internal spawn: 3*1; merges flat: 3*2.
+        assert!((p.total_work_us() - (400.0 + 3.0 + 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growing_merges_make_root_dominant() {
+        let p = PhaseSpec::Recursive {
+            depth: 3,
+            branch: 2,
+            leaf_work_us: 0.0,
+            node_work_us: 0.0,
+            merge_work_us: 1.0,
+            merge_grows: true,
+            mem: 0.0,
+            jitter: 0.0,
+        };
+        // Merges: depth1: 4 nodes × 2 = 8; depth2: 2 × 4 = 8; depth3: 1 × 8 = 8.
+        assert!((p.total_work_us() - 24.0).abs() < 1e-9);
+        // Critical path includes one merge per level: 2 + 4 + 8 = 14.
+        assert!((p.critical_path_us() - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waves_total_work_includes_serial_sections() {
+        let p = PhaseSpec::Waves {
+            iters: 3,
+            width: 4,
+            width_end: 0,
+            task_work_us: 10.0,
+            serial_us: 5.0,
+            mem: 0.5,
+            jitter: 0.0,
+        };
+        assert!((p.total_work_us() - (3.0 * (40.0 + 5.0))).abs() < 1e-9);
+        assert!((p.critical_path_us() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrinking_waves_interpolate_width() {
+        let p = PhaseSpec::Waves {
+            iters: 5,
+            width: 16,
+            width_end: 4,
+            task_work_us: 1.0,
+            serial_us: 0.0,
+            mem: 0.0,
+            jitter: 0.0,
+        };
+        assert_eq!(p.wave_width(0), 16);
+        assert_eq!(p.wave_width(4), 4);
+        assert_eq!(p.wave_width(2), 10);
+        // Widths never reach zero.
+        let narrow = PhaseSpec::Waves {
+            iters: 10,
+            width: 2,
+            width_end: 1,
+            task_work_us: 1.0,
+            serial_us: 0.0,
+            mem: 0.0,
+            jitter: 0.0,
+        };
+        for i in 0..10 {
+            assert!(narrow.wave_width(i) >= 1);
+        }
+    }
+
+    #[test]
+    fn avg_parallelism_is_work_over_span() {
+        let w = WorkloadSpec { name: "t".into(), phases: vec![rec(4, 2)] };
+        let par = w.avg_parallelism();
+        assert!(par > 1.0 && par < 16.0, "depth-4 binary tree parallelism ~{par}");
+    }
+}

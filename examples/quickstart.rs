@@ -1,0 +1,52 @@
+//! Quickstart: build a DWS runtime, run fork-join and scoped work, and
+//! inspect scheduler metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dws_rt::{join, Policy, Runtime, RuntimeConfig};
+
+fn parallel_sum(xs: &[u64]) -> u64 {
+    if xs.len() <= 1024 {
+        return xs.iter().sum();
+    }
+    let mid = xs.len() / 2;
+    let (a, b) = join(|| parallel_sum(&xs[..mid]), || parallel_sum(&xs[mid..]));
+    a + b
+}
+
+fn main() {
+    // One worker per available core; plain work-stealing (a solo program
+    // needs no demand-awareness — the paper's §4.4 fallback).
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let rt = Runtime::new(RuntimeConfig::new(workers, Policy::Ws));
+    println!("runtime with {} workers, policy {}", rt.workers(), rt.effective_policy());
+
+    // Fork-join: recursive parallel sum.
+    let data: Vec<u64> = (0..1_000_000).collect();
+    let total = rt.block_on(|| parallel_sum(&data));
+    assert_eq!(total, 1_000_000 * 999_999 / 2);
+    println!("parallel sum of 1e6 numbers = {total}");
+
+    // Scoped tasks: borrow the stack, fan out, join implicitly.
+    let mut squares = vec![0u64; 64];
+    rt.scope(|s| {
+        for (i, slot) in squares.iter_mut().enumerate() {
+            s.spawn(move || *slot = (i * i) as u64);
+        }
+    });
+    println!("squares[17] = {}", squares[17]);
+
+    // A real benchmark kernel from the paper's Table 2.
+    let mut keys = dws_apps::common::random_u64s(200_000, 42);
+    rt.block_on(|| dws_apps::mergesort::mergesort_parallel(&mut keys, 2048));
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    println!("sorted 200k keys with the p-8 mergesort kernel");
+
+    let m = rt.metrics();
+    println!(
+        "metrics: jobs={} steals_ok={} steals_failed={} yields={}",
+        m.jobs_executed, m.steals_ok, m.steals_failed, m.yields
+    );
+}

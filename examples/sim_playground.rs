@@ -1,0 +1,91 @@
+//! Simulator playground: configure a custom machine, custom workloads and
+//! any policy mix, then compare the five schedulers on your scenario.
+//!
+//! ```sh
+//! cargo run --release --example sim_playground
+//! ```
+
+use dws_sim::{
+    run_pair, run_solo, MachineConfig, PhaseSpec, Policy, ProgramSpec, RunOptions,
+    SchedConfig, SimConfig, WorkloadSpec,
+};
+
+fn main() {
+    // A hypothetical 8-core single-socket machine.
+    let cfg = SimConfig {
+        machine: MachineConfig { cores: 8, sockets: 1, ..Default::default() },
+        ..Default::default()
+    };
+
+    // Workload A: bursty — short wide bursts, long serial gaps.
+    let bursty = WorkloadSpec {
+        name: "bursty".into(),
+        phases: vec![PhaseSpec::Waves {
+            iters: 10,
+            width: 4_000,
+            width_end: 0,
+            task_work_us: 25.0,
+            serial_us: 50_000.0,
+            mem: 0.3,
+            jitter: 0.1,
+        }],
+    };
+    // Workload B: steady recursive divide-and-conquer.
+    let steady = WorkloadSpec {
+        name: "steady".into(),
+        phases: vec![PhaseSpec::Recursive {
+            depth: 13,
+            branch: 2,
+            leaf_work_us: 50.0,
+            node_work_us: 1.0,
+            merge_work_us: 1.5,
+            merge_grows: true,
+            mem: 0.5,
+            jitter: 0.1,
+        }],
+    };
+
+    let opts = RunOptions { min_runs: 3, warmup_runs: 1, max_time_us: 120_000_000 };
+
+    // Solo baselines.
+    let base_a = run_solo(
+        cfg.clone(),
+        bursty.clone(),
+        SchedConfig::for_policy(Policy::Ws, 8),
+        opts,
+    )
+    .mean_run_time_us
+    .unwrap();
+    let base_b = run_solo(
+        cfg.clone(),
+        steady.clone(),
+        SchedConfig::for_policy(Policy::Ws, 8),
+        opts,
+    )
+    .mean_run_time_us
+    .unwrap();
+    println!("solo baselines: bursty {:.1} ms, steady {:.1} ms\n", base_a / 1e3, base_b / 1e3);
+
+    println!("{:<8} {:>12} {:>12} {:>10} {:>10}", "policy", "bursty (ms)", "steady (ms)", "norm-A", "norm-B");
+    for policy in [Policy::Abp, Policy::Ep, Policy::DwsNc, Policy::Dws] {
+        let sched = SchedConfig::for_policy(policy, 8);
+        let rep = run_pair(
+            cfg.clone(),
+            ProgramSpec { workload: bursty.clone(), sched: sched.clone() },
+            ProgramSpec { workload: steady.clone(), sched },
+            opts,
+        );
+        let a = rep.programs[0].mean_run_time_us.unwrap();
+        let b = rep.programs[1].mean_run_time_us.unwrap();
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>10.2} {:>10.2}",
+            policy.label(),
+            a / 1e3,
+            b / 1e3,
+            a / base_a,
+            b / base_b
+        );
+    }
+    println!("\nExpected: DWS gives the steady program the bursty one's idle");
+    println!("cores without hurting the bursty program's own bursts.");
+}

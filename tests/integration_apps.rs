@@ -1,0 +1,140 @@
+//! Integration: every Table-2 kernel runs correctly on the real runtime
+//! under every policy, including co-run conditions.
+
+use std::sync::Arc;
+
+use dws_apps::common::{random_u64s, random_vec, Matrix};
+use dws_apps::{cholesky, fft, ge, heat, lu, mergesort, pnn, sor};
+use dws_rt::{CoreTable, InProcessTable, Policy, Runtime, RuntimeConfig};
+
+fn pool(policy: Policy) -> Runtime {
+    Runtime::new(RuntimeConfig::new(2, policy))
+}
+
+fn policies() -> [Policy; 5] {
+    [Policy::Ws, Policy::Abp, Policy::Ep, Policy::Dws, Policy::DwsNc]
+}
+
+#[test]
+fn fft_correct_under_every_policy() {
+    let x: Vec<fft::Complex> = random_vec(256, 1)
+        .into_iter()
+        .zip(random_vec(256, 2))
+        .collect();
+    let expected = fft::fft_sequential(&x);
+    for policy in policies() {
+        let p = pool(policy);
+        let got = p.block_on(|| fft::fft_parallel(&x, 32));
+        assert_eq!(got, expected, "{policy}");
+    }
+}
+
+#[test]
+fn mergesort_correct_under_every_policy() {
+    for policy in policies() {
+        let p = pool(policy);
+        let mut v = random_u64s(30_000, 3);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        p.block_on(|| mergesort::mergesort_parallel(&mut v, 1024));
+        assert_eq!(v, expected, "{policy}");
+    }
+}
+
+#[test]
+fn linear_algebra_kernels_under_dws() {
+    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
+    let p = Runtime::with_table(RuntimeConfig::new(2, Policy::Dws), table, 0);
+
+    let a = Matrix::spd(32, 9);
+    let l = p.block_on(|| cholesky::cholesky_parallel(&a, 4));
+    assert!(cholesky::reconstruction_error(&a, &l) < 1e-8);
+
+    let d = lu::dominant_matrix(32, 4);
+    let f = p.block_on(|| lu::lu_parallel(&d, 4));
+    assert!(lu::reconstruction_error(&d, &f) < 1e-8);
+
+    let b = random_vec(32, 5);
+    let x = p.block_on(|| ge::ge_parallel(&d, &b, 4));
+    assert!(ge::residual(&d, &x, &b) < 1e-8);
+}
+
+#[test]
+fn stencil_kernels_under_dws() {
+    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
+    let p = Runtime::with_table(RuntimeConfig::new(2, Policy::Dws), table, 0);
+
+    let g = heat::Grid::hot_plate(24, 24);
+    let seq = heat::heat_sequential(&g, 15);
+    let par = p.block_on(|| heat::heat_parallel(&g, 15, 4));
+    assert_eq!(seq.max_abs_diff(&par), 0.0);
+
+    let s_seq = sor::sor_sequential(&g, 12, sor::DEFAULT_OMEGA);
+    let s_par = p.block_on(|| sor::sor_parallel(&g, 12, sor::DEFAULT_OMEGA, 4));
+    assert_eq!(s_seq.max_abs_diff(&s_par), 0.0);
+}
+
+#[test]
+fn pnn_under_corun() {
+    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
+    let p0 = Runtime::with_table(
+        RuntimeConfig::new(2, Policy::Dws),
+        Arc::clone(&table),
+        0,
+    );
+    let p1 = Runtime::with_table(
+        RuntimeConfig::new(2, Policy::Dws),
+        Arc::clone(&table),
+        1,
+    );
+    let net = pnn::Pnn::random(8, 24, 3, 11);
+    let x = random_vec(8, 12);
+    let expected = net.forward_sequential(&x);
+    let (a, b) = (
+        p0.block_on(|| net.forward_parallel(&x, 4)),
+        p1.block_on(|| net.forward_parallel(&x, 4)),
+    );
+    assert_eq!(a, expected);
+    assert_eq!(b, expected);
+}
+
+#[test]
+fn two_kernels_race_on_co_running_pools() {
+    // Run two different kernels truly concurrently on co-running DWS
+    // pools and make sure both finish correct under core migration.
+    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(4, 2));
+    let p0 = Arc::new(Runtime::with_table(
+        RuntimeConfig::new(4, Policy::Dws),
+        Arc::clone(&table),
+        0,
+    ));
+    let p1 = Arc::new(Runtime::with_table(
+        RuntimeConfig::new(4, Policy::Dws),
+        Arc::clone(&table),
+        1,
+    ));
+    let h0 = {
+        let p0 = Arc::clone(&p0);
+        std::thread::spawn(move || {
+            for seed in 0..4 {
+                let mut v = random_u64s(20_000, seed);
+                let mut expected = v.clone();
+                expected.sort_unstable();
+                p0.block_on(|| mergesort::mergesort_parallel(&mut v, 512));
+                assert_eq!(v, expected);
+            }
+        })
+    };
+    let h1 = {
+        let p1 = Arc::clone(&p1);
+        std::thread::spawn(move || {
+            for seed in 0..4 {
+                let a = Matrix::spd(24, seed);
+                let l = p1.block_on(|| cholesky::cholesky_parallel(&a, 4));
+                assert!(cholesky::reconstruction_error(&a, &l) < 1e-8);
+            }
+        })
+    };
+    h0.join().unwrap();
+    h1.join().unwrap();
+}

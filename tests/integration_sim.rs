@@ -1,0 +1,170 @@
+//! Cross-crate integration of the simulator with the harness: the
+//! paper's qualitative claims must hold on small, fast scenarios.
+
+use dws_sim::{
+    run_pair, run_solo, MachineConfig, PhaseSpec, Policy, ProgramSpec, RunOptions,
+    SchedConfig, SimConfig, WorkloadSpec,
+};
+
+fn small_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        machine: MachineConfig { cores: 8, sockets: 2, ..Default::default() },
+        seed,
+        ..Default::default()
+    }
+}
+
+/// A bursty workload: wide fine-grained bursts between long serial gaps.
+fn bursty() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "bursty".into(),
+        phases: vec![PhaseSpec::Waves {
+            iters: 6,
+            width: 2_000,
+            width_end: 0,
+            task_work_us: 20.0,
+            serial_us: 40_000.0,
+            mem: 0.2,
+            jitter: 0.1,
+        }],
+    }
+}
+
+/// A steady, saturating workload.
+fn steady() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "steady".into(),
+        phases: vec![PhaseSpec::Waves {
+            iters: 8,
+            width: 4_000,
+            width_end: 0,
+            task_work_us: 20.0,
+            serial_us: 10.0,
+            mem: 0.4,
+            jitter: 0.1,
+        }],
+    }
+}
+
+fn opts() -> RunOptions {
+    RunOptions { min_runs: 2, warmup_runs: 0, max_time_us: 60_000_000 }
+}
+
+fn corun_mean(policy: Policy, seed: u64) -> (f64, f64) {
+    let cfg = small_cfg(seed);
+    let sched = SchedConfig::for_policy(policy, cfg.machine.cores);
+    let rep = run_pair(
+        cfg,
+        ProgramSpec { workload: bursty(), sched: sched.clone() },
+        ProgramSpec { workload: steady(), sched },
+        opts(),
+    );
+    (
+        rep.programs[0].mean_run_time_us.expect("bursty finished"),
+        rep.programs[1].mean_run_time_us.expect("steady finished"),
+    )
+}
+
+#[test]
+fn dws_beats_abp_on_the_asymmetric_pair() {
+    let (abp_a, abp_b) = corun_mean(Policy::Abp, 1);
+    let (dws_a, dws_b) = corun_mean(Policy::Dws, 1);
+    // Headline claim: DWS improves co-running programs vs ABP.
+    let abp = abp_a + abp_b;
+    let dws = dws_a + dws_b;
+    assert!(
+        dws < abp,
+        "DWS combined {dws:.0} must beat ABP {abp:.0} (a={dws_a:.0}/{abp_a:.0} b={dws_b:.0}/{abp_b:.0})"
+    );
+}
+
+#[test]
+fn dws_lets_the_steady_program_use_released_cores() {
+    // The steady program should run faster under DWS than under EP,
+    // because it borrows the bursty program's cores during serial gaps.
+    let (_, ep_b) = corun_mean(Policy::Ep, 2);
+    let (_, dws_b) = corun_mean(Policy::Dws, 2);
+    assert!(
+        dws_b < ep_b * 1.02,
+        "steady under DWS ({dws_b:.0}) should beat/match EP ({ep_b:.0})"
+    );
+}
+
+#[test]
+fn dws_nc_is_not_better_than_dws() {
+    let (nc_a, nc_b) = corun_mean(Policy::DwsNc, 3);
+    let (dws_a, dws_b) = corun_mean(Policy::Dws, 3);
+    assert!(
+        dws_a + dws_b <= (nc_a + nc_b) * 1.05,
+        "coordinator exclusivity must not hurt: DWS {:.0} vs NC {:.0}",
+        dws_a + dws_b,
+        nc_a + nc_b
+    );
+}
+
+#[test]
+fn solo_dws_overhead_is_small() {
+    let cfg = small_cfg(4);
+    let o = opts();
+    let ws = run_solo(
+        cfg.clone(),
+        steady(),
+        SchedConfig::for_policy(Policy::Ws, 8),
+        o,
+    )
+    .mean_run_time_us
+    .unwrap();
+    let dws = run_solo(cfg, steady(), SchedConfig::for_policy(Policy::Dws, 8), o)
+        .mean_run_time_us
+        .unwrap();
+    assert!(
+        dws < ws * 1.10,
+        "§4.4: solo DWS ({dws:.0}) must be within ~10% of WS ({ws:.0})"
+    );
+}
+
+#[test]
+fn extreme_t_sleep_values_still_complete() {
+    for t_sleep in [1, 1024] {
+        let cfg = small_cfg(5);
+        let mut sched = SchedConfig::for_policy(Policy::Dws, cfg.machine.cores);
+        sched.t_sleep = t_sleep;
+        let rep = run_pair(
+            cfg,
+            ProgramSpec { workload: bursty(), sched: sched.clone() },
+            ProgramSpec { workload: steady(), sched },
+            opts(),
+        );
+        assert!(!rep.hit_horizon, "T_SLEEP={t_sleep} must not deadlock");
+    }
+}
+
+#[test]
+fn tiny_t_sleep_is_slower_than_default() {
+    let cfg = small_cfg(6);
+    let mk = |t_sleep| {
+        let mut sched = SchedConfig::for_policy(Policy::Dws, 8);
+        sched.t_sleep = t_sleep;
+        let rep = run_pair(
+            cfg.clone(),
+            ProgramSpec { workload: bursty(), sched: sched.clone() },
+            ProgramSpec { workload: steady(), sched },
+            opts(),
+        );
+        rep.programs[1].mean_run_time_us.unwrap()
+    };
+    let tiny = mk(1);
+    let good = mk(16);
+    assert!(
+        tiny > good * 0.95,
+        "T_SLEEP=1 over-sleeps and should not beat the default: {tiny:.0} vs {good:.0}"
+    );
+}
+
+#[test]
+fn harness_effort_and_cli_are_usable_cross_crate() {
+    // The harness's CLI options must produce a runnable configuration.
+    let opts = dws_harness::CliOptions::parse(&["--quick".to_string()]);
+    assert_eq!(opts.sim.machine.cores, 16);
+    assert!(opts.effort.min_runs >= 1);
+}
