@@ -11,15 +11,9 @@ fn bench_fig5(c: &mut Criterion) {
     g.sample_size(10);
     let effort = Effort { min_runs: 1, warmup_runs: 0, max_time_us: 30_000_000 };
     for policy in [Policy::DwsNc, Policy::Dws] {
-        g.bench_with_input(
-            BenchmarkId::new("mix_1_8", policy.label()),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    run_mix((1, 8), policy, None, (1.0, 1.0), &SimConfig::default(), effort)
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("mix_1_8", policy.label()), &policy, |b, &policy| {
+            b.iter(|| run_mix((1, 8), policy, None, (1.0, 1.0), &SimConfig::default(), effort));
+        });
     }
     g.finish();
 }

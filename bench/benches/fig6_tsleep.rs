@@ -11,22 +11,11 @@ fn bench_fig6(c: &mut Criterion) {
     g.sample_size(10);
     let effort = Effort { min_runs: 1, warmup_runs: 0, max_time_us: 30_000_000 };
     for t_sleep in [1u32, 16, 128] {
-        g.bench_with_input(
-            BenchmarkId::new("t_sleep", t_sleep),
-            &t_sleep,
-            |b, &t| {
-                b.iter(|| {
-                    run_mix(
-                        (1, 8),
-                        Policy::Dws,
-                        Some(t),
-                        (1.0, 1.0),
-                        &SimConfig::default(),
-                        effort,
-                    )
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("t_sleep", t_sleep), &t_sleep, |b, &t| {
+            b.iter(|| {
+                run_mix((1, 8), Policy::Dws, Some(t), (1.0, 1.0), &SimConfig::default(), effort)
+            });
+        });
     }
     g.finish();
 }

@@ -123,11 +123,7 @@ mod tests {
         let a = Matrix::spd(48, 7);
         let seq = cholesky_sequential(&a);
         let par = pool.block_on(|| cholesky_parallel(&a, 4));
-        assert!(
-            seq.max_abs_diff(&par) < 1e-9,
-            "diff = {}",
-            seq.max_abs_diff(&par)
-        );
+        assert!(seq.max_abs_diff(&par) < 1e-9, "diff = {}", seq.max_abs_diff(&par));
     }
 
     #[test]

@@ -89,10 +89,7 @@ pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
 pub fn ifft(input: &[Complex]) -> Vec<Complex> {
     let n = input.len() as f64;
     let conj: Vec<Complex> = input.iter().map(|&(re, im)| (re, -im)).collect();
-    fft_sequential(&conj)
-        .into_iter()
-        .map(|(re, im)| (re / n, -im / n))
-        .collect()
+    fft_sequential(&conj).into_iter().map(|(re, im)| (re / n, -im / n)).collect()
 }
 
 #[cfg(test)]
@@ -108,10 +105,7 @@ mod tests {
     }
 
     fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| ((x.0 - y.0).abs()).max((x.1 - y.1).abs()))
-            .fold(0.0, f64::max)
+        a.iter().zip(b).map(|(x, y)| ((x.0 - y.0).abs()).max((x.1 - y.1).abs())).fold(0.0, f64::max)
     }
 
     #[test]

@@ -54,10 +54,7 @@ pub fn ge_parallel(a: &Matrix, b: &[f64], band: usize) -> Vec<f64> {
         let tail = &mut w.data_mut()[(k + 1) * ncols..];
         let rhs_tail = &mut rhs[k + 1..];
         scope(|s| {
-            for (rows, rvals) in tail
-                .chunks_mut(band * ncols)
-                .zip(rhs_tail.chunks_mut(band))
-            {
+            for (rows, rvals) in tail.chunks_mut(band * ncols).zip(rhs_tail.chunks_mut(band)) {
                 let row_k = &row_k;
                 s.spawn(move || {
                     for (row, rv) in rows.chunks_mut(ncols).zip(rvals.iter_mut()) {
@@ -121,11 +118,7 @@ mod tests {
         let b = random_vec(40, 9);
         let xs = ge_sequential(&a, &b);
         let xp = pool.block_on(|| ge_parallel(&a, &b, 4));
-        let diff = xs
-            .iter()
-            .zip(&xp)
-            .map(|(s, p)| (s - p).abs())
-            .fold(0.0, f64::max);
+        let diff = xs.iter().zip(&xp).map(|(s, p)| (s - p).abs()).fold(0.0, f64::max);
         assert!(diff < 1e-9, "diff = {diff}");
     }
 

@@ -45,11 +45,7 @@ impl Grid {
 
     /// Max absolute cell difference.
     pub fn max_abs_diff(&self, other: &Grid) -> f64 {
-        self.cells
-            .iter()
-            .zip(&other.cells)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.cells.iter().zip(&other.cells).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Mutable access to the backing cells (crate-internal; used by SOR,

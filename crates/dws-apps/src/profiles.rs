@@ -237,8 +237,7 @@ mod tests {
     fn demand_spectrum_is_wide() {
         // PNN must be the least parallel, Heat among the most: the mixes
         // rely on demand asymmetry.
-        let par =
-            |b: Benchmark| b.profile().avg_parallelism();
+        let par = |b: Benchmark| b.profile().avg_parallelism();
         assert!(par(Benchmark::Pnn) < 6.0, "PNN avg par = {}", par(Benchmark::Pnn));
         assert!(par(Benchmark::Heat) > 12.0, "Heat avg par = {}", par(Benchmark::Heat));
         // SOR is the most memory-bound benchmark (the §4.1 locality case).

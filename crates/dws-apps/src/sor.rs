@@ -22,8 +22,8 @@ fn sweep_colour_seq(cells: &mut [f64], rows: usize, cols: usize, omega: f64, col
         let mut c = start;
         while c < cols - 1 {
             let idx = r * cols + c;
-            let neigh = 0.25
-                * (cells[idx - cols] + cells[idx + cols] + cells[idx - 1] + cells[idx + 1]);
+            let neigh =
+                0.25 * (cells[idx - cols] + cells[idx + cols] + cells[idx - 1] + cells[idx + 1]);
             cells[idx] += omega * (neigh - cells[idx]);
             c += 2;
         }
@@ -111,7 +111,9 @@ pub fn laplace_residual(grid: &Grid) -> f64 {
     for r in 1..rows - 1 {
         for c in 1..cols - 1 {
             let avg = 0.25
-                * (grid.get(r - 1, c) + grid.get(r + 1, c) + grid.get(r, c - 1)
+                * (grid.get(r - 1, c)
+                    + grid.get(r + 1, c)
+                    + grid.get(r, c - 1)
                     + grid.get(r, c + 1));
             res = res.max((grid.get(r, c) - avg).abs());
         }

@@ -10,13 +10,20 @@ fn bench_bin() -> &'static str {
 fn spawn_bench(bench: &str, table: &std::path::Path, reps: usize) -> Child {
     Command::new(bench_bin())
         .args([
-            "--bench", bench,
-            "--policy", "dws",
-            "--table", table.to_str().unwrap(),
-            "--programs", "2",
-            "--workers", "2",
-            "--reps", &reps.to_string(),
-            "--size", "small",
+            "--bench",
+            bench,
+            "--policy",
+            "dws",
+            "--table",
+            table.to_str().unwrap(),
+            "--programs",
+            "2",
+            "--workers",
+            "2",
+            "--reps",
+            &reps.to_string(),
+            "--size",
+            "small",
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -52,10 +59,8 @@ fn two_processes_corun_through_the_shared_table() {
     assert!(sa.contains("mean"), "no mean reported: {sa}");
     assert!(sb.contains("mean"), "no mean reported: {sb}");
     // Both registered distinct program ids (0 and 1) in the shared table.
-    let regs: Vec<String> = [&out_a, &out_b]
-        .iter()
-        .map(|o| String::from_utf8_lossy(&o.stderr).to_string())
-        .collect();
+    let regs: Vec<String> =
+        [&out_a, &out_b].iter().map(|o| String::from_utf8_lossy(&o.stderr).to_string()).collect();
     let mut ids: Vec<bool> = vec![false; 2];
     for r in &regs {
         for (id, slot) in ids.iter_mut().enumerate() {
@@ -76,11 +81,7 @@ fn solo_process_runs_every_benchmark() {
             .args(["--bench", bench, "--policy", "ws", "--workers", "2", "--reps", "1"])
             .output()
             .expect("run benchmark");
-        assert!(
-            out.status.success(),
-            "{bench} failed: {}",
-            String::from_utf8_lossy(&out.stderr)
-        );
+        assert!(out.status.success(), "{bench} failed: {}", String::from_utf8_lossy(&out.stderr));
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("mean"), "{bench}: {stdout}");
     }

@@ -70,6 +70,9 @@ struct Inner<T> {
     /// Current buffer. Only the owner swaps it (on growth).
     buffer: AtomicPtr<Buffer<T>>,
     /// Buffers retired by growth; freed on drop. Only the owner pushes.
+    /// Boxed so each buffer keeps its address while thieves may still
+    /// hold pointers into it (they were allocated via `Box::into_raw`).
+    #[allow(clippy::vec_box)]
     retired: UnsafeCell<Vec<Box<Buffer<T>>>>,
 }
 
@@ -128,10 +131,7 @@ pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
         buffer: AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(MIN_CAP)))),
         retired: UnsafeCell::new(Vec::new()),
     });
-    (
-        Worker { inner: Arc::clone(&inner), _not_sync: PhantomData },
-        Stealer { inner },
-    )
+    (Worker { inner: Arc::clone(&inner), _not_sync: PhantomData }, Stealer { inner })
 }
 
 impl<T: Send> Worker<T> {
@@ -256,12 +256,8 @@ impl<T: Send> Stealer<T> {
         // we own it, otherwise we must forget the read.
         let buf = inner.buffer.load(Ordering::Acquire);
         let value = unsafe { (*buf).read(t) };
-        match inner.top.compare_exchange(
-            t,
-            t.wrapping_add(1),
-            Ordering::SeqCst,
-            Ordering::Relaxed,
-        ) {
+        match inner.top.compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+        {
             Ok(_) => Steal::Success(value),
             Err(_) => {
                 std::mem::forget(value);
@@ -299,11 +295,13 @@ impl<T: Send> Stealer<T> {
 
 impl<T> fmt::Debug for Worker<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Worker").field("len", &{
-            let b = self.inner.bottom.load(Ordering::Relaxed);
-            let t = self.inner.top.load(Ordering::Relaxed);
-            b.wrapping_sub(t)
-        }).finish()
+        f.debug_struct("Worker")
+            .field("len", &{
+                let b = self.inner.bottom.load(Ordering::Relaxed);
+                let t = self.inner.top.load(Ordering::Relaxed);
+                b.wrapping_sub(t)
+            })
+            .finish()
     }
 }
 
@@ -407,7 +405,7 @@ mod tests {
                 }
             }
         }
-        while let Some(_) = w.pop() {}
+        while w.pop().is_some() {}
     }
 
     #[test]

@@ -120,9 +120,7 @@ mod tests {
                         match inj.pop() {
                             Some(v) => got.push(v),
                             None => {
-                                if done.load(Ordering::Acquire) == PRODUCERS
-                                    && inj.is_empty()
-                                {
+                                if done.load(Ordering::Acquire) == PRODUCERS && inj.is_empty() {
                                     break;
                                 }
                                 std::hint::spin_loop();
@@ -137,8 +135,7 @@ mod tests {
         for p in producers {
             p.join().unwrap();
         }
-        let mut all: Vec<usize> =
-            consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        let mut all: Vec<usize> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..PRODUCERS * PER_PRODUCER).collect::<Vec<_>>());
     }

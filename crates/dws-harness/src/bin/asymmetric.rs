@@ -6,16 +6,12 @@
 use dws_apps::Benchmark;
 use dws_harness::Effort;
 use dws_sim::{
-    run_pair, MachineConfig, Placement, Policy, ProgramSpec, RunOptions, SchedConfig,
-    SimConfig,
+    run_pair, MachineConfig, Placement, Policy, ProgramSpec, RunOptions, SchedConfig, SimConfig,
 };
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--quick") {
-        Effort::quick()
-    } else {
-        Effort::standard()
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--quick") { Effort::quick() } else { Effort::standard() };
     let opts = RunOptions {
         min_runs: effort.min_runs,
         warmup_runs: effort.warmup_runs,
@@ -27,7 +23,11 @@ fn main() {
     let memory = Benchmark::Sor;
 
     println!("asymmetric 16-core machine: cores 0-7 at 1.0x, cores 8-15 at 0.6x");
-    println!("mix: {} (compute-bound) + {} (memory-bound) under DWS\n", compute.name(), memory.name());
+    println!(
+        "mix: {} (compute-bound) + {} (memory-bound) under DWS\n",
+        compute.name(),
+        memory.name()
+    );
     println!("{:<22} {:>14} {:>14}", "placement", "compute (ms)", "memory (ms)");
 
     for (label, placement, swap) in [

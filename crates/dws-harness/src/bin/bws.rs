@@ -30,7 +30,12 @@ fn main() {
         println!(
             "{:<26} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
             format!("({i},{j}) {}+{}", names.0, names.1),
-            row[0].0, row[0].1, row[1].0, row[1].1, row[2].0, row[2].1
+            row[0].0,
+            row[0].1,
+            row[1].0,
+            row[1].1,
+            row[2].0,
+            row[2].1
         );
     }
     let n = FIG4_MIXES.len() as f64;

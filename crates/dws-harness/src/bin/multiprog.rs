@@ -17,8 +17,7 @@ fn main() {
     let four = [Benchmark::Fft, Benchmark::Pnn, Benchmark::Sor, Benchmark::Mergesort];
 
     let cfg = SimConfig::default();
-    let baselines: Vec<f64> =
-        four.iter().map(|&b| solo_baseline(b, &cfg, effort)).collect();
+    let baselines: Vec<f64> = four.iter().map(|&b| solo_baseline(b, &cfg, effort)).collect();
 
     println!("four programs on 16 cores (4 home cores each), normalized times:\n");
     print!("{:<8}", "policy");

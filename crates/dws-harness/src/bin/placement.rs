@@ -7,11 +7,8 @@ use dws_harness::Effort;
 use dws_sim::{run_pair, Placement, Policy, ProgramSpec, RunOptions, SchedConfig, SimConfig};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--quick") {
-        Effort::quick()
-    } else {
-        Effort::standard()
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--quick") { Effort::quick() } else { Effort::standard() };
     let opts = RunOptions {
         min_runs: effort.min_runs,
         warmup_runs: effort.warmup_runs,
@@ -22,10 +19,9 @@ fn main() {
     let (a, b) = (Benchmark::Sor, Benchmark::Heat);
     println!("mix: {} + {} under DWS, 16 cores / 2 sockets\n", a.name(), b.name());
     println!("{:<14} {:>12} {:>12}", "homes", "SOR (ms)", "Heat (ms)");
-    for (label, placement) in [
-        ("adjacent", Placement::Adjacent),
-        ("interleaved", Placement::Interleaved),
-    ] {
+    for (label, placement) in
+        [("adjacent", Placement::Adjacent), ("interleaved", Placement::Interleaved)]
+    {
         let cfg = SimConfig { placement, ..Default::default() };
         let sched = SchedConfig::for_policy(Policy::Dws, 16);
         let rep = run_pair(

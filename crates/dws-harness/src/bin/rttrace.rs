@@ -1,0 +1,112 @@
+//! Traced co-run of two *real* DWS runtimes (not the simulator) over a
+//! shared core-allocation table. Dumps the per-worker event streams as
+//! JSONL and a merged Chrome `trace_event` file (load it at
+//! `ui.perfetto.dev`), prints latency histograms, and replays the table
+//! protocol against the Table-1 invariants — exiting nonzero on any
+//! violation.
+//!
+//! Usage: `rttrace [cores] [fib_n] [out_prefix]`
+//! (defaults: 4 workers per program, fib(24), `rttrace` →
+//! `rttrace.jsonl` / `rttrace.trace.json`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dws_harness::report::{render_histogram, render_worker_table};
+use dws_rt::export::{to_chrome_trace, to_jsonl};
+use dws_rt::{join, CoreTable, InProcessTable, Policy, Runtime, RuntimeConfig, TracedTable};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cores: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let fib_n: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let prefix = args.get(3).cloned().unwrap_or_else(|| "rttrace".to_string());
+
+    let table = Arc::new(TracedTable::new(Arc::new(InProcessTable::new(cores, 2)), 1 << 18));
+    let shared: Arc<dyn CoreTable> = Arc::clone(&table) as Arc<dyn CoreTable>;
+    let mk = || {
+        let mut cfg = RuntimeConfig::new(cores, Policy::Dws).with_tracing_capacity(1 << 17);
+        cfg.coordinator_period = Duration::from_millis(2);
+        cfg.sleep_timeout = Some(Duration::from_millis(10));
+        cfg
+    };
+    let p0 = Runtime::with_table(mk(), Arc::clone(&shared), 0);
+    let p1 = Runtime::with_table(mk(), shared, 1);
+
+    // Three phases: both busy; p1 idle (its cores drain to p0 through the
+    // table); p1 back (it must reclaim its home cores).
+    println!("phase 1: both programs busy (fib({fib_n}) × 3 each)");
+    for _ in 0..3 {
+        let (a, b) = (p0.block_on(|| fib(fib_n)), p1.block_on(|| fib(fib_n)));
+        assert_eq!(a, b);
+    }
+    println!("phase 2: program 1 idle, program 0 alone");
+    std::thread::sleep(Duration::from_millis(150));
+    p0.block_on(|| fib(fib_n));
+    println!("phase 3: program 1 returns and reclaims its cores");
+    std::thread::sleep(Duration::from_millis(50));
+    p1.block_on(|| fib(fib_n));
+
+    let snaps = [(0usize, p0.trace_snapshot()), (1usize, p1.trace_snapshot())];
+    for (prog, snap) in &snaps {
+        println!("program {prog}: {} events captured, {} dropped", snap.events.len(), snap.dropped);
+        if snap.dropped > 0 {
+            eprintln!(
+                "warning: program {prog} dropped {} events — raise the trace capacity",
+                snap.dropped
+            );
+        }
+    }
+
+    let jsonl_path = format!("{prefix}.jsonl");
+    let mut jsonl = String::new();
+    for (prog, snap) in &snaps {
+        jsonl.push_str(&to_jsonl(*prog, snap));
+    }
+    std::fs::write(&jsonl_path, &jsonl).expect("write JSONL");
+    let chrome_path = format!("{prefix}.trace.json");
+    std::fs::write(&chrome_path, to_chrome_trace(&snaps)).expect("write Chrome trace");
+    println!(
+        "wrote {jsonl_path} ({} lines) and {chrome_path} (open in Perfetto)",
+        jsonl.lines().count()
+    );
+
+    for (prog, rt) in [(0, &p0), (1, &p1)] {
+        let h = rt.histograms();
+        println!("\n=== program {prog} ===");
+        print!("{}", render_histogram("steal-attempt latency", &h.steal_latency));
+        print!("{}", render_histogram("sleep duration", &h.sleep_duration));
+        print!("{}", render_histogram("wake → first task", &h.wake_to_first_task));
+        print!("{}", render_worker_table(&rt.worker_metrics()));
+    }
+
+    drop(p0);
+    drop(p1);
+
+    println!("\nreplaying {} table events against the allocation protocol…", table.events().len());
+    if table.dropped() > 0 {
+        eprintln!(
+            "warning: table ring dropped {} events; replay would be unsound — skipping",
+            table.dropped()
+        );
+        return;
+    }
+    match table.replay_check() {
+        Ok(stats) => println!(
+            "protocol clean: {} acquires, {} reclaims, {} releases",
+            stats.acquires, stats.reclaims, stats.releases
+        ),
+        Err(v) => {
+            eprintln!("TABLE PROTOCOL VIOLATION: {v}");
+            std::process::exit(1);
+        }
+    }
+}

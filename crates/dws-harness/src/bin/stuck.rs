@@ -41,13 +41,20 @@ fn main() {
                     .unwrap_or_else(|| "-".into());
                 println!(
                     "core {c:>2}: slot={slot:<5} cur={cur:<6} rq={} w0(awake={} fails={:>3} dq={})",
-                    sim.core_queue_len(c), w0.awake, w0.failed_steals, sim.program(0).deques[c].len(),
+                    sim.core_queue_len(c),
+                    w0.awake,
+                    w0.failed_steals,
+                    sim.program(0).deques[c].len(),
                 );
             }
             println!("pending wakes: {:?}", sim.pending_wakes());
-            println!("p0 Nb={} act={} sleeps={} wakes={}",
-                sim.program(0).queued_tasks(), sim.program(0).active_workers(),
-                sim.program(0).metrics.sleeps, sim.program(0).metrics.wakes);
+            println!(
+                "p0 Nb={} act={} sleeps={} wakes={}",
+                sim.program(0).queued_tasks(),
+                sim.program(0).active_workers(),
+                sim.program(0).metrics.sleeps,
+                sim.program(0).metrics.wakes
+            );
         }
     }
 }

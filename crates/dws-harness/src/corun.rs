@@ -9,8 +9,7 @@
 
 use dws_apps::Benchmark;
 use dws_sim::{
-    run_pair, run_solo, Policy, ProgramSpec, RunOptions, SchedConfig, SimConfig,
-    SimReport,
+    run_pair, run_solo, Policy, ProgramSpec, RunOptions, SchedConfig, SimConfig, SimReport,
 };
 
 /// Simulation lengths for the harness.
@@ -84,12 +83,7 @@ pub fn solo_baseline(bench: Benchmark, cfg: &SimConfig, effort: Effort) -> f64 {
 
 /// Solo run under an arbitrary policy/T_SLEEP (used by the §4.4
 /// single-program experiment).
-pub fn solo_with_policy(
-    bench: Benchmark,
-    policy: Policy,
-    cfg: &SimConfig,
-    effort: Effort,
-) -> f64 {
+pub fn solo_with_policy(bench: Benchmark, policy: Policy, cfg: &SimConfig, effort: Effort) -> f64 {
     let sched = SchedConfig::for_policy(policy, cfg.machine.cores);
     let report = run_solo(
         cfg.clone(),

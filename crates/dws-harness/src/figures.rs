@@ -43,10 +43,7 @@ impl MixRow {
 
 /// Computes (and caches) the solo baselines every figure normalizes to.
 pub fn baselines(cfg: &SimConfig, effort: Effort) -> HashMap<usize, f64> {
-    Benchmark::all()
-        .into_iter()
-        .map(|b| (b.paper_id(), solo_baseline(b, cfg, effort)))
-        .collect()
+    Benchmark::all().into_iter().map(|b| (b.paper_id(), solo_baseline(b, cfg, effort))).collect()
 }
 
 /// Fig. 4: the eight benchmark mixes under ABP, EP and DWS.
@@ -72,14 +69,9 @@ pub fn fig4(cfg: &SimConfig, effort: Effort) -> Fig4 {
     for &policy in &policies {
         let results: Vec<MixResult> = FIG4_MIXES
             .iter()
-            .map(|&(i, j)| {
-                run_mix((i, j), policy, None, (base[&i], base[&j]), cfg, effort)
-            })
+            .map(|&(i, j)| run_mix((i, j), policy, None, (base[&i], base[&j]), cfg, effort))
             .collect();
-        rows.push((
-            policy.label().to_string(),
-            results.iter().map(MixRow::from_result).collect(),
-        ));
+        rows.push((policy.label().to_string(), results.iter().map(MixRow::from_result).collect()));
         per_policy.insert(policy, results);
     }
 
@@ -124,9 +116,8 @@ pub fn fig5(cfg: &SimConfig, effort: Effort) -> Fig5 {
     };
     let nc = run_all(Policy::DwsNc);
     let dws = run_all(Policy::Dws);
-    let mean = |rs: &[MixResult]| {
-        rs.iter().map(MixResult::mean_norm).sum::<f64>() / rs.len() as f64
-    };
+    let mean =
+        |rs: &[MixResult]| rs.iter().map(MixResult::mean_norm).sum::<f64>() / rs.len() as f64;
     Fig5 {
         mean_norm_nc: mean(&nc),
         mean_norm_dws: mean(&dws),

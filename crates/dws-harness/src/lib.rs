@@ -29,7 +29,9 @@ pub mod report;
 pub mod svg;
 
 pub use corun::{run_mix, solo_baseline, solo_with_policy, Effort, MixResult};
-pub use figures::{baselines, fig4, fig5, fig6, single_program, Fig4, Fig5, Fig6, MixRow, SinglePrograms};
+pub use figures::{
+    baselines, fig4, fig5, fig6, single_program, Fig4, Fig5, Fig6, MixRow, SinglePrograms,
+};
 
 /// Parses the common CLI flags shared by the figure binaries:
 /// `--quick` (fewer runs), `--seed N`, `--json` (emit JSON to stdout).
@@ -64,23 +66,17 @@ impl CliOptions {
                 "--json" => json = true,
                 "--svg" => {
                     i += 1;
-                    svg = Some(std::path::PathBuf::from(
-                        args.get(i).expect("--svg needs a path"),
-                    ));
+                    svg = Some(std::path::PathBuf::from(args.get(i).expect("--svg needs a path")));
                 }
                 "--seed" => {
                     i += 1;
-                    sim.seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--seed needs an integer");
+                    sim.seed =
+                        args.get(i).and_then(|s| s.parse().ok()).expect("--seed needs an integer");
                 }
                 "--runs" => {
                     i += 1;
-                    effort.min_runs = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--runs needs an integer");
+                    effort.min_runs =
+                        args.get(i).and_then(|s| s.parse().ok()).expect("--runs needs an integer");
                 }
                 other => panic!(
                     "unknown flag {other}; known: --quick --json --svg PATH --seed N --runs N"

@@ -3,9 +3,77 @@
 
 use crate::figures::{Fig4, Fig5, Fig6, MixRow, SinglePrograms};
 use crate::svg::{bar_chart, line_chart, policy_color, ChartSpec, Series};
+use dws_rt::{HistogramSnapshot, WorkerMetricsSnapshot};
 
 fn fmt_ms(us: f64) -> String {
     format!("{:8.1}", us / 1_000.0)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Renders one log₂ latency histogram as an aligned text bar chart, one
+/// row per occupied bucket, with count/mean/quantile summary. Empty
+/// histograms render as a one-line note so reports stay greppable.
+pub fn render_histogram(title: &str, h: &HistogramSnapshot) -> String {
+    let total = h.count();
+    if total == 0 {
+        return format!("{title}: no samples\n");
+    }
+    let mut out = format!(
+        "{title}: {total} samples, mean {}, p50 ≤{}, p99 ≤{}\n",
+        fmt_ns(h.mean_ns().unwrap_or(0.0)),
+        fmt_ns(h.quantile_ns(0.5).unwrap_or(0) as f64),
+        fmt_ns(h.quantile_ns(0.99).unwrap_or(0) as f64),
+    );
+    let lo = h.counts.iter().position(|&c| c > 0).unwrap_or(0);
+    let hi = h.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+    let peak = *h.counts.iter().max().unwrap();
+    for (i, &c) in h.counts.iter().enumerate().take(hi + 1).skip(lo) {
+        let width = (c as f64 / peak as f64 * 40.0).round() as usize;
+        out.push_str(&format!(
+            "  ≤{:>8} |{:<40} {}\n",
+            fmt_ns(HistogramSnapshot::bucket_upper_ns(i) as f64),
+            "#".repeat(width),
+            c
+        ));
+    }
+    out
+}
+
+/// Renders the per-worker metric shards of one runtime as a table
+/// (counters plus per-worker latency medians).
+pub fn render_worker_table(shards: &[WorkerMetricsSnapshot]) -> String {
+    let mut out = format!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12} {:>12}\n",
+        "worker", "jobs", "st_ok", "st_fail", "sleeps", "wakes", "steal p50", "sleep p50"
+    );
+    let p50 = |h: &HistogramSnapshot| {
+        h.quantile_ns(0.5).map_or_else(|| "-".to_string(), |ns| fmt_ns(ns as f64))
+    };
+    for (w, s) in shards.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12} {:>12}\n",
+            w,
+            s.jobs_executed,
+            s.steals_ok,
+            s.steals_failed,
+            s.sleeps,
+            s.wakes,
+            p50(&s.steal_latency),
+            p50(&s.sleep_duration),
+        ));
+    }
+    out
 }
 
 fn mix_label(row: &MixRow) -> String {
@@ -85,10 +153,7 @@ pub fn render_fig6(f: &Fig6) -> String {
     out.push_str("Fig. 6 — T_SLEEP sensitivity, mix (1,8) FFT+Mergesort (normalized time)\n");
     out.push_str(&format!("{:<10} {:>12} {:>12}\n", "T_SLEEP", "p-1 FFT", "p-8 Msort"));
     for (k, &t) in f.t_sleep_values.iter().enumerate() {
-        out.push_str(&format!(
-            "{:<10} {:>12.3} {:>12.3}\n",
-            t, f.norm_p1[k], f.norm_p8[k]
-        ));
+        out.push_str(&format!("{:<10} {:>12.3} {:>12.3}\n", t, f.norm_p1[k], f.norm_p8[k]));
     }
     out.push_str(&format!(
         "\nbest T_SLEEP: {} (paper recommends k or 2k on a k-core machine, i.e. 16/32)\n",
@@ -115,10 +180,7 @@ pub fn render_single(s: &SinglePrograms) -> String {
             ovh * 100.0
         ));
     }
-    out.push_str(&format!(
-        "\nmax overhead: {:.2}% (paper: negligible)\n",
-        s.max_overhead * 100.0
-    ));
+    out.push_str(&format!("\nmax overhead: {:.2}% (paper: negligible)\n", s.max_overhead * 100.0));
     out
 }
 
@@ -271,6 +333,29 @@ mod tests {
             assert!(text.contains(t.trim()), "missing {t}");
         }
         assert!(text.contains("best T_SLEEP: 16"));
+    }
+
+    #[test]
+    fn histogram_rendering_shows_buckets_and_summary() {
+        let mut h = HistogramSnapshot::default();
+        h.counts[10] = 3; // ≤ 2^11 ns ≈ 2 µs
+        h.counts[20] = 1; // ≤ 2^21 ns ≈ 2 ms
+        let text = render_histogram("steal latency", &h);
+        assert!(text.contains("steal latency: 4 samples"));
+        assert!(text.contains("###"));
+        assert!(text.contains("2.1ms"));
+        assert_eq!(render_histogram("empty", &HistogramSnapshot::default()), "empty: no samples\n");
+    }
+
+    #[test]
+    fn worker_table_lists_every_shard() {
+        let mut steal_latency = HistogramSnapshot::default();
+        steal_latency.counts[5] = 7;
+        let a = WorkerMetricsSnapshot { jobs_executed: 42, steal_latency, ..Default::default() };
+        let text = render_worker_table(&[a, WorkerMetricsSnapshot::default()]);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("42"));
+        assert!(text.lines().nth(2).unwrap().contains('-'));
     }
 
     #[test]

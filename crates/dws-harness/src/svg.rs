@@ -246,11 +246,8 @@ mod tests {
 
     #[test]
     fn non_finite_values_are_skipped() {
-        let s = vec![Series {
-            label: "x".into(),
-            values: vec![f64::NAN, 2.0],
-            color: "red".into(),
-        }];
+        let s =
+            vec![Series { label: "x".into(), values: vec![f64::NAN, 2.0], color: "red".into() }];
         let svg = bar_chart(&spec(), &s);
         // One bar only (plus background rect and one legend rect).
         assert_eq!(svg.matches("<rect").count(), 3);
@@ -267,8 +264,7 @@ mod tests {
     #[test]
     fn policy_colors_are_distinct() {
         let labels = ["ABP", "EP", "DWS", "DWS-NC", "WS"];
-        let colors: std::collections::HashSet<_> =
-            labels.iter().map(|l| policy_color(l)).collect();
+        let colors: std::collections::HashSet<_> = labels.iter().map(|l| policy_color(l)).collect();
         assert_eq!(colors.len(), labels.len());
     }
 }

@@ -15,6 +15,12 @@
 //!   `mmap(2)`-shared file usable across processes (§3.4).
 
 use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::Arc;
+
+use crate::trace::{
+    now_us, EventRing, ReplayChecker, ReplayStats, ReplayViolation, RtEvent, TimedEvent,
+    LANE_SHARED,
+};
 
 /// Slot value for a free core.
 pub const FREE: i32 = -1;
@@ -48,10 +54,7 @@ pub trait CoreTable: Send + Sync {
     /// `N_r` support: `prog`'s home cores currently used by others.
     fn reclaimable_cores(&self, prog: usize) -> Vec<usize> {
         (0..self.cores())
-            .filter(|&c| {
-                self.home(c) == prog
-                    && matches!(self.current(c), Some(u) if u != prog)
-            })
+            .filter(|&c| self.home(c) == prog && matches!(self.current(c), Some(u) if u != prog))
             .collect()
     }
 
@@ -154,10 +157,119 @@ impl CoreTable for InProcessTable {
     }
 }
 
+/// A [`CoreTable`] decorator that records every *successful* state
+/// transition (Acquire / Reclaim / Release) into one shared event ring,
+/// in linearization order.
+///
+/// Share a single `TracedTable` between co-running runtimes and the ring
+/// holds the complete cross-program protocol stream, directly replayable
+/// by [`ReplayChecker`] (a per-runtime [`crate::RtTrace`] only sees its
+/// own program's half of the conversation, which is useful for timelines
+/// but not for protocol checking).
+///
+/// Mutating operations are serialized under a small mutex so the recorded
+/// order *is* the table's transition order — two racing CASes can
+/// otherwise publish their events in the opposite order and produce
+/// false replay violations. Table transitions happen at sleep/wake/
+/// coordinator cadence (milliseconds), not on the steal hot path, so the
+/// lock is cheap where it matters; read-only queries stay lock-free.
+pub struct TracedTable {
+    inner: Arc<dyn CoreTable>,
+    ring: EventRing,
+    order: parking_lot::Mutex<()>,
+}
+
+impl std::fmt::Debug for TracedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracedTable")
+            .field("cores", &self.inner.cores())
+            .field("ring", &self.ring)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TracedTable {
+    /// Wraps `inner`, retaining up to `capacity` transition events.
+    pub fn new(inner: Arc<dyn CoreTable>, capacity: usize) -> Self {
+        TracedTable { inner, ring: EventRing::new(capacity), order: parking_lot::Mutex::new(()) }
+    }
+
+    /// The recorded transition stream, in table order.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.ring.snapshot()
+    }
+
+    /// Transitions discarded because the ring filled up.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Replays the recorded stream against the Table-1 protocol from the
+    /// initial fully-owned equipartition. `Ok` means every transition so
+    /// far was legal. Meaningful only while the table is quiescent (or
+    /// accepting that in-flight transitions past the snapshot are unseen);
+    /// a run that overflowed the ring cannot be checked.
+    pub fn replay_check(&self) -> Result<ReplayStats, ReplayViolation> {
+        let home: Vec<usize> = (0..self.inner.cores()).map(|c| self.inner.home(c)).collect();
+        let mut checker = ReplayChecker::new(&home);
+        let events = self.events();
+        checker.replay(events.iter().map(|e| &e.event))
+    }
+
+    #[inline]
+    fn record(&self, ev: RtEvent) {
+        self.ring.record(TimedEvent { t_us: now_us(), lane: LANE_SHARED, event: ev });
+    }
+}
+
+impl CoreTable for TracedTable {
+    fn cores(&self) -> usize {
+        self.inner.cores()
+    }
+
+    fn max_programs(&self) -> usize {
+        self.inner.max_programs()
+    }
+
+    fn home(&self, core: usize) -> usize {
+        self.inner.home(core)
+    }
+
+    fn current(&self, core: usize) -> Option<usize> {
+        self.inner.current(core)
+    }
+
+    fn release(&self, core: usize, prog: usize) -> bool {
+        let _g = self.order.lock();
+        let ok = self.inner.release(core, prog);
+        if ok {
+            self.record(RtEvent::Release { prog, core });
+        }
+        ok
+    }
+
+    fn try_acquire_free(&self, core: usize, prog: usize) -> bool {
+        let _g = self.order.lock();
+        let ok = self.inner.try_acquire_free(core, prog);
+        if ok {
+            self.record(RtEvent::Acquire { prog, core });
+        }
+        ok
+    }
+
+    fn try_reclaim(&self, core: usize, prog: usize) -> bool {
+        let _g = self.order.lock();
+        let ok = self.inner.try_reclaim(core, prog);
+        if ok {
+            self.record(RtEvent::Reclaim { prog, core });
+        }
+        ok
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn equipartition_home_is_adjacent() {
@@ -233,6 +345,63 @@ mod tests {
                 handles.into_iter().map(|h| h.join().unwrap()).sum()
             };
             assert_eq!(winners, 1, "round {round}: {winners} winners");
+        }
+    }
+
+    #[test]
+    fn traced_table_records_only_successful_transitions() {
+        let t = TracedTable::new(Arc::new(InProcessTable::new(4, 2)), 64);
+        assert!(!t.release(0, 1)); // wrong owner: no event
+        assert!(t.release(0, 0));
+        assert!(t.try_acquire_free(0, 1));
+        assert!(!t.try_acquire_free(0, 0)); // lost: no event
+        assert!(t.try_reclaim(0, 0));
+        let evs = t.events();
+        assert_eq!(
+            evs.iter().map(|e| e.event).collect::<Vec<_>>(),
+            vec![
+                RtEvent::Release { prog: 0, core: 0 },
+                RtEvent::Acquire { prog: 1, core: 0 },
+                RtEvent::Reclaim { prog: 0, core: 0 },
+            ]
+        );
+        assert!(evs.iter().all(|e| e.lane == LANE_SHARED));
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn traced_table_replay_check_passes_on_concurrent_churn() {
+        let t = Arc::new(TracedTable::new(Arc::new(InProcessTable::new(4, 2)), 65_536));
+        let handles: Vec<_> = (0..2)
+            .map(|prog| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let core = i % 4;
+                        if t.release(core, prog) {
+                            // Try to get something back, any legal way.
+                            if !t.try_acquire_free(core, prog) {
+                                let _ = t.try_reclaim(core, prog);
+                            }
+                        } else {
+                            let _ = t.try_acquire_free((core + 1) % 4, prog);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = t.replay_check().expect("live stream must satisfy the protocol");
+        assert!(stats.total() > 0);
+        // Replay's final owner map agrees with the live table.
+        let mut checker =
+            ReplayChecker::new(&(0..t.cores()).map(|c| t.home(c)).collect::<Vec<_>>());
+        let events = t.events();
+        checker.replay(events.iter().map(|e| &e.event)).unwrap();
+        for c in 0..t.cores() {
+            assert_eq!(checker.owners()[c], t.current(c), "core {c}");
         }
     }
 

@@ -60,6 +60,27 @@ impl std::fmt::Display for Policy {
     }
 }
 
+/// Event-tracing knobs (see [`crate::trace`]).
+///
+/// Disabled by default: with `enabled == false` the runtime allocates no
+/// ring buffers, takes no timestamps, and every record site reduces to a
+/// single predictable branch on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record scheduler events into per-worker ring buffers.
+    pub enabled: bool,
+    /// Events retained per lane (one lane per worker plus one shared
+    /// lane for the coordinator and allocation table). Once a lane is
+    /// full further events are counted as dropped, never blocked on.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { enabled: false, capacity: 65_536 }
+    }
+}
+
 /// Configuration for building a [`crate::Runtime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -84,6 +105,8 @@ pub struct RuntimeConfig {
     /// Yield to the OS every this many failed steals for non-sleeping
     /// policies' idle spin (WS), to stay polite on shared hosts.
     pub spin_yield_interval: u32,
+    /// Event tracing (off by default; see [`TraceConfig`]).
+    pub trace: TraceConfig,
 }
 
 impl RuntimeConfig {
@@ -98,7 +121,21 @@ impl RuntimeConfig {
             sleep_timeout: Some(Duration::from_millis(50)),
             pin_workers: false,
             spin_yield_interval: 4,
+            trace: TraceConfig::default(),
         }
+    }
+
+    /// Enables event tracing with the default per-lane capacity.
+    pub fn with_tracing(mut self) -> Self {
+        self.trace.enabled = true;
+        self
+    }
+
+    /// Enables event tracing retaining `capacity` events per lane.
+    pub fn with_tracing_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        self.trace = TraceConfig { enabled: true, capacity };
+        self
     }
 }
 
@@ -125,5 +162,22 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         RuntimeConfig::new(0, Policy::Ws);
+    }
+
+    #[test]
+    fn tracing_off_by_default_and_builder_enables() {
+        let c = RuntimeConfig::new(4, Policy::Dws);
+        assert!(!c.trace.enabled);
+        assert_eq!(c.trace.capacity, 65_536);
+        let c = c.with_tracing_capacity(1024);
+        assert!(c.trace.enabled);
+        assert_eq!(c.trace.capacity, 1024);
+        assert!(RuntimeConfig::new(1, Policy::Ws).with_tracing().trace.enabled);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_trace_capacity_rejected() {
+        let _ = RuntimeConfig::new(1, Policy::Ws).with_tracing_capacity(0);
     }
 }

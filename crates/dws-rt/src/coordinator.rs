@@ -13,6 +13,7 @@ use crate::config::Policy;
 use crate::metrics::RtMetrics;
 use crate::registry::Registry;
 use crate::rng::VictimRng;
+use crate::trace::{CoordCase, RtEvent, LANE_SHARED};
 
 /// Eq. 1 with the divide-by-zero guard (all workers asleep but work is
 /// queued ⇒ demand is the queue length itself).
@@ -31,15 +32,50 @@ pub(crate) fn eq1_wake_target(queued: usize, active: usize) -> usize {
 /// return value is the number of wakes actually delivered.
 pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
     RtMetrics::bump(&reg.metrics.coordinator_runs);
+    let tracing = reg.trace.enabled();
+
+    // Decision-event helper: classifies the §3.3 case from the observed
+    // demand/supply and records on the shared lane.
+    let record_decision = |n_b: usize, n_a: usize, n_f: usize, n_r: usize, n_w: usize| {
+        let case = if n_w == 0 {
+            CoordCase::NoAction
+        } else if n_w <= n_f {
+            CoordCase::FreeOnly
+        } else if n_w <= n_f + n_r {
+            CoordCase::FreePlusReclaim
+        } else {
+            CoordCase::TakeAllAvailable
+        };
+        reg.trace
+            .record(LANE_SHARED, RtEvent::CoordinatorDecision { n_b, n_a, n_f, n_r, n_w, case });
+    };
+    // Table supply (`N_f`, `N_r`), scanned eagerly only for decision
+    // events on the early-return paths — when tracing is off those paths
+    // stay as cheap as before.
+    let supply = || -> (usize, usize) {
+        if reg.effective_policy == Policy::Dws {
+            (reg.table.free_cores().len(), reg.table.reclaimable_cores(reg.prog_id).len())
+        } else {
+            (0, 0)
+        }
+    };
 
     let sleeping = reg.sleeping_workers();
     if sleeping.is_empty() {
+        if tracing {
+            let (n_f, n_r) = supply();
+            record_decision(reg.queued_jobs(), reg.workers.len(), n_f, n_r, 0);
+        }
         return 0;
     }
     let queued = reg.queued_jobs();
     let active = reg.workers.len() - sleeping.len();
     let n_w = eq1_wake_target(queued, active).min(sleeping.len());
     if n_w == 0 {
+        if tracing {
+            let (n_f, n_r) = supply();
+            record_decision(queued, active, n_f, n_r, 0);
+        }
         return 0;
     }
 
@@ -56,6 +92,9 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
             let reclaimable = table.reclaimable_cores(prog);
             let n_f = free.len();
             let n_r = reclaimable.len();
+            if tracing {
+                record_decision(queued, active, n_f, n_r, n_w);
+            }
 
             let (want_free, want_reclaim) = if n_w <= n_f {
                 (n_w, 0)
@@ -74,6 +113,7 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
             for &core in free.iter().take(want_free) {
                 if core < reg.workers.len() && table.try_acquire_free(core, prog) {
                     RtMetrics::bump(&reg.metrics.cores_acquired);
+                    reg.trace.record(LANE_SHARED, RtEvent::Acquire { prog, core });
                     reg.wake_worker(core); // worker index == core index
                     woken += 1;
                 }
@@ -81,6 +121,7 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
             for &core in reclaimable.iter().take(want_reclaim) {
                 if core < reg.workers.len() && table.try_reclaim(core, prog) {
                     RtMetrics::bump(&reg.metrics.cores_reclaimed);
+                    reg.trace.record(LANE_SHARED, RtEvent::Reclaim { prog, core });
                     reg.wake_worker(core);
                     woken += 1;
                 }
@@ -88,6 +129,11 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
             woken
         }
         Policy::DwsNc => {
+            if tracing {
+                // No table: supply is unconstrained, so a nonzero `N_w`
+                // classifies as take-all.
+                record_decision(queued, active, 0, 0, n_w);
+            }
             // Wake N_w arbitrary sleeping workers; no table, no
             // exclusivity (§4.2 ablation).
             let mut candidates = sleeping;

@@ -1,0 +1,180 @@
+//! Trace exporters: JSON Lines and Chrome `trace_event` JSON.
+//!
+//! The Chrome format loads directly in Perfetto (`ui.perfetto.dev`) or
+//! `chrome://tracing`: each program becomes a process (`pid` = program
+//! id), each lane a thread (`tid` = worker index, with the coordinator/
+//! table lane last), sleep and task intervals render as duration slices
+//! (`B`/`E` pairs) and everything else as thread-scoped instants.
+
+use serde::ser::Serialize;
+use serde::value::Value;
+
+use crate::trace::{RtEvent, TimedEvent, TraceSnapshot, LANE_SHARED};
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (String::from(k), v)).collect())
+}
+
+/// Serializes one snapshot as JSON Lines: one
+/// `{"prog":…,"t_us":…,"lane":…,"event":{…}}` object per line. Each line
+/// parses back as a [`TimedEvent`] (the extra `prog` field is ignored by
+/// deserialization).
+pub fn to_jsonl(prog: usize, snapshot: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    for ev in &snapshot.events {
+        let mut fields = vec![(String::from("prog"), Value::U64(prog as u64))];
+        match ev.to_value() {
+            Value::Object(pairs) => fields.extend(pairs),
+            other => fields.push((String::from("record"), other)),
+        }
+        out.push_str(&serde_json::to_string(&Value::Object(fields)).expect("Value serialization"));
+        out.push('\n');
+    }
+    out
+}
+
+fn tid(lane: u32) -> u64 {
+    u64::from(lane)
+}
+
+fn chrome_event(prog: usize, ev: &TimedEvent) -> Value {
+    // Sleep↔Wake and TaskStart↔TaskEnd form per-lane duration slices;
+    // the rest are instants.
+    let (ph, name) = match ev.event {
+        RtEvent::Sleep { .. } => ("B", "sleep"),
+        RtEvent::Wake { .. } => ("E", "sleep"),
+        RtEvent::TaskStart { .. } => ("B", "task"),
+        RtEvent::TaskEnd { .. } => ("E", "task"),
+        _ => ("i", ev.event.name()),
+    };
+    // The externally-tagged variant payload becomes `args`.
+    let args = match ev.event.to_value() {
+        Value::Object(mut pairs) if pairs.len() == 1 => {
+            pairs.pop().map(|(_, v)| v).unwrap_or(Value::Null)
+        }
+        other => other,
+    };
+    let mut fields = vec![
+        ("name", Value::String(name.into())),
+        ("ph", Value::String(ph.into())),
+        ("pid", Value::U64(prog as u64)),
+        ("tid", Value::U64(tid(ev.lane))),
+        ("ts", Value::U64(ev.t_us)),
+        ("args", args),
+    ];
+    if ph == "i" {
+        // Thread-scoped instant (renders as a small arrow in the lane).
+        fields.push(("s", Value::String("t".into())));
+    }
+    obj(fields)
+}
+
+/// Builds the Chrome `trace_event` JSON document
+/// (`{"traceEvents":[…]}`) for one or more co-running programs'
+/// snapshots. Snapshots share the process-wide trace epoch, so merged
+/// timelines align.
+pub fn to_chrome_trace(programs: &[(usize, TraceSnapshot)]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    for (prog, snap) in programs {
+        let mut lanes: Vec<u32> = snap.events.iter().map(|e| e.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        for lane in lanes {
+            let label = if lane == LANE_SHARED {
+                "coordinator/table".to_string()
+            } else {
+                format!("worker-{lane}")
+            };
+            events.push(obj(vec![
+                ("name", Value::String("thread_name".into())),
+                ("ph", Value::String("M".into())),
+                ("pid", Value::U64(*prog as u64)),
+                ("tid", Value::U64(tid(lane))),
+                ("args", obj(vec![("name", Value::String(label))])),
+            ]));
+        }
+        for ev in &snap.events {
+            events.push(chrome_event(*prog, ev));
+        }
+    }
+    serde_json::to_string(&obj(vec![("traceEvents", Value::Array(events))]))
+        .expect("Value serialization")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CoordCase;
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let events = vec![
+            TimedEvent { t_us: 1, lane: 0, event: RtEvent::TaskStart { worker: 0 } },
+            TimedEvent { t_us: 5, lane: 0, event: RtEvent::TaskEnd { worker: 0 } },
+            TimedEvent { t_us: 6, lane: 1, event: RtEvent::Sleep { worker: 1, evicted: true } },
+            TimedEvent {
+                t_us: 7,
+                lane: LANE_SHARED,
+                event: RtEvent::CoordinatorDecision {
+                    n_b: 8,
+                    n_a: 1,
+                    n_f: 2,
+                    n_r: 1,
+                    n_w: 3,
+                    case: CoordCase::FreePlusReclaim,
+                },
+            },
+            TimedEvent { t_us: 9, lane: 1, event: RtEvent::Wake { worker: 1 } },
+        ];
+        TraceSnapshot { events, dropped: 0 }
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back_as_timed_events() {
+        let snap = sample_snapshot();
+        let text = to_jsonl(3, &snap);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), snap.events.len());
+        for (line, original) in lines.iter().zip(&snap.events) {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["prog"].as_u64(), Some(3));
+            let back: TimedEvent = serde_json::from_str(line).unwrap();
+            assert_eq!(back, *original);
+        }
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_serde_json() {
+        let snap = sample_snapshot();
+        let text = to_chrome_trace(&[(0, snap.clone()), (1, TraceSnapshot::default())]);
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let Value::Array(events) = &doc["traceEvents"] else {
+            panic!("traceEvents must be an array");
+        };
+        // 3 lanes of metadata (0, 1, shared) + 5 events; the empty
+        // program contributes nothing.
+        assert_eq!(events.len(), 8);
+        // Sleep/Wake become a balanced B/E pair named "sleep" on lane 1.
+        let phases: Vec<(&str, &str)> = events
+            .iter()
+            .filter(|e| e["tid"].as_u64() == Some(1) && e["ph"].as_str() != Some("M"))
+            .map(|e| (e["name"].as_str().unwrap(), e["ph"].as_str().unwrap()))
+            .collect();
+        assert_eq!(phases, vec![("sleep", "B"), ("sleep", "E")]);
+        // The coordinator decision is an instant on the shared lane with
+        // its inputs in args.
+        let coord =
+            events.iter().find(|e| e["name"].as_str() == Some("coordinator_decision")).unwrap();
+        assert_eq!(coord["ph"].as_str(), Some("i"));
+        assert_eq!(coord["tid"].as_u64(), Some(u64::from(u32::MAX)));
+        assert_eq!(coord["args"]["n_w"].as_u64(), Some(3));
+        assert_eq!(coord["args"]["case"].as_str(), Some("FreePlusReclaim"));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_are_well_formed() {
+        assert_eq!(to_jsonl(0, &TraceSnapshot::default()), "");
+        let doc: Value =
+            serde_json::from_str(&to_chrome_trace(&[(0, TraceSnapshot::default())])).unwrap();
+        assert!(matches!(&doc["traceEvents"], Value::Array(v) if v.is_empty()));
+    }
+}

@@ -201,9 +201,8 @@ mod tests {
             let r = job.as_job_ref();
             r.execute(); // must not unwind out of execute
             job.latch.wait();
-            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                job.into_result()
-            }));
+            let caught =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.into_result()));
             assert!(caught.is_err(), "panic re-raised at join point");
         }
     }

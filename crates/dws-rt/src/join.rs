@@ -83,11 +83,8 @@ where
 
 /// After a panic in `a`: pop-and-execute until `b` is reclaimed un-run or
 /// its thief sets the latch.
-fn reclaim_or_wait<F, R>(
-    worker: &WorkerThread,
-    job_b: &StackJob<F, R, SpinLatch>,
-    ref_b: JobRef,
-) where
+fn reclaim_or_wait<F, R>(worker: &WorkerThread, job_b: &StackJob<F, R, SpinLatch>, ref_b: JobRef)
+where
     F: FnOnce() -> R,
 {
     loop {

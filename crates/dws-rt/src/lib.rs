@@ -58,23 +58,28 @@ pub mod affinity;
 pub mod alloc_table;
 mod config;
 mod coordinator;
+pub mod export;
 mod job;
-mod latch;
 mod join;
-mod metrics;
+mod latch;
+pub mod metrics;
 pub mod par;
 mod registry;
 mod rng;
 mod scope;
 pub mod shm;
 mod sleep;
+pub mod trace;
 
-pub use alloc_table::{equipartition_home, CoreTable, InProcessTable};
-pub use config::{Policy, RuntimeConfig};
+pub use alloc_table::{equipartition_home, CoreTable, InProcessTable, TracedTable};
+pub use config::{Policy, RuntimeConfig, TraceConfig};
 pub use join::join;
+pub use metrics::{
+    AggregatedHistograms, HistogramSnapshot, MetricsSnapshot, WorkerMetricsSnapshot,
+};
 pub use par::{par_chunks_mut, par_for_each_index, par_for_each_mut, par_map_reduce};
-pub use metrics::MetricsSnapshot;
 pub use registry::Runtime;
 pub use scope::{scope, Scope};
 pub use shm::ShmTable;
 pub use sleep::{Sleeper, WakeReason};
+pub use trace::{ReplayChecker, RtEvent, RtTrace, TimedEvent, TraceSnapshot};

@@ -1,7 +1,180 @@
 //! Runtime counters, shared lock-free between workers, the coordinator
 //! and observers.
+//!
+//! Two granularities coexist:
+//!
+//! * the original ten aggregate counters ([`RtMetrics`]'s atomic fields,
+//!   snapshotted into the `Copy` [`MetricsSnapshot`]) — always on, cheap;
+//! * per-worker shards ([`WorkerMetrics`]) adding log₂-scale latency
+//!   histograms (steal-attempt latency, sleep duration, wake→first-task)
+//!   — populated only while tracing is enabled, aggregated on snapshot.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets: covers 1 ns .. ~18 s of nanosecond samples
+/// (bucket `i` holds values in `[2^i, 2^{i+1})` ns; 0 falls in bucket 0).
+pub const HIST_BUCKETS: usize = 35;
+
+/// A lock-free log₂-scale histogram of nanosecond samples.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LogHistogram {
+    /// Bucket index for a nanosecond sample.
+    #[inline]
+    fn bucket(ns: u64) -> usize {
+        (63 - u64::leading_zeros(ns | 1) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Records one nanosecond sample (relaxed; statistics only).
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] sample.
+    #[inline]
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Plain-value copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-value histogram: `counts[i]` samples fell in `[2^i, 2^{i+1})` ns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts.
+    pub counts: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { counts: [0; HIST_BUCKETS] }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Upper bound (ns, exclusive) of bucket `i`.
+    pub fn bucket_upper_ns(i: usize) -> u64 {
+        1u64 << (i + 1)
+    }
+
+    /// Approximate `q`-quantile in nanoseconds (upper bucket bound of the
+    /// sample at rank `q·N`), or `None` when empty. `q` clamped to [0,1].
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_upper_ns(i));
+            }
+        }
+        Some(Self::bucket_upper_ns(HIST_BUCKETS - 1))
+    }
+
+    /// Geometric-midpoint weighted mean in nanoseconds (coarse, for
+    /// reports), or `None` when empty.
+    pub fn mean_ns(&self) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let sum: f64 =
+            self.counts.iter().enumerate().map(|(i, &c)| c as f64 * 1.5 * (1u64 << i) as f64).sum();
+        Some(sum / total as f64)
+    }
+}
+
+/// One worker's metrics shard: counters plus latency histograms. Shards
+/// are written only by their own worker (no contention) and read by
+/// snapshot aggregation.
+#[derive(Debug, Default)]
+pub struct WorkerMetrics {
+    /// Successful steals by this worker.
+    pub steals_ok: AtomicU64,
+    /// Failed steal attempts by this worker.
+    pub steals_failed: AtomicU64,
+    /// Jobs this worker executed.
+    pub jobs_executed: AtomicU64,
+    /// Times this worker slept.
+    pub sleeps: AtomicU64,
+    /// Times this worker woke.
+    pub wakes: AtomicU64,
+    /// Latency of individual steal attempts (hit or miss).
+    pub steal_latency: LogHistogram,
+    /// How long each sleep lasted.
+    pub sleep_duration: LogHistogram,
+    /// Wake to first executed task.
+    pub wake_to_first_task: LogHistogram,
+}
+
+/// Plain-value copy of one worker's shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerMetricsSnapshot {
+    /// Successful steals.
+    pub steals_ok: u64,
+    /// Failed steal attempts.
+    pub steals_failed: u64,
+    /// Jobs executed.
+    pub jobs_executed: u64,
+    /// Sleeps.
+    pub sleeps: u64,
+    /// Wakes.
+    pub wakes: u64,
+    /// Steal-attempt latency histogram.
+    pub steal_latency: HistogramSnapshot,
+    /// Sleep-duration histogram.
+    pub sleep_duration: HistogramSnapshot,
+    /// Wake→first-task histogram.
+    pub wake_to_first_task: HistogramSnapshot,
+}
+
+impl WorkerMetrics {
+    /// Plain-value copy.
+    pub fn snapshot(&self) -> WorkerMetricsSnapshot {
+        WorkerMetricsSnapshot {
+            steals_ok: self.steals_ok.load(Ordering::Relaxed),
+            steals_failed: self.steals_failed.load(Ordering::Relaxed),
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            sleeps: self.sleeps.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
+            steal_latency: self.steal_latency.snapshot(),
+            sleep_duration: self.sleep_duration.snapshot(),
+            wake_to_first_task: self.wake_to_first_task.snapshot(),
+        }
+    }
+}
 
 /// Aggregated counters for one runtime instance. All methods are safe to
 /// call concurrently; reads are monotone snapshots.
@@ -27,9 +200,11 @@ pub struct RtMetrics {
     pub cores_reclaimed: AtomicU64,
     /// Cores released to the table on sleep.
     pub cores_released: AtomicU64,
+    /// Per-worker shards (empty unless built via [`RtMetrics::with_workers`]).
+    pub workers: Vec<WorkerMetrics>,
 }
 
-/// A plain-value snapshot of [`RtMetrics`].
+/// A plain-value snapshot of [`RtMetrics`]'s aggregate counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
     /// Successful steals.
@@ -54,7 +229,26 @@ pub struct MetricsSnapshot {
     pub cores_released: u64,
 }
 
+/// Histograms aggregated across all worker shards.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggregatedHistograms {
+    /// Steal-attempt latency across all workers.
+    pub steal_latency: HistogramSnapshot,
+    /// Sleep duration across all workers.
+    pub sleep_duration: HistogramSnapshot,
+    /// Wake→first-task across all workers.
+    pub wake_to_first_task: HistogramSnapshot,
+}
+
 impl RtMetrics {
+    /// Metrics with `n` per-worker shards.
+    pub fn with_workers(n: usize) -> Self {
+        RtMetrics {
+            workers: (0..n).map(|_| WorkerMetrics::default()).collect(),
+            ..RtMetrics::default()
+        }
+    }
+
     /// Bumps a counter by one. All counters use relaxed ordering: they are
     /// statistics, not synchronization.
     #[inline]
@@ -76,6 +270,22 @@ impl RtMetrics {
             cores_reclaimed: self.cores_reclaimed.load(Ordering::Relaxed),
             cores_released: self.cores_released.load(Ordering::Relaxed),
         }
+    }
+
+    /// Plain-value copies of every worker shard.
+    pub fn worker_snapshots(&self) -> Vec<WorkerMetricsSnapshot> {
+        self.workers.iter().map(WorkerMetrics::snapshot).collect()
+    }
+
+    /// Histograms merged across all worker shards.
+    pub fn aggregated_histograms(&self) -> AggregatedHistograms {
+        let mut agg = AggregatedHistograms::default();
+        for w in &self.workers {
+            agg.steal_latency.merge(&w.steal_latency.snapshot());
+            agg.sleep_duration.merge(&w.sleep_duration.snapshot());
+            agg.wake_to_first_task.merge(&w.wake_to_first_task.snapshot());
+        }
+        agg
     }
 }
 
@@ -113,5 +323,53 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.snapshot().jobs_executed, 4_000);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = LogHistogram::default();
+        h.record_ns(0); // bucket 0
+        h.record_ns(1); // bucket 0
+        h.record_ns(2); // bucket 1
+        h.record_ns(3); // bucket 1
+        h.record_ns(1024); // bucket 10
+        h.record_ns(u64::MAX); // clamped to last bucket
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 2);
+        assert_eq!(s.counts[1], 2);
+        assert_eq!(s.counts[10], 1);
+        assert_eq!(s.counts[HIST_BUCKETS - 1], 1);
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_mean() {
+        let h = LogHistogram::default();
+        for _ in 0..99 {
+            h.record_ns(100); // bucket 6, upper bound 128
+        }
+        h.record_ns(1 << 20); // one outlier
+        let s = h.snapshot();
+        assert_eq!(s.quantile_ns(0.5), Some(128));
+        assert_eq!(s.quantile_ns(0.99), Some(128));
+        assert_eq!(s.quantile_ns(1.0), Some(1 << 21));
+        assert!(s.mean_ns().unwrap() > 96.0);
+        assert_eq!(HistogramSnapshot::default().quantile_ns(0.5), None);
+    }
+
+    #[test]
+    fn shards_aggregate_on_snapshot() {
+        let m = RtMetrics::with_workers(3);
+        m.workers[0].steal_latency.record(std::time::Duration::from_micros(10));
+        m.workers[1].steal_latency.record(std::time::Duration::from_micros(10));
+        m.workers[2].sleep_duration.record(std::time::Duration::from_millis(5));
+        RtMetrics::bump(&m.workers[1].steals_ok);
+        let agg = m.aggregated_histograms();
+        assert_eq!(agg.steal_latency.count(), 2);
+        assert_eq!(agg.sleep_duration.count(), 1);
+        assert_eq!(agg.wake_to_first_task.count(), 0);
+        let shards = m.worker_snapshots();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[1].steals_ok, 1);
     }
 }

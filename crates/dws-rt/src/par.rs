@@ -121,10 +121,7 @@ where
     }
     let mid = data.len() / 2;
     let (l, r) = data.split_at_mut(mid);
-    join(
-        || par_for_each_mut_ref(l, grain, f),
-        || par_for_each_mut_ref(r, grain, f),
-    );
+    join(|| par_for_each_mut_ref(l, grain, f), || par_for_each_mut_ref(r, grain, f));
 }
 
 /// Applies `f` to disjoint chunks of at most `chunk` elements, passing
@@ -222,9 +219,7 @@ mod tests {
         let pool = rt();
         let data: Vec<i64> = (0..10_000).map(|i| (i * 37 % 1001) - 500).collect();
         let expected = *data.iter().max().unwrap();
-        let got = pool.block_on(|| {
-            par_map_reduce(&data, 64, i64::MIN, |&x| x, |a, b| a.max(b))
-        });
+        let got = pool.block_on(|| par_map_reduce(&data, 64, i64::MIN, |&x| x, |a, b| a.max(b)));
         assert_eq!(got, expected);
     }
 

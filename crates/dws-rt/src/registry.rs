@@ -9,6 +9,7 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use dws_deque::{deque, Injector, Steal, Stealer, Worker as Deque};
 
@@ -18,9 +19,10 @@ use crate::config::{Policy, RuntimeConfig};
 use crate::coordinator::coordinator_loop;
 use crate::job::{JobRef, StackJob};
 use crate::latch::LockLatch;
-use crate::metrics::{MetricsSnapshot, RtMetrics};
+use crate::metrics::{AggregatedHistograms, MetricsSnapshot, RtMetrics, WorkerMetricsSnapshot};
 use crate::rng::VictimRng;
 use crate::sleep::{Sleeper, WakeReason};
+use crate::trace::{RtEvent, RtTrace, TraceSnapshot, LANE_SHARED};
 
 thread_local! {
     /// The worker currently driving this thread, if any.
@@ -46,6 +48,7 @@ pub(crate) struct Registry {
     pub(crate) injector: Injector<JobRef>,
     pub(crate) workers: Vec<WorkerInfo>,
     pub(crate) metrics: RtMetrics,
+    pub(crate) trace: RtTrace,
     pub(crate) shutdown: AtomicBool,
     /// Workers that have exited their main loop (shutdown accounting).
     exited: AtomicUsize,
@@ -63,9 +66,7 @@ impl Registry {
 
     /// Indices of currently sleeping workers.
     pub(crate) fn sleeping_workers(&self) -> Vec<usize> {
-        (0..self.workers.len())
-            .filter(|&i| self.workers[i].sleeper.is_sleeping())
-            .collect()
+        (0..self.workers.len()).filter(|&i| self.workers[i].sleeper.is_sleeping()).collect()
     }
 
     /// Wakes worker `i` (idempotent).
@@ -84,11 +85,20 @@ impl Registry {
             Policy::Dws => {
                 for &w in &sleeping {
                     let core = self.workers[w].core;
-                    let held = self.table.current(core) == Some(self.prog_id);
-                    if held
-                        || self.table.try_acquire_free(core, self.prog_id)
-                        || self.table.try_reclaim(core, self.prog_id)
-                    {
+                    let got = if self.table.current(core) == Some(self.prog_id) {
+                        true
+                    } else if self.table.try_acquire_free(core, self.prog_id) {
+                        self.trace
+                            .record(LANE_SHARED, RtEvent::Acquire { prog: self.prog_id, core });
+                        true
+                    } else if self.table.try_reclaim(core, self.prog_id) {
+                        self.trace
+                            .record(LANE_SHARED, RtEvent::Reclaim { prog: self.prog_id, core });
+                        true
+                    } else {
+                        false
+                    };
+                    if got {
                         self.wake_worker(w);
                         return;
                     }
@@ -132,11 +142,7 @@ impl Runtime {
     /// shared core-allocation table. `prog_id` must be unique among the
     /// co-runners (use [`crate::shm::ShmTable::register`] across
     /// processes).
-    pub fn with_table(
-        config: RuntimeConfig,
-        table: Arc<dyn CoreTable>,
-        prog_id: usize,
-    ) -> Runtime {
+    pub fn with_table(config: RuntimeConfig, table: Arc<dyn CoreTable>, prog_id: usize) -> Runtime {
         Self::build(config, table, prog_id, false)
     }
 
@@ -169,6 +175,7 @@ impl Runtime {
             infos.push(WorkerInfo { stealer: s, sleeper: Sleeper::new(), core: i });
         }
 
+        let trace = RtTrace::new(n, config.trace.capacity, config.trace.enabled);
         let registry = Arc::new(Registry {
             config,
             effective_policy,
@@ -176,7 +183,8 @@ impl Runtime {
             table,
             injector: Injector::new(),
             workers: infos,
-            metrics: RtMetrics::default(),
+            metrics: RtMetrics::with_workers(n),
+            trace,
             shutdown: AtomicBool::new(false),
             exited: AtomicUsize::new(0),
             detached: AtomicUsize::new(0),
@@ -305,6 +313,31 @@ impl Runtime {
         self.registry.metrics.snapshot()
     }
 
+    /// Is event tracing active (see [`crate::TraceConfig`])?
+    pub fn tracing_enabled(&self) -> bool {
+        self.registry.trace.enabled()
+    }
+
+    /// Merged, time-sorted snapshot of the runtime's event stream (empty
+    /// when tracing is disabled). Safe to call at any time; never blocks
+    /// the workers.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.registry.trace.snapshot()
+    }
+
+    /// Per-worker counter/histogram shards. Sleep counters and the
+    /// sleep-duration histogram are always populated; steal-side shards
+    /// and the latency histograms fill in only while tracing is enabled
+    /// (the hot path takes no timestamps otherwise).
+    pub fn worker_metrics(&self) -> Vec<WorkerMetricsSnapshot> {
+        self.registry.metrics.worker_snapshots()
+    }
+
+    /// Latency histograms aggregated across all workers.
+    pub fn histograms(&self) -> AggregatedHistograms {
+        self.registry.metrics.aggregated_histograms()
+    }
+
     /// Number of workers currently asleep (diagnostic).
     pub fn sleeping_workers(&self) -> usize {
         self.registry.sleeping_workers().len()
@@ -347,6 +380,12 @@ pub(crate) struct WorkerThread {
     /// checks are suspended until the worker runs out of work again, so a
     /// hostile or corrupted table cannot livelock the pool.
     starvation_immune: Cell<bool>,
+    /// Cached `registry.trace.enabled()`: the hot-path gate for event
+    /// recording and latency timestamps.
+    trace_on: bool,
+    /// Wake instant awaiting its first executed task (wake→first-task
+    /// histogram); set on resume from sleep while tracing.
+    wake_at: Cell<Option<Instant>>,
 }
 
 impl WorkerThread {
@@ -366,10 +405,12 @@ impl WorkerThread {
     fn main(registry: Arc<Registry>, index: usize, deque: Deque<JobRef>) {
         let me = WorkerThread {
             rng: VictimRng::new(0x5851_F42D_4C95_7F2D ^ ((index as u64 + 1) * 0x9E37)),
+            trace_on: registry.trace.enabled(),
             registry,
             index,
             deque,
             starvation_immune: Cell::new(false),
+            wake_at: Cell::new(None),
         };
         CURRENT_WORKER.with(|c| c.set(&me as *const WorkerThread));
         me.apply_affinity();
@@ -405,7 +446,7 @@ impl WorkerThread {
         if policy.sleeps() {
             let core = reg.workers[self.index].core;
             if reg.table.home(core) != reg.prog_id {
-                self.go_to_sleep();
+                self.go_to_sleep(false);
             }
         }
 
@@ -423,7 +464,7 @@ impl WorkerThread {
                 && reg.table.current(reg.workers[self.index].core) != Some(reg.prog_id)
             {
                 failed_steals = 0;
-                self.go_to_sleep();
+                self.go_to_sleep(true);
                 continue;
             }
             if let Some(job) = self.find_work_with(failed_steals > 0) {
@@ -455,7 +496,7 @@ impl WorkerThread {
                 Policy::Dws | Policy::DwsNc => {
                     if failed_steals > reg.config.t_sleep {
                         failed_steals = 0;
-                        self.go_to_sleep();
+                        self.go_to_sleep(false);
                     } else {
                         std::hint::spin_loop();
                     }
@@ -473,25 +514,43 @@ impl WorkerThread {
     /// hostile table, dead co-runner holding everything), the worker
     /// eventually proceeds anyway — a stuck process is worse than a
     /// briefly over-subscribed core.
-    fn go_to_sleep(&self) {
+    fn go_to_sleep(&self, evicted: bool) {
         let reg = &*self.registry;
         let core = reg.workers[self.index].core;
+        let lane = self.index as u32;
+        let shard = &reg.metrics.workers[self.index];
+        let mut first = true;
         let mut starved_timeouts = 0u32;
         const STARVATION_GRACE: u32 = 6;
         loop {
-            if reg.effective_policy == Policy::Dws
-                && reg.table.release(core, reg.prog_id)
-            {
+            if reg.effective_policy == Policy::Dws && reg.table.release(core, reg.prog_id) {
                 RtMetrics::bump(&reg.metrics.cores_released);
+                reg.trace.record(lane, RtEvent::Release { prog: reg.prog_id, core });
             }
             RtMetrics::bump(&reg.metrics.sleeps);
-            let reason = reg.workers[self.index].sleeper.sleep(reg.config.sleep_timeout);
+            RtMetrics::bump(&shard.sleeps);
+            // Only the entry sleep is an eviction; loop re-entries below
+            // are timeout re-sleeps.
+            reg.trace
+                .record(lane, RtEvent::Sleep { worker: self.index, evicted: evicted && first });
+            first = false;
+            let (reason, slept) =
+                reg.workers[self.index].sleeper.sleep_timed(reg.config.sleep_timeout);
             RtMetrics::bump(&reg.metrics.wakes);
+            RtMetrics::bump(&shard.wakes);
+            shard.sleep_duration.record(slept);
+            reg.trace.record(lane, RtEvent::Wake { worker: self.index });
             if reg.shutdown.load(Ordering::Acquire) {
                 return;
             }
             match reason {
-                WakeReason::Woken => return, // a core was granted (or shutdown)
+                WakeReason::Woken => {
+                    // A core was granted (or shutdown).
+                    if self.trace_on {
+                        self.wake_at.set(Some(Instant::now()));
+                    }
+                    return;
+                }
                 WakeReason::TimedOut => {
                     // Self-recovery: only resume if there is work *and* we
                     // can hold our core under DWS exclusivity.
@@ -501,9 +560,17 @@ impl WorkerThread {
                         continue;
                     }
                     if reg.effective_policy == Policy::Dws {
-                        let legit = reg.table.current(core) == Some(reg.prog_id)
-                            || reg.table.try_acquire_free(core, reg.prog_id)
-                            || reg.table.try_reclaim(core, reg.prog_id);
+                        let legit = if reg.table.current(core) == Some(reg.prog_id) {
+                            true
+                        } else if reg.table.try_acquire_free(core, reg.prog_id) {
+                            reg.trace.record(lane, RtEvent::Acquire { prog: reg.prog_id, core });
+                            true
+                        } else if reg.table.try_reclaim(core, reg.prog_id) {
+                            reg.trace.record(lane, RtEvent::Reclaim { prog: reg.prog_id, core });
+                            true
+                        } else {
+                            false
+                        };
                         if !legit {
                             starved_timeouts += 1;
                             if starved_timeouts < STARVATION_GRACE {
@@ -514,6 +581,9 @@ impl WorkerThread {
                             // drought ends.
                             self.starvation_immune.set(true);
                         }
+                    }
+                    if self.trace_on {
+                        self.wake_at.set(Some(Instant::now()));
                     }
                     return;
                 }
@@ -559,7 +629,26 @@ impl WorkerThread {
             return None;
         }
         let victim = pick(n, self.index);
-        match self.registry.workers[victim].stealer.steal() {
+        // Latency timing and per-attempt events only while tracing: the
+        // disabled hot path must not take timestamps.
+        let t0 = if self.trace_on { Some(Instant::now()) } else { None };
+        let result = self.registry.workers[victim].stealer.steal();
+        if let Some(t0) = t0 {
+            let shard = &self.registry.metrics.workers[self.index];
+            shard.steal_latency.record(t0.elapsed());
+            if matches!(result, Steal::Success(_)) {
+                RtMetrics::bump(&shard.steals_ok);
+                self.registry
+                    .trace
+                    .record(self.index as u32, RtEvent::StealOk { worker: self.index, victim });
+            } else {
+                RtMetrics::bump(&shard.steals_failed);
+                self.registry
+                    .trace
+                    .record(self.index as u32, RtEvent::StealFail { worker: self.index });
+            }
+        }
+        match result {
             Steal::Success(job) => {
                 RtMetrics::bump(&self.registry.metrics.steals_ok);
                 Some(job)
@@ -581,8 +670,22 @@ impl WorkerThread {
     /// Executes a job, counting it.
     pub(crate) fn execute(&self, job: JobRef) {
         RtMetrics::bump(&self.registry.metrics.jobs_executed);
-        // SAFETY: every JobRef in the system is executed exactly once;
-        // provenance is guaranteed by push/steal discipline.
+        if self.trace_on {
+            let shard = &self.registry.metrics.workers[self.index];
+            RtMetrics::bump(&shard.jobs_executed);
+            if let Some(woke) = self.wake_at.take() {
+                shard.wake_to_first_task.record(woke.elapsed());
+            }
+            self.registry
+                .trace
+                .record(self.index as u32, RtEvent::TaskStart { worker: self.index });
+            // SAFETY: every JobRef in the system is executed exactly once;
+            // provenance is guaranteed by push/steal discipline.
+            unsafe { job.execute() };
+            self.registry.trace.record(self.index as u32, RtEvent::TaskEnd { worker: self.index });
+            return;
+        }
+        // SAFETY: as above.
         unsafe { job.execute() };
     }
 

@@ -88,11 +88,8 @@ where
     let worker = WorkerThread::current()
         .expect("scope() called off the pool; use Runtime::scope or call inside block_on");
 
-    let s = Scope {
-        pending: CountLatch::with_count(0),
-        panic: Mutex::new(None),
-        marker: PhantomData,
-    };
+    let s =
+        Scope { pending: CountLatch::with_count(0), panic: Mutex::new(None), marker: PhantomData };
 
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(&s)));
 

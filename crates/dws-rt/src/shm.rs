@@ -122,12 +122,7 @@ impl ShmTable {
             Mapping { ptr: ptr.cast(), len }
         };
 
-        let table = ShmTable {
-            map,
-            home: equipartition_home(cores, programs),
-            cores,
-            programs,
-        };
+        let table = ShmTable { map, home: equipartition_home(cores, programs), cores, programs };
 
         if creator {
             table.u32_at(8).store(VERSION, Ordering::Relaxed);

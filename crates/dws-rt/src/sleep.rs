@@ -73,6 +73,15 @@ impl Sleeper {
         reason
     }
 
+    /// As [`Sleeper::sleep`], also measuring how long the call blocked
+    /// (for the sleep-duration histogram; a consumed pre-delivered permit
+    /// reports a near-zero duration).
+    pub fn sleep_timed(&self, timeout: Option<Duration>) -> (WakeReason, Duration) {
+        let t0 = std::time::Instant::now();
+        let reason = self.sleep(timeout);
+        (reason, t0.elapsed())
+    }
+
     /// Delivers a wake permit. Idempotent; safe to call whether or not the
     /// worker is currently asleep.
     pub fn wake(&self) {
@@ -133,6 +142,18 @@ mod tests {
             s.wake();
             assert_eq!(h.join().unwrap(), WakeReason::Woken);
         }
+    }
+
+    #[test]
+    fn sleep_timed_reports_duration() {
+        let s = Sleeper::new();
+        let (reason, dur) = s.sleep_timed(Some(Duration::from_millis(20)));
+        assert_eq!(reason, WakeReason::TimedOut);
+        assert!(dur >= Duration::from_millis(15));
+        s.wake();
+        let (reason, dur) = s.sleep_timed(Some(Duration::from_secs(5)));
+        assert_eq!(reason, WakeReason::Woken);
+        assert!(dur < Duration::from_millis(500));
     }
 
     #[test]

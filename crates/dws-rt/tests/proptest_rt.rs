@@ -4,7 +4,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use dws_rt::{join, par_chunks_mut, par_for_each_mut, par_map_reduce, Policy, Runtime, RuntimeConfig};
+use dws_rt::{
+    join, par_chunks_mut, par_for_each_mut, par_map_reduce, Policy, Runtime, RuntimeConfig,
+};
 use proptest::prelude::*;
 
 /// A random expression tree: leaves are values, nodes combine children
@@ -20,10 +22,8 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     let leaf = any::<u64>().prop_map(Expr::Leaf);
     leaf.prop_recursive(6, 64, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
         ]
     })
 }

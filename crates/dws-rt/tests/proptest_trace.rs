@@ -1,0 +1,175 @@
+//! Property and stress tests for the trace event ring: no loss below
+//! capacity, exact drop accounting under concurrent writers, and
+//! serialization round-trips for the event model.
+
+use std::sync::Arc;
+
+use dws_rt::trace::{CoordCase, EventRing, ReplayChecker, RtEvent, TimedEvent};
+use proptest::prelude::*;
+
+/// Any event, with small worker/core/program indices.
+fn arb_event() -> impl Strategy<Value = RtEvent> {
+    prop_oneof![
+        (0usize..8, any::<bool>()).prop_map(|(worker, evicted)| RtEvent::Sleep { worker, evicted }),
+        (0usize..8).prop_map(|worker| RtEvent::Wake { worker }),
+        (0usize..4, 0usize..8).prop_map(|(prog, core)| RtEvent::Acquire { prog, core }),
+        (0usize..4, 0usize..8).prop_map(|(prog, core)| RtEvent::Reclaim { prog, core }),
+        (0usize..4, 0usize..8).prop_map(|(prog, core)| RtEvent::Release { prog, core }),
+        (0usize..8, 0usize..8).prop_map(|(worker, victim)| RtEvent::StealOk { worker, victim }),
+        (0usize..8).prop_map(|worker| RtEvent::StealFail { worker }),
+        (0usize..64, 0usize..16, 0usize..16).prop_map(|(n_b, n_a, n_f)| {
+            RtEvent::CoordinatorDecision {
+                n_b,
+                n_a,
+                n_f,
+                n_r: n_a.min(3),
+                n_w: n_b.min(7),
+                case: match n_b % 4 {
+                    0 => CoordCase::NoAction,
+                    1 => CoordCase::FreeOnly,
+                    2 => CoordCase::FreePlusReclaim,
+                    _ => CoordCase::TakeAllAvailable,
+                },
+            }
+        }),
+        (0usize..8).prop_map(|worker| RtEvent::TaskStart { worker }),
+        (0usize..8).prop_map(|worker| RtEvent::TaskEnd { worker }),
+    ]
+}
+
+fn timed(seq: u64, ev: RtEvent) -> TimedEvent {
+    TimedEvent { t_us: seq, lane: 0, event: ev }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A ring at least as large as the stream loses nothing and keeps
+    /// claim order.
+    #[test]
+    fn ring_loses_nothing_below_capacity(
+        events in proptest::collection::vec(arb_event(), 1..200),
+        headroom in 0usize..16,
+    ) {
+        let ring = EventRing::new(events.len() + headroom);
+        for (i, ev) in events.iter().enumerate() {
+            prop_assert!(ring.record(timed(i as u64, *ev)));
+        }
+        prop_assert_eq!(ring.captured(), events.len());
+        prop_assert_eq!(ring.dropped(), 0);
+        let stored = ring.snapshot();
+        prop_assert_eq!(stored.len(), events.len());
+        for (i, (got, want)) in stored.iter().zip(&events).enumerate() {
+            prop_assert_eq!(got.event, *want, "event {} reordered", i);
+            prop_assert_eq!(got.t_us, i as u64);
+        }
+    }
+
+    /// Overfilling drops exactly the excess, never blocks, and keeps the
+    /// first `capacity` events.
+    #[test]
+    fn ring_drops_exactly_the_excess(
+        capacity in 1usize..64,
+        excess in 1usize..64,
+    ) {
+        let ring = EventRing::new(capacity);
+        let total = capacity + excess;
+        for i in 0..total {
+            let accepted = ring.record(timed(i as u64, RtEvent::StealFail { worker: i }));
+            prop_assert_eq!(accepted, i < capacity);
+        }
+        prop_assert_eq!(ring.captured(), capacity);
+        prop_assert_eq!(ring.dropped(), excess as u64);
+        let stored = ring.snapshot();
+        prop_assert_eq!(stored.len(), capacity);
+        prop_assert_eq!(stored.last().unwrap().t_us, capacity as u64 - 1);
+    }
+
+    /// Concurrent writers: captured + dropped always equals the number of
+    /// attempts, and the snapshot never exposes an unpublished slot.
+    #[test]
+    fn ring_accounts_exactly_under_concurrent_writers(
+        writers in 1usize..5,
+        per_writer in 1usize..250,
+        capacity in 1usize..300,
+    ) {
+        let ring = Arc::new(EventRing::new(capacity));
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per_writer {
+                        ring.record(timed(i as u64, RtEvent::StealOk { worker: w, victim: i % 4 }));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = (writers * per_writer) as u64;
+        prop_assert_eq!(ring.captured() as u64 + ring.dropped(), total);
+        prop_assert_eq!(ring.captured(), capacity.min(writers * per_writer));
+        prop_assert_eq!(ring.snapshot().len(), ring.captured());
+    }
+
+    /// Every event shape round-trips through the JSONL representation.
+    #[test]
+    fn timed_events_round_trip_through_json(
+        events in proptest::collection::vec(arb_event(), 1..50),
+        lane in 0u32..9,
+    ) {
+        for (i, ev) in events.iter().enumerate() {
+            let original = TimedEvent { t_us: i as u64, lane, event: *ev };
+            let text = serde_json::to_string(&original).unwrap();
+            let back: TimedEvent = serde_json::from_str(&text).unwrap();
+            prop_assert_eq!(back, original);
+        }
+    }
+
+    /// Replaying a stream that was legal stays legal after a
+    /// serialization round-trip (the exporters preserve protocol
+    /// semantics, not just field values).
+    #[test]
+    fn replay_verdict_survives_round_trip(
+        cores in 2usize..6,
+        steps in proptest::collection::vec((0usize..6, 0usize..2), 0..120),
+    ) {
+        // Generate a legal stream by simulating the protocol directly.
+        let home: Vec<usize> = (0..cores).map(|c| c * 2 / cores).collect();
+        let mut owner: Vec<Option<usize>> = home.iter().map(|&p| Some(p)).collect();
+        let mut stream = Vec::new();
+        for &(core_pick, prog) in &steps {
+            let core = core_pick % cores;
+            match owner[core] {
+                Some(cur) if cur == prog => {
+                    owner[core] = None;
+                    stream.push(RtEvent::Release { prog, core });
+                }
+                Some(_) if home[core] == prog => {
+                    owner[core] = Some(prog);
+                    stream.push(RtEvent::Reclaim { prog, core });
+                }
+                None => {
+                    owner[core] = Some(prog);
+                    stream.push(RtEvent::Acquire { prog, core });
+                }
+                _ => {}
+            }
+        }
+        let mut checker = ReplayChecker::new(&home);
+        let stats = checker.replay(stream.iter()).unwrap();
+        prop_assert_eq!(stats.total() as usize, stream.len());
+
+        let round_tripped: Vec<RtEvent> = stream
+            .iter()
+            .map(|ev| {
+                let text = serde_json::to_string(ev).unwrap();
+                serde_json::from_str(&text).unwrap()
+            })
+            .collect();
+        let mut checker = ReplayChecker::new(&home);
+        checker.replay(round_tripped.iter()).unwrap();
+        prop_assert_eq!(checker.owners().to_vec(), owner);
+    }
+}

@@ -105,11 +105,7 @@ fn rapid_create_destroy_cycles() {
     // Shutdown while workers are in every possible state.
     for i in 0..20 {
         let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
-        let rt = Runtime::with_table(
-            RuntimeConfig::new(2, Policy::Dws),
-            table,
-            i % 2,
-        );
+        let rt = Runtime::with_table(RuntimeConfig::new(2, Policy::Dws), table, i % 2);
         if i % 3 == 0 {
             let _ = rt.block_on(|| fib(8));
         }

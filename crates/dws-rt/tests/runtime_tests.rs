@@ -6,9 +6,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use dws_rt::{
-    join, CoreTable, InProcessTable, Policy, Runtime, RuntimeConfig,
-};
+use dws_rt::{join, CoreTable, InProcessTable, Policy, Runtime, RuntimeConfig};
 
 fn rt(workers: usize, policy: Policy) -> Runtime {
     Runtime::new(RuntimeConfig::new(workers, policy))
@@ -119,10 +117,8 @@ fn panic_in_stolen_arm_propagates() {
     for _ in 0..20 {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.block_on(|| {
-                let ((), ()) = join(
-                    || std::thread::sleep(Duration::from_micros(50)),
-                    || panic!("right"),
-                );
+                let ((), ()) =
+                    join(|| std::thread::sleep(Duration::from_micros(50)), || panic!("right"));
             })
         }));
         assert!(result.is_err());
@@ -209,11 +205,7 @@ fn abp_policy_yields_when_idle() {
 #[test]
 fn dws_with_table_sleeps_idle_workers() {
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(4, 2));
-    let pool = Runtime::with_table(
-        RuntimeConfig::new(4, Policy::Dws),
-        Arc::clone(&table),
-        0,
-    );
+    let pool = Runtime::with_table(RuntimeConfig::new(4, Policy::Dws), Arc::clone(&table), 0);
     assert_eq!(pool.effective_policy(), Policy::Dws);
     // Give idle workers time to cross T_SLEEP and doze off.
     std::thread::sleep(Duration::from_millis(100));
@@ -229,16 +221,8 @@ fn dws_with_table_sleeps_idle_workers() {
 #[test]
 fn dws_corun_trades_cores() {
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(4, 2));
-    let p0 = Runtime::with_table(
-        RuntimeConfig::new(4, Policy::Dws),
-        Arc::clone(&table),
-        0,
-    );
-    let p1 = Runtime::with_table(
-        RuntimeConfig::new(4, Policy::Dws),
-        Arc::clone(&table),
-        1,
-    );
+    let p0 = Runtime::with_table(RuntimeConfig::new(4, Policy::Dws), Arc::clone(&table), 0);
+    let p1 = Runtime::with_table(RuntimeConfig::new(4, Policy::Dws), Arc::clone(&table), 1);
     // p1 idles (sleeps, releasing cores 2,3); p0 works hard and should be
     // able to borrow them via its coordinator.
     std::thread::sleep(Duration::from_millis(120));
@@ -254,16 +238,8 @@ fn dws_corun_trades_cores() {
 #[test]
 fn dwsnc_corun_works_without_table_exclusivity() {
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(4, 2));
-    let p0 = Runtime::with_table(
-        RuntimeConfig::new(4, Policy::DwsNc),
-        Arc::clone(&table),
-        0,
-    );
-    let p1 = Runtime::with_table(
-        RuntimeConfig::new(4, Policy::DwsNc),
-        Arc::clone(&table),
-        1,
-    );
+    let p0 = Runtime::with_table(RuntimeConfig::new(4, Policy::DwsNc), Arc::clone(&table), 0);
+    let p1 = Runtime::with_table(RuntimeConfig::new(4, Policy::DwsNc), Arc::clone(&table), 1);
     assert_eq!(p0.block_on(|| fib(14)), 377);
     assert_eq!(p1.block_on(|| fib(14)), 377);
     // NC never touches the table.
@@ -274,16 +250,8 @@ fn dwsnc_corun_works_without_table_exclusivity() {
 #[test]
 fn ep_corun_completes() {
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(4, 2));
-    let p0 = Runtime::with_table(
-        RuntimeConfig::new(4, Policy::Ep),
-        Arc::clone(&table),
-        0,
-    );
-    let p1 = Runtime::with_table(
-        RuntimeConfig::new(4, Policy::Ep),
-        Arc::clone(&table),
-        1,
-    );
+    let p0 = Runtime::with_table(RuntimeConfig::new(4, Policy::Ep), Arc::clone(&table), 0);
+    let p1 = Runtime::with_table(RuntimeConfig::new(4, Policy::Ep), Arc::clone(&table), 1);
     let (a, b) = (p0.block_on(|| fib(14)), p1.block_on(|| fib(14)));
     assert_eq!((a, b), (377, 377));
 }
@@ -318,11 +286,7 @@ fn metrics_count_jobs() {
 #[test]
 fn drop_shuts_down_cleanly_while_workers_sleep() {
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
-    let pool = Runtime::with_table(
-        RuntimeConfig::new(2, Policy::Dws),
-        Arc::clone(&table),
-        0,
-    );
+    let pool = Runtime::with_table(RuntimeConfig::new(2, Policy::Dws), Arc::clone(&table), 0);
     std::thread::sleep(Duration::from_millis(60));
     drop(pool); // must not hang on sleeping workers
 }

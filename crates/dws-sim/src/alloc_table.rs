@@ -64,10 +64,7 @@ impl AllocTable {
     pub fn with_homes(home: Vec<usize>, programs: usize) -> Self {
         assert!(programs > 0);
         for p in 0..programs {
-            assert!(
-                home.contains(&p),
-                "program {p} owns no core in the home map"
-            );
+            assert!(home.contains(&p), "program {p} owns no core in the home map");
         }
         assert!(home.iter().all(|&h| h < programs), "home map names unknown program");
         let slots = home.iter().map(|&p| Slot::Used(p)).collect();
@@ -156,17 +153,14 @@ impl AllocTable {
     pub fn reclaimable_cores(&self, prog: ProgId) -> Vec<usize> {
         (0..self.cores())
             .filter(|&c| {
-                self.home[c] == prog
-                    && matches!(self.slots[c], Slot::Used(u) if u != prog)
+                self.home[c] == prog && matches!(self.slots[c], Slot::Used(u) if u != prog)
             })
             .collect()
     }
 
     /// Cores currently used by `prog`.
     pub fn used_by(&self, prog: ProgId) -> Vec<usize> {
-        (0..self.cores())
-            .filter(|&c| self.slots[c] == Slot::Used(prog))
-            .collect()
+        (0..self.cores()).filter(|&c| self.slots[c] == Slot::Used(prog)).collect()
     }
 
     /// Invariant check used by tests and debug assertions: every slot is

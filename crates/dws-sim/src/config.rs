@@ -70,9 +70,7 @@ impl MachineConfig {
     pub fn asymmetric(cores: usize, sockets: usize, slow_speed: f64) -> MachineConfig {
         assert!(slow_speed > 0.0 && slow_speed <= 1.0);
         let fast = cores / 2;
-        let core_speeds = (0..cores)
-            .map(|c| if c < fast { 1.0 } else { slow_speed })
-            .collect();
+        let core_speeds = (0..cores).map(|c| if c < fast { 1.0 } else { slow_speed }).collect();
         MachineConfig { cores, sockets, core_speeds, ..Default::default() }
     }
 }

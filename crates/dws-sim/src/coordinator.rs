@@ -90,10 +90,14 @@ pub fn decide_dws(
     table: &AllocTable,
     rng: &mut XorShift64Star,
 ) -> CoordDecision {
-    let n_w = eq1_wake_target(obs.queued_tasks, obs.active_workers)
-        .min(obs.sleeping_workers);
+    let n_w = eq1_wake_target(obs.queued_tasks, obs.active_workers).min(obs.sleeping_workers);
     if n_w == 0 {
-        return CoordDecision { n_w, take_free: vec![], reclaim: vec![], case: CoordCase::NoAction };
+        return CoordDecision {
+            n_w,
+            take_free: vec![],
+            reclaim: vec![],
+            case: CoordCase::NoAction,
+        };
     }
 
     let mut free = table.free_cores();
@@ -284,12 +288,7 @@ mod tests {
                     for nb in [0usize, 4, 12, 40] {
                         for na in [0usize, 1, 4] {
                             let sleeping = 8 - na.min(8);
-                            let d = decide_dws(
-                                0,
-                                obs(nb, na, sleeping),
-                                &table,
-                                &mut rng,
-                            );
+                            let d = decide_dws(0, obs(nb, na, sleeping), &table, &mut rng);
                             let n_f = table.n_free();
                             let n_r = table.n_reclaimable(0);
                             assert!(d.total_wakes() <= n_f + n_r);

@@ -101,9 +101,7 @@ impl Simulator {
 
         let table = match cfg.placement {
             crate::config::Placement::Adjacent => AllocTable::equipartition(k, m),
-            crate::config::Placement::Interleaved => {
-                AllocTable::equipartition_interleaved(k, m)
-            }
+            crate::config::Placement::Interleaved => AllocTable::equipartition_interleaved(k, m),
             crate::config::Placement::DemandAware => {
                 // §4.4: adjacent slices, ordered so the most memory-bound
                 // program lands on the slowest slice. Slice p of the plain
@@ -112,23 +110,16 @@ impl Simulator {
                 let plain = AllocTable::equipartition(k, m);
                 let slice_speed = |p: usize| -> f64 {
                     let cores = plain.home_cores(p);
-                    cores.iter().map(|&c| cfg.machine.speed_of(c)).sum::<f64>()
-                        / cores.len() as f64
+                    cores.iter().map(|&c| cfg.machine.speed_of(c)).sum::<f64>() / cores.len() as f64
                 };
                 // Programs sorted most-memory-bound first; slices sorted
                 // slowest first; pair them up.
                 let mut prog_order: Vec<usize> = (0..m).collect();
                 prog_order.sort_by(|&a, &b| {
-                    specs[b]
-                        .workload
-                        .mean_mem()
-                        .partial_cmp(&specs[a].workload.mean_mem())
-                        .unwrap()
+                    specs[b].workload.mean_mem().partial_cmp(&specs[a].workload.mean_mem()).unwrap()
                 });
                 let mut slice_order: Vec<usize> = (0..m).collect();
-                slice_order.sort_by(|&a, &b| {
-                    slice_speed(a).partial_cmp(&slice_speed(b)).unwrap()
-                });
+                slice_order.sort_by(|&a, &b| slice_speed(a).partial_cmp(&slice_speed(b)).unwrap());
                 let mut homes = vec![0usize; k];
                 for (rank, &slice) in slice_order.iter().enumerate() {
                     let prog = prog_order[rank];
@@ -179,10 +170,7 @@ impl Simulator {
         }
 
         let mut sim = Simulator {
-            next_coord: programs
-                .iter()
-                .map(|pr| pr.sched.coord_period_us.max(1))
-                .collect(),
+            next_coord: programs.iter().map(|pr| pr.sched.coord_period_us.max(1)).collect(),
             cfg,
             programs,
             os,
@@ -254,6 +242,14 @@ impl Simulator {
         &self.trace
     }
 
+    /// Events discarded after the trace capacity was reached (0 when
+    /// tracing is off). A nonzero value means analyses over
+    /// [`Simulator::trace`] see a truncated history — raise the
+    /// [`Simulator::enable_tracing`] capacity for this horizon.
+    pub fn events_dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
     /// Pending wake deliveries (diagnostics): (due time, (program, worker)).
     pub fn pending_wakes(&self) -> &[(SimTime, ThreadId)] {
         &self.pending_wakes
@@ -291,10 +287,7 @@ impl Simulator {
                 while self.traced_runs[p] < self.programs[p].runs_completed {
                     let run = self.traced_runs[p];
                     let duration_us = self.programs[p].metrics.run_times_us[run];
-                    self.trace.record(
-                        now,
-                        SchedEvent::RunComplete { prog: p, run, duration_us },
-                    );
+                    self.trace.record(now, SchedEvent::RunComplete { prog: p, run, duration_us });
                     self.traced_runs[p] += 1;
                 }
             }
@@ -361,12 +354,15 @@ impl Simulator {
             match self.programs[p].sched.policy {
                 Policy::Dws => {
                     let decision = decide_dws(p, obs, &self.table, &mut self.rng);
-                    self.trace.record(now, SchedEvent::CoordTick {
-                        prog: p,
-                        n_b: obs.queued_tasks,
-                        n_a: obs.active_workers,
-                        n_w: decision.n_w,
-                    });
+                    self.trace.record(
+                        now,
+                        SchedEvent::CoordTick {
+                            prog: p,
+                            n_b: obs.queued_tasks,
+                            n_a: obs.active_workers,
+                            n_w: decision.n_w,
+                        },
+                    );
                     for &core in &decision.take_free {
                         if self.table.acquire_free(core, p) {
                             self.programs[p].metrics.cores_acquired += 1;
@@ -384,12 +380,15 @@ impl Simulator {
                 }
                 Policy::DwsNc => {
                     let n = decide_nc(obs);
-                    self.trace.record(now, SchedEvent::CoordTick {
-                        prog: p,
-                        n_b: obs.queued_tasks,
-                        n_a: obs.active_workers,
-                        n_w: n,
-                    });
+                    self.trace.record(
+                        now,
+                        SchedEvent::CoordTick {
+                            prog: p,
+                            n_b: obs.queued_tasks,
+                            n_a: obs.active_workers,
+                            n_w: n,
+                        },
+                    );
                     if n > 0 {
                         let mut sleeping = self.programs[p].sleeping_workers();
                         // Random subset.
@@ -478,11 +477,7 @@ impl Simulator {
         let result = match outcome {
             StepOutcome::Worked => SliceResult::KeepRunning,
             StepOutcome::Yielded => SliceResult::Yielded {
-                prefer_prog: self.programs[p]
-                    .sched
-                    .policy
-                    .yields_to_own_program()
-                    .then_some(p),
+                prefer_prog: self.programs[p].sched.policy.yields_to_own_program().then_some(p),
             },
             StepOutcome::Slept => SliceResult::Slept,
         };
@@ -524,10 +519,7 @@ impl Simulator {
             let found = self.os.cores[c].run_queue.iter().position(|&(pr, w2)| {
                 pr == prog
                     && (pr, w2) != yielder
-                    && matches!(
-                        self.programs[pr].workers[w2].state,
-                        WorkerState::Running { .. }
-                    )
+                    && matches!(self.programs[pr].workers[w2].state, WorkerState::Running { .. })
             });
             if let Some(pos) = found {
                 if pos != 0 {
@@ -544,10 +536,7 @@ impl Simulator {
     /// `opts.min_runs` runs or the horizon is reached, and reports.
     pub fn run(&mut self, opts: RunOptions) -> SimReport {
         loop {
-            let all_done = self
-                .programs
-                .iter()
-                .all(|p| p.runs_completed >= opts.min_runs);
+            let all_done = self.programs.iter().all(|p| p.runs_completed >= opts.min_runs);
             if all_done || self.now >= opts.max_time_us {
                 break;
             }
@@ -586,12 +575,7 @@ pub fn run_solo(
 
 /// Convenience: co-runs two programs under the same policy (the paper's
 /// benchmark-mix methodology) and returns the report.
-pub fn run_pair(
-    cfg: SimConfig,
-    a: ProgramSpec,
-    b: ProgramSpec,
-    opts: RunOptions,
-) -> SimReport {
+pub fn run_pair(cfg: SimConfig, a: ProgramSpec, b: ProgramSpec, opts: RunOptions) -> SimReport {
     let mut sim = Simulator::new(cfg, vec![a, b]);
     sim.run(opts)
 }
@@ -625,7 +609,13 @@ mod tests {
         }
     }
 
-    fn wave_workload(name: &str, iters: u32, width: u32, task_us: f64, serial_us: f64) -> WorkloadSpec {
+    fn wave_workload(
+        name: &str,
+        iters: u32,
+        width: u32,
+        task_us: f64,
+        serial_us: f64,
+    ) -> WorkloadSpec {
         WorkloadSpec {
             name: name.into(),
             phases: vec![PhaseSpec::Waves {
@@ -766,7 +756,12 @@ mod tests {
             let cfg = small_machine();
             let a = spec(rec_workload("a", 5, 80.0, 0.4), Policy::Dws, 4);
             let b = spec(wave_workload("b", 10, 4, 60.0, 100.0), Policy::Dws, 4);
-            run_pair(cfg, a, b, RunOptions { min_runs: 3, max_time_us: 100_000_000, warmup_runs: 0 })
+            run_pair(
+                cfg,
+                a,
+                b,
+                RunOptions { min_runs: 3, max_time_us: 100_000_000, warmup_runs: 0 },
+            )
         };
         let r1 = mk();
         let r2 = mk();
@@ -783,7 +778,12 @@ mod tests {
             cfg.seed = seed;
             let a = spec(rec_workload("a", 6, 80.0, 0.4), Policy::Dws, 4);
             let b = spec(wave_workload("b", 10, 4, 60.0, 100.0), Policy::Dws, 4);
-            run_pair(cfg, a, b, RunOptions { min_runs: 3, max_time_us: 100_000_000, warmup_runs: 0 })
+            run_pair(
+                cfg,
+                a,
+                b,
+                RunOptions { min_runs: 3, max_time_us: 100_000_000, warmup_runs: 0 },
+            )
         };
         let r1 = mk(1);
         let r2 = mk(99);
@@ -834,10 +834,7 @@ mod tests {
         .mean_run_time_us
         .unwrap();
         let half_slow = run_solo(
-            SimConfig {
-                machine: MachineConfig::asymmetric(4, 1, 0.5),
-                ..Default::default()
-            },
+            SimConfig { machine: MachineConfig::asymmetric(4, 1, 0.5), ..Default::default() },
             wl,
             SchedConfig::for_policy(Policy::Ws, 4),
             opts,
@@ -903,12 +900,12 @@ mod tests {
         // Event sourcing: replaying the table events reproduces the final
         // allocation state exactly.
         let replayed = trace.replay_table(4, 2, &homes);
-        for c in 0..4 {
+        for (c, &rep) in replayed.iter().enumerate() {
             let actual = match sim.alloc_table().slot(c) {
                 Slot::Free => None,
                 Slot::Used(p) => Some(p),
             };
-            assert_eq!(replayed[c], actual, "core {c} diverged");
+            assert_eq!(rep, actual, "core {c} diverged");
         }
         // Timestamps are monotone.
         let times: Vec<_> = trace.events().iter().map(|e| e.time_us).collect();
@@ -928,10 +925,7 @@ mod tests {
                 RunOptions { min_runs: 2, max_time_us: 120_000_000, warmup_runs: 0 },
             );
             assert!(!rep.hit_horizon, "{policy}: starved");
-            rep.programs
-                .iter()
-                .map(|p| p.mean_run_time_us.unwrap())
-                .sum::<f64>()
+            rep.programs.iter().map(|p| p.mean_run_time_us.unwrap()).sum::<f64>()
         };
         let abp = run_policy(Policy::Abp);
         let bws = run_policy(Policy::Bws);
@@ -958,11 +952,7 @@ mod tests {
         for p in 0..4 {
             assert_eq!(sim.alloc_table().home_cores(p).len(), 2);
         }
-        let rep = sim.run(RunOptions {
-            min_runs: 2,
-            max_time_us: 200_000_000,
-            warmup_runs: 0,
-        });
+        let rep = sim.run(RunOptions { min_runs: 2, max_time_us: 200_000_000, warmup_runs: 0 });
         assert!(!rep.hit_horizon);
         for p in &rep.programs {
             assert!(p.mean_run_time_us.unwrap() > 0.0);

@@ -105,7 +105,12 @@ impl Os {
     /// If the core is free, dispatches the next queued thread and returns
     /// it along with the context-switch cost to charge this tick. Updates
     /// cache-residency state on cross-program switches.
-    pub fn dispatch(&mut self, core: usize, now: SimTime, cold_period_us: SimTime) -> Option<(ThreadId, f64)> {
+    pub fn dispatch(
+        &mut self,
+        core: usize,
+        now: SimTime,
+        cold_period_us: SimTime,
+    ) -> Option<(ThreadId, f64)> {
         let c = &mut self.cores[core];
         if c.current.is_some() {
             return None;
@@ -167,10 +172,7 @@ impl Os {
                     // of the preferred program (other than the yielder)
                     // to the front of the queue.
                     if let Some(pp) = prefer_prog {
-                        if let Some(pos) = c
-                            .run_queue
-                            .iter()
-                            .position(|&th| th.0 == pp && th != t)
+                        if let Some(pos) = c.run_queue.iter().position(|&th| th.0 == pp && th != t)
                         {
                             if pos != 0 {
                                 if let Some(th) = c.run_queue.remove(pos) {
@@ -206,7 +208,14 @@ mod tests {
     use super::*;
 
     fn os4() -> Os {
-        Os::new(MachineConfig { cores: 4, sockets: 1, tick_us: 10, quantum_us: 100, ctx_switch_us: 2, core_speeds: Vec::new() })
+        Os::new(MachineConfig {
+            cores: 4,
+            sockets: 1,
+            tick_us: 10,
+            quantum_us: 100,
+            ctx_switch_us: 2,
+            core_speeds: Vec::new(),
+        })
     }
 
     #[test]

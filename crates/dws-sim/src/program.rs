@@ -158,10 +158,7 @@ impl SimProgram {
     /// True when a fixed-run-count program has nothing left to do.
     pub fn idle_quiescent(&self) -> bool {
         self.queued_tasks() == 0
-            && self
-                .workers
-                .iter()
-                .all(|w| matches!(w.state, WorkerState::Idle))
+            && self.workers.iter().all(|w| matches!(w.state, WorkerState::Idle))
     }
 
     fn alloc_join(&mut self, remaining: u32, cont: Task) -> JoinId {
@@ -198,7 +195,9 @@ impl SimProgram {
     fn phase_root(&mut self, phase: usize, notify: Option<JoinId>) -> Task {
         let spawn_cost = self.sched.spawn_cost_us;
         match self.spec.phases[phase] {
-            PhaseSpec::Recursive { depth, branch, leaf_work_us, node_work_us, mem, jitter, .. } => {
+            PhaseSpec::Recursive {
+                depth, branch, leaf_work_us, node_work_us, mem, jitter, ..
+            } => {
                 if depth == 0 {
                     let j = self.rng.jitter(jitter);
                     Task { body: TaskBody::Leaf, work_us: leaf_work_us * j, mem, notify }
@@ -619,15 +618,8 @@ mod tests {
     fn continuous_mode_restarts_runs() {
         let cores = [0];
         let active = [true];
-        let mut prog = SimProgram::new(
-            0,
-            tiny_waves(),
-            sched(Policy::Ws),
-            &cores,
-            &active,
-            1,
-            true,
-        );
+        let mut prog =
+            SimProgram::new(0, tiny_waves(), sched(Policy::Ws), &cores, &active, 1, true);
         let mut now = 0;
         while prog.runs_completed < 3 && now < 10_000_000 {
             prog.step_worker(0, 50.0, 1.0, now);
@@ -727,15 +719,7 @@ mod tests {
     fn initially_sleeping_workers_are_reported() {
         let cores = [0, 1, 2, 3];
         let active = [true, true, false, false];
-        let prog = SimProgram::new(
-            0,
-            tiny_waves(),
-            sched(Policy::Dws),
-            &cores,
-            &active,
-            1,
-            false,
-        );
+        let prog = SimProgram::new(0, tiny_waves(), sched(Policy::Dws), &cores, &active, 1, false);
         assert_eq!(prog.active_workers(), 2);
         assert_eq!(prog.sleeping_workers(), vec![2, 3]);
     }

@@ -194,10 +194,7 @@ mod tests {
         t.record(20, SchedEvent::Wake { prog: 0, worker: 1 });
         t.record(30, SchedEvent::Sleep { prog: 1, worker: 2, evicted: true });
         assert_eq!(t.count(|e| matches!(e, SchedEvent::Sleep { .. })), 2);
-        assert_eq!(
-            t.count(|e| matches!(e, SchedEvent::Sleep { evicted: true, .. })),
-            1
-        );
+        assert_eq!(t.count(|e| matches!(e, SchedEvent::Sleep { evicted: true, .. })), 1);
         assert_eq!(t.between(15, 35).count(), 2);
     }
 

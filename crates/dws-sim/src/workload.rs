@@ -174,7 +174,8 @@ impl PhaseSpec {
                 for d in 1..=depth {
                     let nodes_at_d = b.powi((depth - d) as i32);
                     internal += nodes_at_d;
-                    let m = if merge_grows { merge_work_us * b.powi(d as i32) } else { merge_work_us };
+                    let m =
+                        if merge_grows { merge_work_us * b.powi(d as i32) } else { merge_work_us };
                     merge += nodes_at_d * m;
                 }
                 leaves * leaf_work_us + internal * node_work_us + merge
@@ -205,7 +206,8 @@ impl PhaseSpec {
                 let b = branch as f64;
                 let mut cp = leaf_work_us;
                 for d in 1..=depth {
-                    let m = if merge_grows { merge_work_us * b.powi(d as i32) } else { merge_work_us };
+                    let m =
+                        if merge_grows { merge_work_us * b.powi(d as i32) } else { merge_work_us };
                     cp += node_work_us + m;
                 }
                 cp

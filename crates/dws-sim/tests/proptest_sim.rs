@@ -3,9 +3,9 @@
 //! inputs.
 
 use dws_sim::{
-    decide_dws, run_pair, run_solo, AllocTable, CoordCase, CoordObservation,
-    MachineConfig, PhaseSpec, Policy, ProgramSpec, RunOptions, SchedConfig, SimConfig,
-    Slot, WorkloadSpec, XorShift64Star,
+    decide_dws, run_pair, run_solo, AllocTable, CoordCase, CoordObservation, MachineConfig,
+    PhaseSpec, Policy, ProgramSpec, RunOptions, SchedConfig, SimConfig, Slot, WorkloadSpec,
+    XorShift64Star,
 };
 use proptest::prelude::*;
 
@@ -128,8 +128,8 @@ proptest! {
             }
             t.check_invariants(3);
             // Homes are immutable.
-            for c in 0..8 {
-                prop_assert_eq!(t.home(c), homes[c]);
+            for (c, &h) in homes.iter().enumerate() {
+                prop_assert_eq!(t.home(c), h);
             }
             // Used/free counts always partition the 8 cores.
             let used: usize = (0..3).map(|p| t.used_by(p).len()).sum();
@@ -173,7 +173,7 @@ proptest! {
             prop_assert_ne!(t.slot(c), Slot::Used(0));
         }
         // Wake count respects both the demand and the sleeping supply.
-        prop_assert!(d.total_wakes() <= d.n_w.max(0));
+        prop_assert!(d.total_wakes() <= d.n_w);
         prop_assert!(d.n_w <= sleeping);
         // Case labelling is consistent.
         match d.case {

@@ -88,9 +88,13 @@ fn main() {
     let bursts = p0_thread.join().unwrap();
     let rounds = p1_thread.join().unwrap();
     let (m0, m1) = (p0.metrics(), p1.metrics());
-    println!("\nprogram 0: {bursts} sort bursts | sleeps={} wakes={} released={}",
-        m0.sleeps, m0.wakes, m0.cores_released);
-    println!("program 1: {rounds} fib rounds  | acquired={} reclaimed={}",
-        m1.cores_acquired, m1.cores_reclaimed);
+    println!(
+        "\nprogram 0: {bursts} sort bursts | sleeps={} wakes={} released={}",
+        m0.sleeps, m0.wakes, m0.cores_released
+    );
+    println!(
+        "program 1: {rounds} fib rounds  | acquired={} reclaimed={}",
+        m1.cores_acquired, m1.cores_reclaimed
+    );
     println!("(legend: '.' = free core, digit = program using the core)");
 }

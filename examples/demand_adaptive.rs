@@ -48,9 +48,14 @@ fn main() {
 
     let p0 = sim.program(0);
     let p1 = sim.program(1);
-    println!("\nPNN : {} runs, {} sleeps, {} wakes", p0.runs_completed, p0.metrics.sleeps, p0.metrics.wakes);
-    println!("Heat: {} runs, {} cores acquired, {} reclaimed",
-        p1.runs_completed, p1.metrics.cores_acquired, p1.metrics.cores_reclaimed);
+    println!(
+        "\nPNN : {} runs, {} sleeps, {} wakes",
+        p0.runs_completed, p0.metrics.sleeps, p0.metrics.wakes
+    );
+    println!(
+        "Heat: {} runs, {} cores acquired, {} reclaimed",
+        p1.runs_completed, p1.metrics.cores_acquired, p1.metrics.cores_reclaimed
+    );
     println!("\nDuring PNN's serial phases its workers sleep and release cores;");
     println!("Heat's coordinator (Eq. 1) wakes its own workers on them. When a");
     println!("PNN burst arrives, PNN reclaims its home cores (§3.3 case 2).");

@@ -6,8 +6,8 @@
 //! ```
 
 use dws_sim::{
-    run_pair, run_solo, MachineConfig, PhaseSpec, Policy, ProgramSpec, RunOptions,
-    SchedConfig, SimConfig, WorkloadSpec,
+    run_pair, run_solo, MachineConfig, PhaseSpec, Policy, ProgramSpec, RunOptions, SchedConfig,
+    SimConfig, WorkloadSpec,
 };
 
 fn main() {
@@ -48,25 +48,20 @@ fn main() {
     let opts = RunOptions { min_runs: 3, warmup_runs: 1, max_time_us: 120_000_000 };
 
     // Solo baselines.
-    let base_a = run_solo(
-        cfg.clone(),
-        bursty.clone(),
-        SchedConfig::for_policy(Policy::Ws, 8),
-        opts,
-    )
-    .mean_run_time_us
-    .unwrap();
-    let base_b = run_solo(
-        cfg.clone(),
-        steady.clone(),
-        SchedConfig::for_policy(Policy::Ws, 8),
-        opts,
-    )
-    .mean_run_time_us
-    .unwrap();
+    let base_a =
+        run_solo(cfg.clone(), bursty.clone(), SchedConfig::for_policy(Policy::Ws, 8), opts)
+            .mean_run_time_us
+            .unwrap();
+    let base_b =
+        run_solo(cfg.clone(), steady.clone(), SchedConfig::for_policy(Policy::Ws, 8), opts)
+            .mean_run_time_us
+            .unwrap();
     println!("solo baselines: bursty {:.1} ms, steady {:.1} ms\n", base_a / 1e3, base_b / 1e3);
 
-    println!("{:<8} {:>12} {:>12} {:>10} {:>10}", "policy", "bursty (ms)", "steady (ms)", "norm-A", "norm-B");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>10}",
+        "policy", "bursty (ms)", "steady (ms)", "norm-A", "norm-B"
+    );
     for policy in [Policy::Abp, Policy::Ep, Policy::DwsNc, Policy::Dws] {
         let sched = SchedConfig::for_policy(policy, 8);
         let rep = run_pair(

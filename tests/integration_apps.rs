@@ -17,10 +17,7 @@ fn policies() -> [Policy; 5] {
 
 #[test]
 fn fft_correct_under_every_policy() {
-    let x: Vec<fft::Complex> = random_vec(256, 1)
-        .into_iter()
-        .zip(random_vec(256, 2))
-        .collect();
+    let x: Vec<fft::Complex> = random_vec(256, 1).into_iter().zip(random_vec(256, 2)).collect();
     let expected = fft::fft_sequential(&x);
     for policy in policies() {
         let p = pool(policy);
@@ -77,23 +74,13 @@ fn stencil_kernels_under_dws() {
 #[test]
 fn pnn_under_corun() {
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
-    let p0 = Runtime::with_table(
-        RuntimeConfig::new(2, Policy::Dws),
-        Arc::clone(&table),
-        0,
-    );
-    let p1 = Runtime::with_table(
-        RuntimeConfig::new(2, Policy::Dws),
-        Arc::clone(&table),
-        1,
-    );
+    let p0 = Runtime::with_table(RuntimeConfig::new(2, Policy::Dws), Arc::clone(&table), 0);
+    let p1 = Runtime::with_table(RuntimeConfig::new(2, Policy::Dws), Arc::clone(&table), 1);
     let net = pnn::Pnn::random(8, 24, 3, 11);
     let x = random_vec(8, 12);
     let expected = net.forward_sequential(&x);
-    let (a, b) = (
-        p0.block_on(|| net.forward_parallel(&x, 4)),
-        p1.block_on(|| net.forward_parallel(&x, 4)),
-    );
+    let (a, b) =
+        (p0.block_on(|| net.forward_parallel(&x, 4)), p1.block_on(|| net.forward_parallel(&x, 4)));
     assert_eq!(a, expected);
     assert_eq!(b, expected);
 }
@@ -103,16 +90,10 @@ fn two_kernels_race_on_co_running_pools() {
     // Run two different kernels truly concurrently on co-running DWS
     // pools and make sure both finish correct under core migration.
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(4, 2));
-    let p0 = Arc::new(Runtime::with_table(
-        RuntimeConfig::new(4, Policy::Dws),
-        Arc::clone(&table),
-        0,
-    ));
-    let p1 = Arc::new(Runtime::with_table(
-        RuntimeConfig::new(4, Policy::Dws),
-        Arc::clone(&table),
-        1,
-    ));
+    let p0 =
+        Arc::new(Runtime::with_table(RuntimeConfig::new(4, Policy::Dws), Arc::clone(&table), 0));
+    let p1 =
+        Arc::new(Runtime::with_table(RuntimeConfig::new(4, Policy::Dws), Arc::clone(&table), 1));
     let h0 = {
         let p0 = Arc::clone(&p0);
         std::thread::spawn(move || {

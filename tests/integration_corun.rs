@@ -18,16 +18,10 @@ fn fib(n: u64) -> u64 {
 #[test]
 fn two_dws_programs_share_cores_through_the_table() {
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(4, 2));
-    let p0 = Arc::new(Runtime::with_table(
-        RuntimeConfig::new(4, Policy::Dws),
-        Arc::clone(&table),
-        0,
-    ));
-    let p1 = Arc::new(Runtime::with_table(
-        RuntimeConfig::new(4, Policy::Dws),
-        Arc::clone(&table),
-        1,
-    ));
+    let p0 =
+        Arc::new(Runtime::with_table(RuntimeConfig::new(4, Policy::Dws), Arc::clone(&table), 0));
+    let p1 =
+        Arc::new(Runtime::with_table(RuntimeConfig::new(4, Policy::Dws), Arc::clone(&table), 1));
 
     // Both compute concurrently from external threads.
     let h0 = {
@@ -76,16 +70,8 @@ fn mmap_table_coordinates_two_runtimes() {
 fn all_policies_complete_co_running_kernels() {
     for policy in [Policy::Abp, Policy::Ep, Policy::Dws, Policy::DwsNc] {
         let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
-        let p0 = Runtime::with_table(
-            RuntimeConfig::new(2, policy),
-            Arc::clone(&table),
-            0,
-        );
-        let p1 = Runtime::with_table(
-            RuntimeConfig::new(2, policy),
-            Arc::clone(&table),
-            1,
-        );
+        let p0 = Runtime::with_table(RuntimeConfig::new(2, policy), Arc::clone(&table), 0);
+        let p1 = Runtime::with_table(RuntimeConfig::new(2, policy), Arc::clone(&table), 1);
         // Real Table-2 kernels on both programs.
         let mut keys = dws_apps::common::random_u64s(20_000, 7);
         p0.block_on(|| dws_apps::mergesort::mergesort_parallel(&mut keys, 1024));
@@ -103,11 +89,7 @@ fn all_policies_complete_co_running_kernels() {
 #[test]
 fn dws_sleep_release_wake_cycle_on_real_threads() {
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(3, 2));
-    let p0 = Runtime::with_table(
-        RuntimeConfig::new(3, Policy::Dws),
-        Arc::clone(&table),
-        0,
-    );
+    let p0 = Runtime::with_table(RuntimeConfig::new(3, Policy::Dws), Arc::clone(&table), 0);
     // Idle long enough for every worker to pass T_SLEEP and doze.
     std::thread::sleep(Duration::from_millis(150));
     let m = p0.metrics();
@@ -123,11 +105,7 @@ fn many_block_on_rounds_under_contention() {
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
     let rts: Vec<Arc<Runtime>> = (0..2)
         .map(|p| {
-            Arc::new(Runtime::with_table(
-                RuntimeConfig::new(2, Policy::Dws),
-                Arc::clone(&table),
-                p,
-            ))
+            Arc::new(Runtime::with_table(RuntimeConfig::new(2, Policy::Dws), Arc::clone(&table), p))
         })
         .collect();
     let handles: Vec<_> = rts

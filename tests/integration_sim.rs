@@ -2,8 +2,8 @@
 //! paper's qualitative claims must hold on small, fast scenarios.
 
 use dws_sim::{
-    run_pair, run_solo, MachineConfig, PhaseSpec, Policy, ProgramSpec, RunOptions,
-    SchedConfig, SimConfig, WorkloadSpec,
+    run_pair, run_solo, MachineConfig, PhaseSpec, Policy, ProgramSpec, RunOptions, SchedConfig,
+    SimConfig, WorkloadSpec,
 };
 
 fn small_cfg(seed: u64) -> SimConfig {
@@ -84,10 +84,7 @@ fn dws_lets_the_steady_program_use_released_cores() {
     // because it borrows the bursty program's cores during serial gaps.
     let (_, ep_b) = corun_mean(Policy::Ep, 2);
     let (_, dws_b) = corun_mean(Policy::Dws, 2);
-    assert!(
-        dws_b < ep_b * 1.02,
-        "steady under DWS ({dws_b:.0}) should beat/match EP ({ep_b:.0})"
-    );
+    assert!(dws_b < ep_b * 1.02, "steady under DWS ({dws_b:.0}) should beat/match EP ({ep_b:.0})");
 }
 
 #[test]
@@ -106,21 +103,13 @@ fn dws_nc_is_not_better_than_dws() {
 fn solo_dws_overhead_is_small() {
     let cfg = small_cfg(4);
     let o = opts();
-    let ws = run_solo(
-        cfg.clone(),
-        steady(),
-        SchedConfig::for_policy(Policy::Ws, 8),
-        o,
-    )
-    .mean_run_time_us
-    .unwrap();
+    let ws = run_solo(cfg.clone(), steady(), SchedConfig::for_policy(Policy::Ws, 8), o)
+        .mean_run_time_us
+        .unwrap();
     let dws = run_solo(cfg, steady(), SchedConfig::for_policy(Policy::Dws, 8), o)
         .mean_run_time_us
         .unwrap();
-    assert!(
-        dws < ws * 1.10,
-        "§4.4: solo DWS ({dws:.0}) must be within ~10% of WS ({ws:.0})"
-    );
+    assert!(dws < ws * 1.10, "§4.4: solo DWS ({dws:.0}) must be within ~10% of WS ({ws:.0})");
 }
 
 #[test]

@@ -1,0 +1,189 @@
+//! Vendored offline stand-in for the `libc` crate.
+//!
+//! Declares only the types, constants and foreign functions this
+//! workspace actually calls (`dws-rt`'s `shm` and `affinity` modules),
+//! with x86_64/aarch64 Linux glibc ABI layouts. Constants follow
+//! `<fcntl.h>` / `<sys/mman.h>` / `<errno.h>` for Linux.
+
+#![allow(non_camel_case_types)]
+#![warn(missing_docs)]
+
+/// Opaque C `void` for pointer types.
+pub use std::ffi::c_void;
+
+/// C `char` (signed on the supported targets).
+pub type c_char = i8;
+/// C `int`.
+pub type c_int = i32;
+/// C `unsigned int`.
+pub type c_uint = u32;
+/// C `long` (LP64).
+pub type c_long = i64;
+/// C `unsigned long` (LP64).
+pub type c_ulong = u64;
+/// `size_t`.
+pub type size_t = usize;
+/// `off_t` (LP64 glibc).
+pub type off_t = i64;
+/// `mode_t`.
+pub type mode_t = u32;
+/// `pid_t`.
+pub type pid_t = i32;
+/// `dev_t`.
+pub type dev_t = u64;
+/// `ino_t`.
+pub type ino_t = u64;
+/// `nlink_t`.
+pub type nlink_t = u64;
+/// `blksize_t`.
+pub type blksize_t = i64;
+/// `blkcnt_t`.
+pub type blkcnt_t = i64;
+/// `time_t`.
+pub type time_t = i64;
+
+/// Open read/write (`<fcntl.h>`).
+pub const O_RDWR: c_int = 0o2;
+/// Create if absent.
+pub const O_CREAT: c_int = 0o100;
+/// Fail if it already exists (with `O_CREAT`).
+pub const O_EXCL: c_int = 0o200;
+/// `errno`: file exists.
+pub const EEXIST: c_int = 17;
+/// Pages may be read.
+pub const PROT_READ: c_int = 1;
+/// Pages may be written.
+pub const PROT_WRITE: c_int = 2;
+/// Share the mapping with other processes.
+pub const MAP_SHARED: c_int = 1;
+/// `mmap` failure sentinel.
+pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+/// `struct stat` with the x86_64 glibc layout (`st_size` is all this
+/// workspace reads; the rest keeps the offsets honest).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct stat {
+    /// Device.
+    pub st_dev: dev_t,
+    /// Inode.
+    pub st_ino: ino_t,
+    /// Hard-link count.
+    pub st_nlink: nlink_t,
+    /// Mode bits.
+    pub st_mode: mode_t,
+    /// Owner uid.
+    pub st_uid: u32,
+    /// Owner gid.
+    pub st_gid: u32,
+    __pad0: c_int,
+    /// Device number (special files).
+    pub st_rdev: dev_t,
+    /// Size in bytes.
+    pub st_size: off_t,
+    /// Preferred I/O block size.
+    pub st_blksize: blksize_t,
+    /// 512-byte blocks allocated.
+    pub st_blocks: blkcnt_t,
+    /// Access time, seconds.
+    pub st_atime: time_t,
+    /// Access time, nanoseconds.
+    pub st_atime_nsec: c_long,
+    /// Modification time, seconds.
+    pub st_mtime: time_t,
+    /// Modification time, nanoseconds.
+    pub st_mtime_nsec: c_long,
+    /// Status-change time, seconds.
+    pub st_ctime: time_t,
+    /// Status-change time, nanoseconds.
+    pub st_ctime_nsec: c_long,
+    __unused: [c_long; 3],
+}
+
+/// CPU affinity mask: 1024 bits, as in glibc's `cpu_set_t`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; 16],
+}
+
+/// Clears every CPU in the set (glibc `CPU_ZERO`, macro-as-fn like the
+/// real libc crate).
+#[allow(non_snake_case)]
+pub fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; 16];
+}
+
+/// Adds `cpu` to the set (glibc `CPU_SET`); out-of-range CPUs are
+/// ignored, matching the macro's bounds check.
+#[allow(non_snake_case)]
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < 1024 {
+        set.bits[cpu / 64] |= 1 << (cpu % 64);
+    }
+}
+
+/// True if `cpu` is in the set (glibc `CPU_ISSET`).
+#[allow(non_snake_case)]
+pub fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < 1024 && set.bits[cpu / 64] & (1 << (cpu % 64)) != 0
+}
+
+extern "C" {
+    /// `open(2)` (variadic: mode only with `O_CREAT`).
+    pub fn open(path: *const c_char, oflag: c_int, ...) -> c_int;
+    /// `close(2)`.
+    pub fn close(fd: c_int) -> c_int;
+    /// `ftruncate(2)`.
+    pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
+    /// `fstat(2)` — glibc exports the versioned symbol; `fstat` itself is
+    /// also provided as a real symbol on modern glibc.
+    pub fn fstat(fd: c_int, buf: *mut stat) -> c_int;
+    /// `mmap(2)`.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    /// `munmap(2)`.
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    /// `sched_setaffinity(2)`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
+    /// `unlink(2)`.
+    pub fn unlink(path: *const c_char) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_layout_matches_glibc_x86_64() {
+        // st_size must sit at offset 48 on x86_64 glibc.
+        assert_eq!(std::mem::offset_of!(stat, st_size), 48);
+        assert_eq!(std::mem::size_of::<stat>(), 144);
+        assert_eq!(std::mem::size_of::<cpu_set_t>(), 128);
+    }
+
+    #[test]
+    fn cpu_set_ops() {
+        let mut s: cpu_set_t = unsafe { std::mem::zeroed() };
+        CPU_ZERO(&mut s);
+        CPU_SET(3, &mut s);
+        assert!(CPU_ISSET(3, &s));
+        assert!(!CPU_ISSET(4, &s));
+    }
+
+    #[test]
+    fn fstat_works_on_a_real_file() {
+        let f = std::fs::File::open("/proc/self/exe").unwrap();
+        use std::os::fd::AsRawFd;
+        let mut st: stat = unsafe { std::mem::zeroed() };
+        let rc = unsafe { fstat(f.as_raw_fd(), &mut st) };
+        assert_eq!(rc, 0);
+        assert!(st.st_size > 0, "st_size = {}", st.st_size);
+    }
+}

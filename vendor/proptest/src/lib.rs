@@ -1,0 +1,436 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Covers the subset this workspace's property tests use: `Strategy` with
+//! `prop_map`/`prop_recursive`, `any`, `Just`, ranges, tuples,
+//! `collection::vec`, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert*!` macros. Cases are generated from a deterministic
+//! per-test seed; there is no shrinking — a failure reports the failing
+//! case's generated inputs via the assertion message instead.
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A generator of random values of one type.
+    pub trait Strategy: 'static {
+        /// The generated type.
+        type Value: Debug + Clone + 'static;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases this strategy behind an `Arc`.
+        fn arced(self) -> ArcStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            let inner = Arc::new(move |rng: &mut TestRng| self.generate(rng));
+            ArcStrategy { inner }
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> ArcStrategy<U>
+        where
+            Self: Sized,
+            U: Debug + Clone + 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            let inner = Arc::new(move |rng: &mut TestRng| f(self.generate(rng)));
+            ArcStrategy { inner }
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf; `f` lifts a
+        /// strategy for depth-`d` values to depth-`d+1`. Each level mixes
+        /// the leaf back in so generated shapes vary (the real proptest
+        /// drives this from a size budget; a fixed leaf weight is enough
+        /// for these tests). `_size`/`_branch` are accepted for signature
+        /// compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            f: F,
+        ) -> ArcStrategy<Self::Value>
+        where
+            Self: Sized,
+            R: Strategy<Value = Self::Value>,
+            F: Fn(ArcStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.arced();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let rec = f(cur).arced();
+                cur = ArcStrategy::union(vec![(1, leaf.clone()), (2, rec)]);
+            }
+            cur
+        }
+    }
+
+    /// Reference-counted type-erased strategy (the stand-in for both
+    /// `BoxedStrategy` and the strategies returned by combinators).
+    pub struct ArcStrategy<T> {
+        inner: Arc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for ArcStrategy<T> {
+        fn clone(&self) -> Self {
+            ArcStrategy { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T: Debug + Clone + 'static> ArcStrategy<T> {
+        /// Weighted choice between strategies (backs `prop_oneof!`).
+        pub fn union(choices: Vec<(u32, ArcStrategy<T>)>) -> Self {
+            assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+            let total: u64 = choices.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            let inner = Arc::new(move |rng: &mut TestRng| {
+                let mut pick = rng.next_u64() % total;
+                for (w, s) in &choices {
+                    let w = u64::from(*w);
+                    if pick < w {
+                        return s.generate(rng);
+                    }
+                    pick -= w;
+                }
+                unreachable!("weighted pick out of range")
+            });
+            ArcStrategy { inner }
+        }
+    }
+
+    impl<T: Debug + Clone + 'static> Strategy for ArcStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.inner)(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Debug + Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical full-range strategy (`any::<T>()`).
+    pub trait Arbitrary: Debug + Clone + Sized + 'static {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_f64()
+        }
+    }
+
+    /// Full-range strategy for an [`Arbitrary`] type.
+    pub fn any<T: Arbitrary>() -> ArcStrategy<T> {
+        let inner = Arc::new(|rng: &mut TestRng| T::arbitrary(rng));
+        ArcStrategy { inner }
+    }
+
+    macro_rules! range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy_int!(u8, u16, u32, u64, usize);
+
+    macro_rules! range_strategy_signed {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy_signed!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(S0.0);
+    tuple_strategy!(S0.0, S1.1);
+    tuple_strategy!(S0.0, S1.1, S2.2);
+    tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+    tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+    tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for vectors: length drawn from `len`, elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for vectors whose length is drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic xorshift64* generator; each test derives its seed
+    /// from the test name so failures reproduce across runs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds from a test identifier (FNV-1a of the name).
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1_0000_01b3);
+            }
+            TestRng(h | 1)
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Per-proptest-block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::strategy::{any, ArcStrategy, Just, Strategy};
+    pub use super::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::ArcStrategy::union(vec![
+            $(($weight as u32, $crate::strategy::Strategy::arced($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::ArcStrategy::union(vec![
+            $((1u32, $crate::strategy::Strategy::arced($strat))),+
+        ])
+    };
+}
+
+/// Property assertion; fails the current case without panicking the
+/// runner loop.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)+), __a, __b),
+            ));
+        }
+    }};
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a != __b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a != __b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} == {:?})", format!($($fmt)+), __a, __b),
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` runs the
+/// body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!("proptest `{}` case {} failed: {}", stringify!($name), __case, __e);
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}

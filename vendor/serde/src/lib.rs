@@ -1,0 +1,444 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! The real serde abstracts over data formats; this workspace only ever
+//! serializes to and from JSON, so the vendored version collapses the
+//! data model to a single JSON-like [`value::Value`] tree:
+//!
+//! * [`ser::Serialize`] — convert `self` into a [`value::Value`];
+//! * [`de::Deserialize`] — rebuild `Self` from a [`value::Value`];
+//! * `#[derive(Serialize, Deserialize)]` — provided by the vendored
+//!   `serde_derive` proc-macro (structs with named fields; enums with
+//!   unit and struct variants; `#[serde(default)]` on fields).
+//!
+//! `serde_json` (also vendored) supplies the actual JSON text encoding
+//! and parsing on top of [`value::Value`].
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The JSON-shaped data model shared by Serialize and Deserialize.
+
+    /// A JSON value. Objects preserve insertion order (derive emits
+    /// fields in declaration order) so output is deterministic.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// A negative integer (anything non-negative parses as `U64`).
+        I64(i64),
+        /// A non-negative integer.
+        U64(u64),
+        /// A floating-point number.
+        F64(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, as ordered key/value pairs.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object's pairs, if this is an object.
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The array's elements, if this is an array.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an unsigned integer, if losslessly representable.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::U64(n) => Some(n),
+                Value::I64(n) if n >= 0 => Some(n as u64),
+                _ => None,
+            }
+        }
+
+        /// The value as a signed integer, if losslessly representable.
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::I64(n) => Some(n),
+                Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+                _ => None,
+            }
+        }
+
+        /// The value as a float (integers coerce).
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::F64(f) => Some(f),
+                Value::U64(n) => Some(n as f64),
+                Value::I64(n) => Some(n as f64),
+                _ => None,
+            }
+        }
+
+        /// The value as a bool.
+        pub fn as_bool(&self) -> Option<bool> {
+            match *self {
+                Value::Bool(b) => Some(b),
+                _ => None,
+            }
+        }
+
+        /// True if this is `null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        /// Member lookup: `Some(&value)` for a present object key.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object().and_then(|m| m.iter().find_map(|(k, v)| (k == key).then_some(v)))
+        }
+
+        /// Array element lookup.
+        pub fn get_index(&self, index: usize) -> Option<&Value> {
+            self.as_array().and_then(|a| a.get(index))
+        }
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        /// `value["key"]`, yielding `Null` for absent keys (serde_json
+        /// semantics).
+        fn index(&self, key: &str) -> &Value {
+            static NULL: Value = Value::Null;
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        /// `value[i]`, yielding `Null` out of bounds.
+        fn index(&self, index: usize) -> &Value {
+            static NULL: Value = Value::Null;
+            self.get_index(index).unwrap_or(&NULL)
+        }
+    }
+
+    /// Ordered-object field lookup used by derived `Deserialize` impls.
+    pub fn get_field<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        obj.iter().find_map(|(k, v)| (k == key).then_some(v))
+    }
+}
+
+pub mod ser {
+    //! Serialization half of the collapsed data model.
+
+    use crate::value::Value;
+
+    /// Types convertible into a JSON [`Value`].
+    pub trait Serialize {
+        /// Converts `self` to a value tree.
+        fn to_value(&self) -> Value;
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+
+    macro_rules! ser_unsigned {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value { Value::U64(*self as u64) }
+            }
+        )*};
+    }
+    macro_rules! ser_signed {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    if *self >= 0 { Value::U64(*self as u64) } else { Value::I64(*self as i64) }
+                }
+            }
+        )*};
+    }
+    ser_unsigned!(u8, u16, u32, u64, usize);
+    ser_signed!(i8, i16, i32, i64, isize);
+
+    impl Serialize for f64 {
+        fn to_value(&self) -> Value {
+            Value::F64(*self)
+        }
+    }
+
+    impl Serialize for f32 {
+        fn to_value(&self) -> Value {
+            Value::F64(f64::from(*self))
+        }
+    }
+
+    impl Serialize for bool {
+        fn to_value(&self) -> Value {
+            Value::Bool(*self)
+        }
+    }
+
+    impl Serialize for String {
+        fn to_value(&self) -> Value {
+            Value::String(self.clone())
+        }
+    }
+
+    impl Serialize for str {
+        fn to_value(&self) -> Value {
+            Value::String(self.to_owned())
+        }
+    }
+
+    impl Serialize for Value {
+        fn to_value(&self) -> Value {
+            self.clone()
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn to_value(&self) -> Value {
+            match self {
+                Some(v) => v.to_value(),
+                None => Value::Null,
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn to_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn to_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn to_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    macro_rules! ser_tuple {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Array(vec![$(self.$n.to_value()),+])
+                }
+            }
+        )*};
+    }
+    ser_tuple! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the collapsed data model.
+
+    use crate::value::Value;
+
+    /// A deserialization (or JSON syntax) error.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// Builds an error from any displayable message.
+        pub fn custom(msg: impl std::fmt::Display) -> Error {
+            Error(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Types reconstructible from a JSON [`Value`].
+    pub trait Deserialize: Sized {
+        /// Rebuilds `Self` from a value tree.
+        fn from_value(v: &Value) -> Result<Self, Error>;
+    }
+
+    fn expect<T>(v: &Value, what: &str, got: Option<T>) -> Result<T, Error> {
+        got.ok_or_else(|| Error(format!("expected {what}, found {v:?}")))
+    }
+
+    macro_rules! de_int {
+        ($($t:ty),*) => {$(
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    let n = expect(v, "an integer", v.as_i64().or_else(|| v.as_u64().map(|u| u as i64)))?;
+                    <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+                }
+            }
+        )*};
+    }
+    de_int!(u8, u16, u32, i8, i16, i32, i64, isize);
+
+    impl Deserialize for u64 {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            expect(v, "an unsigned integer", v.as_u64())
+        }
+    }
+
+    impl Deserialize for usize {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            expect(v, "an unsigned integer", v.as_u64()).map(|n| n as usize)
+        }
+    }
+
+    impl Deserialize for f64 {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            expect(v, "a number", v.as_f64())
+        }
+    }
+
+    impl Deserialize for f32 {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            expect(v, "a number", v.as_f64()).map(|f| f as f32)
+        }
+    }
+
+    impl Deserialize for bool {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            expect(v, "a bool", v.as_bool())
+        }
+    }
+
+    impl Deserialize for String {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            expect(v, "a string", v.as_str().map(str::to_owned))
+        }
+    }
+
+    impl Deserialize for Value {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            Ok(v.clone())
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Option<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Null => Ok(None),
+                other => T::from_value(other).map(Some),
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Vec<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Array(items) => items.iter().map(T::from_value).collect(),
+                other => Err(Error(format!("expected an array, found {other:?}"))),
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Box<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            T::from_value(v).map(Box::new)
+        }
+    }
+
+    macro_rules! de_tuple {
+        ($(($len:literal: $($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    match v {
+                        Value::Array(items) if items.len() == $len => {
+                            Ok(($($t::from_value(&items[$n])?,)+))
+                        }
+                        other => Err(Error(format!(
+                            "expected an array of {}, found {other:?}", $len
+                        ))),
+                    }
+                }
+            }
+        )*};
+    }
+    de_tuple! {
+        (1: 0 A)
+        (2: 0 A, 1 B)
+        (3: 0 A, 1 B, 2 C)
+        (4: 0 A, 1 B, 2 C, 3 D)
+        (5: 0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+}
+
+// Trait re-exports share names with the derive macros above — they live
+// in different namespaces, exactly as in the real serde.
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+#[cfg(test)]
+mod tests {
+    use crate::ser::Serialize as _;
+    use crate::value::Value;
+
+    #[test]
+    fn primitives_round_the_data_model() {
+        assert_eq!(5u32.to_value(), Value::U64(5));
+        assert_eq!((-3i64).to_value(), Value::I64(-3));
+        assert_eq!(2i32.to_value(), Value::U64(2));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(vec![1u8, 2].to_value(), Value::Array(vec![Value::U64(1), Value::U64(2)]));
+        assert_eq!((1usize, 2.5f64).to_value(), Value::Array(vec![Value::U64(1), Value::F64(2.5)]));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert!(v["missing"].is_null());
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn deserialize_coercions() {
+        use crate::de::Deserialize as _;
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(u32::from_value(&Value::U64(7)).unwrap(), 7);
+        assert!(u32::from_value(&Value::String("x".into())).is_err());
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+}

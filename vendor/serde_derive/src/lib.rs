@@ -1,0 +1,353 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde`'s collapsed JSON data model, without `syn`/`quote`
+//! (unavailable offline): the item definition is parsed directly from the
+//! `proc_macro` token stream and the impl is emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields (field attribute `#[serde(default)]`);
+//! * enums whose variants are unit or have named fields (serde's
+//!   externally-tagged representation: `"Variant"` /
+//!   `{"Variant": {...}}`).
+//!
+//! Generics, tuple structs and tuple variants are rejected with a panic
+//! at expansion time.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: fall back to `Default::default()` if absent.
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` = unit variant; `Some(fields)` = struct variant.
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn ident_of(t: &TokenTree) -> String {
+    match t {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected identifier, found {other}"),
+    }
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// True if the bracketed attribute body is `serde(... default ...)`.
+fn attr_is_serde_default(g: &Group) -> bool {
+    let mut toks = g.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Skips `#[...]` attributes at `toks[*i]`, returning whether any was
+/// `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while is_punct(toks.get(*i), '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            if attr_is_serde_default(g) {
+                default = true;
+            }
+        }
+        *i += 2;
+    }
+    default
+}
+
+/// Skips `pub` / `pub(...)` at `toks[*i]`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_item(ts: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind = ident_of(&toks[i]);
+    i += 1;
+    let name = ident_of(&toks[i]);
+    i += 1;
+    if is_punct(toks.get(i), '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let body_group = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.clone(),
+        _ => panic!("vendored serde_derive supports only brace-bodied items; `{name}` is not one"),
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_fields(body_group.stream())),
+        "enum" => Body::Enum(parse_variants(body_group.stream())),
+        other => panic!("cannot derive for item kind `{other}`"),
+    };
+    Item { name, body }
+}
+
+fn parse_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let default = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = ident_of(&toks[i]);
+        i += 1;
+        assert!(is_punct(toks.get(i), ':'), "expected `:` after field `{name}`");
+        i += 1;
+        // Consume the type: everything up to the next top-level comma,
+        // tracking angle-bracket depth (groups are atomic token trees, so
+        // only `<...>` nesting matters).
+        let mut angle_depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = ident_of(&toks[i]);
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde_derive does not support tuple variant `{name}`")
+            }
+            _ => None,
+        };
+        // Skip to (and over) the variant separator, tolerating explicit
+        // discriminants.
+        while i < toks.len() && !is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    out.push_str(IMPL_ATTRS);
+    out.push_str(&format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n"
+    ));
+    match &item.body {
+        Body::Struct(fields) => {
+            out.push_str(&ser_field_stmts(fields, |f| format!("&self.{f}")));
+            out.push_str("::serde::value::Value::Object(__fields)\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => out.push_str(&format!(
+                        "{name}::{vname} => ::serde::value::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Some(fields) => {
+                        let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        out.push_str(&format!("{name}::{vname} {{ {} }} => {{\n", pat.join(", ")));
+                        out.push_str(&ser_field_stmts(fields, |f| f.to_string()));
+                        // Externally-tagged envelope: {"Variant": {...}}.
+                        out.push_str(&format!(
+                            "::serde::value::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::value::Value::Object(__fields))])\n}},\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Emits statements declaring `__fields` and pushing every field's
+/// `(name, value)` pair, reading each field via `access`.
+fn ser_field_stmts(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+         ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{0}\"), \
+             ::serde::ser::Serialize::to_value({1})));\n",
+            f.name,
+            access(&f.name)
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    out.push_str(IMPL_ATTRS);
+    out.push_str(&format!(
+        "impl ::serde::de::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n"
+    ));
+    match &item.body {
+        Body::Struct(fields) => {
+            out.push_str(&format!(
+                "let __obj = match __v {{ \
+                 ::serde::value::Value::Object(__m) => __m, \
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(\"expected object for {name}\")) }};\n"
+            ));
+            out.push_str(&format!(
+                "::std::result::Result::Ok({})\n",
+                de_fields_literal(name, fields)
+            ));
+        }
+        Body::Enum(variants) => {
+            out.push_str("match __v {\n");
+            // Unit variants arrive as plain strings.
+            out.push_str("::serde::value::Value::String(__s) => match __s.as_str() {\n");
+            for v in variants.iter().filter(|v| v.fields.is_none()) {
+                out.push_str(&format!(
+                    "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                    v.name
+                ));
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n"
+            ));
+            // Struct variants arrive as single-key objects.
+            out.push_str(
+                "::serde::value::Value::Object(__pairs) if __pairs.len() == 1 => {\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {\n",
+            );
+            for v in variants.iter() {
+                if let Some(fields) = &v.fields {
+                    let vname = &v.name;
+                    out.push_str(&format!(
+                        "\"{vname}\" => {{ let __obj = match __inner {{ \
+                         ::serde::value::Value::Object(__m) => __m, \
+                         _ => return ::std::result::Result::Err(\
+                         ::serde::de::Error::custom(\
+                         \"expected object body for {name}::{vname}\")) }};\n\
+                         ::std::result::Result::Ok({})\n}},\n",
+                        de_fields_literal(&format!("{name}::{vname}"), fields)
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n}},\n"
+            ));
+            out.push_str(&format!(
+                "_ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"expected a variant of {name}\")),\n}}\n"
+            ));
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Emits a `Path { field: ..., }` literal deserializing every field from
+/// `__obj`.
+fn de_fields_literal(path: &str, fields: &[Field]) -> String {
+    let mut out = format!("{path} {{\n");
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"missing field `{}` in {}\"))",
+                f.name, path
+            )
+        };
+        out.push_str(&format!(
+            "{0}: match ::serde::value::get_field(__obj, \"{0}\") {{\n\
+             ::std::option::Option::Some(__fv) => \
+             ::serde::de::Deserialize::from_value(__fv)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            f.name
+        ));
+    }
+    out.push('}');
+    out
+}
