@@ -1,0 +1,66 @@
+//! Fault injection knobs.
+//!
+//! Each fault models a real failure mode of the sleep/wake/reclaim
+//! protocol on production hardware:
+//!
+//! * **delayed wakes** — the OS futex/IPI path delivering a condvar
+//!   notify late (after the sleeper's safety timeout already fired);
+//! * **spurious wake-ups** — POSIX condvars may wake without a notify;
+//! * **forced preemption** — the OS descheduling a thread for a long
+//!   stretch exactly at a marked yield point (e.g. a coordinator between
+//!   taking its supply snapshot and CASing the table);
+//! * **dropped steal responses** — a steal attempt that loses its race
+//!   and reports empty even though the victim had work (consumed by the
+//!   model's worker loop);
+//! * **coordinator-tick jitter** — the coordinator period stretching
+//!   under load (consumed by the model's coordinator loop).
+//!
+//! All probabilities are parts-per-million of the respective decision
+//! sites; all faults are driven by a dedicated PRNG seeded from the
+//! schedule seed, so a failing seed replays its faults identically.
+
+/// Fault-injection plan for one exploration. `Default` disables
+/// everything (pure schedule exploration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Probability (ppm) that a condvar notify is delivered late.
+    pub delayed_wake_ppm: u32,
+    /// Maximum virtual delay of a late notify, nanoseconds.
+    pub max_wake_delay_ns: u64,
+    /// Probability (ppm), per scheduling step, of a spurious wake-up of
+    /// one blocked condvar waiter.
+    pub spurious_wake_ppm: u32,
+    /// Probability (ppm) that a marked preemption point actually
+    /// preempts (virtual descheduling).
+    pub preempt_ppm: u32,
+    /// Maximum virtual preemption length, nanoseconds.
+    pub max_preempt_ns: u64,
+    /// Probability (ppm) that a model steal attempt is dropped even
+    /// though work was available.
+    pub drop_steal_ppm: u32,
+    /// Maximum extra virtual delay added to each model coordinator tick,
+    /// nanoseconds (0 disables jitter).
+    pub coord_jitter_ns: u64,
+}
+
+impl FaultPlan {
+    /// A moderate everything-on plan: each fault fires often enough to be
+    /// exercised within a few hundred schedules without drowning the
+    /// schedule space in noise.
+    pub fn aggressive() -> Self {
+        FaultPlan {
+            delayed_wake_ppm: 200_000,
+            max_wake_delay_ns: 60_000,
+            spurious_wake_ppm: 20_000,
+            preempt_ppm: 150_000,
+            max_preempt_ns: 50_000,
+            drop_steal_ppm: 150_000,
+            coord_jitter_ns: 25_000,
+        }
+    }
+
+    /// Is any scheduler-level fault enabled?
+    pub fn any_sched_fault(&self) -> bool {
+        self.delayed_wake_ppm > 0 || self.spurious_wake_ppm > 0 || self.preempt_ppm > 0
+    }
+}

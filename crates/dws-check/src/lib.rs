@@ -1,0 +1,72 @@
+//! # dws-check — deterministic schedule exploration for the DWS protocol
+//!
+//! The heart of the paper is a delicate decentralized protocol: workers
+//! release cores after `T_SLEEP` failed steals (Algorithm 1) and
+//! coordinators wake/reclaim per Eq. 1's three cases. Its rare races —
+//! lost wake-ups, double-reclaims, a coordinator racing a worker's
+//! release — cannot be reproduced by wall-clock tests. This crate is an
+//! in-house, vendored-only checker in the `loom`/`shuttle` style:
+//!
+//! * **Token-passing scheduler** ([`sched`]) — real OS threads, but only
+//!   one runs at a time; every instrumented operation is a *yield point*
+//!   where the scheduler picks the next thread. A whole execution is
+//!   therefore a pure function of its decision sequence.
+//! * **Virtual time** — `sleep`/`wait_for` deadlines live on a virtual
+//!   clock that advances per scheduling step (and jumps when every thread
+//!   is blocked), so timeout-vs-wake races are explored exhaustively
+//!   instead of waited for.
+//! * **Schedule sources** ([`source`]) — seed-replayable random search,
+//!   exact decision-vector replay, and bounded-DFS exhaustive
+//!   enumeration.
+//! * **Fault injection** ([`fault`]) — delayed wake delivery, spurious
+//!   condvar wake-ups, forced preemption at marked yield points; the
+//!   model layer adds dropped steal responses and coordinator-tick
+//!   jitter.
+//! * **Shim primitives** ([`sync`]) — `Atomic*`/`Mutex`/`Condvar` that
+//!   participate in the scheduler inside an exploration and degrade to
+//!   the real primitives outside one. `dws-rt` re-exports them from its
+//!   `sync` module under `--cfg dws_check`, so the *production*
+//!   `Sleeper` and `InProcessTable` run unmodified logic under the
+//!   checker.
+//! * **Protocol model + oracle** ([`model`], [`oracle`]) — a compact
+//!   model of the 2-program/4-core sleep/wake/reclaim system whose every
+//!   table transition is validated against the Table-1 ownership
+//!   protocol (the same invariants `dws-rt::ReplayChecker` enforces on
+//!   live traces).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dws_check::{explore_random, CheckOptions, Outcome};
+//! use dws_check::model::{self, ModelConfig};
+//!
+//! let report = explore_random(&CheckOptions::default(), 1, 100, |env, seed| {
+//!     model::spawn_model(env, &ModelConfig::small(), seed)
+//! });
+//! assert_eq!(report.schedules, 100);
+//! assert!(matches!(report.outcome, Outcome::Pass));
+//! ```
+//!
+//! A failing schedule reports its seed; rerunning the same seed replays
+//! the identical interleaving and event trace (see
+//! [`Explorer::replay`]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod explorer;
+pub mod fault;
+pub mod model;
+pub mod oracle;
+pub mod rng;
+pub mod sched;
+pub mod source;
+pub mod sync;
+
+pub use explorer::{
+    explore_dfs, explore_random, CheckOptions, Env, ExploreReport, Explorer, Outcome, PostCheck,
+    RunResult, ThreadHandle,
+};
+pub use fault::FaultPlan;
+pub use oracle::{Oracle, ProtoEvent, Violation};
+pub use source::Source;

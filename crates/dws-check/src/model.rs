@@ -1,0 +1,573 @@
+//! A compact executable model of the DWS sleep/wake/reclaim protocol.
+//!
+//! The model mirrors the runtime's architecture at the granularity the
+//! protocol cares about: one worker per `(program, core)` pair running
+//! Algorithm 1 (take tasks while owning the core; after `T_SLEEP`
+//! consecutive failed takes, release the core into the Table-1 core
+//! table and sleep with a safety timeout), plus one coordinator per
+//! program running Eq. 1's three-case wake logic over a racy snapshot —
+//! exactly the snapshot-then-act structure whose races the checker
+//! explores. Every successful table transition is logged immediately
+//! (no yield in between), giving a true linearization order for the
+//! [`Oracle`](crate::oracle::Oracle).
+//!
+//! [`Bug`] seeds deliberate protocol mutations for mutation-testing the
+//! checker itself: a checker that cannot catch a planted double-reclaim
+//! cannot be trusted to clear the real runtime.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::explorer::{Env, PostCheck};
+use crate::oracle::{Oracle, ProtoEvent};
+use crate::sync::{
+    fault_below, fault_hit, fault_plan, preempt_point, sleep, yield_now, AtomicBool, AtomicI32,
+    AtomicUsize, Condvar, Mutex, Ordering,
+};
+
+/// Core marked free in the table (mirrors `dws-rt`).
+pub const FREE: i32 = -1;
+
+/// Deliberately seeded protocol mutations (for checker mutation tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bug {
+    /// `try_reclaim` treats "already owned by me" as a fresh successful
+    /// reclaim instead of a no-op. A coordinator acting on a stale
+    /// snapshot then double-reclaims a core its own timed-out worker
+    /// just legitimately reclaimed.
+    DoubleReclaim,
+}
+
+/// Shape and timing of one model instance. All times are virtual
+/// nanoseconds.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Number of cores in the table.
+    pub cores: usize,
+    /// Number of co-running programs.
+    pub programs: usize,
+    /// Initial task count per program (`tasks.len() == programs`).
+    pub tasks: Vec<usize>,
+    /// Algorithm 1's `T_SLEEP`: consecutive failed takes before a worker
+    /// releases its core and sleeps.
+    pub t_sleep: u32,
+    /// Coordinator tick period.
+    pub coord_period_ns: u64,
+    /// Coordinator ticks before the coordinator exits.
+    pub coord_ticks: u32,
+    /// Safety timeout of a sleeping worker.
+    pub sleep_timeout_ns: u64,
+    /// Virtual duration of executing one task.
+    pub work_ns: u64,
+    /// Seeded protocol mutation, if any.
+    pub bug: Option<Bug>,
+}
+
+impl ModelConfig {
+    /// Tiny 2-core/2-program instance for fast smoke exploration.
+    pub fn small() -> Self {
+        ModelConfig {
+            cores: 2,
+            programs: 2,
+            tasks: vec![2, 1],
+            t_sleep: 1,
+            coord_period_ns: 20_000,
+            coord_ticks: 2,
+            sleep_timeout_ns: 15_000,
+            work_ns: 4_000,
+            bug: None,
+        }
+    }
+
+    /// The acceptance-target instance: 2 programs on 4 cores.
+    pub fn standard() -> Self {
+        ModelConfig {
+            cores: 4,
+            programs: 2,
+            tasks: vec![5, 2],
+            t_sleep: 2,
+            coord_period_ns: 30_000,
+            coord_ticks: 4,
+            sleep_timeout_ns: 20_000,
+            work_ns: 6_000,
+            bug: None,
+        }
+    }
+
+    /// Returns this config with a seeded bug.
+    pub fn with_bug(mut self, bug: Bug) -> Self {
+        self.bug = Some(bug);
+        self
+    }
+
+    /// Equipartition home map: `home[core]` = the program owning `core`
+    /// at start (contiguous blocks, as in the runtime).
+    pub fn home(&self) -> Vec<usize> {
+        (0..self.cores).map(|c| c * self.programs / self.cores).collect()
+    }
+}
+
+/// Eq. 1 wake target `N_w = N_b / N_a`; with no active worker, every
+/// queued task wants a worker.
+#[allow(clippy::manual_checked_ops)] // the zero case returns n_b, not None
+pub fn eq1_wake_target(n_b: usize, n_a: usize) -> usize {
+    if n_a == 0 {
+        n_b
+    } else {
+        n_b / n_a
+    }
+}
+
+/// Eq. 1's three-case split of a wake target into `(take_free,
+/// reclaim)`: free cores first (`N_w ≤ N_f`), then reclaims of own home
+/// cores (`N_f < N_w ≤ N_f + N_r`), capped at what exists.
+pub fn plan_wakes(n_w: usize, n_f: usize, n_r: usize) -> (usize, usize) {
+    if n_w <= n_f {
+        (n_w, 0)
+    } else if n_w <= n_f + n_r {
+        (n_f, n_w - n_f)
+    } else {
+        (n_f, n_r)
+    }
+}
+
+/// The model's Table-1 core-allocation table: `current[core]` is the
+/// owning program or [`FREE`], with the same CAS protocol as the
+/// runtime's `InProcessTable`. Successful transitions are logged
+/// atomically with the CAS (no yield point in between).
+pub struct ModelTable {
+    home: Vec<usize>,
+    current: Vec<AtomicI32>,
+    log: std::sync::Mutex<Vec<ProtoEvent>>,
+    bug: Option<Bug>,
+}
+
+impl ModelTable {
+    /// Creates a table fully owned per the home map.
+    pub fn new(home: Vec<usize>, bug: Option<Bug>) -> Self {
+        let current = home.iter().map(|&p| AtomicI32::new(p as i32)).collect();
+        ModelTable { home, current, log: std::sync::Mutex::new(Vec::new()), bug }
+    }
+
+    fn log_event(&self, e: ProtoEvent) {
+        self.log.lock().unwrap_or_else(|x| x.into_inner()).push(e);
+    }
+
+    /// Current owner of `core` ([`FREE`] or a program index).
+    pub fn current(&self, core: usize) -> i32 {
+        self.current[core].load(Ordering::SeqCst)
+    }
+
+    /// CAS-acquires a free core.
+    pub fn try_acquire_free(&self, prog: usize, core: usize) -> bool {
+        if self.current[core]
+            .compare_exchange(FREE, prog as i32, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.log_event(ProtoEvent::Acquire { prog, core });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reclaims one of `prog`'s home cores from whoever holds it (or
+    /// from free). Correctly returns `false` when `prog` already owns
+    /// the core — unless [`Bug::DoubleReclaim`] is seeded.
+    pub fn try_reclaim(&self, prog: usize, core: usize) -> bool {
+        debug_assert_eq!(self.home[core], prog, "reclaim of a non-home core");
+        loop {
+            let cur = self.current[core].load(Ordering::SeqCst);
+            if cur == prog as i32 {
+                if self.bug == Some(Bug::DoubleReclaim) {
+                    self.current[core].store(prog as i32, Ordering::SeqCst);
+                    self.log_event(ProtoEvent::Reclaim { prog, core });
+                    return true;
+                }
+                return false;
+            }
+            if self.current[core]
+                .compare_exchange(cur, prog as i32, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.log_event(ProtoEvent::Reclaim { prog, core });
+                return true;
+            }
+        }
+    }
+
+    /// Releases a core the caller owns; fails (without logging) if the
+    /// caller was evicted in the meantime.
+    pub fn release(&self, prog: usize, core: usize) -> bool {
+        if self.current[core]
+            .compare_exchange(prog as i32, FREE, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.log_event(ProtoEvent::Release { prog, core });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cores currently free (a racy snapshot, as in the runtime).
+    pub fn free_cores(&self) -> Vec<usize> {
+        (0..self.current.len()).filter(|&c| self.current(c) == FREE).collect()
+    }
+
+    /// `prog`'s home cores it does not currently own (a racy snapshot).
+    pub fn reclaimable_cores(&self, prog: usize) -> Vec<usize> {
+        (0..self.current.len())
+            .filter(|&c| self.home[c] == prog && self.current(c) != prog as i32)
+            .collect()
+    }
+
+    /// Owner per core (`None` = free). Intended for post-run checks.
+    pub fn snapshot(&self) -> Vec<Option<usize>> {
+        (0..self.current.len())
+            .map(|c| {
+                let cur = self.current(c);
+                if cur == FREE {
+                    None
+                } else {
+                    Some(cur as usize)
+                }
+            })
+            .collect()
+    }
+
+    /// Drains the event log.
+    pub fn take_log(&self) -> Vec<ProtoEvent> {
+        std::mem::take(&mut *self.log.lock().unwrap_or_else(|x| x.into_inner()))
+    }
+}
+
+/// Why a [`ModelSleeper::sleep`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// A wake permit was delivered.
+    Woken,
+    /// The safety timeout fired first.
+    TimedOut,
+}
+
+/// A port of the runtime `Sleeper`'s permit protocol over the shim
+/// primitives: a wake *before* the sleep must not be lost, a wake and a
+/// timeout must resolve to exactly one outcome, and spurious wake-ups
+/// must loop.
+#[derive(Default)]
+pub struct ModelSleeper {
+    sleeping: AtomicBool,
+    permit: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl ModelSleeper {
+    /// Creates an idle sleeper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until woken or (if given) the virtual timeout elapses.
+    pub fn sleep(&self, timeout: Option<Duration>) -> WakeReason {
+        self.sleeping.store(true, Ordering::SeqCst);
+        let mut g = self.permit.lock();
+        if *g {
+            *g = false;
+            drop(g);
+            self.sleeping.store(false, Ordering::SeqCst);
+            return WakeReason::Woken;
+        }
+        loop {
+            match timeout {
+                Some(d) => {
+                    let r = self.cond.wait_for(&mut g, d);
+                    if *g {
+                        *g = false;
+                        drop(g);
+                        self.sleeping.store(false, Ordering::SeqCst);
+                        return WakeReason::Woken;
+                    }
+                    if r.timed_out() {
+                        drop(g);
+                        self.sleeping.store(false, Ordering::SeqCst);
+                        return WakeReason::TimedOut;
+                    }
+                    // Spurious: keep waiting.
+                }
+                None => {
+                    self.cond.wait(&mut g);
+                    if *g {
+                        *g = false;
+                        drop(g);
+                        self.sleeping.store(false, Ordering::SeqCst);
+                        return WakeReason::Woken;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers a wake permit (never lost, even if the target has not
+    /// started sleeping yet).
+    pub fn wake(&self) {
+        let mut g = self.permit.lock();
+        *g = true;
+        self.cond.notify_one();
+    }
+
+    /// Whether the owner is currently inside [`ModelSleeper::sleep`].
+    pub fn is_sleeping(&self) -> bool {
+        self.sleeping.load(Ordering::SeqCst)
+    }
+}
+
+struct Shared {
+    cfg: ModelConfig,
+    home: Vec<usize>,
+    table: ModelTable,
+    queued: Vec<AtomicUsize>,
+    prog_remaining: Vec<AtomicUsize>,
+    sleepers: Vec<Vec<ModelSleeper>>,
+    awake: Vec<Vec<AtomicBool>>,
+}
+
+fn take_task(q: &AtomicUsize) -> bool {
+    loop {
+        let n = q.load(Ordering::SeqCst);
+        if n == 0 {
+            return false;
+        }
+        if q.compare_exchange(n, n - 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            return true;
+        }
+    }
+}
+
+fn worker_loop(sh: &Shared, prog: usize, core: usize) {
+    let t_sleep = sh.cfg.t_sleep.max(1);
+    let timeout = Duration::from_nanos(sh.cfg.sleep_timeout_ns.max(1));
+    let work = Duration::from_nanos(sh.cfg.work_ns.max(1));
+    let mut failed = 0u32;
+    loop {
+        if sh.prog_remaining[prog].load(Ordering::SeqCst) == 0 {
+            sh.table.release(prog, core);
+            sh.awake[prog][core].store(false, Ordering::SeqCst);
+            return;
+        }
+        if sh.table.current(core) != prog as i32 {
+            // Core not ours: sleep until the coordinator hands it over,
+            // or timeout-legitimize (the runtime's starvation safety
+            // valve in `go_to_sleep`).
+            sh.awake[prog][core].store(false, Ordering::SeqCst);
+            sh.table.log_event(ProtoEvent::Sleep { prog, worker: core });
+            match sh.sleepers[prog][core].sleep(Some(timeout)) {
+                WakeReason::Woken => {
+                    sh.table.log_event(ProtoEvent::Wake { prog, worker: core });
+                    sh.awake[prog][core].store(true, Ordering::SeqCst);
+                    failed = 0;
+                }
+                WakeReason::TimedOut => {
+                    preempt_point("worker-legitimize");
+                    let got = if sh.table.current(core) == prog as i32 {
+                        true
+                    } else if sh.home[core] == prog {
+                        sh.table.try_reclaim(prog, core)
+                    } else {
+                        sh.table.try_acquire_free(prog, core)
+                    };
+                    if got {
+                        sh.table.log_event(ProtoEvent::Wake { prog, worker: core });
+                        sh.awake[prog][core].store(true, Ordering::SeqCst);
+                        failed = 0;
+                    }
+                }
+            }
+            continue;
+        }
+        // Own the core: take a task from the program's queue.
+        preempt_point("worker-steal");
+        let stole = !fault_hit(fault_plan().drop_steal_ppm) && take_task(&sh.queued[prog]);
+        if stole {
+            sleep(work);
+            sh.prog_remaining[prog].fetch_sub(1, Ordering::SeqCst);
+            failed = 0;
+        } else {
+            failed += 1;
+            if failed >= t_sleep {
+                // Algorithm 1: T_SLEEP failed takes → release the core
+                // into the table and go to sleep (next iteration).
+                failed = 0;
+                sh.table.release(prog, core);
+            } else {
+                yield_now();
+            }
+        }
+    }
+}
+
+fn coordinator_loop(sh: &Shared, prog: usize) {
+    let period = sh.cfg.coord_period_ns.max(1);
+    for _ in 0..sh.cfg.coord_ticks {
+        if sh.prog_remaining[prog].load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let jitter = match fault_plan().coord_jitter_ns {
+            0 => 0,
+            j => fault_below(j),
+        };
+        sleep(Duration::from_nanos(period + jitter));
+        if sh.prog_remaining[prog].load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        // Snapshot — racy by design, like the runtime coordinator's.
+        preempt_point("coord-snapshot");
+        let n_b = sh.queued[prog].load(Ordering::SeqCst);
+        let n_a = (0..sh.cfg.cores).filter(|&c| sh.awake[prog][c].load(Ordering::SeqCst)).count();
+        let n_w = eq1_wake_target(n_b, n_a);
+        sh.table.log_event(ProtoEvent::CoordTick { prog, n_b, n_a, n_w });
+        if n_w == 0 {
+            continue;
+        }
+        let free = sh.table.free_cores();
+        let reclaimable = sh.table.reclaimable_cores(prog);
+        let (take_free, take_reclaim) = plan_wakes(n_w, free.len(), reclaimable.len());
+        preempt_point("coord-apply");
+        let mut gained = 0usize;
+        for &c in &free {
+            if gained >= take_free {
+                break;
+            }
+            if sh.table.try_acquire_free(prog, c) {
+                gained += 1;
+            }
+        }
+        let mut reclaimed = 0usize;
+        for &c in &reclaimable {
+            if reclaimed >= take_reclaim {
+                break;
+            }
+            preempt_point("coord-reclaim");
+            if sh.table.try_reclaim(prog, c) {
+                reclaimed += 1;
+            }
+        }
+        // Wake sleeping workers on cores we own, up to the wake target.
+        let mut woken = 0usize;
+        for c in 0..sh.cfg.cores {
+            if woken >= n_w {
+                break;
+            }
+            if sh.table.current(c) == prog as i32 && !sh.awake[prog][c].load(Ordering::SeqCst) {
+                sh.sleepers[prog][c].wake();
+                woken += 1;
+            }
+        }
+    }
+}
+
+/// Builds the model inside an exploration: spawns one worker per
+/// `(program, core)` and one coordinator per program, and returns the
+/// post-check closure that linearizes the event log, replays it through
+/// the [`Oracle`], and (on clean runs) verifies all tasks executed and
+/// the log agrees with the live table.
+pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool) -> PostCheck {
+    assert!(cfg.programs >= 1, "need at least one program");
+    assert!(cfg.cores >= cfg.programs, "need at least one core per program");
+    assert_eq!(cfg.tasks.len(), cfg.programs, "tasks.len() must equal programs");
+    let home = cfg.home();
+    let sh = Arc::new(Shared {
+        home: home.clone(),
+        table: ModelTable::new(home.clone(), cfg.bug),
+        queued: cfg.tasks.iter().map(|&t| AtomicUsize::new(t)).collect(),
+        prog_remaining: cfg.tasks.iter().map(|&t| AtomicUsize::new(t)).collect(),
+        sleepers: (0..cfg.programs)
+            .map(|_| (0..cfg.cores).map(|_| ModelSleeper::new()).collect())
+            .collect(),
+        awake: (0..cfg.programs)
+            .map(|p| (0..cfg.cores).map(|c| AtomicBool::new(home[c] == p)).collect())
+            .collect(),
+        cfg: cfg.clone(),
+    });
+    for p in 0..cfg.programs {
+        for c in 0..cfg.cores {
+            let sh2 = Arc::clone(&sh);
+            env.spawn(&format!("w{p}.{c}"), move || worker_loop(&sh2, p, c));
+        }
+        let sh2 = Arc::clone(&sh);
+        env.spawn(&format!("coord{p}"), move || coordinator_loop(&sh2, p));
+    }
+    move |clean: bool| {
+        let events = sh.table.take_log();
+        let mut error = None;
+        let mut oracle = Oracle::new(&home);
+        for &e in &events {
+            if let Err(v) = oracle.apply(e) {
+                error = Some(format!("protocol violation: {v}"));
+                break;
+            }
+        }
+        if error.is_none() && clean {
+            let left: usize = sh.prog_remaining.iter().map(|r| r.load(Ordering::SeqCst)).sum();
+            if left != 0 {
+                error = Some(format!("{left} tasks left unexecuted"));
+            } else {
+                let live = sh.table.snapshot();
+                if oracle.owners() != live.as_slice() {
+                    error = Some(format!(
+                        "event log and live table disagree: log says {:?}, table says {:?}",
+                        oracle.owners(),
+                        live
+                    ));
+                }
+            }
+        }
+        PostCheck { events, error }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_three_regimes() {
+        assert_eq!(eq1_wake_target(6, 0), 6);
+        assert_eq!(eq1_wake_target(6, 2), 3);
+        assert_eq!(eq1_wake_target(1, 4), 0);
+    }
+
+    #[test]
+    fn plan_wakes_cases() {
+        assert_eq!(plan_wakes(2, 3, 5), (2, 0)); // N_w ≤ N_f
+        assert_eq!(plan_wakes(4, 3, 5), (3, 1)); // N_f < N_w ≤ N_f + N_r
+        assert_eq!(plan_wakes(10, 3, 5), (3, 5)); // N_w > N_f + N_r
+    }
+
+    #[test]
+    fn home_map_is_equipartition() {
+        assert_eq!(ModelConfig::standard().home(), vec![0, 0, 1, 1]);
+        assert_eq!(ModelConfig::small().home(), vec![0, 1]);
+    }
+
+    #[test]
+    fn table_protocol_unmanaged() {
+        let t = ModelTable::new(vec![0, 0, 1, 1], None);
+        assert!(!t.try_acquire_free(1, 0)); // owned by 0
+        assert!(t.release(0, 0));
+        assert!(!t.release(0, 0)); // double release refused by CAS
+        assert!(t.try_acquire_free(1, 0));
+        assert!(t.try_reclaim(0, 0)); // home owner takes it back
+        assert!(!t.try_reclaim(0, 0)); // already owned: correctly a no-op
+        let log = t.take_log();
+        assert_eq!(log.len(), 3); // release, acquire, reclaim
+    }
+
+    #[test]
+    fn seeded_double_reclaim_mislogs() {
+        let t = ModelTable::new(vec![0, 0], Some(Bug::DoubleReclaim));
+        assert!(t.try_reclaim(0, 0)); // bug: "succeeds" while owning it
+        let log = t.take_log();
+        assert_eq!(log, vec![ProtoEvent::Reclaim { prog: 0, core: 0 }]);
+    }
+}

@@ -1,0 +1,260 @@
+//! The protocol oracle: Table-1 core-ownership invariants.
+//!
+//! A port of `dws-rt`'s `ReplayChecker` rules so the checker validates
+//! model traces against the *same* protocol contract the runtime
+//! enforces on live traces:
+//!
+//! 1. every core has exactly one owner (a program) or is free;
+//! 2. `Acquire` requires the core to be free;
+//! 3. `Reclaim` is only legal for the core's *home* program, and never
+//!    for a core that program already owns (a double-reclaim);
+//! 4. `Release` is only legal by the current owner (no double release).
+
+use std::fmt;
+
+/// One protocol-relevant event of a model run, in linearization order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoEvent {
+    /// Program `prog` took free core `core` from the table.
+    Acquire {
+        /// Acquiring program.
+        prog: usize,
+        /// Core index.
+        core: usize,
+    },
+    /// Program `prog` reclaimed its home core `core`.
+    Reclaim {
+        /// Reclaiming (home) program.
+        prog: usize,
+        /// Core index.
+        core: usize,
+    },
+    /// Program `prog` released core `core` back to the table.
+    Release {
+        /// Releasing program.
+        prog: usize,
+        /// Core index.
+        core: usize,
+    },
+    /// Worker `worker` of program `prog` went to sleep.
+    Sleep {
+        /// Program index.
+        prog: usize,
+        /// Worker index within the program.
+        worker: usize,
+    },
+    /// Worker `worker` of program `prog` was woken.
+    Wake {
+        /// Program index.
+        prog: usize,
+        /// Worker index within the program.
+        worker: usize,
+    },
+    /// Coordinator tick of program `prog` with its Eq. 1 inputs/output.
+    CoordTick {
+        /// Program index.
+        prog: usize,
+        /// Queued tasks observed (`N_b`).
+        n_b: usize,
+        /// Active workers observed (`N_a`).
+        n_a: usize,
+        /// Wake target computed (`N_w`).
+        n_w: usize,
+    },
+}
+
+impl fmt::Display for ProtoEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProtoEvent::Acquire { prog, core } => write!(f, "acquire  prog={prog} core={core}"),
+            ProtoEvent::Reclaim { prog, core } => write!(f, "reclaim  prog={prog} core={core}"),
+            ProtoEvent::Release { prog, core } => write!(f, "release  prog={prog} core={core}"),
+            ProtoEvent::Sleep { prog, worker } => write!(f, "sleep    prog={prog} worker={worker}"),
+            ProtoEvent::Wake { prog, worker } => write!(f, "wake     prog={prog} worker={worker}"),
+            ProtoEvent::CoordTick { prog, n_b, n_a, n_w } => {
+                write!(f, "coord    prog={prog} n_b={n_b} n_a={n_a} n_w={n_w}")
+            }
+        }
+    }
+}
+
+/// A protocol violation found while replaying a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the offending event in the replayed trace.
+    pub index: usize,
+    /// The offending event.
+    pub event: ProtoEvent,
+    /// Human-readable rule violation.
+    pub reason: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event #{} ({}): {}", self.index, self.event, self.reason)
+    }
+}
+
+/// Table-transition counts of a clean replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Number of `Acquire` events.
+    pub acquires: usize,
+    /// Number of `Reclaim` events.
+    pub reclaims: usize,
+    /// Number of `Release` events.
+    pub releases: usize,
+}
+
+/// Replays a trace against the ownership rules, starting (like the
+/// runtime's `ReplayChecker`) from the fully-owned equipartition state:
+/// every core owned by its home program.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    home: Vec<usize>,
+    owner: Vec<Option<usize>>,
+    next_index: usize,
+    /// Counts of table transitions replayed so far.
+    pub stats: OracleStats,
+}
+
+impl Oracle {
+    /// Creates an oracle for the given home map (`home[core]` = the
+    /// program that owns `core` at start).
+    pub fn new(home: &[usize]) -> Self {
+        Oracle {
+            home: home.to_vec(),
+            owner: home.iter().map(|&p| Some(p)).collect(),
+            next_index: 0,
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Current owner of each core (`None` = free).
+    pub fn owners(&self) -> &[Option<usize>] {
+        &self.owner
+    }
+
+    /// Applies one event, failing on the first rule violation.
+    pub fn apply(&mut self, event: ProtoEvent) -> Result<(), Violation> {
+        let index = self.next_index;
+        self.next_index += 1;
+        let fail = |reason: String| Err(Violation { index, event, reason });
+        match event {
+            ProtoEvent::Acquire { prog, core } => {
+                if core >= self.owner.len() {
+                    return fail(format!("acquire of nonexistent core {core}"));
+                }
+                if let Some(cur) = self.owner[core] {
+                    return fail(format!(
+                        "acquire of core {core} by prog {prog} while owned by prog {cur}"
+                    ));
+                }
+                self.owner[core] = Some(prog);
+                self.stats.acquires += 1;
+            }
+            ProtoEvent::Reclaim { prog, core } => {
+                if core >= self.owner.len() {
+                    return fail(format!("reclaim of nonexistent core {core}"));
+                }
+                if self.home[core] != prog {
+                    return fail(format!(
+                        "reclaim of core {core} by prog {prog} whose home is prog {}",
+                        self.home[core]
+                    ));
+                }
+                if self.owner[core] == Some(prog) {
+                    return fail(format!(
+                        "reclaim of core {core} by prog {prog} which already owns it"
+                    ));
+                }
+                self.owner[core] = Some(prog);
+                self.stats.reclaims += 1;
+            }
+            ProtoEvent::Release { prog, core } => {
+                if core >= self.owner.len() {
+                    return fail(format!("release of nonexistent core {core}"));
+                }
+                match self.owner[core] {
+                    None => {
+                        return fail(format!("double release of core {core} by prog {prog}"));
+                    }
+                    Some(cur) if cur != prog => {
+                        return fail(format!(
+                            "release of core {core} by prog {prog} while owned by prog {cur}"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+                self.owner[core] = None;
+                self.stats.releases += 1;
+            }
+            ProtoEvent::Sleep { .. } | ProtoEvent::Wake { .. } | ProtoEvent::CoordTick { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Replays a whole trace, returning the transition counts on success.
+    pub fn replay(home: &[usize], events: &[ProtoEvent]) -> Result<OracleStats, Violation> {
+        let mut o = Oracle::new(home);
+        for &e in events {
+            o.apply(e)?;
+        }
+        Ok(o.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOME: [usize; 4] = [0, 0, 1, 1];
+
+    #[test]
+    fn clean_cycle_replays() {
+        use ProtoEvent::*;
+        let trace = [
+            Release { prog: 0, core: 1 },
+            Acquire { prog: 1, core: 1 },
+            Release { prog: 1, core: 1 },
+            Reclaim { prog: 0, core: 1 },
+        ];
+        let stats = Oracle::replay(&HOME, &trace).expect("clean trace");
+        assert_eq!(stats, OracleStats { acquires: 1, reclaims: 1, releases: 2 });
+    }
+
+    #[test]
+    fn double_reclaim_is_caught() {
+        use ProtoEvent::*;
+        let trace = [
+            Release { prog: 0, core: 0 },
+            Reclaim { prog: 0, core: 0 },
+            Reclaim { prog: 0, core: 0 },
+        ];
+        let v = Oracle::replay(&HOME, &trace).unwrap_err();
+        assert_eq!(v.index, 2);
+        assert!(v.reason.contains("already owns it"), "{}", v.reason);
+    }
+
+    #[test]
+    fn foreign_reclaim_is_caught() {
+        use ProtoEvent::*;
+        let v = Oracle::replay(&HOME, &[Reclaim { prog: 1, core: 0 }]).unwrap_err();
+        assert!(v.reason.contains("whose home is"), "{}", v.reason);
+    }
+
+    #[test]
+    fn acquire_of_owned_core_is_caught() {
+        use ProtoEvent::*;
+        let v = Oracle::replay(&HOME, &[Acquire { prog: 1, core: 0 }]).unwrap_err();
+        assert!(v.reason.contains("while owned by"), "{}", v.reason);
+    }
+
+    #[test]
+    fn double_release_is_caught() {
+        use ProtoEvent::*;
+        let trace = [Release { prog: 0, core: 0 }, Release { prog: 0, core: 0 }];
+        let v = Oracle::replay(&HOME, &trace).unwrap_err();
+        assert!(v.reason.contains("double release"), "{}", v.reason);
+    }
+}

@@ -1,0 +1,121 @@
+//! Schedule sources: where scheduling decisions come from.
+//!
+//! Every point where the scheduler has more than one legal continuation
+//! (which runnable thread to run next, which condvar waiter a notify
+//! reaches) consults the run's [`Source`]. Because managed threads only
+//! execute between yield points and are otherwise deterministic, the
+//! decision sequence fully determines the execution — recording it gives
+//! replay, enumerating it gives bounded-exhaustive search.
+
+use crate::rng::XorShift64;
+
+/// A stream of scheduling decisions. Decisions are only consulted (and
+/// recorded) when more than one alternative exists.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// Pseudo-random choices from a seed. The workhorse: distinct seeds
+    /// give distinct schedules, and the same seed replays identically.
+    Random(XorShift64),
+    /// Replays an exact recorded decision vector (defaulting to 0 past
+    /// its end, which only happens if the program under test is itself
+    /// nondeterministic — reported by the explorer as a replay
+    /// divergence).
+    Replay {
+        /// The recorded decisions.
+        script: Vec<u32>,
+        /// Position of the next decision to replay.
+        pos: usize,
+    },
+    /// Depth-first enumeration: follow `prefix`, then always choose the
+    /// first alternative. The explorer inspects the recorded
+    /// `(choice, alternatives)` log after each run to compute the next
+    /// prefix, visiting every schedule of bounded length exactly once.
+    Dfs {
+        /// Forced decision prefix for this run.
+        prefix: Vec<u32>,
+        /// Position of the next decision.
+        pos: usize,
+    },
+}
+
+impl Source {
+    /// A random source from a seed.
+    pub fn random(seed: u64) -> Self {
+        Source::Random(XorShift64::new(seed))
+    }
+
+    /// Draws the next decision among `alternatives` (`> 1`). `log`
+    /// receives `(choice, alternatives)` for DFS frontier computation
+    /// and replay.
+    pub fn choose(&mut self, alternatives: u32, log: &mut Vec<(u32, u32)>) -> u32 {
+        debug_assert!(alternatives > 1);
+        let pick = match self {
+            Source::Random(rng) => rng.next_below(u64::from(alternatives)) as u32,
+            Source::Replay { script, pos } => {
+                let p = script.get(*pos).copied().unwrap_or(0).min(alternatives - 1);
+                *pos += 1;
+                p
+            }
+            Source::Dfs { prefix, pos } => {
+                let p = prefix.get(*pos).copied().unwrap_or(0).min(alternatives - 1);
+                *pos += 1;
+                p
+            }
+        };
+        log.push((pick, alternatives));
+        pick
+    }
+}
+
+/// Computes the next DFS prefix from a completed run's decision log, or
+/// `None` when the (bounded) space is exhausted: backtrack to the last
+/// decision with an untried alternative and advance it.
+pub fn next_dfs_prefix(log: &[(u32, u32)]) -> Option<Vec<u32>> {
+    for i in (0..log.len()).rev() {
+        let (choice, alts) = log[i];
+        if choice + 1 < alts {
+            let mut prefix: Vec<u32> = log[..i].iter().map(|&(c, _)| c).collect();
+            prefix.push(choice + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_reproduces_random() {
+        let mut log = Vec::new();
+        let mut s = Source::random(42);
+        let picks: Vec<u32> = (0..16).map(|_| s.choose(3, &mut log)).collect();
+        let script: Vec<u32> = log.iter().map(|&(c, _)| c).collect();
+        let mut log2 = Vec::new();
+        let mut r = Source::Replay { script, pos: 0 };
+        let replayed: Vec<u32> = (0..16).map(|_| r.choose(3, &mut log2)).collect();
+        assert_eq!(picks, replayed);
+    }
+
+    #[test]
+    fn dfs_enumerates_a_small_tree_exactly_once() {
+        // Simulated program: two decisions with 2 and 3 alternatives.
+        let mut seen = Vec::new();
+        let mut prefix = Vec::new();
+        loop {
+            let mut log = Vec::new();
+            let mut s = Source::Dfs { prefix: prefix.clone(), pos: 0 };
+            let a = s.choose(2, &mut log);
+            let b = s.choose(3, &mut log);
+            seen.push((a, b));
+            match next_dfs_prefix(&log) {
+                Some(p) => prefix = p,
+                None => break,
+            }
+        }
+        seen.sort_unstable();
+        let expect: Vec<(u32, u32)> = (0..2).flat_map(|a| (0..3).map(move |b| (a, b))).collect();
+        assert_eq!(seen, expect);
+    }
+}

@@ -1,0 +1,451 @@
+//! Checker-aware synchronization primitives.
+//!
+//! Drop-in replacements for the workspace's production primitives (std
+//! atomics + vendored `parking_lot` `Mutex`/`Condvar`). Each operation
+//! first checks whether the calling thread is *managed* (a thread of a
+//! live exploration, per the scheduler's thread-local context):
+//!
+//! * **managed** — the operation is a yield point: the scheduler may
+//!   hand the token to another thread before it proceeds. Blocking
+//!   operations (`Mutex::lock`, `Condvar::wait`, `sleep`) park in the
+//!   scheduler instead of the OS, and timeouts use the virtual clock.
+//! * **unmanaged** — the operation degrades to the real primitive with
+//!   identical semantics, so code built with `--cfg dws_check` still
+//!   behaves correctly outside an exploration.
+//!
+//! A single `Mutex`/`Condvar` instance must not be shared between
+//! managed and unmanaged threads: the managed side parks in the
+//! scheduler, which an unmanaged notifier does not know about. (As
+//! insurance, managed notifies also poke the real condvar.)
+//!
+//! Crucially, a managed `Mutex` holder never holds a real OS lock across
+//! a yield point — ownership is a plain atomic flag the scheduler
+//! understands — so descheduling a lock holder cannot wedge the running
+//! thread.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::AtomicBool as StdAtomicBool;
+use std::sync::{Condvar as SysCondvar, Mutex as SysMutex, MutexGuard as SysMutexGuard};
+use std::time::Duration;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::fault::FaultPlan;
+use crate::sched::{ctx, Resume};
+
+/// Yields to the scheduler if the caller is managed; no-op otherwise.
+fn yield_point() {
+    if let Some((ctrl, me)) = ctx() {
+        ctrl.reschedule(me);
+    }
+}
+
+/// Yield point for atomic loads (skippable via
+/// `CheckOptions::yield_on_loads`).
+fn yield_point_load() {
+    if let Some((ctrl, me)) = ctx() {
+        ctrl.reschedule_load(me);
+    }
+}
+
+macro_rules! shim_int_atomic {
+    ($(#[$m:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$m])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $prim) -> Self {
+                Self { inner: <$std>::new(v) }
+            }
+
+            /// Atomic load (a yield point under the checker).
+            pub fn load(&self, order: Ordering) -> $prim {
+                yield_point_load();
+                self.inner.load(order)
+            }
+
+            /// Atomic store (a yield point under the checker).
+            pub fn store(&self, v: $prim, order: Ordering) {
+                yield_point();
+                self.inner.store(v, order);
+            }
+
+            /// Atomic swap (a yield point under the checker).
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                yield_point();
+                self.inner.swap(v, order)
+            }
+
+            /// Atomic add, returning the previous value (a yield point
+            /// under the checker).
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                yield_point();
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Atomic subtract, returning the previous value (a yield
+            /// point under the checker).
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                yield_point();
+                self.inner.fetch_sub(v, order)
+            }
+
+            /// Atomic compare-and-exchange (a yield point under the
+            /// checker).
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                yield_point();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Atomic weak compare-and-exchange (a yield point under the
+            /// checker).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                yield_point();
+                self.inner.compare_exchange_weak(current, new, success, failure)
+            }
+        }
+    };
+}
+
+shim_int_atomic!(
+    /// Checker-aware `AtomicI32`.
+    AtomicI32,
+    std::sync::atomic::AtomicI32,
+    i32
+);
+shim_int_atomic!(
+    /// Checker-aware `AtomicU64`.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+shim_int_atomic!(
+    /// Checker-aware `AtomicUsize`.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+
+/// Checker-aware `AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: StdAtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: bool) -> Self {
+        Self { inner: StdAtomicBool::new(v) }
+    }
+
+    /// Atomic load (a yield point under the checker).
+    pub fn load(&self, order: Ordering) -> bool {
+        yield_point_load();
+        self.inner.load(order)
+    }
+
+    /// Atomic store (a yield point under the checker).
+    pub fn store(&self, v: bool, order: Ordering) {
+        yield_point();
+        self.inner.store(v, order);
+    }
+
+    /// Atomic swap (a yield point under the checker).
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        yield_point();
+        self.inner.swap(v, order)
+    }
+
+    /// Atomic compare-and-exchange (a yield point under the checker).
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        yield_point();
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+}
+
+/// Checker-aware mutex with the vendored-`parking_lot` API (`lock`
+/// returns a guard directly; no poisoning).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    locked: StdAtomicBool,
+    sys: SysMutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is serialized either by `sys` (unmanaged) or
+// by the `locked` flag under the single-running-thread scheduler
+// (managed), mirroring a plain mutex.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            locked: StdAtomicBool::new(false),
+            sys: SysMutex::new(()),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        &self.locked as *const StdAtomicBool as usize
+    }
+
+    /// Acquires the mutex, blocking (in the scheduler when managed)
+    /// until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match ctx() {
+            Some((ctrl, me)) => {
+                loop {
+                    ctrl.reschedule(me);
+                    if self
+                        .locked
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    ctrl.block_lock(me, self.addr());
+                }
+                MutexGuard { lock: self, sys: None, managed: true }
+            }
+            None => {
+                let g = self.sys.lock().unwrap_or_else(|e| e.into_inner());
+                MutexGuard { lock: self, sys: Some(g), managed: false }
+            }
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    sys: Option<SysMutexGuard<'a, ()>>,
+    managed: bool,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive access (see Mutex safety
+        // comment).
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as for Deref, plus the guard is borrowed mutably.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.managed {
+            self.lock.locked.store(false, Ordering::SeqCst);
+            if let Some((ctrl, _)) = ctx() {
+                ctrl.unlock_wake(self.lock.addr());
+            }
+        }
+        // Unmanaged: dropping `sys` releases the real mutex.
+    }
+}
+
+/// Result of a [`Condvar::wait_for`], mirroring the vendored
+/// `parking_lot` type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Did the wait end because the timeout elapsed (rather than a
+    /// notification or spurious wake)?
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Checker-aware condition variable with the vendored-`parking_lot` API
+/// (`wait` takes `&mut MutexGuard` and reacquires before returning).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    sys: SysCondvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { sys: SysCondvar::new() }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    fn wait_inner<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Option<Duration>) -> Resume {
+        match ctx() {
+            Some((ctrl, me)) if guard.managed => {
+                // Release the mutex; we keep the token until block_cond,
+                // so no notify can slip into the gap.
+                guard.lock.locked.store(false, Ordering::SeqCst);
+                ctrl.unlock_wake(guard.lock.addr());
+                let resume = ctrl.block_cond(me, self.addr(), timeout);
+                // Reacquire before returning, as parking_lot does.
+                loop {
+                    if guard
+                        .lock
+                        .locked
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    ctrl.block_lock(me, guard.lock.addr());
+                }
+                resume
+            }
+            _ => {
+                let g = guard.sys.take().expect("condvar used across managed/unmanaged modes");
+                match timeout {
+                    None => {
+                        let g = self.sys.wait(g).unwrap_or_else(|e| e.into_inner());
+                        guard.sys = Some(g);
+                        Resume::Notified
+                    }
+                    Some(d) => {
+                        let (g, r) = self.sys.wait_timeout(g, d).unwrap_or_else(|e| e.into_inner());
+                        guard.sys = Some(g);
+                        if r.timed_out() {
+                            Resume::TimedOut
+                        } else {
+                            Resume::Notified
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks until notified (or spuriously woken), releasing the mutex
+    /// while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.wait_inner(guard, None);
+    }
+
+    /// Blocks until notified or the timeout elapses (virtual time when
+    /// managed).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let resume = self.wait_inner(guard, Some(timeout));
+        WaitTimeoutResult(resume == Resume::TimedOut)
+    }
+
+    /// Wakes one waiter. Which waiter (when several) is a schedule
+    /// decision under the checker; delivery may be fault-delayed.
+    pub fn notify_one(&self) {
+        if let Some((ctrl, _)) = ctx() {
+            ctrl.notify_cond(self.addr(), false);
+        }
+        // Insurance for (unsupported) mixed-mode use, and the real path
+        // when unmanaged.
+        self.sys.notify_all();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        if let Some((ctrl, _)) = ctx() {
+            ctrl.notify_cond(self.addr(), true);
+        }
+        self.sys.notify_all();
+    }
+}
+
+/// Sleeps on the virtual clock when managed, the wall clock otherwise.
+pub fn sleep(d: Duration) {
+    match ctx() {
+        Some((ctrl, me)) => ctrl.sleep_virtual(me, d),
+        None => std::thread::sleep(d),
+    }
+}
+
+/// Yields: a schedule decision when managed, `std::thread::yield_now`
+/// otherwise.
+pub fn yield_now() {
+    match ctx() {
+        Some((ctrl, me)) => ctrl.reschedule(me),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// A marked preemption point (`tag` is for human-readable traces only).
+/// Under the checker's fault plan the calling thread may be virtually
+/// descheduled here; in production this compiles to nothing.
+pub fn preempt_point(_tag: &str) {
+    if let Some((ctrl, me)) = ctx() {
+        ctrl.preempt_point(me);
+    }
+}
+
+/// Is the calling thread part of a live exploration?
+pub fn is_managed() -> bool {
+    ctx().is_some()
+}
+
+/// Bernoulli draw from the exploration's fault PRNG; always `false`
+/// unmanaged.
+pub fn fault_hit(ppm: u32) -> bool {
+    match ctx() {
+        Some((ctrl, _)) => ctrl.fault_hit(ppm),
+        None => false,
+    }
+}
+
+/// Uniform draw in `[0, bound)` from the fault PRNG; `0` unmanaged.
+pub fn fault_below(bound: u64) -> u64 {
+    match ctx() {
+        Some((ctrl, _)) => ctrl.fault_below(bound),
+        None => 0,
+    }
+}
+
+/// The exploration's fault plan; all-zeros unmanaged.
+pub fn fault_plan() -> FaultPlan {
+    match ctx() {
+        Some((ctrl, _)) => ctrl.fault_plan(),
+        None => FaultPlan::default(),
+    }
+}
+
+/// Current virtual time in nanoseconds; `0` unmanaged.
+pub fn now_ns() -> u64 {
+    match ctx() {
+        Some((ctrl, _)) => ctrl.now_ns(),
+        None => 0,
+    }
+}

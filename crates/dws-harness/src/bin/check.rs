@@ -1,0 +1,234 @@
+//! `check` — deterministic schedule exploration of the DWS sleep /
+//! wake / reclaim protocol (the `dws-check` front end).
+//!
+//! Runs the Table-1 protocol model (two co-running programs, four cores,
+//! per-program coordinator + workers) under the virtual-time scheduler
+//! and reports how much of the schedule space was covered. On a failure
+//! it prints the seed and the linearized protocol event trace, and exits
+//! nonzero; `--replay <seed>` reproduces that exact interleaving.
+//!
+//! ```text
+//! cargo run --release --bin check                     # 10k random schedules
+//! cargo run --release --bin check -- --dfs            # bounded exhaustive DFS
+//! cargo run --release --bin check -- --faults         # + fault injection
+//! cargo run --release --bin check -- --bug double-reclaim   # mutation demo
+//! cargo run --release --bin check -- --replay 0x2a9f41c3    # reproduce
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dws_check::model::{self, Bug, ModelConfig};
+use dws_check::{CheckOptions, Env, Explorer, FaultPlan, RunResult};
+
+struct Cli {
+    iters: u64,
+    seed: u64,
+    replay: Option<u64>,
+    dfs: bool,
+    max_steps: u64,
+    faults: bool,
+    small: bool,
+    fast: bool,
+    bug: Option<Bug>,
+}
+
+const USAGE: &str = "usage: check [OPTIONS]
+  --iters <n>      random schedules to explore (default 10000)
+  --seed <s>       base seed for the random source (default 0xD0C5)
+  --replay <s>     re-run one seed and print its full event trace
+  --dfs            bounded exhaustive DFS instead of random exploration
+                   (--iters caps the number of schedules)
+  --max-steps <n>  per-run scheduling-step budget (default 20000)
+  --faults         enable aggressive fault injection (delayed/spurious
+                   wakes, preemption storms, dropped steals)
+  --small          1-core-per-program model instead of the standard
+                   2-program/4-core one
+  --fast           coarser atomicity (loads are not yield points); much
+                   higher schedule throughput
+  --bug double-reclaim
+                   seed the double-reclaim mutation (the run SHOULD fail;
+                   exits 0 only if the checker catches it)";
+
+fn parse() -> Result<Cli, String> {
+    let mut cli = Cli {
+        iters: 10_000,
+        seed: 0xD0C5,
+        replay: None,
+        dfs: false,
+        max_steps: 20_000,
+        faults: false,
+        small: false,
+        fast: false,
+        bug: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let num = |args: &[String], i: usize| -> Result<u64, String> {
+        let v = args.get(i + 1).ok_or_else(|| format!("{} needs a value", args[i]))?;
+        let v = v.trim();
+        let parsed = match v.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => v.parse(),
+        };
+        parsed.map_err(|_| format!("bad number for {}: {v}", args[i]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                cli.iters = num(&args, i)?;
+                i += 1;
+            }
+            "--seed" => {
+                cli.seed = num(&args, i)?;
+                i += 1;
+            }
+            "--replay" => {
+                cli.replay = Some(num(&args, i)?);
+                i += 1;
+            }
+            "--max-steps" => {
+                cli.max_steps = num(&args, i)?;
+                i += 1;
+            }
+            "--dfs" => cli.dfs = true,
+            "--faults" => cli.faults = true,
+            "--small" => cli.small = true,
+            "--fast" => cli.fast = true,
+            "--bug" => {
+                let v = args.get(i + 1).ok_or("--bug needs a value")?;
+                cli.bug = Some(match v.as_str() {
+                    "double-reclaim" => Bug::DoubleReclaim,
+                    other => return Err(format!("unknown bug `{other}`")),
+                });
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn print_failure(r: &RunResult) {
+    println!("FAIL  seed 0x{:x}  ({} steps, {} virtual ns)", r.seed, r.steps, r.virtual_ns);
+    println!("  {}", r.failure.as_deref().unwrap_or("(no failure message)"));
+    println!("  protocol events ({}):", r.events.len());
+    for (i, e) in r.events.iter().enumerate() {
+        println!("    {i:4}  {e:?}");
+    }
+    println!("\nreproduce with:  check --replay 0x{:x}{}", r.seed, replay_flags());
+}
+
+// --replay re-derives the schedule from the seed, so the model/fault
+// flags must match; remind the user which ones were active.
+fn replay_flags() -> String {
+    let mut s = String::new();
+    for flag in ["--faults", "--small", "--fast", "--dfs"] {
+        if std::env::args().any(|a| a == flag) {
+            s.push(' ');
+            s.push_str(flag);
+        }
+    }
+    if let Some(i) = std::env::args().position(|a| a == "--bug") {
+        if let Some(v) = std::env::args().nth(i + 1) {
+            s.push_str(" --bug ");
+            s.push_str(&v);
+        }
+    }
+    s
+}
+
+fn main() -> ExitCode {
+    let cli = match parse() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cfg = if cli.small { ModelConfig::small() } else { ModelConfig::standard() };
+    let cfg = match cli.bug {
+        Some(b) => cfg.with_bug(b),
+        None => cfg,
+    };
+    let opts = CheckOptions {
+        max_steps: cli.max_steps,
+        faults: if cli.faults { FaultPlan::aggressive() } else { FaultPlan::default() },
+        yield_on_loads: !cli.fast,
+        ..CheckOptions::default()
+    };
+    let model_cfg = cfg.clone();
+    let explorer =
+        Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &model_cfg, seed));
+
+    println!(
+        "model: {} programs x {} cores{}{}{}",
+        cfg.home().iter().max().map_or(1, |m| m + 1),
+        cfg.home().len(),
+        if cli.faults { ", aggressive faults" } else { "" },
+        if cli.fast { ", fast (coarse loads)" } else { "" },
+        match cli.bug {
+            Some(Bug::DoubleReclaim) => ", seeded bug: double-reclaim",
+            None => "",
+        },
+    );
+
+    if let Some(seed) = cli.replay {
+        let r = explorer.run_seed(seed);
+        match &r.failure {
+            Some(_) => {
+                print_failure(&r);
+                return ExitCode::FAILURE;
+            }
+            None => {
+                println!(
+                    "PASS  seed 0x{seed:x}  ({} steps, {} virtual ns, {} events)",
+                    r.steps,
+                    r.virtual_ns,
+                    r.events.len()
+                );
+                return ExitCode::SUCCESS;
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let report =
+        if cli.dfs { explorer.dfs(cli.iters) } else { explorer.random(cli.seed, cli.iters) };
+    let dt = start.elapsed();
+    let rate = report.schedules as f64 / dt.as_secs_f64().max(1e-9);
+    println!(
+        "{}: {} schedules ({} distinct) in {:.2?}  [{:.0}/s]",
+        if cli.dfs { "dfs" } else { "random" },
+        report.schedules,
+        report.distinct,
+        dt,
+        rate,
+    );
+
+    match report.failing() {
+        None if cli.bug.is_some() => {
+            println!("MISSED: the seeded bug survived exploration");
+            ExitCode::FAILURE
+        }
+        None => {
+            println!("PASS: no protocol violation found");
+            ExitCode::SUCCESS
+        }
+        Some(r) if cli.bug.is_some() => {
+            print_failure(r);
+            println!("CAUGHT: the seeded bug was detected (exit 0 for mutation runs)");
+            ExitCode::SUCCESS
+        }
+        Some(r) => {
+            print_failure(r);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,8 +14,9 @@
 //! * [`crate::shm::ShmTable`] — the paper's actual mechanism, an
 //!   `mmap(2)`-shared file usable across processes (§3.4).
 
-use std::sync::atomic::{AtomicI32, Ordering};
 use std::sync::Arc;
+
+use crate::sync::{AtomicI32, Mutex, Ordering};
 
 use crate::trace::{
     now_us, EventRing, ReplayChecker, ReplayStats, ReplayViolation, RtEvent, TimedEvent,
@@ -176,7 +177,7 @@ impl CoreTable for InProcessTable {
 pub struct TracedTable {
     inner: Arc<dyn CoreTable>,
     ring: EventRing,
-    order: parking_lot::Mutex<()>,
+    order: Mutex<()>,
 }
 
 impl std::fmt::Debug for TracedTable {
@@ -191,7 +192,7 @@ impl std::fmt::Debug for TracedTable {
 impl TracedTable {
     /// Wraps `inner`, retaining up to `capacity` transition events.
     pub fn new(inner: Arc<dyn CoreTable>, capacity: usize) -> Self {
-        TracedTable { inner, ring: EventRing::new(capacity), order: parking_lot::Mutex::new(()) }
+        TracedTable { inner, ring: EventRing::new(capacity), order: Mutex::new(()) }
     }
 
     /// The recorded transition stream, in table order.

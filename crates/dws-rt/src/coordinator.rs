@@ -6,25 +6,44 @@
 //! free cores first, then its own cores reclaimed from other programs,
 //! never a core another program holds and has not released.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::config::Policy;
 use crate::metrics::RtMetrics;
 use crate::registry::Registry;
 use crate::rng::VictimRng;
+use crate::sync::{preempt_point, Ordering};
 use crate::trace::{CoordCase, RtEvent, LANE_SHARED};
 
 /// Eq. 1 with the divide-by-zero guard (all workers asleep but work is
 /// queued ⇒ demand is the queue length itself).
 #[allow(clippy::manual_checked_ops)]
-pub(crate) fn eq1_wake_target(queued: usize, active: usize) -> usize {
+pub fn eq1_wake_target(queued: usize, active: usize) -> usize {
     // Not a checked division: the zero-active case deliberately returns
     // the queue length (see the paper-deviation notes in DESIGN.md).
     if active == 0 {
         queued
     } else {
         queued / active
+    }
+}
+
+/// The §3.3 three-case split: given the wake target `n_w` and the table
+/// supply (`n_f` free cores, `n_r` reclaimable cores), returns how many
+/// cores to take from each pool as `(from_free, from_reclaim)`.
+///
+/// * `N_w ≤ N_f` — free cores alone satisfy demand; reclaim nothing.
+/// * `N_f < N_w ≤ N_f + N_r` — take every free core and reclaim the
+///   shortfall from the program's own released cores.
+/// * `N_w > N_f + N_r` — take everything available; never touch a core
+///   another program holds and has not released.
+pub fn plan_wakes(n_w: usize, n_f: usize, n_r: usize) -> (usize, usize) {
+    if n_w <= n_f {
+        (n_w, 0)
+    } else if n_w <= n_f + n_r {
+        (n_f, n_w - n_f)
+    } else {
+        (n_f, n_r)
     }
 }
 
@@ -88,6 +107,7 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
             // Case analysis (§3.3). Work against a snapshot of the free
             // list; every take is an atomic CAS so races with other
             // programs' coordinators are safe (a lost CAS just skips).
+            preempt_point("coord-snapshot");
             let mut free = table.free_cores();
             let reclaimable = table.reclaimable_cores(prog);
             let n_f = free.len();
@@ -96,13 +116,10 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
                 record_decision(queued, active, n_f, n_r, n_w);
             }
 
-            let (want_free, want_reclaim) = if n_w <= n_f {
-                (n_w, 0)
-            } else if n_w <= n_f + n_r {
-                (n_f, n_w - n_f)
-            } else {
-                (n_f, n_r)
-            };
+            let (want_free, want_reclaim) = plan_wakes(n_w, n_f, n_r);
+            // The snapshot is stale by now under contention; the CAS
+            // grants below are what keep it safe.
+            preempt_point("coord-apply");
 
             // Random selection among free cores (paper: "randomly selects
             // N_w free cores").
@@ -161,7 +178,7 @@ pub(crate) fn coordinator_loop(reg: Arc<Registry>) {
         let mut slept = std::time::Duration::ZERO;
         while slept < period {
             let step = chunk.min(period - slept);
-            std::thread::sleep(step);
+            crate::sync::sleep(step);
             slept += step;
             if reg.shutdown.load(Ordering::Acquire) {
                 break 'outer;
@@ -182,5 +199,13 @@ mod tests {
         assert_eq!(eq1_wake_target(4, 4), 1);
         assert_eq!(eq1_wake_target(100, 4), 25);
         assert_eq!(eq1_wake_target(6, 0), 6);
+    }
+
+    #[test]
+    fn plan_wakes_three_cases() {
+        assert_eq!(plan_wakes(2, 3, 1), (2, 0)); // N_w <= N_f
+        assert_eq!(plan_wakes(4, 3, 2), (3, 1)); // N_f < N_w <= N_f + N_r
+        assert_eq!(plan_wakes(9, 3, 2), (3, 2)); // N_w > N_f + N_r
+        assert_eq!(plan_wakes(0, 3, 2), (0, 0));
     }
 }

@@ -69,10 +69,12 @@ mod rng;
 mod scope;
 pub mod shm;
 mod sleep;
+pub mod sync;
 pub mod trace;
 
 pub use alloc_table::{equipartition_home, CoreTable, InProcessTable, TracedTable};
 pub use config::{Policy, RuntimeConfig, TraceConfig};
+pub use coordinator::{eq1_wake_target, plan_wakes};
 pub use join::join;
 pub use metrics::{
     AggregatedHistograms, HistogramSnapshot, MetricsSnapshot, WorkerMetricsSnapshot,

@@ -7,7 +7,6 @@
 //! [`crate::config::Policy`].
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -22,6 +21,7 @@ use crate::latch::LockLatch;
 use crate::metrics::{AggregatedHistograms, MetricsSnapshot, RtMetrics, WorkerMetricsSnapshot};
 use crate::rng::VictimRng;
 use crate::sleep::{Sleeper, WakeReason};
+use crate::sync::{preempt_point, AtomicBool, AtomicUsize, Ordering};
 use crate::trace::{RtEvent, RtTrace, TraceSnapshot, LANE_SHARED};
 
 thread_local! {
@@ -85,6 +85,7 @@ impl Registry {
             Policy::Dws => {
                 for &w in &sleeping {
                     let core = self.workers[w].core;
+                    preempt_point("ensure-progress-legitimize");
                     let got = if self.table.current(core) == Some(self.prog_id) {
                         true
                     } else if self.table.try_acquire_free(core, self.prog_id) {
@@ -560,6 +561,7 @@ impl WorkerThread {
                         continue;
                     }
                     if reg.effective_policy == Policy::Dws {
+                        preempt_point("worker-legitimize");
                         let legit = if reg.table.current(core) == Some(reg.prog_id) {
                             true
                         } else if reg.table.try_acquire_free(core, reg.prog_id) {

@@ -6,10 +6,9 @@
 //! being granted — matching the paper's "wake up the workers on the
 //! correspondence cores".
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{AtomicBool, Condvar, Mutex, Ordering};
 
 /// Why a sleeping worker resumed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

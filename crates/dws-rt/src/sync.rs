@@ -1,0 +1,37 @@
+//! Synchronization shim: real primitives in production, checker-
+//! instrumented ones under `--cfg dws_check`.
+//!
+//! Every atomic, mutex, and condvar the sleep/wake/reclaim protocol
+//! touches is imported through this module instead of `std` /
+//! `parking_lot` directly. A normal build re-exports the real types, so
+//! there is zero overhead. Building with `RUSTFLAGS="--cfg dws_check"`
+//! (loom-style) swaps in [`dws_check::sync`], whose primitives are
+//! yield points for the deterministic token-passing scheduler — the
+//! *production* `Sleeper`, `InProcessTable`, and coordinator logic then
+//! run unmodified under exhaustive schedule exploration.
+//!
+//! [`preempt_point`] additionally marks protocol-critical windows (the
+//! gap between a coordinator snapshot and its apply phase, a worker's
+//! timeout-legitimize path) where the checker may force a virtual
+//! preemption; in production it compiles to nothing.
+
+#[cfg(dws_check)]
+pub use dws_check::sync::{
+    preempt_point, sleep, yield_now, AtomicBool, AtomicI32, AtomicUsize, Condvar, Mutex,
+    MutexGuard, Ordering, WaitTimeoutResult,
+};
+
+#[cfg(not(dws_check))]
+pub use real::*;
+
+#[cfg(not(dws_check))]
+mod real {
+    pub use parking_lot::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+    pub use std::sync::atomic::{AtomicBool, AtomicI32, AtomicUsize, Ordering};
+    pub use std::thread::{sleep, yield_now};
+
+    /// Marks a protocol-critical window for the checker's forced-
+    /// preemption fault injector. A no-op in production builds.
+    #[inline(always)]
+    pub fn preempt_point(_tag: &str) {}
+}

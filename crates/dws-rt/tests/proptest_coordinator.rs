@@ -1,0 +1,67 @@
+//! Property tests for the runtime coordinator's Eq. 1 / §3.3 arithmetic
+//! (`eq1_wake_target`, `plan_wakes`), mirroring the simulator's
+//! `coordinator_respects_constraints` suite so both implementations are
+//! pinned to the same paper semantics. The cross-crate agreement test
+//! lives in `tests/protocol_mirror.rs`.
+
+use dws_rt::{eq1_wake_target, plan_wakes};
+use proptest::prelude::*;
+
+proptest! {
+    /// Eq. 1 is floor division of demand by active workers: the target
+    /// `n_w` is the unique integer with `n_w·N_a ≤ N_b < (n_w+1)·N_a`.
+    #[test]
+    fn eq1_is_floor_division(queued in 0usize..10_000, active in 1usize..64) {
+        let n_w = eq1_wake_target(queued, active);
+        prop_assert!(n_w * active <= queued);
+        prop_assert!(queued < (n_w + 1) * active);
+    }
+
+    /// The zero-active guard: with every worker asleep, demand is the
+    /// queue length itself (waking at least one worker when work exists).
+    #[test]
+    fn eq1_zero_active_returns_queue(queued in 0usize..10_000) {
+        prop_assert_eq!(eq1_wake_target(queued, 0), queued);
+    }
+
+    /// The three §3.3 cases, exhaustively over random demand/supply:
+    ///
+    /// * `N_w ≤ N_f` — only free cores, exactly `N_w` of them;
+    /// * `N_f < N_w ≤ N_f + N_r` — all free plus exactly the shortfall;
+    /// * `N_w > N_f + N_r` — everything available and nothing more.
+    ///
+    /// Never plans beyond the supply (constraint 3: unreleased foreign
+    /// cores are untouchable, so they are simply not part of `n_f`/`n_r`).
+    #[test]
+    fn plan_wakes_respects_the_three_cases(
+        n_w in 0usize..64,
+        n_f in 0usize..32,
+        n_r in 0usize..32,
+    ) {
+        let (from_free, from_reclaim) = plan_wakes(n_w, n_f, n_r);
+        prop_assert!(from_free <= n_f, "plans more free cores than exist");
+        prop_assert!(from_reclaim <= n_r, "plans more reclaims than reclaimable");
+        // The plan takes exactly min(demand, supply) — cases collapse to
+        // this single identity.
+        prop_assert_eq!(from_free + from_reclaim, n_w.min(n_f + n_r));
+        if n_w <= n_f {
+            prop_assert_eq!((from_free, from_reclaim), (n_w, 0), "case 1: free only");
+        } else if n_w <= n_f + n_r {
+            prop_assert_eq!(
+                (from_free, from_reclaim),
+                (n_f, n_w - n_f),
+                "case 2: all free + shortfall"
+            );
+        } else {
+            prop_assert_eq!(
+                (from_free, from_reclaim),
+                (n_f, n_r),
+                "case 3: take all available"
+            );
+        }
+        // Free cores are always preferred over reclaims.
+        if from_reclaim > 0 {
+            prop_assert_eq!(from_free, n_f, "reclaimed before exhausting free cores");
+        }
+    }
+}

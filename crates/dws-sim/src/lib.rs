@@ -63,7 +63,9 @@ pub mod workload;
 
 pub use alloc_table::{AllocTable, ProgId, Slot};
 pub use config::{CacheConfig, MachineConfig, Placement, SchedConfig, SimConfig, SimTime};
-pub use coordinator::{decide_dws, decide_nc, CoordCase, CoordDecision, CoordObservation};
+pub use coordinator::{
+    decide_dws, decide_nc, eq1_wake_target, CoordCase, CoordDecision, CoordObservation,
+};
 pub use machine::{
     run_pair, run_solo, ProgramReport, ProgramSpec, RunOptions, SimReport, Simulator,
 };

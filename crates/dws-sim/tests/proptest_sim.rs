@@ -190,6 +190,47 @@ proptest! {
         }
     }
 
+    /// The decision's per-pool counts follow the §3.3 three-case split
+    /// exactly: `(n_w, 0)` when free cores suffice, `(n_f, n_w - n_f)`
+    /// when reclaims cover the shortfall, `(n_f, n_r)` when demand
+    /// exceeds everything. Mirrors `dws_rt::plan_wakes` (the cross-crate
+    /// agreement test lives in the harness's `protocol_mirror` suite).
+    #[test]
+    fn decide_dws_counts_follow_the_three_cases(
+        queued in 0usize..200,
+        active in 0usize..8,
+        sleeping in 1usize..8,
+        releases in proptest::collection::vec((0usize..8, 0usize..2), 0..8),
+        seed in 0u64..100,
+    ) {
+        let mut t = AllocTable::equipartition(8, 2);
+        for (core, prog) in releases {
+            if t.slot(core) == Slot::Used(prog) {
+                t.release(core, prog);
+                if core % 2 == 0 {
+                    t.acquire_free(core, 1 - prog);
+                }
+            }
+        }
+        let (n_f, n_r) = (t.n_free(), t.n_reclaimable(0));
+        let mut rng = XorShift64Star::new(seed + 1);
+        let obs = CoordObservation {
+            queued_tasks: queued,
+            active_workers: active,
+            sleeping_workers: sleeping,
+        };
+        let d = decide_dws(0, obs, &t, &mut rng);
+        let (want_free, want_reclaim) = if d.n_w <= n_f {
+            (d.n_w, 0)
+        } else if d.n_w <= n_f + n_r {
+            (n_f, d.n_w - n_f)
+        } else {
+            (n_f, n_r)
+        };
+        prop_assert_eq!(d.take_free.len(), want_free);
+        prop_assert_eq!(d.reclaim.len(), want_reclaim);
+    }
+
     /// Under DWS, releasing and re-acquiring must never lose a program's
     /// ability to finish: no pair of random workloads hits the horizon.
     #[test]

@@ -1,0 +1,40 @@
+//! Mutation test for the checker itself (acceptance gate): a seeded
+//! double-reclaim bug in the protocol model — a coordinator reclaiming a
+//! home core it already owns — must be *found* by bounded random
+//! exploration under aggressive fault injection, and the failing seed
+//! must replay to the identical interleaving and violation. If the
+//! checker ever stops catching this, the whole dws-check suite is
+//! vacuous.
+
+use dws_check::model::{self, Bug, ModelConfig};
+use dws_check::{CheckOptions, Env, Explorer, FaultPlan};
+
+#[test]
+fn checker_catches_seeded_double_reclaim() {
+    let cfg = ModelConfig::standard().with_bug(Bug::DoubleReclaim);
+    let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
+    let explorer = Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &cfg, seed));
+
+    let report = explorer.random(0xDEAD_BEEF, 2_000);
+    let failing = report
+        .failing()
+        .unwrap_or_else(|| {
+            panic!("double-reclaim mutation survived {} schedules", report.schedules)
+        })
+        .clone();
+    let failure = failing.failure.as_deref().unwrap();
+    assert!(failure.contains("already owns it"), "unexpected failure: {failure}");
+    assert!(!failing.events.is_empty(), "violation must come with its event trace");
+
+    // Replay determinism: same seed ⇒ same decisions, events, violation.
+    explorer.replay(&failing).expect("failing seed must replay identically");
+}
+
+#[test]
+fn unmutated_model_passes_the_same_budget() {
+    let cfg = ModelConfig::standard();
+    let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
+    let explorer = Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &cfg, seed));
+    let report = explorer.random(0xDEAD_BEEF, 300);
+    assert!(report.failing().is_none(), "clean model flagged: {:?}", report.failing());
+}

@@ -1,0 +1,72 @@
+//! Cross-crate protocol mirror: the Eq. 1 / §3.3 coordinator arithmetic
+//! is implemented three times — in the simulator (`dws_sim::decide_dws`),
+//! in the runtime (`dws_rt::plan_wakes`), and in the checker's protocol
+//! model (`dws_check::model::plan_wakes`). These tests pin all three to
+//! the same semantics so a drift in any one of them fails loudly instead
+//! of silently invalidating sim↔rt comparisons.
+
+use dws_sim::{decide_dws, CoordObservation, Slot, XorShift64Star};
+
+#[test]
+fn eq1_agrees_across_sim_rt_and_model() {
+    for queued in 0..200 {
+        for active in 0..16 {
+            let rt = dws_rt::eq1_wake_target(queued, active);
+            let sim = dws_sim::eq1_wake_target(queued, active);
+            let model = dws_check::model::eq1_wake_target(queued, active);
+            assert_eq!(rt, sim, "rt vs sim at N_b={queued}, N_a={active}");
+            assert_eq!(rt, model, "rt vs model at N_b={queued}, N_a={active}");
+        }
+    }
+}
+
+#[test]
+fn plan_wakes_agrees_between_rt_and_model() {
+    for n_w in 0..32 {
+        for n_f in 0..16 {
+            for n_r in 0..16 {
+                assert_eq!(
+                    dws_rt::plan_wakes(n_w, n_f, n_r),
+                    dws_check::model::plan_wakes(n_w, n_f, n_r),
+                    "diverged at N_w={n_w}, N_f={n_f}, N_r={n_r}"
+                );
+            }
+        }
+    }
+}
+
+/// The simulator's full table-aware decision must take exactly the
+/// per-pool counts `dws_rt::plan_wakes` prescribes for the observed
+/// supply, across randomized reachable table states.
+#[test]
+fn decide_dws_counts_match_rt_plan_wakes() {
+    let mut rng = XorShift64Star::new(0x3A11);
+    for seed in 0..500u64 {
+        // Drive the table into a random reachable state.
+        let mut t = dws_sim::AllocTable::equipartition(8, 2);
+        let mut op_rng = XorShift64Star::new(seed * 2 + 1);
+        for _ in 0..op_rng.next_below(12) {
+            let core = op_rng.next_below(8);
+            let prog = op_rng.next_below(2);
+            if t.slot(core) == Slot::Used(prog) {
+                t.release(core, prog);
+            } else if !t.acquire_free(core, prog) {
+                let _ = t.reclaim(core, prog);
+            }
+        }
+        let (n_f, n_r) = (t.n_free(), t.n_reclaimable(0));
+        let obs = CoordObservation {
+            queued_tasks: op_rng.next_below(100),
+            active_workers: op_rng.next_below(8),
+            sleeping_workers: 1 + op_rng.next_below(7),
+        };
+        let d = decide_dws(0, obs, &t, &mut rng);
+        let (want_free, want_reclaim) = dws_rt::plan_wakes(d.n_w, n_f, n_r);
+        assert_eq!(
+            (d.take_free.len(), d.reclaim.len()),
+            (want_free, want_reclaim),
+            "seed {seed}: N_w={}, N_f={n_f}, N_r={n_r}",
+            d.n_w
+        );
+    }
+}

@@ -4,8 +4,11 @@
 //! `prop_map`/`prop_recursive`, `any`, `Just`, ranges, tuples,
 //! `collection::vec`, `prop_oneof!`, and the `proptest!` /
 //! `prop_assert*!` macros. Cases are generated from a deterministic
-//! per-test seed; there is no shrinking — a failure reports the failing
-//! case's generated inputs via the assertion message instead.
+//! per-test seed. Failures are greedily shrunk ([`Strategy::shrink`]):
+//! numbers move toward the range start / zero, vectors lose elements,
+//! tuples shrink slot-wise — each candidate is re-run and the smallest
+//! still-failing input is reported. `prop_map`ped strategies do not
+//! shrink (the map is not invertible); their failures report as-is.
 
 pub mod strategy {
     use super::test_runner::TestRng;
@@ -21,16 +24,31 @@ pub mod strategy {
         /// Produces one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
-        /// Type-erases this strategy behind an `Arc`.
+        /// Proposes strictly "smaller" candidates for a failing value, in
+        /// decreasing order of ambition. The runner re-runs each candidate
+        /// and greedily descends into the first that still fails. The
+        /// default shrinks nothing.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
+        /// Type-erases this strategy behind an `Arc` (shrinking
+        /// preserved).
         fn arced(self) -> ArcStrategy<Self::Value>
         where
             Self: Sized,
         {
-            let inner = Arc::new(move |rng: &mut TestRng| self.generate(rng));
-            ArcStrategy { inner }
+            let this = Arc::new(self);
+            let gen_this = Arc::clone(&this);
+            ArcStrategy {
+                inner: Arc::new(move |rng: &mut TestRng| gen_this.generate(rng)),
+                shrinker: Arc::new(move |v| this.shrink(v)),
+            }
         }
 
-        /// Maps generated values through `f`.
+        /// Maps generated values through `f`. The result does not shrink:
+        /// the map is not invertible, so there is no way to re-derive
+        /// candidate inputs from a failing output.
         fn prop_map<U, F>(self, f: F) -> ArcStrategy<U>
         where
             Self: Sized,
@@ -38,7 +56,7 @@ pub mod strategy {
             F: Fn(Self::Value) -> U + 'static,
         {
             let inner = Arc::new(move |rng: &mut TestRng| f(self.generate(rng)));
-            ArcStrategy { inner }
+            ArcStrategy { inner, shrinker: Arc::new(|_| Vec::new()) }
         }
 
         /// Builds a recursive strategy: `self` is the leaf; `f` lifts a
@@ -69,27 +87,36 @@ pub mod strategy {
         }
     }
 
+    type Shrinker<T> = Arc<dyn Fn(&T) -> Vec<T>>;
+
     /// Reference-counted type-erased strategy (the stand-in for both
     /// `BoxedStrategy` and the strategies returned by combinators).
     pub struct ArcStrategy<T> {
         inner: Arc<dyn Fn(&mut TestRng) -> T>,
+        shrinker: Shrinker<T>,
     }
 
     impl<T> Clone for ArcStrategy<T> {
         fn clone(&self) -> Self {
-            ArcStrategy { inner: Arc::clone(&self.inner) }
+            ArcStrategy { inner: Arc::clone(&self.inner), shrinker: Arc::clone(&self.shrinker) }
         }
     }
 
     impl<T: Debug + Clone + 'static> ArcStrategy<T> {
         /// Weighted choice between strategies (backs `prop_oneof!`).
+        /// Shrink candidates are the concatenation of every branch's
+        /// candidates — a value may shrink along a branch other than the
+        /// one that generated it, which is fine because every candidate
+        /// is validated by re-running the property.
         pub fn union(choices: Vec<(u32, ArcStrategy<T>)>) -> Self {
             assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
             let total: u64 = choices.iter().map(|(w, _)| u64::from(*w)).sum();
             assert!(total > 0, "prop_oneof! weights sum to zero");
+            let choices = Arc::new(choices);
+            let gen_choices = Arc::clone(&choices);
             let inner = Arc::new(move |rng: &mut TestRng| {
                 let mut pick = rng.next_u64() % total;
-                for (w, s) in &choices {
+                for (w, s) in gen_choices.iter() {
                     let w = u64::from(*w);
                     if pick < w {
                         return s.generate(rng);
@@ -98,7 +125,9 @@ pub mod strategy {
                 }
                 unreachable!("weighted pick out of range")
             });
-            ArcStrategy { inner }
+            let shrinker =
+                Arc::new(move |v: &T| choices.iter().flat_map(|(_, s)| s.shrink(v)).collect());
+            ArcStrategy { inner, shrinker }
         }
     }
 
@@ -106,6 +135,9 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             (self.inner)(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            (self.shrinker)(value)
         }
     }
 
@@ -124,6 +156,11 @@ pub mod strategy {
     pub trait Arbitrary: Debug + Clone + Sized + 'static {
         /// Draws an unconstrained value.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Candidate smaller values for shrinking (default: none).
+        fn arbitrary_shrink(&self) -> Vec<Self> {
+            Vec::new()
+        }
     }
 
     macro_rules! arbitrary_int {
@@ -131,6 +168,19 @@ pub mod strategy {
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> Self {
                     rng.next_u64() as $t
+                }
+                fn arbitrary_shrink(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    if *self != 0 {
+                        out.push(0);
+                        let half = self / 2;
+                        if half != 0 {
+                            out.push(half);
+                        }
+                        // Step one toward zero.
+                        out.push(if *self > 0 { self - 1 } else { self + 1 });
+                    }
+                    out
                 }
             }
         )*};
@@ -141,20 +191,38 @@ pub mod strategy {
         fn arbitrary(rng: &mut TestRng) -> Self {
             rng.next_u64() & 1 == 1
         }
+        fn arbitrary_shrink(&self) -> Vec<Self> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 
     impl Arbitrary for f64 {
         fn arbitrary(rng: &mut TestRng) -> Self {
             rng.next_f64()
         }
+        fn arbitrary_shrink(&self) -> Vec<Self> {
+            if *self != 0.0 {
+                vec![0.0, self / 2.0]
+            } else {
+                Vec::new()
+            }
+        }
     }
 
     /// Full-range strategy for an [`Arbitrary`] type.
     pub fn any<T: Arbitrary>() -> ArcStrategy<T> {
-        let inner = Arc::new(|rng: &mut TestRng| T::arbitrary(rng));
-        ArcStrategy { inner }
+        ArcStrategy {
+            inner: Arc::new(|rng: &mut TestRng| T::arbitrary(rng)),
+            shrinker: Arc::new(T::arbitrary_shrink),
+        }
     }
 
+    // Range values shrink toward the range start: the start itself, the
+    // midpoint, and one step down.
     macro_rules! range_strategy_int {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -163,6 +231,20 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty range strategy");
                     let span = (self.end - self.start) as u64;
                     self.start + (rng.next_u64() % span) as $t
+                }
+                fn shrink(&self, v: &$t) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    if *v > self.start {
+                        out.push(self.start);
+                        let mid = self.start + (v - self.start) / 2;
+                        if mid != self.start && mid != *v {
+                            out.push(mid);
+                        }
+                        if v - 1 != self.start {
+                            out.push(v - 1);
+                        }
+                    }
+                    out
                 }
             }
         )*};
@@ -178,6 +260,20 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u128;
                     (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
                 }
+                fn shrink(&self, v: &$t) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    if *v > self.start {
+                        out.push(self.start);
+                        let mid = (self.start as i128 + (*v as i128 - self.start as i128) / 2) as $t;
+                        if mid != self.start && mid != *v {
+                            out.push(mid);
+                        }
+                        if v - 1 != self.start {
+                            out.push(v - 1);
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
@@ -188,14 +284,33 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> f64 {
             self.start + rng.next_f64() * (self.end - self.start)
         }
+        fn shrink(&self, v: &f64) -> Vec<f64> {
+            if *v > self.start {
+                vec![self.start, self.start + (v - self.start) / 2.0]
+            } else {
+                Vec::new()
+            }
+        }
     }
 
+    // Tuples shrink slot-wise: each candidate changes exactly one slot.
     macro_rules! tuple_strategy {
         ($($s:ident . $idx:tt),+) => {
             impl<$($s: Strategy),+> Strategy for ($($s,)+) {
                 type Value = ($($s::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&v.$idx) {
+                            let mut nv = v.clone();
+                            nv.$idx = cand;
+                            out.push(nv);
+                        }
+                    )+
+                    out
                 }
             }
         };
@@ -225,6 +340,32 @@ pub mod collection {
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let n = self.len.generate(rng);
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            let min = self.len.start;
+            // Structurally smaller first: halve, then drop single
+            // elements (respecting the minimum length).
+            if v.len() > min {
+                let half = (v.len() / 2).max(min);
+                if half < v.len() {
+                    out.push(v[..half].to_vec());
+                }
+                for i in 0..v.len() {
+                    let mut nv = v.clone();
+                    nv.remove(i);
+                    out.push(nv);
+                }
+            }
+            // Then same-shape candidates with one element shrunk.
+            for i in 0..v.len() {
+                for cand in self.element.shrink(&v[i]) {
+                    let mut nv = v.clone();
+                    nv[i] = cand;
+                    out.push(nv);
+                }
+            }
+            out
         }
     }
 
@@ -301,6 +442,43 @@ pub mod test_runner {
     impl std::fmt::Display for TestCaseError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "{}", self.0)
+        }
+    }
+
+    /// Drives one `proptest!` function: runs `cases` generated inputs,
+    /// and on the first failure greedily shrinks it — each candidate from
+    /// [`Strategy::shrink`] is re-run, the first that still fails becomes
+    /// the new current value — then panics with the minimal failing
+    /// input.
+    pub fn run_proptest<S, F>(name: &str, cfg: ProptestConfig, strat: &S, run: F)
+    where
+        S: crate::strategy::Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        const MAX_SHRINK_STEPS: u32 = 1_000;
+        let mut rng = TestRng::for_test(name);
+        for case in 0..cfg.cases {
+            let v = strat.generate(&mut rng);
+            if let Err(e) = run(v.clone()) {
+                let mut cur = v;
+                let mut err = e;
+                let mut shrinks = 0u32;
+                'descend: while shrinks < MAX_SHRINK_STEPS {
+                    for cand in strat.shrink(&cur) {
+                        if let Err(e2) = run(cand.clone()) {
+                            cur = cand;
+                            err = e2;
+                            shrinks += 1;
+                            continue 'descend;
+                        }
+                    }
+                    break; // no candidate still fails: minimal
+                }
+                panic!(
+                    "proptest `{name}` case {case} failed: {err}\n\
+                     minimal failing input (after {shrinks} shrinks): {cur:?}"
+                );
+            }
         }
     }
 }
@@ -414,23 +592,88 @@ macro_rules! __proptest_fns {
     ) => {
         $(#[$meta])*
         fn $name() {
-            let __cfg = $cfg;
-            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
-            for __case in 0..__cfg.cases {
-                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| {
-                        $(let $pat = $crate::strategy::Strategy::generate(
-                            &($strat),
-                            &mut __rng,
-                        );)+
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                if let ::std::result::Result::Err(__e) = __result {
-                    panic!("proptest `{}` case {} failed: {}", stringify!($name), __case, __e);
-                }
-            }
+            // One combined tuple strategy so a failure shrinks jointly
+            // over all the test's inputs.
+            let __strat = ($(($strat),)+);
+            $crate::test_runner::run_proptest(
+                stringify!($name),
+                $cfg,
+                &__strat,
+                |__v| {
+                    let ($($pat,)+) = __v;
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
         }
         $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::strategy::{any, Strategy};
+    use super::test_runner::{run_proptest, ProptestConfig, TestCaseError};
+
+    #[test]
+    fn range_shrinks_toward_start() {
+        let s = 5usize..100;
+        let cands = s.shrink(&40);
+        assert!(cands.contains(&5), "start missing: {cands:?}");
+        assert!(cands.contains(&22), "midpoint missing: {cands:?}");
+        assert!(cands.contains(&39), "predecessor missing: {cands:?}");
+        assert!(s.shrink(&5).is_empty(), "start value shrinks no further");
+    }
+
+    #[test]
+    fn int_any_shrinks_toward_zero() {
+        let cands = any::<i32>().shrink(&-8);
+        assert!(cands.contains(&0) && cands.contains(&-4) && cands.contains(&-7), "{cands:?}");
+        assert!(any::<u32>().shrink(&0).is_empty());
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+    }
+
+    #[test]
+    fn vec_shrinks_structure_then_elements() {
+        let s = super::collection::vec(0u32..10, 1..8);
+        let cands = s.shrink(&vec![3, 7, 9]);
+        assert!(cands.contains(&vec![3]), "halving missing: {cands:?}");
+        assert!(cands.contains(&vec![3, 7]), "drop-one missing: {cands:?}");
+        assert!(cands.contains(&vec![0, 7, 9]), "element shrink missing: {cands:?}");
+        // Minimum length respected: nothing shorter than 1.
+        assert!(cands.iter().all(|v| !v.is_empty()));
+    }
+
+    #[test]
+    fn tuple_shrinks_slot_wise() {
+        let s = (0u32..50, 0u32..50);
+        let cands = s.shrink(&(10, 20));
+        assert!(cands.contains(&(0, 20)) && cands.contains(&(10, 0)), "{cands:?}");
+        // Every candidate differs from the original in exactly one slot.
+        assert!(cands.iter().all(|&(a, b)| (a == 10) != (b == 20)));
+    }
+
+    #[test]
+    fn failing_case_is_shrunk_to_minimal() {
+        // Property fails for n >= 17: the greedy shrink must land on
+        // exactly 17 whatever case first trips it.
+        let err = std::panic::catch_unwind(|| {
+            run_proptest("shrink_to_17", ProptestConfig::with_cases(64), &(0u64..1_000), |n| {
+                if n >= 17 {
+                    Err(TestCaseError::fail(format!("too big: {n}")))
+                } else {
+                    Ok(())
+                }
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("panic carries a message");
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        assert!(msg.contains("17"), "not shrunk to the boundary: {msg}");
+    }
+
+    #[test]
+    fn passing_property_never_panics() {
+        run_proptest("all_pass", ProptestConfig::with_cases(32), &(0u8..10), |_| Ok(()));
+    }
 }
