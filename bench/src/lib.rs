@@ -1,3 +1,194 @@
-//! Support crate for the Criterion benchmark targets (see `benches/`).
-//! The benchmarks regenerate the paper's figures and measure the runtime
-//! substrates; run them with `cargo bench --workspace`.
+//! Support crate for the Criterion benchmark targets (see `benches/`) and
+//! the `bench-trajectory` driver that emits `BENCH_3.json` at the repo
+//! root. The benchmarks regenerate the paper's figures and measure the
+//! runtime substrates; run them with `cargo bench --workspace`.
+
+use serde::value::Value;
+
+/// Current `BENCH_3.json` schema version. Bump on breaking layout change.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+fn is_int(v: &Value) -> bool {
+    matches!(v, Value::U64(_) | Value::I64(_))
+}
+
+fn is_num(v: &Value) -> bool {
+    matches!(v, Value::U64(_) | Value::I64(_) | Value::F64(_))
+}
+
+fn require(cond: bool, errors: &mut Vec<String>, what: &str) {
+    if !cond {
+        errors.push(what.to_string());
+    }
+}
+
+/// Validates a parsed `BENCH_3.json` document against the schema the
+/// `bench-trajectory` driver emits: identification header, run
+/// configuration, and results (throughput, per-program counters, latency
+/// percentiles, telemetry-overhead delta). Returns every violation found,
+/// not just the first.
+pub fn validate_bench_value(doc: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let e = &mut errors;
+
+    require(doc["bench"].as_str() == Some("telemetry-trajectory"), e, "bench name mismatch");
+    require(
+        doc["schema_version"].as_u64() == Some(BENCH_SCHEMA_VERSION),
+        e,
+        "schema_version mismatch",
+    );
+    require(doc["pr"].as_u64() == Some(3), e, "pr must be 3");
+
+    let cfg = &doc["config"];
+    for key in ["cores", "fib_n", "iters", "reps", "telemetry_tick_ms"] {
+        require(is_int(&cfg[key]), e, &format!("config.{key} must be an integer"));
+    }
+    require(matches!(cfg["fast"], Value::Bool(_)), e, "config.fast must be a bool");
+
+    let r = &doc["results"];
+    require(is_num(&r["makespan_ms"]), e, "results.makespan_ms must be numeric");
+    require(
+        is_num(&r["throughput_jobs_per_s"]),
+        e,
+        "results.throughput_jobs_per_s must be numeric",
+    );
+
+    match &r["per_program"] {
+        Value::Array(progs) if !progs.is_empty() => {
+            for (i, p) in progs.iter().enumerate() {
+                require(p["label"].as_str().is_some(), e, &format!("per_program[{i}].label"));
+                for key in [
+                    "prog",
+                    "jobs",
+                    "steals_ok",
+                    "steals_failed",
+                    "sleeps",
+                    "wakes",
+                    "cores_acquired",
+                    "cores_reclaimed",
+                    "cores_released",
+                    "frames",
+                    "frames_evicted",
+                ] {
+                    require(
+                        is_int(&p[key]),
+                        e,
+                        &format!("per_program[{i}].{key} must be an integer"),
+                    );
+                }
+            }
+        }
+        _ => e.push("results.per_program must be a non-empty array".to_string()),
+    }
+
+    for hist in ["steal_latency_ns", "wake_to_first_task_ns"] {
+        for q in ["p50", "p99"] {
+            require(
+                is_int(&r[hist][q]),
+                e,
+                &format!("results.{hist}.{q} must be an integer (nanoseconds)"),
+            );
+        }
+    }
+
+    let t = &r["telemetry"];
+    for key in ["makespan_off_ms", "makespan_on_ms", "overhead_pct"] {
+        require(is_num(&t[key]), e, &format!("results.telemetry.{key} must be numeric"));
+    }
+    for key in ["frames", "frames_evicted"] {
+        require(is_int(&t[key]), e, &format!("results.telemetry.{key} must be an integer"));
+    }
+    require(
+        matches!(t["endpoint_ok"], Value::Bool(_)),
+        e,
+        "results.telemetry.endpoint_ok must be a bool",
+    );
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_doc() -> Value {
+        serde_json::from_str(
+            r#"{
+              "bench": "telemetry-trajectory",
+              "schema_version": 1,
+              "pr": 3,
+              "config": {"cores": 4, "fib_n": 23, "iters": 12, "reps": 3,
+                         "telemetry_tick_ms": 10, "fast": false},
+              "results": {
+                "makespan_ms": 812.5,
+                "throughput_jobs_per_s": 120345.6,
+                "per_program": [
+                  {"prog": 0, "label": "p0", "jobs": 1000, "steals_ok": 10,
+                   "steals_failed": 3, "sleeps": 5, "wakes": 5,
+                   "cores_acquired": 2, "cores_reclaimed": 1,
+                   "cores_released": 3, "frames": 80, "frames_evicted": 0}
+                ],
+                "steal_latency_ns": {"p50": 2048, "p99": 65536},
+                "wake_to_first_task_ns": {"p50": 4096, "p99": 262144},
+                "telemetry": {"makespan_off_ms": 800.0, "makespan_on_ms": 812.5,
+                              "overhead_pct": 1.56, "frames": 160,
+                              "frames_evicted": 0, "endpoint_ok": true}
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    fn set(doc: &mut Value, path: &[&str], v: Value) {
+        let mut cur = doc;
+        for (i, key) in path.iter().enumerate() {
+            let Value::Object(pairs) = cur else { panic!("not an object at {key}") };
+            let slot =
+                pairs.iter_mut().find(|(k, _)| k == key).unwrap_or_else(|| panic!("missing {key}"));
+            if i == path.len() - 1 {
+                slot.1 = v;
+                return;
+            }
+            cur = &mut slot.1;
+        }
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        assert_eq!(validate_bench_value(&valid_doc()), Ok(()));
+    }
+
+    #[test]
+    fn wrong_bench_name_fails() {
+        let mut doc = valid_doc();
+        set(&mut doc, &["bench"], Value::String("other".into()));
+        assert!(validate_bench_value(&doc).is_err());
+    }
+
+    #[test]
+    fn non_numeric_overhead_fails_with_a_named_path() {
+        let mut doc = valid_doc();
+        set(&mut doc, &["results", "telemetry", "overhead_pct"], Value::String("2%".into()));
+        let errs = validate_bench_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("overhead_pct")), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_per_program_fields_fail() {
+        let mut doc = valid_doc();
+        set(&mut doc, &["results", "per_program"], Value::Array(vec![]));
+        assert!(validate_bench_value(&doc).is_err());
+    }
+
+    #[test]
+    fn integer_makespan_is_accepted() {
+        // Numbers may land as ints when they happen to be whole.
+        let mut doc = valid_doc();
+        set(&mut doc, &["results", "makespan_ms"], Value::U64(812));
+        assert_eq!(validate_bench_value(&doc), Ok(()));
+    }
+}

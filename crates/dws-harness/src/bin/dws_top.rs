@@ -1,0 +1,175 @@
+//! `dws-top` — live terminal view of a real two-program DWS co-run.
+//!
+//! Starts two `dws-rt` runtimes over a shared in-process core-allocation
+//! table with telemetry sampling on, drives them through a busy/idle/busy
+//! phase pattern (so cores visibly drain to the busy program and get
+//! reclaimed when the idle one returns), and redraws an ANSI dashboard
+//! from the latest telemetry frames until the run ends.
+//!
+//! ```text
+//! dws-top [--cores N] [--fib N] [--duration-ms N] [--tick-ms N]
+//!         [--listen ADDR] [--telemetry-out PATH] [--no-ansi]
+//! ```
+//!
+//! * `--listen 127.0.0.1:9898` additionally serves the Prometheus text
+//!   exposition for both programs while the run lasts (`curl` any path);
+//! * `--telemetry-out frames.jsonl` writes every retained frame (both
+//!   programs, one JSON object per line) at exit;
+//! * `--no-ansi` appends refreshes instead of redrawing in place — use
+//!   when piping to a file or CI log.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dws_harness::top::{render_top, ANSI_REFRESH};
+use dws_rt::{
+    frames_to_jsonl, join, serve, CoreTable, InProcessTable, Policy, Runtime, RuntimeConfig,
+};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+struct Options {
+    cores: usize,
+    fib_n: u64,
+    duration: Duration,
+    tick: Duration,
+    listen: Option<String>,
+    telemetry_out: Option<String>,
+    ansi: bool,
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut o = Options {
+        cores: 4,
+        fib_n: 23,
+        duration: Duration::from_millis(2000),
+        tick: Duration::from_millis(100),
+        listen: None,
+        telemetry_out: None,
+        ansi: true,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).unwrap_or_else(|| panic!("{flag} needs a value")).clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cores" => o.cores = value(&mut i, "--cores").parse().expect("--cores N"),
+            "--fib" => o.fib_n = value(&mut i, "--fib").parse().expect("--fib N"),
+            "--duration-ms" => {
+                o.duration =
+                    Duration::from_millis(value(&mut i, "--duration-ms").parse().expect("ms"))
+            }
+            "--tick-ms" => {
+                o.tick = Duration::from_millis(value(&mut i, "--tick-ms").parse().expect("ms"))
+            }
+            "--listen" => o.listen = Some(value(&mut i, "--listen")),
+            "--telemetry-out" => o.telemetry_out = Some(value(&mut i, "--telemetry-out")),
+            "--no-ansi" => o.ansi = false,
+            other => panic!(
+                "unknown flag {other}; known: --cores N --fib N --duration-ms N --tick-ms N \
+                 --listen ADDR --telemetry-out PATH --no-ansi"
+            ),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = parse_args(&args);
+
+    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(o.cores, 2));
+    let mk = || {
+        let mut cfg = RuntimeConfig::new(o.cores, Policy::Dws)
+            .with_telemetry()
+            .with_telemetry_tick(o.tick.min(Duration::from_millis(10)));
+        cfg.coordinator_period = Duration::from_millis(2);
+        cfg.sleep_timeout = Some(Duration::from_millis(5));
+        cfg
+    };
+    let p0 = Runtime::with_table(mk(), Arc::clone(&table), 0);
+    let p1 = Runtime::with_table(mk(), table, 1);
+    let handles = [p0.telemetry("p0"), p1.telemetry("p1")];
+
+    let server = o.listen.as_deref().map(|addr| {
+        let s = serve(handles.to_vec(), addr).expect("bind exposition endpoint");
+        eprintln!("serving Prometheus exposition at http://{}/metrics", s.addr());
+        s
+    });
+
+    let deadline = Instant::now() + o.duration;
+    std::thread::scope(|scope| {
+        // p0: busy for the whole run.
+        scope.spawn(|| {
+            while Instant::now() < deadline {
+                p0.block_on(|| fib(o.fib_n));
+            }
+        });
+        // p1: alternate busy and idle thirds, so the dashboard shows its
+        // cores draining to p0 and being reclaimed on return.
+        scope.spawn(|| {
+            let phase = o.duration / 3;
+            while Instant::now() < deadline {
+                let busy_until = (Instant::now() + phase).min(deadline);
+                while Instant::now() < busy_until {
+                    p1.block_on(|| fib(o.fib_n));
+                }
+                let idle_until = (Instant::now() + phase).min(deadline);
+                if let Some(gap) = idle_until.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(gap);
+                }
+            }
+        });
+
+        // The render loop (main thread) redraws from the latest frames.
+        while Instant::now() < deadline {
+            std::thread::sleep(o.tick.min(deadline.saturating_duration_since(Instant::now())));
+            let panels: Vec<_> =
+                handles.iter().map(|h| (h.label().to_string(), h.latest_or_sample())).collect();
+            if o.ansi {
+                print!("{ANSI_REFRESH}{}", render_top(&panels, true));
+            } else {
+                println!("{}", render_top(&panels, false));
+            }
+        }
+    });
+
+    // Final state + retained series.
+    let panels: Vec<_> =
+        handles.iter().map(|h| (h.label().to_string(), h.latest_or_sample())).collect();
+    if o.ansi {
+        print!("{ANSI_REFRESH}{}", render_top(&panels, true));
+    } else {
+        println!("{}", render_top(&panels, false));
+    }
+    for (label, frame) in &panels {
+        println!(
+            "{label}: {} frames retained ({} evicted), {} jobs executed",
+            handles[frame.prog].frames().len(),
+            frame.counters.frames_evicted,
+            frame.counters.jobs_executed,
+        );
+    }
+
+    if let Some(path) = &o.telemetry_out {
+        let mut frames = Vec::new();
+        for h in &handles {
+            frames.extend(h.frames());
+        }
+        frames.sort_by_key(|f| (f.t_us, f.prog));
+        std::fs::write(path, frames_to_jsonl(&frames)).expect("write telemetry sink");
+        println!("wrote {} frames to {path}", frames.len());
+    }
+    drop(server);
+    drop(p0);
+    drop(p1);
+}

@@ -27,6 +27,7 @@ pub mod corun;
 pub mod figures;
 pub mod report;
 pub mod svg;
+pub mod top;
 
 pub use corun::{run_mix, solo_baseline, solo_with_policy, Effort, MixResult};
 pub use figures::{

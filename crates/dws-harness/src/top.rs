@@ -1,0 +1,217 @@
+//! Terminal rendering for `dws-top`: turns [`TelemetryFrame`]s into an
+//! ANSI dashboard of a live co-run — per-program core-ownership bars,
+//! queue depth, the coordinator's Eq. 1 plan vs. the wakes actually
+//! delivered, and drop counters.
+//!
+//! The renderers are pure (frames in, `String` out) so they are unit
+//! tested without a terminal; the `dws-top` binary owns the screen
+//! clearing and the refresh loop.
+
+use dws_rt::TelemetryFrame;
+
+/// ANSI sequence the `dws-top` refresh loop prints before each redraw:
+/// cursor home, then clear to end of screen.
+pub const ANSI_REFRESH: &str = "\x1b[H\x1b[J";
+
+const BOLD: &str = "\x1b[1m";
+const DIM: &str = "\x1b[2m";
+const RED: &str = "\x1b[31m";
+const GREEN: &str = "\x1b[32m";
+const CYAN: &str = "\x1b[36m";
+const RESET: &str = "\x1b[0m";
+
+fn paint(color: bool, code: &str, text: &str) -> String {
+    if color {
+        format!("{code}{text}{RESET}")
+    } else {
+        text.to_string()
+    }
+}
+
+/// One character per table core: the owning program's digit, `.` when
+/// free, `#` for owners past 9 (unlikely at paper scale).
+pub fn core_strip(frame: &TelemetryFrame) -> String {
+    frame
+        .cores
+        .iter()
+        .map(|c| match c.owner {
+            -1 => '.',
+            p @ 0..=9 => (b'0' + p as u8) as char,
+            _ => '#',
+        })
+        .collect()
+}
+
+/// `filled` of `total` as a fixed-width bar, e.g. `####----`.
+pub fn bar(filled: usize, total: usize) -> String {
+    let filled = filled.min(total);
+    format!("{}{}", "#".repeat(filled), "-".repeat(total - filled))
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns == 0 {
+        "-".to_string()
+    } else if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{}ms", ns / 1_000_000)
+    }
+}
+
+/// Renders one program's panel (multi-line, trailing newline).
+pub fn render_program_panel(label: &str, f: &TelemetryFrame, color: bool) -> String {
+    let mut out = String::new();
+    let owned = f.cores_owned();
+    let total = f.cores.len();
+    let asleep = f.workers_asleep();
+    let workers = f.workers.len();
+    let c = &f.coord;
+    let k = &f.counters;
+
+    out.push_str(&format!(
+        "{} (prog {}) · frame {} · t {} ms\n",
+        paint(color, BOLD, label),
+        f.prog,
+        f.seq,
+        f.t_us / 1_000,
+    ));
+    out.push_str(&format!(
+        "  cores  {}  {owned}/{total} owned   awake {}/{workers}   queue {}\n",
+        paint(color, GREEN, &bar(owned, total)),
+        workers - asleep,
+        f.queued_jobs(),
+    ));
+    out.push_str(&format!(
+        "  coord  N_b {}  N_a {}  N_w {}   supply {}f+{}r   plan {}+{}   woken {}   decisions {}\n",
+        c.n_b, c.n_a, c.n_w, c.n_f, c.n_r, c.planned_free, c.planned_reclaim, c.woken, c.decisions,
+    ));
+    out.push_str(&format!(
+        "  totals steals {} ok / {} fail   jobs {}   sleeps {}   wakes {}   released {}\n",
+        k.steals_ok, k.steals_failed, k.jobs_executed, k.sleeps, k.wakes, k.cores_released,
+    ));
+    let l = &f.latency;
+    out.push_str(&format!(
+        "  lat    steal p50 {} p99 {}   wake p50 {} p99 {}",
+        fmt_ns(l.steal_p50_ns),
+        fmt_ns(l.steal_p99_ns),
+        fmt_ns(l.wake_p50_ns),
+        fmt_ns(l.wake_p99_ns),
+    ));
+    if k.events_dropped > 0 || k.frames_evicted > 0 {
+        out.push_str(&format!(
+            "   {}",
+            paint(
+                color,
+                RED,
+                &format!("dropped {} ev / {} frames", k.events_dropped, k.frames_evicted)
+            ),
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders the full dashboard: a header, the table-global core-ownership
+/// strip (taken from the first frame — all programs sharing a table see
+/// the same slots), then one panel per `(label, frame)`.
+pub fn render_top(panels: &[(String, TelemetryFrame)], color: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&paint(color, CYAN, "dws-top — live DWS co-run telemetry"));
+    out.push('\n');
+    if let Some((_, first)) = panels.first() {
+        out.push_str(&format!(
+            "table  [{}]   {}\n",
+            core_strip(first),
+            paint(color, DIM, "(digit = owning program, . = free)"),
+        ));
+    }
+    for (label, frame) in panels {
+        out.push('\n');
+        out.push_str(&render_program_panel(label, frame, color));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_rt::{CoordSample, CoreSample, CounterSample, LatencySample, WorkerSample};
+
+    fn frame() -> TelemetryFrame {
+        TelemetryFrame {
+            t_us: 12_345,
+            prog: 0,
+            seq: 7,
+            cores: vec![
+                CoreSample { core: 0, home: 0, owner: 0 },
+                CoreSample { core: 1, home: 0, owner: 1 },
+                CoreSample { core: 2, home: 1, owner: -1 },
+                CoreSample { core: 3, home: 1, owner: 1 },
+            ],
+            workers: vec![
+                WorkerSample { worker: 0, asleep: false, queue: 5 },
+                WorkerSample { worker: 1, asleep: true, queue: 0 },
+            ],
+            coord: CoordSample {
+                n_b: 10,
+                n_a: 2,
+                n_f: 1,
+                n_r: 1,
+                n_w: 5,
+                planned_free: 1,
+                planned_reclaim: 1,
+                woken: 2,
+                decisions: 33,
+            },
+            counters: CounterSample { steals_ok: 40, steals_failed: 8, ..Default::default() },
+            latency: LatencySample {
+                steal_p50_ns: 2_048,
+                steal_p99_ns: 65_536,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn core_strip_maps_owners_to_chars() {
+        assert_eq!(core_strip(&frame()), "01.1");
+    }
+
+    #[test]
+    fn bar_is_fixed_width() {
+        assert_eq!(bar(3, 8), "###-----");
+        assert_eq!(bar(9, 4), "####", "overfull clamps");
+    }
+
+    #[test]
+    fn panel_shows_plan_vs_actual_and_latency() {
+        let text = render_program_panel("p0", &frame(), false);
+        assert!(text.contains("1/4 owned"));
+        assert!(text.contains("N_b 10"));
+        assert!(text.contains("plan 1+1"));
+        assert!(text.contains("woken 2"));
+        assert!(text.contains("decisions 33"));
+        assert!(text.contains("steal p50 2us p99 65us"));
+        assert!(!text.contains('\x1b'), "no ANSI codes without color");
+    }
+
+    #[test]
+    fn drops_are_surfaced_loudly() {
+        let mut f = frame();
+        assert!(!render_program_panel("p", &f, false).contains("dropped"));
+        f.counters.events_dropped = 9;
+        assert!(render_program_panel("p", &f, false).contains("dropped 9 ev"));
+    }
+
+    #[test]
+    fn full_render_includes_table_strip_and_every_panel() {
+        let panels = [("a".to_string(), frame()), ("b".to_string(), frame())];
+        let plain = render_top(&panels, false);
+        assert!(plain.contains("[01.1]"));
+        assert!(plain.contains("a (prog 0)"));
+        assert!(plain.contains("b (prog 0)"));
+        assert!(render_top(&panels, true).contains('\x1b'), "color mode emits ANSI");
+    }
+}

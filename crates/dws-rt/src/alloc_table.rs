@@ -63,6 +63,13 @@ pub trait CoreTable: Send + Sync {
     fn used_by(&self, prog: usize) -> Vec<usize> {
         (0..self.cores()).filter(|&c| self.current(c) == Some(prog)).collect()
     }
+
+    /// One-pass occupancy snapshot: `owners()[c]` is the program using
+    /// core `c`, or `-1` when free — the telemetry sampler's view of the
+    /// table. Backends may override with a bulk read.
+    fn owners(&self) -> Vec<i64> {
+        (0..self.cores()).map(|c| self.current(c).map_or(-1, |p| p as i64)).collect()
+    }
 }
 
 /// Computes the adjacent equipartition home map (paper §3.1): program `p`
@@ -416,5 +423,6 @@ mod tests {
         assert_eq!(t.used_by(0), vec![1, 2]);
         assert_eq!(t.reclaimable_cores(1), vec![2]);
         assert_eq!(t.reclaimable_cores(0), Vec::<usize>::new());
+        assert_eq!(t.owners(), vec![-1, 0, 0, 1, 2, 2]);
     }
 }

@@ -81,6 +81,29 @@ impl Default for TraceConfig {
     }
 }
 
+/// Live-telemetry knobs (see [`crate::telemetry`]).
+///
+/// Disabled by default: with `enabled == false` no sampler thread is
+/// spawned and the runtime's only residual cost is the coordinator
+/// publishing its decision into a small atomic cell once per period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Spawn the sampler thread and retain time-series frames.
+    pub enabled: bool,
+    /// Sampling period. Defaults to 10 ms, aligned with the coordinator
+    /// period `T` so every frame sees at most one fresh decision.
+    pub tick: Duration,
+    /// Frames retained in the bounded ring; older frames are evicted
+    /// (and counted) once full. 4096 frames at 10 ms ≈ 40 s of history.
+    pub capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { enabled: false, tick: Duration::from_millis(10), capacity: 4096 }
+    }
+}
+
 /// Configuration for building a [`crate::Runtime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -107,6 +130,8 @@ pub struct RuntimeConfig {
     pub spin_yield_interval: u32,
     /// Event tracing (off by default; see [`TraceConfig`]).
     pub trace: TraceConfig,
+    /// Live telemetry sampling (off by default; see [`TelemetryConfig`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl RuntimeConfig {
@@ -122,6 +147,7 @@ impl RuntimeConfig {
             pin_workers: false,
             spin_yield_interval: 4,
             trace: TraceConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -135,6 +161,20 @@ impl RuntimeConfig {
     pub fn with_tracing_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be positive");
         self.trace = TraceConfig { enabled: true, capacity };
+        self
+    }
+
+    /// Enables the telemetry sampler with the default 10 ms tick.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry.enabled = true;
+        self
+    }
+
+    /// Enables the telemetry sampler with a custom tick.
+    pub fn with_telemetry_tick(mut self, tick: Duration) -> Self {
+        assert!(!tick.is_zero(), "telemetry tick must be positive");
+        self.telemetry.enabled = true;
+        self.telemetry.tick = tick;
         self
     }
 }
@@ -179,5 +219,22 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_trace_capacity_rejected() {
         let _ = RuntimeConfig::new(1, Policy::Ws).with_tracing_capacity(0);
+    }
+
+    #[test]
+    fn telemetry_off_by_default_and_aligned_with_coordinator_period() {
+        let c = RuntimeConfig::new(4, Policy::Dws);
+        assert!(!c.telemetry.enabled);
+        assert_eq!(c.telemetry.tick, c.coordinator_period, "tick defaults to T");
+        let c = c.with_telemetry();
+        assert!(c.telemetry.enabled);
+        let c = c.with_telemetry_tick(Duration::from_millis(2));
+        assert_eq!(c.telemetry.tick, Duration::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be positive")]
+    fn zero_telemetry_tick_rejected() {
+        let _ = RuntimeConfig::new(1, Policy::Ws).with_telemetry_tick(Duration::ZERO);
     }
 }

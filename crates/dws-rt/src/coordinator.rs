@@ -13,6 +13,7 @@ use crate::metrics::RtMetrics;
 use crate::registry::Registry;
 use crate::rng::VictimRng;
 use crate::sync::{preempt_point, Ordering};
+use crate::telemetry::CoordSample;
 use crate::trace::{CoordCase, RtEvent, LANE_SHARED};
 
 /// Eq. 1 with the divide-by-zero guard (all workers asleep but work is
@@ -52,6 +53,32 @@ pub fn plan_wakes(n_w: usize, n_f: usize, n_r: usize) -> (usize, usize) {
 pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
     RtMetrics::bump(&reg.metrics.coordinator_runs);
     let tracing = reg.trace.enabled();
+    // Observability gate for the early-return paths: the table supply scan
+    // runs only when someone is watching (trace events or telemetry
+    // frames), so the dark hot path stays as cheap as before.
+    let observing = tracing || reg.config.telemetry.enabled;
+
+    // Publishes the decision (inputs, plan, outcome) into the telemetry
+    // cell the sampler reads — a handful of relaxed stores.
+    let publish = |n_b: usize,
+                   n_a: usize,
+                   n_f: usize,
+                   n_r: usize,
+                   n_w: usize,
+                   planned: (usize, usize),
+                   woken: usize| {
+        reg.telemetry.decision.publish(CoordSample {
+            n_b: n_b as u64,
+            n_a: n_a as u64,
+            n_f: n_f as u64,
+            n_r: n_r as u64,
+            n_w: n_w as u64,
+            planned_free: planned.0 as u64,
+            planned_reclaim: planned.1 as u64,
+            woken: woken as u64,
+            decisions: 0, // the cell counts publishes itself
+        });
+    };
 
     // Decision-event helper: classifies the §3.3 case from the observed
     // demand/supply and records on the shared lane.
@@ -81,9 +108,13 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
 
     let sleeping = reg.sleeping_workers();
     if sleeping.is_empty() {
-        if tracing {
+        if observing {
             let (n_f, n_r) = supply();
-            record_decision(reg.queued_jobs(), reg.workers.len(), n_f, n_r, 0);
+            let (n_b, n_a) = (reg.queued_jobs(), reg.workers.len());
+            if tracing {
+                record_decision(n_b, n_a, n_f, n_r, 0);
+            }
+            publish(n_b, n_a, n_f, n_r, 0, (0, 0), 0);
         }
         return 0;
     }
@@ -91,9 +122,12 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
     let active = reg.workers.len() - sleeping.len();
     let n_w = eq1_wake_target(queued, active).min(sleeping.len());
     if n_w == 0 {
-        if tracing {
+        if observing {
             let (n_f, n_r) = supply();
-            record_decision(queued, active, n_f, n_r, 0);
+            if tracing {
+                record_decision(queued, active, n_f, n_r, 0);
+            }
+            publish(queued, active, n_f, n_r, 0, (0, 0), 0);
         }
         return 0;
     }
@@ -143,6 +177,7 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
                     woken += 1;
                 }
             }
+            publish(queued, active, n_f, n_r, n_w, (want_free, want_reclaim), woken);
             woken
         }
         Policy::DwsNc => {
@@ -158,9 +193,11 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
                 let j = i + rng.next_below(candidates.len() - i);
                 candidates.swap(i, j);
             }
+            let woken = n_w.min(candidates.len());
             for &w in candidates.iter().take(n_w) {
                 reg.wake_worker(w);
             }
+            publish(queued, active, 0, 0, n_w, (0, 0), woken);
             n_w
         }
         _ => 0,

@@ -19,6 +19,11 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 /// `{"prog":…,"t_us":…,"lane":…,"event":{…}}` object per line. Each line
 /// parses back as a [`TimedEvent`] (the extra `prog` field is ignored by
 /// deserialization).
+///
+/// A snapshot that overflowed its rings gets one trailing
+/// `{"prog":…,"events_dropped":…}` metadata line (mirroring the sim
+/// exporter's drop surfacing) — silent overflow would read as a complete
+/// timeline when it is not.
 pub fn to_jsonl(prog: usize, snapshot: &TraceSnapshot) -> String {
     let mut out = String::new();
     for ev in &snapshot.events {
@@ -28,6 +33,14 @@ pub fn to_jsonl(prog: usize, snapshot: &TraceSnapshot) -> String {
             other => fields.push((String::from("record"), other)),
         }
         out.push_str(&serde_json::to_string(&Value::Object(fields)).expect("Value serialization"));
+        out.push('\n');
+    }
+    if snapshot.dropped > 0 {
+        let meta = obj(vec![
+            ("prog", Value::U64(prog as u64)),
+            ("events_dropped", Value::U64(snapshot.dropped)),
+        ]);
+        out.push_str(&serde_json::to_string(&meta).expect("Value serialization"));
         out.push('\n');
     }
     out
@@ -95,6 +108,20 @@ pub fn to_chrome_trace(programs: &[(usize, TraceSnapshot)]) -> String {
         }
         for ev in &snap.events {
             events.push(chrome_event(*prog, ev));
+        }
+        if snap.dropped > 0 {
+            // Surface ring overflow as a process-scoped instant at the end
+            // of the program's timeline, so the hole is visible in the UI.
+            let last_ts = snap.events.last().map_or(0, |e| e.t_us);
+            events.push(obj(vec![
+                ("name", Value::String("events_dropped".into())),
+                ("ph", Value::String("i".into())),
+                ("pid", Value::U64(*prog as u64)),
+                ("tid", Value::U64(tid(LANE_SHARED))),
+                ("ts", Value::U64(last_ts)),
+                ("s", Value::String("p".into())),
+                ("args", obj(vec![("dropped", Value::U64(snap.dropped))])),
+            ]));
         }
     }
     serde_json::to_string(&obj(vec![("traceEvents", Value::Array(events))]))
@@ -168,6 +195,28 @@ mod tests {
         assert_eq!(coord["tid"].as_u64(), Some(u64::from(u32::MAX)));
         assert_eq!(coord["args"]["n_w"].as_u64(), Some(3));
         assert_eq!(coord["args"]["case"].as_str(), Some("FreePlusReclaim"));
+    }
+
+    #[test]
+    fn overflowed_snapshot_surfaces_events_dropped() {
+        let mut snap = sample_snapshot();
+        snap.dropped = 17;
+        // JSONL: one extra metadata line carrying the drop count.
+        let text = to_jsonl(2, &snap);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), snap.events.len() + 1);
+        let meta: Value = serde_json::from_str(lines.last().unwrap()).unwrap();
+        assert_eq!(meta["prog"].as_u64(), Some(2));
+        assert_eq!(meta["events_dropped"].as_u64(), Some(17));
+        // Event lines still parse back unchanged.
+        let back: TimedEvent = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(back, snap.events[0]);
+        // Chrome: one process-scoped instant named events_dropped.
+        let doc: Value = serde_json::from_str(&to_chrome_trace(&[(2, snap)])).unwrap();
+        let Value::Array(events) = &doc["traceEvents"] else { panic!("array") };
+        let drop_ev = events.iter().find(|e| e["name"].as_str() == Some("events_dropped")).unwrap();
+        assert_eq!(drop_ev["args"]["dropped"].as_u64(), Some(17));
+        assert_eq!(drop_ev["s"].as_str(), Some("p"));
     }
 
     #[test]

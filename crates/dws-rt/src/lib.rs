@@ -70,10 +70,11 @@ mod scope;
 pub mod shm;
 mod sleep;
 pub mod sync;
+pub mod telemetry;
 pub mod trace;
 
 pub use alloc_table::{equipartition_home, CoreTable, InProcessTable, TracedTable};
-pub use config::{Policy, RuntimeConfig, TraceConfig};
+pub use config::{Policy, RuntimeConfig, TelemetryConfig, TraceConfig};
 pub use coordinator::{eq1_wake_target, plan_wakes};
 pub use join::join;
 pub use metrics::{
@@ -84,4 +85,9 @@ pub use registry::Runtime;
 pub use scope::{scope, Scope};
 pub use shm::ShmTable;
 pub use sleep::{Sleeper, WakeReason};
+pub use telemetry::{
+    escape_label_value, frames_to_jsonl, render_prometheus, serve, CoordSample, CoreSample,
+    CounterSample, LatencySample, TelemetryFrame, TelemetryHandle, TelemetryServer, WorkerSample,
+    PROMETHEUS_CONTENT_TYPE,
+};
 pub use trace::{ReplayChecker, RtEvent, RtTrace, TimedEvent, TraceSnapshot};

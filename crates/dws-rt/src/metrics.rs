@@ -80,6 +80,16 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Per-bucket difference against an `earlier` snapshot of the same
+    /// histogram — the samples recorded in between. Saturating, so a
+    /// mismatched (non-prefix) pair degrades to zeros instead of wrapping;
+    /// used for rolling-window percentiles in [`crate::telemetry`].
+    pub fn saturating_diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].saturating_sub(earlier.counts[i])),
+        }
+    }
+
     /// Upper bound (ns, exclusive) of bucket `i`.
     pub fn bucket_upper_ns(i: usize) -> u64 {
         1u64 << (i + 1)
@@ -119,8 +129,17 @@ impl HistogramSnapshot {
 /// One worker's metrics shard: counters plus latency histograms. Shards
 /// are written only by their own worker (no contention) and read by
 /// snapshot aggregation.
+///
+/// Consistency: a worker records *batches* of related updates (e.g. a
+/// steal outcome counter plus its latency sample) inside a
+/// [`WorkerMetrics::write_section`]; [`WorkerMetrics::snapshot`] uses the
+/// shard's seqlock to avoid reading a batch halfway through, so merged
+/// snapshots never double-count or tear a shard mid-write.
 #[derive(Debug, Default)]
 pub struct WorkerMetrics {
+    /// Seqlock word: odd while the owning worker is inside a write
+    /// section, bumped to the next even value on exit.
+    seq: AtomicU64,
     /// Successful steals by this worker.
     pub steals_ok: AtomicU64,
     /// Failed steal attempts by this worker.
@@ -160,9 +179,34 @@ pub struct WorkerMetricsSnapshot {
     pub wake_to_first_task: HistogramSnapshot,
 }
 
+/// RAII guard marking the owning worker's multi-field update in flight;
+/// created by [`WorkerMetrics::write_section`].
+#[must_use = "the write section ends when the guard drops"]
+pub struct ShardWriteGuard<'a> {
+    seq: &'a AtomicU64,
+}
+
+impl Drop for ShardWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.seq.fetch_add(1, Ordering::AcqRel); // back to even: published
+    }
+}
+
 impl WorkerMetrics {
-    /// Plain-value copy.
-    pub fn snapshot(&self) -> WorkerMetricsSnapshot {
+    /// Enters a write section (owning worker only). Batched updates made
+    /// while the guard lives are seen atomically by [`snapshot`]
+    /// (`snapshot` retries while the section is open). Sections must stay
+    /// short and panic-free: a handful of counter bumps and histogram
+    /// records, never a sleep or a syscall.
+    ///
+    /// [`snapshot`]: WorkerMetrics::snapshot
+    #[inline]
+    pub fn write_section(&self) -> ShardWriteGuard<'_> {
+        self.seq.fetch_add(1, Ordering::AcqRel); // odd: write in progress
+        ShardWriteGuard { seq: &self.seq }
+    }
+
+    fn read_fields(&self) -> WorkerMetricsSnapshot {
         WorkerMetricsSnapshot {
             steals_ok: self.steals_ok.load(Ordering::Relaxed),
             steals_failed: self.steals_failed.load(Ordering::Relaxed),
@@ -172,6 +216,32 @@ impl WorkerMetrics {
             steal_latency: self.steal_latency.snapshot(),
             sleep_duration: self.sleep_duration.snapshot(),
             wake_to_first_task: self.wake_to_first_task.snapshot(),
+        }
+    }
+
+    /// Plain-value copy, consistent with respect to
+    /// [`WorkerMetrics::write_section`] batches: the standard seqlock read
+    /// loop, retrying while the owning worker is mid-section (yielding
+    /// after a burst of failed spins so a descheduled writer does not burn
+    /// a core). Write sections are a few relaxed stores, so in practice
+    /// one retry suffices.
+    pub fn snapshot(&self) -> WorkerMetricsSnapshot {
+        let mut spins = 0u32;
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 0 {
+                let snap = self.read_fields();
+                std::sync::atomic::fence(Ordering::Acquire);
+                if self.seq.load(Ordering::Relaxed) == s1 {
+                    return snap;
+                }
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
         }
     }
 }
@@ -277,13 +347,16 @@ impl RtMetrics {
         self.workers.iter().map(WorkerMetrics::snapshot).collect()
     }
 
-    /// Histograms merged across all worker shards.
+    /// Histograms merged across all worker shards. Each shard is read
+    /// through its seqlock-consistent [`WorkerMetrics::snapshot`], so a
+    /// shard mid-batch is never merged half-written.
     pub fn aggregated_histograms(&self) -> AggregatedHistograms {
         let mut agg = AggregatedHistograms::default();
         for w in &self.workers {
-            agg.steal_latency.merge(&w.steal_latency.snapshot());
-            agg.sleep_duration.merge(&w.sleep_duration.snapshot());
-            agg.wake_to_first_task.merge(&w.wake_to_first_task.snapshot());
+            let s = w.snapshot();
+            agg.steal_latency.merge(&s.steal_latency);
+            agg.sleep_duration.merge(&s.sleep_duration);
+            agg.wake_to_first_task.merge(&s.wake_to_first_task);
         }
         agg
     }
@@ -355,6 +428,78 @@ mod tests {
         assert_eq!(s.quantile_ns(1.0), Some(1 << 21));
         assert!(s.mean_ns().unwrap() > 96.0);
         assert_eq!(HistogramSnapshot::default().quantile_ns(0.5), None);
+    }
+
+    #[test]
+    fn histogram_saturating_diff_is_the_window() {
+        let h = LogHistogram::default();
+        h.record_ns(100);
+        h.record_ns(100);
+        let earlier = h.snapshot();
+        h.record_ns(100);
+        h.record_ns(1 << 20);
+        let later = h.snapshot();
+        let window = later.saturating_diff(&earlier);
+        assert_eq!(window.count(), 2);
+        assert_eq!(window.counts[6], 1);
+        assert_eq!(window.counts[20], 1);
+        // Mismatched order degrades to zeros, never wraps.
+        assert_eq!(earlier.saturating_diff(&later).count(), 0);
+    }
+
+    #[test]
+    fn snapshot_waits_out_a_write_section() {
+        let w = WorkerMetrics::default();
+        // Outside any section: snapshot sees stores immediately.
+        RtMetrics::bump(&w.steals_ok);
+        assert_eq!(w.snapshot().steals_ok, 1);
+        // A batch inside a section is seen atomically afterwards.
+        {
+            let _g = w.write_section();
+            RtMetrics::bump(&w.steals_ok);
+            w.steal_latency.record_ns(100);
+        }
+        let s = w.snapshot();
+        assert_eq!(s.steals_ok, 2);
+        assert_eq!(s.steal_latency.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_never_tears_a_batched_pair() {
+        // The writer keeps `steals_ok` and the steal-latency histogram
+        // count equal, updating both inside one write section; any
+        // snapshot must observe them equal (the seqlock retry makes the
+        // batch atomic to readers).
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let w = Arc::new(WorkerMetrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let w = Arc::clone(&w);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    {
+                        let _g = w.write_section();
+                        RtMetrics::bump(&w.steals_ok);
+                        w.steal_latency.record_ns(512);
+                    }
+                    // Leave a window between sections, as real shard
+                    // writers do (sections happen at steal cadence, not
+                    // back-to-back).
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let mut observed = 0u32;
+        for _ in 0..20_000 {
+            let s = w.snapshot();
+            assert_eq!(s.steals_ok, s.steal_latency.count(), "snapshot tore a write-section batch");
+            observed += u32::from(s.steals_ok > 0);
+        }
+        stop.store(true, Ordering::Release);
+        writer.join().unwrap();
+        assert!(observed > 0, "writer made progress under observation");
     }
 
     #[test]

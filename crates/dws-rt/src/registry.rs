@@ -22,6 +22,7 @@ use crate::metrics::{AggregatedHistograms, MetricsSnapshot, RtMetrics, WorkerMet
 use crate::rng::VictimRng;
 use crate::sleep::{Sleeper, WakeReason};
 use crate::sync::{preempt_point, AtomicBool, AtomicUsize, Ordering};
+use crate::telemetry::{sampler_loop, TelemetryFrame, TelemetryHandle, TelemetryState};
 use crate::trace::{RtEvent, RtTrace, TraceSnapshot, LANE_SHARED};
 
 thread_local! {
@@ -49,6 +50,7 @@ pub(crate) struct Registry {
     pub(crate) workers: Vec<WorkerInfo>,
     pub(crate) metrics: RtMetrics,
     pub(crate) trace: RtTrace,
+    pub(crate) telemetry: TelemetryState,
     pub(crate) shutdown: AtomicBool,
     /// Workers that have exited their main loop (shutdown accounting).
     exited: AtomicUsize,
@@ -126,6 +128,7 @@ pub struct Runtime {
     registry: Arc<Registry>,
     threads: Vec<std::thread::JoinHandle<()>>,
     coordinator: Option<std::thread::JoinHandle<()>>,
+    sampler: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Runtime {
@@ -177,6 +180,7 @@ impl Runtime {
         }
 
         let trace = RtTrace::new(n, config.trace.capacity, config.trace.enabled);
+        let telemetry = TelemetryState::new(config.telemetry.capacity);
         let registry = Arc::new(Registry {
             config,
             effective_policy,
@@ -186,6 +190,7 @@ impl Runtime {
             workers: infos,
             metrics: RtMetrics::with_workers(n),
             trace,
+            telemetry,
             shutdown: AtomicBool::new(false),
             exited: AtomicUsize::new(0),
             detached: AtomicUsize::new(0),
@@ -215,7 +220,19 @@ impl Runtime {
             None
         };
 
-        Runtime { registry, threads, coordinator }
+        let sampler = if registry.config.telemetry.enabled {
+            let reg = Arc::clone(&registry);
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("dws-telemetry-{prog_id}"))
+                    .spawn(move || sampler_loop(reg))
+                    .expect("failed to spawn telemetry sampler"),
+            )
+        } else {
+            None
+        };
+
+        Runtime { registry, threads, coordinator, sampler }
     }
 
     /// Runs `f` inside the pool and returns its result. If called from a
@@ -348,6 +365,31 @@ impl Runtime {
     pub fn table(&self) -> &Arc<dyn CoreTable> {
         &self.registry.table
     }
+
+    /// Total trace events dropped on ring overflow so far (0 with tracing
+    /// disabled). Exporters and harness binaries should surface a nonzero
+    /// value as a warning — a dropped event is a hole in the timeline.
+    pub fn events_dropped(&self) -> u64 {
+        self.registry.trace.dropped()
+    }
+
+    /// Is the telemetry sampler running (see [`crate::TelemetryConfig`])?
+    pub fn telemetry_enabled(&self) -> bool {
+        self.registry.config.telemetry.enabled
+    }
+
+    /// A cloneable handle to this runtime's live telemetry, labeled
+    /// `label` in exposition output. Works with the sampler disabled too
+    /// ([`TelemetryHandle::sample_now`] snapshots on demand); with it
+    /// enabled, frames accumulate every [`crate::TelemetryConfig::tick`].
+    pub fn telemetry(&self, label: impl Into<String>) -> TelemetryHandle {
+        TelemetryHandle { reg: Arc::clone(&self.registry), label: label.into() }
+    }
+
+    /// The most recent telemetry frame, if the sampler has produced any.
+    pub fn latest_frame(&self) -> Option<TelemetryFrame> {
+        self.telemetry("").latest()
+    }
 }
 
 impl Drop for Runtime {
@@ -366,6 +408,9 @@ impl Drop for Runtime {
         }
         if let Some(c) = self.coordinator.take() {
             let _ = c.join();
+        }
+        if let Some(s) = self.sampler.take() {
+            let _ = s.join();
         }
     }
 }
@@ -538,8 +583,14 @@ impl WorkerThread {
             let (reason, slept) =
                 reg.workers[self.index].sleeper.sleep_timed(reg.config.sleep_timeout);
             RtMetrics::bump(&reg.metrics.wakes);
-            RtMetrics::bump(&shard.wakes);
-            shard.sleep_duration.record(slept);
+            {
+                // Wake counter + duration sample publish together; the
+                // section covers only the post-wake bookkeeping, never
+                // the sleep itself.
+                let _ws = shard.write_section();
+                RtMetrics::bump(&shard.wakes);
+                shard.sleep_duration.record(slept);
+            }
             reg.trace.record(lane, RtEvent::Wake { worker: self.index });
             if reg.shutdown.load(Ordering::Acquire) {
                 return;
@@ -637,14 +688,22 @@ impl WorkerThread {
         let result = self.registry.workers[victim].stealer.steal();
         if let Some(t0) = t0 {
             let shard = &self.registry.metrics.workers[self.index];
-            shard.steal_latency.record(t0.elapsed());
+            {
+                // Outcome counter + latency sample are one logical batch:
+                // publish them atomically to snapshot readers.
+                let _ws = shard.write_section();
+                shard.steal_latency.record(t0.elapsed());
+                RtMetrics::bump(if matches!(result, Steal::Success(_)) {
+                    &shard.steals_ok
+                } else {
+                    &shard.steals_failed
+                });
+            }
             if matches!(result, Steal::Success(_)) {
-                RtMetrics::bump(&shard.steals_ok);
                 self.registry
                     .trace
                     .record(self.index as u32, RtEvent::StealOk { worker: self.index, victim });
             } else {
-                RtMetrics::bump(&shard.steals_failed);
                 self.registry
                     .trace
                     .record(self.index as u32, RtEvent::StealFail { worker: self.index });
@@ -674,9 +733,12 @@ impl WorkerThread {
         RtMetrics::bump(&self.registry.metrics.jobs_executed);
         if self.trace_on {
             let shard = &self.registry.metrics.workers[self.index];
-            RtMetrics::bump(&shard.jobs_executed);
-            if let Some(woke) = self.wake_at.take() {
-                shard.wake_to_first_task.record(woke.elapsed());
+            {
+                let _ws = shard.write_section();
+                RtMetrics::bump(&shard.jobs_executed);
+                if let Some(woke) = self.wake_at.take() {
+                    shard.wake_to_first_task.record(woke.elapsed());
+                }
             }
             self.registry
                 .trace

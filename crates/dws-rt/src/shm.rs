@@ -236,6 +236,12 @@ impl CoreTable for ShmTable {
             .is_ok()
     }
 
+    fn owners(&self) -> Vec<i64> {
+        // Bulk read straight off the mapped slots: one acquire load per
+        // core, no per-core Option round-trip.
+        (0..self.cores).map(|c| i64::from(self.slot(c).load(Ordering::Acquire))).collect()
+    }
+
     fn try_reclaim(&self, core: usize, prog: usize) -> bool {
         if self.home[core] != prog {
             return false;
@@ -282,6 +288,9 @@ mod tests {
         assert_eq!(t.max_programs(), 2);
         assert_eq!(t.used_by(0), vec![0, 1, 2, 3]);
         assert_eq!(t.used_by(1), vec![4, 5, 6, 7]);
+        assert_eq!(t.owners(), vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert!(t.release(2, 0));
+        assert_eq!(t.owners()[2], -1, "bulk owners() read sees FREE as -1");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -1,0 +1,853 @@
+//! Live telemetry: a low-overhead time-series sampler over the runtime.
+//!
+//! PR 1's tracing is post-mortem — rings are dumped after the run ends.
+//! This module adds the *while it happens* view: a sampler thread
+//! snapshots the per-worker metric shards, the core-allocation table and
+//! the coordinator's latest Eq. 1 inputs every [`TelemetryConfig::tick`]
+//! (default 10 ms, aligned with the coordinator period `T`) into a
+//! bounded ring of [`TelemetryFrame`]s. Frames yield per-core occupancy
+//! timelines (who owns each core over time, reclaims, sleeps) and
+//! *rolling* steal/wake/reclaim latency percentiles (percentiles over the
+//! samples recorded since the previous frame, not merely cumulative).
+//!
+//! Exposure paths:
+//!
+//! * [`render_prometheus`] — Prometheus text exposition format, served by
+//!   [`serve`] from a plain `std::net::TcpListener` (no dependencies);
+//! * [`frames_to_jsonl`] — one frame per line, the `--telemetry-out`
+//!   file-sink format of the harness binaries;
+//! * `dws-top` (in `dws-harness`) — a live ANSI terminal view.
+//!
+//! The frame schema is mirrored field-for-field by `dws_sim::telemetry`,
+//! so simulated and real co-runs emit byte-identical JSON for identical
+//! content (verified by the `telemetry_mirror` integration test).
+//!
+//! Overhead budget: sampling is off the hot path entirely — the sampler
+//! thread reads the same relaxed atomics the workers write, at 100 Hz.
+//! One frame costs one pass over `k` table slots plus `w` shard
+//! snapshots; with telemetry disabled no thread is spawned and the only
+//! residual cost is the coordinator's per-period decision publish (a
+//! handful of relaxed stores every 10 ms).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::AggregatedHistograms;
+use crate::registry::Registry;
+use crate::trace::now_us;
+
+/// Owner of one core at sample time (`-1` = free).
+pub type CoreOwner = i64;
+
+/// One core's slot in a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreSample {
+    /// Core index.
+    pub core: usize,
+    /// Home program under the initial equipartition.
+    pub home: usize,
+    /// Current owner, or `-1` when free.
+    pub owner: CoreOwner,
+}
+
+/// One worker's state in a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerSample {
+    /// Worker index.
+    pub worker: usize,
+    /// Is the worker asleep right now?
+    pub asleep: bool,
+    /// Jobs queued in the worker's deque.
+    pub queue: usize,
+}
+
+/// The coordinator's most recent §3.3 evaluation: Eq. 1 inputs, the plan,
+/// and what actually happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CoordSample {
+    /// Queued jobs observed (`N_b`).
+    pub n_b: u64,
+    /// Active workers observed (`N_a`).
+    pub n_a: u64,
+    /// Free cores observed (`N_f`).
+    pub n_f: u64,
+    /// Reclaimable home cores observed (`N_r`).
+    pub n_r: u64,
+    /// Eq. 1 wake target (`N_w`, clamped to sleepers).
+    pub n_w: u64,
+    /// Cores the plan takes from the free pool.
+    pub planned_free: u64,
+    /// Cores the plan reclaims.
+    pub planned_reclaim: u64,
+    /// Wakes actually delivered (CAS races can lose grants).
+    pub woken: u64,
+    /// Total coordinator evaluations so far (monotone).
+    pub decisions: u64,
+}
+
+/// Monotone counters at sample time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Successful steals.
+    pub steals_ok: u64,
+    /// Failed steal attempts.
+    pub steals_failed: u64,
+    /// Jobs executed to completion.
+    pub jobs_executed: u64,
+    /// Worker sleeps.
+    pub sleeps: u64,
+    /// Worker wakes.
+    pub wakes: u64,
+    /// Idle yields.
+    pub yields: u64,
+    /// Coordinator invocations.
+    pub coordinator_runs: u64,
+    /// Free cores acquired from the table.
+    pub cores_acquired: u64,
+    /// Home cores reclaimed from co-runners.
+    pub cores_reclaimed: u64,
+    /// Cores released to the table on sleep.
+    pub cores_released: u64,
+    /// Trace events dropped on ring overflow (0 with tracing off).
+    pub events_dropped: u64,
+    /// Telemetry frames evicted from the frame ring to admit newer ones.
+    pub frames_evicted: u64,
+}
+
+/// Rolling latency percentiles in nanoseconds (0 when no new samples
+/// arrived since the previous frame — e.g. with tracing disabled, since
+/// the latency histograms only fill while tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LatencySample {
+    /// Steal-attempt latency p50 over the last interval.
+    pub steal_p50_ns: u64,
+    /// Steal-attempt latency p99 over the last interval.
+    pub steal_p99_ns: u64,
+    /// Sleep duration p50 over the last interval.
+    pub sleep_p50_ns: u64,
+    /// Sleep duration p99 over the last interval.
+    pub sleep_p99_ns: u64,
+    /// Wake→first-task p50 over the last interval.
+    pub wake_p50_ns: u64,
+    /// Wake→first-task p99 over the last interval.
+    pub wake_p99_ns: u64,
+}
+
+/// One time-series frame: everything an observer needs to render the
+/// instant — core occupancy, worker states, demand/supply, counters and
+/// rolling latency percentiles.
+///
+/// Field order is part of the wire format: `dws_sim::telemetry` declares
+/// the identical struct and the two serialize byte-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryFrame {
+    /// Microseconds since the process trace epoch (real time) or the
+    /// simulated clock (sim).
+    pub t_us: u64,
+    /// Emitting program id.
+    pub prog: usize,
+    /// Frame sequence number (monotone per program).
+    pub seq: u64,
+    /// Per-core occupancy, one entry per table core.
+    pub cores: Vec<CoreSample>,
+    /// Per-worker state, one entry per worker.
+    pub workers: Vec<WorkerSample>,
+    /// Latest coordinator decision.
+    pub coord: CoordSample,
+    /// Monotone counters.
+    pub counters: CounterSample,
+    /// Rolling latency percentiles.
+    pub latency: LatencySample,
+}
+
+impl TelemetryFrame {
+    /// Cores currently owned by the emitting program.
+    pub fn cores_owned(&self) -> usize {
+        self.cores.iter().filter(|c| c.owner == self.prog as i64).count()
+    }
+
+    /// Workers currently asleep.
+    pub fn workers_asleep(&self) -> usize {
+        self.workers.iter().filter(|w| w.asleep).count()
+    }
+
+    /// Total queued jobs across worker deques.
+    pub fn queued_jobs(&self) -> usize {
+        self.workers.iter().map(|w| w.queue).sum()
+    }
+}
+
+/// The coordinator's published decision: a tiny seqlock'd cell the
+/// sampler (and exposition endpoint) read without ever blocking the
+/// coordinator.
+#[derive(Debug, Default)]
+pub(crate) struct DecisionCell {
+    seq: AtomicU64,
+    n_b: AtomicU64,
+    n_a: AtomicU64,
+    n_f: AtomicU64,
+    n_r: AtomicU64,
+    n_w: AtomicU64,
+    planned_free: AtomicU64,
+    planned_reclaim: AtomicU64,
+    woken: AtomicU64,
+    decisions: AtomicU64,
+}
+
+impl DecisionCell {
+    /// Publishes one decision (coordinator thread only). The odd/even
+    /// seqlock keeps readers from observing a half-written decision.
+    pub(crate) fn publish(&self, d: CoordSample) {
+        self.seq.fetch_add(1, Ordering::AcqRel); // odd: write in progress
+        self.n_b.store(d.n_b, Ordering::Relaxed);
+        self.n_a.store(d.n_a, Ordering::Relaxed);
+        self.n_f.store(d.n_f, Ordering::Relaxed);
+        self.n_r.store(d.n_r, Ordering::Relaxed);
+        self.n_w.store(d.n_w, Ordering::Relaxed);
+        self.planned_free.store(d.planned_free, Ordering::Relaxed);
+        self.planned_reclaim.store(d.planned_reclaim, Ordering::Relaxed);
+        self.woken.store(d.woken, Ordering::Relaxed);
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        self.seq.fetch_add(1, Ordering::AcqRel); // even: published
+    }
+
+    /// Reads the latest decision; retries while a publish is in flight.
+    pub(crate) fn load(&self) -> CoordSample {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let d = CoordSample {
+                n_b: self.n_b.load(Ordering::Relaxed),
+                n_a: self.n_a.load(Ordering::Relaxed),
+                n_f: self.n_f.load(Ordering::Relaxed),
+                n_r: self.n_r.load(Ordering::Relaxed),
+                n_w: self.n_w.load(Ordering::Relaxed),
+                planned_free: self.planned_free.load(Ordering::Relaxed),
+                planned_reclaim: self.planned_reclaim.load(Ordering::Relaxed),
+                woken: self.woken.load(Ordering::Relaxed),
+                decisions: self.decisions.load(Ordering::Relaxed),
+            };
+            if self.seq.load(Ordering::Acquire) == s1 {
+                return d;
+            }
+        }
+    }
+}
+
+/// Per-runtime telemetry state: the frame ring plus the coordinator's
+/// decision cell. Always present on the registry (a few hundred bytes);
+/// the sampler thread only exists when telemetry is enabled.
+#[derive(Debug)]
+pub(crate) struct TelemetryState {
+    /// Latest coordinator decision (written every period).
+    pub(crate) decision: DecisionCell,
+    /// Bounded ring of recent frames; oldest evicted first.
+    frames: Mutex<std::collections::VecDeque<Arc<TelemetryFrame>>>,
+    capacity: usize,
+    evicted: AtomicU64,
+    next_seq: AtomicU64,
+}
+
+impl TelemetryState {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TelemetryState {
+            decision: DecisionCell::default(),
+            frames: Mutex::new(std::collections::VecDeque::new()),
+            capacity: capacity.max(1),
+            evicted: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, frame: TelemetryFrame) {
+        let mut q = self.frames.lock();
+        if q.len() >= self.capacity {
+            q.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(Arc::new(frame));
+    }
+
+    fn latest(&self) -> Option<Arc<TelemetryFrame>> {
+        self.frames.lock().back().cloned()
+    }
+
+    fn all(&self) -> Vec<Arc<TelemetryFrame>> {
+        self.frames.lock().iter().cloned().collect()
+    }
+
+    fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+/// Builds one frame from live registry state. `prev` carries the
+/// aggregated histograms of the previous frame for the rolling
+/// percentiles; pass `None` for cumulative-since-start.
+pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) -> TelemetryFrame {
+    let table = &*reg.table;
+    let prog = reg.prog_id;
+    let owners = table.owners();
+    let cores = owners
+        .iter()
+        .enumerate()
+        .map(|(core, &owner)| CoreSample { core, home: table.home(core), owner })
+        .collect();
+    let workers = (0..reg.workers.len())
+        .map(|w| WorkerSample {
+            worker: w,
+            asleep: reg.workers[w].sleeper.is_sleeping(),
+            queue: reg.workers[w].stealer.len(),
+        })
+        .collect();
+    let snap = reg.metrics.snapshot();
+    let trace_dropped = reg.trace.dropped();
+    let counters = CounterSample {
+        steals_ok: snap.steals_ok,
+        steals_failed: snap.steals_failed,
+        jobs_executed: snap.jobs_executed,
+        sleeps: snap.sleeps,
+        wakes: snap.wakes,
+        yields: snap.yields,
+        coordinator_runs: snap.coordinator_runs,
+        cores_acquired: snap.cores_acquired,
+        cores_reclaimed: snap.cores_reclaimed,
+        cores_released: snap.cores_released,
+        events_dropped: trace_dropped,
+        frames_evicted: reg.telemetry.evicted(),
+    };
+    let hist = reg.metrics.aggregated_histograms();
+    let window = match prev {
+        Some(p) => AggregatedHistograms {
+            steal_latency: hist.steal_latency.saturating_diff(&p.steal_latency),
+            sleep_duration: hist.sleep_duration.saturating_diff(&p.sleep_duration),
+            wake_to_first_task: hist.wake_to_first_task.saturating_diff(&p.wake_to_first_task),
+        },
+        None => hist,
+    };
+    let q = |h: &crate::metrics::HistogramSnapshot, q: f64| h.quantile_ns(q).unwrap_or(0);
+    let latency = LatencySample {
+        steal_p50_ns: q(&window.steal_latency, 0.5),
+        steal_p99_ns: q(&window.steal_latency, 0.99),
+        sleep_p50_ns: q(&window.sleep_duration, 0.5),
+        sleep_p99_ns: q(&window.sleep_duration, 0.99),
+        wake_p50_ns: q(&window.wake_to_first_task, 0.5),
+        wake_p99_ns: q(&window.wake_to_first_task, 0.99),
+    };
+    TelemetryFrame {
+        t_us: now_us(),
+        prog,
+        seq: reg.telemetry.next_seq.fetch_add(1, Ordering::Relaxed),
+        cores,
+        workers,
+        coord: reg.telemetry.decision.load(),
+        counters,
+        latency,
+    }
+}
+
+/// The sampler thread body: one frame every `tick` until shutdown, plus a
+/// final frame so short runs always leave at least one.
+pub(crate) fn sampler_loop(reg: Arc<Registry>) {
+    let tick = reg.config.telemetry.tick.max(Duration::from_micros(100));
+    let chunk = tick.min(Duration::from_millis(50));
+    let mut prev: Option<AggregatedHistograms> = None;
+    loop {
+        let frame = sample_frame(&reg, prev.as_ref());
+        prev = Some(reg.metrics.aggregated_histograms());
+        reg.telemetry.push(frame);
+        if reg.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut slept = Duration::ZERO;
+        while slept < tick {
+            let step = chunk.min(tick - slept);
+            std::thread::sleep(step);
+            slept += step;
+            if reg.shutdown.load(Ordering::Acquire) {
+                // One last frame so the series covers the whole run.
+                reg.telemetry.push(sample_frame(&reg, prev.as_ref()));
+                return;
+            }
+        }
+    }
+}
+
+/// A cloneable, runtime-independent view of one program's telemetry;
+/// obtained from [`crate::Runtime::telemetry`]. Handles stay valid after
+/// the runtime shuts down (the final frames remain readable).
+#[derive(Clone)]
+pub struct TelemetryHandle {
+    pub(crate) reg: Arc<Registry>,
+    pub(crate) label: String,
+}
+
+impl TelemetryHandle {
+    /// The human label used in exposition (`prog` label value).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Program id in the shared table.
+    pub fn program_id(&self) -> usize {
+        self.reg.prog_id
+    }
+
+    /// The most recent sampled frame, if the sampler has produced any.
+    pub fn latest(&self) -> Option<TelemetryFrame> {
+        self.reg.telemetry.latest().map(|f| (*f).clone())
+    }
+
+    /// Every retained frame, oldest first.
+    pub fn frames(&self) -> Vec<TelemetryFrame> {
+        self.reg.telemetry.all().iter().map(|f| (**f).clone()).collect()
+    }
+
+    /// Samples a frame right now, bypassing the ring (works with the
+    /// sampler disabled; percentiles are cumulative-since-start).
+    pub fn sample_now(&self) -> TelemetryFrame {
+        sample_frame(&self.reg, None)
+    }
+
+    /// Latest sampled frame, or a fresh on-demand sample.
+    pub fn latest_or_sample(&self) -> TelemetryFrame {
+        self.latest().unwrap_or_else(|| self.sample_now())
+    }
+}
+
+impl std::fmt::Debug for TelemetryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryHandle")
+            .field("prog", &self.reg.prog_id)
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+/// Escapes a Prometheus label value: `\` → `\\`, `"` → `\"`, newline →
+/// `\n` (the text exposition format's three escapes).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes Prometheus HELP text (`\` and newline only — quotes are legal
+/// there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The Content-Type of the text exposition format.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    fn line(&mut self, name: &str, labels: &[(&str, &str)], value: impl std::fmt::Display) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+            }
+            self.out.push('}');
+        }
+        self.out.push_str(&format!(" {value}\n"));
+    }
+}
+
+/// A metric row in the exposition tables below: name, HELP text, getter.
+type CounterMetric = (&'static str, &'static str, fn(&CounterSample) -> u64);
+type CoordMetric = (&'static str, &'static str, fn(&CoordSample) -> u64);
+/// As above plus the `quantile` label value.
+type LatencyMetric = (&'static str, &'static str, fn(&LatencySample) -> u64, &'static str);
+
+/// Renders Prometheus text exposition for one or more programs' latest
+/// frames. Every series carries a `prog` label (the handle's display
+/// label, escaped); per-core and per-worker gauges add `core` / `worker`
+/// labels.
+pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
+    let mut w = PromWriter { out: String::new() };
+
+    let counters: [CounterMetric; 11] = [
+        ("dws_steals_ok_total", "Successful steals.", |c| c.steals_ok),
+        ("dws_steals_failed_total", "Failed steal attempts.", |c| c.steals_failed),
+        ("dws_jobs_executed_total", "Jobs executed to completion.", |c| c.jobs_executed),
+        ("dws_sleeps_total", "Times a worker went to sleep.", |c| c.sleeps),
+        ("dws_wakes_total", "Times a worker woke.", |c| c.wakes),
+        ("dws_yields_total", "Idle sched_yields.", |c| c.yields),
+        ("dws_coordinator_runs_total", "Coordinator invocations.", |c| c.coordinator_runs),
+        ("dws_cores_acquired_total", "Free cores acquired from the table.", |c| c.cores_acquired),
+        ("dws_cores_reclaimed_total", "Home cores reclaimed from co-runners.", |c| {
+            c.cores_reclaimed
+        }),
+        ("dws_cores_released_total", "Cores released to the table on sleep.", |c| c.cores_released),
+        ("dws_events_dropped_total", "Trace events dropped on ring overflow.", |c| {
+            c.events_dropped
+        }),
+    ];
+    for (name, help, get) in counters {
+        w.header(name, help, "counter");
+        for (label, f) in frames {
+            w.line(name, &[("prog", label)], get(&f.counters));
+        }
+    }
+
+    w.header("dws_frames_evicted_total", "Telemetry frames evicted from the ring.", "counter");
+    for (label, f) in frames {
+        w.line("dws_frames_evicted_total", &[("prog", label)], f.counters.frames_evicted);
+    }
+
+    w.header("dws_frame_seq", "Sequence number of the exported frame.", "gauge");
+    for (label, f) in frames {
+        w.line("dws_frame_seq", &[("prog", label)], f.seq);
+    }
+    w.header("dws_frame_t_us", "Frame timestamp, µs since the trace epoch.", "gauge");
+    for (label, f) in frames {
+        w.line("dws_frame_t_us", &[("prog", label)], f.t_us);
+    }
+
+    w.header("dws_cores_owned", "Cores currently owned by the program.", "gauge");
+    for (label, f) in frames {
+        w.line("dws_cores_owned", &[("prog", label)], f.cores_owned());
+    }
+    w.header("dws_workers_asleep", "Workers currently asleep.", "gauge");
+    for (label, f) in frames {
+        w.line("dws_workers_asleep", &[("prog", label)], f.workers_asleep());
+    }
+    w.header("dws_queued_jobs", "Jobs queued across worker deques.", "gauge");
+    for (label, f) in frames {
+        w.line("dws_queued_jobs", &[("prog", label)], f.queued_jobs());
+    }
+
+    w.header(
+        "dws_core_owner",
+        "Owner program of each table core (-1 = free). Table-global: identical across programs sharing a table.",
+        "gauge",
+    );
+    for (label, f) in frames {
+        for c in &f.cores {
+            let core = c.core.to_string();
+            w.line("dws_core_owner", &[("prog", label), ("core", &core)], c.owner);
+        }
+    }
+
+    w.header("dws_worker_queue_depth", "Jobs queued in each worker's deque.", "gauge");
+    for (label, f) in frames {
+        for ws in &f.workers {
+            let worker = ws.worker.to_string();
+            w.line("dws_worker_queue_depth", &[("prog", label), ("worker", &worker)], ws.queue);
+        }
+    }
+    w.header("dws_worker_asleep", "1 when the worker is asleep.", "gauge");
+    for (label, f) in frames {
+        for ws in &f.workers {
+            let worker = ws.worker.to_string();
+            w.line(
+                "dws_worker_asleep",
+                &[("prog", label), ("worker", &worker)],
+                u64::from(ws.asleep),
+            );
+        }
+    }
+
+    let coords: [CoordMetric; 8] = [
+        ("dws_coord_n_b", "Queued jobs observed by the coordinator (Eq. 1 N_b).", |c| c.n_b),
+        ("dws_coord_n_a", "Active workers observed (Eq. 1 N_a).", |c| c.n_a),
+        ("dws_coord_n_f", "Free cores observed (N_f).", |c| c.n_f),
+        ("dws_coord_n_r", "Reclaimable home cores observed (N_r).", |c| c.n_r),
+        ("dws_coord_n_w", "Eq. 1 wake target (N_w).", |c| c.n_w),
+        ("dws_coord_planned_free", "Cores the plan takes from the free pool.", |c| c.planned_free),
+        ("dws_coord_planned_reclaim", "Cores the plan reclaims.", |c| c.planned_reclaim),
+        ("dws_coord_woken", "Wakes actually delivered by the last decision.", |c| c.woken),
+    ];
+    for (name, help, get) in coords {
+        w.header(name, help, "gauge");
+        for (label, f) in frames {
+            w.line(name, &[("prog", label)], get(&f.coord));
+        }
+    }
+    w.header("dws_coord_decisions_total", "Coordinator decisions published.", "counter");
+    for (label, f) in frames {
+        w.line("dws_coord_decisions_total", &[("prog", label)], f.coord.decisions);
+    }
+
+    let lats: [LatencyMetric; 6] = [
+        ("dws_steal_latency_ns", "Rolling steal-attempt latency.", |l| l.steal_p50_ns, "0.5"),
+        ("dws_steal_latency_ns", "Rolling steal-attempt latency.", |l| l.steal_p99_ns, "0.99"),
+        ("dws_sleep_duration_ns", "Rolling sleep duration.", |l| l.sleep_p50_ns, "0.5"),
+        ("dws_sleep_duration_ns", "Rolling sleep duration.", |l| l.sleep_p99_ns, "0.99"),
+        (
+            "dws_wake_to_first_task_ns",
+            "Rolling wake-to-first-task latency.",
+            |l| l.wake_p50_ns,
+            "0.5",
+        ),
+        (
+            "dws_wake_to_first_task_ns",
+            "Rolling wake-to-first-task latency.",
+            |l| l.wake_p99_ns,
+            "0.99",
+        ),
+    ];
+    let mut last_header = "";
+    for (name, help, get, quantile) in lats {
+        if name != last_header {
+            w.header(name, help, "gauge");
+            last_header = name;
+        }
+        for (label, f) in frames {
+            w.line(name, &[("prog", label), ("quantile", quantile)], get(&f.latency));
+        }
+    }
+
+    w.out
+}
+
+/// Serializes frames as JSON Lines, one frame per line (the
+/// `--telemetry-out` sink format). Lines parse back as
+/// [`TelemetryFrame`]s.
+pub fn frames_to_jsonl(frames: &[TelemetryFrame]) -> String {
+    let mut out = String::new();
+    for f in frames {
+        out.push_str(&serde_json::to_string(f).expect("frame serialization"));
+        out.push('\n');
+    }
+    out
+}
+
+/// A running exposition endpoint; dropping it stops the server thread.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// The actually-bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryServer").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+/// Serves the Prometheus text exposition for `handles` from a plain
+/// `TcpListener` bound to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+/// port). Every HTTP request, whatever the path, receives the current
+/// metrics — each program's latest sampled frame (or an on-demand sample
+/// when the sampler is off).
+pub fn serve(
+    handles: Vec<TelemetryHandle>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<TelemetryServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("dws-telemetry-http".into())
+        .spawn(move || {
+            while !stop2.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                        // Drain (part of) the request; the response does not
+                        // depend on it.
+                        let mut buf = [0u8; 1024];
+                        let _ = stream.read(&mut buf);
+                        let body = render_prometheus(
+                            &handles
+                                .iter()
+                                .map(|h| (h.label().to_string(), h.latest_or_sample()))
+                                .collect::<Vec<_>>(),
+                        );
+                        let resp = format!(
+                            "HTTP/1.1 200 OK\r\nContent-Type: {PROMETHEUS_CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                            body.len()
+                        );
+                        let _ = stream.write_all(resp.as_bytes());
+                        let _ = stream.flush();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        })
+        .expect("failed to spawn telemetry server thread");
+    Ok(TelemetryServer { addr, stop, thread: Some(thread) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_frame(prog: usize, seq: u64) -> TelemetryFrame {
+        TelemetryFrame {
+            t_us: 1000 + seq,
+            prog,
+            seq,
+            cores: vec![
+                CoreSample { core: 0, home: 0, owner: 0 },
+                CoreSample { core: 1, home: 1, owner: -1 },
+            ],
+            workers: vec![
+                WorkerSample { worker: 0, asleep: false, queue: 3 },
+                WorkerSample { worker: 1, asleep: true, queue: 0 },
+            ],
+            coord: CoordSample { n_b: 3, n_a: 1, n_f: 1, n_r: 0, n_w: 3, ..Default::default() },
+            counters: CounterSample { steals_ok: 5 + seq, ..Default::default() },
+            latency: LatencySample { steal_p50_ns: 1024, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn frame_helpers() {
+        let f = tiny_frame(0, 0);
+        assert_eq!(f.cores_owned(), 1);
+        assert_eq!(f.workers_asleep(), 1);
+        assert_eq!(f.queued_jobs(), 3);
+    }
+
+    #[test]
+    fn frame_jsonl_round_trips() {
+        let frames = vec![tiny_frame(0, 0), tiny_frame(1, 1)];
+        let text = frames_to_jsonl(&frames);
+        assert_eq!(text.lines().count(), 2);
+        for (line, original) in text.lines().zip(&frames) {
+            let back: TelemetryFrame = serde_json::from_str(line).unwrap();
+            assert_eq!(back, *original);
+        }
+    }
+
+    #[test]
+    fn label_escaping_covers_the_three_escapes() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed_and_escaped() {
+        let label = "we\"ird\\prog\nname".to_string();
+        let text = render_prometheus(&[(label, tiny_frame(0, 7))]);
+        // HELP/TYPE precede the first sample of each metric.
+        let lines: Vec<&str> = text.lines().collect();
+        let idx = lines.iter().position(|l| l.starts_with("dws_steals_ok_total{")).unwrap();
+        assert!(lines[..idx].iter().any(|l| l.starts_with("# HELP dws_steals_ok_total ")));
+        assert!(lines[..idx].contains(&"# TYPE dws_steals_ok_total counter"));
+        // Label value is escaped — no raw newline may survive in a label.
+        assert!(text.contains(r#"prog="we\"ird\\prog\nname""#));
+        // Every non-comment line is `name{labels} value`.
+        for l in lines.iter().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (series, value) = l.rsplit_once(' ').unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparsable value in {l:?}");
+            assert!(series.starts_with("dws_"), "bad series name in {l:?}");
+        }
+        // Per-core and per-worker series carry their index labels.
+        assert!(text.contains(r#"core="1""#));
+        assert!(text.contains(r#"worker="1""#));
+        assert!(text.contains(r#"quantile="0.99""#));
+    }
+
+    #[test]
+    fn prometheus_counters_are_monotone_across_frames() {
+        let f1 = tiny_frame(0, 0);
+        let f2 = tiny_frame(0, 1); // steals_ok bumped by seq
+        let parse = |text: &str| -> Vec<(String, f64)> {
+            text.lines()
+                .filter(|l| !l.starts_with('#') && l.contains("_total"))
+                .map(|l| {
+                    let (series, value) = l.rsplit_once(' ').unwrap();
+                    (series.to_string(), value.parse::<f64>().unwrap())
+                })
+                .collect()
+        };
+        let a = parse(&render_prometheus(&[("p0".into(), f1)]));
+        let b = parse(&render_prometheus(&[("p0".into(), f2)]));
+        assert_eq!(a.len(), b.len());
+        for ((s1, v1), (s2, v2)) in a.iter().zip(&b) {
+            assert_eq!(s1, s2, "series sets must match across snapshots");
+            assert!(v2 >= v1, "counter {s1} regressed: {v1} -> {v2}");
+        }
+    }
+
+    #[test]
+    fn decision_cell_round_trips() {
+        let cell = DecisionCell::default();
+        assert_eq!(cell.load(), CoordSample::default());
+        cell.publish(CoordSample { n_b: 9, n_a: 3, n_f: 1, n_r: 2, n_w: 3, ..Default::default() });
+        let d = cell.load();
+        assert_eq!((d.n_b, d.n_a, d.n_f, d.n_r, d.n_w), (9, 3, 1, 2, 3));
+        assert_eq!(d.decisions, 1);
+        cell.publish(CoordSample { n_b: 1, ..Default::default() });
+        assert_eq!(cell.load().decisions, 2);
+    }
+
+    #[test]
+    fn telemetry_state_ring_evicts_oldest() {
+        let st = TelemetryState::new(2);
+        for i in 0..4 {
+            st.push(tiny_frame(0, i));
+        }
+        let frames = st.all();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].seq, 2);
+        assert_eq!(frames[1].seq, 3);
+        assert_eq!(st.evicted(), 2);
+        assert_eq!(st.latest().unwrap().seq, 3);
+    }
+}

@@ -305,6 +305,12 @@ impl RtTrace {
         self.rings[idx].record(TimedEvent { t_us: now_us(), lane, event: ev });
     }
 
+    /// Total events dropped across all lanes so far (ring overflow).
+    /// Cheap — one relaxed load per lane, no event copying.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(EventRing::dropped).sum()
+    }
+
     /// Merged snapshot of every lane, sorted by timestamp.
     pub fn snapshot(&self) -> TraceSnapshot {
         let mut events: Vec<TimedEvent> = self.rings.iter().flat_map(EventRing::snapshot).collect();

@@ -15,6 +15,10 @@ use crate::os::{Os, SliceResult, ThreadId};
 use crate::policy::Policy;
 use crate::program::{SimProgram, StepOutcome, WorkerState};
 use crate::rng::XorShift64Star;
+use crate::telemetry::{
+    CoordSample, CoreSample, CounterSample, LatencySample, SimTelemetry, TelemetryFrame,
+    WorkerSample,
+};
 use crate::trace::{SchedEvent, Trace};
 use crate::workload::WorkloadSpec;
 
@@ -87,6 +91,7 @@ pub struct Simulator {
     pending_wakes: Vec<(SimTime, ThreadId)>,
     trace: Trace,
     traced_runs: Vec<usize>,
+    telemetry: Option<SimTelemetry>,
 }
 
 impl Simulator {
@@ -182,6 +187,7 @@ impl Simulator {
             pending_wakes: Vec::new(),
             trace: Trace::default(),
             traced_runs: vec![0; m],
+            telemetry: None,
         };
         sim.seed_run_queues();
         sim
@@ -242,6 +248,26 @@ impl Simulator {
         &self.trace
     }
 
+    /// Turns on telemetry-frame sampling: every `period_us` of simulated
+    /// time the simulator snapshots one [`TelemetryFrame`] per program
+    /// into a ring of at most `capacity` frames (oldest evicted first) —
+    /// the sim mirror of `dws_rt`'s sampler thread.
+    pub fn enable_telemetry(&mut self, period_us: SimTime, capacity: usize) {
+        self.telemetry =
+            Some(SimTelemetry::new(self.programs.len(), period_us, capacity, self.now));
+    }
+
+    /// The sampled frames for `prog`, oldest first (empty unless
+    /// [`Simulator::enable_telemetry`] was called).
+    pub fn telemetry_frames(&self, prog: usize) -> Vec<TelemetryFrame> {
+        self.telemetry.as_ref().map_or_else(Vec::new, |tel| tel.frames(prog))
+    }
+
+    /// The most recent sampled frame for `prog`, if any.
+    pub fn latest_frame(&self, prog: usize) -> Option<TelemetryFrame> {
+        self.telemetry.as_ref().and_then(|tel| tel.latest(prog))
+    }
+
     /// Events discarded after the trace capacity was reached (0 when
     /// tracing is off). A nonzero value means analyses over
     /// [`Simulator::trace`] see a truncated history — raise the
@@ -293,8 +319,84 @@ impl Simulator {
             }
         }
 
+        self.sample_telemetry(now);
+
         #[cfg(debug_assertions)]
         self.table.check_invariants(self.programs.len());
+    }
+
+    /// Emits one telemetry frame per program when the sampling period has
+    /// elapsed (no-op with telemetry off). Runs at the end of the tick so
+    /// frames see the tick's completed work.
+    fn sample_telemetry(&mut self, now: SimTime) {
+        // Take the sampler out of `self` so capturing can read program and
+        // table state while the rings are borrowed mutably.
+        let Some(mut tel) = self.telemetry.take() else { return };
+        if now >= tel.next_sample_us {
+            while tel.next_sample_us <= now {
+                tel.next_sample_us += tel.period_us;
+            }
+            self.capture_frames(&mut tel, now);
+        }
+        self.telemetry = Some(tel);
+    }
+
+    fn capture_frames(&self, tel: &mut SimTelemetry, now: SimTime) {
+        // One shared trace ⇒ one global drop count, repeated per frame.
+        let dropped = self.trace.dropped();
+        let cores: Vec<CoreSample> = (0..self.table.cores())
+            .map(|c| CoreSample {
+                core: c,
+                home: self.table.home(c),
+                owner: match self.table.slot(c) {
+                    Slot::Free => -1,
+                    Slot::Used(p) => p as i64,
+                },
+            })
+            .collect();
+        for (p, prog) in self.programs.iter().enumerate() {
+            let workers: Vec<WorkerSample> = prog
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(w, wk)| WorkerSample {
+                    worker: w,
+                    asleep: !wk.awake,
+                    queue: prog.deques[w].len(),
+                })
+                .collect();
+            let pt = &tel.progs[p];
+            let coord = CoordSample { decisions: pt.decisions, ..pt.last_coord };
+            let m = &prog.metrics;
+            let counters = CounterSample {
+                steals_ok: m.steals_ok,
+                steals_failed: m.steals_failed,
+                jobs_executed: m.tasks_executed,
+                sleeps: m.sleeps,
+                wakes: m.wakes,
+                yields: m.yields,
+                coordinator_runs: m.coordinator_runs,
+                cores_acquired: m.cores_acquired,
+                cores_reclaimed: m.cores_reclaimed,
+                cores_released: m.cores_released,
+                events_dropped: dropped,
+                frames_evicted: pt.evicted(),
+            };
+            tel.push(
+                p,
+                TelemetryFrame {
+                    t_us: now,
+                    prog: p,
+                    seq: 0, // assigned by the ring
+                    cores: cores.clone(),
+                    workers,
+                    coord,
+                    counters,
+                    // The µs-resolution event model has no ns histograms.
+                    latency: LatencySample::default(),
+                },
+            );
+        }
     }
 
     fn deliver_wakes(&mut self, now: SimTime) {
@@ -353,6 +455,14 @@ impl Simulator {
             };
             match self.programs[p].sched.policy {
                 Policy::Dws => {
+                    // Table supply, captured before the decision consumes
+                    // it — the decision type keeps `N_f`/`N_r` internal.
+                    let telemetry_on = self.telemetry.is_some();
+                    let (n_f, n_r) = if telemetry_on {
+                        (self.table.n_free(), self.table.n_reclaimable(p))
+                    } else {
+                        (0, 0)
+                    };
                     let decision = decide_dws(p, obs, &self.table, &mut self.rng);
                     self.trace.record(
                         now,
@@ -363,11 +473,13 @@ impl Simulator {
                             n_w: decision.n_w,
                         },
                     );
+                    let mut woken = 0u64;
                     for &core in &decision.take_free {
                         if self.table.acquire_free(core, p) {
                             self.programs[p].metrics.cores_acquired += 1;
                             self.trace.record(now, SchedEvent::Acquire { prog: p, core });
                             self.schedule_wake(p, core, now);
+                            woken += 1;
                         }
                     }
                     for &core in &decision.reclaim {
@@ -375,7 +487,23 @@ impl Simulator {
                             self.programs[p].metrics.cores_reclaimed += 1;
                             self.trace.record(now, SchedEvent::Reclaim { prog: p, core });
                             self.schedule_wake(p, core, now);
+                            woken += 1;
                         }
+                    }
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        let pt = &mut tel.progs[p];
+                        pt.decisions += 1;
+                        pt.last_coord = CoordSample {
+                            n_b: obs.queued_tasks as u64,
+                            n_a: obs.active_workers as u64,
+                            n_f: n_f as u64,
+                            n_r: n_r as u64,
+                            n_w: decision.n_w as u64,
+                            planned_free: decision.take_free.len() as u64,
+                            planned_reclaim: decision.reclaim.len() as u64,
+                            woken,
+                            decisions: 0, // running count kept separately
+                        };
                     }
                 }
                 Policy::DwsNc => {
@@ -389,6 +517,7 @@ impl Simulator {
                             n_w: n,
                         },
                     );
+                    let mut woken = 0u64;
                     if n > 0 {
                         let mut sleeping = self.programs[p].sleeping_workers();
                         // Random subset.
@@ -397,9 +526,25 @@ impl Simulator {
                             sleeping.swap(i, j);
                         }
                         sleeping.truncate(n);
+                        woken = sleeping.len() as u64;
                         for w in sleeping {
                             self.schedule_wake(p, w, now);
                         }
+                    }
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        let pt = &mut tel.progs[p];
+                        pt.decisions += 1;
+                        pt.last_coord = CoordSample {
+                            n_b: obs.queued_tasks as u64,
+                            n_a: obs.active_workers as u64,
+                            n_f: 0, // no table in the ablation
+                            n_r: 0,
+                            n_w: n as u64,
+                            planned_free: 0,
+                            planned_reclaim: 0,
+                            woken,
+                            decisions: 0,
+                        };
                     }
                 }
                 _ => unreachable!("coordinator on non-coordinated policy"),
@@ -491,6 +636,7 @@ impl Simulator {
                 && self.table.slot(core) == Slot::Used(p)
             {
                 self.table.release(core, p);
+                self.programs[p].metrics.cores_released += 1;
                 self.trace.record(now, SchedEvent::Release { prog: p, core });
             }
         }
@@ -676,6 +822,70 @@ mod tests {
         .unwrap();
         let speedup = one / four;
         assert!(speedup > 2.0, "expected >2x speedup on 4 cores, got {speedup:.2}");
+    }
+
+    #[test]
+    fn telemetry_frames_track_a_dws_corun() {
+        let cfg = small_machine();
+        let mut sim = Simulator::new(
+            cfg,
+            vec![
+                spec(rec_workload("a", 5, 80.0, 0.4), Policy::Dws, 4),
+                spec(wave_workload("b", 10, 4, 60.0, 100.0), Policy::Dws, 4),
+            ],
+        );
+        sim.enable_telemetry(10_000, 1024);
+        while sim.now() < 500_000 {
+            sim.tick();
+        }
+        for p in 0..2 {
+            let frames = sim.telemetry_frames(p);
+            assert!(frames.len() >= 40, "expected ~50 frames, got {}", frames.len());
+            for pair in frames.windows(2) {
+                let (a, b) = (&pair[0], &pair[1]);
+                assert_eq!(b.seq, a.seq + 1, "monotone seq");
+                assert!(b.t_us > a.t_us, "monotone timestamps");
+                assert!(b.counters.jobs_executed >= a.counters.jobs_executed);
+                assert!(b.counters.coordinator_runs >= a.counters.coordinator_runs);
+                assert!(b.coord.decisions >= a.coord.decisions);
+            }
+            let last = sim.latest_frame(p).unwrap();
+            assert_eq!(last.prog, p);
+            assert_eq!(last.cores.len(), 4);
+            for c in &last.cores {
+                assert_eq!(c.home, sim.alloc_table().home(c.core));
+                assert!(c.owner == -1 || (c.owner >= 0 && c.owner < 2));
+            }
+            assert_eq!(last.workers.len(), 4);
+            assert!(last.coord.decisions > 0, "coordinator decisions captured");
+            // The coordinator plan never exceeds the observed supply.
+            assert!(last.coord.planned_free <= last.coord.n_f);
+            assert!(last.coord.planned_reclaim <= last.coord.n_r);
+            assert_eq!(last.latency, crate::telemetry::LatencySample::default());
+            assert_eq!(last.counters.frames_evicted, 0);
+        }
+    }
+
+    #[test]
+    fn telemetry_ring_eviction_is_surfaced() {
+        let cfg = small_machine();
+        let mut sim = Simulator::new(
+            cfg,
+            vec![
+                spec(rec_workload("a", 5, 80.0, 0.4), Policy::Dws, 4),
+                spec(rec_workload("b", 5, 80.0, 0.4), Policy::Dws, 4),
+            ],
+        );
+        sim.enable_telemetry(10_000, 4);
+        while sim.now() < 200_000 {
+            sim.tick();
+        }
+        let frames = sim.telemetry_frames(0);
+        assert_eq!(frames.len(), 4, "ring holds at most its capacity");
+        assert!(
+            sim.latest_frame(0).unwrap().counters.frames_evicted > 0,
+            "evictions show up in the frame counters"
+        );
     }
 
     #[test]

@@ -26,6 +26,8 @@ pub struct ProgramMetrics {
     pub cores_acquired: u64,
     /// Own cores reclaimed from other programs.
     pub cores_reclaimed: u64,
+    /// Cores released to the table when a worker went to sleep.
+    pub cores_released: u64,
     /// CPU time spent executing task work, µs (at effective speed).
     pub busy_us: f64,
     /// CPU time burnt on steal attempts (failed + successful), µs.
