@@ -36,6 +36,11 @@ pub enum Bug {
     /// snapshot then double-reclaims a core its own timed-out worker
     /// just legitimately reclaimed.
     DoubleReclaim,
+    /// The reaper fences a co-runner's lease without confirming death —
+    /// the equivalent of skipping the `kill(pid, 0)` check in the
+    /// runtime's `fence_expired`. A slow-but-alive program is then
+    /// reaped and its next table transition breaks the protocol.
+    ReapAlive,
 }
 
 /// Shape and timing of one model instance. All times are virtual
@@ -59,6 +64,16 @@ pub struct ModelConfig {
     pub sleep_timeout_ns: u64,
     /// Virtual duration of executing one task.
     pub work_ns: u64,
+    /// Program SIGKILLed mid-run by the crash scenario (`None` = no
+    /// crash). Its workers and coordinator stop dead — no releases, no
+    /// cleanup — and a reaper thread per survivor recovers the cores.
+    pub crash: Option<usize>,
+    /// Virtual time at which the crash is delivered.
+    pub crash_at_ns: u64,
+    /// Lease timeout: how long a reaper waits between scans for dead
+    /// co-runners (the model analogue of the heartbeat staleness
+    /// window).
+    pub lease_timeout_ns: u64,
     /// Seeded protocol mutation, if any.
     pub bug: Option<Bug>,
 }
@@ -75,6 +90,9 @@ impl ModelConfig {
             coord_ticks: 2,
             sleep_timeout_ns: 15_000,
             work_ns: 4_000,
+            crash: None,
+            crash_at_ns: 0,
+            lease_timeout_ns: 40_000,
             bug: None,
         }
     }
@@ -90,7 +108,25 @@ impl ModelConfig {
             coord_ticks: 4,
             sleep_timeout_ns: 20_000,
             work_ns: 6_000,
+            crash: None,
+            crash_at_ns: 0,
+            lease_timeout_ns: 40_000,
             bug: None,
+        }
+    }
+
+    /// The crash-recovery instance: the standard 2-program/4-core shape
+    /// with program 1 SIGKILLed mid-run. Exploration then covers every
+    /// interleaving of the kill against releases, reclaims and the
+    /// survivor's reap pass.
+    pub fn crash() -> Self {
+        ModelConfig {
+            // Enough work that the victim is still busy — and owns
+            // cores — when the kill lands.
+            tasks: vec![5, 30],
+            crash: Some(1),
+            crash_at_ns: 60_000,
+            ..ModelConfig::standard()
         }
     }
 
@@ -204,6 +240,21 @@ impl ModelTable {
             .is_ok()
         {
             self.log_event(ProtoEvent::Release { prog, core });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns a core stranded by dead program `dead` to the free pool
+    /// (CAS `dead → FREE`), logging the reap on success. Fails (without
+    /// logging) if someone else already moved the core.
+    pub fn try_reap(&self, dead: usize, core: usize) -> bool {
+        if self.current[core]
+            .compare_exchange(dead as i32, FREE, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.log_event(ProtoEvent::Reap { prog: dead, core });
             true
         } else {
             false
@@ -330,6 +381,34 @@ struct Shared {
     prog_remaining: Vec<AtomicUsize>,
     sleepers: Vec<Vec<ModelSleeper>>,
     awake: Vec<Vec<AtomicBool>>,
+    /// SIGKILL delivered to the program: its threads exit at the next
+    /// check without releasing anything.
+    dead: Vec<AtomicBool>,
+    /// Lease fenced by a reaper (one-shot, CAS-claimed).
+    fenced: Vec<AtomicBool>,
+    /// Threads of the program that have fully exited. A reaper may
+    /// fence only once *all* of them are gone — the model analogue of
+    /// `kill(pid, 0) == ESRCH`, which guarantees the dead program
+    /// performs no transition after the fence.
+    exited: Vec<AtomicUsize>,
+}
+
+impl Shared {
+    /// Threads each program runs: one worker per core + the coordinator.
+    fn threads_per_prog(&self) -> usize {
+        self.cfg.cores + 1
+    }
+
+    /// Is `prog` confirmed dead — SIGKILLed *and* fully exited? With
+    /// [`Bug::ReapAlive`] seeded the death check is skipped, modelling a
+    /// reaper that fences on heartbeat staleness alone.
+    fn confirmed_dead(&self, prog: usize) -> bool {
+        if self.cfg.bug == Some(Bug::ReapAlive) {
+            return true;
+        }
+        self.dead[prog].load(Ordering::SeqCst)
+            && self.exited[prog].load(Ordering::SeqCst) == self.threads_per_prog()
+    }
 }
 
 fn take_task(q: &AtomicUsize) -> bool {
@@ -350,6 +429,12 @@ fn worker_loop(sh: &Shared, prog: usize, core: usize) {
     let work = Duration::from_nanos(sh.cfg.work_ns.max(1));
     let mut failed = 0u32;
     loop {
+        if sh.dead[prog].load(Ordering::SeqCst) {
+            // SIGKILL: stop dead. The core (if owned) stays stranded in
+            // the table until a survivor's reaper recovers it.
+            sh.awake[prog][core].store(false, Ordering::SeqCst);
+            return;
+        }
         if sh.prog_remaining[prog].load(Ordering::SeqCst) == 0 {
             sh.table.release(prog, core);
             sh.awake[prog][core].store(false, Ordering::SeqCst);
@@ -409,7 +494,9 @@ fn worker_loop(sh: &Shared, prog: usize, core: usize) {
 fn coordinator_loop(sh: &Shared, prog: usize) {
     let period = sh.cfg.coord_period_ns.max(1);
     for _ in 0..sh.cfg.coord_ticks {
-        if sh.prog_remaining[prog].load(Ordering::SeqCst) == 0 {
+        if sh.dead[prog].load(Ordering::SeqCst)
+            || sh.prog_remaining[prog].load(Ordering::SeqCst) == 0
+        {
             return;
         }
         let jitter = match fault_plan().coord_jitter_ns {
@@ -417,7 +504,9 @@ fn coordinator_loop(sh: &Shared, prog: usize) {
             j => fault_below(j),
         };
         sleep(Duration::from_nanos(period + jitter));
-        if sh.prog_remaining[prog].load(Ordering::SeqCst) == 0 {
+        if sh.dead[prog].load(Ordering::SeqCst)
+            || sh.prog_remaining[prog].load(Ordering::SeqCst) == 0
+        {
             return;
         }
         // Snapshot — racy by design, like the runtime coordinator's.
@@ -466,6 +555,37 @@ fn coordinator_loop(sh: &Shared, prog: usize) {
     }
 }
 
+/// The survivor's reaper pass: waits out the lease timeout, and once
+/// the crash victim is confirmed dead (SIGKILLed *and* fully exited —
+/// the model's `kill(pid, 0) == ESRCH`), CAS-fences its lease and
+/// returns every core it stranded to the free pool. Mirrors
+/// `dws_rt::reap_expired`'s fence → reap ladder, including the one-shot
+/// fence under racing reapers.
+fn reaper_loop(sh: &Shared, victim: usize) {
+    let timeout = Duration::from_nanos(sh.cfg.lease_timeout_ns.max(1));
+    loop {
+        sleep(timeout);
+        if !sh.confirmed_dead(victim) {
+            continue;
+        }
+        preempt_point("reap-fence");
+        if sh.fenced[victim]
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            sh.table.log_event(ProtoEvent::Expired { prog: victim });
+        }
+        for core in 0..sh.cfg.cores {
+            if sh.table.current(core) != victim as i32 {
+                continue;
+            }
+            preempt_point("reap-core");
+            sh.table.try_reap(victim, core);
+        }
+        return;
+    }
+}
+
 /// Builds the model inside an exploration: spawns one worker per
 /// `(program, core)` and one coordinator per program, and returns the
 /// post-check closure that linearizes the event log, replays it through
@@ -475,6 +595,10 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
     assert!(cfg.programs >= 1, "need at least one program");
     assert!(cfg.cores >= cfg.programs, "need at least one core per program");
     assert_eq!(cfg.tasks.len(), cfg.programs, "tasks.len() must equal programs");
+    if let Some(v) = cfg.crash {
+        assert!(v < cfg.programs, "crash victim out of range");
+        assert!(cfg.programs >= 2, "crash scenario needs a survivor");
+    }
     let home = cfg.home();
     let sh = Arc::new(Shared {
         home: home.clone(),
@@ -487,16 +611,38 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
         awake: (0..cfg.programs)
             .map(|p| (0..cfg.cores).map(|c| AtomicBool::new(home[c] == p)).collect())
             .collect(),
+        dead: (0..cfg.programs).map(|_| AtomicBool::new(false)).collect(),
+        fenced: (0..cfg.programs).map(|_| AtomicBool::new(false)).collect(),
+        exited: (0..cfg.programs).map(|_| AtomicUsize::new(0)).collect(),
         cfg: cfg.clone(),
     });
     for p in 0..cfg.programs {
         for c in 0..cfg.cores {
             let sh2 = Arc::clone(&sh);
-            env.spawn(&format!("w{p}.{c}"), move || worker_loop(&sh2, p, c));
+            env.spawn(&format!("w{p}.{c}"), move || {
+                worker_loop(&sh2, p, c);
+                sh2.exited[p].fetch_add(1, Ordering::SeqCst);
+            });
         }
         let sh2 = Arc::clone(&sh);
-        env.spawn(&format!("coord{p}"), move || coordinator_loop(&sh2, p));
+        env.spawn(&format!("coord{p}"), move || {
+            coordinator_loop(&sh2, p);
+            sh2.exited[p].fetch_add(1, Ordering::SeqCst);
+        });
     }
+    if let Some(victim) = cfg.crash {
+        let crash_at = Duration::from_nanos(cfg.crash_at_ns.max(1));
+        let sh2 = Arc::clone(&sh);
+        env.spawn("killer", move || {
+            sleep(crash_at);
+            sh2.dead[victim].store(true, Ordering::SeqCst);
+        });
+        for p in (0..cfg.programs).filter(|&p| p != victim) {
+            let sh2 = Arc::clone(&sh);
+            env.spawn(&format!("reaper{p}"), move || reaper_loop(&sh2, victim));
+        }
+    }
+    let crash = cfg.crash;
     move |clean: bool| {
         let events = sh.table.take_log();
         let mut error = None;
@@ -508,7 +654,14 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
             }
         }
         if error.is_none() && clean {
-            let left: usize = sh.prog_remaining.iter().map(|r| r.load(Ordering::SeqCst)).sum();
+            // A crash victim's tasks legitimately die with it.
+            let left: usize = sh
+                .prog_remaining
+                .iter()
+                .enumerate()
+                .filter(|&(p, _)| crash != Some(p))
+                .map(|(_, r)| r.load(Ordering::SeqCst))
+                .sum();
             if left != 0 {
                 error = Some(format!("{left} tasks left unexecuted"));
             } else {
@@ -518,6 +671,19 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
                         "event log and live table disagree: log says {:?}, table says {:?}",
                         oracle.owners(),
                         live
+                    ));
+                }
+            }
+        }
+        if error.is_none() && clean {
+            if let Some(v) = crash {
+                // The headline recovery property: no core stays
+                // stranded with the dead program once the run settles.
+                let stranded: Vec<usize> =
+                    (0..sh.cfg.cores).filter(|&c| sh.table.current(c) == v as i32).collect();
+                if !stranded.is_empty() {
+                    error = Some(format!(
+                        "cores {stranded:?} still owned by crashed prog {v} at end of run"
                     ));
                 }
             }
@@ -561,6 +727,15 @@ mod tests {
         assert!(!t.try_reclaim(0, 0)); // already owned: correctly a no-op
         let log = t.take_log();
         assert_eq!(log.len(), 3); // release, acquire, reclaim
+    }
+
+    #[test]
+    fn table_reap_protocol_unmanaged() {
+        let t = ModelTable::new(vec![0, 0, 1, 1], None);
+        assert!(!t.try_reap(1, 0)); // owned by 0: CAS refuses
+        assert!(t.try_reap(1, 2));
+        assert!(!t.try_reap(1, 2)); // already free
+        assert_eq!(t.take_log(), vec![ProtoEvent::Reap { prog: 1, core: 2 }]);
     }
 
     #[test]

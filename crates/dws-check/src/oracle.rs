@@ -8,8 +8,13 @@
 //! 2. `Acquire` requires the core to be free;
 //! 3. `Reclaim` is only legal for the core's *home* program, and never
 //!    for a core that program already owns (a double-reclaim);
-//! 4. `Release` is only legal by the current owner (no double release).
+//! 4. `Release` is only legal by the current owner (no double release);
+//! 5. `Reap` is only legal for a core owned by a program whose lease
+//!    already `Expired`, and an expired program performs no further
+//!    table transition (it is dead — mirror of the runtime's
+//!    `LeaseExpired`/`Reap` replay rules).
 
+use std::collections::HashSet;
 use std::fmt;
 
 /// One protocol-relevant event of a model run, in linearization order.
@@ -61,6 +66,20 @@ pub enum ProtoEvent {
         /// Wake target computed (`N_w`).
         n_w: usize,
     },
+    /// A reaper fenced the lease of dead program `prog` (stale
+    /// heartbeat + death confirmed).
+    Expired {
+        /// The dead program.
+        prog: usize,
+    },
+    /// A reaper returned core `core`, stranded by dead program `prog`,
+    /// to the free pool.
+    Reap {
+        /// The dead program that owned the core.
+        prog: usize,
+        /// Core index.
+        core: usize,
+    },
 }
 
 impl fmt::Display for ProtoEvent {
@@ -74,6 +93,8 @@ impl fmt::Display for ProtoEvent {
             ProtoEvent::CoordTick { prog, n_b, n_a, n_w } => {
                 write!(f, "coord    prog={prog} n_b={n_b} n_a={n_a} n_w={n_w}")
             }
+            ProtoEvent::Expired { prog } => write!(f, "expired  prog={prog}"),
+            ProtoEvent::Reap { prog, core } => write!(f, "reap     prog={prog} core={core}"),
         }
     }
 }
@@ -104,6 +125,8 @@ pub struct OracleStats {
     pub reclaims: usize,
     /// Number of `Release` events.
     pub releases: usize,
+    /// Number of `Reap` events.
+    pub reaps: usize,
 }
 
 /// Replays a trace against the ownership rules, starting (like the
@@ -113,6 +136,7 @@ pub struct OracleStats {
 pub struct Oracle {
     home: Vec<usize>,
     owner: Vec<Option<usize>>,
+    expired: HashSet<usize>,
     next_index: usize,
     /// Counts of table transitions replayed so far.
     pub stats: OracleStats,
@@ -125,6 +149,7 @@ impl Oracle {
         Oracle {
             home: home.to_vec(),
             owner: home.iter().map(|&p| Some(p)).collect(),
+            expired: HashSet::new(),
             next_index: 0,
             stats: OracleStats::default(),
         }
@@ -140,6 +165,14 @@ impl Oracle {
         let index = self.next_index;
         self.next_index += 1;
         let fail = |reason: String| Err(Violation { index, event, reason });
+        if let ProtoEvent::Acquire { prog, .. }
+        | ProtoEvent::Reclaim { prog, .. }
+        | ProtoEvent::Release { prog, .. } = event
+        {
+            if self.expired.contains(&prog) {
+                return fail(format!("table transition by expired prog {prog}"));
+            }
+        }
         match event {
             ProtoEvent::Acquire { prog, core } => {
                 if core >= self.owner.len() {
@@ -189,6 +222,32 @@ impl Oracle {
                 self.owner[core] = None;
                 self.stats.releases += 1;
             }
+            ProtoEvent::Expired { prog } => {
+                // Idempotent, like the runtime's `LeaseExpired` replay
+                // rule: racing reapers may both log the expiry.
+                self.expired.insert(prog);
+            }
+            ProtoEvent::Reap { prog, core } => {
+                if core >= self.owner.len() {
+                    return fail(format!("reap of nonexistent core {core}"));
+                }
+                if !self.expired.contains(&prog) {
+                    return fail(format!(
+                        "reap of core {core} for prog {prog} which never expired"
+                    ));
+                }
+                match self.owner[core] {
+                    None => return fail(format!("reap of core {core} but it is free")),
+                    Some(cur) if cur != prog => {
+                        return fail(format!(
+                            "reap of core {core} for prog {prog} while owned by prog {cur}"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+                self.owner[core] = None;
+                self.stats.reaps += 1;
+            }
             ProtoEvent::Sleep { .. } | ProtoEvent::Wake { .. } | ProtoEvent::CoordTick { .. } => {}
         }
         Ok(())
@@ -220,7 +279,7 @@ mod tests {
             Reclaim { prog: 0, core: 1 },
         ];
         let stats = Oracle::replay(&HOME, &trace).expect("clean trace");
-        assert_eq!(stats, OracleStats { acquires: 1, reclaims: 1, releases: 2 });
+        assert_eq!(stats, OracleStats { acquires: 1, reclaims: 1, releases: 2, reaps: 0 });
     }
 
     #[test]
@@ -256,5 +315,55 @@ mod tests {
         let trace = [Release { prog: 0, core: 0 }, Release { prog: 0, core: 0 }];
         let v = Oracle::replay(&HOME, &trace).unwrap_err();
         assert!(v.reason.contains("double release"), "{}", v.reason);
+    }
+
+    #[test]
+    fn reap_of_expired_program_frees_its_cores() {
+        use ProtoEvent::*;
+        let trace = [
+            Expired { prog: 1 },
+            Expired { prog: 1 }, // racing reaper: tolerated
+            Reap { prog: 1, core: 2 },
+            Reap { prog: 1, core: 3 },
+            Acquire { prog: 0, core: 2 },
+        ];
+        let stats = Oracle::replay(&HOME, &trace).expect("clean reap trace");
+        assert_eq!(stats, OracleStats { acquires: 1, reclaims: 0, releases: 0, reaps: 2 });
+    }
+
+    #[test]
+    fn reap_without_expiry_is_caught() {
+        use ProtoEvent::*;
+        let v = Oracle::replay(&HOME, &[Reap { prog: 1, core: 2 }]).unwrap_err();
+        assert!(v.reason.contains("never expired"), "{}", v.reason);
+    }
+
+    #[test]
+    fn reap_of_foreign_or_free_core_is_caught() {
+        use ProtoEvent::*;
+        let trace = [Expired { prog: 1 }, Reap { prog: 1, core: 0 }];
+        let v = Oracle::replay(&HOME, &trace).unwrap_err();
+        assert!(v.reason.contains("while owned by prog 0"), "{}", v.reason);
+        let trace = [Release { prog: 1, core: 2 }, Expired { prog: 1 }, Reap { prog: 1, core: 2 }];
+        let v = Oracle::replay(&HOME, &trace).unwrap_err();
+        assert!(v.reason.contains("but it is free"), "{}", v.reason);
+    }
+
+    #[test]
+    fn expired_program_performs_no_further_transitions() {
+        use ProtoEvent::*;
+        for bad in [
+            Release { prog: 1, core: 2 },
+            Acquire { prog: 1, core: 2 },
+            Reclaim { prog: 1, core: 2 },
+        ] {
+            let trace = if matches!(bad, Acquire { .. }) {
+                vec![Release { prog: 1, core: 2 }, Expired { prog: 1 }, bad]
+            } else {
+                vec![Expired { prog: 1 }, bad]
+            };
+            let v = Oracle::replay(&HOME, &trace).unwrap_err();
+            assert!(v.reason.contains("by expired prog 1"), "{}", v.reason);
+        }
     }
 }

@@ -11,6 +11,7 @@ use std::time::Duration;
 use dws_check::model::{self, Bug, ModelConfig, ModelSleeper, WakeReason};
 use dws_check::{
     explore_dfs, explore_random, CheckOptions, Env, Explorer, FaultPlan, Outcome, PostCheck,
+    ProtoEvent,
 };
 
 #[test]
@@ -72,6 +73,53 @@ fn seeded_double_reclaim_is_caught_and_replays() {
     assert!(failure.contains("already owns it"), "unexpected failure: {failure}");
     // The failing seed must reproduce the identical interleaving, event
     // trace, and violation.
+    explorer.replay(&failing).expect("failing seed must replay identically");
+}
+
+#[test]
+fn crash_model_clean_over_random_schedules() {
+    // SIGKILL one co-runner mid-run under every explored interleaving:
+    // the survivor's reaper must recover the stranded cores without
+    // ever breaking the ownership protocol.
+    let cfg = ModelConfig::crash();
+    let report = explore_random(&CheckOptions::default(), 0xDEAD, 120, |env, seed| {
+        model::spawn_model(env, &cfg, seed)
+    });
+    assert!(matches!(report.outcome, Outcome::Pass), "{:?}", report.failing());
+    assert_eq!(report.schedules, 120);
+}
+
+#[test]
+fn crash_run_logs_expiry_then_reaps_and_replays() {
+    let cfg = ModelConfig::crash();
+    let explorer = Explorer::new(CheckOptions::default(), move |env: &Env, seed| {
+        model::spawn_model(env, &cfg, seed)
+    });
+    let r = explorer.run_seed(0xCAFE);
+    assert!(r.failure.is_none(), "{:?}", r.failure);
+    let expired = r.events.iter().filter(|e| matches!(e, ProtoEvent::Expired { prog: 1 })).count();
+    let reaps = r.events.iter().filter(|e| matches!(e, ProtoEvent::Reap { prog: 1, .. })).count();
+    assert_eq!(expired, 1, "the lease fence is one-shot");
+    assert!(reaps >= 1, "the kill stranded no core: {:?}", r.events);
+    explorer.replay(&r).expect("crash run must replay identically");
+}
+
+#[test]
+fn seeded_reap_alive_is_caught_and_replays() {
+    // A reaper that skips the death check fences a slow-but-alive
+    // program; its next table transition violates the oracle's
+    // expired-prog rule.
+    let cfg = ModelConfig::crash().with_bug(Bug::ReapAlive);
+    let explorer = Explorer::new(CheckOptions::default(), move |env: &Env, seed| {
+        model::spawn_model(env, &cfg, seed)
+    });
+    let report = explorer.random(0xA11, 500);
+    let failing = report
+        .failing()
+        .unwrap_or_else(|| panic!("reap-alive bug not found in {} schedules", report.schedules))
+        .clone();
+    let failure = failing.failure.as_deref().unwrap();
+    assert!(failure.contains("expired prog"), "unexpected failure: {failure}");
     explorer.replay(&failing).expect("failing seed must replay identically");
 }
 

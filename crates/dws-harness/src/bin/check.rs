@@ -29,6 +29,7 @@ struct Cli {
     max_steps: u64,
     faults: bool,
     small: bool,
+    crash: bool,
     fast: bool,
     bug: Option<Bug>,
 }
@@ -44,11 +45,16 @@ const USAGE: &str = "usage: check [OPTIONS]
                    wakes, preemption storms, dropped steals)
   --small          1-core-per-program model instead of the standard
                    2-program/4-core one
+  --crash          SIGKILL one co-runner mid-run: explores the kill
+                   against releases, reclaims and the survivor's
+                   lease-fence/reap pass
   --fast           coarser atomicity (loads are not yield points); much
                    higher schedule throughput
-  --bug double-reclaim
-                   seed the double-reclaim mutation (the run SHOULD fail;
-                   exits 0 only if the checker catches it)";
+  --bug <name>     seed a protocol mutation (the run SHOULD fail; exits 0
+                   only if the checker catches it):
+                     double-reclaim   stale-snapshot double reclaim
+                     reap-alive       fence without confirming death
+                                      (implies --crash)";
 
 fn parse() -> Result<Cli, String> {
     let mut cli = Cli {
@@ -59,6 +65,7 @@ fn parse() -> Result<Cli, String> {
         max_steps: 20_000,
         faults: false,
         small: false,
+        crash: false,
         fast: false,
         bug: None,
     };
@@ -94,11 +101,16 @@ fn parse() -> Result<Cli, String> {
             "--dfs" => cli.dfs = true,
             "--faults" => cli.faults = true,
             "--small" => cli.small = true,
+            "--crash" => cli.crash = true,
             "--fast" => cli.fast = true,
             "--bug" => {
                 let v = args.get(i + 1).ok_or("--bug needs a value")?;
                 cli.bug = Some(match v.as_str() {
                     "double-reclaim" => Bug::DoubleReclaim,
+                    "reap-alive" => {
+                        cli.crash = true;
+                        Bug::ReapAlive
+                    }
                     other => return Err(format!("unknown bug `{other}`")),
                 });
                 i += 1;
@@ -128,7 +140,7 @@ fn print_failure(r: &RunResult) {
 // flags must match; remind the user which ones were active.
 fn replay_flags() -> String {
     let mut s = String::new();
-    for flag in ["--faults", "--small", "--fast", "--dfs"] {
+    for flag in ["--faults", "--small", "--crash", "--fast", "--dfs"] {
         if std::env::args().any(|a| a == flag) {
             s.push(' ');
             s.push_str(flag);
@@ -152,7 +164,15 @@ fn main() -> ExitCode {
         }
     };
 
-    let cfg = if cli.small { ModelConfig::small() } else { ModelConfig::standard() };
+    let cfg = match (cli.small, cli.crash) {
+        (true, true) => {
+            eprintln!("error: --small and --crash are mutually exclusive");
+            return ExitCode::from(2);
+        }
+        (_, true) => ModelConfig::crash(),
+        (true, false) => ModelConfig::small(),
+        (false, false) => ModelConfig::standard(),
+    };
     let cfg = match cli.bug {
         Some(b) => cfg.with_bug(b),
         None => cfg,
@@ -168,13 +188,18 @@ fn main() -> ExitCode {
         Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &model_cfg, seed));
 
     println!(
-        "model: {} programs x {} cores{}{}{}",
+        "model: {} programs x {} cores{}{}{}{}",
         cfg.home().iter().max().map_or(1, |m| m + 1),
         cfg.home().len(),
+        match cfg.crash {
+            Some(v) => format!(", SIGKILL prog {v} at {} virtual ns", cfg.crash_at_ns),
+            None => String::new(),
+        },
         if cli.faults { ", aggressive faults" } else { "" },
         if cli.fast { ", fast (coarse loads)" } else { "" },
         match cli.bug {
             Some(Bug::DoubleReclaim) => ", seeded bug: double-reclaim",
+            Some(Bug::ReapAlive) => ", seeded bug: reap-alive",
             None => "",
         },
     );

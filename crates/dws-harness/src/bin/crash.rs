@@ -1,0 +1,308 @@
+//! `crash` — fault-injection e2e for the failure model (leases, orphan
+//! reaping, graceful degradation).
+//!
+//! Two scenarios, both against the real mmap-backed [`ShmTable`] with
+//! real co-running processes; the default runs both:
+//!
+//! * **kill** — spawns a victim co-runner process, `SIGKILL`s it
+//!   mid-stride, and asserts the survivor's coordinator fences the dead
+//!   lease and reacquires every orphaned core within the lease timeout
+//!   plus ten coordinator ticks. The survivor's table is wrapped in a
+//!   [`TracedTable`], so the run also proves the replay oracle accepts
+//!   the event stream including the `LeaseExpired`/`Reap` transitions.
+//! * **corrupt** — corrupts the shared file's magic in place (no
+//!   truncation — the mapping stays valid) and then deletes the file
+//!   mid-run, asserting the runtime degrades to its private in-process
+//!   table (`degraded=1` in telemetry) and completes instead of
+//!   panicking.
+//!
+//! ```text
+//! cargo run --release --bin crash                      # both scenarios
+//! cargo run --release --bin crash -- --scenario kill
+//! cargo run --release --bin crash -- --scenario corrupt
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dws_rt::{
+    join, CoreTable, FailoverTable, Policy, Runtime, RuntimeConfig, ShmTable, TracedTable,
+};
+
+const CORES: usize = 4;
+const PROGRAMS: usize = 2;
+const PERIOD: Duration = Duration::from_millis(20);
+const LEASE_TIMEOUT: Duration = Duration::from_millis(100);
+
+fn table_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dws-crash-{tag}-{}", std::process::id()));
+    p
+}
+
+/// ~20 µs of real work per leaf.
+fn burn() {
+    let mut acc = 0u64;
+    for i in 0..4_000u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(acc);
+}
+
+/// One fork-join round with 64 leaves — enough width that every worker
+/// of a 4-core program stays fed and the queues read non-empty to the
+/// coordinator (sustained demand, so freed cores are wanted).
+fn flood_round(rt: &Runtime) {
+    rt.block_on(|| {
+        fn rec(d: u32) {
+            if d == 0 {
+                burn();
+                return;
+            }
+            join(|| rec(d - 1), || rec(d - 1));
+        }
+        rec(6)
+    });
+}
+
+fn survivor_config() -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::new(CORES, Policy::Dws)
+        .with_telemetry()
+        .with_telemetry_tick(Duration::from_millis(10))
+        .with_lease_timeout(LEASE_TIMEOUT);
+    cfg.coordinator_period = PERIOD;
+    // Never voluntarily release a core: the only table transitions the
+    // survivor makes are reaps and (re)acquisitions, which keeps the
+    // cross-process trace linearizable from this process alone.
+    cfg.t_sleep = u32::MAX;
+    cfg
+}
+
+/// Kills (SIGKILL) and reaps the victim on every exit path, so a failed
+/// assertion never leaks an orphan process holding the table open.
+struct ChildGuard(Option<Child>);
+
+impl ChildGuard {
+    fn kill_and_wait(&mut self) {
+        if let Some(mut c) = self.0.take() {
+            let _ = c.kill();
+            // wait() is what turns the zombie into ESRCH for
+            // `kill(pid, 0)` — a zombie still counts as alive.
+            let _ = c.wait();
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        self.kill_and_wait();
+    }
+}
+
+/// The victim co-runner: registers as program 1, reports readiness on
+/// stdout once it is actively working, then floods forever until the
+/// parent SIGKILLs it. `t_sleep = MAX` keeps it from ever releasing a
+/// core, so every core it owns at death is stranded — the worst case
+/// the reaper must handle.
+fn victim(path: &Path) -> ExitCode {
+    let table = ShmTable::open_with_retry(path, CORES, PROGRAMS, 20, Duration::from_millis(5))
+        .expect("victim: open shared table");
+    let prog = table.register().expect("victim: register");
+    assert_eq!(prog, 1, "victim must be the second registrant");
+    let mut cfg = RuntimeConfig::new(CORES, Policy::Dws);
+    cfg.coordinator_period = PERIOD;
+    cfg.t_sleep = u32::MAX;
+    let rt = Runtime::with_table(cfg, Arc::new(table), prog);
+    flood_round(&rt);
+    println!("victim-ready");
+    std::io::stdout().flush().expect("victim: flush stdout");
+    loop {
+        flood_round(&rt);
+    }
+}
+
+fn scenario_kill() {
+    println!("== scenario: kill -9 a co-runner, survivor reaps ==");
+    let path = table_path("kill");
+    let _ = std::fs::remove_file(&path);
+
+    let shm = Arc::new(ShmTable::create_or_open(&path, CORES, PROGRAMS).expect("create table"));
+    assert_eq!(shm.register().expect("register survivor"), 0);
+    let traced = Arc::new(TracedTable::new(Arc::clone(&shm) as Arc<dyn CoreTable>, 1 << 16));
+    let rt = Arc::new(Runtime::with_table(
+        survivor_config(),
+        Arc::clone(&traced) as Arc<dyn CoreTable>,
+        0,
+    ));
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let child = Command::new(exe)
+        .args(["--role", "victim"])
+        .arg(&path)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn victim");
+    let mut guard = ChildGuard(Some(child));
+
+    // Wait until the victim is registered and actively working.
+    let stdout = guard.0.as_mut().unwrap().stdout.take().expect("victim stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read victim readiness");
+    assert_eq!(line.trim(), "victim-ready", "unexpected victim output: {line:?}");
+
+    // Both programs busy on their home halves.
+    let stop = Arc::new(AtomicBool::new(false));
+    let flood = {
+        let (rt, stop) = (Arc::clone(&rt), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                flood_round(&rt);
+            }
+        })
+    };
+    std::thread::sleep(2 * PERIOD);
+    let victim_cores = traced.used_by(1).len();
+    assert_eq!(victim_cores, 2, "victim must hold its 2 home cores when killed");
+
+    println!("killing victim (pid {})...", guard.0.as_ref().unwrap().id());
+    let killed_at = Instant::now();
+    guard.kill_and_wait();
+
+    // Acceptance bound: lease expiry is detected at most LEASE + 2 ticks
+    // after the kill (up to one tick of heartbeat age at the kill, one
+    // tick of coordinator alignment), then 10 further ticks for the
+    // fence + reap + reacquire. The extra slack absorbs OS scheduling
+    // noise on loaded machines — the tick-precise bound is checked
+    // deterministically by `check --crash` in virtual time.
+    let deadline = LEASE_TIMEOUT + 12 * PERIOD + Duration::from_millis(150);
+    let recovered_in = loop {
+        if traced.used_by(0).len() == CORES {
+            break killed_at.elapsed();
+        }
+        assert!(
+            killed_at.elapsed() <= deadline,
+            "survivor owns {}/{CORES} cores {:?} after the kill (budget {:?})",
+            traced.used_by(0).len(),
+            killed_at.elapsed(),
+            deadline,
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    stop.store(true, Ordering::Relaxed);
+    if flood.join().is_err() {
+        panic!("survivor flood thread panicked");
+    }
+    println!("survivor owns all {CORES} cores {recovered_in:?} after SIGKILL");
+
+    let m = rt.metrics();
+    assert_eq!(m.leases_expired, 1, "exactly one lease fenced: {m:?}");
+    assert_eq!(m.cores_reaped, 2, "both stranded cores reaped: {m:?}");
+
+    // The replay oracle must accept the whole stream, reaps included.
+    let stats = traced.replay_check().expect("trace replays clean");
+    assert_eq!(stats.reaps, 2, "replay saw both reap transitions: {stats:?}");
+    println!("replay oracle: {} events clean ({} reaps)", stats.total(), stats.reaps);
+
+    // And telemetry exposes the recovery.
+    let frame_deadline = Instant::now() + Duration::from_secs(2);
+    let counters = loop {
+        if let Some(f) = rt.latest_frame() {
+            if f.counters.cores_reaped == 2 {
+                break f.counters;
+            }
+        }
+        assert!(Instant::now() < frame_deadline, "telemetry never sampled the reap");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(counters.leases_expired, 1);
+    assert_eq!(counters.degraded, 0, "shared table stayed healthy");
+
+    drop(rt);
+    let _ = std::fs::remove_file(&path);
+    println!("kill scenario PASS\n");
+}
+
+fn scenario_corrupt() {
+    println!("== scenario: corrupt + delete the shm file mid-run ==");
+    let path = table_path("corrupt");
+    let _ = std::fs::remove_file(&path);
+
+    let shm = Arc::new(ShmTable::create_or_open(&path, CORES, PROGRAMS).expect("create table"));
+    let failover = Arc::new(FailoverTable::new(Arc::clone(&shm), &path));
+    assert_eq!(failover.register().expect("register"), 0);
+    let rt = Runtime::with_table(survivor_config(), Arc::clone(&failover) as Arc<dyn CoreTable>, 0);
+    for _ in 0..5 {
+        flood_round(&rt);
+    }
+    assert!(!rt.degraded(), "healthy table must not report degraded");
+
+    // Zero the magic *in place* — no truncate: O_TRUNC would shrink the
+    // mapping and turn the next table load into a SIGBUS, which is
+    // exactly the failure mode the health check exists to pre-empt.
+    {
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).expect("reopen table");
+        f.write_all(&[0u8; 8]).expect("zero the magic");
+        f.sync_all().expect("sync corruption");
+    }
+    std::fs::remove_file(&path).expect("delete table");
+    println!("table corrupted and deleted; waiting for the health check...");
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !rt.degraded() {
+        assert!(Instant::now() < deadline, "runtime never degraded");
+        flood_round(&rt);
+    }
+
+    // The run completes on the private fallback table.
+    for _ in 0..5 {
+        flood_round(&rt);
+    }
+    let frame_deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        if let Some(f) = rt.latest_frame() {
+            if f.counters.degraded == 1 {
+                break;
+            }
+        }
+        assert!(Instant::now() < frame_deadline, "telemetry never showed degraded=1");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("degraded=1 in telemetry; runs still complete");
+    drop(rt);
+    println!("corrupt scenario PASS\n");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--role") {
+        assert_eq!(args.get(1).map(String::as_str), Some("victim"), "unknown role");
+        let path = PathBuf::from(args.get(2).expect("victim needs the table path"));
+        return victim(&path);
+    }
+    let scenario = match args.as_slice() {
+        [] => "all".to_string(),
+        [flag, v] if flag == "--scenario" => v.clone(),
+        _ => {
+            eprintln!("usage: crash [--scenario kill|corrupt|all]");
+            return ExitCode::from(2);
+        }
+    };
+    match scenario.as_str() {
+        "kill" => scenario_kill(),
+        "corrupt" => scenario_corrupt(),
+        "all" => {
+            scenario_kill();
+            scenario_corrupt();
+        }
+        other => {
+            eprintln!("unknown scenario `{other}` (kill|corrupt|all)");
+            return ExitCode::from(2);
+        }
+    }
+    println!("crash: all scenarios PASS");
+    ExitCode::SUCCESS
+}

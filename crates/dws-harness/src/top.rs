@@ -91,6 +91,18 @@ pub fn render_program_panel(label: &str, f: &TelemetryFrame, color: bool) -> Str
         "  totals steals {} ok / {} fail   jobs {}   sleeps {}   wakes {}   released {}\n",
         k.steals_ok, k.steals_failed, k.jobs_executed, k.sleeps, k.wakes, k.cores_released,
     ));
+    if k.degraded != 0 {
+        out.push_str(&format!(
+            "  {}  shared table lost — running on a private in-process table\n",
+            paint(color, RED, "DEGRADED"),
+        ));
+    }
+    if k.cores_reaped > 0 || k.leases_expired > 0 {
+        out.push_str(&format!(
+            "  reaper {} leases expired   {} cores reaped from dead co-runners\n",
+            k.leases_expired, k.cores_reaped,
+        ));
+    }
     let l = &f.latency;
     out.push_str(&format!(
         "  lat    steal p50 {} p99 {}   wake p50 {} p99 {}",
@@ -203,6 +215,23 @@ mod tests {
         assert!(!render_program_panel("p", &f, false).contains("dropped"));
         f.counters.events_dropped = 9;
         assert!(render_program_panel("p", &f, false).contains("dropped 9 ev"));
+    }
+
+    #[test]
+    fn degradation_and_reaps_are_surfaced() {
+        let mut f = frame();
+        let text = render_program_panel("p", &f, false);
+        assert!(!text.contains("DEGRADED"));
+        assert!(!text.contains("reaper"));
+        f.counters.degraded = 1;
+        f.counters.leases_expired = 1;
+        f.counters.cores_reaped = 2;
+        let text = render_program_panel("p", &f, false);
+        assert!(text.contains("DEGRADED"));
+        assert!(text.contains("1 leases expired"));
+        assert!(text.contains("2 cores reaped"));
+        let colored = render_program_panel("p", &f, true);
+        assert!(colored.contains("\x1b[31mDEGRADED"), "degraded marker is red");
     }
 
     #[test]

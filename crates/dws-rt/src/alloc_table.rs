@@ -15,6 +15,7 @@
 //!   `mmap(2)`-shared file usable across processes (§3.4).
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::sync::{AtomicI32, Mutex, Ordering};
 
@@ -70,6 +71,91 @@ pub trait CoreTable: Send + Sync {
     fn owners(&self) -> Vec<i64> {
         (0..self.cores()).map(|c| self.current(c).map_or(-1, |p| p as i64)).collect()
     }
+
+    // ---- failure model (lease / reap protocol) ------------------------
+    //
+    // Default implementations make every backend crash-oblivious: no
+    // leases, nobody ever reapable, always healthy. Backends that track
+    // liveness (ShmTable across processes, InProcessTable's dead flags)
+    // override them; [`reap_expired`] drives the protocol generically.
+
+    /// Refreshes `prog`'s liveness lease (coordinator, once per tick).
+    fn heartbeat(&self, _prog: usize) {}
+
+    /// Marks `prog` dead for liveness purposes — the in-process analogue
+    /// of a SIGKILL'd pid (tests, simulators, controlled shutdown).
+    fn mark_dead(&self, _prog: usize) {}
+
+    /// Programs whose lease has expired (stale heartbeat *and* confirmed
+    /// dead) or whose reap is half-done, as observed by `caller`.
+    fn reapable_programs(&self, _caller: usize, _timeout: Duration) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Fences an expired program's lease (`ACTIVE → FENCED`) so its cores
+    /// can be reaped. True only for the fencing transition itself.
+    fn fence_expired(&self, _prog: usize) -> bool {
+        false
+    }
+
+    /// Returns one of fenced `dead`'s cores to the free pool
+    /// (`Used(dead) → Free`, epoch-checked). False if the slot moved on.
+    fn try_reap(&self, _core: usize, _dead: usize) -> bool {
+        false
+    }
+
+    /// Completes a reap (`FENCED → REAPED`) once no slot names the dead
+    /// incarnation, making the lease recyclable.
+    fn finish_reap(&self, _dead: usize) -> bool {
+        false
+    }
+
+    /// Is the backing store still trustworthy? Degrading backends flip to
+    /// their fallback on a failed check (see `shm::FailoverTable`).
+    fn check_health(&self) -> bool {
+        true
+    }
+
+    /// Has this table degraded to a fallback? Surfaces in telemetry as
+    /// the `degraded` gauge.
+    fn degraded(&self) -> bool {
+        false
+    }
+}
+
+/// Outcome of one [`reap_expired`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReapPass {
+    /// Leases newly fenced this pass (one per program whose death this
+    /// caller confirmed first).
+    pub leases_expired: u64,
+    /// Stranded cores returned to the free pool this pass.
+    pub cores_reaped: u64,
+}
+
+/// One opportunistic reaper pass, run by any live coordinator: fence each
+/// expired program, free its stranded cores, and complete the reap so the
+/// lease becomes recyclable. Safe to race with other reapers (every step
+/// is a CAS; losers skip) and with a slow-but-alive owner (fencing
+/// requires a confirmed-dead pid, and every slot CAS is epoch-checked).
+///
+/// Driving the protocol through `&dyn CoreTable` means a wrapping
+/// [`TracedTable`] records the `LeaseExpired`/`Reap` transitions like any
+/// other table event.
+pub fn reap_expired(table: &dyn CoreTable, caller: usize, timeout: Duration) -> ReapPass {
+    let mut pass = ReapPass::default();
+    for dead in table.reapable_programs(caller, timeout) {
+        if table.fence_expired(dead) {
+            pass.leases_expired += 1;
+        }
+        for core in table.used_by(dead) {
+            if table.try_reap(core, dead) {
+                pass.cores_reaped += 1;
+            }
+        }
+        let _ = table.finish_reap(dead);
+    }
+    pass
 }
 
 /// Computes the adjacent equipartition home map (paper §3.1): program `p`
@@ -87,12 +173,23 @@ pub fn equipartition_home(cores: usize, programs: usize) -> Vec<usize> {
     home
 }
 
+/// In-process lease lifecycle (per-program flag in [`InProcessTable`]).
+/// There is no heartbeat staleness here: a stalled thread is still alive,
+/// so only an explicit [`CoreTable::mark_dead`] — the in-process analogue
+/// of SIGKILL + `ESRCH` — starts the reap ladder.
+const INPROC_ALIVE: i32 = 0;
+const INPROC_DEAD: i32 = 1;
+const INPROC_FENCED: i32 = 2;
+const INPROC_REAPED: i32 = 3;
+
 /// Shared-atomics backend for intra-process co-running.
 #[derive(Debug)]
 pub struct InProcessTable {
     slots: Vec<AtomicI32>,
     home: Vec<usize>,
     programs: usize,
+    /// Per-program lease state (`INPROC_*`).
+    lease: Vec<AtomicI32>,
 }
 
 impl InProcessTable {
@@ -102,7 +199,8 @@ impl InProcessTable {
     pub fn new(cores: usize, programs: usize) -> Self {
         let home = equipartition_home(cores, programs);
         let slots = home.iter().map(|&p| AtomicI32::new(p as i32)).collect();
-        InProcessTable { slots, home, programs }
+        let lease = (0..programs).map(|_| AtomicI32::new(INPROC_ALIVE)).collect();
+        InProcessTable { slots, home, programs, lease }
     }
 }
 
@@ -162,6 +260,51 @@ impl CoreTable for InProcessTable {
                 }
             }
         }
+    }
+
+    fn mark_dead(&self, prog: usize) {
+        let _ = self.lease[prog].compare_exchange(
+            INPROC_ALIVE,
+            INPROC_DEAD,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn reapable_programs(&self, caller: usize, _timeout: Duration) -> Vec<usize> {
+        (0..self.programs)
+            .filter(|&p| {
+                p != caller
+                    && matches!(self.lease[p].load(Ordering::Acquire), INPROC_DEAD | INPROC_FENCED)
+            })
+            .collect()
+    }
+
+    fn fence_expired(&self, prog: usize) -> bool {
+        self.lease[prog]
+            .compare_exchange(INPROC_DEAD, INPROC_FENCED, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn try_reap(&self, core: usize, dead: usize) -> bool {
+        if self.lease[dead].load(Ordering::Acquire) != INPROC_FENCED {
+            return false;
+        }
+        self.slots[core]
+            .compare_exchange(dead as i32, FREE, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn finish_reap(&self, dead: usize) -> bool {
+        if self.lease[dead].load(Ordering::Acquire) != INPROC_FENCED {
+            return false;
+        }
+        if (0..self.slots.len()).any(|c| self.slots[c].load(Ordering::Acquire) == dead as i32) {
+            return false; // cores still stranded
+        }
+        self.lease[dead]
+            .compare_exchange(INPROC_FENCED, INPROC_REAPED, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
     }
 }
 
@@ -273,6 +416,48 @@ impl CoreTable for TracedTable {
         }
         ok
     }
+
+    fn heartbeat(&self, prog: usize) {
+        self.inner.heartbeat(prog);
+    }
+
+    fn mark_dead(&self, prog: usize) {
+        self.inner.mark_dead(prog);
+    }
+
+    fn reapable_programs(&self, caller: usize, timeout: Duration) -> Vec<usize> {
+        self.inner.reapable_programs(caller, timeout)
+    }
+
+    fn fence_expired(&self, prog: usize) -> bool {
+        let _g = self.order.lock();
+        let ok = self.inner.fence_expired(prog);
+        if ok {
+            self.record(RtEvent::LeaseExpired { prog });
+        }
+        ok
+    }
+
+    fn try_reap(&self, core: usize, dead: usize) -> bool {
+        let _g = self.order.lock();
+        let ok = self.inner.try_reap(core, dead);
+        if ok {
+            self.record(RtEvent::Reap { prog: dead, core });
+        }
+        ok
+    }
+
+    fn finish_reap(&self, dead: usize) -> bool {
+        self.inner.finish_reap(dead)
+    }
+
+    fn check_health(&self) -> bool {
+        self.inner.check_health()
+    }
+
+    fn degraded(&self) -> bool {
+        self.inner.degraded()
+    }
 }
 
 #[cfg(test)]
@@ -350,7 +535,14 @@ mod tests {
                         std::thread::spawn(move || t.try_acquire_free(0, i % 2) as usize)
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).sum()
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, h)| match h.join() {
+                        Ok(v) => v,
+                        Err(_) => panic!("acquire-race thread {i} panicked"),
+                    })
+                    .sum()
             };
             assert_eq!(winners, 1, "round {round}: {winners} winners");
         }
@@ -398,8 +590,10 @@ mod tests {
                 })
             })
             .collect();
-        for h in handles {
-            h.join().unwrap();
+        for (prog, h) in handles.into_iter().enumerate() {
+            if h.join().is_err() {
+                panic!("churn thread for program {prog} panicked");
+            }
         }
         let stats = t.replay_check().expect("live stream must satisfy the protocol");
         assert!(stats.total() > 0);
@@ -411,6 +605,63 @@ mod tests {
         for c in 0..t.cores() {
             assert_eq!(checker.owners()[c], t.current(c), "core {c}");
         }
+    }
+
+    #[test]
+    fn in_process_reap_requires_explicit_death() {
+        let t = InProcessTable::new(4, 2);
+        // A live (or merely slow) program is never reapable, no matter the timeout.
+        assert_eq!(t.reapable_programs(0, Duration::ZERO), Vec::<usize>::new());
+        assert!(!t.fence_expired(1));
+        t.mark_dead(1);
+        assert_eq!(t.reapable_programs(0, Duration::from_secs(3600)), vec![1]);
+        // A program never reaps itself.
+        assert_eq!(t.reapable_programs(1, Duration::ZERO), Vec::<usize>::new());
+        // Ladder: fence, then reap each core, then retire the lease.
+        assert!(!t.try_reap(2, 1), "reap before fencing must fail");
+        assert!(t.fence_expired(1));
+        assert!(!t.fence_expired(1), "fence is one-shot");
+        assert!(t.try_reap(2, 1));
+        assert!(!t.try_reap(2, 1), "core already freed");
+        assert!(!t.finish_reap(1), "core 3 still held by the dead program");
+        assert!(t.try_reap(3, 1));
+        assert!(t.finish_reap(1));
+        assert_eq!(t.free_cores(), vec![2, 3]);
+        // The survivor can now pick up the orphaned cores.
+        assert!(t.try_acquire_free(2, 0));
+        assert!(t.try_acquire_free(3, 0));
+    }
+
+    #[test]
+    fn reap_expired_frees_all_stranded_cores() {
+        let t = InProcessTable::new(6, 3);
+        t.mark_dead(2);
+        let pass = reap_expired(&t, 0, Duration::from_millis(1));
+        assert_eq!(pass, ReapPass { leases_expired: 1, cores_reaped: 2 });
+        assert_eq!(t.free_cores(), vec![4, 5]);
+        // Idempotent: a second pass finds nothing.
+        assert_eq!(reap_expired(&t, 0, Duration::from_millis(1)), ReapPass::default());
+    }
+
+    #[test]
+    fn traced_table_records_reap_transitions() {
+        let inner = Arc::new(InProcessTable::new(4, 2));
+        let t = TracedTable::new(inner, 64);
+        t.mark_dead(1);
+        let pass = reap_expired(&t, 0, Duration::ZERO);
+        assert_eq!(pass.leases_expired, 1);
+        assert_eq!(pass.cores_reaped, 2);
+        let evs: Vec<_> = t.events().iter().map(|e| e.event).collect();
+        assert_eq!(
+            evs,
+            vec![
+                RtEvent::LeaseExpired { prog: 1 },
+                RtEvent::Reap { prog: 1, core: 2 },
+                RtEvent::Reap { prog: 1, core: 3 },
+            ]
+        );
+        let stats = t.replay_check().expect("reap stream must satisfy the protocol");
+        assert_eq!(stats.reaps, 2);
     }
 
     #[test]

@@ -128,6 +128,12 @@ pub struct RuntimeConfig {
     /// Yield to the OS every this many failed steals for non-sleeping
     /// policies' idle spin (WS), to stay polite on shared hosts.
     pub spin_yield_interval: u32,
+    /// How stale a co-runner's lease heartbeat must be before the reaper
+    /// pass considers it expired (the `kill(pid, 0)` liveness probe still
+    /// has to confirm death). `None` — the default — means 3× the
+    /// coordinator period, so one missed tick never expires a lease but a
+    /// dead program is fenced within a few periods.
+    pub lease_timeout: Option<Duration>,
     /// Event tracing (off by default; see [`TraceConfig`]).
     pub trace: TraceConfig,
     /// Live telemetry sampling (off by default; see [`TelemetryConfig`]).
@@ -146,9 +152,23 @@ impl RuntimeConfig {
             sleep_timeout: Some(Duration::from_millis(50)),
             pin_workers: false,
             spin_yield_interval: 4,
+            lease_timeout: None,
             trace: TraceConfig::default(),
             telemetry: TelemetryConfig::default(),
         }
+    }
+
+    /// Overrides the lease-expiry threshold for the reaper pass.
+    pub fn with_lease_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "lease timeout must be positive");
+        self.lease_timeout = Some(timeout);
+        self
+    }
+
+    /// The effective lease-expiry threshold: the explicit override, or
+    /// 3× the coordinator period.
+    pub fn effective_lease_timeout(&self) -> Duration {
+        self.lease_timeout.unwrap_or(self.coordinator_period * 3)
     }
 
     /// Enables event tracing with the default per-lane capacity.
@@ -236,5 +256,20 @@ mod tests {
     #[should_panic(expected = "tick must be positive")]
     fn zero_telemetry_tick_rejected() {
         let _ = RuntimeConfig::new(1, Policy::Ws).with_telemetry_tick(Duration::ZERO);
+    }
+
+    #[test]
+    fn lease_timeout_defaults_to_three_periods() {
+        let c = RuntimeConfig::new(4, Policy::Dws);
+        assert_eq!(c.lease_timeout, None);
+        assert_eq!(c.effective_lease_timeout(), c.coordinator_period * 3);
+        let c = c.with_lease_timeout(Duration::from_millis(25));
+        assert_eq!(c.effective_lease_timeout(), Duration::from_millis(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "lease timeout must be positive")]
+    fn zero_lease_timeout_rejected() {
+        let _ = RuntimeConfig::new(1, Policy::Dws).with_lease_timeout(Duration::ZERO);
     }
 }

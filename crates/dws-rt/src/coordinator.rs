@@ -207,10 +207,23 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
 /// The coordinator thread body: evaluate every `coordinator_period` until
 /// shutdown. The period sleep is chunked so shutdown never waits longer
 /// than ~50 ms for the coordinator to notice.
+///
+/// Under `Policy::Dws` every tick also runs the failure-model duties
+/// (DESIGN §10): renew this program's lease heartbeat, self-report a
+/// stalled tick through the watchdog, verify the shared table is still
+/// healthy (flipping to degraded in-process mode if not), and reap
+/// expired co-runners' stranded cores.
 pub(crate) fn coordinator_loop(reg: Arc<Registry>) {
     let rng = VictimRng::new(0xC0FF_EE00 ^ (reg.prog_id as u64 + 1).wrapping_mul(0x9E37_79B9));
     let period = reg.config.coordinator_period;
     let chunk = period.min(std::time::Duration::from_millis(50));
+    let shared_table = reg.effective_policy == Policy::Dws;
+    let lease_timeout = reg.config.effective_lease_timeout();
+    // Watchdog: if a full tick (sleep + work) takes more than 3× the
+    // period, this coordinator itself is the slow party — exactly the
+    // "slow-but-alive owner" the lease epoch protects, so count it.
+    let stall_after = period * 3;
+    let mut last_tick = std::time::Instant::now();
     'outer: while !reg.shutdown.load(Ordering::Acquire) {
         let mut slept = std::time::Duration::ZERO;
         while slept < period {
@@ -220,6 +233,19 @@ pub(crate) fn coordinator_loop(reg: Arc<Registry>) {
             if reg.shutdown.load(Ordering::Acquire) {
                 break 'outer;
             }
+        }
+        if last_tick.elapsed() > stall_after {
+            RtMetrics::bump(&reg.metrics.coordinator_stalls);
+        }
+        last_tick = std::time::Instant::now();
+        if shared_table {
+            reg.table.heartbeat(reg.prog_id);
+            // A vanished or corrupted shm file flips a FailoverTable to
+            // degraded in-process mode; other backends report healthy.
+            let _healthy = reg.table.check_health();
+            let pass = crate::alloc_table::reap_expired(&*reg.table, reg.prog_id, lease_timeout);
+            RtMetrics::add(&reg.metrics.leases_expired, pass.leases_expired);
+            RtMetrics::add(&reg.metrics.cores_reaped, pass.cores_reaped);
         }
         coordinate_once(&reg, &rng);
     }

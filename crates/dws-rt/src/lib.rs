@@ -73,7 +73,9 @@ pub mod sync;
 pub mod telemetry;
 pub mod trace;
 
-pub use alloc_table::{equipartition_home, CoreTable, InProcessTable, TracedTable};
+pub use alloc_table::{
+    equipartition_home, reap_expired, CoreTable, InProcessTable, ReapPass, TracedTable,
+};
 pub use config::{Policy, RuntimeConfig, TelemetryConfig, TraceConfig};
 pub use coordinator::{eq1_wake_target, plan_wakes};
 pub use join::join;
@@ -83,11 +85,11 @@ pub use metrics::{
 pub use par::{par_chunks_mut, par_for_each_index, par_for_each_mut, par_map_reduce};
 pub use registry::Runtime;
 pub use scope::{scope, Scope};
-pub use shm::ShmTable;
+pub use shm::{FailoverTable, ShmError, ShmTable};
 pub use sleep::{Sleeper, WakeReason};
 pub use telemetry::{
     escape_label_value, frames_to_jsonl, render_prometheus, serve, CoordSample, CoreSample,
     CounterSample, LatencySample, TelemetryFrame, TelemetryHandle, TelemetryServer, WorkerSample,
     PROMETHEUS_CONTENT_TYPE,
 };
-pub use trace::{ReplayChecker, RtEvent, RtTrace, TimedEvent, TraceSnapshot};
+pub use trace::{ReplayChecker, ReplayStats, RtEvent, RtTrace, TimedEvent, TraceSnapshot};

@@ -270,6 +270,13 @@ pub struct RtMetrics {
     pub cores_reclaimed: AtomicU64,
     /// Cores released to the table on sleep.
     pub cores_released: AtomicU64,
+    /// Stranded cores reaped back from dead co-runners.
+    pub cores_reaped: AtomicU64,
+    /// Dead-program leases fenced by this runtime's reaper pass.
+    pub leases_expired: AtomicU64,
+    /// Coordinator ticks that overran their own watchdog deadline
+    /// (3× the configured period) — a self-report of scheduling stalls.
+    pub coordinator_stalls: AtomicU64,
     /// Per-worker shards (empty unless built via [`RtMetrics::with_workers`]).
     pub workers: Vec<WorkerMetrics>,
 }
@@ -297,6 +304,12 @@ pub struct MetricsSnapshot {
     pub cores_reclaimed: u64,
     /// Cores released on sleep.
     pub cores_released: u64,
+    /// Stranded cores reaped from dead co-runners.
+    pub cores_reaped: u64,
+    /// Dead-program leases fenced by the reaper pass.
+    pub leases_expired: u64,
+    /// Coordinator ticks that overran the watchdog deadline.
+    pub coordinator_stalls: u64,
 }
 
 /// Histograms aggregated across all worker shards.
@@ -326,6 +339,15 @@ impl RtMetrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` to a counter, skipping the RMW entirely when `n == 0`
+    /// (the common case for per-tick reap accounting).
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        if n != 0 {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -339,6 +361,9 @@ impl RtMetrics {
             cores_acquired: self.cores_acquired.load(Ordering::Relaxed),
             cores_reclaimed: self.cores_reclaimed.load(Ordering::Relaxed),
             cores_released: self.cores_released.load(Ordering::Relaxed),
+            cores_reaped: self.cores_reaped.load(Ordering::Relaxed),
+            leases_expired: self.leases_expired.load(Ordering::Relaxed),
+            coordinator_stalls: self.coordinator_stalls.load(Ordering::Relaxed),
         }
     }
 

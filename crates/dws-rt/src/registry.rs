@@ -366,6 +366,14 @@ impl Runtime {
         &self.registry.table
     }
 
+    /// Has the allocation table degraded to in-process mode (shared shm
+    /// file lost or corrupted mid-run)? Always false for backends without
+    /// a failure mode. Mirrored into telemetry as the `dws_degraded`
+    /// gauge.
+    pub fn degraded(&self) -> bool {
+        self.registry.table.degraded()
+    }
+
     /// Total trace events dropped on ring overflow so far (0 with tracing
     /// disabled). Exporters and harness binaries should surface a nonzero
     /// value as a warning — a dropped event is a hole in the timeline.

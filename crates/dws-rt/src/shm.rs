@@ -1,34 +1,209 @@
-//! The `mmap`-backed cross-process core-allocation table (paper §3.4).
+//! The `mmap`-backed cross-process core-allocation table (paper §3.4),
+//! extended with a failure model: per-program **leases**, orphan
+//! **reaping**, and graceful **degradation**.
 //!
 //! "The first-launched work-stealing program creates a new file and maps
 //! the file into the shared memory using `mmap()` ... all the following
 //! programs can easily access the core allocation table using `mmap()`."
 //!
-//! Layout of the mapped file (all fields little-endian, cache-line
-//! alignment is irrelevant at this scale):
+//! Layout of the mapped file (version 2; all fields little-endian):
 //!
 //! ```text
-//! offset 0   u64  MAGIC (written last by the creator, release order)
-//! offset 8   u32  version
-//! offset 12  u32  cores (k)
-//! offset 16  u32  max programs (m)
-//! offset 20  u32  registered-programs counter (atomic fetch_add)
-//! offset 24  i32  slot[0] .. slot[k-1]   (-1 = FREE, else program id)
+//! offset 0        u64  MAGIC (written last by the creator, release order)
+//! offset 8        u32  version
+//! offset 12       u32  cores (k)
+//! offset 16       u32  max programs (m)
+//! offset 20       u32  registered-programs counter (informational)
+//! offset 24       lease[0] .. lease[m-1], 24 bytes each:
+//!                   +0   u64  state = (epoch << 32) | status
+//!                   +8   u64  pid (0 = dead sentinel / never registered)
+//!                   +16  u64  last heartbeat, CLOCK_MONOTONIC ms
+//! offset 24+24m   u64  slot[0] .. slot[k-1] = (epoch << 32) | owner
+//!                   (owner is an i32 in the low half; -1 = FREE)
 //! ```
 //!
-//! The creator initializes dimensions and slots (the §3.1 equipartition)
-//! and then publishes `MAGIC`; openers spin until the magic appears, so a
-//! concurrent create/open race is benign.
+//! The creator initializes dimensions, leases and slots (the §3.1
+//! equipartition, every slot stamped with epoch 1) and then publishes
+//! `MAGIC`; openers spin until the magic appears, so a concurrent
+//! create/open race is benign. An opener that finds a *wrong* magic,
+//! version or geometry fails fast with a typed [`ShmError`] instead of
+//! aliasing an incompatible layout.
+//!
+//! # The failure model
+//!
+//! * **Leases** — each registered program owns one lease record; its
+//!   coordinator refreshes the heartbeat every tick. A program whose
+//!   heartbeat goes stale *and* whose pid no longer exists (`kill(pid,
+//!   0)` → `ESRCH`) is eligible for reaping.
+//! * **Epoch fencing** — every slot CAS carries the owner's lease epoch,
+//!   so a reaper racing a re-registered (reincarnated, epoch-bumped)
+//!   program can never free the new incarnation's cores: its stale
+//!   `(owner, old_epoch)` compare simply fails.
+//! * **Reap protocol** — `ACTIVE → FENCED` (one CAS, after the death
+//!   check) stops the dead program's cores from being handed back;
+//!   per-core `(dead, epoch) → FREE` CASes return the stranded cores to
+//!   the free pool; `FENCED → REAPED` completes once no slot names the
+//!   dead incarnation. Re-registration recycles only `REAPED` leases, so
+//!   a reap in progress can never race a reincarnation.
+//! * **Degradation** — [`FailoverTable`] wraps a `ShmTable` and, when the
+//!   backing file disappears or its header stops validating, flips a
+//!   `degraded` flag and routes every operation to a private
+//!   [`InProcessTable`] (plain work-stealing on the home partition)
+//!   instead of panicking.
 
 use std::io;
-use std::path::Path;
-use std::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
-use crate::alloc_table::{equipartition_home, CoreTable, FREE};
+use crate::alloc_table::{equipartition_home, CoreTable, InProcessTable, FREE};
 
 const MAGIC: u64 = 0x4457_535F_5441_424C; // "DWS_TABL"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const HEADER_BYTES: usize = 24;
+const LEASE_BYTES: usize = 24;
+
+/// Lease lifecycle (low 32 bits of the lease state word).
+const LEASE_UNUSED: u32 = 0;
+const LEASE_REGISTERING: u32 = 1;
+const LEASE_ACTIVE: u32 = 2;
+const LEASE_FENCED: u32 = 3;
+const LEASE_REAPED: u32 = 4;
+
+const fn pack_slot(owner: i32, epoch: u32) -> u64 {
+    ((epoch as u64) << 32) | (owner as u32 as u64)
+}
+
+const fn slot_owner(v: u64) -> i32 {
+    v as u32 as i32
+}
+
+const fn slot_epoch(v: u64) -> u32 {
+    (v >> 32) as u32
+}
+
+const fn pack_lease(epoch: u32, status: u32) -> u64 {
+    ((epoch as u64) << 32) | status as u64
+}
+
+const fn lease_status(v: u64) -> u32 {
+    v as u32
+}
+
+const fn lease_epoch(v: u64) -> u32 {
+    (v >> 32) as u32
+}
+
+/// A free slot: owner −1, epoch 0 (releases always restore exactly this).
+const FREE_SLOT: u64 = pack_slot(FREE, 0);
+
+/// Milliseconds on `CLOCK_MONOTONIC` — comparable across processes on the
+/// same boot, immune to wall-clock steps.
+fn monotonic_ms() -> u64 {
+    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: plain clock_gettime into a valid timespec.
+    unsafe { libc::clock_gettime(libc::CLOCK_MONOTONIC, &mut ts) };
+    ts.tv_sec as u64 * 1_000 + ts.tv_nsec as u64 / 1_000_000
+}
+
+/// Is the recorded pid certainly gone? `0` is the explicit dead sentinel
+/// (never passed to `kill`, which would signal the process group);
+/// otherwise only an `ESRCH` answer counts — permission errors and live
+/// processes are both treated as alive (conservative: never reap a maybe).
+fn pid_is_dead(pid: u64) -> bool {
+    if pid == 0 {
+        return true;
+    }
+    let Ok(pid) = i32::try_from(pid) else {
+        return true; // not a representable pid: corrupt record
+    };
+    // SAFETY: kill with signal 0 only probes for existence.
+    let r = unsafe { libc::kill(pid, 0) };
+    r == -1 && io::Error::last_os_error().raw_os_error() == Some(libc::ESRCH)
+}
+
+/// Typed failures of the shared-table lifecycle ([`ShmTable::create_or_open`],
+/// [`ShmTable::register`]).
+#[derive(Debug)]
+pub enum ShmError {
+    /// Underlying file operation failed.
+    Io(io::Error),
+    /// The file's magic is present but wrong — not a DWS table.
+    BadMagic {
+        /// The 8 bytes found where the magic belongs.
+        found: u64,
+    },
+    /// The table speaks a different layout version.
+    VersionMismatch {
+        /// Version recorded in the file.
+        found: u32,
+    },
+    /// The table was sized for different dimensions.
+    GeometryMismatch {
+        /// Cores recorded in the file.
+        cores: usize,
+        /// Programs recorded in the file.
+        programs: usize,
+        /// Cores the caller expected.
+        expected_cores: usize,
+        /// Programs the caller expected.
+        expected_programs: usize,
+    },
+    /// The creator never published the magic (crashed mid-init?).
+    InitTimeout,
+    /// Every program lease is taken and none is reaped.
+    Exhausted,
+}
+
+impl std::fmt::Display for ShmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShmError::Io(e) => write!(f, "shared table I/O error: {e}"),
+            ShmError::BadMagic { found } => {
+                write!(f, "not a DWS table: bad magic {found:#018x}")
+            }
+            ShmError::VersionMismatch { found } => {
+                write!(f, "table layout version {found}, expected {VERSION}")
+            }
+            ShmError::GeometryMismatch { cores, programs, expected_cores, expected_programs } => {
+                write!(
+                    f,
+                    "table is {cores} cores / {programs} programs, \
+                     expected {expected_cores}/{expected_programs}"
+                )
+            }
+            ShmError::InitTimeout => write!(f, "shared table never initialized"),
+            ShmError::Exhausted => write!(f, "all program slots taken"),
+        }
+    }
+}
+
+impl std::error::Error for ShmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ShmError {
+    fn from(e: io::Error) -> Self {
+        ShmError::Io(e)
+    }
+}
+
+impl From<ShmError> for io::Error {
+    fn from(e: ShmError) -> Self {
+        match e {
+            ShmError::Io(e) => e,
+            ShmError::InitTimeout => io::Error::new(io::ErrorKind::TimedOut, e.to_string()),
+            ShmError::Exhausted => io::Error::new(io::ErrorKind::QuotaExceeded, e.to_string()),
+            _ => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        }
+    }
+}
 
 struct Mapping {
     ptr: *mut u8,
@@ -61,11 +236,17 @@ pub struct ShmTable {
 impl ShmTable {
     /// Creates the table file (or opens it if another program got there
     /// first) and maps it. `cores` and `programs` must match across all
-    /// participants; a mismatch with an existing table is an error.
-    pub fn create_or_open(path: &Path, cores: usize, programs: usize) -> io::Result<ShmTable> {
+    /// participants; on open the magic, layout version and geometry are
+    /// all validated, and a mismatch is a typed [`ShmError`] rather than
+    /// an aliased wrong layout.
+    pub fn create_or_open(
+        path: &Path,
+        cores: usize,
+        programs: usize,
+    ) -> Result<ShmTable, ShmError> {
         assert!(cores > 0 && cores < 4096, "unreasonable core count");
         assert!(programs > 0 && programs <= cores);
-        let len = HEADER_BYTES + cores * 4;
+        let len = HEADER_BYTES + programs * LEASE_BYTES + cores * 8;
 
         let cpath = std::ffi::CString::new(path.as_os_str().as_encoded_bytes())
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "NUL in path"))?;
@@ -79,11 +260,11 @@ impl ShmTable {
             } else {
                 let err = io::Error::last_os_error();
                 if err.raw_os_error() != Some(libc::EEXIST) {
-                    return Err(err);
+                    return Err(err.into());
                 }
                 let fd = libc::open(cpath.as_ptr(), libc::O_RDWR);
                 if fd < 0 {
-                    return Err(io::Error::last_os_error());
+                    return Err(io::Error::last_os_error().into());
                 }
                 (fd, false)
             }
@@ -94,17 +275,28 @@ impl ShmTable {
             if creator && libc::ftruncate(fd, len as libc::off_t) != 0 {
                 let e = io::Error::last_os_error();
                 libc::close(fd);
-                return Err(e);
+                return Err(e.into());
             }
-            // Wait for a non-creator's file to be sized (creator may still
-            // be between open and ftruncate).
+            // Wait for a non-creator's file to cover the header (creator
+            // may still be between open and ftruncate; touching an unbacked
+            // page would SIGBUS). Only the header is needed up front: no
+            // byte past it is read until the geometry check passes, and a
+            // published magic implies the creator's full-length ftruncate
+            // already ran — so a geometry mismatch on a smaller file is
+            // still detected instead of timing out on its size.
             if !creator {
+                let mut sized = false;
                 for _ in 0..10_000 {
                     let mut st: libc::stat = std::mem::zeroed();
-                    if libc::fstat(fd, &mut st) == 0 && st.st_size as usize >= len {
+                    if libc::fstat(fd, &mut st) == 0 && st.st_size as usize >= HEADER_BYTES {
+                        sized = true;
                         break;
                     }
                     std::thread::yield_now();
+                }
+                if !sized {
+                    libc::close(fd);
+                    return Err(ShmError::InitTimeout);
                 }
             }
             let ptr = libc::mmap(
@@ -117,7 +309,7 @@ impl ShmTable {
             );
             libc::close(fd);
             if ptr == libc::MAP_FAILED {
-                return Err(io::Error::last_os_error());
+                return Err(io::Error::last_os_error().into());
             }
             Mapping { ptr: ptr.cast(), len }
         };
@@ -129,51 +321,150 @@ impl ShmTable {
             table.u32_at(12).store(cores as u32, Ordering::Relaxed);
             table.u32_at(16).store(programs as u32, Ordering::Relaxed);
             table.u32_at(20).store(0, Ordering::Relaxed);
+            // Leases start zeroed by ftruncate: UNUSED, epoch 0, pid 0.
+            // Slots carry epoch 1, matching the first registration epoch.
             for c in 0..cores {
-                table.slot(c).store(table.home[c] as i32, Ordering::Relaxed);
+                table.slot(c).store(pack_slot(table.home[c] as i32, 1), Ordering::Relaxed);
             }
             // Publish.
             table.magic().store(MAGIC, Ordering::Release);
         } else {
-            // Spin until the creator publishes, then validate dimensions.
+            // Spin until the creator publishes. A *wrong* nonzero magic is
+            // a fail-fast error (this is not a DWS table); only an all-zero
+            // word means "creator still initializing".
             let mut ok = false;
             for _ in 0..1_000_000 {
-                if table.magic().load(Ordering::Acquire) == MAGIC {
-                    ok = true;
-                    break;
+                match table.magic().load(Ordering::Acquire) {
+                    MAGIC => {
+                        ok = true;
+                        break;
+                    }
+                    0 => std::thread::yield_now(),
+                    found => return Err(ShmError::BadMagic { found }),
                 }
-                std::thread::yield_now();
             }
             if !ok {
-                return Err(io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    "shared table never initialized",
-                ));
+                return Err(ShmError::InitTimeout);
+            }
+            let v = table.u32_at(8).load(Ordering::Relaxed);
+            if v != VERSION {
+                return Err(ShmError::VersionMismatch { found: v });
             }
             let (k, m) = (
                 table.u32_at(12).load(Ordering::Relaxed) as usize,
                 table.u32_at(16).load(Ordering::Relaxed) as usize,
             );
             if k != cores || m != programs {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("table is {k} cores / {m} programs, expected {cores}/{programs}"),
-                ));
+                return Err(ShmError::GeometryMismatch {
+                    cores: k,
+                    programs: m,
+                    expected_cores: cores,
+                    expected_programs: programs,
+                });
             }
         }
         Ok(table)
     }
 
-    /// Registers the calling program, returning its program id (creation
-    /// order, as in the paper where the first-launched program creates the
-    /// table). Errors once `max_programs` registrations have happened.
-    pub fn register(&self) -> io::Result<usize> {
-        let id = self.u32_at(20).fetch_add(1, Ordering::AcqRel) as usize;
-        if id >= self.programs {
-            Err(io::Error::new(io::ErrorKind::QuotaExceeded, "all program slots taken"))
-        } else {
-            Ok(id)
+    /// [`ShmTable::create_or_open`] with retry-with-backoff on transient
+    /// failures (I/O errors, an unpublished table). Validation failures —
+    /// wrong magic, version or geometry — fail fast: retrying cannot fix
+    /// an incompatible file. `backoff` doubles after every attempt.
+    pub fn open_with_retry(
+        path: &Path,
+        cores: usize,
+        programs: usize,
+        attempts: u32,
+        backoff: Duration,
+    ) -> Result<ShmTable, ShmError> {
+        let attempts = attempts.max(1);
+        let mut delay = backoff;
+        let mut last = ShmError::InitTimeout;
+        for attempt in 0..attempts {
+            match ShmTable::create_or_open(path, cores, programs) {
+                Ok(t) => return Ok(t),
+                Err(e @ (ShmError::Io(_) | ShmError::InitTimeout)) => last = e,
+                Err(e) => return Err(e),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
         }
+        Err(last)
+    }
+
+    /// Registers the calling program, claiming a lease record (pid +
+    /// heartbeat) and returning its program id. Fresh tables hand out
+    /// sequential ids (creation order, as in the paper where the
+    /// first-launched program creates the table); once every lease has
+    /// been used, fully-**reaped** leases are recycled with a bumped
+    /// epoch. Errors with [`ShmError::Exhausted`] when no lease is
+    /// claimable.
+    pub fn register(&self) -> Result<usize, ShmError> {
+        let pid = u64::from(std::process::id());
+        // Pass 1: the first never-used lease.
+        for p in 0..self.programs {
+            let st = self.lease_state(p);
+            if st
+                .compare_exchange(
+                    pack_lease(0, LEASE_UNUSED),
+                    pack_lease(1, LEASE_REGISTERING),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                self.lease_pid(p).store(pid, Ordering::Release);
+                self.lease_heartbeat(p).store(monotonic_ms(), Ordering::Release);
+                st.store(pack_lease(1, LEASE_ACTIVE), Ordering::Release);
+                self.u32_at(20).fetch_add(1, Ordering::AcqRel);
+                return Ok(p);
+            }
+        }
+        // Pass 2: recycle a reaped lease under the next epoch. REAPED
+        // guarantees no slot still names the previous incarnation, so the
+        // new epoch can never collide with a stale reaper's CAS.
+        for p in 0..self.programs {
+            let cur = self.lease_state(p).load(Ordering::Acquire);
+            if lease_status(cur) != LEASE_REAPED {
+                continue;
+            }
+            let e = lease_epoch(cur).wrapping_add(1).max(1);
+            if self
+                .lease_state(p)
+                .compare_exchange(
+                    cur,
+                    pack_lease(e, LEASE_REGISTERING),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                self.lease_pid(p).store(pid, Ordering::Release);
+                self.lease_heartbeat(p).store(monotonic_ms(), Ordering::Release);
+                self.lease_state(p).store(pack_lease(e, LEASE_ACTIVE), Ordering::Release);
+                self.u32_at(20).fetch_add(1, Ordering::AcqRel);
+                return Ok(p);
+            }
+        }
+        Err(ShmError::Exhausted)
+    }
+
+    /// Does the mapped header still describe this table? Used by
+    /// [`FailoverTable`]'s health check to detect in-place corruption.
+    pub fn validate_header(&self) -> bool {
+        self.magic().load(Ordering::Acquire) == MAGIC
+            && self.u32_at(8).load(Ordering::Relaxed) == VERSION
+            && self.u32_at(12).load(Ordering::Relaxed) as usize == self.cores
+            && self.u32_at(16).load(Ordering::Relaxed) as usize == self.programs
+    }
+
+    /// The lease epoch all of `prog`'s slot transitions are stamped with.
+    /// Programs that never registered (tests, fixed-id co-runs) fall back
+    /// to epoch 1 — the epoch the creator stamped the initial slots with.
+    fn epoch_of(&self, prog: usize) -> u32 {
+        lease_epoch(self.lease_state(prog).load(Ordering::Acquire)).max(1)
     }
 
     fn magic(&self) -> &AtomicU64 {
@@ -188,10 +479,31 @@ impl ShmTable {
         unsafe { &*self.map.ptr.add(off).cast::<AtomicU32>() }
     }
 
-    fn slot(&self, core: usize) -> &AtomicI32 {
+    fn u64_at(&self, off: usize) -> &AtomicU64 {
+        debug_assert!(off + 8 <= self.map.len && off.is_multiple_of(8));
+        // SAFETY: in-bounds, 8-aligned (all u64 fields sit at 8-byte
+        // multiples from the page-aligned base).
+        unsafe { &*self.map.ptr.add(off).cast::<AtomicU64>() }
+    }
+
+    fn lease_state(&self, prog: usize) -> &AtomicU64 {
+        debug_assert!(prog < self.programs);
+        self.u64_at(HEADER_BYTES + prog * LEASE_BYTES)
+    }
+
+    fn lease_pid(&self, prog: usize) -> &AtomicU64 {
+        debug_assert!(prog < self.programs);
+        self.u64_at(HEADER_BYTES + prog * LEASE_BYTES + 8)
+    }
+
+    fn lease_heartbeat(&self, prog: usize) -> &AtomicU64 {
+        debug_assert!(prog < self.programs);
+        self.u64_at(HEADER_BYTES + prog * LEASE_BYTES + 16)
+    }
+
+    fn slot(&self, core: usize) -> &AtomicU64 {
         debug_assert!(core < self.cores);
-        // SAFETY: in-bounds (len covers HEADER + cores*4), 4-aligned.
-        unsafe { &*self.map.ptr.add(HEADER_BYTES + core * 4).cast::<AtomicI32>() }
+        self.u64_at(HEADER_BYTES + self.programs * LEASE_BYTES + core * 8)
     }
 }
 
@@ -218,7 +530,7 @@ impl CoreTable for ShmTable {
     }
 
     fn current(&self, core: usize) -> Option<usize> {
-        match self.slot(core).load(Ordering::Acquire) {
+        match slot_owner(self.slot(core).load(Ordering::Acquire)) {
             FREE => None,
             p => Some(p as usize),
         }
@@ -226,40 +538,53 @@ impl CoreTable for ShmTable {
 
     fn release(&self, core: usize, prog: usize) -> bool {
         self.slot(core)
-            .compare_exchange(prog as i32, FREE, Ordering::AcqRel, Ordering::Relaxed)
+            .compare_exchange(
+                pack_slot(prog as i32, self.epoch_of(prog)),
+                FREE_SLOT,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
             .is_ok()
     }
 
     fn try_acquire_free(&self, core: usize, prog: usize) -> bool {
         self.slot(core)
-            .compare_exchange(FREE, prog as i32, Ordering::AcqRel, Ordering::Relaxed)
+            .compare_exchange(
+                FREE_SLOT,
+                pack_slot(prog as i32, self.epoch_of(prog)),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
             .is_ok()
     }
 
     fn owners(&self) -> Vec<i64> {
         // Bulk read straight off the mapped slots: one acquire load per
         // core, no per-core Option round-trip.
-        (0..self.cores).map(|c| i64::from(self.slot(c).load(Ordering::Acquire))).collect()
+        (0..self.cores)
+            .map(|c| i64::from(slot_owner(self.slot(c).load(Ordering::Acquire))))
+            .collect()
     }
 
     fn try_reclaim(&self, core: usize, prog: usize) -> bool {
         if self.home[core] != prog {
             return false;
         }
+        let mine = pack_slot(prog as i32, self.epoch_of(prog));
         let mut cur = self.slot(core).load(Ordering::Acquire);
         loop {
-            if cur == prog as i32 {
+            if slot_owner(cur) == prog as i32 {
                 return false;
             }
             match self.slot(core).compare_exchange_weak(
                 cur,
-                prog as i32,
+                mine,
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
                 Ok(_) => return true,
                 Err(actual) => {
-                    if actual == prog as i32 {
+                    if slot_owner(actual) == prog as i32 {
                         return false;
                     }
                     cur = actual;
@@ -267,11 +592,285 @@ impl CoreTable for ShmTable {
             }
         }
     }
+
+    fn heartbeat(&self, prog: usize) {
+        self.lease_heartbeat(prog).store(monotonic_ms(), Ordering::Release);
+    }
+
+    fn mark_dead(&self, prog: usize) {
+        // Claim a never-used lease first so unregistered (fixed-id) test
+        // programs are killable too; a registered lease stays ACTIVE.
+        let _ = self.lease_state(prog).compare_exchange(
+            pack_lease(0, LEASE_UNUSED),
+            pack_lease(1, LEASE_ACTIVE),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+        self.lease_pid(prog).store(0, Ordering::Release);
+        self.lease_heartbeat(prog).store(0, Ordering::Release);
+    }
+
+    fn reapable_programs(&self, caller: usize, timeout: Duration) -> Vec<usize> {
+        let timeout_ms = timeout.as_millis().min(u128::from(u64::MAX)) as u64;
+        let now = monotonic_ms();
+        (0..self.programs)
+            .filter(|&p| {
+                if p == caller {
+                    return false;
+                }
+                let st = self.lease_state(p).load(Ordering::Acquire);
+                match lease_status(st) {
+                    // A crashed reaper's half-done work is resumable.
+                    LEASE_FENCED => true,
+                    LEASE_ACTIVE => {
+                        let hb = self.lease_heartbeat(p).load(Ordering::Acquire);
+                        now.saturating_sub(hb) > timeout_ms
+                            && pid_is_dead(self.lease_pid(p).load(Ordering::Acquire))
+                    }
+                    _ => false,
+                }
+            })
+            .collect()
+    }
+
+    fn fence_expired(&self, prog: usize) -> bool {
+        let st = self.lease_state(prog).load(Ordering::Acquire);
+        if lease_status(st) != LEASE_ACTIVE {
+            return false;
+        }
+        // Re-confirm death right before the fence: the staleness scan and
+        // this CAS may be far apart under preemption.
+        if !pid_is_dead(self.lease_pid(prog).load(Ordering::Acquire)) {
+            return false;
+        }
+        self.lease_state(prog)
+            .compare_exchange(
+                st,
+                pack_lease(lease_epoch(st), LEASE_FENCED),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    fn try_reap(&self, core: usize, dead: usize) -> bool {
+        let st = self.lease_state(dead).load(Ordering::Acquire);
+        if lease_status(st) != LEASE_FENCED {
+            return false;
+        }
+        // The fenced epoch is the only incarnation we may free; a
+        // reincarnated program's slots carry a later epoch and the CAS
+        // fails harmlessly.
+        self.slot(core)
+            .compare_exchange(
+                pack_slot(dead as i32, lease_epoch(st).max(1)),
+                FREE_SLOT,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    fn finish_reap(&self, dead: usize) -> bool {
+        let st = self.lease_state(dead).load(Ordering::Acquire);
+        if lease_status(st) != LEASE_FENCED {
+            return false;
+        }
+        let e = lease_epoch(st).max(1);
+        for c in 0..self.cores {
+            let v = self.slot(c).load(Ordering::Acquire);
+            if slot_owner(v) == dead as i32 && slot_epoch(v) == e {
+                return false; // cores still stranded: reap not finished
+            }
+        }
+        self.lease_state(dead)
+            .compare_exchange(
+                st,
+                pack_lease(lease_epoch(st), LEASE_REAPED),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    fn check_health(&self) -> bool {
+        self.validate_header()
+    }
+}
+
+/// A [`CoreTable`] that degrades gracefully: every operation goes to the
+/// shared [`ShmTable`] until its health check fails (backing file deleted
+/// or header corrupted), after which the table flips a sticky `degraded`
+/// flag and routes everything to a private [`InProcessTable`] — the
+/// program keeps running as plain work-stealing on its home partition
+/// instead of panicking or touching poisoned shared memory.
+///
+/// The health check runs from the coordinator tick
+/// ([`CoreTable::check_health`]); the flag is visible in telemetry as the
+/// `degraded` gauge.
+pub struct FailoverTable {
+    primary: Option<Arc<ShmTable>>,
+    path: PathBuf,
+    fallback: InProcessTable,
+    degraded: AtomicBool,
+    /// Program ids handed out while degraded from scratch (no primary).
+    local_ids: AtomicUsize,
+}
+
+impl FailoverTable {
+    /// Wraps an open shared table; `path` is re-checked for existence on
+    /// every health check.
+    pub fn new(primary: Arc<ShmTable>, path: impl Into<PathBuf>) -> Self {
+        let fallback = InProcessTable::new(primary.cores(), primary.max_programs());
+        FailoverTable {
+            primary: Some(primary),
+            path: path.into(),
+            fallback,
+            degraded: AtomicBool::new(false),
+            local_ids: AtomicUsize::new(0),
+        }
+    }
+
+    /// A table that is degraded from the start — used when the shared
+    /// table could not be opened at all (persistent open failure) but the
+    /// program should still run on its home partition.
+    pub fn degraded_from_scratch(path: impl Into<PathBuf>, cores: usize, programs: usize) -> Self {
+        FailoverTable {
+            primary: None,
+            path: path.into(),
+            fallback: InProcessTable::new(cores, programs),
+            degraded: AtomicBool::new(true),
+            local_ids: AtomicUsize::new(0),
+        }
+    }
+
+    /// Opens the shared table with retry-with-backoff; on persistent
+    /// failure returns a table degraded from scratch instead of an error.
+    pub fn open_or_degraded(
+        path: &Path,
+        cores: usize,
+        programs: usize,
+        attempts: u32,
+        backoff: Duration,
+    ) -> FailoverTable {
+        match ShmTable::open_with_retry(path, cores, programs, attempts, backoff) {
+            Ok(t) => FailoverTable::new(Arc::new(t), path),
+            Err(_) => FailoverTable::degraded_from_scratch(path, cores, programs),
+        }
+    }
+
+    /// Registers through the shared table, or locally when degraded.
+    pub fn register(&self) -> Result<usize, ShmError> {
+        if let (Some(p), false) = (&self.primary, self.degraded.load(Ordering::Acquire)) {
+            return p.register();
+        }
+        let id = self.local_ids.fetch_add(1, Ordering::AcqRel);
+        if id >= self.fallback.max_programs() {
+            return Err(ShmError::Exhausted);
+        }
+        Ok(id)
+    }
+
+    #[inline]
+    fn active(&self) -> &dyn CoreTable {
+        match (&self.primary, self.degraded.load(Ordering::Acquire)) {
+            (Some(p), false) => &**p,
+            _ => &self.fallback,
+        }
+    }
+}
+
+impl std::fmt::Debug for FailoverTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverTable")
+            .field("path", &self.path)
+            .field("degraded", &self.degraded.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl CoreTable for FailoverTable {
+    fn cores(&self) -> usize {
+        self.active().cores()
+    }
+
+    fn max_programs(&self) -> usize {
+        self.active().max_programs()
+    }
+
+    fn home(&self, core: usize) -> usize {
+        self.active().home(core)
+    }
+
+    fn current(&self, core: usize) -> Option<usize> {
+        self.active().current(core)
+    }
+
+    fn release(&self, core: usize, prog: usize) -> bool {
+        self.active().release(core, prog)
+    }
+
+    fn try_acquire_free(&self, core: usize, prog: usize) -> bool {
+        self.active().try_acquire_free(core, prog)
+    }
+
+    fn try_reclaim(&self, core: usize, prog: usize) -> bool {
+        self.active().try_reclaim(core, prog)
+    }
+
+    fn owners(&self) -> Vec<i64> {
+        self.active().owners()
+    }
+
+    fn heartbeat(&self, prog: usize) {
+        self.active().heartbeat(prog);
+    }
+
+    fn mark_dead(&self, prog: usize) {
+        self.active().mark_dead(prog);
+    }
+
+    fn reapable_programs(&self, caller: usize, timeout: Duration) -> Vec<usize> {
+        self.active().reapable_programs(caller, timeout)
+    }
+
+    fn fence_expired(&self, prog: usize) -> bool {
+        self.active().fence_expired(prog)
+    }
+
+    fn try_reap(&self, core: usize, dead: usize) -> bool {
+        self.active().try_reap(core, dead)
+    }
+
+    fn finish_reap(&self, dead: usize) -> bool {
+        self.active().finish_reap(dead)
+    }
+
+    fn check_health(&self) -> bool {
+        if self.degraded.load(Ordering::Acquire) {
+            return false;
+        }
+        let healthy = match &self.primary {
+            Some(p) => std::fs::metadata(&self.path).is_ok() && p.validate_header(),
+            None => false,
+        };
+        if !healthy {
+            // Sticky: once degraded, the shared mapping is never trusted
+            // again (it may be mid-corruption).
+            self.degraded.store(true, Ordering::Release);
+        }
+        healthy
+    }
+
+    fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::alloc_table::reap_expired;
 
     fn temp_path(tag: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -314,8 +913,50 @@ mod tests {
     fn dimension_mismatch_is_rejected() {
         let path = temp_path("mismatch");
         let _a = ShmTable::create_or_open(&path, 4, 2).unwrap();
-        let err = ShmTable::create_or_open(&path, 8, 2).unwrap_err();
+        match ShmTable::create_or_open(&path, 8, 2) {
+            Err(ShmError::GeometryMismatch { cores, expected_cores, .. }) => {
+                assert_eq!((cores, expected_cores), (4, 8));
+            }
+            other => panic!("expected GeometryMismatch, got {other:?}"),
+        }
+        // The typed error converts to the io kind callers historically saw.
+        let err: io::Error = ShmTable::create_or_open(&path, 8, 2).unwrap_err().into();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_magic_is_rejected_fast() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, vec![0xAAu8; 1024]).unwrap();
+        match ShmTable::create_or_open(&path, 4, 2) {
+            Err(ShmError::BadMagic { found }) => assert_eq!(found, 0xAAAA_AAAA_AAAA_AAAA),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+        // Fail-fast also under retry: validation errors are not retried.
+        let t0 = std::time::Instant::now();
+        assert!(matches!(
+            ShmTable::open_with_retry(&path, 4, 2, 5, Duration::from_millis(100)),
+            Err(ShmError::BadMagic { .. })
+        ));
+        assert!(t0.elapsed() < Duration::from_millis(100), "no backoff on validation errors");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let path = temp_path("version");
+        drop(ShmTable::create_or_open(&path, 4, 2).unwrap());
+        // Patch the version field in place (offset 8), leaving the magic.
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(8)).unwrap();
+        f.write_all(&99u32.to_le_bytes()).unwrap();
+        drop(f);
+        assert!(matches!(
+            ShmTable::create_or_open(&path, 4, 2),
+            Err(ShmError::VersionMismatch { found: 99 })
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -326,7 +967,74 @@ mod tests {
         assert_eq!(t.register().unwrap(), 0);
         let t2 = ShmTable::create_or_open(&path, 4, 2).unwrap();
         assert_eq!(t2.register().unwrap(), 1);
-        assert!(t.register().is_err(), "third program rejected");
+        assert!(
+            matches!(t.register(), Err(ShmError::Exhausted)),
+            "third program rejected with a typed error"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_registration_is_exclusive() {
+        // Twice as many threads as leases race to register; exactly
+        // `programs` must win, with distinct ids.
+        let path = temp_path("register-race");
+        let t = Arc::new(ShmTable::create_or_open(&path, 8, 4).unwrap());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || t.register().ok())
+            })
+            .collect();
+        let mut ids: Vec<usize> = handles
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, h)| match h.join() {
+                Ok(id) => id,
+                Err(_) => panic!("registration thread {i} panicked"),
+            })
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3], "exactly the 4 leases, each claimed once");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reap_returns_stranded_cores_and_recycles_the_lease() {
+        let path = temp_path("reap");
+        let t = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(t.register().unwrap(), 0);
+        assert_eq!(t.register().unwrap(), 1);
+        // Prog 1 grabs a foreign core too, then "dies" holding 3 cores.
+        assert!(t.release(0, 0));
+        assert!(t.try_acquire_free(0, 1));
+        assert_eq!(t.used_by(1), vec![0, 2, 3]);
+
+        // Alive programs are never reapable, however stale the heartbeat:
+        // the pid check protects a slow-but-alive owner.
+        assert!(t.reapable_programs(0, Duration::ZERO).is_empty());
+
+        t.mark_dead(1);
+        assert_eq!(t.reapable_programs(0, Duration::ZERO), vec![1]);
+        let pass = reap_expired(&t, 0, Duration::ZERO);
+        assert_eq!(pass.leases_expired, 1);
+        assert_eq!(pass.cores_reaped, 3);
+        assert_eq!(t.used_by(1), Vec::<usize>::new());
+        assert_eq!(t.free_cores(), vec![0, 2, 3]);
+        // Reap is terminal: nothing further to do.
+        assert!(t.reapable_programs(0, Duration::ZERO).is_empty());
+
+        // The lease is recycled under a bumped epoch; the newcomer's
+        // transitions work as usual.
+        assert_eq!(t.register().unwrap(), 1, "reaped lease recycled");
+        assert_eq!(t.epoch_of(1), 2);
+        assert!(t.try_acquire_free(2, 1));
+        assert!(t.release(2, 1));
+        // A stale reaper of the old incarnation can no longer free the
+        // new incarnation's cores.
+        assert!(t.try_acquire_free(3, 1));
+        assert!(!t.try_reap(3, 1), "fence is gone; stale reap must fail");
+        assert_eq!(t.current(3), Some(1));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -336,9 +1044,50 @@ mod tests {
         let p2 = path.clone();
         let h = std::thread::spawn(move || ShmTable::create_or_open(&p2, 4, 2).unwrap());
         let a = ShmTable::create_or_open(&path, 4, 2).unwrap();
-        let b = h.join().unwrap();
+        let b = match h.join() {
+            Ok(t) => t,
+            Err(_) => panic!("concurrent-open thread panicked"),
+        };
         // Whichever created it, both see the same initialized state.
         assert_eq!(a.used_by(0), b.used_by(0));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failover_degrades_on_file_loss_instead_of_panicking() {
+        let path = temp_path("failover");
+        let shm = Arc::new(ShmTable::create_or_open(&path, 4, 2).unwrap());
+        let t = FailoverTable::new(Arc::clone(&shm), &path);
+        assert!(t.check_health());
+        assert!(!t.degraded());
+        // Shared-table ops flow through while healthy.
+        assert!(t.release(0, 0));
+        assert_eq!(shm.current(0), None);
+
+        std::fs::remove_file(&path).unwrap();
+        assert!(!t.check_health());
+        assert!(t.degraded());
+        // Degraded ops hit the private fallback: core 0 is home-owned
+        // again there, so the release succeeds against the fresh state.
+        assert!(t.release(0, 0));
+        assert_eq!(t.current(0), None);
+        assert!(t.try_acquire_free(0, 0));
+        // Sticky even if the file reappears.
+        drop(ShmTable::create_or_open(&path, 4, 2).unwrap());
+        assert!(!t.check_health());
+        assert!(t.degraded());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failover_from_scratch_serves_the_home_partition() {
+        let t = FailoverTable::degraded_from_scratch("/nonexistent/dws-table", 4, 2);
+        assert!(t.degraded());
+        assert!(!t.check_health());
+        assert_eq!(t.cores(), 4);
+        assert_eq!(t.register().unwrap(), 0);
+        assert_eq!(t.register().unwrap(), 1);
+        assert!(matches!(t.register(), Err(ShmError::Exhausted)));
+        assert_eq!(t.used_by(0), vec![0, 1]);
     }
 }

@@ -118,6 +118,13 @@ pub struct CounterSample {
     pub events_dropped: u64,
     /// Telemetry frames evicted from the frame ring to admit newer ones.
     pub frames_evicted: u64,
+    /// Stranded cores reaped back from dead co-runners.
+    pub cores_reaped: u64,
+    /// Dead-program leases fenced by this runtime's reaper pass.
+    pub leases_expired: u64,
+    /// 1 when the allocation table has degraded to in-process mode
+    /// (shared shm file lost or corrupted), else 0.
+    pub degraded: u64,
 }
 
 /// Rolling latency percentiles in nanoseconds (0 when no new samples
@@ -324,6 +331,9 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
         cores_released: snap.cores_released,
         events_dropped: trace_dropped,
         frames_evicted: reg.telemetry.evicted(),
+        cores_reaped: snap.cores_reaped,
+        leases_expired: snap.leases_expired,
+        degraded: table.degraded() as u64,
     };
     let hist = reg.metrics.aggregated_histograms();
     let window = match prev {
@@ -504,7 +514,7 @@ type LatencyMetric = (&'static str, &'static str, fn(&LatencySample) -> u64, &'s
 pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
     let mut w = PromWriter { out: String::new() };
 
-    let counters: [CounterMetric; 11] = [
+    let counters: [CounterMetric; 13] = [
         ("dws_steals_ok_total", "Successful steals.", |c| c.steals_ok),
         ("dws_steals_failed_total", "Failed steal attempts.", |c| c.steals_failed),
         ("dws_jobs_executed_total", "Jobs executed to completion.", |c| c.jobs_executed),
@@ -520,6 +530,12 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
         ("dws_events_dropped_total", "Trace events dropped on ring overflow.", |c| {
             c.events_dropped
         }),
+        ("dws_cores_reaped_total", "Stranded cores reaped from dead co-runners.", |c| {
+            c.cores_reaped
+        }),
+        ("dws_leases_expired_total", "Dead-program leases fenced by the reaper.", |c| {
+            c.leases_expired
+        }),
     ];
     for (name, help, get) in counters {
         w.header(name, help, "counter");
@@ -531,6 +547,11 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
     w.header("dws_frames_evicted_total", "Telemetry frames evicted from the ring.", "counter");
     for (label, f) in frames {
         w.line("dws_frames_evicted_total", &[("prog", label)], f.counters.frames_evicted);
+    }
+
+    w.header("dws_degraded", "1 when the allocation table fell back to in-process mode.", "gauge");
+    for (label, f) in frames {
+        w.line("dws_degraded", &[("prog", label)], f.counters.degraded);
     }
 
     w.header("dws_frame_seq", "Sequence number of the exported frame.", "gauge");

@@ -122,6 +122,21 @@ pub enum RtEvent {
         /// Executing worker index.
         worker: usize,
     },
+    /// A program's lease was fenced after its heartbeat went stale and
+    /// `kill(pid, 0)` confirmed the process dead (failure model, DESIGN
+    /// §10). Emitted by the reaping survivor, not the dead program.
+    LeaseExpired {
+        /// The dead program whose lease expired.
+        prog: usize,
+    },
+    /// `Used(dead) → Free` forced by a reaper: a stranded core owned by a
+    /// fenced (dead) program was returned to the free pool.
+    Reap {
+        /// The dead program that owned the core.
+        prog: usize,
+        /// Core returned to the free pool.
+        core: usize,
+    },
 }
 
 impl RtEvent {
@@ -138,6 +153,8 @@ impl RtEvent {
             RtEvent::CoordinatorDecision { .. } => "coordinator_decision",
             RtEvent::TaskStart { .. } => "task_start",
             RtEvent::TaskEnd { .. } => "task_end",
+            RtEvent::LeaseExpired { .. } => "lease_expired",
+            RtEvent::Reap { .. } => "reap",
         }
     }
 }
@@ -345,12 +362,14 @@ pub struct ReplayStats {
     pub reclaims: u64,
     /// Release events replayed.
     pub releases: u64,
+    /// Reap events replayed (stranded cores freed from dead programs).
+    pub reaps: u64,
 }
 
 impl ReplayStats {
     /// Total table events replayed.
     pub fn total(&self) -> u64 {
-        self.acquires + self.reclaims + self.releases
+        self.acquires + self.reclaims + self.releases + self.reaps
     }
 }
 
@@ -382,11 +401,15 @@ impl std::fmt::Display for ReplayViolation {
 /// * `Release` only by the current owner (so a release is "monotone":
 ///   once released, a second release without a re-acquire is illegal);
 /// * `Reclaim` only of the reclaimer's home core, never of a core it
-///   already owns.
+///   already owns;
+/// * `Reap` only of a core owned by a program previously fenced by
+///   `LeaseExpired`, and no table transition by an expired program
+///   afterwards (a dead program must stay dead).
 #[derive(Debug, Clone)]
 pub struct ReplayChecker {
     home: Vec<usize>,
     owner: Vec<Option<usize>>,
+    expired: std::collections::HashSet<usize>,
     stats: ReplayStats,
     applied: usize,
 }
@@ -398,6 +421,7 @@ impl ReplayChecker {
         ReplayChecker {
             home: home.to_vec(),
             owner: home.iter().map(|&p| Some(p)).collect(),
+            expired: std::collections::HashSet::new(),
             stats: ReplayStats::default(),
             applied: 0,
         }
@@ -410,6 +434,9 @@ impl ReplayChecker {
         let fail = |reason: String| Err(ReplayViolation { index, event: *event, reason });
         match *event {
             RtEvent::Acquire { prog, core } => {
+                if self.expired.contains(&prog) {
+                    return fail(format!("acquire of core {core} by expired prog {prog}"));
+                }
                 let Some(owner) = self.owner.get(core).copied() else {
                     return fail(format!("core {core} out of range"));
                 };
@@ -422,6 +449,9 @@ impl ReplayChecker {
                 self.stats.acquires += 1;
             }
             RtEvent::Reclaim { prog, core } => {
+                if self.expired.contains(&prog) {
+                    return fail(format!("reclaim of core {core} by expired prog {prog}"));
+                }
                 let Some(owner) = self.owner.get(core).copied() else {
                     return fail(format!("core {core} out of range"));
                 };
@@ -440,6 +470,9 @@ impl ReplayChecker {
                 self.stats.reclaims += 1;
             }
             RtEvent::Release { prog, core } => {
+                if self.expired.contains(&prog) {
+                    return fail(format!("release of core {core} by expired prog {prog}"));
+                }
                 let Some(owner) = self.owner.get(core).copied() else {
                     return fail(format!("core {core} out of range"));
                 };
@@ -455,6 +488,33 @@ impl ReplayChecker {
                 }
                 self.owner[core] = None;
                 self.stats.releases += 1;
+            }
+            RtEvent::LeaseExpired { prog } => {
+                // Idempotent: several reapers may observe (and re-record)
+                // the same expiry; only the first fence CAS wins in the
+                // live table, but a TracedTable over a replayed stream may
+                // legally repeat the announcement.
+                self.expired.insert(prog);
+            }
+            RtEvent::Reap { prog, core } => {
+                if !self.expired.contains(&prog) {
+                    return fail(format!(
+                        "reap of core {core} from prog {prog} whose lease never expired"
+                    ));
+                }
+                let Some(owner) = self.owner.get(core).copied() else {
+                    return fail(format!("core {core} out of range"));
+                };
+                if owner != Some(prog) {
+                    return fail(match owner {
+                        Some(cur) => format!(
+                            "reap of core {core} from prog {prog} while owned by prog {cur}"
+                        ),
+                        None => format!("reap of core {core} from prog {prog} but it is free"),
+                    });
+                }
+                self.owner[core] = None;
+                self.stats.reaps += 1;
             }
             _ => {}
         }
@@ -552,8 +612,55 @@ mod tests {
             RtEvent::TaskStart { worker: 0 },      // ignored
         ];
         let stats = ReplayChecker::new(&home).replay(stream.iter()).unwrap();
-        assert_eq!(stats, ReplayStats { acquires: 2, reclaims: 2, releases: 3 });
+        assert_eq!(stats, ReplayStats { acquires: 2, reclaims: 2, releases: 3, reaps: 0 });
         assert_eq!(stats.total(), 7);
+    }
+
+    #[test]
+    fn replay_accepts_reap_of_expired_program() {
+        let home = [0, 0, 1, 1];
+        let stream = [
+            RtEvent::LeaseExpired { prog: 1 },
+            RtEvent::LeaseExpired { prog: 1 }, // repeated announcement is legal
+            RtEvent::Reap { prog: 1, core: 2 },
+            RtEvent::Reap { prog: 1, core: 3 },
+            RtEvent::Acquire { prog: 0, core: 2 }, // survivor picks it up
+        ];
+        let stats = ReplayChecker::new(&home).replay(stream.iter()).unwrap();
+        assert_eq!(stats, ReplayStats { acquires: 1, reclaims: 0, releases: 0, reaps: 2 });
+    }
+
+    #[test]
+    fn replay_rejects_reap_without_expiry() {
+        let home = [0, 1];
+        let err = ReplayChecker::new(&home).apply(&RtEvent::Reap { prog: 1, core: 1 }).unwrap_err();
+        assert!(err.reason.contains("never expired"));
+    }
+
+    #[test]
+    fn replay_rejects_reap_of_foreign_or_free_core() {
+        let home = [0, 1];
+        let mut c = ReplayChecker::new(&home);
+        c.apply(&RtEvent::LeaseExpired { prog: 1 }).unwrap();
+        let err = c.apply(&RtEvent::Reap { prog: 1, core: 0 }).unwrap_err();
+        assert!(err.reason.contains("while owned by prog 0"));
+        c.apply(&RtEvent::Reap { prog: 1, core: 1 }).unwrap();
+        let err = c.apply(&RtEvent::Reap { prog: 1, core: 1 }).unwrap_err();
+        assert!(err.reason.contains("free"));
+    }
+
+    #[test]
+    fn replay_rejects_transitions_by_expired_program() {
+        let home = [0, 1];
+        let mut c = ReplayChecker::new(&home);
+        c.apply(&RtEvent::LeaseExpired { prog: 1 }).unwrap();
+        let err = c.apply(&RtEvent::Release { prog: 1, core: 1 }).unwrap_err();
+        assert!(err.reason.contains("expired prog 1"));
+        let err = c.apply(&RtEvent::Reclaim { prog: 1, core: 1 }).unwrap_err();
+        assert!(err.reason.contains("expired prog 1"));
+        c.apply(&RtEvent::Reap { prog: 1, core: 1 }).unwrap();
+        let err = c.apply(&RtEvent::Acquire { prog: 1, core: 1 }).unwrap_err();
+        assert!(err.reason.contains("expired prog 1"));
     }
 
     #[test]
@@ -606,8 +713,10 @@ mod tests {
                 })
             })
             .collect();
-        for h in handles {
-            h.join().unwrap();
+        for (w, h) in handles.into_iter().enumerate() {
+            if h.join().is_err() {
+                panic!("ring writer thread {w} panicked");
+            }
         }
         assert_eq!(ring.captured() as u64 + ring.dropped(), (writers * per) as u64);
         assert_eq!(ring.snapshot().len(), ring.captured());

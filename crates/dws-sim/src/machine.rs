@@ -92,6 +92,19 @@ pub struct Simulator {
     trace: Trace,
     traced_runs: Vec<usize>,
     telemetry: Option<SimTelemetry>,
+    /// Scheduled program deaths: (due time, program) — the sim analogue
+    /// of SIGKILL mid-run.
+    pending_kills: Vec<(SimTime, usize)>,
+    /// Programs killed so far. A dead program's workers vanish without
+    /// releasing their cores; survivors reap them via the lease protocol.
+    dead: Vec<bool>,
+    /// Dead programs whose lease a survivor has already fenced.
+    fenced: Vec<bool>,
+    /// Last simulated time each program's coordinator ran (its lease
+    /// heartbeat, mirroring the rt coordinator's per-tick heartbeat).
+    lease_hb: Vec<SimTime>,
+    /// Heartbeat staleness before a dead program's lease expires.
+    lease_timeout_us: SimTime,
 }
 
 impl Simulator {
@@ -188,6 +201,13 @@ impl Simulator {
             trace: Trace::default(),
             traced_runs: vec![0; m],
             telemetry: None,
+            pending_kills: Vec::new(),
+            dead: vec![false; m],
+            fenced: vec![false; m],
+            lease_hb: vec![0; m],
+            // 3× the paper's 10 ms coordinator period, matching
+            // `RuntimeConfig::effective_lease_timeout`'s default.
+            lease_timeout_us: 30_000,
         };
         sim.seed_run_queues();
         sim
@@ -276,6 +296,27 @@ impl Simulator {
         self.trace.dropped()
     }
 
+    /// Schedules `prog` to be killed (SIGKILL semantics) once simulated
+    /// time reaches `t_us`: its workers vanish mid-task without releasing
+    /// their cores, its coordinator stops heartbeating, and surviving DWS
+    /// coordinators reap the stranded cores once the lease expires.
+    pub fn kill_program_at(&mut self, prog: usize, t_us: SimTime) {
+        assert!(prog < self.programs.len(), "no such program");
+        self.pending_kills.push((t_us, prog));
+    }
+
+    /// Overrides the lease-expiry threshold (default 30 000 µs = 3× the
+    /// paper's 10 ms coordinator period).
+    pub fn set_lease_timeout_us(&mut self, timeout_us: SimTime) {
+        assert!(timeout_us > 0, "lease timeout must be nonzero");
+        self.lease_timeout_us = timeout_us;
+    }
+
+    /// Has `prog` been killed?
+    pub fn program_dead(&self, prog: usize) -> bool {
+        self.dead[prog]
+    }
+
     /// Pending wake deliveries (diagnostics): (due time, (program, worker)).
     pub fn pending_wakes(&self) -> &[(SimTime, ThreadId)] {
         &self.pending_wakes
@@ -297,6 +338,7 @@ impl Simulator {
         self.now += tick_us;
         let now = self.now;
 
+        self.deliver_kills(now);
         self.deliver_wakes(now);
         self.run_coordinators(now);
 
@@ -381,6 +423,9 @@ impl Simulator {
                 cores_released: m.cores_released,
                 events_dropped: dropped,
                 frames_evicted: pt.evicted(),
+                cores_reaped: m.cores_reaped,
+                leases_expired: m.leases_expired,
+                degraded: 0, // the simulated table has no file to lose
             };
             tel.push(
                 p,
@@ -396,6 +441,62 @@ impl Simulator {
                     latency: LatencySample::default(),
                 },
             );
+        }
+    }
+
+    /// Applies due program kills. SIGKILL semantics: the victim's threads
+    /// are torn out of every run queue and core *without* releasing their
+    /// table slots — exactly the stranded-cores state the reaper exists
+    /// to clean up.
+    fn deliver_kills(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.pending_kills.len() {
+            if self.pending_kills[i].0 > now {
+                i += 1;
+                continue;
+            }
+            let (_, p) = self.pending_kills.swap_remove(i);
+            if self.dead[p] {
+                continue;
+            }
+            self.dead[p] = true;
+            self.pending_wakes.retain(|&(_, (q, _))| q != p);
+            for core in self.os.cores.iter_mut() {
+                core.run_queue.retain(|&(q, _)| q != p);
+                if core.current.is_some_and(|c| c.thread.0 == p) {
+                    core.current = None;
+                }
+            }
+            for worker in &mut self.programs[p].workers {
+                worker.awake = false;
+            }
+        }
+    }
+
+    /// A surviving DWS coordinator's reaper pass: fence any dead
+    /// co-runner whose heartbeat has gone stale, then return its
+    /// owned-but-stranded cores to the free pool. Idempotent — later
+    /// passes find nothing left to do.
+    fn reap_expired(&mut self, reaper: usize, now: SimTime) {
+        for q in 0..self.programs.len() {
+            if q == reaper || !self.dead[q] {
+                continue;
+            }
+            if !self.fenced[q] {
+                if now.saturating_sub(self.lease_hb[q]) <= self.lease_timeout_us {
+                    continue;
+                }
+                self.fenced[q] = true;
+                self.programs[reaper].metrics.leases_expired += 1;
+                self.trace.record(now, SchedEvent::LeaseExpired { prog: q });
+            }
+            for core in 0..self.table.cores() {
+                if self.table.slot(core) == Slot::Used(q) {
+                    self.table.release(core, q);
+                    self.programs[reaper].metrics.cores_reaped += 1;
+                    self.trace.record(now, SchedEvent::Reap { prog: q, core });
+                }
+            }
         }
     }
 
@@ -436,7 +537,7 @@ impl Simulator {
         let start = (now / 10_000) as usize % m;
         for off in 0..m {
             let p = (start + off) % m;
-            if !self.programs[p].sched.policy.has_coordinator() {
+            if self.dead[p] || !self.programs[p].sched.policy.has_coordinator() {
                 continue;
             }
             if now < self.next_coord[p] {
@@ -444,6 +545,13 @@ impl Simulator {
             }
             self.next_coord[p] += self.programs[p].sched.coord_period_us;
             self.programs[p].metrics.coordinator_runs += 1;
+            // Failure-model duties (mirroring the rt coordinator tick):
+            // renew this program's lease heartbeat, then reap expired
+            // co-runners' stranded cores before planning wakes.
+            self.lease_hb[p] = now;
+            if self.programs[p].sched.policy == Policy::Dws {
+                self.reap_expired(p, now);
+            }
             // The coordinator thread consumes a sliver of CPU somewhere.
             let victim_core = self.rng.next_below(self.cfg.machine.cores);
             self.os.cores[victim_core].pending_overhead_us += COORDINATOR_COST_US;
@@ -593,6 +701,13 @@ impl Simulator {
 
         let (p, w) = self.os.cores[core].current.expect("dispatched above").thread;
 
+        // A killed program's threads never run again (its queues were
+        // purged at kill time; this guards the same-tick window).
+        if self.dead[p] {
+            self.os.cores[core].current = None;
+            return;
+        }
+
         // Core eviction (§4.2: DWS ensures a core executes a single active
         // worker): a worker whose core the table no longer grants its
         // program must sleep at the next task boundary; its queued tasks
@@ -682,7 +797,13 @@ impl Simulator {
     /// `opts.min_runs` runs or the horizon is reached, and reports.
     pub fn run(&mut self, opts: RunOptions) -> SimReport {
         loop {
-            let all_done = self.programs.iter().all(|p| p.runs_completed >= opts.min_runs);
+            // A killed program will never finish; it does not hold up the
+            // survivors' stopping condition.
+            let all_done = self
+                .programs
+                .iter()
+                .enumerate()
+                .all(|(i, p)| self.dead[i] || p.runs_completed >= opts.min_runs);
             if all_done || self.now >= opts.max_time_us {
                 break;
             }
@@ -943,6 +1064,52 @@ mod tests {
         );
         let acquired: u64 = rep.programs.iter().map(|p| p.metrics.cores_acquired).sum();
         assert!(acquired > 0, "the high-demand program should borrow released cores");
+    }
+
+    #[test]
+    fn killed_program_is_reaped_and_survivor_recovers_the_cores() {
+        let cfg = small_machine();
+        let mut sim = Simulator::new(
+            cfg,
+            vec![
+                spec(rec_workload("a", 8, 150.0, 0.3), Policy::Dws, 4),
+                spec(rec_workload("b", 8, 150.0, 0.3), Policy::Dws, 4),
+            ],
+        );
+        sim.enable_tracing(1 << 20);
+        sim.enable_telemetry(10_000, 4096);
+        sim.kill_program_at(1, 100_000);
+        while sim.now() < 1_000_000 {
+            sim.tick();
+        }
+        assert!(sim.program_dead(1));
+
+        // Every core the victim held was reaped back; none stay stranded.
+        let table = sim.alloc_table();
+        for c in 0..table.cores() {
+            assert_ne!(table.slot(c), Slot::Used(1), "core {c} stranded by the dead program");
+        }
+        let m = &sim.program(0).metrics;
+        assert_eq!(m.leases_expired, 1, "exactly one lease to fence");
+        assert!(m.cores_reaped >= 1, "the victim died holding at least one core");
+
+        // Event-sourcing check: replaying the trace (including Reap
+        // frees) reproduces the live table.
+        let homes: Vec<usize> = (0..table.cores()).map(|c| table.home(c)).collect();
+        let final_slots = sim.trace().replay_table(table.cores(), 2, &homes);
+        for (c, replayed) in final_slots.iter().enumerate() {
+            let live = match table.slot(c) {
+                Slot::Free => None,
+                Slot::Used(p) => Some(p),
+            };
+            assert_eq!(*replayed, live, "core {c}");
+        }
+
+        // The reap counters reach telemetry; the sim never degrades.
+        let last = sim.latest_frame(0).unwrap();
+        assert_eq!(last.counters.leases_expired, 1);
+        assert!(last.counters.cores_reaped >= 1);
+        assert_eq!(last.counters.degraded, 0);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct ProgramMetrics {
     pub cores_reclaimed: u64,
     /// Cores released to the table when a worker went to sleep.
     pub cores_released: u64,
+    /// Stranded cores reaped back from dead co-runners.
+    pub cores_reaped: u64,
+    /// Dead-program leases fenced by this program's reaper pass.
+    pub leases_expired: u64,
     /// CPU time spent executing task work, µs (at effective speed).
     pub busy_us: f64,
     /// CPU time burnt on steal attempts (failed + successful), µs.

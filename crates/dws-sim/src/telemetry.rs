@@ -97,6 +97,14 @@ pub struct CounterSample {
     pub events_dropped: u64,
     /// Telemetry frames evicted from the frame ring to admit newer ones.
     pub frames_evicted: u64,
+    /// Stranded cores reaped back from dead co-runners.
+    pub cores_reaped: u64,
+    /// Dead-program leases fenced by this runtime's reaper pass.
+    pub leases_expired: u64,
+    /// 1 when the allocation table has degraded to in-process mode
+    /// (shared shm file lost or corrupted), else 0. Always 0 in
+    /// simulation: the simulated table has no backing file to lose.
+    pub degraded: u64,
 }
 
 /// Rolling latency percentiles in nanoseconds (always zero in simulation:

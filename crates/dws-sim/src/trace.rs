@@ -71,6 +71,21 @@ pub enum SchedEvent {
         /// Duration of the run, µs.
         duration_us: SimTime,
     },
+    /// A dead program's lease was fenced by a surviving coordinator
+    /// (heartbeat stale + death confirmed — the sim mirror of
+    /// `dws_rt::RtEvent::LeaseExpired`).
+    LeaseExpired {
+        /// The dead program.
+        prog: usize,
+    },
+    /// A stranded core owned by a fenced (dead) program was returned to
+    /// the free pool by a reaper (mirror of `dws_rt::RtEvent::Reap`).
+    Reap {
+        /// The dead program that owned the core.
+        prog: usize,
+        /// Core returned to the free pool.
+        core: usize,
+    },
 }
 
 /// A timestamped event.
@@ -158,6 +173,10 @@ impl Trace {
                     debug_assert_eq!(slots[core], Some(prog), "release by non-owner in trace");
                     slots[core] = None;
                 }
+                SchedEvent::Reap { prog, core } => {
+                    debug_assert_eq!(slots[core], Some(prog), "reap of non-owned core in trace");
+                    slots[core] = None;
+                }
                 _ => {}
             }
         }
@@ -207,5 +226,15 @@ mod tests {
         t.record(4, SchedEvent::Wake { prog: 0, worker: 0 }); // ignored
         let final_slots = t.replay_table(2, 2, &[0, 1]);
         assert_eq!(final_slots, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn replay_frees_reaped_cores() {
+        let mut t = Trace::enabled(100);
+        t.record(1, SchedEvent::LeaseExpired { prog: 1 }); // ignored by replay
+        t.record(2, SchedEvent::Reap { prog: 1, core: 1 });
+        t.record(3, SchedEvent::Acquire { prog: 0, core: 1 });
+        let final_slots = t.replay_table(2, 2, &[0, 1]);
+        assert_eq!(final_slots, vec![Some(0), Some(0)]);
     }
 }

@@ -136,8 +136,14 @@ fn rt_traced_corun_replays_clean_and_matches_rt_metrics() {
     };
     let h0 = drive(Arc::clone(&p0), 0xA);
     let h1 = drive(Arc::clone(&p1), 0xB);
-    assert!(h0.join().unwrap() > 0);
-    assert!(h1.join().unwrap() > 0);
+    match h0.join() {
+        Ok(total) => assert!(total > 0),
+        Err(_) => panic!("demand driver thread for program 0 panicked"),
+    }
+    match h1.join() {
+        Ok(total) => assert!(total > 0),
+        Err(_) => panic!("demand driver thread for program 1 panicked"),
+    }
 
     // Metrics snapshots precede shutdown, so every metrics-counted
     // transition is already in the ring: the stream's counts bound the

@@ -116,6 +116,10 @@ fn two_kernels_race_on_co_running_pools() {
             }
         })
     };
-    h0.join().unwrap();
-    h1.join().unwrap();
+    if h0.join().is_err() {
+        panic!("mergesort driver thread (program 0) panicked");
+    }
+    if h1.join().is_err() {
+        panic!("cholesky driver thread (program 1) panicked");
+    }
 }

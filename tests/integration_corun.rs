@@ -5,7 +5,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use dws_rt::{join, CoreTable, InProcessTable, Policy, Runtime, RuntimeConfig, ShmTable};
+use dws_rt::{
+    join, CoreTable, InProcessTable, Policy, Runtime, RuntimeConfig, ShmTable, TracedTable,
+};
 
 fn fib(n: u64) -> u64 {
     if n < 2 {
@@ -32,8 +34,14 @@ fn two_dws_programs_share_cores_through_the_table() {
         let p1 = Arc::clone(&p1);
         std::thread::spawn(move || (0..5).map(|_| p1.block_on(|| fib(16))).sum::<u64>())
     };
-    assert_eq!(h0.join().unwrap(), 5 * 987);
-    assert_eq!(h1.join().unwrap(), 5 * 987);
+    match h0.join() {
+        Ok(total) => assert_eq!(total, 5 * 987),
+        Err(_) => panic!("program-0 driver thread panicked"),
+    }
+    match h1.join() {
+        Ok(total) => assert_eq!(total, 5 * 987),
+        Err(_) => panic!("program-1 driver thread panicked"),
+    }
 
     // Let idle workers sleep, then verify the table reflects releases.
     std::thread::sleep(Duration::from_millis(120));
@@ -101,6 +109,46 @@ fn dws_sleep_release_wake_cycle_on_real_threads() {
 }
 
 #[test]
+fn survivor_reaps_a_dead_co_runner_and_takes_its_cores() {
+    // In-process analogue of the `crash` binary's kill scenario, without
+    // subprocess timing: program 1 owns its home half from table
+    // creation, `mark_dead` plays the SIGKILL + ESRCH confirmation, and
+    // the survivor's coordinator must fence the lease, reap both
+    // stranded cores, and acquire them — leaving a trace the replay
+    // oracle accepts with exactly those transitions.
+    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(4, 2));
+    let traced = Arc::new(TracedTable::new(table, 1 << 14));
+    let mut cfg = RuntimeConfig::new(4, Policy::Dws).with_lease_timeout(Duration::from_millis(20));
+    cfg.coordinator_period = Duration::from_millis(5);
+    // No voluntary releases: the trace stays exactly
+    // LeaseExpired + Reap x2 + Acquire x2.
+    cfg.t_sleep = u32::MAX;
+    let p0 = Runtime::with_table(cfg, Arc::clone(&traced) as Arc<dyn CoreTable>, 0);
+
+    assert_eq!(traced.used_by(1).len(), 2, "victim owns its home half");
+    traced.mark_dead(1);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while traced.used_by(0).len() < 4 {
+        // Sustained demand so freed cores are wanted (Eq. 1 N_b > 0).
+        assert_eq!(p0.block_on(|| fib(12)), 144);
+        assert!(
+            std::time::Instant::now() < deadline,
+            "survivor never recovered the dead program's cores: owns {:?}",
+            traced.used_by(0),
+        );
+    }
+
+    let m = p0.metrics();
+    assert_eq!(m.leases_expired, 1, "{m:?}");
+    assert_eq!(m.cores_reaped, 2, "{m:?}");
+    let stats = traced.replay_check().expect("reap trace must replay clean");
+    assert_eq!(stats.reaps, 2, "{stats:?}");
+    assert_eq!(stats.acquires, 2, "survivor acquired both reaped cores: {stats:?}");
+    assert_eq!(stats.releases, 0, "t_sleep = MAX forbids releases: {stats:?}");
+}
+
+#[test]
 fn many_block_on_rounds_under_contention() {
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(2, 2));
     let rts: Vec<Arc<Runtime>> = (0..2)
@@ -120,7 +168,9 @@ fn many_block_on_rounds_under_contention() {
             })
         })
         .collect();
-    for h in handles {
-        h.join().unwrap();
+    for (prog, h) in handles.into_iter().enumerate() {
+        if h.join().is_err() {
+            panic!("contention driver thread for program {prog} panicked");
+        }
     }
 }

@@ -49,6 +49,9 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             cores_released: 5,
             events_dropped: 1,
             frames_evicted: 8,
+            cores_reaped: 2,
+            leases_expired: 1,
+            degraded: 1,
         },
         latency: dws_rt::LatencySample {
             steal_p50_ns: 1_024,
@@ -98,6 +101,9 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             cores_released: 5,
             events_dropped: 1,
             frames_evicted: 8,
+            cores_reaped: 2,
+            leases_expired: 1,
+            degraded: 1,
         },
         latency: dws_sim::LatencySample {
             steal_p50_ns: 1_024,

@@ -50,6 +50,12 @@ pub const O_CREAT: c_int = 0o100;
 pub const O_EXCL: c_int = 0o200;
 /// `errno`: file exists.
 pub const EEXIST: c_int = 17;
+/// `errno`: no such process.
+pub const ESRCH: c_int = 3;
+/// `clockid_t`.
+pub type clockid_t = c_int;
+/// Monotonic clock id (`<time.h>`, Linux).
+pub const CLOCK_MONOTONIC: clockid_t = 1;
 /// Pages may be read.
 pub const PROT_READ: c_int = 1;
 /// Pages may be written.
@@ -98,6 +104,16 @@ pub struct stat {
     /// Status-change time, nanoseconds.
     pub st_ctime_nsec: c_long,
     __unused: [c_long; 3],
+}
+
+/// `struct timespec` (LP64 glibc layout).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timespec {
+    /// Seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds.
+    pub tv_nsec: c_long,
 }
 
 /// CPU affinity mask: 1024 bits, as in glibc's `cpu_set_t`.
@@ -154,6 +170,11 @@ extern "C" {
     pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
     /// `unlink(2)`.
     pub fn unlink(path: *const c_char) -> c_int;
+    /// `clock_gettime(2)`.
+    pub fn clock_gettime(clockid: clockid_t, tp: *mut timespec) -> c_int;
+    /// `kill(2)` — with signal 0, a liveness probe (errno `ESRCH` when the
+    /// process is gone).
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
 }
 
 #[cfg(test)]
