@@ -1,6 +1,7 @@
 //! Microbenchmarks of the work-stealing deque substrate: owner-side
-//! push/pop throughput, steal throughput, and the lock-free deque vs the
-//! mutex-based oracle.
+//! push/pop throughput, steal throughput, the lock-free deque vs the
+//! mutex-based oracle, and single-task vs steal-half batched stealing
+//! under 1/4/8 concurrent thieves.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dws_deque::{deque, Injector, MutexDeque, Steal};
@@ -68,6 +69,60 @@ fn bench_steal(c: &mut Criterion) {
     g.finish();
 }
 
+/// Drains a pre-filled victim deque with `thieves` concurrent thief
+/// threads, each using either single-task `steal` or batched
+/// `steal_batch_and_pop` into a private destination deque. Returns only
+/// when every task has been taken — the measured quantity is the whole
+/// contended drain.
+fn contended_drain(thieves: usize, tasks: u64, batch_limit: usize) {
+    let (w, s) = deque::<u64>();
+    for i in 0..tasks {
+        w.push(i);
+    }
+    drop(w); // thieves only: no owner interfering with the drain
+    std::thread::scope(|scope| {
+        for _ in 0..thieves {
+            let s = s.clone();
+            scope.spawn(move || {
+                let (local, _local_stealer) = deque::<u64>();
+                let mut acc = 0u64;
+                loop {
+                    let result = if batch_limit > 1 {
+                        s.steal_batch_and_pop(&local, batch_limit)
+                    } else {
+                        s.steal()
+                    };
+                    match result {
+                        Steal::Success(v) => {
+                            acc = acc.wrapping_add(v);
+                            while let Some(v) = local.pop() {
+                                acc = acc.wrapping_add(v);
+                            }
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => std::hint::spin_loop(),
+                    }
+                }
+                acc
+            });
+        }
+    });
+}
+
+fn bench_contended_steal(c: &mut Criterion) {
+    const TASKS: u64 = 4_000;
+    let mut g = c.benchmark_group("deque/contended");
+    for thieves in [1usize, 4, 8] {
+        g.bench_function(format!("single_steal_{thieves}_thieves"), |b| {
+            b.iter(|| contended_drain(thieves, TASKS, 1));
+        });
+        g.bench_function(format!("steal_half_{thieves}_thieves"), |b| {
+            b.iter(|| contended_drain(thieves, TASKS, 8));
+        });
+    }
+    g.finish();
+}
+
 fn bench_injector(c: &mut Criterion) {
     c.bench_function("injector/push_pop_1k", |b| {
         let inj = Injector::<u64>::new();
@@ -84,12 +139,25 @@ fn bench_injector(c: &mut Criterion) {
     });
 }
 
+/// `DWS_BENCH_FAST=1` shrinks the sampling plan for CI smoke runs — the
+/// vendored criterion has no CLI, so the knob is an env var.
+fn config() -> Criterion {
+    if std::env::var_os("DWS_BENCH_FAST").is_some() {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(std::time::Duration::from_millis(50))
+            .measurement_time(std::time::Duration::from_millis(250))
+    } else {
+        Criterion::default()
+            .sample_size(20)
+            .warm_up_time(std::time::Duration::from_secs(1))
+            .measurement_time(std::time::Duration::from_secs(4))
+    }
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_secs(1))
-        .measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_push_pop, bench_steal, bench_injector
+    config = config();
+    targets = bench_push_pop, bench_steal, bench_contended_steal, bench_injector
 }
 criterion_main!(benches);

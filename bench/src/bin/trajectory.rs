@@ -4,16 +4,30 @@
 //! the telemetry sampler's overhead delta (same workload with the sampler
 //! off vs. on, min-of-`reps` to shed scheduler noise).
 //!
+//! With `--batching` it instead emits `BENCH_5.json`: a two-program
+//! co-run of a steal-bound flat workload (each round spawns `fan` tiny
+//! sequential tasks into one worker's deque, so work spreads only by
+//! stealing) with batched stealing off (`steal_batch_limit = 1`) vs on,
+//! reporting the makespan delta, failed-steal delta, and mean steal
+//! batch size (min-of-`reps` per mode, modes alternated).
+//!
 //! ```text
-//! bench-trajectory [--fast] [--out PATH] [--check PATH]
+//! bench-trajectory [--batching] [--fast] [--cores N] [--reps N]
+//!                  [--batch-limit N] [--out PATH] [--check PATH]
 //! ```
 //!
+//! * `--batching` — run the batching off/on comparison (`BENCH_5.json`);
 //! * `--fast` — smaller workload for CI smoke runs;
-//! * `--out PATH` — where to write the JSON (default `BENCH_3.json`);
-//! * `--check PATH` — validate an existing document and exit (no run).
+//! * `--cores N` / `--reps N` / `--batch-limit N` — override the workload
+//!   shape for probing (the emitted config records what actually ran);
+//! * `--out PATH` — where to write the JSON (default `BENCH_3.json`, or
+//!   `BENCH_5.json` with `--batching`);
+//! * `--check PATH` — validate an existing document and exit (no run);
+//!   the schema is picked by the document's `bench` field.
 //!
 //! The emitted document always validates against
-//! [`dws_bench::validate_bench_value`]; the driver exits nonzero if its
+//! [`dws_bench::validate_bench_value`] /
+//! [`dws_bench::validate_bench5_value`]; the driver exits nonzero if its
 //! own output ever fails the schema.
 
 use std::io::{Read, Write};
@@ -21,13 +35,17 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dws_bench::{validate_bench_value, BENCH_SCHEMA_VERSION};
+use dws_bench::{validate_bench5_value, validate_bench_value, BENCH_SCHEMA_VERSION};
 use dws_rt::{
     join, serve, CoreTable, InProcessTable, MetricsSnapshot, Policy, Runtime, RuntimeConfig,
 };
 use serde::value::Value;
 
 const TELEMETRY_TICK_MS: u64 = 10;
+
+/// Batch limit of the "on" mode — the runtime default, spelled out so the
+/// bench document records exactly what was measured.
+const BATCH_LIMIT_ON: usize = 8;
 
 fn fib(n: u64) -> u64 {
     if n < 2 {
@@ -37,10 +55,27 @@ fn fib(n: u64) -> u64 {
     a + b
 }
 
+/// Sequential fib — the flat-workload task body (no spawns inside).
+fn fib_seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_seq(n - 1) + fib_seq(n - 2)
+    }
+}
+
 struct Params {
     cores: usize,
     fib_n: u64,
     iters: usize,
+    /// `0` — the recursive-`fib` workload (`block_on(fib(fib_n))` per
+    /// iter): work spreads itself through `join`, steals are rare, task
+    /// bodies dominate. `> 0` — the steal-bound flat workload: each iter
+    /// spawns `fan` sequential `fib_seq(fib_n)` tasks into the producing
+    /// worker's deque, so work spreads *only* by stealing and the steal
+    /// path's cost sits on the critical path. The batching comparison
+    /// uses the flat shape — it is what batched stealing exists for.
+    fan: usize,
     reps: usize,
     fast: bool,
 }
@@ -65,11 +100,18 @@ struct RunStats {
 
 /// One co-run: both programs execute `iters` repetitions of `fib(fib_n)`
 /// concurrently over a shared table; the makespan is the wall time until
-/// the slower one finishes.
-fn corun(p: &Params, telemetry: bool, tracing: bool, probe_endpoint: bool) -> RunStats {
+/// the slower one finishes. `batch_limit` is the steal batch limit both
+/// programs run with (`1` = batching off).
+fn corun(
+    p: &Params,
+    batch_limit: usize,
+    telemetry: bool,
+    tracing: bool,
+    probe_endpoint: bool,
+) -> RunStats {
     let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(p.cores, 2));
     let mk = || {
-        let mut cfg = RuntimeConfig::new(p.cores, Policy::Dws);
+        let mut cfg = RuntimeConfig::new(p.cores, Policy::Dws).with_steal_batch_limit(batch_limit);
         if telemetry {
             cfg =
                 cfg.with_telemetry().with_telemetry_tick(Duration::from_millis(TELEMETRY_TICK_MS));
@@ -88,19 +130,26 @@ fn corun(p: &Params, telemetry: bool, tracing: bool, probe_endpoint: bool) -> Ru
         .then(|| serve(vec![p0.telemetry("p0"), p1.telemetry("p1")], "127.0.0.1:0").ok())
         .flatten();
 
+    let run_prog = |rt: &Runtime| {
+        for _ in 0..p.iters {
+            if p.fan > 0 {
+                rt.scope(|s| {
+                    for _ in 0..p.fan {
+                        s.spawn(|| {
+                            std::hint::black_box(fib_seq(p.fib_n));
+                        });
+                    }
+                });
+            } else {
+                rt.block_on(|| fib(p.fib_n));
+            }
+        }
+    };
     let start = Instant::now();
     let mut endpoint_ok = false;
     std::thread::scope(|scope| {
-        let t0 = scope.spawn(|| {
-            for _ in 0..p.iters {
-                p0.block_on(|| fib(p.fib_n));
-            }
-        });
-        let t1 = scope.spawn(|| {
-            for _ in 0..p.iters {
-                p1.block_on(|| fib(p.fib_n));
-            }
-        });
+        let t0 = scope.spawn(|| run_prog(&p0));
+        let t1 = scope.spawn(|| run_prog(&p1));
         if let Some(server) = &server {
             endpoint_ok = probe_prometheus(server.addr());
         }
@@ -164,24 +213,171 @@ fn ms(d: Duration) -> Value {
     Value::F64(d.as_secs_f64() * 1e3)
 }
 
+/// The `--batching` mode: the same two-program co-run with batched
+/// stealing off (`steal_batch_limit = 1`, the pre-batching behaviour) vs
+/// on (the default limit), alternated so slow drift hits both modes
+/// equally, min-of-`reps` per mode. Emits `BENCH_5.json`.
+fn run_batching(p: &Params, out: &str, batch_limit: usize) {
+    let describe = |tag: &str, rep: usize, r: &RunStats| {
+        let sum = |f: fn(&MetricsSnapshot) -> u64| -> u64 {
+            r.programs.iter().map(|s| f(&s.metrics)).sum()
+        };
+        eprintln!(
+            "rep {rep}: batching {tag} {:.1} ms  (steals {} ok / {} fail, {} tasks, \
+             sleeps {}, wakes {}, yields {})",
+            r.makespan.as_secs_f64() * 1e3,
+            sum(|m| m.steals_ok),
+            sum(|m| m.steals_failed),
+            sum(|m| m.tasks_stolen),
+            sum(|m| m.sleeps),
+            sum(|m| m.wakes),
+            sum(|m| m.yields),
+        );
+    };
+    let mut off_best: Option<RunStats> = None;
+    let mut on_best: Option<RunStats> = None;
+    for rep in 0..p.reps {
+        let off = corun(p, 1, false, false, false);
+        describe("off", rep, &off);
+        if off_best.as_ref().is_none_or(|b| off.makespan < b.makespan) {
+            off_best = Some(off);
+        }
+        let on = corun(p, batch_limit, false, false, false);
+        describe("on ", rep, &on);
+        if on_best.as_ref().is_none_or(|b| on.makespan < b.makespan) {
+            on_best = Some(on);
+        }
+    }
+    let off = off_best.expect("reps > 0");
+    let on = on_best.expect("reps > 0");
+    let total = |r: &RunStats, f: fn(&MetricsSnapshot) -> u64| -> u64 {
+        r.programs.iter().map(|s| f(&s.metrics)).sum()
+    };
+    let steals_ok_off = total(&off, |m| m.steals_ok);
+    let steals_ok_on = total(&on, |m| m.steals_ok);
+    let steals_failed_off = total(&off, |m| m.steals_failed);
+    let steals_failed_on = total(&on, |m| m.steals_failed);
+    let tasks_stolen_on = total(&on, |m| m.tasks_stolen);
+    let mean_batch_on =
+        if steals_ok_on == 0 { 0.0 } else { tasks_stolen_on as f64 / steals_ok_on as f64 };
+    let speedup_pct = (off.makespan.as_secs_f64() - on.makespan.as_secs_f64())
+        / off.makespan.as_secs_f64()
+        * 100.0;
+
+    let per_program: Vec<Value> = on
+        .programs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let m = &s.metrics;
+            obj(vec![
+                ("prog", Value::U64(i as u64)),
+                ("label", Value::String(s.label.clone())),
+                ("jobs", Value::U64(m.jobs_executed)),
+                ("steals_ok", Value::U64(m.steals_ok)),
+                ("steals_failed", Value::U64(m.steals_failed)),
+                ("tasks_stolen", Value::U64(m.tasks_stolen)),
+            ])
+        })
+        .collect();
+
+    let doc = obj(vec![
+        ("bench", Value::String("batched-stealing".into())),
+        ("schema_version", Value::U64(BENCH_SCHEMA_VERSION)),
+        ("pr", Value::U64(5)),
+        (
+            "config",
+            obj(vec![
+                ("cores", Value::U64(p.cores as u64)),
+                ("fib_n", Value::U64(p.fib_n)),
+                ("iters", Value::U64(p.iters as u64)),
+                ("reps", Value::U64(p.reps as u64)),
+                ("fan", Value::U64(p.fan as u64)),
+                ("steal_batch_limit", Value::U64(batch_limit as u64)),
+                ("fast", Value::Bool(p.fast)),
+            ]),
+        ),
+        (
+            "results",
+            obj(vec![
+                ("makespan_off_ms", ms(off.makespan)),
+                ("makespan_on_ms", ms(on.makespan)),
+                ("speedup_pct", Value::F64(speedup_pct)),
+                ("steals_ok_off", Value::U64(steals_ok_off)),
+                ("steals_ok_on", Value::U64(steals_ok_on)),
+                ("steals_failed_off", Value::U64(steals_failed_off)),
+                ("steals_failed_on", Value::U64(steals_failed_on)),
+                ("tasks_stolen_on", Value::U64(tasks_stolen_on)),
+                ("mean_batch_on", Value::F64(mean_batch_on)),
+                ("per_program", Value::Array(per_program)),
+            ]),
+        ),
+    ]);
+
+    if let Err(errors) = validate_bench5_value(&doc) {
+        eprintln!("generated document fails its own schema: {errors:?}");
+        std::process::exit(1);
+    }
+    let text = serde_json::to_string(&doc).expect("serialize bench document");
+    std::fs::write(out, format!("{text}\n")).expect("write bench document");
+    println!(
+        "wrote {out}: batching off {:.1} ms → on {:.1} ms ({speedup_pct:+.2}%), \
+         failed steals {steals_failed_off} → {steals_failed_on}, \
+         mean batch {mean_batch_on:.1} tasks ({steals_ok_on} ops moved {tasks_stolen_on})",
+        off.makespan.as_secs_f64() * 1e3,
+        on.makespan.as_secs_f64() * 1e3,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
-    let mut out = String::from("BENCH_3.json");
+    let mut batching = false;
+    let mut cores: Option<usize> = None;
+    let mut reps: Option<usize> = None;
+    let mut batch_limit: usize = BATCH_LIMIT_ON;
+    let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--fast" => fast = true,
+            "--batching" => batching = true,
+            "--cores" => {
+                i += 1;
+                cores = Some(
+                    args.get(i).expect("--cores needs a value").parse().expect("--cores: number"),
+                );
+            }
+            "--reps" => {
+                i += 1;
+                reps = Some(
+                    args.get(i).expect("--reps needs a value").parse().expect("--reps: number"),
+                );
+            }
+            "--batch-limit" => {
+                i += 1;
+                batch_limit = args
+                    .get(i)
+                    .expect("--batch-limit needs a value")
+                    .parse()
+                    .expect("--batch-limit: number");
+                assert!(batch_limit > 1, "--batch-limit: need at least 2 to batch");
+            }
             "--out" => {
                 i += 1;
-                out = args.get(i).expect("--out needs a path").clone();
+                out = Some(args.get(i).expect("--out needs a path").clone());
             }
             "--check" => {
                 i += 1;
                 check = Some(args.get(i).expect("--check needs a path").clone());
             }
-            other => panic!("unknown flag {other}; known: --fast --out PATH --check PATH"),
+            other => {
+                panic!(
+                    "unknown flag {other}; known: --batching --fast \
+                     --cores N --reps N --batch-limit N --out PATH --check PATH"
+                )
+            }
         }
         i += 1;
     }
@@ -189,7 +385,12 @@ fn main() {
     if let Some(path) = check {
         let text = std::fs::read_to_string(&path).expect("read bench document");
         let doc: Value = serde_json::from_str(&text).expect("parse bench document");
-        match validate_bench_value(&doc) {
+        // The document's own `bench` field picks the schema.
+        let result = match doc["bench"].as_str() {
+            Some("batched-stealing") => validate_bench5_value(&doc),
+            _ => validate_bench_value(&doc),
+        };
+        match result {
             Ok(()) => {
                 println!("{path}: valid (schema v{BENCH_SCHEMA_VERSION})");
                 return;
@@ -204,27 +405,49 @@ fn main() {
         }
     }
 
-    let p = if fast {
-        Params { cores: 4, fib_n: 23, iters: 30, reps: 2, fast }
+    let mut p = if batching {
+        // Flat steal-bound workload (see `Params::fan`): `fib_n` is the
+        // *sequential* grain here (~µs per task), `iters` the rounds.
+        if fast {
+            Params { cores: 4, fib_n: 16, iters: 20, fan: 256, reps: 2, fast }
+        } else {
+            Params { cores: 4, fib_n: 18, iters: 90, fan: 512, reps: 5, fast }
+        }
+    } else if fast {
+        Params { cores: 4, fib_n: 23, iters: 30, fan: 0, reps: 2, fast }
     } else {
-        Params { cores: 4, fib_n: 27, iters: 30, reps: 3, fast }
+        Params { cores: 4, fib_n: 27, iters: 30, fan: 0, reps: 3, fast }
     };
+    if let Some(n) = cores {
+        assert!(n >= 2, "--cores: need at least one core per program");
+        p.cores = n;
+    }
+    if let Some(n) = reps {
+        assert!(n >= 1, "--reps: need at least one repetition");
+        p.reps = n;
+    }
 
     // Warm-up (untimed): first-touch costs, thread spawning, page faults.
-    let warmup = Params { cores: p.cores, fib_n: p.fib_n, iters: 2, reps: 1, fast };
-    corun(&warmup, false, false, false);
+    let warmup = Params { cores: p.cores, fib_n: p.fib_n, iters: 2, fan: p.fan, reps: 1, fast };
+    corun(&warmup, BATCH_LIMIT_ON, false, false, false);
+
+    if batching {
+        run_batching(&p, &out.unwrap_or_else(|| "BENCH_5.json".into()), batch_limit);
+        return;
+    }
+    let out = out.unwrap_or_else(|| "BENCH_3.json".into());
 
     // Alternate off/on so slow drift hits both modes equally; min-of-reps
     // sheds scheduler noise.
     let mut off_best: Option<Duration> = None;
     let mut on_best: Option<RunStats> = None;
     for rep in 0..p.reps {
-        let off = corun(&p, false, false, false);
+        let off = corun(&p, BATCH_LIMIT_ON, false, false, false);
         eprintln!("rep {rep}: telemetry off {:.1} ms", off.makespan.as_secs_f64() * 1e3);
         if off_best.is_none_or(|b| off.makespan < b) {
             off_best = Some(off.makespan);
         }
-        let on = corun(&p, true, false, false);
+        let on = corun(&p, BATCH_LIMIT_ON, true, false, false);
         eprintln!("rep {rep}: telemetry on  {:.1} ms", on.makespan.as_secs_f64() * 1e3);
         if on_best.as_ref().is_none_or(|b| on.makespan < b.makespan) {
             on_best = Some(on);
@@ -238,7 +461,7 @@ fn main() {
 
     // Traced run: latency percentiles + live endpoint probe (excluded from
     // the overhead comparison — tracing has its own cost).
-    let traced = corun(&p, true, true, true);
+    let traced = corun(&p, BATCH_LIMIT_ON, true, true, true);
 
     let per_program: Vec<Value> = on
         .programs

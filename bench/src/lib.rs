@@ -1,11 +1,14 @@
 //! Support crate for the Criterion benchmark targets (see `benches/`) and
-//! the `bench-trajectory` driver that emits `BENCH_3.json` at the repo
-//! root. The benchmarks regenerate the paper's figures and measure the
-//! runtime substrates; run them with `cargo bench --workspace`.
+//! the `bench-trajectory` driver that emits `BENCH_3.json` (telemetry
+//! overhead) and, with `--batching`, `BENCH_5.json` (batched-stealing
+//! off/on comparison) at the repo root. The benchmarks regenerate the
+//! paper's figures and measure the runtime substrates; run them with
+//! `cargo bench --workspace`.
 
 use serde::value::Value;
 
-/// Current `BENCH_3.json` schema version. Bump on breaking layout change.
+/// Current bench-document schema version (shared by `BENCH_3.json` and
+/// `BENCH_5.json`). Bump on breaking layout change.
 pub const BENCH_SCHEMA_VERSION: u64 = 1;
 
 fn is_int(v: &Value) -> bool {
@@ -111,6 +114,72 @@ pub fn validate_bench_value(doc: &Value) -> Result<(), Vec<String>> {
     }
 }
 
+/// Validates a parsed `BENCH_5.json` document against the schema the
+/// `bench-trajectory --batching` mode emits: identification header, run
+/// configuration, and the batching off/on comparison (makespans,
+/// steal-failure and tasks-moved deltas, per-program counters of the
+/// batching-on run). Returns every violation found, not just the first.
+pub fn validate_bench5_value(doc: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let e = &mut errors;
+
+    require(doc["bench"].as_str() == Some("batched-stealing"), e, "bench name mismatch");
+    require(
+        doc["schema_version"].as_u64() == Some(BENCH_SCHEMA_VERSION),
+        e,
+        "schema_version mismatch",
+    );
+    require(doc["pr"].as_u64() == Some(5), e, "pr must be 5");
+
+    let cfg = &doc["config"];
+    for key in ["cores", "fib_n", "iters", "reps", "steal_batch_limit"] {
+        require(is_int(&cfg[key]), e, &format!("config.{key} must be an integer"));
+    }
+    require(matches!(cfg["fast"], Value::Bool(_)), e, "config.fast must be a bool");
+
+    let r = &doc["results"];
+    for key in ["makespan_off_ms", "makespan_on_ms", "speedup_pct", "mean_batch_on"] {
+        require(is_num(&r[key]), e, &format!("results.{key} must be numeric"));
+    }
+    for key in [
+        "steals_ok_off",
+        "steals_ok_on",
+        "steals_failed_off",
+        "steals_failed_on",
+        "tasks_stolen_on",
+    ] {
+        require(is_int(&r[key]), e, &format!("results.{key} must be an integer"));
+    }
+    // Internal consistency: every successful batched steal moves at
+    // least one task, so the tasks-moved total can never undercut the
+    // op count.
+    if let (Some(tasks), Some(ops)) = (r["tasks_stolen_on"].as_u64(), r["steals_ok_on"].as_u64()) {
+        require(tasks >= ops, e, "results.tasks_stolen_on must be >= results.steals_ok_on");
+    }
+
+    match &r["per_program"] {
+        Value::Array(progs) if !progs.is_empty() => {
+            for (i, p) in progs.iter().enumerate() {
+                require(p["label"].as_str().is_some(), e, &format!("per_program[{i}].label"));
+                for key in ["prog", "jobs", "steals_ok", "steals_failed", "tasks_stolen"] {
+                    require(
+                        is_int(&p[key]),
+                        e,
+                        &format!("per_program[{i}].{key} must be an integer"),
+                    );
+                }
+            }
+        }
+        _ => e.push("results.per_program must be a non-empty array".to_string()),
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +259,60 @@ mod tests {
         let mut doc = valid_doc();
         set(&mut doc, &["results", "makespan_ms"], Value::U64(812));
         assert_eq!(validate_bench_value(&doc), Ok(()));
+    }
+
+    fn valid_bench5_doc() -> Value {
+        serde_json::from_str(
+            r#"{
+              "bench": "batched-stealing",
+              "schema_version": 1,
+              "pr": 5,
+              "config": {"cores": 4, "fib_n": 27, "iters": 30, "reps": 3,
+                         "steal_batch_limit": 8, "fast": false},
+              "results": {
+                "makespan_off_ms": 900.0,
+                "makespan_on_ms": 850.0,
+                "speedup_pct": 5.56,
+                "steals_ok_off": 5000,
+                "steals_ok_on": 1200,
+                "steals_failed_off": 800,
+                "steals_failed_on": 300,
+                "tasks_stolen_on": 4800,
+                "mean_batch_on": 4.0,
+                "per_program": [
+                  {"prog": 0, "label": "p0", "jobs": 30, "steals_ok": 600,
+                   "steals_failed": 150, "tasks_stolen": 2400}
+                ]
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_bench5_document_passes() {
+        assert_eq!(validate_bench5_value(&valid_bench5_doc()), Ok(()));
+    }
+
+    #[test]
+    fn bench5_rejects_bench3_document_and_vice_versa() {
+        assert!(validate_bench5_value(&valid_doc()).is_err());
+        assert!(validate_bench_value(&valid_bench5_doc()).is_err());
+    }
+
+    #[test]
+    fn bench5_tasks_below_ops_fails() {
+        let mut doc = valid_bench5_doc();
+        set(&mut doc, &["results", "tasks_stolen_on"], Value::U64(10));
+        let errs = validate_bench5_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("tasks_stolen_on")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench5_missing_batch_limit_fails() {
+        let mut doc = valid_bench5_doc();
+        set(&mut doc, &["config", "steal_batch_limit"], Value::String("8".into()));
+        let errs = validate_bench5_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("steal_batch_limit")), "{errs:?}");
     }
 }

@@ -41,6 +41,12 @@ pub enum Bug {
     /// runtime's `fence_expired`. A slow-but-alive program is then
     /// reaped and its next table transition breaks the protocol.
     ReapAlive,
+    /// The batched take ignores the steal-half quota and drains the
+    /// whole observed queue — the classic over-stealing bug a
+    /// `steal_batch` implementation grows when the reservation loop
+    /// forgets the `ceil(len/2)` cap. The oracle's batch rule
+    /// (`taken ≤ ceil(observed/2)`) catches it.
+    OverSteal,
 }
 
 /// Shape and timing of one model instance. All times are virtual
@@ -64,6 +70,10 @@ pub struct ModelConfig {
     pub sleep_timeout_ns: u64,
     /// Virtual duration of executing one task.
     pub work_ns: u64,
+    /// Most tasks one take may move (mirrors the runtime's
+    /// `steal_batch_limit`; `1` disables batching). The effective batch
+    /// is further capped at ceil-half of the observed queue.
+    pub steal_batch_limit: usize,
     /// Program SIGKILLed mid-run by the crash scenario (`None` = no
     /// crash). Its workers and coordinator stop dead — no releases, no
     /// cleanup — and a reaper thread per survivor recovers the cores.
@@ -90,6 +100,7 @@ impl ModelConfig {
             coord_ticks: 2,
             sleep_timeout_ns: 15_000,
             work_ns: 4_000,
+            steal_batch_limit: 2,
             crash: None,
             crash_at_ns: 0,
             lease_timeout_ns: 40_000,
@@ -108,6 +119,7 @@ impl ModelConfig {
             coord_ticks: 4,
             sleep_timeout_ns: 20_000,
             work_ns: 6_000,
+            steal_batch_limit: 2,
             crash: None,
             crash_at_ns: 0,
             lease_timeout_ns: 40_000,
@@ -411,14 +423,19 @@ impl Shared {
     }
 }
 
-fn take_task(q: &AtomicUsize) -> bool {
+/// CAS-reserves a batch of tasks from the program queue, capped (like
+/// the real deque's `steal_batch`) at ceil-half of the observed length
+/// and at `limit`. Returns `(observed, taken)` on success. Under
+/// [`Bug::OverSteal`] the caps are dropped and the whole queue goes.
+fn take_batch(q: &AtomicUsize, limit: usize, bug: Option<Bug>) -> Option<(usize, usize)> {
     loop {
         let n = q.load(Ordering::SeqCst);
         if n == 0 {
-            return false;
+            return None;
         }
-        if q.compare_exchange(n, n - 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
-            return true;
+        let k = if bug == Some(Bug::OverSteal) { n } else { n.div_ceil(2).min(limit.max(1)) };
+        if q.compare_exchange(n, n - k, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            return Some((n, k));
         }
     }
 }
@@ -470,12 +487,34 @@ fn worker_loop(sh: &Shared, prog: usize, core: usize) {
             }
             continue;
         }
-        // Own the core: take a task from the program's queue.
+        // Own the core: take a batch of tasks from the program's queue
+        // (steal-half, capped at the configured batch limit).
         preempt_point("worker-steal");
-        let stole = !fault_hit(fault_plan().drop_steal_ppm) && take_task(&sh.queued[prog]);
-        if stole {
-            sleep(work);
-            sh.prog_remaining[prog].fetch_sub(1, Ordering::SeqCst);
+        let batch = if fault_hit(fault_plan().drop_steal_ppm) {
+            None
+        } else {
+            take_batch(&sh.queued[prog], sh.cfg.steal_batch_limit, sh.cfg.bug)
+        };
+        if let Some((observed, taken)) = batch {
+            // Single-task takes predate batching and log nothing — that
+            // keeps a `steal_batch_limit = 1` run's shim-op sequence (and
+            // so every seeded schedule) identical to the pre-batching
+            // model. Only a genuine batch is a `StealBatch` event.
+            if taken > 1 {
+                sh.table.log_event(ProtoEvent::StealBatch { prog, worker: core, observed, taken });
+            }
+            for i in 0..taken {
+                // The kill check between tasks (not before the first:
+                // the loop-top check already covered entry) keeps a
+                // limit-1 run op-for-op identical to single-task takes.
+                if i > 0 && sh.dead[prog].load(Ordering::SeqCst) {
+                    // SIGKILL mid-batch: the reserved tasks die with us.
+                    sh.awake[prog][core].store(false, Ordering::SeqCst);
+                    return;
+                }
+                sleep(work);
+                sh.prog_remaining[prog].fetch_sub(1, Ordering::SeqCst);
+            }
             failed = 0;
         } else {
             failed += 1;
@@ -736,6 +775,24 @@ mod tests {
         assert!(t.try_reap(1, 2));
         assert!(!t.try_reap(1, 2)); // already free
         assert_eq!(t.take_log(), vec![ProtoEvent::Reap { prog: 1, core: 2 }]);
+    }
+
+    #[test]
+    fn take_batch_respects_half_and_limit() {
+        let q = AtomicUsize::new(7);
+        assert_eq!(take_batch(&q, 2, None), Some((7, 2))); // limit caps
+        assert_eq!(take_batch(&q, 100, None), Some((5, 3))); // half caps: ceil(5/2)
+        assert_eq!(take_batch(&q, 1, None), Some((2, 1))); // limit 1 = single steal
+        assert_eq!(take_batch(&q, 0, None), Some((1, 1))); // degenerate limit clamps to 1
+        assert_eq!(take_batch(&q, 2, None), None); // empty
+        assert_eq!(q.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn seeded_over_steal_drains_the_queue() {
+        let q = AtomicUsize::new(7);
+        assert_eq!(take_batch(&q, 2, Some(Bug::OverSteal)), Some((7, 7)));
+        assert_eq!(q.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -66,6 +66,18 @@ pub enum ProtoEvent {
         /// Wake target computed (`N_w`).
         n_w: usize,
     },
+    /// Worker `worker` of program `prog` took a batch of `taken` tasks
+    /// from a queue it observed holding `observed` tasks.
+    StealBatch {
+        /// Program index.
+        prog: usize,
+        /// Worker index within the program.
+        worker: usize,
+        /// Queue length the thief observed before reserving the batch.
+        observed: usize,
+        /// Tasks actually taken.
+        taken: usize,
+    },
     /// A reaper fenced the lease of dead program `prog` (stale
     /// heartbeat + death confirmed).
     Expired {
@@ -92,6 +104,9 @@ impl fmt::Display for ProtoEvent {
             ProtoEvent::Wake { prog, worker } => write!(f, "wake     prog={prog} worker={worker}"),
             ProtoEvent::CoordTick { prog, n_b, n_a, n_w } => {
                 write!(f, "coord    prog={prog} n_b={n_b} n_a={n_a} n_w={n_w}")
+            }
+            ProtoEvent::StealBatch { prog, worker, observed, taken } => {
+                write!(f, "batch    prog={prog} worker={worker} observed={observed} taken={taken}")
             }
             ProtoEvent::Expired { prog } => write!(f, "expired  prog={prog}"),
             ProtoEvent::Reap { prog, core } => write!(f, "reap     prog={prog} core={core}"),
@@ -127,6 +142,8 @@ pub struct OracleStats {
     pub releases: usize,
     /// Number of `Reap` events.
     pub reaps: usize,
+    /// Number of `StealBatch` events.
+    pub steal_batches: usize,
 }
 
 /// Replays a trace against the ownership rules, starting (like the
@@ -248,6 +265,29 @@ impl Oracle {
                 self.owner[core] = None;
                 self.stats.reaps += 1;
             }
+            ProtoEvent::StealBatch { observed, taken, .. } => {
+                // Rule 6 (batched stealing): a thief reserves at least one
+                // task, never more than it observed, and never more than
+                // the ceiling-half steal-half quota — over-stealing drains
+                // a victim the coordinator still counts in `N_b` and
+                // starves its remaining workers.
+                if taken == 0 {
+                    return fail("steal batch took zero tasks".to_string());
+                }
+                if taken > observed {
+                    return fail(format!(
+                        "steal batch took {taken} tasks from a queue of {observed}"
+                    ));
+                }
+                let half = observed.div_ceil(2);
+                if taken > half {
+                    return fail(format!(
+                        "over-steal: batch took {taken} of {observed} observed tasks \
+                         (steal-half quota is {half})"
+                    ));
+                }
+                self.stats.steal_batches += 1;
+            }
             ProtoEvent::Sleep { .. } | ProtoEvent::Wake { .. } | ProtoEvent::CoordTick { .. } => {}
         }
         Ok(())
@@ -279,7 +319,36 @@ mod tests {
             Reclaim { prog: 0, core: 1 },
         ];
         let stats = Oracle::replay(&HOME, &trace).expect("clean trace");
-        assert_eq!(stats, OracleStats { acquires: 1, reclaims: 1, releases: 2, reaps: 0 });
+        assert_eq!(
+            stats,
+            OracleStats { acquires: 1, reclaims: 1, releases: 2, reaps: 0, steal_batches: 0 }
+        );
+    }
+
+    #[test]
+    fn steal_half_batches_replay_clean() {
+        use ProtoEvent::*;
+        let trace = [
+            StealBatch { prog: 0, worker: 1, observed: 7, taken: 4 }, // ceil(7/2)
+            StealBatch { prog: 0, worker: 0, observed: 1, taken: 1 },
+            StealBatch { prog: 1, worker: 0, observed: 2, taken: 1 },
+        ];
+        let stats = Oracle::replay(&HOME, &trace).expect("steal-half batches are legal");
+        assert_eq!(stats.steal_batches, 3);
+    }
+
+    #[test]
+    fn over_steal_batch_is_caught() {
+        use ProtoEvent::*;
+        let v = Oracle::replay(&HOME, &[StealBatch { prog: 0, worker: 1, observed: 7, taken: 5 }])
+            .unwrap_err();
+        assert!(v.reason.contains("over-steal"), "{}", v.reason);
+        let v = Oracle::replay(&HOME, &[StealBatch { prog: 0, worker: 1, observed: 3, taken: 4 }])
+            .unwrap_err();
+        assert!(v.reason.contains("from a queue of 3"), "{}", v.reason);
+        let v = Oracle::replay(&HOME, &[StealBatch { prog: 0, worker: 1, observed: 3, taken: 0 }])
+            .unwrap_err();
+        assert!(v.reason.contains("zero tasks"), "{}", v.reason);
     }
 
     #[test]
@@ -328,7 +397,10 @@ mod tests {
             Acquire { prog: 0, core: 2 },
         ];
         let stats = Oracle::replay(&HOME, &trace).expect("clean reap trace");
-        assert_eq!(stats, OracleStats { acquires: 1, reclaims: 0, releases: 0, reaps: 2 });
+        assert_eq!(
+            stats,
+            OracleStats { acquires: 1, reclaims: 0, releases: 0, reaps: 2, steal_batches: 0 }
+        );
     }
 
     #[test]

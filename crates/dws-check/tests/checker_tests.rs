@@ -61,7 +61,10 @@ fn same_seed_replays_identically() {
 
 #[test]
 fn seeded_double_reclaim_is_caught_and_replays() {
-    let cfg = ModelConfig::standard().with_bug(Bug::DoubleReclaim);
+    let mut cfg = ModelConfig::standard().with_bug(Bug::DoubleReclaim);
+    // Single-task takes: the reclaim race needs many sleep/legitimize
+    // episodes, and batching's faster queue drain elides most of them.
+    cfg.steal_batch_limit = 1;
     let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
     let explorer = Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &cfg, seed));
     let report = explorer.random(0xB06, 2_000);
@@ -74,6 +77,42 @@ fn seeded_double_reclaim_is_caught_and_replays() {
     // The failing seed must reproduce the identical interleaving, event
     // trace, and violation.
     explorer.replay(&failing).expect("failing seed must replay identically");
+}
+
+#[test]
+fn seeded_over_steal_is_caught_and_replays() {
+    // A steal_batch that forgets the ceil-half cap drains whole queues;
+    // the oracle's batch rule must flag the first oversized batch.
+    let cfg = ModelConfig::standard().with_bug(Bug::OverSteal);
+    let explorer = Explorer::new(CheckOptions::default(), move |env: &Env, seed| {
+        model::spawn_model(env, &cfg, seed)
+    });
+    let report = explorer.random(0x0B57, 500);
+    let failing = report
+        .failing()
+        .unwrap_or_else(|| panic!("over-steal bug not found in {} schedules", report.schedules))
+        .clone();
+    let failure = failing.failure.as_deref().unwrap();
+    assert!(failure.contains("over-steal"), "unexpected failure: {failure}");
+    explorer.replay(&failing).expect("failing seed must replay identically");
+}
+
+#[test]
+fn clean_batched_model_logs_steal_batches() {
+    // The no-bug model's batches must satisfy the oracle rule AND
+    // actually exercise it: at least one multi-task batch in the trace.
+    let cfg = ModelConfig::standard();
+    let explorer = Explorer::new(CheckOptions::default(), move |env: &Env, seed| {
+        model::spawn_model(env, &cfg, seed)
+    });
+    let r = explorer.run_seed(0xBA7C);
+    assert!(r.failure.is_none(), "{:?}", r.failure);
+    let multi = r
+        .events
+        .iter()
+        .filter(|e| matches!(e, ProtoEvent::StealBatch { taken, .. } if *taken > 1))
+        .count();
+    assert!(multi >= 1, "no multi-task batch in the trace: {:?}", r.events);
 }
 
 #[test]

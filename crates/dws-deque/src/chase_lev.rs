@@ -25,6 +25,19 @@ use crate::buffer::Buffer;
 /// Initial buffer capacity (slots). Must be a power of two.
 const MIN_CAP: usize = 64;
 
+/// Hard cap on the number of tasks one batch steal moves, regardless of
+/// the caller's limit. Bounds the time a thief spends transferring (and
+/// the cache traffic of re-pushing) before it starts executing.
+pub const MAX_STEAL_BATCH: usize = 32;
+
+/// Number of tasks one batch steal may take from a deque observed with
+/// `len` queued tasks: at most `limit`, at most [`MAX_STEAL_BATCH`], and
+/// never more than half of `len` (rounded up), so the victim — and other
+/// thieves — keep a share of the work.
+pub fn batch_quota(len: usize, limit: usize) -> usize {
+    len.div_ceil(2).min(limit).min(MAX_STEAL_BATCH)
+}
+
 /// Result of a steal attempt.
 #[derive(Debug, PartialEq, Eq)]
 pub enum Steal<T> {
@@ -280,6 +293,88 @@ impl<T: Send> Stealer<T> {
         None
     }
 
+    /// Steals up to `limit` tasks (never more than half of the observed
+    /// queue, hard-capped at [`MAX_STEAL_BATCH`]) and pushes them onto
+    /// `dest` — the thief's own deque — oldest first, returning how many
+    /// tasks moved.
+    ///
+    /// One call amortizes victim selection and keeps the victim's `top`
+    /// cache line hot across the transfer, but each element is still
+    /// claimed with its own `top` CAS. Reserving the whole range with a
+    /// single `t → t+n` CAS is **unsound** for this LIFO formulation: the
+    /// owner's `pop` takes interior slots without touching `top` whenever
+    /// more than one element remains, so a multi-slot reservation computed
+    /// from a stale `bottom` can hand the thief elements the owner already
+    /// consumed. (Crossbeam batches its LIFO flavor the same way.)
+    ///
+    /// `Retry` is returned only when the *first* claim lost a race and
+    /// nothing moved; once at least one task moved, a lost race merely
+    /// truncates the batch and the call still reports `Success`.
+    pub fn steal_batch(&self, dest: &Worker<T>, limit: usize) -> Steal<usize> {
+        debug_assert!(
+            !Arc::ptr_eq(&self.inner, &dest.inner),
+            "batch-stealing into the victim's own deque"
+        );
+        let quota = batch_quota(self.len(), limit);
+        if quota == 0 {
+            return Steal::Empty;
+        }
+        let mut taken = 0usize;
+        while taken < quota {
+            match self.steal() {
+                Steal::Success(v) => {
+                    dest.push(v);
+                    taken += 1;
+                }
+                // Drained mid-batch (owner pops, other thieves) — keep
+                // what already moved.
+                Steal::Empty => break,
+                // Contention with zero progress: surface it so callers
+                // can apply their bounded-retry policy; with progress,
+                // just truncate the batch.
+                Steal::Retry if taken == 0 => return Steal::Retry,
+                Steal::Retry => break,
+            }
+        }
+        if taken == 0 {
+            Steal::Empty
+        } else {
+            Steal::Success(taken)
+        }
+    }
+
+    /// Like [`Stealer::steal_batch`], but returns the first (oldest)
+    /// stolen task for immediate execution instead of pushing it onto
+    /// `dest`. The remainder of the batch lands in `dest` oldest-first,
+    /// so `dest`'s owner pops the newest stolen task next (LIFO depth
+    /// locality) while secondary thieves see the oldest at `dest`'s top.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>, limit: usize) -> Steal<T> {
+        debug_assert!(
+            !Arc::ptr_eq(&self.inner, &dest.inner),
+            "batch-stealing into the victim's own deque"
+        );
+        let quota = batch_quota(self.len(), limit);
+        if quota == 0 {
+            return Steal::Empty;
+        }
+        let first = match self.steal() {
+            Steal::Success(v) => v,
+            Steal::Empty => return Steal::Empty,
+            Steal::Retry => return Steal::Retry,
+        };
+        let mut taken = 1usize;
+        while taken < quota {
+            match self.steal() {
+                Steal::Success(v) => {
+                    dest.push(v);
+                    taken += 1;
+                }
+                Steal::Empty | Steal::Retry => break,
+            }
+        }
+        Steal::Success(first)
+    }
+
     /// Number of tasks currently queued (approximate under concurrency).
     pub fn len(&self) -> usize {
         let t = self.inner.top.load(Ordering::Relaxed);
@@ -498,6 +593,129 @@ mod tests {
     fn steal_with_retries_eventually_returns_none_on_empty() {
         let (_w, s) = deque::<u8>();
         assert_eq!(s.steal_with_retries(16), None);
+    }
+
+    #[test]
+    fn batch_quota_caps_at_half_limit_and_max() {
+        assert_eq!(batch_quota(0, 8), 0);
+        assert_eq!(batch_quota(1, 8), 1);
+        assert_eq!(batch_quota(7, 8), 4, "ceil-half of 7");
+        assert_eq!(batch_quota(100, 8), 8, "limit binds");
+        assert_eq!(batch_quota(1000, 1000), MAX_STEAL_BATCH, "hard cap binds");
+        assert_eq!(batch_quota(5, 0), 0, "zero limit steals nothing");
+    }
+
+    #[test]
+    fn steal_batch_moves_oldest_half() {
+        let (victim, s) = deque::<u32>();
+        let (thief, thief_s) = deque::<u32>();
+        for i in 0..10 {
+            victim.push(i);
+        }
+        assert_eq!(s.steal_batch(&thief, 8), Steal::Success(5), "ceil-half of 10");
+        assert_eq!(victim.len(), 5);
+        assert_eq!(thief.len(), 5);
+        // Oldest victim tasks, in age order at the thief's top.
+        for i in 0..5 {
+            assert_eq!(thief_s.steal(), Steal::Success(i));
+        }
+        // Victim keeps its newest half.
+        assert_eq!(victim.pop(), Some(9));
+    }
+
+    #[test]
+    fn steal_batch_respects_limit() {
+        let (victim, s) = deque::<u32>();
+        let (thief, _ts) = deque::<u32>();
+        for i in 0..100 {
+            victim.push(i);
+        }
+        assert_eq!(s.steal_batch(&thief, 3), Steal::Success(3));
+        assert_eq!(victim.len(), 97);
+        assert_eq!(s.steal_batch(&thief, usize::MAX), Steal::Success(MAX_STEAL_BATCH));
+    }
+
+    #[test]
+    fn steal_batch_empty_and_single() {
+        let (victim, s) = deque::<u32>();
+        let (thief, _ts) = deque::<u32>();
+        assert_eq!(s.steal_batch(&thief, 8), Steal::Empty);
+        victim.push(42);
+        assert_eq!(s.steal_batch(&thief, 8), Steal::Success(1));
+        assert_eq!(thief.pop(), Some(42));
+    }
+
+    #[test]
+    fn steal_batch_and_pop_returns_oldest_keeps_rest() {
+        let (victim, s) = deque::<u32>();
+        let (thief, _ts) = deque::<u32>();
+        for i in 0..8 {
+            victim.push(i);
+        }
+        // ceil-half of 8 = 4: returns 0, parks 1..=3 in the thief's deque.
+        assert_eq!(s.steal_batch_and_pop(&thief, 8), Steal::Success(0));
+        assert_eq!(thief.len(), 3);
+        assert_eq!(thief.pop(), Some(3), "thief pops the newest stolen task next");
+        assert_eq!(victim.len(), 4);
+        let (empty_victim, es) = deque::<u32>();
+        let _ = &empty_victim;
+        assert_eq!(es.steal_batch_and_pop(&thief, 8), Steal::Empty);
+    }
+
+    #[test]
+    fn concurrent_batch_thieves_never_duplicate_or_lose() {
+        const N: usize = 20_000;
+        const THIEVES: usize = 4;
+        let (w, s) = deque::<usize>();
+        let seen = StdArc::new((0..N).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+        let done = StdArc::new(AtomicUsize::new(0));
+
+        let handles: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let s = s.clone();
+                let seen = StdArc::clone(&seen);
+                let done = StdArc::clone(&done);
+                std::thread::spawn(move || {
+                    let (local, _local_s) = deque::<usize>();
+                    loop {
+                        match s.steal_batch_and_pop(&local, 8) {
+                            Steal::Success(v) => {
+                                seen[v].fetch_add(1, Ordering::Relaxed);
+                                while let Some(v) = local.pop() {
+                                    seen[v].fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) == 1 {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                            Steal::Retry => std::hint::spin_loop(),
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for i in 0..N {
+            w.push(i);
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    seen[v].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            seen[v].fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(1, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "element {i} seen wrong number of times");
+        }
     }
 
     #[test]

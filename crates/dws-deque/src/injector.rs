@@ -54,6 +54,56 @@ impl<T> Injector<T> {
         self.len.load(Ordering::Acquire)
     }
 
+    /// Drains up to `limit` tasks (never more than half of the observed
+    /// queue, rounded up, hard-capped at
+    /// [`MAX_STEAL_BATCH`](crate::MAX_STEAL_BATCH)) into `dest` under a
+    /// single lock acquisition, front (oldest) first. Returns how many
+    /// tasks moved. Leaving the other half behind keeps bulk root-task
+    /// drains fair to the other workers polling the injector.
+    pub fn steal_batch(&self, dest: &crate::Worker<T>, limit: usize) -> usize
+    where
+        T: Send,
+    {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        let mut q = self.queue.lock().unwrap();
+        let quota = crate::chase_lev::batch_quota(q.len(), limit);
+        for _ in 0..quota {
+            match q.pop_front() {
+                Some(v) => dest.push(v),
+                None => unreachable!("quota exceeds queue length under the lock"),
+            }
+        }
+        self.len.store(q.len(), Ordering::Release);
+        quota
+    }
+
+    /// As [`Injector::steal_batch`], but returns the first (oldest) task
+    /// directly for immediate execution; the rest of the batch lands in
+    /// `dest`. `None` when the injector is empty.
+    pub fn steal_batch_and_pop(&self, dest: &crate::Worker<T>, limit: usize) -> Option<T>
+    where
+        T: Send,
+    {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.queue.lock().unwrap();
+        let quota = crate::chase_lev::batch_quota(q.len(), limit);
+        let first = if quota == 0 { None } else { q.pop_front() };
+        if first.is_some() {
+            for _ in 1..quota {
+                match q.pop_front() {
+                    Some(v) => dest.push(v),
+                    None => unreachable!("quota exceeds queue length under the lock"),
+                }
+            }
+        }
+        self.len.store(q.len(), Ordering::Release);
+        first
+    }
+
     /// True if no tasks are queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -87,6 +137,39 @@ mod tests {
         assert_eq!(inj.len(), 5);
         inj.pop();
         assert_eq!(inj.len(), 4);
+    }
+
+    #[test]
+    fn steal_batch_drains_oldest_half_under_one_lock() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let (w, s) = crate::deque::<i32>();
+        assert_eq!(inj.steal_batch(&w, 100), 5, "ceil-half of 10");
+        assert_eq!(inj.len(), 5);
+        for i in 0..5 {
+            assert_eq!(s.steal().success(), Some(i), "oldest first");
+        }
+        assert_eq!(inj.steal_batch(&w, 2), 2, "limit binds");
+        assert_eq!(inj.pop(), Some(7), "injector keeps its tail");
+    }
+
+    #[test]
+    fn steal_batch_and_pop_returns_front_task() {
+        let inj = Injector::new();
+        let (w, _s) = crate::deque::<i32>();
+        assert_eq!(inj.steal_batch_and_pop(&w, 8), None);
+        for i in 0..6 {
+            inj.push(i);
+        }
+        assert_eq!(inj.steal_batch_and_pop(&w, 8), Some(0));
+        assert_eq!(w.len(), 2, "rest of the ceil-half batch parked in dest");
+        assert_eq!(inj.len(), 3);
+        inj.pop();
+        inj.pop();
+        inj.pop();
+        assert_eq!(inj.steal_batch_and_pop(&w, 8), None, "drained");
     }
 
     #[test]

@@ -8,9 +8,13 @@
 //! - [`deque`] / [`Worker`] / [`Stealer`]: a lock-free Chase–Lev
 //!   work-stealing deque (owner pushes/pops LIFO at the bottom, thieves
 //!   steal FIFO from the top), following the weak-memory-exact formulation
-//!   of Lê et al. (PPoPP'13).
+//!   of Lê et al. (PPoPP'13). Thieves can also move work in bulk:
+//!   [`Stealer::steal_batch`] / [`Stealer::steal_batch_and_pop`] transfer
+//!   up to half of the victim's queue (capped at [`MAX_STEAL_BATCH`]) into
+//!   the thief's own deque, amortizing victim selection across the batch.
 //! - [`Injector`]: a multi-producer multi-consumer FIFO used for work that
-//!   enters the pool from outside (root-task submission).
+//!   enters the pool from outside (root-task submission), with a bulk
+//!   [`Injector::steal_batch`] drain under a single lock acquisition.
 //! - [`MutexDeque`]: a locked reference implementation used as a test
 //!   oracle and as the baseline in the deque microbenchmarks.
 //!
@@ -32,6 +36,6 @@ mod chase_lev;
 mod injector;
 mod mutex_deque;
 
-pub use chase_lev::{deque, Steal, Stealer, Worker};
+pub use chase_lev::{batch_quota, deque, Steal, Stealer, Worker, MAX_STEAL_BATCH};
 pub use injector::Injector;
 pub use mutex_deque::MutexDeque;

@@ -1,0 +1,97 @@
+//! Deterministic multi-thread stress of the batched steal operations
+//! under the `dws-check` virtual-time scheduler: an owner interleaving
+//! push/pop with batch thieves, where every context switch point is
+//! chosen by the explorer instead of the OS. Conservation (each task
+//! consumed exactly once) must hold on every explored schedule.
+//!
+//! Build with `RUSTFLAGS="--cfg dws_check" cargo test -p dws-deque
+//! --test check_batch` — without the cfg this file compiles to nothing.
+#![cfg(dws_check)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dws_check::{explore_random, CheckOptions, Env, Outcome, PostCheck};
+use dws_deque::{deque, Steal, MAX_STEAL_BATCH};
+
+const TASKS: usize = 24;
+const THIEVES: usize = 2;
+const LIMIT: usize = 4;
+
+/// Spawns the owner and the batch thieves inside the managed scheduler.
+/// `yield_now` calls between deque operations are the preemption points
+/// the explorer permutes.
+fn spawn_race(env: &Env, counts: &Arc<Vec<AtomicUsize>>, max_batch: &Arc<AtomicUsize>) {
+    let (w, s) = deque::<usize>();
+    let done = Arc::new(AtomicBool::new(false));
+
+    for t in 0..THIEVES {
+        let s = s.clone();
+        let counts = Arc::clone(&counts);
+        let done = Arc::clone(&done);
+        let max_batch = Arc::clone(max_batch);
+        env.spawn(&format!("thief{t}"), move || {
+            let (local, _local_s) = deque::<usize>();
+            loop {
+                match s.steal_batch_and_pop(&local, LIMIT) {
+                    Steal::Success(v) => {
+                        counts[v].fetch_add(1, Ordering::Relaxed);
+                        let mut batch = 1;
+                        while let Some(v) = local.pop() {
+                            counts[v].fetch_add(1, Ordering::Relaxed);
+                            batch += 1;
+                        }
+                        max_batch.fetch_max(batch, Ordering::Relaxed);
+                    }
+                    Steal::Empty if done.load(Ordering::Acquire) => break,
+                    _ => dws_check::sync::yield_now(),
+                }
+            }
+        });
+    }
+
+    let counts = Arc::clone(counts);
+    env.spawn("owner", move || {
+        for i in 0..TASKS {
+            w.push(i);
+            dws_check::sync::yield_now();
+            if i % 5 == 4 {
+                if let Some(v) = w.pop() {
+                    counts[v].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // The owner leaves its remaining tasks to the thieves; the done
+        // flag releases them once the deque drains.
+        done.store(true, Ordering::Release);
+    });
+}
+
+#[test]
+fn batch_steals_conserve_tasks_on_every_schedule() {
+    let report = explore_random(&CheckOptions::default(), 0xBA7C4, 300, |env, _seed| {
+        let counts: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..TASKS).map(|_| AtomicUsize::new(0)).collect());
+        let max_batch = Arc::new(AtomicUsize::new(0));
+        spawn_race(env, &counts, &max_batch);
+        let (counts, max_batch) = (Arc::clone(&counts), Arc::clone(&max_batch));
+        move |clean: bool| {
+            let mut error = None;
+            if clean {
+                for (i, c) in counts.iter().enumerate() {
+                    let n = c.load(Ordering::Relaxed);
+                    if n != 1 {
+                        error = Some(format!("task {i} consumed {n} times"));
+                        break;
+                    }
+                }
+                let mb = max_batch.load(Ordering::Relaxed);
+                if error.is_none() && mb > LIMIT.min(MAX_STEAL_BATCH) {
+                    error = Some(format!("a transfer moved {mb} tasks, over the quota"));
+                }
+            }
+            PostCheck { events: Vec::new(), error }
+        }
+    });
+    assert!(matches!(report.outcome, Outcome::Pass), "{:?}", report.failing());
+}

@@ -1,0 +1,219 @@
+//! Property-based differential tests for the *batched* steal operations:
+//! `Stealer::steal_batch` / `steal_batch_and_pop` and
+//! `Injector::steal_batch` must agree with the `MutexDeque` oracle (which
+//! implements the same ceil-half quota rule) on every single-threaded
+//! operation sequence — same counts, same values, same order — and must
+//! conserve elements under concurrent batch stealing.
+
+use dws_deque::{deque, Injector, MutexDeque, Steal, Worker, MAX_STEAL_BATCH};
+use proptest::prelude::*;
+
+/// One operation in a generated single-threaded scenario. Batch limits
+/// range past `MAX_STEAL_BATCH` so the hard cap is exercised too.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Steal,
+    StealBatch(usize),
+    StealBatchAndPop(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<u32>().prop_map(Op::Push),
+        2 => Just(Op::Pop),
+        1 => Just(Op::Steal),
+        2 => (1usize..2 * MAX_STEAL_BATCH + 1).prop_map(Op::StealBatch),
+        2 => (1usize..2 * MAX_STEAL_BATCH + 1).prop_map(Op::StealBatchAndPop),
+    ]
+}
+
+/// Drains a thief-side `Worker` in owner (LIFO) order.
+fn drain_worker(w: &Worker<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    while let Some(v) = w.pop() {
+        out.push(v);
+    }
+    out
+}
+
+/// Drains a `MutexDeque` in owner (LIFO) order.
+fn drain_oracle(d: &MutexDeque<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    while let Some(v) = d.pop() {
+        out.push(v);
+    }
+    out
+}
+
+proptest! {
+    /// With no concurrency the lock-free batch ops must be
+    /// indistinguishable from the oracle: identical return values,
+    /// identical victim lengths, and — checked at the end — the thief's
+    /// deque holds the same tasks in the same order (nothing lost,
+    /// duplicated, or reordered within an owner's queue).
+    #[test]
+    fn batch_ops_match_mutex_oracle(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        let (w, s) = deque::<u32>();
+        let (thief, _thief_s) = deque::<u32>();
+        let oracle = MutexDeque::<u32>::new();
+        let oracle_thief = MutexDeque::<u32>::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    w.push(v);
+                    oracle.push(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(w.pop(), oracle.pop());
+                }
+                Op::Steal => {
+                    let got = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => {
+                            prop_assert!(false, "retry without contention");
+                            unreachable!()
+                        }
+                    };
+                    prop_assert_eq!(got, oracle.steal());
+                }
+                Op::StealBatch(limit) => {
+                    let got = match s.steal_batch(&thief, limit) {
+                        Steal::Success(n) => n,
+                        Steal::Empty => 0,
+                        Steal::Retry => {
+                            prop_assert!(false, "retry without contention");
+                            unreachable!()
+                        }
+                    };
+                    prop_assert_eq!(got, oracle.steal_batch(&oracle_thief, limit));
+                }
+                Op::StealBatchAndPop(limit) => {
+                    let got = match s.steal_batch_and_pop(&thief, limit) {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => {
+                            prop_assert!(false, "retry without contention");
+                            unreachable!()
+                        }
+                    };
+                    prop_assert_eq!(got, oracle.steal_batch_and_pop(&oracle_thief, limit));
+                }
+            }
+            prop_assert_eq!(w.len(), oracle.len(), "victim length diverged");
+            prop_assert_eq!(thief.len(), oracle_thief.len(), "thief length diverged");
+        }
+        // Exact order equality on both remainders.
+        prop_assert_eq!(drain_worker(&thief), drain_oracle(&oracle_thief));
+        prop_assert_eq!(drain_worker(&w), drain_oracle(&oracle));
+    }
+
+    /// The injector's bulk drain must follow the same quota rule and FIFO
+    /// order as the oracle under every push/pop/batch interleaving.
+    #[test]
+    fn injector_batch_matches_oracle(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        let inj = Injector::<u32>::new();
+        let (dest, _dest_s) = deque::<u32>();
+        let oracle = MutexDeque::<u32>::new();
+        let oracle_dest = MutexDeque::<u32>::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    inj.push(v);
+                    oracle.push(v);
+                }
+                // The injector is FIFO: its `pop` takes the front, which
+                // is the oracle's `steal` side.
+                Op::Pop | Op::Steal => {
+                    prop_assert_eq!(inj.pop(), oracle.steal());
+                }
+                Op::StealBatch(limit) => {
+                    prop_assert_eq!(
+                        inj.steal_batch(&dest, limit),
+                        oracle.steal_batch(&oracle_dest, limit)
+                    );
+                }
+                Op::StealBatchAndPop(limit) => {
+                    prop_assert_eq!(
+                        inj.steal_batch_and_pop(&dest, limit),
+                        oracle.steal_batch_and_pop(&oracle_dest, limit)
+                    );
+                }
+            }
+            prop_assert_eq!(inj.len(), oracle.len(), "injector length diverged");
+        }
+        prop_assert_eq!(drain_worker(&dest), drain_oracle(&oracle_dest));
+    }
+
+    /// Concurrent scenario: an owner interleaving push/pop with several
+    /// batch thieves, each draining its loot through its own deque. Every
+    /// pushed element is consumed exactly once, and no single transfer
+    /// ever exceeds `MAX_STEAL_BATCH`.
+    #[test]
+    fn concurrent_batch_conservation(
+        n in 1usize..2_000,
+        thieves in 1usize..4,
+        limit in 1usize..17,
+    ) {
+        use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+        use std::sync::Arc;
+
+        let (w, s) = deque::<usize>();
+        let counts: Arc<Vec<AtomicU8>> =
+            Arc::new((0..n).map(|_| AtomicU8::new(0)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let handles: Vec<_> = (0..thieves)
+            .map(|_| {
+                let s = s.clone();
+                let counts = Arc::clone(&counts);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let (local, _local_s) = deque::<usize>();
+                    let mut max_batch = 0usize;
+                    loop {
+                        match s.steal_batch_and_pop(&local, limit) {
+                            Steal::Success(v) => {
+                                counts[v].fetch_add(1, Ordering::Relaxed);
+                                let mut batch = 1;
+                                while let Some(v) = local.pop() {
+                                    counts[v].fetch_add(1, Ordering::Relaxed);
+                                    batch += 1;
+                                }
+                                max_batch = max_batch.max(batch);
+                            }
+                            Steal::Empty if done.load(Ordering::Acquire) => break,
+                            _ => std::hint::spin_loop(),
+                        }
+                    }
+                    max_batch
+                })
+            })
+            .collect();
+
+        for i in 0..n {
+            w.push(i);
+            if i % 5 == 4 {
+                if let Some(v) = w.pop() {
+                    counts[v].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            counts[v].fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            let max_batch = h.join().unwrap();
+            prop_assert!(
+                max_batch <= limit.min(MAX_STEAL_BATCH),
+                "a transfer of {} tasks exceeded the quota", max_batch
+            );
+        }
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "element {} consumed wrong number of times", i);
+        }
+    }
+}

@@ -54,7 +54,9 @@ const USAGE: &str = "usage: check [OPTIONS]
                    only if the checker catches it):
                      double-reclaim   stale-snapshot double reclaim
                      reap-alive       fence without confirming death
-                                      (implies --crash)";
+                                      (implies --crash)
+                     over-steal       batched take ignores the steal-half
+                                      quota and drains whole queues";
 
 fn parse() -> Result<Cli, String> {
     let mut cli = Cli {
@@ -111,6 +113,7 @@ fn parse() -> Result<Cli, String> {
                         cli.crash = true;
                         Bug::ReapAlive
                     }
+                    "over-steal" => Bug::OverSteal,
                     other => return Err(format!("unknown bug `{other}`")),
                 });
                 i += 1;
@@ -174,7 +177,17 @@ fn main() -> ExitCode {
         (false, false) => ModelConfig::standard(),
     };
     let cfg = match cli.bug {
-        Some(b) => cfg.with_bug(b),
+        Some(b) => {
+            let mut cfg = cfg.with_bug(b);
+            if b == Bug::DoubleReclaim {
+                // The reclaim race needs the dense sleep/wake episodes of
+                // single-task takes; batching drains the queues too fast
+                // to provoke it within bounded exploration (the mutation
+                // test pins the same limit).
+                cfg.steal_batch_limit = 1;
+            }
+            cfg
+        }
         None => cfg,
     };
     let opts = CheckOptions {
@@ -198,8 +211,9 @@ fn main() -> ExitCode {
         if cli.faults { ", aggressive faults" } else { "" },
         if cli.fast { ", fast (coarse loads)" } else { "" },
         match cli.bug {
-            Some(Bug::DoubleReclaim) => ", seeded bug: double-reclaim",
+            Some(Bug::DoubleReclaim) => ", seeded bug: double-reclaim (single-task takes)",
             Some(Bug::ReapAlive) => ", seeded bug: reap-alive",
+            Some(Bug::OverSteal) => ", seeded bug: over-steal",
             None => "",
         },
     );

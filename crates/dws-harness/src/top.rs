@@ -87,9 +87,19 @@ pub fn render_program_panel(label: &str, f: &TelemetryFrame, color: bool) -> Str
         "  coord  N_b {}  N_a {}  N_w {}   supply {}f+{}r   plan {}+{}   woken {}   decisions {}\n",
         c.n_b, c.n_a, c.n_w, c.n_f, c.n_r, c.planned_free, c.planned_reclaim, c.woken, c.decisions,
     ));
+    // Mean steal batch size = tasks moved / successful steal ops.
+    let mean_batch =
+        if k.steals_ok == 0 { 0.0 } else { k.tasks_stolen as f64 / k.steals_ok as f64 };
     out.push_str(&format!(
-        "  totals steals {} ok / {} fail   jobs {}   sleeps {}   wakes {}   released {}\n",
-        k.steals_ok, k.steals_failed, k.jobs_executed, k.sleeps, k.wakes, k.cores_released,
+        "  totals steals {} ok / {} fail ({} tasks, x̄ {:.1})   jobs {}   sleeps {}   wakes {}   released {}\n",
+        k.steals_ok,
+        k.steals_failed,
+        k.tasks_stolen,
+        mean_batch,
+        k.jobs_executed,
+        k.sleeps,
+        k.wakes,
+        k.cores_released,
     ));
     if k.degraded != 0 {
         out.push_str(&format!(
@@ -177,7 +187,12 @@ mod tests {
                 woken: 2,
                 decisions: 33,
             },
-            counters: CounterSample { steals_ok: 40, steals_failed: 8, ..Default::default() },
+            counters: CounterSample {
+                steals_ok: 40,
+                steals_failed: 8,
+                tasks_stolen: 100,
+                ..Default::default()
+            },
             latency: LatencySample {
                 steal_p50_ns: 2_048,
                 steal_p99_ns: 65_536,
@@ -207,6 +222,17 @@ mod tests {
         assert!(text.contains("decisions 33"));
         assert!(text.contains("steal p50 2us p99 65us"));
         assert!(!text.contains('\x1b'), "no ANSI codes without color");
+    }
+
+    #[test]
+    fn totals_show_tasks_moved_and_mean_batch() {
+        let text = render_program_panel("p0", &frame(), false);
+        assert!(text.contains("steals 40 ok / 8 fail (100 tasks, x̄ 2.5)"), "{text}");
+        let mut f = frame();
+        f.counters.steals_ok = 0;
+        f.counters.tasks_stolen = 0;
+        let text = render_program_panel("p0", &f, false);
+        assert!(text.contains("(0 tasks, x̄ 0.0)"), "no-steal frame divides safely: {text}");
     }
 
     #[test]

@@ -144,6 +144,10 @@ pub struct WorkerMetrics {
     pub steals_ok: AtomicU64,
     /// Failed steal attempts by this worker.
     pub steals_failed: AtomicU64,
+    /// Tasks moved by this worker's successful steals. With batching one
+    /// steal operation (`steals_ok += 1`) can transfer several tasks; the
+    /// ratio `tasks_stolen / steals_ok` is the mean batch size.
+    pub tasks_stolen: AtomicU64,
     /// Jobs this worker executed.
     pub jobs_executed: AtomicU64,
     /// Times this worker slept.
@@ -156,6 +160,9 @@ pub struct WorkerMetrics {
     pub sleep_duration: LogHistogram,
     /// Wake to first executed task.
     pub wake_to_first_task: LogHistogram,
+    /// Batch size of each successful steal (a *count* histogram: bucket
+    /// `i` holds transfers of `[2^i, 2^{i+1})` tasks, not nanoseconds).
+    pub steal_batch: LogHistogram,
 }
 
 /// Plain-value copy of one worker's shard.
@@ -165,6 +172,8 @@ pub struct WorkerMetricsSnapshot {
     pub steals_ok: u64,
     /// Failed steal attempts.
     pub steals_failed: u64,
+    /// Tasks moved by successful steals.
+    pub tasks_stolen: u64,
     /// Jobs executed.
     pub jobs_executed: u64,
     /// Sleeps.
@@ -177,6 +186,8 @@ pub struct WorkerMetricsSnapshot {
     pub sleep_duration: HistogramSnapshot,
     /// Wake→first-task histogram.
     pub wake_to_first_task: HistogramSnapshot,
+    /// Steal batch-size histogram (task counts, not nanoseconds).
+    pub steal_batch: HistogramSnapshot,
 }
 
 /// RAII guard marking the owning worker's multi-field update in flight;
@@ -210,12 +221,14 @@ impl WorkerMetrics {
         WorkerMetricsSnapshot {
             steals_ok: self.steals_ok.load(Ordering::Relaxed),
             steals_failed: self.steals_failed.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
             jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
             sleeps: self.sleeps.load(Ordering::Relaxed),
             wakes: self.wakes.load(Ordering::Relaxed),
             steal_latency: self.steal_latency.snapshot(),
             sleep_duration: self.sleep_duration.snapshot(),
             wake_to_first_task: self.wake_to_first_task.snapshot(),
+            steal_batch: self.steal_batch.snapshot(),
         }
     }
 
@@ -254,6 +267,8 @@ pub struct RtMetrics {
     pub steals_ok: AtomicU64,
     /// Failed steal attempts.
     pub steals_failed: AtomicU64,
+    /// Tasks moved by successful steals (batching makes this ≥ `steals_ok`).
+    pub tasks_stolen: AtomicU64,
     /// Times a worker went to sleep.
     pub sleeps: AtomicU64,
     /// Times a worker was woken (coordinator or timeout).
@@ -310,6 +325,8 @@ pub struct MetricsSnapshot {
     pub leases_expired: u64,
     /// Coordinator ticks that overran the watchdog deadline.
     pub coordinator_stalls: u64,
+    /// Tasks moved by successful steals.
+    pub tasks_stolen: u64,
 }
 
 /// Histograms aggregated across all worker shards.
@@ -321,6 +338,8 @@ pub struct AggregatedHistograms {
     pub sleep_duration: HistogramSnapshot,
     /// Wake→first-task across all workers.
     pub wake_to_first_task: HistogramSnapshot,
+    /// Steal batch sizes across all workers (task counts, not ns).
+    pub steal_batch: HistogramSnapshot,
 }
 
 impl RtMetrics {
@@ -364,6 +383,7 @@ impl RtMetrics {
             cores_reaped: self.cores_reaped.load(Ordering::Relaxed),
             leases_expired: self.leases_expired.load(Ordering::Relaxed),
             coordinator_stalls: self.coordinator_stalls.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
         }
     }
 
@@ -382,6 +402,7 @@ impl RtMetrics {
             agg.steal_latency.merge(&s.steal_latency);
             agg.sleep_duration.merge(&s.sleep_duration);
             agg.wake_to_first_task.merge(&s.wake_to_first_task);
+            agg.steal_batch.merge(&s.steal_batch);
         }
         agg
     }
@@ -525,6 +546,25 @@ mod tests {
         stop.store(true, Ordering::Release);
         writer.join().unwrap();
         assert!(observed > 0, "writer made progress under observation");
+    }
+
+    #[test]
+    fn batch_accounting_distinguishes_ops_from_tasks() {
+        let m = RtMetrics::with_workers(1);
+        // One batched steal of 5 tasks plus one single steal.
+        RtMetrics::bump(&m.steals_ok);
+        RtMetrics::add(&m.tasks_stolen, 5);
+        m.workers[0].steal_batch.record_ns(5);
+        RtMetrics::bump(&m.steals_ok);
+        RtMetrics::add(&m.tasks_stolen, 1);
+        m.workers[0].steal_batch.record_ns(1);
+        let s = m.snapshot();
+        assert_eq!(s.steals_ok, 2);
+        assert_eq!(s.tasks_stolen, 6);
+        let agg = m.aggregated_histograms();
+        assert_eq!(agg.steal_batch.count(), 2);
+        assert_eq!(agg.steal_batch.counts[0], 1, "batch of 1 → bucket 0");
+        assert_eq!(agg.steal_batch.counts[2], 1, "batch of 5 → bucket 2");
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub(crate) struct WorkerInfo {
     /// Core this worker is affined to (== worker index for one-per-core
     /// policies).
     pub(crate) core: usize,
+    /// Written by the owning worker on sleep entry, before the sleeper
+    /// flags it asleep: `true` iff it parked with jobs still queued
+    /// (possible only on eviction — a voluntary sleeper just failed
+    /// `find_work`, so its deque is empty). Lets [`Registry::queued_jobs`]
+    /// skip the deque-length load for idle sleepers.
+    pub(crate) asleep_with_work: AtomicBool,
 }
 
 /// Shared state of one runtime instance.
@@ -61,9 +67,28 @@ pub(crate) struct Registry {
 
 impl Registry {
     /// `N_b` as the coordinator sees it: queued jobs in all deques plus
-    /// the injector.
+    /// the injector. Still O(workers), but a worker that went to sleep
+    /// with nothing queued is skipped without touching its deque — only
+    /// the owner pushes, so an empty deque stays empty for the whole
+    /// sleep episode, and the deque's top/bottom words are exactly the
+    /// cache lines sibling thieves hammer. Evicted sleepers can park with
+    /// queued (still-stealable) jobs; they set `asleep_with_work` and are
+    /// counted normally. Like every `N_b` read this is a racy sample: a
+    /// worker observed mid-transition may be miscounted for one
+    /// coordinator tick, never longer.
     pub(crate) fn queued_jobs(&self) -> usize {
-        self.injector.len() + self.workers.iter().map(|w| w.stealer.len()).sum::<usize>()
+        self.injector.len()
+            + self
+                .workers
+                .iter()
+                .map(|w| {
+                    if w.sleeper.is_sleeping() && !w.asleep_with_work.load(Ordering::Acquire) {
+                        0
+                    } else {
+                        w.stealer.len()
+                    }
+                })
+                .sum::<usize>()
     }
 
     /// Indices of currently sleeping workers.
@@ -119,6 +144,36 @@ impl Registry {
                 }
             }
         }
+    }
+
+    /// Batch-steal surplus wake: a thief that just parked extra tasks in
+    /// its own deque turned one queue of work into two, so a sleeping
+    /// sibling can start on the surplus *now* instead of waiting for the
+    /// coordinator's next period (up to `coord_period` of dead time on
+    /// the critical path). Wakes at most one sleeper, granting it a core
+    /// first when the table demands exclusivity; a cheap scan-and-return
+    /// when nobody sleeps.
+    pub(crate) fn wake_one_for_surplus(&self) {
+        let Some(w) = (0..self.workers.len()).find(|&i| self.workers[i].sleeper.is_sleeping())
+        else {
+            return;
+        };
+        if self.effective_policy == Policy::Dws {
+            let core = self.workers[w].core;
+            preempt_point("surplus-wake-legitimize");
+            if self.table.current(core) == Some(self.prog_id) {
+                // Already ours — nothing to claim.
+            } else if self.table.try_acquire_free(core, self.prog_id) {
+                self.trace.record(LANE_SHARED, RtEvent::Acquire { prog: self.prog_id, core });
+            } else if self.table.try_reclaim(core, self.prog_id) {
+                self.trace.record(LANE_SHARED, RtEvent::Reclaim { prog: self.prog_id, core });
+            } else {
+                // No core for it right now; the coordinator will sort the
+                // demand out next period — don't wake into an eviction.
+                return;
+            }
+        }
+        self.wake_worker(w);
     }
 }
 
@@ -176,7 +231,12 @@ impl Runtime {
         for i in 0..n {
             let (w, s) = deque::<JobRef>();
             deques.push(w);
-            infos.push(WorkerInfo { stealer: s, sleeper: Sleeper::new(), core: i });
+            infos.push(WorkerInfo {
+                stealer: s,
+                sleeper: Sleeper::new(),
+                core: i,
+                asleep_with_work: AtomicBool::new(false),
+            });
         }
 
         let trace = RtTrace::new(n, config.trace.capacity, config.trace.enabled);
@@ -442,6 +502,20 @@ pub(crate) struct WorkerThread {
     wake_at: Cell<Option<Instant>>,
 }
 
+/// Outcome of one work-acquisition round. Distinguishes "nothing found"
+/// from "lost a CAS race on a non-empty deque": only the former is a
+/// demand signal (it advances Algorithm 1's failed-steal counter toward
+/// `T_sleep` and bumps `steals_failed`).
+pub(crate) enum StealOutcome {
+    /// A job to run.
+    Job(JobRef),
+    /// No work visible anywhere this round.
+    Empty,
+    /// The victim's deque was non-empty but another thief won every CAS
+    /// race, even after the bounded same-victim retries.
+    Contended,
+}
+
 impl WorkerThread {
     /// The worker driving the current thread, if any.
     pub(crate) fn current() -> Option<&'static WorkerThread> {
@@ -521,10 +595,26 @@ impl WorkerThread {
                 self.go_to_sleep(true);
                 continue;
             }
-            if let Some(job) = self.find_work_with(failed_steals > 0) {
-                failed_steals = 0;
-                self.execute(job);
-                continue;
+            match self.find_work_with(failed_steals > 0) {
+                StealOutcome::Job(job) => {
+                    failed_steals = 0;
+                    self.execute(job);
+                    continue;
+                }
+                StealOutcome::Contended => {
+                    // Lost a CAS race on a *non-empty* deque even after
+                    // the bounded retries: work exists, another thief got
+                    // there first. Contention is the opposite of a work
+                    // drought, so it must not feed Algorithm 1's
+                    // failed-steal counter (the sleep trigger) nor the
+                    // `steals_failed` demand signal.
+                    if reg.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                    continue;
+                }
+                StealOutcome::Empty => {}
             }
             // Out of work: immunity (if any) has served its purpose.
             self.starvation_immune.set(false);
@@ -570,6 +660,11 @@ impl WorkerThread {
     /// briefly over-subscribed core.
     fn go_to_sleep(&self, evicted: bool) {
         let reg = &*self.registry;
+        // Published before the sleeper flags us asleep: `queued_jobs`
+        // skips sleepers that provably left nothing behind. Only an
+        // evicted worker can park non-empty; its jobs stay stealable and
+        // must stay counted while siblings drain them.
+        reg.workers[self.index].asleep_with_work.store(!self.deque.is_empty(), Ordering::Release);
         let core = reg.workers[self.index].core;
         let lane = self.index as u32;
         let shard = &reg.metrics.workers[self.index];
@@ -653,19 +748,33 @@ impl WorkerThread {
     }
 
     /// One round of Algorithm 1's work acquisition: own pool, then the
-    /// injector, then one steal attempt (random victim).
+    /// injector, then one steal attempt (random victim). Callers that
+    /// only care about "got a job or not" (e.g. [`WorkerThread::work_until`])
+    /// use this; the main loop uses [`WorkerThread::find_work_with`] to
+    /// tell contention apart from emptiness.
     pub(crate) fn find_work(&self) -> Option<JobRef> {
-        self.find_work_with(false)
+        match self.find_work_with(false) {
+            StealOutcome::Job(job) => Some(job),
+            StealOutcome::Empty | StealOutcome::Contended => None,
+        }
     }
 
     /// As [`WorkerThread::find_work`], sweeping victims when `sweeping`
     /// (set across consecutive failed attempts).
-    pub(crate) fn find_work_with(&self, sweeping: bool) -> Option<JobRef> {
+    pub(crate) fn find_work_with(&self, sweeping: bool) -> StealOutcome {
         if let Some(job) = self.deque.pop() {
-            return Some(job);
+            return StealOutcome::Job(job);
         }
-        if let Some(job) = self.registry.injector.pop() {
-            return Some(job);
+        // Bulk injector drain: one lock acquisition moves a chunk of
+        // injected work (ceil-half, capped by `steal_batch_limit`) — the
+        // surplus parks in our own deque, where it is popped lock-free
+        // next round and remains stealable by siblings.
+        let limit = self.registry.config.steal_batch_limit;
+        if let Some(job) = self.registry.injector.steal_batch_and_pop(&self.deque, limit) {
+            if !self.deque.is_empty() {
+                self.registry.wake_one_for_surplus();
+            }
+            return StealOutcome::Job(job);
         }
         if sweeping {
             self.steal_sweep()
@@ -674,55 +783,115 @@ impl WorkerThread {
         }
     }
 
-    fn steal_once(&self) -> Option<JobRef> {
+    fn steal_once(&self) -> StealOutcome {
         self.steal_from(|n, me| self.rng.victim(n, me))
     }
 
     /// As [`WorkerThread::steal_once`], but sweeping from the previous
     /// victim — used on consecutive failures so one pass visits everyone.
-    fn steal_sweep(&self) -> Option<JobRef> {
+    fn steal_sweep(&self) -> StealOutcome {
         self.steal_from(|n, me| self.rng.victim_sweep(n, me))
     }
 
-    fn steal_from(&self, pick: impl Fn(usize, usize) -> usize) -> Option<JobRef> {
-        let n = self.registry.workers.len();
+    /// One steal operation against one victim.
+    ///
+    /// Fast path: a victim with fewer than two observable tasks (or
+    /// batching disabled via `steal_batch_limit == 1`) gets a single-task
+    /// steal — one CAS, no bookkeeping. Otherwise the thief takes up to
+    /// half the victim's queue (capped by `steal_batch_limit` and
+    /// [`dws_deque::MAX_STEAL_BATCH`]) into its own deque and runs the
+    /// oldest task immediately, amortizing victim selection and the
+    /// steal-path cache misses over the whole batch.
+    ///
+    /// A `Steal::Retry` (lost CAS race, deque non-empty) is retried on
+    /// the *same* victim up to `steal_retries` times: contention means
+    /// the deque is hot, and hopping victims or reporting failure would
+    /// misread demand (§3.3 / Eq. 1). Retries still exhausted surfaces as
+    /// [`StealOutcome::Contended`], which the main loop keeps out of the
+    /// failed-steal counter.
+    fn steal_from(&self, pick: impl Fn(usize, usize) -> usize) -> StealOutcome {
+        let reg = &*self.registry;
+        let n = reg.workers.len();
         if n <= 1 {
-            return None;
+            return StealOutcome::Empty;
         }
         let victim = pick(n, self.index);
+        let stealer = &reg.workers[victim].stealer;
+        let batch = reg.config.steal_batch_limit > 1 && stealer.len() >= 2;
         // Latency timing and per-attempt events only while tracing: the
         // disabled hot path must not take timestamps.
         let t0 = if self.trace_on { Some(Instant::now()) } else { None };
-        let result = self.registry.workers[victim].stealer.steal();
+        let mut retries = reg.config.steal_retries;
+        let (result, moved) = loop {
+            let r = if batch {
+                let before = self.deque.len();
+                match stealer.steal_batch_and_pop(&self.deque, reg.config.steal_batch_limit) {
+                    Steal::Success(job) => {
+                        // Statistics only: a sibling may already be
+                        // re-stealing from our deque, so the count can
+                        // transiently under-report by a task or two.
+                        let moved = 1 + self.deque.len().saturating_sub(before) as u64;
+                        break (Steal::Success(job), moved);
+                    }
+                    other => other,
+                }
+            } else {
+                match stealer.steal() {
+                    Steal::Success(job) => break (Steal::Success(job), 1),
+                    other => other,
+                }
+            };
+            match r {
+                Steal::Empty => break (Steal::Empty, 0),
+                Steal::Retry if retries > 0 => {
+                    retries -= 1;
+                    std::hint::spin_loop();
+                }
+                Steal::Retry => break (Steal::Retry, 0),
+                Steal::Success(_) => unreachable!("success breaks above"),
+            }
+        };
         if let Some(t0) = t0 {
-            let shard = &self.registry.metrics.workers[self.index];
+            let shard = &reg.metrics.workers[self.index];
             {
-                // Outcome counter + latency sample are one logical batch:
+                // Outcome counters + latency sample are one logical batch:
                 // publish them atomically to snapshot readers.
                 let _ws = shard.write_section();
                 shard.steal_latency.record(t0.elapsed());
-                RtMetrics::bump(if matches!(result, Steal::Success(_)) {
-                    &shard.steals_ok
-                } else {
-                    &shard.steals_failed
-                });
+                match result {
+                    Steal::Success(_) => {
+                        RtMetrics::bump(&shard.steals_ok);
+                        RtMetrics::add(&shard.tasks_stolen, moved);
+                        shard.steal_batch.record_ns(moved);
+                    }
+                    Steal::Empty => RtMetrics::bump(&shard.steals_failed),
+                    // Contended: neither a hit nor a miss — the latency
+                    // sample alone records the wasted attempt.
+                    Steal::Retry => {}
+                }
             }
-            if matches!(result, Steal::Success(_)) {
-                self.registry
-                    .trace
-                    .record(self.index as u32, RtEvent::StealOk { worker: self.index, victim });
-            } else {
-                self.registry
-                    .trace
-                    .record(self.index as u32, RtEvent::StealFail { worker: self.index });
+            match result {
+                Steal::Success(_) => {
+                    reg.trace
+                        .record(self.index as u32, RtEvent::StealOk { worker: self.index, victim });
+                }
+                Steal::Empty => {
+                    reg.trace.record(self.index as u32, RtEvent::StealFail { worker: self.index });
+                }
+                Steal::Retry => {}
             }
         }
         match result {
             Steal::Success(job) => {
-                RtMetrics::bump(&self.registry.metrics.steals_ok);
-                Some(job)
+                RtMetrics::bump(&reg.metrics.steals_ok);
+                RtMetrics::add(&reg.metrics.tasks_stolen, moved);
+                if moved > 1 {
+                    reg.wake_one_for_surplus();
+                }
+                StealOutcome::Job(job)
             }
-            Steal::Empty | Steal::Retry => None,
+            Steal::Empty => StealOutcome::Empty,
+            Steal::Retry => StealOutcome::Contended,
         }
     }
 
@@ -780,5 +949,162 @@ impl WorkerThread {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::HeapJob;
+
+    /// A thread-less registry: worker deques stay in the test's hands so
+    /// steals can be staged deterministically.
+    fn bare_registry(n: usize) -> (Arc<Registry>, Vec<Deque<JobRef>>) {
+        bare_registry_with(n, Policy::Ws, 1)
+    }
+
+    fn bare_registry_with(
+        n: usize,
+        policy: Policy,
+        programs: usize,
+    ) -> (Arc<Registry>, Vec<Deque<JobRef>>) {
+        let mut deques = Vec::with_capacity(n);
+        let mut infos = Vec::with_capacity(n);
+        for i in 0..n {
+            let (w, s) = deque::<JobRef>();
+            deques.push(w);
+            infos.push(WorkerInfo {
+                stealer: s,
+                sleeper: Sleeper::new(),
+                core: i,
+                asleep_with_work: AtomicBool::new(false),
+            });
+        }
+        let config = RuntimeConfig::new(n, policy);
+        let programs_table = InProcessTable::new(n, programs);
+        let registry = Arc::new(Registry {
+            effective_policy: config.policy,
+            config,
+            prog_id: 0,
+            table: Arc::new(programs_table),
+            injector: Injector::new(),
+            workers: infos,
+            metrics: RtMetrics::with_workers(n),
+            trace: RtTrace::new(n, 16, false),
+            telemetry: TelemetryState::new(4),
+            shutdown: AtomicBool::new(false),
+            exited: AtomicUsize::new(0),
+            detached: AtomicUsize::new(0),
+        });
+        (registry, deques)
+    }
+
+    fn noop_job() -> JobRef {
+        HeapJob::new(|| {})
+    }
+
+    fn drain(d: &Deque<JobRef>) -> usize {
+        let mut n = 0;
+        while let Some(j) = d.pop() {
+            // SAFETY: each heap job is executed exactly once, here.
+            unsafe { j.execute() };
+            n += 1;
+        }
+        n
+    }
+
+    /// Pins `N_b` while batched steals are in flight: a batch transfer
+    /// between two counted deques conserves the total, and the
+    /// sleeping-worker skip never hides an evicted sleeper's jobs.
+    #[test]
+    fn queued_jobs_survives_batched_steals_and_sleepers() {
+        let (reg, deques) = bare_registry(3);
+        for _ in 0..6 {
+            deques[0].push(noop_job());
+        }
+        for _ in 0..3 {
+            reg.injector.push(noop_job());
+        }
+        assert_eq!(reg.queued_jobs(), 9);
+
+        // Deque→deque batch steal: tasks move between two counted pools.
+        match reg.workers[0].stealer.steal_batch(&deques[1], 8) {
+            Steal::Success(n) => assert_eq!(n, 3, "ceil-half of 6"),
+            other => panic!("unexpected steal outcome: {other:?}"),
+        }
+        assert_eq!(reg.queued_jobs(), 9, "a batch in flight must not change N_b");
+
+        // Injector bulk pop: one job handed out, the surplus parked in a
+        // counted worker deque.
+        let job = reg.injector.steal_batch_and_pop(&deques[2], 8).expect("injected work");
+        // SAFETY: executed exactly once, here.
+        unsafe { job.execute() };
+        assert_eq!(reg.queued_jobs(), 8);
+        assert!(!deques[2].is_empty(), "surplus parked on worker 2");
+
+        // Worker 2 now "sleeps". Without the evicted flag the skip hides
+        // its parked job (the real runtime always sets the flag on a
+        // non-empty sleep entry in go_to_sleep); with it, N_b is intact.
+        let reg2 = Arc::clone(&reg);
+        let sleeper = std::thread::spawn(move || reg2.workers[2].sleeper.sleep(None));
+        while !reg.workers[2].sleeper.is_sleeping() {
+            std::thread::yield_now();
+        }
+        assert_eq!(reg.queued_jobs(), 7, "idle-sleeper fast path skips the deque");
+        reg.workers[2].asleep_with_work.store(true, Ordering::Release);
+        assert_eq!(reg.queued_jobs(), 8, "evicted sleepers' jobs stay counted");
+        reg.workers[2].sleeper.wake();
+        sleeper.join().unwrap();
+        assert_eq!(reg.queued_jobs(), 8, "awake again: deque read directly");
+
+        let mut drained: usize = deques.iter().map(drain).sum();
+        while let Some(j) = reg.injector.pop() {
+            // SAFETY: executed exactly once, here.
+            unsafe { j.execute() };
+            drained += 1;
+        }
+        assert_eq!(drained, 8, "every remaining job accounted for");
+        assert_eq!(reg.queued_jobs(), 0);
+    }
+
+    /// A batch surplus wakes one sleeping sibling immediately, instead of
+    /// leaving it to the coordinator's next period.
+    #[test]
+    fn surplus_wake_rouses_a_sleeper() {
+        let (reg, _deques) = bare_registry(2);
+        reg.wake_one_for_surplus(); // nobody asleep: cheap no-op
+
+        let reg2 = Arc::clone(&reg);
+        let sleeper = std::thread::spawn(move || reg2.workers[1].sleeper.sleep(None));
+        while !reg.workers[1].sleeper.is_sleeping() {
+            std::thread::yield_now();
+        }
+        reg.wake_one_for_surplus();
+        sleeper.join().unwrap(); // returns only once woken
+        assert!(!reg.workers[1].sleeper.is_sleeping());
+    }
+
+    /// Under DWS the surplus wake must respect the table: no core grant,
+    /// no wake — waking into an eviction would just bounce the sleeper.
+    #[test]
+    fn surplus_wake_needs_a_core_under_dws() {
+        let (reg, _deques) = bare_registry_with(2, Policy::Dws, 2);
+        let reg2 = Arc::clone(&reg);
+        let sleeper = std::thread::spawn(move || reg2.workers[1].sleeper.sleep(None));
+        while !reg.workers[1].sleeper.is_sleeping() {
+            std::thread::yield_now();
+        }
+
+        // Worker 1's core is home to (and used by) the co-runner: no
+        // grant path exists, so the sleeper must be left alone.
+        assert_eq!(reg.table.current(1), Some(1));
+        reg.wake_one_for_surplus();
+        assert!(reg.workers[1].sleeper.is_sleeping(), "no core, no wake");
+
+        // The co-runner releases the core: now the wake claims it first.
+        assert!(reg.table.release(1, 1));
+        reg.wake_one_for_surplus();
+        sleeper.join().unwrap();
+        assert_eq!(reg.table.current(1), Some(0), "core granted before the wake");
     }
 }

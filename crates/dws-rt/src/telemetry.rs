@@ -125,6 +125,10 @@ pub struct CounterSample {
     /// 1 when the allocation table has degraded to in-process mode
     /// (shared shm file lost or corrupted), else 0.
     pub degraded: u64,
+    /// Tasks moved by successful steals. One batched steal bumps
+    /// `steals_ok` once but can move several tasks; the ratio is the
+    /// mean steal batch size.
+    pub tasks_stolen: u64,
 }
 
 /// Rolling latency percentiles in nanoseconds (0 when no new samples
@@ -144,6 +148,12 @@ pub struct LatencySample {
     pub wake_p50_ns: u64,
     /// Wake→first-task p99 over the last interval.
     pub wake_p99_ns: u64,
+    /// Steal batch-size p50 over the last interval, as the upper
+    /// power-of-two bucket bound (tasks, not ns; 0 when no steals landed
+    /// — or, in `dws-rt`, when tracing is off).
+    pub batch_p50_tasks: u64,
+    /// Steal batch-size p99 over the last interval (tasks, not ns).
+    pub batch_p99_tasks: u64,
 }
 
 /// One time-series frame: everything an observer needs to render the
@@ -334,6 +344,7 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
         cores_reaped: snap.cores_reaped,
         leases_expired: snap.leases_expired,
         degraded: table.degraded() as u64,
+        tasks_stolen: snap.tasks_stolen,
     };
     let hist = reg.metrics.aggregated_histograms();
     let window = match prev {
@@ -341,6 +352,7 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
             steal_latency: hist.steal_latency.saturating_diff(&p.steal_latency),
             sleep_duration: hist.sleep_duration.saturating_diff(&p.sleep_duration),
             wake_to_first_task: hist.wake_to_first_task.saturating_diff(&p.wake_to_first_task),
+            steal_batch: hist.steal_batch.saturating_diff(&p.steal_batch),
         },
         None => hist,
     };
@@ -352,6 +364,8 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
         sleep_p99_ns: q(&window.sleep_duration, 0.99),
         wake_p50_ns: q(&window.wake_to_first_task, 0.5),
         wake_p99_ns: q(&window.wake_to_first_task, 0.99),
+        batch_p50_tasks: q(&window.steal_batch, 0.5),
+        batch_p99_tasks: q(&window.steal_batch, 0.99),
     };
     TelemetryFrame {
         t_us: now_us(),
@@ -514,9 +528,12 @@ type LatencyMetric = (&'static str, &'static str, fn(&LatencySample) -> u64, &'s
 pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
     let mut w = PromWriter { out: String::new() };
 
-    let counters: [CounterMetric; 13] = [
+    let counters: [CounterMetric; 14] = [
         ("dws_steals_ok_total", "Successful steals.", |c| c.steals_ok),
         ("dws_steals_failed_total", "Failed steal attempts.", |c| c.steals_failed),
+        ("dws_tasks_stolen_total", "Tasks moved by successful (possibly batched) steals.", |c| {
+            c.tasks_stolen
+        }),
         ("dws_jobs_executed_total", "Jobs executed to completion.", |c| c.jobs_executed),
         ("dws_sleeps_total", "Times a worker went to sleep.", |c| c.sleeps),
         ("dws_wakes_total", "Times a worker woke.", |c| c.wakes),
@@ -628,7 +645,7 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
         w.line("dws_coord_decisions_total", &[("prog", label)], f.coord.decisions);
     }
 
-    let lats: [LatencyMetric; 6] = [
+    let lats: [LatencyMetric; 8] = [
         ("dws_steal_latency_ns", "Rolling steal-attempt latency.", |l| l.steal_p50_ns, "0.5"),
         ("dws_steal_latency_ns", "Rolling steal-attempt latency.", |l| l.steal_p99_ns, "0.99"),
         ("dws_sleep_duration_ns", "Rolling sleep duration.", |l| l.sleep_p50_ns, "0.5"),
@@ -643,6 +660,18 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
             "dws_wake_to_first_task_ns",
             "Rolling wake-to-first-task latency.",
             |l| l.wake_p99_ns,
+            "0.99",
+        ),
+        (
+            "dws_steal_batch_tasks",
+            "Rolling steal batch size (tasks per successful steal, log2 bucket bound).",
+            |l| l.batch_p50_tasks,
+            "0.5",
+        ),
+        (
+            "dws_steal_batch_tasks",
+            "Rolling steal batch size (tasks per successful steal, log2 bucket bound).",
+            |l| l.batch_p99_tasks,
             "0.99",
         ),
     ];

@@ -153,6 +153,15 @@ pub struct SchedConfig {
     /// Latency between a wake decision and the worker becoming runnable
     /// (futex wake + OS enqueue).
     pub wake_latency_us: SimTime,
+    /// Max tasks one steal may transfer (the ceil-half rule still binds;
+    /// `1` disables batching). Mirrors `dws-rt`'s `steal_batch_limit`.
+    #[serde(default = "default_steal_batch_limit")]
+    pub steal_batch_limit: usize,
+}
+
+/// Serde default for configs serialized before batching existed.
+fn default_steal_batch_limit() -> usize {
+    8
 }
 
 impl SchedConfig {
@@ -178,6 +187,7 @@ impl SchedConfig {
             pop_cost_us: 0.2,
             spawn_cost_us: 0.3,
             wake_latency_us: 30,
+            steal_batch_limit: default_steal_batch_limit(),
         }
     }
 }

@@ -426,6 +426,7 @@ impl Simulator {
                 cores_reaped: m.cores_reaped,
                 leases_expired: m.leases_expired,
                 degraded: 0, // the simulated table has no file to lose
+                tasks_stolen: m.tasks_stolen,
             };
             tel.push(
                 p,

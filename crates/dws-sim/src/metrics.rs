@@ -40,6 +40,10 @@ pub struct ProgramMetrics {
     pub nominal_work_done_us: f64,
     /// Tasks executed to completion.
     pub tasks_executed: u64,
+    /// Tasks moved by successful steals: one batched steal bumps
+    /// `steals_ok` once but can move up to `steal_batch_limit` tasks.
+    #[serde(default)]
+    pub tasks_stolen: u64,
 }
 
 impl ProgramMetrics {

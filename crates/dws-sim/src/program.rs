@@ -12,6 +12,18 @@ use crate::workload::{JoinId, PhaseSpec, Task, TaskBody, WorkloadSpec};
 /// Sub-microsecond residue below which task work counts as finished.
 const WORK_EPSILON: f64 = 1e-9;
 
+/// Hard cap on tasks per batch transfer; mirrors
+/// `dws_deque::MAX_STEAL_BATCH`.
+const MAX_STEAL_BATCH: usize = 32;
+
+/// Tasks one batch steal may take from a deque observed with `len`
+/// queued tasks. Mirrors `dws_deque::batch_quota` exactly — ceil-half,
+/// capped by `limit` and [`MAX_STEAL_BATCH`] — so simulated transfer
+/// sizes match the real runtime's (pinned by a parity test below).
+pub(crate) fn batch_quota(len: usize, limit: usize) -> usize {
+    len.div_ceil(2).min(limit).min(MAX_STEAL_BATCH)
+}
+
 /// A pending join: when `remaining` subtree notifications arrive, the
 /// continuation task becomes runnable on the notifying worker.
 #[derive(Debug)]
@@ -469,6 +481,29 @@ impl SimProgram {
                             self.metrics.steal_overhead_us += self.sched.steal_cost_us;
                             self.metrics.steals_ok += 1;
                             self.workers[w].failed_steals = 0;
+                            // Steal-half mirror of dws-rt's batched path:
+                            // with the oldest task in hand, move the rest
+                            // of the quota (ceil-half of what the victim
+                            // held, capped by `steal_batch_limit` and the
+                            // deque hard cap) into this worker's own
+                            // deque. Each extra transfer costs one deque
+                            // op; victim selection and the probe are paid
+                            // once for the whole batch.
+                            let observed = self.deques[victim].len() + 1;
+                            let quota = batch_quota(observed, self.sched.steal_batch_limit);
+                            let mut moved = 1u64;
+                            for _ in 1..quota {
+                                match self.deques[victim].pop_front() {
+                                    Some(t) => {
+                                        self.deques[w].push_back(t);
+                                        left -= self.sched.pop_cost_us;
+                                        self.metrics.steal_overhead_us += self.sched.pop_cost_us;
+                                        moved += 1;
+                                    }
+                                    None => break,
+                                }
+                            }
+                            self.metrics.tasks_stolen += moved;
                             let remaining_us = task.work_us;
                             self.workers[w].state = WorkerState::Running { task, remaining_us };
                             continue;
@@ -612,6 +647,70 @@ mod tests {
         }
         assert_eq!(prog.runs_completed, 1);
         assert!(prog.metrics.steals_ok > 0, "worker 1 must have stolen work");
+        assert!(
+            prog.metrics.tasks_stolen >= prog.metrics.steals_ok,
+            "every successful steal moves at least one task"
+        );
+    }
+
+    #[test]
+    fn batch_quota_matches_the_real_deque() {
+        for len in 0..200 {
+            for limit in [1, 2, 3, 8, 31, 32, 33, usize::MAX] {
+                assert_eq!(
+                    batch_quota(len, limit),
+                    dws_deque::batch_quota(len, limit),
+                    "quota diverged at len={len} limit={limit}"
+                );
+            }
+        }
+    }
+
+    /// A wide wave on one worker, then a sibling steals: the batch takes
+    /// ceil-half of the victim's queue (capped), never more, and
+    /// completion still executes every task exactly once.
+    #[test]
+    fn batched_steal_moves_half_and_conserves_tasks() {
+        let mut cfg = sched(Policy::Ws);
+        cfg.steal_batch_limit = 4;
+        let cores: Vec<usize> = (0..2).collect();
+        let active = vec![true; 2];
+        let mut prog = SimProgram::new(0, tiny_recursive(), cfg, &cores, &active, 1, false);
+        let mut now = 0;
+        while prog.runs_completed < 1 && now < 1_000_000 {
+            prog.step_worker(0, 10.0, 1.0, now);
+            prog.step_worker(1, 10.0, 1.0, now);
+            now += 10;
+        }
+        assert_eq!(prog.runs_completed, 1);
+        let solo = run_single_worker(solo_program(tiny_recursive(), 1, Policy::Ws));
+        assert_eq!(
+            prog.metrics.tasks_executed, solo.metrics.tasks_executed,
+            "batching must not lose or duplicate tasks"
+        );
+        // Mean batch size is bounded by the limit.
+        assert!(prog.metrics.tasks_stolen <= prog.metrics.steals_ok * 4);
+    }
+
+    /// `steal_batch_limit == 1` restores single-task stealing exactly.
+    #[test]
+    fn batching_disabled_steals_one_task_per_op() {
+        let mut cfg = sched(Policy::Ws);
+        cfg.steal_batch_limit = 1;
+        let cores: Vec<usize> = (0..2).collect();
+        let active = vec![true; 2];
+        let mut prog = SimProgram::new(0, tiny_recursive(), cfg, &cores, &active, 1, false);
+        let mut now = 0;
+        while prog.runs_completed < 1 && now < 1_000_000 {
+            prog.step_worker(0, 10.0, 1.0, now);
+            prog.step_worker(1, 10.0, 1.0, now);
+            now += 10;
+        }
+        assert_eq!(prog.runs_completed, 1);
+        assert_eq!(
+            prog.metrics.tasks_stolen, prog.metrics.steals_ok,
+            "with batching off, one op moves exactly one task"
+        );
     }
 
     #[test]

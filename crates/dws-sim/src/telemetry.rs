@@ -105,6 +105,10 @@ pub struct CounterSample {
     /// (shared shm file lost or corrupted), else 0. Always 0 in
     /// simulation: the simulated table has no backing file to lose.
     pub degraded: u64,
+    /// Tasks moved by successful steals. One batched steal bumps
+    /// `steals_ok` once but can move several tasks; the ratio is the
+    /// mean steal batch size.
+    pub tasks_stolen: u64,
 }
 
 /// Rolling latency percentiles in nanoseconds (always zero in simulation:
@@ -123,6 +127,12 @@ pub struct LatencySample {
     pub wake_p50_ns: u64,
     /// Wake→first-task p99 over the last interval.
     pub wake_p99_ns: u64,
+    /// Steal batch-size p50 over the last interval, as the upper
+    /// power-of-two bucket bound (tasks, not ns; 0 when no steals landed
+    /// — or, in `dws-rt`, when tracing is off).
+    pub batch_p50_tasks: u64,
+    /// Steal batch-size p99 over the last interval (tasks, not ns).
+    pub batch_p99_tasks: u64,
 }
 
 /// One time-series frame: everything an observer needs to render the

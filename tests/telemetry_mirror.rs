@@ -52,6 +52,7 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             cores_reaped: 2,
             leases_expired: 1,
             degraded: 1,
+            tasks_stolen: 340,
         },
         latency: dws_rt::LatencySample {
             steal_p50_ns: 1_024,
@@ -60,6 +61,8 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             sleep_p99_ns: 131_072,
             wake_p50_ns: 4_096,
             wake_p99_ns: 262_144,
+            batch_p50_tasks: 4,
+            batch_p99_tasks: 16,
         },
     }
 }
@@ -104,6 +107,7 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             cores_reaped: 2,
             leases_expired: 1,
             degraded: 1,
+            tasks_stolen: 340,
         },
         latency: dws_sim::LatencySample {
             steal_p50_ns: 1_024,
@@ -112,6 +116,8 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             sleep_p99_ns: 131_072,
             wake_p50_ns: 4_096,
             wake_p99_ns: 262_144,
+            batch_p50_tasks: 4,
+            batch_p99_tasks: 16,
         },
     }
 }
