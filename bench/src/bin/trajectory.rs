@@ -11,23 +11,39 @@
 //! reporting the makespan delta, failed-steal delta, and mean steal
 //! batch size (min-of-`reps` per mode, modes alternated).
 //!
+//! With `--task-trace` it instead emits `BENCH_6.json`: a two-program
+//! co-run of the flat workload at a µs-scale task grain with
+//! task-lifecycle tracing off (`RuntimeConfig` without a trace ring) vs
+//! on, reporting the tracing-overhead delta against its 3% makespan
+//! budget plus per-program task-sojourn (spawn → exec-begin)
+//! p50/p99/p999 from the traced run.
+//!
 //! ```text
-//! bench-trajectory [--batching] [--fast] [--cores N] [--reps N]
-//!                  [--batch-limit N] [--out PATH] [--check PATH]
+//! bench-trajectory [--batching | --task-trace] [--fast] [--cores N]
+//!                  [--reps N] [--batch-limit N] [--out PATH]
+//!                  [--check PATH] [--summary [DIR]]
 //! ```
 //!
 //! * `--batching` — run the batching off/on comparison (`BENCH_5.json`);
+//! * `--task-trace` — run the tracing off/on comparison (`BENCH_6.json`);
 //! * `--fast` — smaller workload for CI smoke runs;
 //! * `--cores N` / `--reps N` / `--batch-limit N` — override the workload
 //!   shape for probing (the emitted config records what actually ran);
-//! * `--out PATH` — where to write the JSON (default `BENCH_3.json`, or
-//!   `BENCH_5.json` with `--batching`);
+//! * `--out PATH` — where to write the JSON (default `BENCH_3.json`,
+//!   `BENCH_5.json` with `--batching`, `BENCH_6.json` with
+//!   `--task-trace`);
 //! * `--check PATH` — validate an existing document and exit (no run);
-//!   the schema is picked by the document's `bench` field.
+//!   the schema is picked by the document's `bench` field;
+//! * `--summary [DIR]` — validate every committed `BENCH_N.json` under
+//!   `DIR` (default `.`) and print the trajectory. Gaps in the sequence
+//!   are tolerated and reported: a PR that emitted no bench document
+//!   (e.g. `BENCH_4`) is not an error, only present-but-invalid
+//!   documents fail the summary.
 //!
 //! The emitted document always validates against
 //! [`dws_bench::validate_bench_value`] /
-//! [`dws_bench::validate_bench5_value`]; the driver exits nonzero if its
+//! [`dws_bench::validate_bench5_value`] /
+//! [`dws_bench::validate_bench6_value`]; the driver exits nonzero if its
 //! own output ever fails the schema.
 
 use std::io::{Read, Write};
@@ -35,7 +51,9 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dws_bench::{validate_bench5_value, validate_bench_value, BENCH_SCHEMA_VERSION};
+use dws_bench::{
+    validate_bench5_value, validate_bench6_value, validate_bench_value, BENCH_SCHEMA_VERSION,
+};
 use dws_rt::{
     join, serve, CoreTable, InProcessTable, MetricsSnapshot, Policy, Runtime, RuntimeConfig,
 };
@@ -46,6 +64,12 @@ const TELEMETRY_TICK_MS: u64 = 10;
 /// Batch limit of the "on" mode — the runtime default, spelled out so the
 /// bench document records exactly what was measured.
 const BATCH_LIMIT_ON: usize = 8;
+
+/// Per-worker trace-ring capacity of the `--task-trace` "on" mode.
+const TRACE_CAPACITY: usize = 1 << 16;
+
+/// Makespan-overhead budget of lifecycle tracing (percent).
+const TRACE_BUDGET_PCT: f64 = 3.0;
 
 fn fib(n: u64) -> u64 {
     if n < 2 {
@@ -85,6 +109,9 @@ struct ProgStats {
     metrics: MetricsSnapshot,
     frames: usize,
     frames_evicted: u64,
+    /// Task sojourn (spawn → exec-begin) of this program's workers;
+    /// empty unless the run traced.
+    sojourn: dws_rt::HistogramSnapshot,
 }
 
 struct RunStats {
@@ -117,7 +144,7 @@ fn corun(
                 cfg.with_telemetry().with_telemetry_tick(Duration::from_millis(TELEMETRY_TICK_MS));
         }
         if tracing {
-            cfg = cfg.with_tracing_capacity(1 << 16);
+            cfg = cfg.with_tracing_capacity(TRACE_CAPACITY);
         }
         cfg.coordinator_period = Duration::from_millis(2);
         cfg.sleep_timeout = Some(Duration::from_millis(5));
@@ -165,6 +192,7 @@ fn corun(
             metrics: rt.metrics(),
             frames: frames.len(),
             frames_evicted: frames.last().map_or(0, |f| f.counters.frames_evicted),
+            sojourn: rt.histograms().task_sojourn,
         }
     };
     let programs = vec![collect(&p0, "p0"), collect(&p1, "p1")];
@@ -329,10 +357,187 @@ fn run_batching(p: &Params, out: &str, batch_limit: usize) {
     );
 }
 
+/// The `--task-trace` mode: the same two-program co-run with task
+/// lifecycle tracing off vs on, alternated so slow drift hits both modes
+/// equally, min-of-`reps` per mode. The traced run also yields the
+/// per-program task-sojourn percentiles the trace exists to measure.
+/// Emits `BENCH_6.json` and records whether the tracing overhead stayed
+/// within its [`TRACE_BUDGET_PCT`] makespan budget.
+fn run_task_trace(p: &Params, out: &str) {
+    let mut off_best: Option<Duration> = None;
+    let mut on_best: Option<RunStats> = None;
+    for rep in 0..p.reps {
+        let off = corun(p, BATCH_LIMIT_ON, false, false, false);
+        eprintln!("rep {rep}: tracing off {:.1} ms", off.makespan.as_secs_f64() * 1e3);
+        if off_best.is_none_or(|b| off.makespan < b) {
+            off_best = Some(off.makespan);
+        }
+        let on = corun(p, BATCH_LIMIT_ON, false, true, false);
+        eprintln!("rep {rep}: tracing on  {:.1} ms", on.makespan.as_secs_f64() * 1e3);
+        if on_best.as_ref().is_none_or(|b| on.makespan < b.makespan) {
+            on_best = Some(on);
+        }
+    }
+    let off_makespan = off_best.expect("reps > 0");
+    let on = on_best.expect("reps > 0");
+    let overhead_pct = (on.makespan.as_secs_f64() - off_makespan.as_secs_f64())
+        / off_makespan.as_secs_f64()
+        * 100.0;
+    let within_budget = overhead_pct <= TRACE_BUDGET_PCT;
+
+    let per_program: Vec<Value> = on
+        .programs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let q = |quant: f64| Value::U64(s.sojourn.quantile_ns(quant).unwrap_or(0));
+            obj(vec![
+                ("prog", Value::U64(i as u64)),
+                ("label", Value::String(s.label.clone())),
+                ("jobs", Value::U64(s.metrics.jobs_executed)),
+                ("sojourn_samples", Value::U64(s.sojourn.count())),
+                ("sojourn_p50_ns", q(0.5)),
+                ("sojourn_p99_ns", q(0.99)),
+                ("sojourn_p999_ns", q(0.999)),
+            ])
+        })
+        .collect();
+
+    let doc = obj(vec![
+        ("bench", Value::String("task-trace".into())),
+        ("schema_version", Value::U64(BENCH_SCHEMA_VERSION)),
+        ("pr", Value::U64(6)),
+        (
+            "config",
+            obj(vec![
+                ("cores", Value::U64(p.cores as u64)),
+                ("fib_n", Value::U64(p.fib_n)),
+                ("iters", Value::U64(p.iters as u64)),
+                ("reps", Value::U64(p.reps as u64)),
+                ("trace_capacity", Value::U64(TRACE_CAPACITY as u64)),
+                ("fast", Value::Bool(p.fast)),
+            ]),
+        ),
+        (
+            "results",
+            obj(vec![
+                ("makespan_off_ms", ms(off_makespan)),
+                ("makespan_on_ms", ms(on.makespan)),
+                ("overhead_pct", Value::F64(overhead_pct)),
+                ("budget_pct", Value::F64(TRACE_BUDGET_PCT)),
+                ("within_budget", Value::Bool(within_budget)),
+                ("per_program", Value::Array(per_program)),
+            ]),
+        ),
+    ]);
+
+    if let Err(errors) = validate_bench6_value(&doc) {
+        eprintln!("generated document fails its own schema: {errors:?}");
+        std::process::exit(1);
+    }
+    let text = serde_json::to_string(&doc).expect("serialize bench document");
+    std::fs::write(out, format!("{text}\n")).expect("write bench document");
+    let sojourn = &on.programs[0].sojourn;
+    println!(
+        "wrote {out}: tracing off {:.1} ms → on {:.1} ms ({overhead_pct:+.2}%, budget {TRACE_BUDGET_PCT}%, \
+         within_budget={within_budget}), p0 sojourn p50 {} ns p99 {} ns p999 {} ns ({} samples)",
+        off_makespan.as_secs_f64() * 1e3,
+        on.makespan.as_secs_f64() * 1e3,
+        sojourn.quantile_ns(0.5).unwrap_or(0),
+        sojourn.quantile_ns(0.99).unwrap_or(0),
+        sojourn.quantile_ns(0.999).unwrap_or(0),
+        sojourn.count(),
+    );
+    if !within_budget {
+        eprintln!("tracing overhead {overhead_pct:+.2}% exceeds the {TRACE_BUDGET_PCT}% budget");
+        // The fast smoke run is a schema/plumbing check on noisy shared
+        // runners, not a measurement — only the full run enforces the gate.
+        if !p.fast {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Picks the validator by the document's own `bench` field — the same
+/// dispatch `--check` uses for a single file.
+fn validate_by_kind(doc: &Value) -> Result<(), Vec<String>> {
+    match doc["bench"].as_str() {
+        Some("batched-stealing") => validate_bench5_value(doc),
+        Some("task-trace") => validate_bench6_value(doc),
+        _ => validate_bench_value(doc),
+    }
+}
+
+/// The `--summary` mode: walk `dir` for committed `BENCH_N.json`
+/// documents, validate each against its own schema, and print the
+/// trajectory in PR order. Gaps in the sequence are expected — a PR
+/// whose deliverable was not a benchmark (e.g. `BENCH_4`) commits no
+/// document — so an absent number is reported but never an error; only
+/// a present-but-invalid document fails the summary.
+fn run_summary(dir: &str) {
+    let mut found: Vec<(u64, std::path::PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("read summary dir") {
+        let entry = entry.expect("read dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            found.push((n, entry.path()));
+        }
+    }
+    if found.is_empty() {
+        println!("no BENCH_N.json documents under {dir}");
+        return;
+    }
+    found.sort();
+    let (lo, hi) = (found[0].0, found[found.len() - 1].0);
+    let mut invalid = 0usize;
+    for n in lo..=hi {
+        let Some((_, path)) = found.iter().find(|(m, _)| *m == n) else {
+            println!("BENCH_{n}.json  absent — gap tolerated (that PR emitted no bench document)");
+            continue;
+        };
+        let text = std::fs::read_to_string(path).expect("read bench document");
+        let doc: Value = match serde_json::from_str(&text) {
+            Ok(d) => d,
+            Err(err) => {
+                println!("BENCH_{n}.json  unparseable: {err}");
+                invalid += 1;
+                continue;
+            }
+        };
+        let kind = doc["bench"].as_str().unwrap_or("?").to_string();
+        match validate_by_kind(&doc) {
+            Ok(()) => println!("BENCH_{n}.json  {kind}: valid"),
+            Err(errors) => {
+                println!("BENCH_{n}.json  {kind}: INVALID ({} problem(s))", errors.len());
+                for e in &errors {
+                    println!("  - {e}");
+                }
+                invalid += 1;
+            }
+        }
+    }
+    let gaps = (hi - lo + 1) as usize - found.len();
+    if invalid > 0 {
+        eprintln!("trajectory: {invalid} invalid document(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "trajectory: {} document(s), {} gap(s), all present documents valid",
+        found.len(),
+        gaps
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
     let mut batching = false;
+    let mut task_trace = false;
+    let mut summary: Option<String> = None;
     let mut cores: Option<usize> = None;
     let mut reps: Option<usize> = None;
     let mut batch_limit: usize = BATCH_LIMIT_ON;
@@ -343,6 +548,18 @@ fn main() {
         match args[i].as_str() {
             "--fast" => fast = true,
             "--batching" => batching = true,
+            "--task-trace" => task_trace = true,
+            "--summary" => {
+                // Optional DIR operand: consume the next arg unless it
+                // is another flag.
+                summary = Some(match args.get(i + 1) {
+                    Some(dir) if !dir.starts_with("--") => {
+                        i += 1;
+                        dir.clone()
+                    }
+                    _ => ".".to_string(),
+                });
+            }
             "--cores" => {
                 i += 1;
                 cores = Some(
@@ -374,23 +591,25 @@ fn main() {
             }
             other => {
                 panic!(
-                    "unknown flag {other}; known: --batching --fast \
-                     --cores N --reps N --batch-limit N --out PATH --check PATH"
+                    "unknown flag {other}; known: --batching --task-trace --fast \
+                     --cores N --reps N --batch-limit N --out PATH --check PATH \
+                     --summary [DIR]"
                 )
             }
         }
         i += 1;
     }
 
+    if let Some(dir) = summary {
+        run_summary(&dir);
+        return;
+    }
+
     if let Some(path) = check {
         let text = std::fs::read_to_string(&path).expect("read bench document");
         let doc: Value = serde_json::from_str(&text).expect("parse bench document");
         // The document's own `bench` field picks the schema.
-        let result = match doc["bench"].as_str() {
-            Some("batched-stealing") => validate_bench5_value(&doc),
-            _ => validate_bench_value(&doc),
-        };
-        match result {
+        match validate_by_kind(&doc) {
             Ok(()) => {
                 println!("{path}: valid (schema v{BENCH_SCHEMA_VERSION})");
                 return;
@@ -405,6 +624,7 @@ fn main() {
         }
     }
 
+    assert!(!(batching && task_trace), "--batching and --task-trace are mutually exclusive");
     let mut p = if batching {
         // Flat steal-bound workload (see `Params::fan`): `fib_n` is the
         // *sequential* grain here (~µs per task), `iters` the rounds.
@@ -412,6 +632,19 @@ fn main() {
             Params { cores: 4, fib_n: 16, iters: 20, fan: 256, reps: 2, fast }
         } else {
             Params { cores: 4, fib_n: 18, iters: 90, fan: 512, reps: 5, fast }
+        }
+    } else if task_trace {
+        // Flat workload again, with a coarser sequential grain (tens of
+        // µs per task): lifecycle tracing costs a fixed ~0.5 µs per
+        // task, so the budget comparison needs realistic task bodies —
+        // against the ~100 ns tasks of the recursive-fib shape *any*
+        // per-task instrumentation blows the budget. The flat shape is
+        // also what sojourn exists to measure: tasks genuinely park in
+        // a deque before a worker reaches them.
+        if fast {
+            Params { cores: 4, fib_n: 20, iters: 20, fan: 256, reps: 2, fast }
+        } else {
+            Params { cores: 4, fib_n: 22, iters: 30, fan: 512, reps: 3, fast }
         }
     } else if fast {
         Params { cores: 4, fib_n: 23, iters: 30, fan: 0, reps: 2, fast }
@@ -433,6 +666,10 @@ fn main() {
 
     if batching {
         run_batching(&p, &out.unwrap_or_else(|| "BENCH_5.json".into()), batch_limit);
+        return;
+    }
+    if task_trace {
+        run_task_trace(&p, &out.unwrap_or_else(|| "BENCH_6.json".into()));
         return;
     }
     let out = out.unwrap_or_else(|| "BENCH_3.json".into());

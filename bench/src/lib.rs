@@ -1,9 +1,10 @@
 //! Support crate for the Criterion benchmark targets (see `benches/`) and
 //! the `bench-trajectory` driver that emits `BENCH_3.json` (telemetry
-//! overhead) and, with `--batching`, `BENCH_5.json` (batched-stealing
-//! off/on comparison) at the repo root. The benchmarks regenerate the
-//! paper's figures and measure the runtime substrates; run them with
-//! `cargo bench --workspace`.
+//! overhead), `BENCH_5.json` with `--batching` (batched-stealing off/on
+//! comparison), and `BENCH_6.json` with `--task-trace` (task-lifecycle
+//! tracing overhead + sojourn percentiles) at the repo root. The
+//! benchmarks regenerate the paper's figures and measure the runtime
+//! substrates; run them with `cargo bench --workspace`.
 
 use serde::value::Value;
 
@@ -180,6 +181,102 @@ pub fn validate_bench5_value(doc: &Value) -> Result<(), Vec<String>> {
     }
 }
 
+/// Validates a parsed `BENCH_6.json` document against the schema the
+/// `bench-trajectory --task-trace` mode emits: identification header,
+/// run configuration, and the tracing off/on comparison (makespans, the
+/// overhead delta against its budget, and per-program task-sojourn
+/// percentiles from the traced run). Returns every violation found, not
+/// just the first.
+pub fn validate_bench6_value(doc: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let e = &mut errors;
+
+    require(doc["bench"].as_str() == Some("task-trace"), e, "bench name mismatch");
+    require(
+        doc["schema_version"].as_u64() == Some(BENCH_SCHEMA_VERSION),
+        e,
+        "schema_version mismatch",
+    );
+    require(doc["pr"].as_u64() == Some(6), e, "pr must be 6");
+
+    let cfg = &doc["config"];
+    for key in ["cores", "fib_n", "iters", "reps", "trace_capacity"] {
+        require(is_int(&cfg[key]), e, &format!("config.{key} must be an integer"));
+    }
+    require(matches!(cfg["fast"], Value::Bool(_)), e, "config.fast must be a bool");
+
+    let r = &doc["results"];
+    for key in ["makespan_off_ms", "makespan_on_ms", "overhead_pct", "budget_pct"] {
+        require(is_num(&r[key]), e, &format!("results.{key} must be numeric"));
+    }
+    require(
+        matches!(r["within_budget"], Value::Bool(_)),
+        e,
+        "results.within_budget must be a bool",
+    );
+    // Internal consistency: the verdict must agree with the numbers it
+    // claims to summarize.
+    if let (Some(overhead), Some(budget), Value::Bool(within)) =
+        (num(&r["overhead_pct"]), num(&r["budget_pct"]), &r["within_budget"])
+    {
+        require(
+            *within == (overhead <= budget),
+            e,
+            "results.within_budget disagrees with overhead_pct vs budget_pct",
+        );
+    }
+
+    match &r["per_program"] {
+        Value::Array(progs) if !progs.is_empty() => {
+            for (i, p) in progs.iter().enumerate() {
+                require(p["label"].as_str().is_some(), e, &format!("per_program[{i}].label"));
+                for key in [
+                    "prog",
+                    "jobs",
+                    "sojourn_samples",
+                    "sojourn_p50_ns",
+                    "sojourn_p99_ns",
+                    "sojourn_p999_ns",
+                ] {
+                    require(
+                        is_int(&p[key]),
+                        e,
+                        &format!("per_program[{i}].{key} must be an integer"),
+                    );
+                }
+                // Quantiles of one distribution cannot invert.
+                if let (Some(p50), Some(p99), Some(p999)) = (
+                    p["sojourn_p50_ns"].as_u64(),
+                    p["sojourn_p99_ns"].as_u64(),
+                    p["sojourn_p999_ns"].as_u64(),
+                ) {
+                    require(
+                        p50 <= p99 && p99 <= p999,
+                        e,
+                        &format!("per_program[{i}]: sojourn quantiles must be monotone"),
+                    );
+                }
+            }
+        }
+        _ => e.push("results.per_program must be a non-empty array".to_string()),
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match *v {
+        Value::U64(n) => Some(n as f64),
+        Value::I64(n) => Some(n as f64),
+        Value::F64(n) => Some(n),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +411,69 @@ mod tests {
         set(&mut doc, &["config", "steal_batch_limit"], Value::String("8".into()));
         let errs = validate_bench5_value(&doc).unwrap_err();
         assert!(errs.iter().any(|m| m.contains("steal_batch_limit")), "{errs:?}");
+    }
+
+    fn valid_bench6_doc() -> Value {
+        serde_json::from_str(
+            r#"{
+              "bench": "task-trace",
+              "schema_version": 1,
+              "pr": 6,
+              "config": {"cores": 4, "fib_n": 27, "iters": 30, "reps": 3,
+                         "trace_capacity": 65536, "fast": false},
+              "results": {
+                "makespan_off_ms": 800.0,
+                "makespan_on_ms": 812.0,
+                "overhead_pct": 1.5,
+                "budget_pct": 3.0,
+                "within_budget": true,
+                "per_program": [
+                  {"prog": 0, "label": "p0", "jobs": 30,
+                   "sojourn_samples": 120000, "sojourn_p50_ns": 1024,
+                   "sojourn_p99_ns": 65536, "sojourn_p999_ns": 524288}
+                ]
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_bench6_document_passes() {
+        assert_eq!(validate_bench6_value(&valid_bench6_doc()), Ok(()));
+    }
+
+    #[test]
+    fn bench6_rejects_other_schemas_and_vice_versa() {
+        assert!(validate_bench6_value(&valid_doc()).is_err());
+        assert!(validate_bench6_value(&valid_bench5_doc()).is_err());
+        assert!(validate_bench_value(&valid_bench6_doc()).is_err());
+        assert!(validate_bench5_value(&valid_bench6_doc()).is_err());
+    }
+
+    #[test]
+    fn bench6_budget_verdict_must_match_the_numbers() {
+        let mut doc = valid_bench6_doc();
+        set(&mut doc, &["results", "overhead_pct"], Value::F64(4.2));
+        let errs = validate_bench6_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("within_budget")), "{errs:?}");
+        // An honest over-budget document is schema-valid (the CI gate
+        // judges the verdict, not the validator).
+        set(&mut doc, &["results", "within_budget"], Value::Bool(false));
+        assert_eq!(validate_bench6_value(&doc), Ok(()));
+    }
+
+    #[test]
+    fn bench6_inverted_sojourn_quantiles_fail() {
+        let mut doc = valid_bench6_doc();
+        set(&mut doc, &["results", "per_program"], {
+            let mut p = valid_bench6_doc()["results"]["per_program"].clone();
+            if let Value::Array(progs) = &mut p {
+                set(&mut progs[0], &["sojourn_p999_ns"], Value::U64(10));
+            }
+            p
+        });
+        let errs = validate_bench6_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("monotone")), "{errs:?}");
     }
 }

@@ -47,6 +47,21 @@ pub enum Bug {
     /// forgets the `ceil(len/2)` cap. The oracle's batch rule
     /// (`taken ≤ ceil(observed/2)`) catches it.
     OverSteal,
+    /// A multi-task batch silently drops its last reserved task: the
+    /// completion counter is decremented for the whole batch but the
+    /// task never runs — the batched-transfer analogue of a `Retry`
+    /// path that forgets the tasks it already moved. Every table
+    /// transition stays legal and all completion counters reach zero,
+    /// so *only* the oracle's W1 identity rule ("every spawned task
+    /// executes") can catch it.
+    LostBatch,
+    /// The reaper's cleanup pass, meant to discard state stranded by
+    /// the dead co-runner, drains the *survivor's* own task queue —
+    /// parked tasks vanish without executing while the completion
+    /// counter is reconciled. As with [`Bug::LostBatch`], the table
+    /// protocol stays clean; W1 is the only rule that notices.
+    /// Implies the crash scenario.
+    ReapStrand,
 }
 
 /// Shape and timing of one model instance. All times are virtual
@@ -391,6 +406,13 @@ struct Shared {
     table: ModelTable,
     queued: Vec<AtomicUsize>,
     prog_remaining: Vec<AtomicUsize>,
+    /// Next unclaimed task id per program. A winner of the `take_batch`
+    /// CAS claims `taken` consecutive ids. Deliberately a *std* atomic,
+    /// not a shim one: the token scheduler already serializes the claim
+    /// (it happens inside the winner's run slice), so keeping it off
+    /// the shim leaves the schedule space — and every seeded schedule —
+    /// byte-identical to the pre-identity model.
+    task_cursor: Vec<std::sync::atomic::AtomicU64>,
     sleepers: Vec<Vec<ModelSleeper>>,
     awake: Vec<Vec<AtomicBool>>,
     /// SIGKILL delivered to the program: its threads exit at the next
@@ -503,6 +525,9 @@ fn worker_loop(sh: &Shared, prog: usize, core: usize) {
             if taken > 1 {
                 sh.table.log_event(ProtoEvent::StealBatch { prog, worker: core, observed, taken });
             }
+            // Winning the reservation CAS claims `taken` consecutive
+            // identities from the program's task ledger.
+            let base = sh.task_cursor[prog].fetch_add(taken as u64, Ordering::SeqCst);
             for i in 0..taken {
                 // The kill check between tasks (not before the first:
                 // the loop-top check already covered entry) keeps a
@@ -512,7 +537,14 @@ fn worker_loop(sh: &Shared, prog: usize, core: usize) {
                     sh.awake[prog][core].store(false, Ordering::SeqCst);
                     return;
                 }
+                if sh.cfg.bug == Some(Bug::LostBatch) && taken > 1 && i == taken - 1 {
+                    // Seeded bug: the batch's last task is marked
+                    // complete but never runs and logs no `TaskExec`.
+                    sh.prog_remaining[prog].fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
                 sleep(work);
+                sh.table.log_event(ProtoEvent::TaskExec { prog, id: base + i as u64 });
                 sh.prog_remaining[prog].fetch_sub(1, Ordering::SeqCst);
             }
             failed = 0;
@@ -600,7 +632,7 @@ fn coordinator_loop(sh: &Shared, prog: usize) {
 /// returns every core it stranded to the free pool. Mirrors
 /// `dws_rt::reap_expired`'s fence → reap ladder, including the one-shot
 /// fence under racing reapers.
-fn reaper_loop(sh: &Shared, victim: usize) {
+fn reaper_loop(sh: &Shared, me: usize, victim: usize) {
     let timeout = Duration::from_nanos(sh.cfg.lease_timeout_ns.max(1));
     loop {
         sleep(timeout);
@@ -620,6 +652,16 @@ fn reaper_loop(sh: &Shared, victim: usize) {
             }
             preempt_point("reap-core");
             sh.table.try_reap(victim, core);
+        }
+        if sh.cfg.bug == Some(Bug::ReapStrand) {
+            // Seeded bug: the cleanup pass meant to discard the dead
+            // program's parked tasks drains the *survivor's* own queue.
+            // The completion counter is reconciled, so the run still
+            // settles cleanly — only W1 sees the stranded identities.
+            let stranded = sh.queued[me].swap(0, Ordering::SeqCst);
+            if stranded > 0 {
+                sh.prog_remaining[me].fetch_sub(stranded, Ordering::SeqCst);
+            }
         }
         return;
     }
@@ -644,6 +686,7 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
         table: ModelTable::new(home.clone(), cfg.bug),
         queued: cfg.tasks.iter().map(|&t| AtomicUsize::new(t)).collect(),
         prog_remaining: cfg.tasks.iter().map(|&t| AtomicUsize::new(t)).collect(),
+        task_cursor: (0..cfg.programs).map(|_| std::sync::atomic::AtomicU64::new(0)).collect(),
         sleepers: (0..cfg.programs)
             .map(|_| (0..cfg.cores).map(|_| ModelSleeper::new()).collect())
             .collect(),
@@ -655,6 +698,14 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
         exited: (0..cfg.programs).map(|_| AtomicUsize::new(0)).collect(),
         cfg: cfg.clone(),
     });
+    // Spawn every initial task into the ledger before any thread runs:
+    // a deterministic prefix, identical across schedules, mirroring the
+    // runtime's `Spawn` lifecycle events.
+    for (p, &n) in cfg.tasks.iter().enumerate() {
+        for id in 0..n as u64 {
+            sh.table.log_event(ProtoEvent::TaskSpawn { prog: p, id });
+        }
+    }
     for p in 0..cfg.programs {
         for c in 0..cfg.cores {
             let sh2 = Arc::clone(&sh);
@@ -678,7 +729,7 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
         });
         for p in (0..cfg.programs).filter(|&p| p != victim) {
             let sh2 = Arc::clone(&sh);
-            env.spawn(&format!("reaper{p}"), move || reaper_loop(&sh2, victim));
+            env.spawn(&format!("reaper{p}"), move || reaper_loop(&sh2, p, victim));
         }
     }
     let crash = cfg.crash;
@@ -725,6 +776,15 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
                         "cores {stranded:?} still owned by crashed prog {v} at end of run"
                     ));
                 }
+            }
+        }
+        if error.is_none() && clean {
+            // W1: every spawned identity of a surviving program executed.
+            // Strictly stronger than the counter check above — a run that
+            // reconciles `prog_remaining` while dropping a task passes
+            // the counters but not the ledger.
+            if let Err(e) = oracle.finish(crash) {
+                error = Some(e);
             }
         }
         PostCheck { events, error }

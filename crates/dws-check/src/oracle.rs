@@ -13,6 +13,17 @@
 //!    already `Expired`, and an expired program performs no further
 //!    table transition (it is dead — mirror of the runtime's
 //!    `LeaseExpired`/`Reap` replay rules).
+//!
+//! Task-identity rules (the model analogue of `dws-rt`'s per-task
+//! lifecycle trace):
+//!
+//! * **W2** — no task executes twice, and no task executes that was
+//!   never spawned. Checked inline by [`Oracle::apply`] on every
+//!   `TaskExec`, even on runs that end dirty: a duplicate execution is
+//!   positive evidence regardless of how the run finished.
+//! * **W1** — every spawned task eventually executes (crash victims
+//!   exempted: their tasks legitimately die with them). Checked by
+//!   [`Oracle::finish`] once the run has settled cleanly.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -78,6 +89,24 @@ pub enum ProtoEvent {
         /// Tasks actually taken.
         taken: usize,
     },
+    /// Task `id` of program `prog` entered the system (model analogue
+    /// of the runtime's `Spawn` lifecycle event). Logged for every
+    /// initial task before the threads start, so the spawn prefix is
+    /// identical across schedules.
+    TaskSpawn {
+        /// Owning program.
+        prog: usize,
+        /// Per-program task sequence number.
+        id: u64,
+    },
+    /// Task `id` of program `prog` was executed by a worker that won
+    /// the batch reservation covering it.
+    TaskExec {
+        /// Owning program.
+        prog: usize,
+        /// Per-program task sequence number.
+        id: u64,
+    },
     /// A reaper fenced the lease of dead program `prog` (stale
     /// heartbeat + death confirmed).
     Expired {
@@ -108,6 +137,8 @@ impl fmt::Display for ProtoEvent {
             ProtoEvent::StealBatch { prog, worker, observed, taken } => {
                 write!(f, "batch    prog={prog} worker={worker} observed={observed} taken={taken}")
             }
+            ProtoEvent::TaskSpawn { prog, id } => write!(f, "spawn    prog={prog} task={id}"),
+            ProtoEvent::TaskExec { prog, id } => write!(f, "exec     prog={prog} task={id}"),
             ProtoEvent::Expired { prog } => write!(f, "expired  prog={prog}"),
             ProtoEvent::Reap { prog, core } => write!(f, "reap     prog={prog} core={core}"),
         }
@@ -144,6 +175,10 @@ pub struct OracleStats {
     pub reaps: usize,
     /// Number of `StealBatch` events.
     pub steal_batches: usize,
+    /// Number of `TaskSpawn` events.
+    pub task_spawns: usize,
+    /// Number of `TaskExec` events.
+    pub task_execs: usize,
 }
 
 /// Replays a trace against the ownership rules, starting (like the
@@ -154,6 +189,8 @@ pub struct Oracle {
     home: Vec<usize>,
     owner: Vec<Option<usize>>,
     expired: HashSet<usize>,
+    spawned: HashSet<(usize, u64)>,
+    executed: HashSet<(usize, u64)>,
     next_index: usize,
     /// Counts of table transitions replayed so far.
     pub stats: OracleStats,
@@ -167,6 +204,8 @@ impl Oracle {
             home: home.to_vec(),
             owner: home.iter().map(|&p| Some(p)).collect(),
             expired: HashSet::new(),
+            spawned: HashSet::new(),
+            executed: HashSet::new(),
             next_index: 0,
             stats: OracleStats::default(),
         }
@@ -288,9 +327,52 @@ impl Oracle {
                 }
                 self.stats.steal_batches += 1;
             }
+            ProtoEvent::TaskSpawn { prog, id } => {
+                if !self.spawned.insert((prog, id)) {
+                    return fail(format!("task p{prog}/t{id} spawned twice"));
+                }
+                self.stats.task_spawns += 1;
+            }
+            ProtoEvent::TaskExec { prog, id } => {
+                // W2, plus its orphan half: an execution of an unknown
+                // identity means the ledger and the workers disagree.
+                if !self.spawned.contains(&(prog, id)) {
+                    return fail(format!("orphan exec: task p{prog}/t{id} was never spawned"));
+                }
+                if !self.executed.insert((prog, id)) {
+                    return fail(format!("W2 violated: task p{prog}/t{id} executed twice"));
+                }
+                self.stats.task_execs += 1;
+            }
             ProtoEvent::Sleep { .. } | ProtoEvent::Wake { .. } | ProtoEvent::CoordTick { .. } => {}
         }
         Ok(())
+    }
+
+    /// End-of-run W1 check: every spawned task of every surviving
+    /// program must have executed. Tasks of the crash victim (if any)
+    /// are exempt — they die with it, whether still queued or reserved
+    /// mid-batch. Call only after a *clean* settle; a run that deadlocks
+    /// or blows its step budget legitimately leaves tasks behind.
+    pub fn finish(&self, crashed: Option<usize>) -> Result<(), String> {
+        let mut missing: Vec<(usize, u64)> = self
+            .spawned
+            .iter()
+            .filter(|&&(p, _)| crashed != Some(p))
+            .filter(|k| !self.executed.contains(k))
+            .copied()
+            .collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        missing.sort_unstable();
+        let examples: Vec<String> =
+            missing.iter().take(4).map(|(p, t)| format!("p{p}/t{t}")).collect();
+        Err(format!(
+            "W1 violated: {} spawned task(s) never executed (e.g. {})",
+            missing.len(),
+            examples.join(", ")
+        ))
     }
 
     /// Replays a whole trace, returning the transition counts on success.
@@ -321,7 +403,7 @@ mod tests {
         let stats = Oracle::replay(&HOME, &trace).expect("clean trace");
         assert_eq!(
             stats,
-            OracleStats { acquires: 1, reclaims: 1, releases: 2, reaps: 0, steal_batches: 0 }
+            OracleStats { acquires: 1, reclaims: 1, releases: 2, ..OracleStats::default() }
         );
     }
 
@@ -397,10 +479,7 @@ mod tests {
             Acquire { prog: 0, core: 2 },
         ];
         let stats = Oracle::replay(&HOME, &trace).expect("clean reap trace");
-        assert_eq!(
-            stats,
-            OracleStats { acquires: 1, reclaims: 0, releases: 0, reaps: 2, steal_batches: 0 }
-        );
+        assert_eq!(stats, OracleStats { acquires: 1, reaps: 2, ..OracleStats::default() });
     }
 
     #[test]
@@ -419,6 +498,79 @@ mod tests {
         let trace = [Release { prog: 1, core: 2 }, Expired { prog: 1 }, Reap { prog: 1, core: 2 }];
         let v = Oracle::replay(&HOME, &trace).unwrap_err();
         assert!(v.reason.contains("but it is free"), "{}", v.reason);
+    }
+
+    #[test]
+    fn task_lifecycles_replay_clean_and_finish_w1() {
+        use ProtoEvent::*;
+        let trace = [
+            TaskSpawn { prog: 0, id: 0 },
+            TaskSpawn { prog: 0, id: 1 },
+            TaskSpawn { prog: 1, id: 0 },
+            TaskExec { prog: 0, id: 1 },
+            TaskExec { prog: 0, id: 0 },
+            TaskExec { prog: 1, id: 0 },
+        ];
+        let mut o = Oracle::new(&HOME);
+        for e in trace {
+            o.apply(e).expect("clean lifecycle trace");
+        }
+        assert_eq!(o.stats.task_spawns, 3);
+        assert_eq!(o.stats.task_execs, 3);
+        o.finish(None).expect("W1 holds: every spawned task executed");
+    }
+
+    #[test]
+    fn w1_catches_a_spawned_task_that_never_executes() {
+        use ProtoEvent::*;
+        let mut o = Oracle::new(&HOME);
+        for e in [
+            TaskSpawn { prog: 0, id: 0 },
+            TaskSpawn { prog: 0, id: 7 },
+            TaskExec { prog: 0, id: 0 },
+        ] {
+            o.apply(e).unwrap();
+        }
+        let e = o.finish(None).unwrap_err();
+        assert!(e.contains("W1 violated: 1 spawned task(s)"), "{e}");
+        assert!(e.contains("p0/t7"), "{e}");
+    }
+
+    #[test]
+    fn w1_exempts_the_crash_victims_tasks() {
+        use ProtoEvent::*;
+        let mut o = Oracle::new(&HOME);
+        for e in [
+            TaskSpawn { prog: 0, id: 0 },
+            TaskSpawn { prog: 1, id: 0 },
+            TaskExec { prog: 0, id: 0 },
+        ] {
+            o.apply(e).unwrap();
+        }
+        o.finish(Some(1)).expect("victim's unexecuted task is exempt");
+        assert!(o.finish(None).is_err(), "without the exemption it is a W1 loss");
+    }
+
+    #[test]
+    fn w2_catches_a_double_execution() {
+        use ProtoEvent::*;
+        let mut o = Oracle::new(&HOME);
+        o.apply(TaskSpawn { prog: 0, id: 3 }).unwrap();
+        o.apply(TaskExec { prog: 0, id: 3 }).unwrap();
+        let v = o.apply(TaskExec { prog: 0, id: 3 }).unwrap_err();
+        assert!(v.reason.contains("W2 violated"), "{}", v.reason);
+        assert!(v.reason.contains("executed twice"), "{}", v.reason);
+    }
+
+    #[test]
+    fn orphan_exec_and_double_spawn_are_caught() {
+        use ProtoEvent::*;
+        let v = Oracle::replay(&HOME, &[TaskExec { prog: 0, id: 9 }]).unwrap_err();
+        assert!(v.reason.contains("never spawned"), "{}", v.reason);
+        let v =
+            Oracle::replay(&HOME, &[TaskSpawn { prog: 1, id: 2 }, TaskSpawn { prog: 1, id: 2 }])
+                .unwrap_err();
+        assert!(v.reason.contains("spawned twice"), "{}", v.reason);
     }
 
     #[test]

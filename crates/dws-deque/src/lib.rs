@@ -17,6 +17,9 @@
 //!   [`Injector::steal_batch`] drain under a single lock acquisition.
 //! - [`MutexDeque`]: a locked reference implementation used as a test
 //!   oracle and as the baseline in the deque microbenchmarks.
+//! - [`TaskId`]: a packed `(program, worker, sequence)` task identity that
+//!   rides inside queued elements, so push/pop/steal/steal-half transfers
+//!   preserve each task's identity for lifecycle tracing.
 //!
 //! ```
 //! use dws_deque::{deque, Steal};
@@ -35,7 +38,9 @@ mod buffer;
 mod chase_lev;
 mod injector;
 mod mutex_deque;
+mod task_id;
 
 pub use chase_lev::{batch_quota, deque, Steal, Stealer, Worker, MAX_STEAL_BATCH};
 pub use injector::Injector;
 pub use mutex_deque::MutexDeque;
+pub use task_id::TaskId;

@@ -1,0 +1,192 @@
+//! Property tests for [`dws_deque::TaskId`] riding through the deques:
+//! identities must be *unique* (no id duplicated, none invented) and
+//! *stable* (the id observed after any sequence of pops, steals and
+//! steal-half batch transfers is bit-identical to the id pushed) — both
+//! single-threaded against the `MutexDeque` oracle and under concurrent
+//! batch stealing.
+
+use std::collections::HashSet;
+
+use dws_deque::{deque, MutexDeque, Steal, TaskId, Worker, MAX_STEAL_BATCH};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push,
+    Pop,
+    Steal,
+    StealBatchAndPop(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => Just(Op::Push),
+        2 => Just(Op::Pop),
+        1 => Just(Op::Steal),
+        3 => (1usize..2 * MAX_STEAL_BATCH + 1).prop_map(Op::StealBatchAndPop),
+    ]
+}
+
+fn drain(w: &Worker<TaskId>) -> Vec<TaskId> {
+    let mut out = Vec::new();
+    while let Some(v) = w.pop() {
+        out.push(v);
+    }
+    out
+}
+
+fn drain_oracle(d: &MutexDeque<TaskId>) -> Vec<TaskId> {
+    let mut out = Vec::new();
+    while let Some(v) = d.pop() {
+        out.push(v);
+    }
+    out
+}
+
+proptest! {
+    /// Single-threaded differential run: ids observed from the lock-free
+    /// deque match the oracle everywhere, every pushed id is observed
+    /// exactly once across all exits, and no unpushed id ever appears.
+    #[test]
+    fn task_ids_unique_and_stable_vs_oracle(
+        prog in 0usize..4,
+        spawner in 0usize..8,
+        ops in proptest::collection::vec(op_strategy(), 0..400),
+    ) {
+        let (w, s) = deque::<TaskId>();
+        let (thief, _thief_s) = deque::<TaskId>();
+        let oracle = MutexDeque::<TaskId>::new();
+        let oracle_thief = MutexDeque::<TaskId>::new();
+
+        let mut next_seq = 0u64;
+        let mut pushed = HashSet::new();
+        let mut seen = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Push => {
+                    let id = TaskId::new(prog, spawner, next_seq);
+                    next_seq += 1;
+                    prop_assert!(pushed.insert(id), "spawner minted a duplicate id");
+                    w.push(id);
+                    oracle.push(id);
+                }
+                Op::Pop => {
+                    let got = w.pop();
+                    prop_assert_eq!(got, oracle.pop());
+                    seen.extend(got);
+                }
+                Op::Steal => {
+                    let got = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => {
+                            prop_assert!(false, "retry without contention");
+                            unreachable!()
+                        }
+                    };
+                    prop_assert_eq!(got, oracle.steal());
+                    seen.extend(got);
+                }
+                Op::StealBatchAndPop(limit) => {
+                    let got = match s.steal_batch_and_pop(&thief, limit) {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => {
+                            prop_assert!(false, "retry without contention");
+                            unreachable!()
+                        }
+                    };
+                    prop_assert_eq!(got, oracle.steal_batch_and_pop(&oracle_thief, limit));
+                    seen.extend(got);
+                }
+            }
+        }
+
+        // The batch-moved remainder sits in the thief's deque: same ids,
+        // same order as the oracle's thief.
+        let thief_rest = drain(&thief);
+        prop_assert_eq!(&thief_rest, &drain_oracle(&oracle_thief));
+        seen.extend(thief_rest);
+        let victim_rest = drain(&w);
+        prop_assert_eq!(&victim_rest, &drain_oracle(&oracle));
+        seen.extend(victim_rest);
+
+        // Global ledger: every pushed id surfaced exactly once, nothing
+        // was invented, and every id still decodes to its spawner.
+        prop_assert_eq!(seen.len(), pushed.len(), "lost or duplicated tasks");
+        let unique: HashSet<TaskId> = seen.iter().copied().collect();
+        prop_assert_eq!(&unique, &pushed);
+        for id in &seen {
+            prop_assert_eq!(id.prog(), prog);
+            prop_assert_eq!(id.worker(), spawner);
+        }
+    }
+
+    /// Concurrent scenario: an owner pushes distinct ids while several
+    /// thieves pull steal-half batches into their own deques. Every id
+    /// must be consumed exactly once and decode back to the owner's
+    /// coordinates — batch transfers may not tear, duplicate, or corrupt
+    /// the packed identity.
+    #[test]
+    fn concurrent_batch_transfers_preserve_identity(
+        n in 1usize..1_500,
+        thieves in 1usize..4,
+        limit in 1usize..17,
+    ) {
+        use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+        use std::sync::Arc;
+
+        let (w, s) = deque::<TaskId>();
+        let counts: Arc<Vec<AtomicU8>> = Arc::new((0..n).map(|_| AtomicU8::new(0)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let handles: Vec<_> = (0..thieves)
+            .map(|_| {
+                let s = s.clone();
+                let counts = Arc::clone(&counts);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || -> Result<(), String> {
+                    let (local, _local_s) = deque::<TaskId>();
+                    let tally = |id: TaskId| -> Result<(), String> {
+                        if id.prog() != 2 || id.worker() != 5 {
+                            return Err(format!("corrupted id {id}"));
+                        }
+                        counts[id.seq() as usize].fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    };
+                    loop {
+                        match s.steal_batch_and_pop(&local, limit) {
+                            Steal::Success(id) => {
+                                tally(id)?;
+                                while let Some(id) = local.pop() {
+                                    tally(id)?;
+                                }
+                            }
+                            Steal::Empty if done.load(Ordering::Acquire) => return Ok(()),
+                            _ => std::hint::spin_loop(),
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for seq in 0..n {
+            w.push(TaskId::new(2, 5, seq as u64));
+        }
+        while let Some(id) = w.pop() {
+            counts[id.seq() as usize].fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap().map_err(TestCaseError::fail)?;
+        }
+        for (seq, c) in counts.iter().enumerate() {
+            prop_assert_eq!(
+                c.load(Ordering::Relaxed), 1,
+                "task seq {} consumed wrong number of times", seq
+            );
+        }
+    }
+}

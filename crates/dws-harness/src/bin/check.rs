@@ -56,7 +56,13 @@ const USAGE: &str = "usage: check [OPTIONS]
                      reap-alive       fence without confirming death
                                       (implies --crash)
                      over-steal       batched take ignores the steal-half
-                                      quota and drains whole queues";
+                                      quota and drains whole queues
+                     lost-batch       a multi-task batch drops its last
+                                      task on the floor (caught only by
+                                      the W1 task-identity rule)
+                     reap-strand      the reaper drains the survivor's
+                                      queue, stranding parked tasks
+                                      (implies --crash; W1-only)";
 
 fn parse() -> Result<Cli, String> {
     let mut cli = Cli {
@@ -114,6 +120,11 @@ fn parse() -> Result<Cli, String> {
                         Bug::ReapAlive
                     }
                     "over-steal" => Bug::OverSteal,
+                    "lost-batch" => Bug::LostBatch,
+                    "reap-strand" => {
+                        cli.crash = true;
+                        Bug::ReapStrand
+                    }
                     other => return Err(format!("unknown bug `{other}`")),
                 });
                 i += 1;
@@ -186,6 +197,12 @@ fn main() -> ExitCode {
                 // test pins the same limit).
                 cfg.steal_batch_limit = 1;
             }
+            if b == Bug::ReapStrand {
+                // The survivor needs tasks still parked when the reap
+                // lands (~lease after the crash), or there is nothing
+                // to strand (the mutation test pins the same shape).
+                cfg.tasks = vec![40, 30];
+            }
             cfg
         }
         None => cfg,
@@ -214,6 +231,8 @@ fn main() -> ExitCode {
             Some(Bug::DoubleReclaim) => ", seeded bug: double-reclaim (single-task takes)",
             Some(Bug::ReapAlive) => ", seeded bug: reap-alive",
             Some(Bug::OverSteal) => ", seeded bug: over-steal",
+            Some(Bug::LostBatch) => ", seeded bug: lost-batch (W1 ledger)",
+            Some(Bug::ReapStrand) => ", seeded bug: reap-strand (W1 ledger)",
             None => "",
         },
     );

@@ -1,0 +1,90 @@
+//! `dws-trace` — offline analyzer for task-lifecycle traces.
+//!
+//! Consumes the JSONL event export written by `rttrace` (or any caller
+//! of [`dws_rt::export::to_jsonl`]) and reconstructs per-task spans:
+//!
+//! ```text
+//! dws-trace analyze rttrace.jsonl            # report + W1/W2 verdict
+//! dws-trace analyze rttrace.jsonl --chrome out.trace.json
+//! ```
+//!
+//! The report shows, per program, exact sojourn p50/p99/p999
+//! (spawn → exec-begin), steal-chain depth, a critical-path estimate,
+//! and the W1 ("every spawned task executes") / W2 ("no task executes
+//! twice") identity verdict — exiting nonzero on any violation, so CI
+//! can gate on it. `--chrome` re-exports the parsed events as a Chrome
+//! `trace_event` file whose flow arrows link each migrated task's spawn
+//! to its remote exec (open at `ui.perfetto.dev`).
+
+use dws_harness::tracecheck::{analyze, parse_jsonl, render_report};
+use dws_rt::export::to_chrome_trace;
+
+fn usage() -> ! {
+    eprintln!("usage: dws-trace analyze <trace.jsonl> [--chrome OUT.json]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("analyze") {
+        usage();
+    }
+    let mut input = None;
+    let mut chrome_out = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--chrome" => {
+                i += 1;
+                chrome_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            flag if flag.starts_with("--") => usage(),
+            path if input.is_none() => input = Some(path.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(input) = input else { usage() };
+
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dws-trace: cannot read {input}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let programs = match parse_jsonl(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("dws-trace: malformed trace: {e}");
+            std::process::exit(2);
+        }
+    };
+    if programs.is_empty() {
+        eprintln!("dws-trace: {input} holds no events");
+        std::process::exit(2);
+    }
+
+    let mut all_clean = true;
+    for (&prog, snap) in &programs {
+        let report = analyze(prog, snap);
+        print!("{}", render_report(&report));
+        all_clean &= report.clean();
+    }
+
+    if let Some(path) = chrome_out {
+        let snaps: Vec<_> = programs.iter().map(|(&p, s)| (p, s.clone())).collect();
+        if let Err(e) = std::fs::write(&path, to_chrome_trace(&snaps)) {
+            eprintln!("dws-trace: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path} (open in Perfetto; task-flow arrows mark migrations)");
+    }
+
+    if all_clean {
+        println!("verdict: W1/W2 clean");
+    } else {
+        println!("verdict: IDENTITY VIOLATIONS (see above)");
+        std::process::exit(1);
+    }
+}

@@ -85,6 +85,7 @@ fn main() {
         print!("{}", render_histogram("steal-attempt latency", &h.steal_latency));
         print!("{}", render_histogram("sleep duration", &h.sleep_duration));
         print!("{}", render_histogram("wake → first task", &h.wake_to_first_task));
+        print!("{}", render_histogram("task sojourn (spawn → exec)", &h.task_sojourn));
         print!("{}", render_worker_table(&rt.worker_metrics()));
     }
 

@@ -28,6 +28,7 @@ pub mod figures;
 pub mod report;
 pub mod svg;
 pub mod top;
+pub mod tracecheck;
 
 pub use corun::{run_mix, solo_baseline, solo_with_policy, Effort, MixResult};
 pub use figures::{

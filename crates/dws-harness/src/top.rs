@@ -115,19 +115,23 @@ pub fn render_program_panel(label: &str, f: &TelemetryFrame, color: bool) -> Str
     }
     let l = &f.latency;
     out.push_str(&format!(
-        "  lat    steal p50 {} p99 {}   wake p50 {} p99 {}",
+        "  lat    steal p50 {} p99 {}   wake p50 {} p99 {}   sojourn p50 {} p99 {}",
         fmt_ns(l.steal_p50_ns),
         fmt_ns(l.steal_p99_ns),
         fmt_ns(l.wake_p50_ns),
         fmt_ns(l.wake_p99_ns),
+        fmt_ns(l.sojourn_p50_ns),
+        fmt_ns(l.sojourn_p99_ns),
     ));
     if k.events_dropped > 0 || k.frames_evicted > 0 {
+        // Loud marker: a lossy ring means the panel (and any trace
+        // export) is an undercount, not a complete record.
         out.push_str(&format!(
             "   {}",
             paint(
                 color,
                 RED,
-                &format!("dropped {} ev / {} frames", k.events_dropped, k.frames_evicted)
+                &format!("⚠ LOSSY dropped {} ev / {} frames", k.events_dropped, k.frames_evicted)
             ),
         ));
     }
@@ -196,6 +200,8 @@ mod tests {
             latency: LatencySample {
                 steal_p50_ns: 2_048,
                 steal_p99_ns: 65_536,
+                sojourn_p50_ns: 16_384,
+                sojourn_p99_ns: 2_097_152,
                 ..Default::default()
             },
         }
@@ -221,6 +227,7 @@ mod tests {
         assert!(text.contains("woken 2"));
         assert!(text.contains("decisions 33"));
         assert!(text.contains("steal p50 2us p99 65us"));
+        assert!(text.contains("sojourn p50 16us p99 2ms"), "{text}");
         assert!(!text.contains('\x1b'), "no ANSI codes without color");
     }
 
@@ -238,9 +245,17 @@ mod tests {
     #[test]
     fn drops_are_surfaced_loudly() {
         let mut f = frame();
-        assert!(!render_program_panel("p", &f, false).contains("dropped"));
+        let clean = render_program_panel("p", &f, false);
+        assert!(!clean.contains("dropped") && !clean.contains("LOSSY"));
         f.counters.events_dropped = 9;
-        assert!(render_program_panel("p", &f, false).contains("dropped 9 ev"));
+        let text = render_program_panel("p", &f, false);
+        assert!(text.contains("⚠ LOSSY dropped 9 ev"), "{text}");
+        f.counters.events_dropped = 0;
+        f.counters.frames_evicted = 3;
+        let text = render_program_panel("p", &f, false);
+        assert!(text.contains("⚠ LOSSY dropped 0 ev / 3 frames"), "{text}");
+        let colored = render_program_panel("p", &f, true);
+        assert!(colored.contains("\x1b[31m⚠ LOSSY"), "lossy marker is red");
     }
 
     #[test]

@@ -51,13 +51,13 @@ fn tid(lane: u32) -> u64 {
 }
 
 fn chrome_event(prog: usize, ev: &TimedEvent) -> Value {
-    // Sleep↔Wake and TaskStart↔TaskEnd form per-lane duration slices;
+    // Sleep↔Wake and ExecBegin↔ExecEnd form per-lane duration slices;
     // the rest are instants.
     let (ph, name) = match ev.event {
         RtEvent::Sleep { .. } => ("B", "sleep"),
         RtEvent::Wake { .. } => ("E", "sleep"),
-        RtEvent::TaskStart { .. } => ("B", "task"),
-        RtEvent::TaskEnd { .. } => ("E", "task"),
+        RtEvent::ExecBegin { .. } => ("B", "task"),
+        RtEvent::ExecEnd { .. } => ("E", "task"),
         _ => ("i", ev.event.name()),
     };
     // The externally-tagged variant payload becomes `args`.
@@ -82,13 +82,56 @@ fn chrome_event(prog: usize, ev: &TimedEvent) -> Value {
     obj(fields)
 }
 
+/// Flow event (`ph` `"s"` start / `"f"` finish) linking a task's `Spawn`
+/// to its remote `ExecBegin` — Perfetto draws these as arrows between
+/// lanes, making each steal-migration visible. The packed task id,
+/// rendered as a hex string, is the flow id (unique per task within a
+/// trace; `pid` scoping separates co-running programs).
+fn flow_event(prog: usize, ph: &str, lane: u32, t_us: u64, id: u64) -> Value {
+    let mut fields = vec![
+        ("name", Value::String("task-flow".into())),
+        ("cat", Value::String("task".into())),
+        ("ph", Value::String(ph.into())),
+        ("pid", Value::U64(prog as u64)),
+        ("tid", Value::U64(tid(lane))),
+        ("ts", Value::U64(t_us)),
+        ("id", Value::String(format!("{id:#x}"))),
+    ];
+    if ph == "f" {
+        // Bind the finish to the *enclosing* slice (the task's B/E pair
+        // opened at the same timestamp).
+        fields.push(("bp", Value::String("e".into())));
+    }
+    obj(fields)
+}
+
 /// Builds the Chrome `trace_event` JSON document
 /// (`{"traceEvents":[…]}`) for one or more co-running programs'
 /// snapshots. Snapshots share the process-wide trace epoch, so merged
-/// timelines align.
+/// timelines align. Tasks that executed on a different lane than they
+/// were spawned on (i.e. they migrated via a steal or a batch transfer)
+/// additionally get a flow arrow from their `Spawn` to their `ExecBegin`.
 pub fn to_chrome_trace(programs: &[(usize, TraceSnapshot)]) -> String {
     let mut events: Vec<Value> = Vec::new();
     for (prog, snap) in programs {
+        // Tasks whose spawn lane differs from their exec lane carry a
+        // flow arrow; same-lane tasks do not (the arrow would be noise).
+        let mut spawn_lane: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for ev in &snap.events {
+            if let RtEvent::Spawn { id } = ev.event {
+                spawn_lane.insert(id, ev.lane);
+            }
+        }
+        let migrated: std::collections::HashSet<u64> = snap
+            .events
+            .iter()
+            .filter_map(|ev| match ev.event {
+                RtEvent::ExecBegin { id, .. } => {
+                    (spawn_lane.get(&id).is_some_and(|&l| l != ev.lane)).then_some(id)
+                }
+                _ => None,
+            })
+            .collect();
         let mut lanes: Vec<u32> = snap.events.iter().map(|e| e.lane).collect();
         lanes.sort_unstable();
         lanes.dedup();
@@ -108,6 +151,15 @@ pub fn to_chrome_trace(programs: &[(usize, TraceSnapshot)]) -> String {
         }
         for ev in &snap.events {
             events.push(chrome_event(*prog, ev));
+            match ev.event {
+                RtEvent::Spawn { id } if migrated.contains(&id) => {
+                    events.push(flow_event(*prog, "s", ev.lane, ev.t_us, id));
+                }
+                RtEvent::ExecBegin { id, .. } if migrated.contains(&id) => {
+                    events.push(flow_event(*prog, "f", ev.lane, ev.t_us, id));
+                }
+                _ => {}
+            }
         }
         if snap.dropped > 0 {
             // Surface ring overflow as a process-scoped instant at the end
@@ -135,8 +187,8 @@ mod tests {
 
     fn sample_snapshot() -> TraceSnapshot {
         let events = vec![
-            TimedEvent { t_us: 1, lane: 0, event: RtEvent::TaskStart { worker: 0 } },
-            TimedEvent { t_us: 5, lane: 0, event: RtEvent::TaskEnd { worker: 0 } },
+            TimedEvent { t_us: 1, lane: 0, event: RtEvent::ExecBegin { worker: 0, id: 7 } },
+            TimedEvent { t_us: 5, lane: 0, event: RtEvent::ExecEnd { worker: 0, id: 7 } },
             TimedEvent { t_us: 6, lane: 1, event: RtEvent::Sleep { worker: 1, evicted: true } },
             TimedEvent {
                 t_us: 7,
@@ -217,6 +269,38 @@ mod tests {
         let drop_ev = events.iter().find(|e| e["name"].as_str() == Some("events_dropped")).unwrap();
         assert_eq!(drop_ev["args"]["dropped"].as_u64(), Some(17));
         assert_eq!(drop_ev["s"].as_str(), Some("p"));
+    }
+
+    #[test]
+    fn migrated_tasks_get_flow_arrows_and_local_tasks_do_not() {
+        let events = vec![
+            // Task 11: spawned on lane 0, executed on lane 2 — migrated.
+            TimedEvent { t_us: 1, lane: 0, event: RtEvent::Spawn { id: 11 } },
+            TimedEvent { t_us: 1, lane: 0, event: RtEvent::Enqueue { id: 11 } },
+            // Task 12: spawned and executed on lane 0 — local.
+            TimedEvent { t_us: 2, lane: 0, event: RtEvent::Spawn { id: 12 } },
+            TimedEvent { t_us: 2, lane: 0, event: RtEvent::Enqueue { id: 12 } },
+            TimedEvent { t_us: 3, lane: 0, event: RtEvent::ExecBegin { worker: 0, id: 12 } },
+            TimedEvent { t_us: 4, lane: 0, event: RtEvent::ExecEnd { worker: 0, id: 12 } },
+            TimedEvent { t_us: 6, lane: 2, event: RtEvent::ExecBegin { worker: 2, id: 11 } },
+            TimedEvent { t_us: 9, lane: 2, event: RtEvent::ExecEnd { worker: 2, id: 11 } },
+        ];
+        let snap = TraceSnapshot { events, dropped: 0 };
+        let doc: Value = serde_json::from_str(&to_chrome_trace(&[(0, snap)])).unwrap();
+        let Value::Array(events) = &doc["traceEvents"] else { panic!("array") };
+        let flows: Vec<&Value> =
+            events.iter().filter(|e| e["name"].as_str() == Some("task-flow")).collect();
+        // Exactly one flow pair, for the migrated task only.
+        assert_eq!(flows.len(), 2);
+        let start = flows.iter().find(|e| e["ph"].as_str() == Some("s")).unwrap();
+        let finish = flows.iter().find(|e| e["ph"].as_str() == Some("f")).unwrap();
+        assert_eq!(start["tid"].as_u64(), Some(0));
+        assert_eq!(start["ts"].as_u64(), Some(1));
+        assert_eq!(finish["tid"].as_u64(), Some(2));
+        assert_eq!(finish["ts"].as_u64(), Some(6));
+        assert_eq!(finish["bp"].as_str(), Some("e"));
+        assert_eq!(start["id"], finish["id"]);
+        assert_eq!(start["id"].as_str(), Some("0xb"));
     }
 
     #[test]

@@ -16,15 +16,28 @@ use std::any::Any;
 use std::cell::UnsafeCell;
 use std::mem::ManuallyDrop;
 
+use dws_deque::TaskId;
+
 use crate::latch::Latch;
 
 /// A type-erased, executable job reference. `Send` because the deque
 /// moves it across threads; the underlying job guarantees its data
 /// outlives execution.
+///
+/// Besides the erased pointer the reference carries the task's packed
+/// [`TaskId`] and (with tracing on) its spawn timestamp — the identity
+/// travels *inside* the deque element, so steals and batch transfers
+/// preserve it for free and the executing worker can compute the task's
+/// deque-sojourn time without any side table.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct JobRef {
     pointer: *const (),
     execute_fn: unsafe fn(*const ()),
+    /// Packed task identity, [`TaskId::NONE`] until stamped at enqueue.
+    pub(crate) task_id: TaskId,
+    /// Spawn time (µs since the trace epoch); 0 when tracing is off —
+    /// the timestamp syscall is the one per-spawn cost worth gating.
+    pub(crate) spawn_us: u64,
 }
 
 unsafe impl Send for JobRef {}
@@ -35,7 +48,12 @@ impl JobRef {
     /// # Safety
     /// `job` must stay alive until `execute` is called exactly once.
     pub(crate) unsafe fn new<T: Job>(job: *const T) -> JobRef {
-        JobRef { pointer: job.cast(), execute_fn: |ptr| unsafe { T::execute(ptr.cast()) } }
+        JobRef {
+            pointer: job.cast(),
+            execute_fn: |ptr| unsafe { T::execute(ptr.cast()) },
+            task_id: TaskId::NONE,
+            spawn_us: 0,
+        }
     }
 
     /// Runs the job, consuming this reference.

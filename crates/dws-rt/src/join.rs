@@ -64,9 +64,13 @@ where
     loop {
         match worker.pop() {
             Some(job) if job_is(job, ref_b) => {
+                // The popped-back ref carries the id stamped at push;
+                // close its lifecycle even though it skips `execute`.
+                worker.trace_inline_begin(&job);
                 // SAFETY: we popped the erased ref, so nobody else can
                 // execute it; run the closure directly.
                 let rb = unsafe { job_b.run_inline() };
+                worker.trace_inline_end(&job);
                 return (ra, rb);
             }
             Some(job) => worker.execute(job),

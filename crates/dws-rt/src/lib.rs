@@ -78,6 +78,7 @@ pub use alloc_table::{
 };
 pub use config::{Policy, RuntimeConfig, TelemetryConfig, TraceConfig};
 pub use coordinator::{eq1_wake_target, plan_wakes};
+pub use dws_deque::TaskId;
 pub use join::join;
 pub use metrics::{
     AggregatedHistograms, HistogramSnapshot, MetricsSnapshot, WorkerMetricsSnapshot,

@@ -144,6 +144,9 @@ pub struct WorkerMetrics {
     pub steals_ok: AtomicU64,
     /// Failed steal attempts by this worker.
     pub steals_failed: AtomicU64,
+    /// Steal attempts that ended contended (`Steal::Retry` after the
+    /// bounded same-victim retries) — neither a hit nor a miss.
+    pub steals_contended: AtomicU64,
     /// Tasks moved by this worker's successful steals. With batching one
     /// steal operation (`steals_ok += 1`) can transfer several tasks; the
     /// ratio `tasks_stolen / steals_ok` is the mean batch size.
@@ -163,6 +166,10 @@ pub struct WorkerMetrics {
     /// Batch size of each successful steal (a *count* histogram: bucket
     /// `i` holds transfers of `[2^i, 2^{i+1})` tasks, not nanoseconds).
     pub steal_batch: LogHistogram,
+    /// Deque-sojourn time of each task this worker executed: spawn →
+    /// exec-begin, the time the task sat queued (possibly across batch
+    /// moves) before running. Fills only while tracing is on.
+    pub task_sojourn: LogHistogram,
 }
 
 /// Plain-value copy of one worker's shard.
@@ -172,6 +179,8 @@ pub struct WorkerMetricsSnapshot {
     pub steals_ok: u64,
     /// Failed steal attempts.
     pub steals_failed: u64,
+    /// Contended steal attempts (lost CAS races after retries).
+    pub steals_contended: u64,
     /// Tasks moved by successful steals.
     pub tasks_stolen: u64,
     /// Jobs executed.
@@ -188,6 +197,8 @@ pub struct WorkerMetricsSnapshot {
     pub wake_to_first_task: HistogramSnapshot,
     /// Steal batch-size histogram (task counts, not nanoseconds).
     pub steal_batch: HistogramSnapshot,
+    /// Task deque-sojourn histogram (spawn → exec-begin, ns).
+    pub task_sojourn: HistogramSnapshot,
 }
 
 /// RAII guard marking the owning worker's multi-field update in flight;
@@ -221,6 +232,7 @@ impl WorkerMetrics {
         WorkerMetricsSnapshot {
             steals_ok: self.steals_ok.load(Ordering::Relaxed),
             steals_failed: self.steals_failed.load(Ordering::Relaxed),
+            steals_contended: self.steals_contended.load(Ordering::Relaxed),
             tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
             jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
             sleeps: self.sleeps.load(Ordering::Relaxed),
@@ -229,6 +241,7 @@ impl WorkerMetrics {
             sleep_duration: self.sleep_duration.snapshot(),
             wake_to_first_task: self.wake_to_first_task.snapshot(),
             steal_batch: self.steal_batch.snapshot(),
+            task_sojourn: self.task_sojourn.snapshot(),
         }
     }
 
@@ -267,6 +280,9 @@ pub struct RtMetrics {
     pub steals_ok: AtomicU64,
     /// Failed steal attempts.
     pub steals_failed: AtomicU64,
+    /// Steal attempts that gave up contended (`Steal::Retry` after the
+    /// bounded retries): neither a hit nor a miss, so counted apart.
+    pub steals_contended: AtomicU64,
     /// Tasks moved by successful steals (batching makes this ≥ `steals_ok`).
     pub tasks_stolen: AtomicU64,
     /// Times a worker went to sleep.
@@ -327,6 +343,8 @@ pub struct MetricsSnapshot {
     pub coordinator_stalls: u64,
     /// Tasks moved by successful steals.
     pub tasks_stolen: u64,
+    /// Contended steal attempts (lost CAS races after retries).
+    pub steals_contended: u64,
 }
 
 /// Histograms aggregated across all worker shards.
@@ -340,6 +358,8 @@ pub struct AggregatedHistograms {
     pub wake_to_first_task: HistogramSnapshot,
     /// Steal batch sizes across all workers (task counts, not ns).
     pub steal_batch: HistogramSnapshot,
+    /// Task deque-sojourn times across all workers (spawn → exec-begin).
+    pub task_sojourn: HistogramSnapshot,
 }
 
 impl RtMetrics {
@@ -384,6 +404,7 @@ impl RtMetrics {
             leases_expired: self.leases_expired.load(Ordering::Relaxed),
             coordinator_stalls: self.coordinator_stalls.load(Ordering::Relaxed),
             tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            steals_contended: self.steals_contended.load(Ordering::Relaxed),
         }
     }
 
@@ -403,6 +424,7 @@ impl RtMetrics {
             agg.sleep_duration.merge(&s.sleep_duration);
             agg.wake_to_first_task.merge(&s.wake_to_first_task);
             agg.steal_batch.merge(&s.steal_batch);
+            agg.task_sojourn.merge(&s.task_sojourn);
         }
         agg
     }
@@ -573,11 +595,14 @@ mod tests {
         m.workers[0].steal_latency.record(std::time::Duration::from_micros(10));
         m.workers[1].steal_latency.record(std::time::Duration::from_micros(10));
         m.workers[2].sleep_duration.record(std::time::Duration::from_millis(5));
+        m.workers[0].task_sojourn.record_ns(2_048);
+        m.workers[2].task_sojourn.record_ns(4_096);
         RtMetrics::bump(&m.workers[1].steals_ok);
         let agg = m.aggregated_histograms();
         assert_eq!(agg.steal_latency.count(), 2);
         assert_eq!(agg.sleep_duration.count(), 1);
         assert_eq!(agg.wake_to_first_task.count(), 0);
+        assert_eq!(agg.task_sojourn.count(), 2);
         let shards = m.worker_snapshots();
         assert_eq!(shards.len(), 3);
         assert_eq!(shards[1].steals_ok, 1);

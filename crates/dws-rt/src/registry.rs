@@ -7,10 +7,11 @@
 //! [`crate::config::Policy`].
 
 use std::cell::Cell;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dws_deque::{deque, Injector, Steal, Stealer, Worker as Deque};
+use dws_deque::{deque, Injector, Steal, Stealer, TaskId, Worker as Deque};
 
 use crate::affinity;
 use crate::alloc_table::{CoreTable, InProcessTable};
@@ -23,7 +24,7 @@ use crate::rng::VictimRng;
 use crate::sleep::{Sleeper, WakeReason};
 use crate::sync::{preempt_point, AtomicBool, AtomicUsize, Ordering};
 use crate::telemetry::{sampler_loop, TelemetryFrame, TelemetryHandle, TelemetryState};
-use crate::trace::{RtEvent, RtTrace, TraceSnapshot, LANE_SHARED};
+use crate::trace::{now_us, RtEvent, RtTrace, TraceSnapshot, LANE_SHARED};
 
 thread_local! {
     /// The worker currently driving this thread, if any.
@@ -63,6 +64,9 @@ pub(crate) struct Registry {
     /// Detached jobs submitted via [`Runtime::spawn`] not yet finished;
     /// shutdown waits for them.
     detached: AtomicUsize,
+    /// Sequence counter for tasks injected from outside the pool
+    /// (stamped with [`TaskId::EXTERNAL_WORKER`] as their spawner).
+    external_seq: AtomicU64,
 }
 
 impl Registry {
@@ -175,6 +179,23 @@ impl Registry {
         }
         self.wake_worker(w);
     }
+
+    /// Stamps a task identity onto a job entering through the injector
+    /// (no worker context): spawner is [`TaskId::EXTERNAL_WORKER`], the
+    /// sequence comes from a process-wide counter. With tracing on, the
+    /// spawn timestamp is taken and `Spawn`/`Enqueue` land on the shared
+    /// lane — external submissions have no per-worker ring of their own.
+    pub(crate) fn stamp_external(&self, mut job: JobRef) -> JobRef {
+        let seq = self.external_seq.fetch_add(1, Ordering::Relaxed);
+        job.task_id = TaskId::new(self.prog_id, TaskId::EXTERNAL_WORKER, seq);
+        if self.trace.enabled() {
+            job.spawn_us = now_us();
+            let id = job.task_id.as_u64();
+            self.trace.record(LANE_SHARED, RtEvent::Spawn { id });
+            self.trace.record(LANE_SHARED, RtEvent::Enqueue { id });
+        }
+        job
+    }
 }
 
 /// A handle to a demand-aware work-stealing runtime (one "program" in the
@@ -254,6 +275,7 @@ impl Runtime {
             shutdown: AtomicBool::new(false),
             exited: AtomicUsize::new(0),
             detached: AtomicUsize::new(0),
+            external_seq: AtomicU64::new(0),
         });
 
         let threads = deques
@@ -313,7 +335,7 @@ impl Runtime {
         // SAFETY: the job outlives the wait below; executed exactly once
         // by a worker.
         let job_ref = unsafe { job.as_job_ref() };
-        self.registry.injector.push(job_ref);
+        self.registry.injector.push(self.registry.stamp_external(job_ref));
         self.registry.ensure_progress();
         job.latch.wait();
         // SAFETY: the latch is set, so the result slot is filled.
@@ -340,7 +362,7 @@ impl Runtime {
                 return;
             }
         }
-        self.registry.injector.push(job);
+        self.registry.injector.push(self.registry.stamp_external(job));
         self.registry.ensure_progress();
     }
 
@@ -500,6 +522,10 @@ pub(crate) struct WorkerThread {
     /// Wake instant awaiting its first executed task (wake→first-task
     /// histogram); set on resume from sleep while tracing.
     wake_at: Cell<Option<Instant>>,
+    /// Next task sequence number this worker mints (worker-local, so id
+    /// stamping is a plain increment — no shared counter on the push
+    /// path).
+    task_seq: Cell<u64>,
 }
 
 /// Outcome of one work-acquisition round. Distinguishes "nothing found"
@@ -539,6 +565,7 @@ impl WorkerThread {
             deque,
             starvation_immune: Cell::new(false),
             wake_at: Cell::new(None),
+            task_seq: Cell::new(0),
         };
         CURRENT_WORKER.with(|c| c.set(&me as *const WorkerThread));
         me.apply_affinity();
@@ -865,15 +892,26 @@ impl WorkerThread {
                         shard.steal_batch.record_ns(moved);
                     }
                     Steal::Empty => RtMetrics::bump(&shard.steals_failed),
-                    // Contended: neither a hit nor a miss — the latency
-                    // sample alone records the wasted attempt.
-                    Steal::Retry => {}
+                    // Contended: neither a hit nor a miss — counted on
+                    // its own axis (plus the latency sample recording
+                    // the wasted attempt).
+                    Steal::Retry => RtMetrics::bump(&shard.steals_contended),
                 }
             }
             match result {
                 Steal::Success(_) => {
                     reg.trace
                         .record(self.index as u32, RtEvent::StealOk { worker: self.index, victim });
+                    if moved > 1 {
+                        reg.trace.record(
+                            self.index as u32,
+                            RtEvent::BatchMoved {
+                                worker: self.index,
+                                victim,
+                                moved: moved as usize,
+                            },
+                        );
+                    }
                 }
                 Steal::Empty => {
                     reg.trace.record(self.index as u32, RtEvent::StealFail { worker: self.index });
@@ -891,12 +929,33 @@ impl WorkerThread {
                 StealOutcome::Job(job)
             }
             Steal::Empty => StealOutcome::Empty,
-            Steal::Retry => StealOutcome::Contended,
+            Steal::Retry => {
+                RtMetrics::bump(&reg.metrics.steals_contended);
+                StealOutcome::Contended
+            }
         }
     }
 
-    /// Pushes a job onto this worker's own deque.
-    pub(crate) fn push(&self, job: JobRef) {
+    /// Pushes a job onto this worker's own deque, minting its [`TaskId`]
+    /// if it does not carry one yet (every locally-spawned job funnels
+    /// through here: `join`'s stolen arm, scope spawns, detached spawns
+    /// from inside the pool). The identity then rides inside the deque
+    /// element through any pops, steals and batch transfers. With tracing
+    /// on, the spawn timestamp is taken and `Spawn`/`Enqueue` land on
+    /// this worker's lane; off, stamping is one `Cell` increment.
+    pub(crate) fn push(&self, mut job: JobRef) {
+        if job.task_id.is_none() {
+            let seq = self.task_seq.get();
+            self.task_seq.set(seq + 1);
+            job.task_id = TaskId::new(self.registry.prog_id, self.index, seq);
+            if self.trace_on {
+                job.spawn_us = now_us();
+                let id = job.task_id.as_u64();
+                let lane = self.index as u32;
+                self.registry.trace.record(lane, RtEvent::Spawn { id });
+                self.registry.trace.record(lane, RtEvent::Enqueue { id });
+            }
+        }
         self.deque.push(job);
     }
 
@@ -905,7 +964,11 @@ impl WorkerThread {
         self.deque.pop()
     }
 
-    /// Executes a job, counting it.
+    /// Executes a job, counting it. With tracing on, the gap between the
+    /// job's spawn timestamp and this instant is its *sojourn* — the time
+    /// the task sat queued (possibly crossing deques via steals) before a
+    /// worker picked it up — recorded into the per-worker histogram
+    /// alongside the `ExecBegin`/`ExecEnd` lifecycle events.
     pub(crate) fn execute(&self, job: JobRef) {
         RtMetrics::bump(&self.registry.metrics.jobs_executed);
         if self.trace_on {
@@ -916,18 +979,57 @@ impl WorkerThread {
                 if let Some(woke) = self.wake_at.take() {
                     shard.wake_to_first_task.record(woke.elapsed());
                 }
+                if job.spawn_us != 0 {
+                    shard.task_sojourn.record_ns(now_us().saturating_sub(job.spawn_us) * 1_000);
+                }
             }
+            let id = job.task_id.as_u64();
             self.registry
                 .trace
-                .record(self.index as u32, RtEvent::TaskStart { worker: self.index });
+                .record(self.index as u32, RtEvent::ExecBegin { worker: self.index, id });
             // SAFETY: every JobRef in the system is executed exactly once;
             // provenance is guaranteed by push/steal discipline.
             unsafe { job.execute() };
-            self.registry.trace.record(self.index as u32, RtEvent::TaskEnd { worker: self.index });
+            self.registry
+                .trace
+                .record(self.index as u32, RtEvent::ExecEnd { worker: self.index, id });
             return;
         }
         // SAFETY: as above.
         unsafe { job.execute() };
+    }
+
+    /// Lifecycle bookkeeping for a job the caller is about to run
+    /// *inline* after popping it back (`join`'s steal-free path): the
+    /// job bypasses [`WorkerThread::execute`], but its identity must
+    /// still close with an `ExecBegin` — the offline W1 rule ("every
+    /// spawned task executes") reads these events. Records the sojourn
+    /// sample too, so the live histogram and the trace agree on what a
+    /// task is. No-op with tracing off.
+    pub(crate) fn trace_inline_begin(&self, job: &JobRef) {
+        if !self.trace_on {
+            return;
+        }
+        if job.spawn_us != 0 {
+            let shard = &self.registry.metrics.workers[self.index];
+            let _ws = shard.write_section();
+            shard.task_sojourn.record_ns(now_us().saturating_sub(job.spawn_us) * 1_000);
+        }
+        self.registry.trace.record(
+            self.index as u32,
+            RtEvent::ExecBegin { worker: self.index, id: job.task_id.as_u64() },
+        );
+    }
+
+    /// Closes the pair opened by [`WorkerThread::trace_inline_begin`].
+    pub(crate) fn trace_inline_end(&self, job: &JobRef) {
+        if !self.trace_on {
+            return;
+        }
+        self.registry.trace.record(
+            self.index as u32,
+            RtEvent::ExecEnd { worker: self.index, id: job.task_id.as_u64() },
+        );
     }
 
     /// Works until `done` reports true: keeps popping/stealing jobs, and
@@ -995,6 +1097,7 @@ mod tests {
             shutdown: AtomicBool::new(false),
             exited: AtomicUsize::new(0),
             detached: AtomicUsize::new(0),
+            external_seq: AtomicU64::new(0),
         });
         (registry, deques)
     }

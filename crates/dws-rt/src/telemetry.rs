@@ -129,6 +129,9 @@ pub struct CounterSample {
     /// `steals_ok` once but can move several tasks; the ratio is the
     /// mean steal batch size.
     pub tasks_stolen: u64,
+    /// Steal attempts that lost every CAS race against a non-empty deque
+    /// (contention, not a work drought — kept out of `steals_failed`).
+    pub steals_contended: u64,
 }
 
 /// Rolling latency percentiles in nanoseconds (0 when no new samples
@@ -154,6 +157,13 @@ pub struct LatencySample {
     pub batch_p50_tasks: u64,
     /// Steal batch-size p99 over the last interval (tasks, not ns).
     pub batch_p99_tasks: u64,
+    /// Task sojourn (spawn→exec-begin) p50 over the last interval.
+    pub sojourn_p50_ns: u64,
+    /// Task sojourn p99 over the last interval.
+    pub sojourn_p99_ns: u64,
+    /// Task sojourn p99.9 over the last interval — the straggler tail the
+    /// paper's demand-aware wakeups are meant to shorten.
+    pub sojourn_p999_ns: u64,
 }
 
 /// One time-series frame: everything an observer needs to render the
@@ -345,6 +355,7 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
         leases_expired: snap.leases_expired,
         degraded: table.degraded() as u64,
         tasks_stolen: snap.tasks_stolen,
+        steals_contended: snap.steals_contended,
     };
     let hist = reg.metrics.aggregated_histograms();
     let window = match prev {
@@ -353,6 +364,7 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
             sleep_duration: hist.sleep_duration.saturating_diff(&p.sleep_duration),
             wake_to_first_task: hist.wake_to_first_task.saturating_diff(&p.wake_to_first_task),
             steal_batch: hist.steal_batch.saturating_diff(&p.steal_batch),
+            task_sojourn: hist.task_sojourn.saturating_diff(&p.task_sojourn),
         },
         None => hist,
     };
@@ -366,6 +378,9 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
         wake_p99_ns: q(&window.wake_to_first_task, 0.99),
         batch_p50_tasks: q(&window.steal_batch, 0.5),
         batch_p99_tasks: q(&window.steal_batch, 0.99),
+        sojourn_p50_ns: q(&window.task_sojourn, 0.5),
+        sojourn_p99_ns: q(&window.task_sojourn, 0.99),
+        sojourn_p999_ns: q(&window.task_sojourn, 0.999),
     };
     TelemetryFrame {
         t_us: now_us(),
@@ -528,9 +543,14 @@ type LatencyMetric = (&'static str, &'static str, fn(&LatencySample) -> u64, &'s
 pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
     let mut w = PromWriter { out: String::new() };
 
-    let counters: [CounterMetric; 14] = [
+    let counters: [CounterMetric; 15] = [
         ("dws_steals_ok_total", "Successful steals.", |c| c.steals_ok),
         ("dws_steals_failed_total", "Failed steal attempts.", |c| c.steals_failed),
+        (
+            "dws_steals_contended_total",
+            "Steal attempts that lost every CAS race against a non-empty deque.",
+            |c| c.steals_contended,
+        ),
         ("dws_tasks_stolen_total", "Tasks moved by successful (possibly batched) steals.", |c| {
             c.tasks_stolen
         }),
@@ -645,7 +665,7 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
         w.line("dws_coord_decisions_total", &[("prog", label)], f.coord.decisions);
     }
 
-    let lats: [LatencyMetric; 8] = [
+    let lats: [LatencyMetric; 11] = [
         ("dws_steal_latency_ns", "Rolling steal-attempt latency.", |l| l.steal_p50_ns, "0.5"),
         ("dws_steal_latency_ns", "Rolling steal-attempt latency.", |l| l.steal_p99_ns, "0.99"),
         ("dws_sleep_duration_ns", "Rolling sleep duration.", |l| l.sleep_p50_ns, "0.5"),
@@ -673,6 +693,24 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
             "Rolling steal batch size (tasks per successful steal, log2 bucket bound).",
             |l| l.batch_p99_tasks,
             "0.99",
+        ),
+        (
+            "dws_task_sojourn_ns",
+            "Rolling task sojourn (spawn to exec-begin).",
+            |l| l.sojourn_p50_ns,
+            "0.5",
+        ),
+        (
+            "dws_task_sojourn_ns",
+            "Rolling task sojourn (spawn to exec-begin).",
+            |l| l.sojourn_p99_ns,
+            "0.99",
+        ),
+        (
+            "dws_task_sojourn_ns",
+            "Rolling task sojourn (spawn to exec-begin).",
+            |l| l.sojourn_p999_ns,
+            "0.999",
         ),
     ];
     let mut last_header = "";
@@ -851,6 +889,33 @@ mod tests {
         assert!(text.contains(r#"core="1""#));
         assert!(text.contains(r#"worker="1""#));
         assert!(text.contains(r#"quantile="0.99""#));
+    }
+
+    /// Every exported sample line has a `# HELP` and `# TYPE` for its
+    /// metric name earlier in the exposition — no orphaned series (the
+    /// property that once silently failed for new metrics).
+    #[test]
+    fn prometheus_every_series_has_help_and_type() {
+        let text = render_prometheus(&[("p0".into(), tiny_frame(0, 3))]);
+        let mut helped: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        let mut typed: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for l in text.lines() {
+            if let Some(rest) = l.strip_prefix("# HELP ") {
+                helped.insert(rest.split(' ').next().unwrap());
+            } else if let Some(rest) = l.strip_prefix("# TYPE ") {
+                typed.insert(rest.split(' ').next().unwrap());
+            } else if !l.is_empty() {
+                let name = l.split(['{', ' ']).next().unwrap();
+                assert!(helped.contains(name), "series {name} has no preceding # HELP");
+                assert!(typed.contains(name), "series {name} has no preceding # TYPE");
+            }
+        }
+        // The contended-steal counter and the sojourn percentiles are
+        // part of the exposition.
+        assert!(text.contains("# TYPE dws_steals_contended_total counter"));
+        assert!(text.contains("# TYPE dws_steal_batch_tasks gauge"));
+        assert!(text.contains("# TYPE dws_task_sojourn_ns gauge"));
+        assert!(text.contains(r#"dws_task_sojourn_ns{prog="p0",quantile="0.999"}"#));
     }
 
     #[test]

@@ -112,15 +112,45 @@ pub enum RtEvent {
         /// Case label.
         case: CoordCase,
     },
-    /// A job began executing.
-    TaskStart {
-        /// Executing worker index.
-        worker: usize,
+    /// A task was spawned: its packed [`dws_deque::TaskId`] was minted by
+    /// the spawning worker (or the external lane) — the first event of a
+    /// task's lifecycle.
+    Spawn {
+        /// Packed task identity ([`dws_deque::TaskId::as_u64`]).
+        id: u64,
     },
-    /// The job finished.
-    TaskEnd {
+    /// The spawned task entered a queue (the spawner's deque, or the
+    /// injector for external submissions).
+    Enqueue {
+        /// Packed task identity.
+        id: u64,
+    },
+    /// A successful batched steal moved `moved` tasks (including the one
+    /// popped by the thief) from `victim`'s deque into `worker`'s. The
+    /// moved ids are not enumerated — each surfaces at its `ExecBegin`,
+    /// whose lane differs from its spawn lane after a migration.
+    BatchMoved {
+        /// Thief worker index (the batch's new home).
+        worker: usize,
+        /// Victim worker index.
+        victim: usize,
+        /// Tasks transferred, ≥ 1.
+        moved: usize,
+    },
+    /// A task began executing. With `id` linked back to its [`RtEvent::Spawn`]
+    /// this closes the task's deque-sojourn interval.
+    ExecBegin {
         /// Executing worker index.
         worker: usize,
+        /// Packed task identity.
+        id: u64,
+    },
+    /// The task finished.
+    ExecEnd {
+        /// Executing worker index.
+        worker: usize,
+        /// Packed task identity.
+        id: u64,
     },
     /// A program's lease was fenced after its heartbeat went stale and
     /// `kill(pid, 0)` confirmed the process dead (failure model, DESIGN
@@ -151,8 +181,11 @@ impl RtEvent {
             RtEvent::StealOk { .. } => "steal_ok",
             RtEvent::StealFail { .. } => "steal_fail",
             RtEvent::CoordinatorDecision { .. } => "coordinator_decision",
-            RtEvent::TaskStart { .. } => "task_start",
-            RtEvent::TaskEnd { .. } => "task_end",
+            RtEvent::Spawn { .. } => "spawn",
+            RtEvent::Enqueue { .. } => "enqueue",
+            RtEvent::BatchMoved { .. } => "batch_moved",
+            RtEvent::ExecBegin { .. } => "exec_begin",
+            RtEvent::ExecEnd { .. } => "exec_end",
             RtEvent::LeaseExpired { .. } => "lease_expired",
             RtEvent::Reap { .. } => "reap",
         }
@@ -577,8 +610,8 @@ mod tests {
     #[test]
     fn enabled_trace_merges_lanes_sorted() {
         let t = RtTrace::new(2, 64, true);
-        t.record(1, RtEvent::TaskStart { worker: 1 });
-        t.record(0, RtEvent::TaskStart { worker: 0 });
+        t.record(1, RtEvent::ExecBegin { worker: 1, id: 7 });
+        t.record(0, RtEvent::ExecBegin { worker: 0, id: 8 });
         t.record(
             LANE_SHARED,
             RtEvent::CoordinatorDecision {
@@ -593,7 +626,7 @@ mod tests {
         let snap = t.snapshot();
         assert_eq!(snap.events.len(), 3);
         assert!(snap.events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
-        assert_eq!(snap.count("task_start"), 2);
+        assert_eq!(snap.count("exec_begin"), 2);
         assert_eq!(snap.count("coordinator_decision"), 1);
     }
 
@@ -609,7 +642,7 @@ mod tests {
             RtEvent::Release { prog: 0, core: 0 },
             RtEvent::Acquire { prog: 1, core: 0 },
             RtEvent::Reclaim { prog: 0, core: 0 }, // reclaim from user
-            RtEvent::TaskStart { worker: 0 },      // ignored
+            RtEvent::ExecBegin { worker: 0, id: 1 }, // ignored
         ];
         let stats = ReplayChecker::new(&home).replay(stream.iter()).unwrap();
         assert_eq!(stats, ReplayStats { acquires: 2, reclaims: 2, releases: 3, reaps: 0 });

@@ -32,8 +32,10 @@ fn arb_event() -> impl Strategy<Value = RtEvent> {
                 },
             }
         }),
-        (0usize..8).prop_map(|worker| RtEvent::TaskStart { worker }),
-        (0usize..8).prop_map(|worker| RtEvent::TaskEnd { worker }),
+        (0usize..8, 0u64..1 << 20).prop_map(|(worker, id)| RtEvent::ExecBegin { worker, id }),
+        (0usize..8, 0u64..1 << 20).prop_map(|(worker, id)| RtEvent::ExecEnd { worker, id }),
+        (0u64..1 << 20).prop_map(|id| RtEvent::Spawn { id }),
+        (0u64..1 << 20).prop_map(|id| RtEvent::Enqueue { id }),
     ]
 }
 

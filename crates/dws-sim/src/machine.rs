@@ -427,6 +427,7 @@ impl Simulator {
                 leases_expired: m.leases_expired,
                 degraded: 0, // the simulated table has no file to lose
                 tasks_stolen: m.tasks_stolen,
+                steals_contended: 0, // serialized steals never lose a CAS race
             };
             tel.push(
                 p,

@@ -109,6 +109,10 @@ pub struct CounterSample {
     /// `steals_ok` once but can move several tasks; the ratio is the
     /// mean steal batch size.
     pub tasks_stolen: u64,
+    /// Steal attempts that lost every CAS race against a non-empty deque.
+    /// Always 0 in simulation: the discrete-event model serializes steal
+    /// attempts, so no CAS race exists to lose.
+    pub steals_contended: u64,
 }
 
 /// Rolling latency percentiles in nanoseconds (always zero in simulation:
@@ -133,6 +137,12 @@ pub struct LatencySample {
     pub batch_p50_tasks: u64,
     /// Steal batch-size p99 over the last interval (tasks, not ns).
     pub batch_p99_tasks: u64,
+    /// Task sojourn (spawn→exec-begin) p50 over the last interval.
+    pub sojourn_p50_ns: u64,
+    /// Task sojourn p99 over the last interval.
+    pub sojourn_p99_ns: u64,
+    /// Task sojourn p99.9 over the last interval.
+    pub sojourn_p999_ns: u64,
 }
 
 /// One time-series frame: everything an observer needs to render the

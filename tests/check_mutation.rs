@@ -30,6 +30,47 @@ fn checker_catches_seeded_double_reclaim() {
     explorer.replay(&failing).expect("failing seed must replay identically");
 }
 
+// The two W1 mutations below keep every table transition legal and
+// reconcile every completion counter — the run *settles cleanly* with a
+// task silently gone. Only the oracle's task-identity ledger (W1: every
+// spawned task executes) can see them, which is exactly what these
+// tests prove.
+
+#[test]
+fn checker_catches_seeded_lost_batch_via_w1() {
+    let cfg = ModelConfig::standard().with_bug(Bug::LostBatch);
+    let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
+    let explorer = Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &cfg, seed));
+
+    let report = explorer.random(0xDEAD_BEEF, 2_000);
+    let failing = report
+        .failing()
+        .unwrap_or_else(|| panic!("lost-batch mutation survived {} schedules", report.schedules))
+        .clone();
+    let failure = failing.failure.as_deref().unwrap();
+    assert!(failure.contains("W1 violated"), "unexpected failure: {failure}");
+    assert!(failure.contains("never executed"), "unexpected failure: {failure}");
+    explorer.replay(&failing).expect("failing seed must replay identically");
+}
+
+#[test]
+fn checker_catches_seeded_reap_strand_via_w1() {
+    // The survivor needs tasks still parked when the reap lands
+    // (~one lease after the crash), or there is nothing to strand.
+    let cfg = ModelConfig { tasks: vec![40, 30], ..ModelConfig::crash() }.with_bug(Bug::ReapStrand);
+    let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
+    let explorer = Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &cfg, seed));
+
+    let report = explorer.random(0xDEAD_BEEF, 2_000);
+    let failing = report
+        .failing()
+        .unwrap_or_else(|| panic!("reap-strand mutation survived {} schedules", report.schedules))
+        .clone();
+    let failure = failing.failure.as_deref().unwrap();
+    assert!(failure.contains("W1 violated"), "unexpected failure: {failure}");
+    explorer.replay(&failing).expect("failing seed must replay identically");
+}
+
 #[test]
 fn unmutated_model_passes_the_same_budget() {
     let cfg = ModelConfig::standard();

@@ -53,6 +53,7 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             leases_expired: 1,
             degraded: 1,
             tasks_stolen: 340,
+            steals_contended: 12,
         },
         latency: dws_rt::LatencySample {
             steal_p50_ns: 1_024,
@@ -63,6 +64,9 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             wake_p99_ns: 262_144,
             batch_p50_tasks: 4,
             batch_p99_tasks: 16,
+            sojourn_p50_ns: 8_192,
+            sojourn_p99_ns: 524_288,
+            sojourn_p999_ns: 1_048_576,
         },
     }
 }
@@ -108,6 +112,7 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             leases_expired: 1,
             degraded: 1,
             tasks_stolen: 340,
+            steals_contended: 12,
         },
         latency: dws_sim::LatencySample {
             steal_p50_ns: 1_024,
@@ -118,6 +123,9 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             wake_p99_ns: 262_144,
             batch_p50_tasks: 4,
             batch_p99_tasks: 16,
+            sojourn_p50_ns: 8_192,
+            sojourn_p99_ns: 524_288,
+            sojourn_p999_ns: 1_048_576,
         },
     }
 }
