@@ -18,20 +18,31 @@
 //! budget plus per-program task-sojourn (spawn → exec-begin)
 //! p50/p99/p999 from the traced run.
 //!
+//! With `--serving` it instead emits `BENCH_7.json`: two *serving*
+//! programs co-run over a shared table, each fed by an open-loop
+//! generator (bursty MMPP arrivals × bounded-Pareto demands, the
+//! simulator's seeded samplers) through its submission ring. A
+//! T_SLEEP × coordinator-period sweep reports end-to-end request
+//! sojourn (client submit → exec-begin, ring residence included)
+//! p50/p99/p999 per program at each point — the throughput-vs-tail
+//! trade — plus the lifecycle-tracing off/on overhead delta against the
+//! same 3% makespan budget.
+//!
 //! ```text
-//! bench-trajectory [--batching | --task-trace] [--fast] [--cores N]
-//!                  [--reps N] [--batch-limit N] [--out PATH]
+//! bench-trajectory [--batching | --task-trace | --serving] [--fast]
+//!                  [--cores N] [--reps N] [--batch-limit N] [--out PATH]
 //!                  [--check PATH] [--summary [DIR]]
 //! ```
 //!
 //! * `--batching` — run the batching off/on comparison (`BENCH_5.json`);
 //! * `--task-trace` — run the tracing off/on comparison (`BENCH_6.json`);
+//! * `--serving` — run the open-loop serving sweep (`BENCH_7.json`);
 //! * `--fast` — smaller workload for CI smoke runs;
 //! * `--cores N` / `--reps N` / `--batch-limit N` — override the workload
 //!   shape for probing (the emitted config records what actually ran);
 //! * `--out PATH` — where to write the JSON (default `BENCH_3.json`,
 //!   `BENCH_5.json` with `--batching`, `BENCH_6.json` with
-//!   `--task-trace`);
+//!   `--task-trace`, `BENCH_7.json` with `--serving`);
 //! * `--check PATH` — validate an existing document and exit (no run);
 //!   the schema is picked by the document's `bench` field;
 //! * `--summary [DIR]` — validate every committed `BENCH_N.json` under
@@ -43,7 +54,8 @@
 //! The emitted document always validates against
 //! [`dws_bench::validate_bench_value`] /
 //! [`dws_bench::validate_bench5_value`] /
-//! [`dws_bench::validate_bench6_value`]; the driver exits nonzero if its
+//! [`dws_bench::validate_bench6_value`] /
+//! [`dws_bench::validate_bench7_value`]; the driver exits nonzero if its
 //! own output ever fails the schema.
 
 use std::io::{Read, Write};
@@ -52,11 +64,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dws_bench::{
-    validate_bench5_value, validate_bench6_value, validate_bench_value, BENCH_SCHEMA_VERSION,
+    validate_bench5_value, validate_bench6_value, validate_bench7_value, validate_bench_value,
+    BENCH_SCHEMA_VERSION,
 };
+use dws_harness::{demand_handler, offer_load, LoadSpec, LoadStats};
 use dws_rt::{
     join, serve, CoreTable, InProcessTable, MetricsSnapshot, Policy, Runtime, RuntimeConfig,
 };
+use dws_sim::{ArrivalProcess, BoundedPareto};
 use serde::value::Value;
 
 const TELEMETRY_TICK_MS: u64 = 10;
@@ -458,12 +473,248 @@ fn run_task_trace(p: &Params, out: &str) {
     }
 }
 
+/// The T_SLEEP × coordinator-period grid the `--serving` mode sweeps
+/// (milliseconds). Short T_SLEEP wakes donated cores back quickly when a
+/// burst lands (good tail, more table churn); a long coordinator period
+/// amortizes coordination but leaves requests sitting in the submission
+/// ring for most of a period before they are even admitted (ring
+/// residence is part of the measured sojourn).
+const SERVE_SWEEP: &[(u64, u64)] = &[(1, 1), (1, 4), (5, 1), (5, 4)];
+
+/// The open-loop serving workload of the `--serving` mode.
+#[derive(Clone)]
+struct ServeParams {
+    cores: usize,
+    /// Mean arrival rate per program, requests/s (delivered bursty).
+    rate_per_sec: f64,
+    /// MMPP burst factor (see [`ArrivalProcess::bursty`]).
+    burstiness: f64,
+    demand_min_us: f64,
+    demand_max_us: f64,
+    demand_alpha: f64,
+    /// How long each generator offers load.
+    duration: Duration,
+    ring_capacity: usize,
+    drain_batch: usize,
+    seed: u64,
+    reps: usize,
+    fast: bool,
+}
+
+/// One serving program's outcome: what the generator did at the ring's
+/// edge, what the coordinator admitted, and the end-to-end request
+/// sojourn distribution (empty unless the run traced).
+struct ServeProgStats {
+    label: String,
+    load: LoadStats,
+    admitted: u64,
+    sojourn: dws_rt::HistogramSnapshot,
+}
+
+/// One serving co-run: two serving runtimes over a shared table, each
+/// fed by its own open-loop generator thread for `sp.duration`, then a
+/// drain tail until every accepted request has been admitted and
+/// executed (or a safety deadline lapses). The makespan spans generator
+/// start → drain-tail end, so a configuration that lets requests pool in
+/// the ring pays for it in makespan as well as in the sojourn tail.
+fn serve_corun(
+    sp: &ServeParams,
+    t_sleep: Duration,
+    period: Duration,
+    tracing: bool,
+) -> (Duration, Vec<ServeProgStats>) {
+    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(sp.cores, 2));
+    let mk = || {
+        let mut cfg = RuntimeConfig::new(sp.cores, Policy::Dws)
+            .with_serving_geometry(sp.ring_capacity, sp.drain_batch);
+        if tracing {
+            cfg = cfg.with_tracing_capacity(TRACE_CAPACITY);
+        }
+        cfg.coordinator_period = period;
+        cfg.sleep_timeout = Some(t_sleep);
+        cfg
+    };
+    let p0 = Runtime::serve_with_table(mk(), Arc::clone(&table), 0, demand_handler());
+    let p1 = Runtime::serve_with_table(mk(), table, 1, demand_handler());
+
+    let spec = |seed: u64| LoadSpec {
+        arrivals: ArrivalProcess::bursty(sp.rate_per_sec, sp.burstiness),
+        demand: BoundedPareto::new(sp.demand_min_us, sp.demand_max_us, sp.demand_alpha),
+        seed,
+        duration: sp.duration,
+    };
+    let start = Instant::now();
+    let (l0, l1) = std::thread::scope(|scope| {
+        // Decorrelated seeds: two independent clients, not one mirrored
+        // schedule arriving at both rings in lockstep.
+        let g0 = scope.spawn(|| offer_load(&p0, &spec(sp.seed)));
+        let g1 = scope.spawn(|| offer_load(&p1, &spec(sp.seed ^ 0xB15B_05E5)));
+        (g0.join().unwrap(), g1.join().unwrap())
+    });
+    // Drain tail: the coordinators keep draining on their period; nudge
+    // them along and wait until nothing accepted is still in flight.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for (rt, l) in [(&p0, &l0), (&p1, &l1)] {
+        loop {
+            rt.drain_submissions();
+            let m = rt.metrics();
+            let done = m.requests_admitted == l.submitted && m.jobs_executed >= m.requests_admitted;
+            if done || Instant::now() > deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+    let makespan = start.elapsed();
+
+    let collect = |rt: &Runtime, label: &str, load: LoadStats| ServeProgStats {
+        label: label.to_string(),
+        load,
+        admitted: rt.metrics().requests_admitted,
+        sojourn: rt.histograms().request_sojourn,
+    };
+    (makespan, vec![collect(&p0, "p0", l0), collect(&p1, "p1", l1)])
+}
+
+/// The `--serving` mode: sweep [`SERVE_SWEEP`] with tracing on (the
+/// request-sojourn histogram only fills while tracing), reporting
+/// per-point throughput and per-program end-to-end request sojourn
+/// p50/p99/p999; then measure the tracing off/on makespan delta at the
+/// first sweep point (alternated, min-of-`reps`) against the
+/// [`TRACE_BUDGET_PCT`] budget. Emits `BENCH_7.json`.
+fn run_serving(sp: &ServeParams, out: &str) {
+    let mut sweep = Vec::new();
+    for &(ts_ms, cp_ms) in SERVE_SWEEP {
+        let (makespan, progs) =
+            serve_corun(sp, Duration::from_millis(ts_ms), Duration::from_millis(cp_ms), true);
+        let admitted: u64 = progs.iter().map(|s| s.admitted).sum();
+        let throughput = admitted as f64 / makespan.as_secs_f64();
+        let p99 = progs[0].sojourn.quantile_ns(0.99).unwrap_or(0) / 1_000;
+        eprintln!(
+            "sweep t_sleep={ts_ms}ms period={cp_ms}ms: {admitted} admitted in {:.1} ms \
+             ({throughput:.0} req/s), p0 request p99 {p99} µs",
+            makespan.as_secs_f64() * 1e3,
+        );
+        let per_program: Vec<Value> = progs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let q = |quant: f64| Value::U64(s.sojourn.quantile_ns(quant).unwrap_or(0) / 1_000);
+                obj(vec![
+                    ("prog", Value::U64(i as u64)),
+                    ("label", Value::String(s.label.clone())),
+                    ("offered", Value::U64(s.load.offered())),
+                    ("submitted", Value::U64(s.load.submitted)),
+                    ("shed", Value::U64(s.load.shed)),
+                    ("fenced", Value::U64(s.load.fenced)),
+                    ("admitted", Value::U64(s.admitted)),
+                    ("request_p50_us", q(0.5)),
+                    ("request_p99_us", q(0.99)),
+                    ("request_p999_us", q(0.999)),
+                ])
+            })
+            .collect();
+        sweep.push(obj(vec![
+            ("t_sleep_ms", Value::U64(ts_ms)),
+            ("coordinator_period_ms", Value::U64(cp_ms)),
+            ("throughput_req_per_s", Value::F64(throughput)),
+            ("per_program", Value::Array(per_program)),
+        ]));
+    }
+
+    // Tracing overhead at the first sweep point, off/on alternated.
+    let (ts, cp) =
+        (Duration::from_millis(SERVE_SWEEP[0].0), Duration::from_millis(SERVE_SWEEP[0].1));
+    let mut off_best: Option<Duration> = None;
+    let mut on_best: Option<Duration> = None;
+    for rep in 0..sp.reps {
+        let (off, _) = serve_corun(sp, ts, cp, false);
+        eprintln!("rep {rep}: tracing off {:.1} ms", off.as_secs_f64() * 1e3);
+        if off_best.is_none_or(|b| off < b) {
+            off_best = Some(off);
+        }
+        let (on, _) = serve_corun(sp, ts, cp, true);
+        eprintln!("rep {rep}: tracing on  {:.1} ms", on.as_secs_f64() * 1e3);
+        if on_best.is_none_or(|b| on < b) {
+            on_best = Some(on);
+        }
+    }
+    let off_makespan = off_best.expect("reps > 0");
+    let on_makespan = on_best.expect("reps > 0");
+    let overhead_pct = (on_makespan.as_secs_f64() - off_makespan.as_secs_f64())
+        / off_makespan.as_secs_f64()
+        * 100.0;
+    let within_budget = overhead_pct <= TRACE_BUDGET_PCT;
+
+    let doc = obj(vec![
+        ("bench", Value::String("serving-tail".into())),
+        ("schema_version", Value::U64(BENCH_SCHEMA_VERSION)),
+        ("pr", Value::U64(7)),
+        (
+            "config",
+            obj(vec![
+                ("cores", Value::U64(sp.cores as u64)),
+                ("rate_per_sec", Value::F64(sp.rate_per_sec)),
+                ("burstiness", Value::F64(sp.burstiness)),
+                ("demand_min_us", Value::F64(sp.demand_min_us)),
+                ("demand_max_us", Value::F64(sp.demand_max_us)),
+                ("demand_alpha", Value::F64(sp.demand_alpha)),
+                ("duration_ms", Value::U64(sp.duration.as_millis() as u64)),
+                ("ring_capacity", Value::U64(sp.ring_capacity as u64)),
+                ("drain_batch", Value::U64(sp.drain_batch as u64)),
+                ("reps", Value::U64(sp.reps as u64)),
+                ("seed", Value::U64(sp.seed)),
+                ("fast", Value::Bool(sp.fast)),
+            ]),
+        ),
+        (
+            "results",
+            obj(vec![
+                ("sweep", Value::Array(sweep)),
+                (
+                    "trace_overhead",
+                    obj(vec![
+                        ("makespan_off_ms", ms(off_makespan)),
+                        ("makespan_on_ms", ms(on_makespan)),
+                        ("overhead_pct", Value::F64(overhead_pct)),
+                        ("budget_pct", Value::F64(TRACE_BUDGET_PCT)),
+                        ("within_budget", Value::Bool(within_budget)),
+                    ]),
+                ),
+            ]),
+        ),
+    ]);
+
+    if let Err(errors) = validate_bench7_value(&doc) {
+        eprintln!("generated document fails its own schema: {errors:?}");
+        std::process::exit(1);
+    }
+    let text = serde_json::to_string(&doc).expect("serialize bench document");
+    std::fs::write(out, format!("{text}\n")).expect("write bench document");
+    println!(
+        "wrote {out}: {} sweep point(s), tracing off {:.1} ms → on {:.1} ms \
+         ({overhead_pct:+.2}%, budget {TRACE_BUDGET_PCT}%, within_budget={within_budget})",
+        SERVE_SWEEP.len(),
+        off_makespan.as_secs_f64() * 1e3,
+        on_makespan.as_secs_f64() * 1e3,
+    );
+    if !within_budget {
+        eprintln!("tracing overhead {overhead_pct:+.2}% exceeds the {TRACE_BUDGET_PCT}% budget");
+        // The fast smoke run is a schema/plumbing check on noisy shared
+        // runners, not a measurement — only the full run enforces the gate.
+        if !sp.fast {
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Picks the validator by the document's own `bench` field — the same
 /// dispatch `--check` uses for a single file.
 fn validate_by_kind(doc: &Value) -> Result<(), Vec<String>> {
     match doc["bench"].as_str() {
         Some("batched-stealing") => validate_bench5_value(doc),
         Some("task-trace") => validate_bench6_value(doc),
+        Some("serving-tail") => validate_bench7_value(doc),
         _ => validate_bench_value(doc),
     }
 }
@@ -494,6 +745,7 @@ fn run_summary(dir: &str) {
     found.sort();
     let (lo, hi) = (found[0].0, found[found.len() - 1].0);
     let mut invalid = 0usize;
+    let mut validated: Vec<String> = Vec::new();
     for n in lo..=hi {
         let Some((_, path)) = found.iter().find(|(m, _)| *m == n) else {
             println!("BENCH_{n}.json  absent — gap tolerated (that PR emitted no bench document)");
@@ -510,7 +762,10 @@ fn run_summary(dir: &str) {
         };
         let kind = doc["bench"].as_str().unwrap_or("?").to_string();
         match validate_by_kind(&doc) {
-            Ok(()) => println!("BENCH_{n}.json  {kind}: valid"),
+            Ok(()) => {
+                println!("BENCH_{n}.json  {kind}: valid");
+                validated.push(format!("BENCH_{n} ({kind})"));
+            }
             Err(errors) => {
                 println!("BENCH_{n}.json  {kind}: INVALID ({} problem(s))", errors.len());
                 for e in &errors {
@@ -526,8 +781,8 @@ fn run_summary(dir: &str) {
         std::process::exit(1);
     }
     println!(
-        "trajectory: {} document(s), {} gap(s), all present documents valid",
-        found.len(),
+        "trajectory: validated {} — {} gap(s), all present documents valid",
+        validated.join(", "),
         gaps
     );
 }
@@ -537,6 +792,7 @@ fn main() {
     let mut fast = false;
     let mut batching = false;
     let mut task_trace = false;
+    let mut serving = false;
     let mut summary: Option<String> = None;
     let mut cores: Option<usize> = None;
     let mut reps: Option<usize> = None;
@@ -549,6 +805,7 @@ fn main() {
             "--fast" => fast = true,
             "--batching" => batching = true,
             "--task-trace" => task_trace = true,
+            "--serving" => serving = true,
             "--summary" => {
                 // Optional DIR operand: consume the next arg unless it
                 // is another flag.
@@ -591,9 +848,9 @@ fn main() {
             }
             other => {
                 panic!(
-                    "unknown flag {other}; known: --batching --task-trace --fast \
-                     --cores N --reps N --batch-limit N --out PATH --check PATH \
-                     --summary [DIR]"
+                    "unknown flag {other}; known: --batching --task-trace --serving \
+                     --fast --cores N --reps N --batch-limit N --out PATH \
+                     --check PATH --summary [DIR]"
                 )
             }
         }
@@ -624,7 +881,60 @@ fn main() {
         }
     }
 
-    assert!(!(batching && task_trace), "--batching and --task-trace are mutually exclusive");
+    assert!(
+        usize::from(batching) + usize::from(task_trace) + usize::from(serving) <= 1,
+        "--batching, --task-trace and --serving are mutually exclusive"
+    );
+    if serving {
+        // Bursty open-loop load: calm stretches punctuated by 4× bursts,
+        // bounded-Pareto demands (~130 µs mean, heavy right tail). The
+        // long-run offered load sits well under capacity — the tail the
+        // sweep measures comes from the bursts, not saturation.
+        let mut sp = if fast {
+            ServeParams {
+                cores: 4,
+                rate_per_sec: 1_000.0,
+                burstiness: 4.0,
+                demand_min_us: 50.0,
+                demand_max_us: 1_000.0,
+                demand_alpha: 1.5,
+                duration: Duration::from_millis(200),
+                ring_capacity: 1024,
+                drain_batch: 256,
+                seed: 7,
+                reps: 2,
+                fast,
+            }
+        } else {
+            ServeParams {
+                cores: 4,
+                rate_per_sec: 3_000.0,
+                burstiness: 4.0,
+                demand_min_us: 50.0,
+                demand_max_us: 2_000.0,
+                demand_alpha: 1.5,
+                duration: Duration::from_millis(500),
+                ring_capacity: 1024,
+                drain_batch: 256,
+                seed: 7,
+                reps: 3,
+                fast,
+            }
+        };
+        if let Some(n) = cores {
+            assert!(n >= 2, "--cores: need at least one core per program");
+            sp.cores = n;
+        }
+        if let Some(n) = reps {
+            assert!(n >= 1, "--reps: need at least one repetition");
+            sp.reps = n;
+        }
+        // Warm-up (untimed): thread spawning, first-touch, ring paging.
+        let warmup = ServeParams { duration: Duration::from_millis(50), ..sp.clone() };
+        serve_corun(&warmup, Duration::from_millis(1), Duration::from_millis(1), false);
+        run_serving(&sp, &out.unwrap_or_else(|| "BENCH_7.json".into()));
+        return;
+    }
     let mut p = if batching {
         // Flat steal-bound workload (see `Params::fan`): `fib_n` is the
         // *sequential* grain here (~µs per task), `iters` the rounds.

@@ -1,8 +1,9 @@
 //! Support crate for the Criterion benchmark targets (see `benches/`) and
 //! the `bench-trajectory` driver that emits `BENCH_3.json` (telemetry
 //! overhead), `BENCH_5.json` with `--batching` (batched-stealing off/on
-//! comparison), and `BENCH_6.json` with `--task-trace` (task-lifecycle
-//! tracing overhead + sojourn percentiles) at the repo root. The
+//! comparison), `BENCH_6.json` with `--task-trace` (task-lifecycle
+//! tracing overhead + sojourn percentiles), and `BENCH_7.json` with
+//! `--serving` (open-loop serving tail latency) at the repo root. The
 //! benchmarks regenerate the paper's figures and measure the runtime
 //! substrates; run them with `cargo bench --workspace`.
 
@@ -268,6 +269,141 @@ pub fn validate_bench6_value(doc: &Value) -> Result<(), Vec<String>> {
     }
 }
 
+/// Validates a parsed `BENCH_7.json` document against the schema the
+/// `bench-trajectory --serving` mode emits: identification header, the
+/// open-loop workload configuration (bursty MMPP arrivals ×
+/// bounded-Pareto demands), a T_SLEEP × coordinator-period sweep with
+/// per-program end-to-end request-sojourn percentiles, and the tracing
+/// off/on overhead delta against its budget. Returns every violation
+/// found, not just the first.
+pub fn validate_bench7_value(doc: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let e = &mut errors;
+
+    require(doc["bench"].as_str() == Some("serving-tail"), e, "bench name mismatch");
+    require(
+        doc["schema_version"].as_u64() == Some(BENCH_SCHEMA_VERSION),
+        e,
+        "schema_version mismatch",
+    );
+    require(doc["pr"].as_u64() == Some(7), e, "pr must be 7");
+
+    let cfg = &doc["config"];
+    for key in ["cores", "duration_ms", "ring_capacity", "drain_batch", "reps", "seed"] {
+        require(is_int(&cfg[key]), e, &format!("config.{key} must be an integer"));
+    }
+    for key in ["rate_per_sec", "burstiness", "demand_min_us", "demand_max_us", "demand_alpha"] {
+        require(is_num(&cfg[key]), e, &format!("config.{key} must be numeric"));
+    }
+    require(matches!(cfg["fast"], Value::Bool(_)), e, "config.fast must be a bool");
+
+    let r = &doc["results"];
+    match &r["sweep"] {
+        Value::Array(points) if !points.is_empty() => {
+            for (i, pt) in points.iter().enumerate() {
+                for key in ["t_sleep_ms", "coordinator_period_ms"] {
+                    require(is_int(&pt[key]), e, &format!("sweep[{i}].{key} must be an integer"));
+                }
+                require(
+                    is_num(&pt["throughput_req_per_s"]),
+                    e,
+                    &format!("sweep[{i}].throughput_req_per_s must be numeric"),
+                );
+                match &pt["per_program"] {
+                    Value::Array(progs) if !progs.is_empty() => {
+                        for (j, p) in progs.iter().enumerate() {
+                            let at = format!("sweep[{i}].per_program[{j}]");
+                            require(p["label"].as_str().is_some(), e, &format!("{at}.label"));
+                            for key in [
+                                "prog",
+                                "offered",
+                                "submitted",
+                                "shed",
+                                "fenced",
+                                "admitted",
+                                "request_p50_us",
+                                "request_p99_us",
+                                "request_p999_us",
+                            ] {
+                                require(
+                                    is_int(&p[key]),
+                                    e,
+                                    &format!("{at}.{key} must be an integer"),
+                                );
+                            }
+                            // An open-loop generator accounts for every
+                            // arrival exactly once, and the coordinator
+                            // can only admit what the ring accepted.
+                            if let (Some(off), Some(sub), Some(shed), Some(fen)) = (
+                                p["offered"].as_u64(),
+                                p["submitted"].as_u64(),
+                                p["shed"].as_u64(),
+                                p["fenced"].as_u64(),
+                            ) {
+                                require(
+                                    off == sub + shed + fen,
+                                    e,
+                                    &format!("{at}: offered must equal submitted+shed+fenced"),
+                                );
+                            }
+                            if let (Some(adm), Some(sub)) =
+                                (p["admitted"].as_u64(), p["submitted"].as_u64())
+                            {
+                                require(
+                                    adm <= sub,
+                                    e,
+                                    &format!("{at}: admitted must be <= submitted"),
+                                );
+                            }
+                            // Quantiles of one distribution cannot invert.
+                            if let (Some(p50), Some(p99), Some(p999)) = (
+                                p["request_p50_us"].as_u64(),
+                                p["request_p99_us"].as_u64(),
+                                p["request_p999_us"].as_u64(),
+                            ) {
+                                require(
+                                    p50 <= p99 && p99 <= p999,
+                                    e,
+                                    &format!("{at}: request quantiles must be monotone"),
+                                );
+                            }
+                        }
+                    }
+                    _ => e.push(format!("sweep[{i}].per_program must be a non-empty array")),
+                }
+            }
+        }
+        _ => e.push("results.sweep must be a non-empty array".to_string()),
+    }
+
+    let t = &r["trace_overhead"];
+    for key in ["makespan_off_ms", "makespan_on_ms", "overhead_pct", "budget_pct"] {
+        require(is_num(&t[key]), e, &format!("results.trace_overhead.{key} must be numeric"));
+    }
+    require(
+        matches!(t["within_budget"], Value::Bool(_)),
+        e,
+        "results.trace_overhead.within_budget must be a bool",
+    );
+    // Internal consistency: the verdict must agree with the numbers it
+    // claims to summarize.
+    if let (Some(overhead), Some(budget), Value::Bool(within)) =
+        (num(&t["overhead_pct"]), num(&t["budget_pct"]), &t["within_budget"])
+    {
+        require(
+            *within == (overhead <= budget),
+            e,
+            "results.trace_overhead.within_budget disagrees with overhead_pct vs budget_pct",
+        );
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 fn num(v: &Value) -> Option<f64> {
     match *v {
         Value::U64(n) => Some(n as f64),
@@ -461,6 +597,106 @@ mod tests {
         // judges the verdict, not the validator).
         set(&mut doc, &["results", "within_budget"], Value::Bool(false));
         assert_eq!(validate_bench6_value(&doc), Ok(()));
+    }
+
+    fn valid_bench7_doc() -> Value {
+        serde_json::from_str(
+            r#"{
+              "bench": "serving-tail",
+              "schema_version": 1,
+              "pr": 7,
+              "config": {"cores": 4, "rate_per_sec": 3000.0, "burstiness": 4.0,
+                         "demand_min_us": 50.0, "demand_max_us": 2000.0,
+                         "demand_alpha": 1.5, "duration_ms": 300,
+                         "ring_capacity": 1024, "drain_batch": 256,
+                         "reps": 2, "seed": 7, "fast": false},
+              "results": {
+                "sweep": [
+                  {"t_sleep_ms": 1, "coordinator_period_ms": 1,
+                   "throughput_req_per_s": 2950.0,
+                   "per_program": [
+                     {"prog": 0, "label": "p0", "offered": 900, "submitted": 880,
+                      "shed": 20, "fenced": 0, "admitted": 880,
+                      "request_p50_us": 400, "request_p99_us": 9000,
+                      "request_p999_us": 30000}
+                   ]}
+                ],
+                "trace_overhead": {"makespan_off_ms": 310.0, "makespan_on_ms": 314.0,
+                                   "overhead_pct": 1.3, "budget_pct": 3.0,
+                                   "within_budget": true}
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_bench7_document_passes() {
+        assert_eq!(validate_bench7_value(&valid_bench7_doc()), Ok(()));
+    }
+
+    #[test]
+    fn bench7_rejects_other_schemas_and_vice_versa() {
+        assert!(validate_bench7_value(&valid_doc()).is_err());
+        assert!(validate_bench7_value(&valid_bench6_doc()).is_err());
+        assert!(validate_bench_value(&valid_bench7_doc()).is_err());
+        assert!(validate_bench6_value(&valid_bench7_doc()).is_err());
+    }
+
+    fn set_bench7_prog(doc: &mut Value, key: &str, v: Value) {
+        let Value::Object(pairs) = doc else { panic!("not an object") };
+        let results = &mut pairs.iter_mut().find(|(k, _)| k == "results").unwrap().1;
+        let Value::Object(pairs) = results else { panic!() };
+        let sweep = &mut pairs.iter_mut().find(|(k, _)| k == "sweep").unwrap().1;
+        let Value::Array(points) = sweep else { panic!() };
+        let Value::Object(pairs) = &mut points[0] else { panic!() };
+        let progs = &mut pairs.iter_mut().find(|(k, _)| k == "per_program").unwrap().1;
+        let Value::Array(progs) = progs else { panic!() };
+        set(&mut progs[0], &[key], v);
+    }
+
+    #[test]
+    fn bench7_arrival_accounting_must_balance() {
+        let mut doc = valid_bench7_doc();
+        set_bench7_prog(&mut doc, "shed", Value::U64(999));
+        let errs = validate_bench7_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("submitted+shed+fenced")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench7_admitted_beyond_submitted_fails() {
+        let mut doc = valid_bench7_doc();
+        set_bench7_prog(&mut doc, "admitted", Value::U64(881));
+        let errs = validate_bench7_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("admitted must be <=")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench7_inverted_request_quantiles_fail() {
+        let mut doc = valid_bench7_doc();
+        set_bench7_prog(&mut doc, "request_p999_us", Value::U64(10));
+        let errs = validate_bench7_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("monotone")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench7_budget_verdict_must_match_the_numbers() {
+        let mut doc = valid_bench7_doc();
+        set(&mut doc, &["results", "trace_overhead", "overhead_pct"], Value::F64(4.2));
+        let errs = validate_bench7_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("within_budget")), "{errs:?}");
+        // An honest over-budget document is schema-valid (the CI gate
+        // judges the verdict, not the validator).
+        set(&mut doc, &["results", "trace_overhead", "within_budget"], Value::Bool(false));
+        assert_eq!(validate_bench7_value(&doc), Ok(()));
+    }
+
+    #[test]
+    fn bench7_empty_sweep_fails() {
+        let mut doc = valid_bench7_doc();
+        set(&mut doc, &["results", "sweep"], Value::Array(vec![]));
+        let errs = validate_bench7_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("sweep")), "{errs:?}");
     }
 
     #[test]

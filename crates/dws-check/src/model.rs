@@ -62,6 +62,15 @@ pub enum Bug {
     /// protocol stays clean; W1 is the only rule that notices.
     /// Implies the crash scenario.
     ReapStrand,
+    /// The coordinator's submission-ring drain silently drops the last
+    /// request of a multi-request chunk: popped from the ring, never
+    /// admitted into the queue, completion counter reconciled — the
+    /// serving-path analogue of [`Bug::LostBatch`]. Every table
+    /// transition stays legal and the run settles cleanly; only the
+    /// oracle's admission ledger ("every submitted request is
+    /// admitted, every admitted request reaches exactly-once exec")
+    /// catches it. Implies the serving scenario.
+    DroppedSubmit,
 }
 
 /// Shape and timing of one model instance. All times are virtual
@@ -99,6 +108,19 @@ pub struct ModelConfig {
     /// co-runners (the model analogue of the heartbeat staleness
     /// window).
     pub lease_timeout_ns: u64,
+    /// External requests each program's client submits through the
+    /// model submission ring (`submits.len() == programs`; all zeros =
+    /// no serving, and the serving machinery adds *no* scheduler
+    /// operations, keeping non-serving schedule spaces — and every
+    /// pinned seed — identical to the pre-serving model).
+    pub submits: Vec<usize>,
+    /// Capacity of the model submission ring (a full ring makes the
+    /// client retry; the model is closed-loop so every scheduled
+    /// request eventually enters).
+    pub ring_capacity: usize,
+    /// Most requests one coordinator drain chunk may move (mirrors the
+    /// runtime's `ServeConfig::drain_batch`).
+    pub drain_batch: usize,
     /// Seeded protocol mutation, if any.
     pub bug: Option<Bug>,
 }
@@ -119,6 +141,9 @@ impl ModelConfig {
             crash: None,
             crash_at_ns: 0,
             lease_timeout_ns: 40_000,
+            submits: vec![0, 0],
+            ring_capacity: 4,
+            drain_batch: 2,
             bug: None,
         }
     }
@@ -138,6 +163,9 @@ impl ModelConfig {
             crash: None,
             crash_at_ns: 0,
             lease_timeout_ns: 40_000,
+            submits: vec![0, 0],
+            ring_capacity: 4,
+            drain_batch: 2,
             bug: None,
         }
     }
@@ -155,6 +183,27 @@ impl ModelConfig {
             crash_at_ns: 60_000,
             ..ModelConfig::standard()
         }
+    }
+
+    /// The serving instance: the standard 2-program/4-core shape with
+    /// program 0 also serving external requests through the model
+    /// submission ring (client → ring → coordinator drain → queue →
+    /// exec). The small ring and 2-request drain chunks exercise both
+    /// the client's full-ring retry and multi-request drains — the
+    /// chunk shape [`Bug::DroppedSubmit`] needs to fire.
+    pub fn serving() -> Self {
+        ModelConfig {
+            submits: vec![4, 0],
+            ring_capacity: 3,
+            drain_batch: 2,
+            coord_ticks: 8,
+            ..ModelConfig::standard()
+        }
+    }
+
+    /// Whether any program serves external requests.
+    pub fn is_serving(&self) -> bool {
+        self.submits.iter().any(|&s| s > 0)
     }
 
     /// Returns this config with a seeded bug.
@@ -413,6 +462,15 @@ struct Shared {
     /// the shim leaves the schedule space — and every seeded schedule —
     /// byte-identical to the pre-identity model.
     task_cursor: Vec<std::sync::atomic::AtomicU64>,
+    /// Occupancy of each program's model submission ring (the count is
+    /// the whole abstraction: identities flow through the cursors, FIFO
+    /// order is implied). Only touched when the config serves, so
+    /// non-serving schedule spaces are unchanged.
+    ring: Vec<AtomicUsize>,
+    /// Next request id the coordinator's drain will admit, offset past
+    /// the initial tasks. A *std* atomic for the same reason as
+    /// `task_cursor`: only the (single) coordinator advances it.
+    admit_cursor: Vec<std::sync::atomic::AtomicU64>,
     sleepers: Vec<Vec<ModelSleeper>>,
     awake: Vec<Vec<AtomicBool>>,
     /// SIGKILL delivered to the program: its threads exit at the next
@@ -428,9 +486,10 @@ struct Shared {
 }
 
 impl Shared {
-    /// Threads each program runs: one worker per core + the coordinator.
-    fn threads_per_prog(&self) -> usize {
-        self.cfg.cores + 1
+    /// Threads `prog` runs: one worker per core + the coordinator, plus
+    /// a client when the program serves external requests.
+    fn threads_of(&self, prog: usize) -> usize {
+        self.cfg.cores + 1 + usize::from(self.cfg.submits[prog] > 0)
     }
 
     /// Is `prog` confirmed dead — SIGKILLed *and* fully exited? With
@@ -441,7 +500,7 @@ impl Shared {
             return true;
         }
         self.dead[prog].load(Ordering::SeqCst)
-            && self.exited[prog].load(Ordering::SeqCst) == self.threads_per_prog()
+            && self.exited[prog].load(Ordering::SeqCst) == self.threads_of(prog)
     }
 }
 
@@ -562,6 +621,70 @@ fn worker_loop(sh: &Shared, prog: usize, core: usize) {
     }
 }
 
+/// The serving program's client: pushes `submits[prog]` requests into
+/// the model submission ring, retrying (closed-loop) while the ring is
+/// full so every scheduled request eventually enters. The `Submit` log
+/// is adjacent to the winning CAS (no yield point between), so the
+/// oracle always sees a request submitted before it is admitted.
+/// Request ids extend the program's task id space past its initial
+/// tasks — the same W1/W2 ledger then covers them end to end.
+fn client_loop(sh: &Shared, prog: usize) {
+    let offset = sh.cfg.tasks[prog] as u64;
+    let cap = sh.cfg.ring_capacity.max(1);
+    let mut next = 0usize;
+    while next < sh.cfg.submits[prog] {
+        if sh.dead[prog].load(Ordering::SeqCst) {
+            // SIGKILL: unsent requests die with the program (and the
+            // oracle's crash exemption covers whatever was ringed).
+            return;
+        }
+        let n = sh.ring[prog].load(Ordering::SeqCst);
+        if n >= cap {
+            yield_now();
+            continue;
+        }
+        if sh.ring[prog].compare_exchange(n, n + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            sh.table.log_event(ProtoEvent::Submit { prog, id: offset + next as u64 });
+            next += 1;
+        }
+    }
+}
+
+/// The coordinator's drain pass: empties the submission ring in chunks
+/// of at most `drain_batch`, logging an `Admit` for each request and
+/// handing it to the program queue. Mirrors the runtime's
+/// `drain_submissions` (reserve a chunk by CAS, then admit its
+/// requests). Under [`Bug::DroppedSubmit`] the last request of a
+/// multi-request chunk is popped but never admitted — its completion
+/// counter is reconciled so the run still settles cleanly, leaving only
+/// the oracle's admission ledger to notice.
+fn drain_ring(sh: &Shared, prog: usize) {
+    let batch = sh.cfg.drain_batch.max(1);
+    loop {
+        let n = sh.ring[prog].load(Ordering::SeqCst);
+        if n == 0 {
+            return;
+        }
+        let k = n.min(batch);
+        if sh.ring[prog].compare_exchange(n, n - k, Ordering::SeqCst, Ordering::SeqCst).is_err() {
+            continue;
+        }
+        let offset = sh.cfg.tasks[prog] as u64;
+        for i in 0..k {
+            if sh.cfg.bug == Some(Bug::DroppedSubmit) && k > 1 && i == k - 1 {
+                sh.prog_remaining[prog].fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            let id = offset + sh.admit_cursor[prog].fetch_add(1, Ordering::SeqCst);
+            // Admit is logged before the queue increment that makes the
+            // request claimable, so the ledger registers the identity
+            // before any worker can execute it.
+            sh.table.log_event(ProtoEvent::Admit { prog, id });
+            sh.queued[prog].fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
 fn coordinator_loop(sh: &Shared, prog: usize) {
     let period = sh.cfg.coord_period_ns.max(1);
     for _ in 0..sh.cfg.coord_ticks {
@@ -579,6 +702,13 @@ fn coordinator_loop(sh: &Shared, prog: usize) {
             || sh.prog_remaining[prog].load(Ordering::SeqCst) == 0
         {
             return;
+        }
+        // Drain ringed submissions into the queue before the snapshot,
+        // as the runtime coordinator does — admitted requests count in
+        // N_b on the very tick that admits them. Gated on the config
+        // (not the ring) so non-serving runs add no scheduler ops.
+        if sh.cfg.submits[prog] > 0 {
+            drain_ring(sh, prog);
         }
         // Snapshot — racy by design, like the runtime coordinator's.
         preempt_point("coord-snapshot");
@@ -676,6 +806,7 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
     assert!(cfg.programs >= 1, "need at least one program");
     assert!(cfg.cores >= cfg.programs, "need at least one core per program");
     assert_eq!(cfg.tasks.len(), cfg.programs, "tasks.len() must equal programs");
+    assert_eq!(cfg.submits.len(), cfg.programs, "submits.len() must equal programs");
     if let Some(v) = cfg.crash {
         assert!(v < cfg.programs, "crash victim out of range");
         assert!(cfg.programs >= 2, "crash scenario needs a survivor");
@@ -685,8 +816,17 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
         home: home.clone(),
         table: ModelTable::new(home.clone(), cfg.bug),
         queued: cfg.tasks.iter().map(|&t| AtomicUsize::new(t)).collect(),
-        prog_remaining: cfg.tasks.iter().map(|&t| AtomicUsize::new(t)).collect(),
+        // A program is done when its initial tasks AND every request its
+        // client will ever submit have executed.
+        prog_remaining: cfg
+            .tasks
+            .iter()
+            .zip(&cfg.submits)
+            .map(|(&t, &s)| AtomicUsize::new(t + s))
+            .collect(),
         task_cursor: (0..cfg.programs).map(|_| std::sync::atomic::AtomicU64::new(0)).collect(),
+        ring: (0..cfg.programs).map(|_| AtomicUsize::new(0)).collect(),
+        admit_cursor: (0..cfg.programs).map(|_| std::sync::atomic::AtomicU64::new(0)).collect(),
         sleepers: (0..cfg.programs)
             .map(|_| (0..cfg.cores).map(|_| ModelSleeper::new()).collect())
             .collect(),
@@ -719,6 +859,13 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
             coordinator_loop(&sh2, p);
             sh2.exited[p].fetch_add(1, Ordering::SeqCst);
         });
+        if cfg.submits[p] > 0 {
+            let sh2 = Arc::clone(&sh);
+            env.spawn(&format!("client{p}"), move || {
+                client_loop(&sh2, p);
+                sh2.exited[p].fetch_add(1, Ordering::SeqCst);
+            });
+        }
     }
     if let Some(victim) = cfg.crash {
         let crash_at = Duration::from_nanos(cfg.crash_at_ns.max(1));
@@ -853,6 +1000,18 @@ mod tests {
         let q = AtomicUsize::new(7);
         assert_eq!(take_batch(&q, 2, Some(Bug::OverSteal)), Some((7, 7)));
         assert_eq!(q.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn serving_config_serves_and_default_configs_do_not() {
+        let cfg = ModelConfig::serving();
+        assert!(cfg.is_serving());
+        assert_eq!(cfg.submits, vec![4, 0]);
+        assert!(cfg.ring_capacity < cfg.submits[0], "full-ring retry path is reachable");
+        assert!(cfg.drain_batch >= 2, "multi-request drain chunks are reachable");
+        assert!(!ModelConfig::standard().is_serving());
+        assert!(!ModelConfig::small().is_serving());
+        assert!(!ModelConfig::crash().is_serving());
     }
 
     #[test]

@@ -24,6 +24,20 @@
 //! * **W1** — every spawned task eventually executes (crash victims
 //!   exempted: their tasks legitimately die with them). Checked by
 //!   [`Oracle::finish`] once the run has settled cleanly.
+//!
+//! Serving-mode admission rules (the model analogue of the submission
+//! ring's submit → drain → exec path, DESIGN §13):
+//!
+//! * an `Admit` is only legal for a request that was `Submit`ted, and
+//!   each request is admitted at most once (the ring is exactly-once
+//!   between client and coordinator);
+//! * admission registers the request in the task ledger, so W2 guards
+//!   its execution inline and W1 demands it executes — *every admitted
+//!   request reaches exactly-once exec*;
+//! * at [`Oracle::finish`], every submitted request of a surviving
+//!   program must have been admitted — a drain that drops a ringed
+//!   request on the floor is caught here even when every completion
+//!   counter reconciles.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -107,6 +121,25 @@ pub enum ProtoEvent {
         /// Per-program task sequence number.
         id: u64,
     },
+    /// A client of program `prog` pushed request `id` into the
+    /// program's submission ring (the model analogue of the runtime's
+    /// `SubmitRing` push). Request ids share the task id space, offset
+    /// past the initial tasks, so the same W1/W2 ledger covers them.
+    Submit {
+        /// Serving program.
+        prog: usize,
+        /// Request id (shared task-id space).
+        id: u64,
+    },
+    /// The coordinator of program `prog` drained request `id` from the
+    /// submission ring into the task queue (the model analogue of the
+    /// runtime's `Admit` lifecycle event).
+    Admit {
+        /// Serving program.
+        prog: usize,
+        /// Request id (shared task-id space).
+        id: u64,
+    },
     /// A reaper fenced the lease of dead program `prog` (stale
     /// heartbeat + death confirmed).
     Expired {
@@ -139,6 +172,8 @@ impl fmt::Display for ProtoEvent {
             }
             ProtoEvent::TaskSpawn { prog, id } => write!(f, "spawn    prog={prog} task={id}"),
             ProtoEvent::TaskExec { prog, id } => write!(f, "exec     prog={prog} task={id}"),
+            ProtoEvent::Submit { prog, id } => write!(f, "submit   prog={prog} req={id}"),
+            ProtoEvent::Admit { prog, id } => write!(f, "admit    prog={prog} req={id}"),
             ProtoEvent::Expired { prog } => write!(f, "expired  prog={prog}"),
             ProtoEvent::Reap { prog, core } => write!(f, "reap     prog={prog} core={core}"),
         }
@@ -179,6 +214,10 @@ pub struct OracleStats {
     pub task_spawns: usize,
     /// Number of `TaskExec` events.
     pub task_execs: usize,
+    /// Number of `Submit` events.
+    pub submits: usize,
+    /// Number of `Admit` events.
+    pub admits: usize,
 }
 
 /// Replays a trace against the ownership rules, starting (like the
@@ -191,6 +230,8 @@ pub struct Oracle {
     expired: HashSet<usize>,
     spawned: HashSet<(usize, u64)>,
     executed: HashSet<(usize, u64)>,
+    submitted: HashSet<(usize, u64)>,
+    admitted: HashSet<(usize, u64)>,
     next_index: usize,
     /// Counts of table transitions replayed so far.
     pub stats: OracleStats,
@@ -206,6 +247,8 @@ impl Oracle {
             expired: HashSet::new(),
             spawned: HashSet::new(),
             executed: HashSet::new(),
+            submitted: HashSet::new(),
+            admitted: HashSet::new(),
             next_index: 0,
             stats: OracleStats::default(),
         }
@@ -223,7 +266,9 @@ impl Oracle {
         let fail = |reason: String| Err(Violation { index, event, reason });
         if let ProtoEvent::Acquire { prog, .. }
         | ProtoEvent::Reclaim { prog, .. }
-        | ProtoEvent::Release { prog, .. } = event
+        | ProtoEvent::Release { prog, .. }
+        | ProtoEvent::Submit { prog, .. }
+        | ProtoEvent::Admit { prog, .. } = event
         {
             if self.expired.contains(&prog) {
                 return fail(format!("table transition by expired prog {prog}"));
@@ -344,17 +389,64 @@ impl Oracle {
                 }
                 self.stats.task_execs += 1;
             }
+            ProtoEvent::Submit { prog, id } => {
+                if !self.submitted.insert((prog, id)) {
+                    return fail(format!("request p{prog}/r{id} submitted twice"));
+                }
+                self.stats.submits += 1;
+            }
+            ProtoEvent::Admit { prog, id } => {
+                if !self.submitted.contains(&(prog, id)) {
+                    return fail(format!(
+                        "admit of request p{prog}/r{id} which was never submitted"
+                    ));
+                }
+                if !self.admitted.insert((prog, id)) {
+                    return fail(format!("request p{prog}/r{id} admitted twice"));
+                }
+                // Admission registers the request in the task ledger:
+                // from here W2 guards its execution inline and W1
+                // demands exactly-once exec at finish.
+                if !self.spawned.insert((prog, id)) {
+                    return fail(format!(
+                        "admitted request p{prog}/r{id} collides with an existing task id"
+                    ));
+                }
+                self.stats.admits += 1;
+            }
             ProtoEvent::Sleep { .. } | ProtoEvent::Wake { .. } | ProtoEvent::CoordTick { .. } => {}
         }
         Ok(())
     }
 
-    /// End-of-run W1 check: every spawned task of every surviving
-    /// program must have executed. Tasks of the crash victim (if any)
-    /// are exempt — they die with it, whether still queued or reserved
-    /// mid-batch. Call only after a *clean* settle; a run that deadlocks
-    /// or blows its step budget legitimately leaves tasks behind.
+    /// End-of-run identity checks. Admission first: every submitted
+    /// request of a surviving program must have been admitted — a drain
+    /// that drops a ringed request is caught here even when every
+    /// completion counter reconciles. Then W1: every spawned task (and
+    /// every admitted request, which admission registered in the same
+    /// ledger) must have executed. Tasks of the crash victim (if any)
+    /// are exempt — they die with it, whether still queued, ringed or
+    /// reserved mid-batch. Call only after a *clean* settle; a run that
+    /// deadlocks or blows its step budget legitimately leaves tasks
+    /// behind.
     pub fn finish(&self, crashed: Option<usize>) -> Result<(), String> {
+        let mut lost: Vec<(usize, u64)> = self
+            .submitted
+            .iter()
+            .filter(|&&(p, _)| crashed != Some(p))
+            .filter(|k| !self.admitted.contains(k))
+            .copied()
+            .collect();
+        if !lost.is_empty() {
+            lost.sort_unstable();
+            let examples: Vec<String> =
+                lost.iter().take(4).map(|(p, r)| format!("p{p}/r{r}")).collect();
+            return Err(format!(
+                "admission lost: {} submitted request(s) never admitted (e.g. {})",
+                lost.len(),
+                examples.join(", ")
+            ));
+        }
         let mut missing: Vec<(usize, u64)> = self
             .spawned
             .iter()
@@ -571,6 +663,121 @@ mod tests {
             Oracle::replay(&HOME, &[TaskSpawn { prog: 1, id: 2 }, TaskSpawn { prog: 1, id: 2 }])
                 .unwrap_err();
         assert!(v.reason.contains("spawned twice"), "{}", v.reason);
+    }
+
+    #[test]
+    fn admitted_request_lifecycle_replays_clean_through_the_w1_ledger() {
+        use ProtoEvent::*;
+        // Program 0 starts with two tasks (ids 0–1); requests extend the
+        // same id space.
+        let trace = [
+            TaskSpawn { prog: 0, id: 0 },
+            TaskSpawn { prog: 0, id: 1 },
+            Submit { prog: 0, id: 2 },
+            Submit { prog: 0, id: 3 },
+            Admit { prog: 0, id: 2 },
+            TaskExec { prog: 0, id: 0 },
+            TaskExec { prog: 0, id: 2 },
+            Admit { prog: 0, id: 3 },
+            TaskExec { prog: 0, id: 1 },
+            TaskExec { prog: 0, id: 3 },
+        ];
+        let mut o = Oracle::new(&HOME);
+        for e in trace {
+            o.apply(e).expect("clean serving lifecycle");
+        }
+        assert_eq!(o.stats.submits, 2);
+        assert_eq!(o.stats.admits, 2);
+        assert_eq!(o.stats.task_execs, 4);
+        o.finish(None).expect("every submitted request admitted and executed");
+    }
+
+    #[test]
+    fn dropped_submit_is_caught_at_finish() {
+        use ProtoEvent::*;
+        // Request 3 enters the ring but the drain loses it: never
+        // admitted, never executed — yet nothing else is wrong, so only
+        // the admission ledger can see it.
+        let mut o = Oracle::new(&HOME);
+        for e in [
+            Submit { prog: 0, id: 2 },
+            Submit { prog: 0, id: 3 },
+            Admit { prog: 0, id: 2 },
+            TaskExec { prog: 0, id: 2 },
+        ] {
+            o.apply(e).unwrap();
+        }
+        let e = o.finish(None).unwrap_err();
+        assert!(e.contains("admission lost: 1 submitted request(s)"), "{e}");
+        assert!(e.contains("p0/r3"), "{e}");
+    }
+
+    #[test]
+    fn admitted_request_that_never_executes_is_a_w1_loss() {
+        use ProtoEvent::*;
+        let mut o = Oracle::new(&HOME);
+        for e in [Submit { prog: 1, id: 5 }, Admit { prog: 1, id: 5 }] {
+            o.apply(e).unwrap();
+        }
+        let e = o.finish(None).unwrap_err();
+        assert!(e.contains("W1 violated"), "{e}");
+        assert!(e.contains("p1/t5"), "{e}");
+    }
+
+    #[test]
+    fn admitted_request_double_exec_is_a_w2_loss() {
+        use ProtoEvent::*;
+        let mut o = Oracle::new(&HOME);
+        o.apply(Submit { prog: 0, id: 4 }).unwrap();
+        o.apply(Admit { prog: 0, id: 4 }).unwrap();
+        o.apply(TaskExec { prog: 0, id: 4 }).unwrap();
+        let v = o.apply(TaskExec { prog: 0, id: 4 }).unwrap_err();
+        assert!(v.reason.contains("W2 violated"), "{}", v.reason);
+    }
+
+    #[test]
+    fn fabricated_or_duplicated_admissions_are_caught() {
+        use ProtoEvent::*;
+        let v = Oracle::replay(&HOME, &[Admit { prog: 0, id: 9 }]).unwrap_err();
+        assert!(v.reason.contains("never submitted"), "{}", v.reason);
+        let v = Oracle::replay(
+            &HOME,
+            &[Submit { prog: 0, id: 9 }, Admit { prog: 0, id: 9 }, Admit { prog: 0, id: 9 }],
+        )
+        .unwrap_err();
+        assert!(v.reason.contains("admitted twice"), "{}", v.reason);
+        let v = Oracle::replay(&HOME, &[Submit { prog: 0, id: 9 }, Submit { prog: 0, id: 9 }])
+            .unwrap_err();
+        assert!(v.reason.contains("submitted twice"), "{}", v.reason);
+    }
+
+    #[test]
+    fn admission_colliding_with_a_task_id_is_caught() {
+        use ProtoEvent::*;
+        let trace =
+            [TaskSpawn { prog: 0, id: 0 }, Submit { prog: 0, id: 0 }, Admit { prog: 0, id: 0 }];
+        let v = Oracle::replay(&HOME, &trace).unwrap_err();
+        assert!(v.reason.contains("collides"), "{}", v.reason);
+    }
+
+    #[test]
+    fn crash_victims_ringed_requests_are_exempt() {
+        use ProtoEvent::*;
+        let mut o = Oracle::new(&HOME);
+        o.apply(Submit { prog: 1, id: 2 }).unwrap();
+        o.finish(Some(1)).expect("victim's un-admitted request is exempt");
+        assert!(o.finish(None).is_err(), "without the exemption it is an admission loss");
+    }
+
+    #[test]
+    fn expired_program_performs_no_serving_transitions() {
+        use ProtoEvent::*;
+        let v =
+            Oracle::replay(&HOME, &[Expired { prog: 1 }, Submit { prog: 1, id: 2 }]).unwrap_err();
+        assert!(v.reason.contains("by expired prog 1"), "{}", v.reason);
+        let trace = [Submit { prog: 1, id: 2 }, Expired { prog: 1 }, Admit { prog: 1, id: 2 }];
+        let v = Oracle::replay(&HOME, &trace).unwrap_err();
+        assert!(v.reason.contains("by expired prog 1"), "{}", v.reason);
     }
 
     #[test]

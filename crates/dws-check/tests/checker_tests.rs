@@ -116,6 +116,39 @@ fn clean_batched_model_logs_steal_batches() {
 }
 
 #[test]
+fn serving_model_clean_over_random_schedules() {
+    // Client → submission ring → coordinator drain → queue → exec,
+    // explored against every sleep/wake/reclaim interleaving: the
+    // admission ledger (submit ⊆ admit ⊆ exactly-once exec) must hold
+    // on every clean schedule.
+    let cfg = ModelConfig::serving();
+    let report = explore_random(&CheckOptions::default(), 0x5E4E, 150, |env, seed| {
+        model::spawn_model(env, &cfg, seed)
+    });
+    assert!(matches!(report.outcome, Outcome::Pass), "{:?}", report.failing());
+    assert_eq!(report.schedules, 150);
+}
+
+#[test]
+fn serving_run_logs_the_submit_admit_exec_chain_and_replays() {
+    let cfg = ModelConfig::serving();
+    let explorer = Explorer::new(CheckOptions::default(), move |env: &Env, seed| {
+        model::spawn_model(env, &cfg, seed)
+    });
+    let r = explorer.run_seed(0x5EED);
+    assert!(r.failure.is_none(), "{:?}", r.failure);
+    let submits = r.events.iter().filter(|e| matches!(e, ProtoEvent::Submit { .. })).count();
+    let admits = r.events.iter().filter(|e| matches!(e, ProtoEvent::Admit { .. })).count();
+    assert_eq!(submits, 4, "every scheduled request was submitted: {:?}", r.events);
+    assert_eq!(admits, 4, "every submitted request was admitted");
+    // Admitted requests execute through the same ledger as tasks:
+    // 5 initial tasks + 4 requests for prog 0, 2 tasks for prog 1.
+    let execs = r.events.iter().filter(|e| matches!(e, ProtoEvent::TaskExec { .. })).count();
+    assert_eq!(execs, 11, "initial tasks and admitted requests all executed");
+    explorer.replay(&r).expect("serving run must replay identically");
+}
+
+#[test]
 fn crash_model_clean_over_random_schedules() {
     // SIGKILL one co-runner mid-run under every explored interleaving:
     // the survivor's reaper must recover the stranded cores without

@@ -20,6 +20,10 @@
 //! - [`TaskId`]: a packed `(program, worker, sequence)` task identity that
 //!   rides inside queued elements, so push/pop/steal/steal-half transfers
 //!   preserve each task's identity for lifecycle tracing.
+//! - [`SubmitRing`]: a fixed-capacity MPSC submission ring for external
+//!   [`Request`]s, layout-stable over raw shared memory so clients in
+//!   other processes can feed a serving program, with lease-epoch fencing
+//!   for crash tolerance.
 //!
 //! ```
 //! use dws_deque::{deque, Steal};
@@ -38,9 +42,11 @@ mod buffer;
 mod chase_lev;
 mod injector;
 mod mutex_deque;
+mod submit_ring;
 mod task_id;
 
 pub use chase_lev::{batch_quota, deque, Steal, Stealer, Worker, MAX_STEAL_BATCH};
 pub use injector::Injector;
 pub use mutex_deque::MutexDeque;
+pub use submit_ring::{Request, SubmitError, SubmitRing, EPOCH_FENCED};
 pub use task_id::TaskId;

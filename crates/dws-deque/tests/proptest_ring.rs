@@ -1,0 +1,275 @@
+//! Property-based differential tests for the MPSC submission ring:
+//! `SubmitRing` must agree with a mutex-guarded bounded `VecDeque` model
+//! on every single-threaded operation sequence — same accept/reject
+//! outcomes, same FIFO order, same lengths, same drop/fence counters —
+//! including the full/empty edges and wrap-around (small capacities,
+//! long sequences, interleaved resets). Concurrent submitters against a
+//! drainer must conserve every accepted request exactly once.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use dws_deque::{Request, SubmitError, SubmitRing};
+use proptest::prelude::*;
+
+/// The reference model: a bounded FIFO behind a mutex with the same
+/// epoch-fencing rule and the same monotone reject counters.
+struct ModelRing {
+    inner: Mutex<ModelInner>,
+    capacity: usize,
+}
+
+struct ModelInner {
+    queue: VecDeque<Request>,
+    epoch: u64,
+    dropped: u64,
+    fenced: u64,
+}
+
+impl ModelRing {
+    fn new(capacity: usize) -> Self {
+        ModelRing {
+            inner: Mutex::new(ModelInner {
+                queue: VecDeque::new(),
+                epoch: 0,
+                dropped: 0,
+                fenced: 0,
+            }),
+            capacity,
+        }
+    }
+
+    fn submit(&self, req: Request, epoch: u64) -> Result<(), SubmitError> {
+        let mut g = self.inner.lock().unwrap();
+        if g.epoch != epoch {
+            g.fenced += 1;
+            return Err(SubmitError::Fenced);
+        }
+        if g.queue.len() == self.capacity {
+            g.dropped += 1;
+            return Err(SubmitError::Full);
+        }
+        g.queue.push_back(req);
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<Request> {
+        self.inner.lock().unwrap().queue.pop_front()
+    }
+
+    fn drain(&self, limit: usize) -> Vec<Request> {
+        let mut g = self.inner.lock().unwrap();
+        let n = limit.min(g.queue.len());
+        g.queue.drain(..n).collect()
+    }
+
+    fn reset(&self, epoch: u64) {
+        let mut g = self.inner.lock().unwrap();
+        g.queue.clear();
+        g.epoch = epoch;
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().queue.len()
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        let g = self.inner.lock().unwrap();
+        (g.dropped, g.fenced)
+    }
+}
+
+/// One operation of a generated single-threaded scenario. `StaleSubmit`
+/// presents a wrong epoch; `Reset` bumps the generation, fencing every
+/// client that has not re-read the epoch.
+#[derive(Debug, Clone)]
+enum Op {
+    Submit,
+    StaleSubmit(u64),
+    Pop,
+    Drain(usize),
+    Reset,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => Just(Op::Submit),
+        1 => any::<u64>().prop_map(Op::StaleSubmit),
+        3 => Just(Op::Pop),
+        2 => (1usize..12).prop_map(Op::Drain),
+        1 => Just(Op::Reset),
+    ]
+}
+
+fn req(id: u64) -> Request {
+    Request { req_id: id, submit_us: id.wrapping_mul(3), demand_us: id.wrapping_add(7) }
+}
+
+proptest! {
+    /// With no concurrency the lock-free ring must be indistinguishable
+    /// from the bounded-VecDeque model: identical accept/Full/Fenced
+    /// outcomes, identical FIFO drain order, identical lengths after
+    /// every op, identical drop/fence counters at the end. Tiny
+    /// capacities force the full edge and many wrap-around laps.
+    #[test]
+    fn ring_matches_bounded_vecdeque_model(
+        capacity in 2usize..9,
+        ops in proptest::collection::vec(op_strategy(), 0..400),
+    ) {
+        let ring = SubmitRing::with_capacity(capacity);
+        let model = ModelRing::new(capacity);
+        let mut epoch = 0u64;
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Submit => {
+                    let r = req(next_id);
+                    next_id += 1;
+                    prop_assert_eq!(ring.submit(r, epoch), model.submit(r, epoch));
+                }
+                Op::StaleSubmit(bad) => {
+                    // Any epoch other than the current one must fence.
+                    let stale = if bad == epoch { bad.wrapping_add(1) } else { bad };
+                    let r = req(next_id);
+                    next_id += 1;
+                    prop_assert_eq!(ring.submit(r, stale), model.submit(r, stale));
+                }
+                Op::Pop => {
+                    prop_assert_eq!(ring.pop(), model.pop());
+                }
+                Op::Drain(limit) => {
+                    let mut got = Vec::new();
+                    ring.drain(limit, &mut |q| got.push(q));
+                    prop_assert_eq!(got, model.drain(limit));
+                }
+                Op::Reset => {
+                    epoch += 1;
+                    ring.reset(epoch);
+                    model.reset(epoch);
+                }
+            }
+            prop_assert_eq!(ring.len(), model.len(), "length diverged");
+            prop_assert_eq!(ring.epoch(), epoch);
+        }
+        // Same remainder in the same order, and the same reject history.
+        let mut rest = Vec::new();
+        while let Some(q) = ring.pop() {
+            rest.push(q);
+        }
+        let mut model_rest = Vec::new();
+        while let Some(q) = model.pop() {
+            model_rest.push(q);
+        }
+        prop_assert_eq!(rest, model_rest);
+        prop_assert_eq!((ring.dropped(), ring.fenced()), model.counters());
+    }
+
+    /// Wrap-around soak: a capacity-`cap` ring driven far past its
+    /// capacity in submit/pop pairs must deliver every request in order
+    /// with no drops — the sequence words must recycle cleanly lap after
+    /// lap.
+    #[test]
+    fn wrap_around_preserves_fifo(cap in 2usize..6, laps in 1usize..200) {
+        let ring = SubmitRing::with_capacity(cap);
+        let mut expect = 0u64;
+        for i in 0..(laps * cap) as u64 {
+            ring.submit(req(i), 0).unwrap();
+            if i % 2 == 1 {
+                for _ in 0..2 {
+                    prop_assert_eq!(ring.pop().unwrap().req_id, expect);
+                    expect += 1;
+                }
+            }
+        }
+        while let Some(q) = ring.pop() {
+            prop_assert_eq!(q.req_id, expect);
+            expect += 1;
+        }
+        prop_assert_eq!(expect, (laps * cap) as u64);
+        prop_assert_eq!(ring.dropped(), 0);
+    }
+
+    /// Concurrent scenario: several submitter threads race a single
+    /// drainer. Every request that `submit` *accepted* must be delivered
+    /// exactly once (no loss, no duplication), deliveries must be FIFO
+    /// per submitter, and accepted + dropped must account for every
+    /// attempt.
+    #[test]
+    fn concurrent_submitters_vs_drain_conserve(
+        submitters in 1usize..4,
+        per in 1usize..600,
+        capacity in 2usize..33,
+    ) {
+        use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+        use std::sync::Arc;
+
+        let ring = Arc::new(SubmitRing::with_capacity(capacity));
+        let total = submitters * per;
+        let seen: Arc<Vec<AtomicU8>> = Arc::new((0..total).map(|_| AtomicU8::new(0)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let drainer = {
+            let ring = Arc::clone(&ring);
+            let seen = Arc::clone(&seen);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut last_seen: Vec<Option<u64>> = vec![None; 8];
+                loop {
+                    let drained = ring.drain(8, &mut |q| {
+                        seen[q.req_id as usize].fetch_add(1, Ordering::Relaxed);
+                        // FIFO per submitter: ids from one submitter must
+                        // arrive in increasing order.
+                        let lane = (q.demand_us % 8) as usize;
+                        assert!(
+                            last_seen[lane].is_none_or(|prev| prev < q.req_id),
+                            "submitter {lane} reordered: {:?} then {}",
+                            last_seen[lane],
+                            q.req_id
+                        );
+                        last_seen[lane] = Some(q.req_id);
+                    });
+                    if drained == 0 {
+                        if done.load(Ordering::Acquire) && ring.is_empty() {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+
+        let accepted: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..submitters)
+                .map(|p| {
+                    let ring = Arc::clone(&ring);
+                    s.spawn(move || {
+                        let mut ok = 0usize;
+                        for i in 0..per {
+                            let id = (p * per + i) as u64;
+                            let r = Request {
+                                req_id: id,
+                                submit_us: id,
+                                demand_us: p as u64, // lane tag for FIFO check
+                            };
+                            if ring.submit(r, 0).is_ok() {
+                                ok += 1;
+                            }
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("submitter panicked")).sum()
+        });
+        done.store(true, Ordering::Release);
+        drainer.join().expect("drainer panicked");
+
+        let delivered: usize =
+            seen.iter().filter(|c| c.load(Ordering::Relaxed) == 1).count();
+        let duplicated: usize =
+            seen.iter().filter(|c| c.load(Ordering::Relaxed) > 1).count();
+        prop_assert_eq!(duplicated, 0, "a request was delivered more than once");
+        prop_assert_eq!(delivered, accepted, "accepted vs delivered mismatch");
+        prop_assert_eq!(accepted as u64 + ring.dropped(), total as u64);
+    }
+}

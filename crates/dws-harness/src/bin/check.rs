@@ -30,6 +30,7 @@ struct Cli {
     faults: bool,
     small: bool,
     crash: bool,
+    serving: bool,
     fast: bool,
     bug: Option<Bug>,
 }
@@ -48,6 +49,10 @@ const USAGE: &str = "usage: check [OPTIONS]
   --crash          SIGKILL one co-runner mid-run: explores the kill
                    against releases, reclaims and the survivor's
                    lease-fence/reap pass
+  --serving        program 0 also serves external requests through the
+                   model submission ring (client -> ring -> coordinator
+                   drain -> queue -> exec), checked by the admission
+                   ledger
   --fast           coarser atomicity (loads are not yield points); much
                    higher schedule throughput
   --bug <name>     seed a protocol mutation (the run SHOULD fail; exits 0
@@ -62,7 +67,11 @@ const USAGE: &str = "usage: check [OPTIONS]
                                       the W1 task-identity rule)
                      reap-strand      the reaper drains the survivor's
                                       queue, stranding parked tasks
-                                      (implies --crash; W1-only)";
+                                      (implies --crash; W1-only)
+                     dropped-submit   the coordinator's drain pops a
+                                      ringed request but never admits it
+                                      (implies --serving; caught only by
+                                      the admission ledger)";
 
 fn parse() -> Result<Cli, String> {
     let mut cli = Cli {
@@ -74,6 +83,7 @@ fn parse() -> Result<Cli, String> {
         faults: false,
         small: false,
         crash: false,
+        serving: false,
         fast: false,
         bug: None,
     };
@@ -110,6 +120,7 @@ fn parse() -> Result<Cli, String> {
             "--faults" => cli.faults = true,
             "--small" => cli.small = true,
             "--crash" => cli.crash = true,
+            "--serving" => cli.serving = true,
             "--fast" => cli.fast = true,
             "--bug" => {
                 let v = args.get(i + 1).ok_or("--bug needs a value")?;
@@ -124,6 +135,10 @@ fn parse() -> Result<Cli, String> {
                     "reap-strand" => {
                         cli.crash = true;
                         Bug::ReapStrand
+                    }
+                    "dropped-submit" => {
+                        cli.serving = true;
+                        Bug::DroppedSubmit
                     }
                     other => return Err(format!("unknown bug `{other}`")),
                 });
@@ -154,7 +169,7 @@ fn print_failure(r: &RunResult) {
 // flags must match; remind the user which ones were active.
 fn replay_flags() -> String {
     let mut s = String::new();
-    for flag in ["--faults", "--small", "--crash", "--fast", "--dfs"] {
+    for flag in ["--faults", "--small", "--crash", "--serving", "--fast", "--dfs"] {
         if std::env::args().any(|a| a == flag) {
             s.push(' ');
             s.push_str(flag);
@@ -178,14 +193,15 @@ fn main() -> ExitCode {
         }
     };
 
-    let cfg = match (cli.small, cli.crash) {
-        (true, true) => {
-            eprintln!("error: --small and --crash are mutually exclusive");
-            return ExitCode::from(2);
-        }
-        (_, true) => ModelConfig::crash(),
-        (true, false) => ModelConfig::small(),
-        (false, false) => ModelConfig::standard(),
+    if (cli.small && cli.crash) || (cli.serving && (cli.small || cli.crash)) {
+        eprintln!("error: --small, --crash and --serving are mutually exclusive");
+        return ExitCode::from(2);
+    }
+    let cfg = match (cli.small, cli.crash, cli.serving) {
+        (_, true, _) => ModelConfig::crash(),
+        (true, _, _) => ModelConfig::small(),
+        (_, _, true) => ModelConfig::serving(),
+        _ => ModelConfig::standard(),
     };
     let cfg = match cli.bug {
         Some(b) => {
@@ -218,12 +234,20 @@ fn main() -> ExitCode {
         Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &model_cfg, seed));
 
     println!(
-        "model: {} programs x {} cores{}{}{}{}",
+        "model: {} programs x {} cores{}{}{}{}{}",
         cfg.home().iter().max().map_or(1, |m| m + 1),
         cfg.home().len(),
         match cfg.crash {
             Some(v) => format!(", SIGKILL prog {v} at {} virtual ns", cfg.crash_at_ns),
             None => String::new(),
+        },
+        if cfg.is_serving() {
+            format!(
+                ", serving {} requests through a {}-slot ring",
+                cfg.submits[0], cfg.ring_capacity
+            )
+        } else {
+            String::new()
         },
         if cli.faults { ", aggressive faults" } else { "" },
         if cli.fast { ", fast (coarse loads)" } else { "" },
@@ -233,6 +257,7 @@ fn main() -> ExitCode {
             Some(Bug::OverSteal) => ", seeded bug: over-steal",
             Some(Bug::LostBatch) => ", seeded bug: lost-batch (W1 ledger)",
             Some(Bug::ReapStrand) => ", seeded bug: reap-strand (W1 ledger)",
+            Some(Bug::DroppedSubmit) => ", seeded bug: dropped-submit (admission ledger)",
             None => "",
         },
     );

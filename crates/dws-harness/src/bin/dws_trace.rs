@@ -9,7 +9,9 @@
 //! ```
 //!
 //! The report shows, per program, exact sojourn p50/p99/p999
-//! (spawn → exec-begin), steal-chain depth, a critical-path estimate,
+//! (spawn → exec-begin), end-to-end request sojourn p50/p99/p999 for
+//! served traffic (client submit → exec-begin, from `Admit` events —
+//! DESIGN §13), steal-chain depth, a critical-path estimate,
 //! and the W1 ("every spawned task executes") / W2 ("no task executes
 //! twice") identity verdict — exiting nonzero on any violation, so CI
 //! can gate on it. `--chrome` re-exports the parsed events as a Chrome

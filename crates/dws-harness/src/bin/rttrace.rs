@@ -5,16 +5,22 @@
 //! protocol against the Table-1 invariants — exiting nonzero on any
 //! violation.
 //!
-//! Usage: `rttrace [cores] [fib_n] [out_prefix]`
+//! Usage: `rttrace [cores] [fib_n] [out_prefix] [--serve]`
 //! (defaults: 4 workers per program, fib(24), `rttrace` →
-//! `rttrace.jsonl` / `rttrace.trace.json`).
+//! `rttrace.jsonl` / `rttrace.trace.json`). With `--serve` both
+//! programs run as servers fed by open-loop generators (bursty MMPP
+//! arrivals, bounded-Pareto demands; `fib_n` is ignored), so the trace
+//! carries `Admit` events and end-to-end request sojourns instead of
+//! the three fib phases.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dws_harness::report::{render_histogram, render_worker_table};
+use dws_harness::{demand_handler, offer_load, LoadSpec};
 use dws_rt::export::{to_chrome_trace, to_jsonl};
 use dws_rt::{join, CoreTable, InProcessTable, Policy, Runtime, RuntimeConfig, TracedTable};
+use dws_sim::{ArrivalProcess, BoundedPareto};
 
 fn fib(n: u64) -> u64 {
     if n < 2 {
@@ -24,8 +30,50 @@ fn fib(n: u64) -> u64 {
     a + b
 }
 
+/// `--serve`: both programs serve an open-loop bursty schedule for a
+/// fixed window, then drain until every accepted request has executed —
+/// the trace ends with no request in flight, so the replayed ledgers
+/// close.
+fn serve_phase(p0: &Runtime, p1: &Runtime) {
+    let spec = |seed: u64| LoadSpec {
+        arrivals: ArrivalProcess::bursty(2_000.0, 4.0),
+        demand: BoundedPareto::new(50.0, 1_000.0, 1.5),
+        seed,
+        duration: Duration::from_millis(250),
+    };
+    println!("serving: 250 ms of bursty open-loop load per program");
+    let (l0, l1) = std::thread::scope(|scope| {
+        let g0 = scope.spawn(|| offer_load(p0, &spec(11)));
+        let g1 = scope.spawn(|| offer_load(p1, &spec(23)));
+        (g0.join().unwrap(), g1.join().unwrap())
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for (rt, l) in [(p0, &l0), (p1, &l1)] {
+        loop {
+            rt.drain_submissions();
+            let m = rt.metrics();
+            let done = m.requests_admitted == l.submitted && m.jobs_executed >= m.requests_admitted;
+            if done || Instant::now() > deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+    for (prog, l) in [(0, &l0), (1, &l1)] {
+        println!(
+            "program {prog}: offered {} (submitted {}, shed {}, fenced {})",
+            l.offered(),
+            l.submitted,
+            l.shed,
+            l.fenced
+        );
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let serving = args.iter().any(|a| a == "--serve");
+    args.retain(|a| a != "--serve");
     let cores: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let fib_n: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(24);
     let prefix = args.get(3).cloned().unwrap_or_else(|| "rttrace".to_string());
@@ -38,22 +86,33 @@ fn main() {
         cfg.sleep_timeout = Some(Duration::from_millis(10));
         cfg
     };
-    let p0 = Runtime::with_table(mk(), Arc::clone(&shared), 0);
-    let p1 = Runtime::with_table(mk(), shared, 1);
+    let (p0, p1) = if serving {
+        let a = Runtime::serve_with_table(mk(), Arc::clone(&shared), 0, demand_handler());
+        let b = Runtime::serve_with_table(mk(), shared, 1, demand_handler());
+        (a, b)
+    } else {
+        let a = Runtime::with_table(mk(), Arc::clone(&shared), 0);
+        let b = Runtime::with_table(mk(), shared, 1);
+        (a, b)
+    };
 
-    // Three phases: both busy; p1 idle (its cores drain to p0 through the
-    // table); p1 back (it must reclaim its home cores).
-    println!("phase 1: both programs busy (fib({fib_n}) × 3 each)");
-    for _ in 0..3 {
-        let (a, b) = (p0.block_on(|| fib(fib_n)), p1.block_on(|| fib(fib_n)));
-        assert_eq!(a, b);
+    if serving {
+        serve_phase(&p0, &p1);
+    } else {
+        // Three phases: both busy; p1 idle (its cores drain to p0 through
+        // the table); p1 back (it must reclaim its home cores).
+        println!("phase 1: both programs busy (fib({fib_n}) × 3 each)");
+        for _ in 0..3 {
+            let (a, b) = (p0.block_on(|| fib(fib_n)), p1.block_on(|| fib(fib_n)));
+            assert_eq!(a, b);
+        }
+        println!("phase 2: program 1 idle, program 0 alone");
+        std::thread::sleep(Duration::from_millis(150));
+        p0.block_on(|| fib(fib_n));
+        println!("phase 3: program 1 returns and reclaims its cores");
+        std::thread::sleep(Duration::from_millis(50));
+        p1.block_on(|| fib(fib_n));
     }
-    println!("phase 2: program 1 idle, program 0 alone");
-    std::thread::sleep(Duration::from_millis(150));
-    p0.block_on(|| fib(fib_n));
-    println!("phase 3: program 1 returns and reclaims its cores");
-    std::thread::sleep(Duration::from_millis(50));
-    p1.block_on(|| fib(fib_n));
 
     let snaps = [(0usize, p0.trace_snapshot()), (1usize, p1.trace_snapshot())];
     for (prog, snap) in &snaps {
@@ -86,6 +145,9 @@ fn main() {
         print!("{}", render_histogram("sleep duration", &h.sleep_duration));
         print!("{}", render_histogram("wake → first task", &h.wake_to_first_task));
         print!("{}", render_histogram("task sojourn (spawn → exec)", &h.task_sojourn));
+        if serving {
+            print!("{}", render_histogram("request sojourn (submit → exec)", &h.request_sojourn));
+        }
         print!("{}", render_worker_table(&rt.worker_metrics()));
     }
 

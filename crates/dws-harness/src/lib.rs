@@ -26,6 +26,7 @@
 pub mod corun;
 pub mod figures;
 pub mod report;
+pub mod serve_gen;
 pub mod svg;
 pub mod top;
 pub mod tracecheck;
@@ -34,6 +35,7 @@ pub use corun::{run_mix, solo_baseline, solo_with_policy, Effort, MixResult};
 pub use figures::{
     baselines, fig4, fig5, fig6, single_program, Fig4, Fig5, Fig6, MixRow, SinglePrograms,
 };
+pub use serve_gen::{burn_us, demand_handler, offer_load, LoadSpec, LoadStats};
 
 /// Parses the common CLI flags shared by the figure binaries:
 /// `--quick` (fewer runs), `--seed N`, `--json` (emit JSON to stdout).

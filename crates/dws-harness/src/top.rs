@@ -101,6 +101,19 @@ pub fn render_program_panel(label: &str, f: &TelemetryFrame, color: bool) -> Str
         k.wakes,
         k.cores_released,
     ));
+    if k.requests_admitted > 0 || k.requests_dropped > 0 || k.requests_fenced > 0 {
+        // Serving panel: ring admission totals plus the rolling
+        // end-to-end request sojourn (client submit → exec-begin).
+        out.push_str(&format!(
+            "  serve  admitted {}  dropped {}  fenced {}   request p50 {} p99 {} p999 {}\n",
+            k.requests_admitted,
+            k.requests_dropped,
+            k.requests_fenced,
+            fmt_ns(f.latency.request_p50_ns),
+            fmt_ns(f.latency.request_p99_ns),
+            fmt_ns(f.latency.request_p999_ns),
+        ));
+    }
     if k.degraded != 0 {
         out.push_str(&format!(
             "  {}  shared table lost — running on a private in-process table\n",
@@ -240,6 +253,26 @@ mod tests {
         f.counters.tasks_stolen = 0;
         let text = render_program_panel("p0", &f, false);
         assert!(text.contains("(0 tasks, x̄ 0.0)"), "no-steal frame divides safely: {text}");
+    }
+
+    #[test]
+    fn serving_panel_appears_only_for_serving_programs() {
+        let f = frame();
+        let text = render_program_panel("p", &f, false);
+        assert!(!text.contains("serve"), "non-serving frame shows no serve line: {text}");
+        let mut f = frame();
+        f.counters.requests_admitted = 640;
+        f.counters.requests_dropped = 3;
+        f.counters.requests_fenced = 1;
+        f.latency.request_p50_ns = 40_000;
+        f.latency.request_p99_ns = 9_000_000;
+        f.latency.request_p999_ns = 30_000_000;
+        let text = render_program_panel("p", &f, false);
+        assert!(
+            text.contains("serve  admitted 640  dropped 3  fenced 1"),
+            "admission totals shown: {text}"
+        );
+        assert!(text.contains("request p50 40us p99 9ms p999 30ms"), "{text}");
     }
 
     #[test]

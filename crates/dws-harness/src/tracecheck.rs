@@ -9,6 +9,10 @@
 //!
 //! * **sojourn** percentiles (spawn → exec-begin, exact over all spans,
 //!   not log₂-bucketed like the live histogram);
+//! * **request sojourn** percentiles for served traffic: `Admit` events
+//!   carry the client-side submit timestamp, so `ExecBegin − submit` is
+//!   the end-to-end latency a client of a serving program observed
+//!   (DESIGN §13);
 //! * **steal-chain depth**: how many lane migrations each task's spawn
 //!   ancestry accumulated (a task spawned by a task that was itself
 //!   stolen sits at depth ≥ 2);
@@ -31,7 +35,13 @@ use dws_rt::{RtEvent, TimedEvent, TraceSnapshot};
 /// One task's reconstructed lifecycle.
 #[derive(Debug, Clone, Default)]
 pub struct TaskSpan {
-    /// Spawn timestamp (µs since trace epoch), if captured.
+    /// Client-side submit timestamp (µs since trace epoch) for external
+    /// requests, from the `Admit` event. `None` for ordinary spawned
+    /// tasks.
+    pub submit_t: Option<u64>,
+    /// Spawn timestamp (µs since trace epoch), if captured. For admitted
+    /// requests this is the admission (drain) instant — the lifecycle
+    /// start inside the runtime.
     pub spawn_t: Option<u64>,
     /// Lane the spawn was recorded on ([`LANE_SHARED`] for injected
     /// tasks).
@@ -50,6 +60,12 @@ impl TaskSpan {
     /// Queue sojourn in µs (spawn → exec-begin), when both ends exist.
     pub fn sojourn_us(&self) -> Option<u64> {
         Some(self.exec_begin_t?.saturating_sub(self.spawn_t?))
+    }
+
+    /// End-to-end request sojourn in µs (client submit → exec-begin);
+    /// `None` for tasks that did not arrive through the submission ring.
+    pub fn request_sojourn_us(&self) -> Option<u64> {
+        Some(self.exec_begin_t?.saturating_sub(self.submit_t?))
     }
 
     /// Did the task execute on a different lane than it was spawned on?
@@ -80,6 +96,18 @@ pub struct ProgramReport {
     pub sojourn_p99_us: u64,
     /// Exact sojourn p99.9 in µs.
     pub sojourn_p999_us: u64,
+    /// Requests admitted through the submission ring (tasks with an
+    /// `Admit` event).
+    pub admitted: usize,
+    /// Request-sojourn samples backing the request percentiles.
+    pub request_count: usize,
+    /// Exact end-to-end request sojourn p50 in µs (client submit →
+    /// exec-begin; 0 when no requests were served).
+    pub request_p50_us: u64,
+    /// Exact request sojourn p99 in µs.
+    pub request_p99_us: u64,
+    /// Exact request sojourn p99.9 in µs.
+    pub request_p999_us: u64,
     /// Deepest steal chain (migrations along a spawn ancestry).
     pub steal_chain_max: usize,
     /// Mean steal-chain depth over executed tasks.
@@ -147,6 +175,15 @@ pub fn spans(snapshot: &TraceSnapshot) -> HashMap<u64, TaskSpan> {
         match ev.event {
             RtEvent::Spawn { id } => {
                 let s = spans.entry(id).or_default();
+                s.spawn_t = Some(ev.t_us);
+                s.spawn_lane = Some(ev.lane);
+            }
+            // Admission is the spawn of an external request (the drain
+            // instant), plus the client-side submit timestamp that
+            // extends the lifecycle one hop earlier.
+            RtEvent::Admit { id, submit_us } => {
+                let s = spans.entry(id).or_default();
+                s.submit_t = Some(submit_us);
                 s.spawn_t = Some(ev.t_us);
                 s.spawn_lane = Some(ev.lane);
             }
@@ -232,6 +269,10 @@ pub fn analyze(prog: usize, snapshot: &TraceSnapshot) -> ProgramReport {
     let mut sojourns: Vec<u64> = spans.values().filter_map(|s| s.sojourn_us()).collect();
     sojourns.sort_unstable();
 
+    let admitted = spans.values().filter(|s| s.submit_t.is_some()).count();
+    let mut requests: Vec<u64> = spans.values().filter_map(|s| s.request_sojourn_us()).collect();
+    requests.sort_unstable();
+
     // Steal-chain depth and critical path walk the same parent chains;
     // memoize both to keep deep recursion-free.
     let mut depth: HashMap<u64, usize> = HashMap::new();
@@ -288,6 +329,11 @@ pub fn analyze(prog: usize, snapshot: &TraceSnapshot) -> ProgramReport {
         sojourn_p50_us: quantile_us(&sojourns, 0.5),
         sojourn_p99_us: quantile_us(&sojourns, 0.99),
         sojourn_p999_us: quantile_us(&sojourns, 0.999),
+        admitted,
+        request_count: requests.len(),
+        request_p50_us: quantile_us(&requests, 0.5),
+        request_p99_us: quantile_us(&requests, 0.99),
+        request_p999_us: quantile_us(&requests, 0.999),
         steal_chain_max,
         steal_chain_mean,
         critical_path_us,
@@ -321,6 +367,16 @@ pub fn render_report(r: &ProgramReport) -> String {
         fmt_us(r.sojourn_p999_us),
         r.sojourn_count
     ));
+    if r.admitted > 0 {
+        out.push_str(&format!(
+            "  request  p50 {} p99 {} p999 {}  ({} admitted, {} samples)\n",
+            fmt_us(r.request_p50_us),
+            fmt_us(r.request_p99_us),
+            fmt_us(r.request_p999_us),
+            r.admitted,
+            r.request_count
+        ));
+    }
     out.push_str(&format!(
         "  steal-chain depth max {} mean {:.2}   critical path ~{} over {} tasks\n",
         r.steal_chain_max,
@@ -394,6 +450,63 @@ mod tests {
             ],
             dropped: 0,
         }
+    }
+
+    /// Two external requests admitted through the submission ring (the
+    /// `Admit` event carries the client submit time), each executed once
+    /// on a worker.
+    fn serving_snapshot() -> TraceSnapshot {
+        let a = id(0, TaskId::EXTERNAL_WORKER, 0);
+        let b = id(0, TaskId::EXTERNAL_WORKER, 1);
+        TraceSnapshot {
+            events: vec![
+                ev(20, LANE_SHARED, RtEvent::Admit { id: a, submit_us: 5 }),
+                ev(20, LANE_SHARED, RtEvent::Enqueue { id: a }),
+                ev(21, LANE_SHARED, RtEvent::Admit { id: b, submit_us: 9 }),
+                ev(21, LANE_SHARED, RtEvent::Enqueue { id: b }),
+                ev(30, 0, RtEvent::ExecBegin { worker: 0, id: a }),
+                ev(35, 0, RtEvent::ExecEnd { worker: 0, id: a }),
+                ev(50, 1, RtEvent::ExecBegin { worker: 1, id: b }),
+                ev(58, 1, RtEvent::ExecEnd { worker: 1, id: b }),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn admits_extend_lifecycles_to_the_client_submit() {
+        let served = spans(&serving_snapshot());
+        let a = &served[&id(0, TaskId::EXTERNAL_WORKER, 0)];
+        // Task sojourn starts at admission; request sojourn at submit.
+        assert_eq!(a.sojourn_us(), Some(10));
+        assert_eq!(a.request_sojourn_us(), Some(25));
+        let b = &served[&id(0, TaskId::EXTERNAL_WORKER, 1)];
+        assert_eq!(b.request_sojourn_us(), Some(41));
+        // A plain spawned task has no request sojourn.
+        let plain = spans(&three_task_snapshot());
+        assert_eq!(plain[&id(0, 0, 0)].request_sojourn_us(), None);
+    }
+
+    #[test]
+    fn serving_report_has_request_percentiles_and_stays_w1_clean() {
+        let r = analyze(0, &serving_snapshot());
+        // Admission counts as the spawn: admitted requests must not be
+        // misjudged as W1 orphans.
+        assert!(r.clean(), "{r:?}");
+        assert_eq!((r.admitted, r.request_count), (2, 2));
+        assert_eq!((r.request_p50_us, r.request_p99_us, r.request_p999_us), (25, 41, 41));
+        let text = render_report(&r);
+        assert!(
+            text.contains("request  p50 25us p99 41us p999 41us  (2 admitted, 2 samples)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn non_serving_report_omits_the_request_line() {
+        let r = analyze(0, &three_task_snapshot());
+        assert_eq!((r.admitted, r.request_count), (0, 0));
+        assert!(!render_report(&r).contains("request "));
     }
 
     #[test]

@@ -121,6 +121,15 @@ pub trait CoreTable: Send + Sync {
     fn degraded(&self) -> bool {
         false
     }
+
+    /// The shm-resident submission ring for `prog`, when this backend
+    /// carves one out of its segment (serving mode, DESIGN §13). The
+    /// default — no ring — makes every backend serving-oblivious; a
+    /// serving [`crate::Runtime`] then falls back to a heap-backed ring
+    /// reachable only in-process.
+    fn submit_ring(&self, _prog: usize) -> Option<&dws_deque::SubmitRing> {
+        None
+    }
 }
 
 /// Outcome of one [`reap_expired`] pass.
@@ -457,6 +466,10 @@ impl CoreTable for TracedTable {
 
     fn degraded(&self) -> bool {
         self.inner.degraded()
+    }
+
+    fn submit_ring(&self, prog: usize) -> Option<&dws_deque::SubmitRing> {
+        self.inner.submit_ring(prog)
     }
 }
 

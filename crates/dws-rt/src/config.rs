@@ -104,6 +104,31 @@ impl Default for TelemetryConfig {
     }
 }
 
+/// Serving-mode knobs: the cross-process submission ring drained by the
+/// coordinator into the injector (see [`crate::Runtime::serve`]).
+///
+/// Disabled by default: with `enabled == false` no ring is attached and
+/// the coordinator's drain step is a single branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Attach a submission ring and drain it each coordinator tick.
+    pub enabled: bool,
+    /// Ring capacity in requests (must be ≥ 2). Submissions beyond a full
+    /// ring are rejected at the client with `SubmitError::Full` — open-loop
+    /// overload sheds at the edge instead of queueing unboundedly.
+    pub ring_capacity: usize,
+    /// Most requests one coordinator tick moves from the ring into the
+    /// injector; bounds the tick's latency under a burst. The remainder
+    /// stays ringed for the next tick.
+    pub drain_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { enabled: false, ring_capacity: 1024, drain_batch: 256 }
+    }
+}
+
 /// Configuration for building a [`crate::Runtime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -151,6 +176,9 @@ pub struct RuntimeConfig {
     pub trace: TraceConfig,
     /// Live telemetry sampling (off by default; see [`TelemetryConfig`]).
     pub telemetry: TelemetryConfig,
+    /// Serving mode: submission-ring drain (off by default; see
+    /// [`ServeConfig`]).
+    pub serve: ServeConfig,
 }
 
 impl RuntimeConfig {
@@ -170,6 +198,7 @@ impl RuntimeConfig {
             lease_timeout: None,
             trace: TraceConfig::default(),
             telemetry: TelemetryConfig::default(),
+            serve: ServeConfig::default(),
         }
     }
 
@@ -226,6 +255,21 @@ impl RuntimeConfig {
         assert!(!tick.is_zero(), "telemetry tick must be positive");
         self.telemetry.enabled = true;
         self.telemetry.tick = tick;
+        self
+    }
+
+    /// Enables serving mode with the default ring geometry.
+    pub fn with_serving(mut self) -> Self {
+        self.serve.enabled = true;
+        self
+    }
+
+    /// Enables serving mode with explicit ring capacity and per-tick
+    /// drain batch.
+    pub fn with_serving_geometry(mut self, ring_capacity: usize, drain_batch: usize) -> Self {
+        assert!(ring_capacity >= 2, "submission ring needs capacity >= 2");
+        assert!(drain_batch > 0, "drain batch must be positive");
+        self.serve = ServeConfig { enabled: true, ring_capacity, drain_batch };
         self
     }
 }
@@ -303,6 +347,25 @@ mod tests {
     #[should_panic(expected = "tick must be positive")]
     fn zero_telemetry_tick_rejected() {
         let _ = RuntimeConfig::new(1, Policy::Ws).with_telemetry_tick(Duration::ZERO);
+    }
+
+    #[test]
+    fn serving_off_by_default_and_builder_enables() {
+        let c = RuntimeConfig::new(4, Policy::Dws);
+        assert!(!c.serve.enabled);
+        assert_eq!(c.serve.ring_capacity, 1024);
+        assert_eq!(c.serve.drain_batch, 256);
+        let c = c.with_serving_geometry(64, 16);
+        assert!(c.serve.enabled);
+        assert_eq!(c.serve.ring_capacity, 64);
+        assert_eq!(c.serve.drain_batch, 16);
+        assert!(RuntimeConfig::new(1, Policy::Ws).with_serving().serve.enabled);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 2")]
+    fn tiny_ring_capacity_rejected() {
+        let _ = RuntimeConfig::new(1, Policy::Ws).with_serving_geometry(1, 1);
     }
 
     #[test]

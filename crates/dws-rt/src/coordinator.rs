@@ -247,6 +247,9 @@ pub(crate) fn coordinator_loop(reg: Arc<Registry>) {
             RtMetrics::add(&reg.metrics.leases_expired, pass.leases_expired);
             RtMetrics::add(&reg.metrics.cores_reaped, pass.cores_reaped);
         }
+        // Serving: drain the submission ring *before* the wake decision,
+        // so freshly admitted requests count toward this tick's N_b.
+        let _ = reg.drain_submissions();
         coordinate_once(&reg, &rng);
     }
 }

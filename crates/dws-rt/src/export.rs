@@ -118,7 +118,10 @@ pub fn to_chrome_trace(programs: &[(usize, TraceSnapshot)]) -> String {
         // flow arrow; same-lane tasks do not (the arrow would be noise).
         let mut spawn_lane: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
         for ev in &snap.events {
-            if let RtEvent::Spawn { id } = ev.event {
+            // Admission is the spawn of an external request: its flow
+            // arrow runs from the coordinator lane to the executing
+            // worker, like any injected task's.
+            if let RtEvent::Spawn { id } | RtEvent::Admit { id, .. } = ev.event {
                 spawn_lane.insert(id, ev.lane);
             }
         }
@@ -152,7 +155,7 @@ pub fn to_chrome_trace(programs: &[(usize, TraceSnapshot)]) -> String {
         for ev in &snap.events {
             events.push(chrome_event(*prog, ev));
             match ev.event {
-                RtEvent::Spawn { id } if migrated.contains(&id) => {
+                RtEvent::Spawn { id } | RtEvent::Admit { id, .. } if migrated.contains(&id) => {
                     events.push(flow_event(*prog, "s", ev.lane, ev.t_us, id));
                 }
                 RtEvent::ExecBegin { id, .. } if migrated.contains(&id) => {

@@ -38,6 +38,11 @@ pub(crate) struct JobRef {
     /// Spawn time (µs since the trace epoch); 0 when tracing is off —
     /// the timestamp syscall is the one per-spawn cost worth gating.
     pub(crate) spawn_us: u64,
+    /// Client-side submit time (µs since the trace epoch) for jobs that
+    /// entered through the submission ring; 0 for ordinary spawns. Lets
+    /// the executing worker compute end-to-end request sojourn (submit →
+    /// exec-begin) separately from the deque sojourn.
+    pub(crate) submit_us: u64,
 }
 
 unsafe impl Send for JobRef {}
@@ -53,6 +58,7 @@ impl JobRef {
             execute_fn: |ptr| unsafe { T::execute(ptr.cast()) },
             task_id: TaskId::NONE,
             spawn_us: 0,
+            submit_us: 0,
         }
     }
 

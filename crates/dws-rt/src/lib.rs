@@ -67,6 +67,7 @@ pub mod par;
 mod registry;
 mod rng;
 mod scope;
+mod serve;
 pub mod shm;
 mod sleep;
 pub mod sync;
@@ -76,9 +77,9 @@ pub mod trace;
 pub use alloc_table::{
     equipartition_home, reap_expired, CoreTable, InProcessTable, ReapPass, TracedTable,
 };
-pub use config::{Policy, RuntimeConfig, TelemetryConfig, TraceConfig};
+pub use config::{Policy, RuntimeConfig, ServeConfig, TelemetryConfig, TraceConfig};
 pub use coordinator::{eq1_wake_target, plan_wakes};
-pub use dws_deque::TaskId;
+pub use dws_deque::{Request, SubmitError, SubmitRing, TaskId};
 pub use join::join;
 pub use metrics::{
     AggregatedHistograms, HistogramSnapshot, MetricsSnapshot, WorkerMetricsSnapshot,
@@ -86,7 +87,8 @@ pub use metrics::{
 pub use par::{par_chunks_mut, par_for_each_index, par_for_each_mut, par_map_reduce};
 pub use registry::Runtime;
 pub use scope::{scope, Scope};
-pub use shm::{FailoverTable, ShmError, ShmTable};
+pub use serve::RequestHandler;
+pub use shm::{FailoverTable, ShmError, ShmTable, DEFAULT_RING_CAPACITY};
 pub use sleep::{Sleeper, WakeReason};
 pub use telemetry::{
     escape_label_value, frames_to_jsonl, render_prometheus, serve, CoordSample, CoreSample,

@@ -170,6 +170,11 @@ pub struct WorkerMetrics {
     /// exec-begin, the time the task sat queued (possibly across batch
     /// moves) before running. Fills only while tracing is on.
     pub task_sojourn: LogHistogram,
+    /// End-to-end request sojourn of externally submitted requests this
+    /// worker executed: client submit → exec-begin, one hop earlier than
+    /// `task_sojourn` (it includes the time spent in the submission ring
+    /// before the coordinator drained it). Fills only in serving mode.
+    pub request_sojourn: LogHistogram,
 }
 
 /// Plain-value copy of one worker's shard.
@@ -199,6 +204,8 @@ pub struct WorkerMetricsSnapshot {
     pub steal_batch: HistogramSnapshot,
     /// Task deque-sojourn histogram (spawn → exec-begin, ns).
     pub task_sojourn: HistogramSnapshot,
+    /// End-to-end request-sojourn histogram (submit → exec-begin, ns).
+    pub request_sojourn: HistogramSnapshot,
 }
 
 /// RAII guard marking the owning worker's multi-field update in flight;
@@ -242,6 +249,7 @@ impl WorkerMetrics {
             wake_to_first_task: self.wake_to_first_task.snapshot(),
             steal_batch: self.steal_batch.snapshot(),
             task_sojourn: self.task_sojourn.snapshot(),
+            request_sojourn: self.request_sojourn.snapshot(),
         }
     }
 
@@ -308,6 +316,15 @@ pub struct RtMetrics {
     /// Coordinator ticks that overran their own watchdog deadline
     /// (3× the configured period) — a self-report of scheduling stalls.
     pub coordinator_stalls: AtomicU64,
+    /// External requests the coordinator drained from the submission ring
+    /// into the injector (serving mode only).
+    pub requests_admitted: AtomicU64,
+    /// Client submissions rejected because the ring was full, mirrored
+    /// from the ring's own counter so one snapshot carries both sides.
+    pub requests_dropped: AtomicU64,
+    /// Client submissions rejected by epoch fencing (stale clients after
+    /// a crash/re-register), mirrored from the ring's counter.
+    pub requests_fenced: AtomicU64,
     /// Per-worker shards (empty unless built via [`RtMetrics::with_workers`]).
     pub workers: Vec<WorkerMetrics>,
 }
@@ -345,6 +362,12 @@ pub struct MetricsSnapshot {
     pub tasks_stolen: u64,
     /// Contended steal attempts (lost CAS races after retries).
     pub steals_contended: u64,
+    /// External requests drained into the injector (serving mode).
+    pub requests_admitted: u64,
+    /// Submissions rejected ring-full (mirrored from the ring).
+    pub requests_dropped: u64,
+    /// Submissions rejected by epoch fencing (mirrored from the ring).
+    pub requests_fenced: u64,
 }
 
 /// Histograms aggregated across all worker shards.
@@ -360,6 +383,8 @@ pub struct AggregatedHistograms {
     pub steal_batch: HistogramSnapshot,
     /// Task deque-sojourn times across all workers (spawn → exec-begin).
     pub task_sojourn: HistogramSnapshot,
+    /// End-to-end request sojourns across all workers (submit → exec-begin).
+    pub request_sojourn: HistogramSnapshot,
 }
 
 impl RtMetrics {
@@ -405,6 +430,9 @@ impl RtMetrics {
             coordinator_stalls: self.coordinator_stalls.load(Ordering::Relaxed),
             tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
             steals_contended: self.steals_contended.load(Ordering::Relaxed),
+            requests_admitted: self.requests_admitted.load(Ordering::Relaxed),
+            requests_dropped: self.requests_dropped.load(Ordering::Relaxed),
+            requests_fenced: self.requests_fenced.load(Ordering::Relaxed),
         }
     }
 
@@ -425,6 +453,7 @@ impl RtMetrics {
             agg.wake_to_first_task.merge(&s.wake_to_first_task);
             agg.steal_batch.merge(&s.steal_batch);
             agg.task_sojourn.merge(&s.task_sojourn);
+            agg.request_sojourn.merge(&s.request_sojourn);
         }
         agg
     }

@@ -11,7 +11,9 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dws_deque::{deque, Injector, Steal, Stealer, TaskId, Worker as Deque};
+use dws_deque::{
+    deque, Injector, Request, Steal, Stealer, SubmitError, SubmitRing, TaskId, Worker as Deque,
+};
 
 use crate::affinity;
 use crate::alloc_table::{CoreTable, InProcessTable};
@@ -21,6 +23,7 @@ use crate::job::{JobRef, StackJob};
 use crate::latch::LockLatch;
 use crate::metrics::{AggregatedHistograms, MetricsSnapshot, RtMetrics, WorkerMetricsSnapshot};
 use crate::rng::VictimRng;
+use crate::serve::{RequestHandler, ServingState};
 use crate::sleep::{Sleeper, WakeReason};
 use crate::sync::{preempt_point, AtomicBool, AtomicUsize, Ordering};
 use crate::telemetry::{sampler_loop, TelemetryFrame, TelemetryHandle, TelemetryState};
@@ -67,6 +70,9 @@ pub(crate) struct Registry {
     /// Sequence counter for tasks injected from outside the pool
     /// (stamped with [`TaskId::EXTERNAL_WORKER`] as their spawner).
     external_seq: AtomicU64,
+    /// Serving mode: submission ring + request handler (None unless built
+    /// via [`Runtime::serve`] / [`Runtime::serve_with_table`]).
+    pub(crate) serving: Option<ServingState>,
 }
 
 impl Registry {
@@ -185,8 +191,13 @@ impl Registry {
     /// sequence comes from a process-wide counter. With tracing on, the
     /// spawn timestamp is taken and `Spawn`/`Enqueue` land on the shared
     /// lane — external submissions have no per-worker ring of their own.
+    /// Mints the next external-lane task sequence number.
+    pub(crate) fn next_external_seq(&self) -> u64 {
+        self.external_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
     pub(crate) fn stamp_external(&self, mut job: JobRef) -> JobRef {
-        let seq = self.external_seq.fetch_add(1, Ordering::Relaxed);
+        let seq = self.next_external_seq();
         job.task_id = TaskId::new(self.prog_id, TaskId::EXTERNAL_WORKER, seq);
         if self.trace.enabled() {
             job.spawn_us = now_us();
@@ -215,7 +226,7 @@ impl Runtime {
     pub fn new(config: RuntimeConfig) -> Runtime {
         let workers = config.workers;
         let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(workers, 1));
-        Self::build(config, table, 0, true)
+        Self::build(config, table, 0, true, None)
     }
 
     /// Builds a runtime participating in multiprogram co-running through a
@@ -223,7 +234,38 @@ impl Runtime {
     /// co-runners (use [`crate::shm::ShmTable::register`] across
     /// processes).
     pub fn with_table(config: RuntimeConfig, table: Arc<dyn CoreTable>, prog_id: usize) -> Runtime {
-        Self::build(config, table, prog_id, false)
+        Self::build(config, table, prog_id, false, None)
+    }
+
+    /// Builds a standalone *serving* runtime: a submission ring is
+    /// attached (heap-backed here; shm-resident under
+    /// [`Runtime::serve_with_table`] when the table carves one) and the
+    /// coordinator drains it into the injector every period, running
+    /// `handler` per admitted request. Serving is forced on in `config`.
+    pub fn serve<F>(config: RuntimeConfig, handler: F) -> Runtime
+    where
+        F: Fn(Request) + Send + Sync + 'static,
+    {
+        let workers = config.workers;
+        let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(workers, 1));
+        Self::build(config.with_serving(), table, 0, true, Some(Arc::new(handler)))
+    }
+
+    /// Builds a co-running *serving* runtime (see [`Runtime::serve`]).
+    /// When `table` hosts a shm-resident submission ring for `prog_id`
+    /// (a [`crate::shm::ShmTable`] with rings), clients in other
+    /// processes can submit to it; otherwise a heap ring serves
+    /// in-process submitters via [`Runtime::submit`].
+    pub fn serve_with_table<F>(
+        config: RuntimeConfig,
+        table: Arc<dyn CoreTable>,
+        prog_id: usize,
+        handler: F,
+    ) -> Runtime
+    where
+        F: Fn(Request) + Send + Sync + 'static,
+    {
+        Self::build(config.with_serving(), table, prog_id, false, Some(Arc::new(handler)))
     }
 
     fn build(
@@ -231,6 +273,7 @@ impl Runtime {
         table: Arc<dyn CoreTable>,
         prog_id: usize,
         solo: bool,
+        handler: Option<RequestHandler>,
     ) -> Runtime {
         assert!(prog_id < table.max_programs(), "prog_id out of range");
         let mut effective_policy = config.policy;
@@ -262,6 +305,16 @@ impl Runtime {
 
         let trace = RtTrace::new(n, config.trace.capacity, config.trace.enabled);
         let telemetry = TelemetryState::new(config.telemetry.capacity);
+        let serving = handler.map(|handler| {
+            // The table's shm-resident ring wins; otherwise back the ring
+            // on the heap for in-process submitters.
+            let owned = if table.submit_ring(prog_id).is_some() {
+                None
+            } else {
+                Some(SubmitRing::with_capacity(config.serve.ring_capacity))
+            };
+            ServingState::new(owned, handler)
+        });
         let registry = Arc::new(Registry {
             config,
             effective_policy,
@@ -276,6 +329,7 @@ impl Runtime {
             exited: AtomicUsize::new(0),
             detached: AtomicUsize::new(0),
             external_seq: AtomicU64::new(0),
+            serving,
         });
 
         let threads = deques
@@ -290,7 +344,10 @@ impl Runtime {
             })
             .collect();
 
-        let coordinator = if effective_policy.has_coordinator() {
+        // Serving runtimes need the drain pump even under policies with
+        // no coordinator of their own (WS after the solo fallback): the
+        // coordinator thread runs anyway, doing only the drain.
+        let coordinator = if effective_policy.has_coordinator() || registry.serving.is_some() {
             let reg = Arc::clone(&registry);
             Some(
                 std::thread::Builder::new()
@@ -479,6 +536,36 @@ impl Runtime {
     /// The most recent telemetry frame, if the sampler has produced any.
     pub fn latest_frame(&self) -> Option<TelemetryFrame> {
         self.telemetry("").latest()
+    }
+
+    /// Is this a serving runtime (built via [`Runtime::serve`] /
+    /// [`Runtime::serve_with_table`])?
+    pub fn serving(&self) -> bool {
+        self.registry.serving.is_some()
+    }
+
+    /// The submission ring requests arrive on, or `None` for non-serving
+    /// runtimes. Cross-process clients reach the same ring through
+    /// [`crate::shm::ShmTable::submit_ring`]; in-process clients can use
+    /// [`Runtime::submit`] instead.
+    pub fn submission_ring(&self) -> Option<&SubmitRing> {
+        self.registry.submission_ring()
+    }
+
+    /// Submits one external request (in-process client convenience): the
+    /// submit timestamp is stamped here, at the client. `Err(Full)` means
+    /// the ring is at capacity — open-loop overload sheds at the edge, and
+    /// the caller decides whether to retry or count the drop.
+    pub fn submit(&self, req_id: u64, demand_us: u64) -> Result<(), SubmitError> {
+        let ring = self.registry.submission_ring().expect("not a serving runtime");
+        ring.submit(Request { req_id, submit_us: now_us(), demand_us }, ring.epoch())
+    }
+
+    /// One manual drain pass of the submission ring (tests, pumping
+    /// without waiting out a coordinator period). Returns the number of
+    /// requests admitted.
+    pub fn drain_submissions(&self) -> usize {
+        self.registry.drain_submissions()
     }
 }
 
@@ -980,7 +1067,16 @@ impl WorkerThread {
                     shard.wake_to_first_task.record(woke.elapsed());
                 }
                 if job.spawn_us != 0 {
-                    shard.task_sojourn.record_ns(now_us().saturating_sub(job.spawn_us) * 1_000);
+                    let begin_us = now_us();
+                    shard.task_sojourn.record_ns(begin_us.saturating_sub(job.spawn_us) * 1_000);
+                    if job.submit_us != 0 {
+                        // End-to-end request sojourn: client submit →
+                        // exec-begin, including the ring wait before the
+                        // coordinator drained it.
+                        shard
+                            .request_sojourn
+                            .record_ns(begin_us.saturating_sub(job.submit_us) * 1_000);
+                    }
                 }
             }
             let id = job.task_id.as_u64();
@@ -1098,6 +1194,7 @@ mod tests {
             exited: AtomicUsize::new(0),
             detached: AtomicUsize::new(0),
             external_seq: AtomicU64::new(0),
+            serving: None,
         });
         (registry, deques)
     }

@@ -6,7 +6,7 @@
 //! the file into the shared memory using `mmap()` ... all the following
 //! programs can easily access the core allocation table using `mmap()`."
 //!
-//! Layout of the mapped file (version 2; all fields little-endian):
+//! Layout of the mapped file (version 3; all fields little-endian):
 //!
 //! ```text
 //! offset 0        u64  MAGIC (written last by the creator, release order)
@@ -14,12 +14,17 @@
 //! offset 12       u32  cores (k)
 //! offset 16       u32  max programs (m)
 //! offset 20       u32  registered-programs counter (informational)
-//! offset 24       lease[0] .. lease[m-1], 24 bytes each:
+//! offset 24       u32  submission-ring capacity (r, requests per program)
+//! offset 28       u32  reserved (0)
+//! offset 32       lease[0] .. lease[m-1], 24 bytes each:
 //!                   +0   u64  state = (epoch << 32) | status
 //!                   +8   u64  pid (0 = dead sentinel / never registered)
 //!                   +16  u64  last heartbeat, CLOCK_MONOTONIC ms
-//! offset 24+24m   u64  slot[0] .. slot[k-1] = (epoch << 32) | owner
+//! offset 32+24m   u64  slot[0] .. slot[k-1] = (epoch << 32) | owner
 //!                   (owner is an i32 in the low half; -1 = FREE)
+//! offset 32+24m+8k   ring[0] .. ring[m-1], SubmitRing::bytes_for(r) each:
+//!                   the per-program MPSC submission rings (serving mode,
+//!                   DESIGN §13); ring epochs mirror the lease epochs
 //! ```
 //!
 //! The creator initializes dimensions, leases and slots (the §3.1
@@ -57,12 +62,19 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 use std::sync::Arc;
 use std::time::Duration;
 
+use dws_deque::SubmitRing;
+
 use crate::alloc_table::{equipartition_home, CoreTable, InProcessTable, FREE};
 
 const MAGIC: u64 = 0x4457_535F_5441_424C; // "DWS_TABL"
-const VERSION: u32 = 2;
-const HEADER_BYTES: usize = 24;
+const VERSION: u32 = 3;
+const HEADER_BYTES: usize = 32;
 const LEASE_BYTES: usize = 24;
+
+/// Submission-ring capacity every table carries by default. ~32 KiB per
+/// program in the segment; use [`ShmTable::create_or_open_with_rings`] to
+/// pick a different geometry (all participants must agree).
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
 
 /// Lease lifecycle (low 32 bits of the lease state word).
 const LEASE_UNUSED: u32 = 0;
@@ -150,6 +162,13 @@ pub enum ShmError {
         /// Programs the caller expected.
         expected_programs: usize,
     },
+    /// The table's submission rings were sized for a different capacity.
+    RingMismatch {
+        /// Ring capacity recorded in the file.
+        found: usize,
+        /// Ring capacity the caller expected.
+        expected: usize,
+    },
     /// The creator never published the magic (crashed mid-init?).
     InitTimeout,
     /// Every program lease is taken and none is reaped.
@@ -172,6 +191,9 @@ impl std::fmt::Display for ShmError {
                     "table is {cores} cores / {programs} programs, \
                      expected {expected_cores}/{expected_programs}"
                 )
+            }
+            ShmError::RingMismatch { found, expected } => {
+                write!(f, "table rings hold {found} requests, expected {expected}")
             }
             ShmError::InitTimeout => write!(f, "shared table never initialized"),
             ShmError::Exhausted => write!(f, "all program slots taken"),
@@ -231,22 +253,42 @@ pub struct ShmTable {
     home: Vec<usize>,
     cores: usize,
     programs: usize,
+    ring_capacity: usize,
+    /// Per-program submission rings viewing the tail of the mapping; the
+    /// `Mapping` they borrow from lives in the same struct and is dropped
+    /// after them.
+    rings: Vec<SubmitRing>,
 }
 
 impl ShmTable {
     /// Creates the table file (or opens it if another program got there
-    /// first) and maps it. `cores` and `programs` must match across all
-    /// participants; on open the magic, layout version and geometry are
-    /// all validated, and a mismatch is a typed [`ShmError`] rather than
-    /// an aliased wrong layout.
+    /// first) and maps it, with submission rings sized at
+    /// [`DEFAULT_RING_CAPACITY`]. `cores` and `programs` must match across
+    /// all participants; on open the magic, layout version and geometry
+    /// are all validated, and a mismatch is a typed [`ShmError`] rather
+    /// than an aliased wrong layout.
     pub fn create_or_open(
         path: &Path,
         cores: usize,
         programs: usize,
     ) -> Result<ShmTable, ShmError> {
+        Self::create_or_open_with_rings(path, cores, programs, DEFAULT_RING_CAPACITY)
+    }
+
+    /// [`ShmTable::create_or_open`] with an explicit per-program
+    /// submission-ring capacity — another table dimension every
+    /// participant must agree on ([`ShmError::RingMismatch`] otherwise).
+    pub fn create_or_open_with_rings(
+        path: &Path,
+        cores: usize,
+        programs: usize,
+        ring_capacity: usize,
+    ) -> Result<ShmTable, ShmError> {
         assert!(cores > 0 && cores < 4096, "unreasonable core count");
         assert!(programs > 0 && programs <= cores);
-        let len = HEADER_BYTES + programs * LEASE_BYTES + cores * 8;
+        assert!(ring_capacity >= 2, "submission ring needs capacity >= 2");
+        let ring_bytes = SubmitRing::bytes_for(ring_capacity);
+        let len = HEADER_BYTES + programs * LEASE_BYTES + cores * 8 + programs * ring_bytes;
 
         let cpath = std::ffi::CString::new(path.as_os_str().as_encoded_bytes())
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "NUL in path"))?;
@@ -314,17 +356,47 @@ impl ShmTable {
             Mapping { ptr: ptr.cast(), len }
         };
 
-        let table = ShmTable { map, home: equipartition_home(cores, programs), cores, programs };
+        // View the per-program rings over the tail of the mapping. Wrapping
+        // is pointer arithmetic only — no byte of the region is touched
+        // until after the creator's init (below) or the opener's
+        // validation, so a mismatched file can never be misread as rings.
+        let rings_base = HEADER_BYTES + programs * LEASE_BYTES + cores * 8;
+        let rings: Vec<SubmitRing> = (0..programs)
+            .map(|p| {
+                // SAFETY: the region is in-bounds of the `len`-byte mapping
+                // and 8-aligned (page-aligned base, all offsets multiples
+                // of 8); rings are only dereferenced through `&self`, while
+                // the Mapping in the same struct keeps the region alive
+                // (SubmitRing's drop never touches the region).
+                unsafe {
+                    SubmitRing::from_raw(map.ptr.add(rings_base + p * ring_bytes), ring_capacity)
+                }
+            })
+            .collect();
+        let table = ShmTable {
+            map,
+            home: equipartition_home(cores, programs),
+            cores,
+            programs,
+            ring_capacity,
+            rings,
+        };
 
         if creator {
             table.u32_at(8).store(VERSION, Ordering::Relaxed);
             table.u32_at(12).store(cores as u32, Ordering::Relaxed);
             table.u32_at(16).store(programs as u32, Ordering::Relaxed);
             table.u32_at(20).store(0, Ordering::Relaxed);
+            table.u32_at(24).store(ring_capacity as u32, Ordering::Relaxed);
             // Leases start zeroed by ftruncate: UNUSED, epoch 0, pid 0.
             // Slots carry epoch 1, matching the first registration epoch.
             for c in 0..cores {
                 table.slot(c).store(pack_slot(table.home[c] as i32, 1), Ordering::Relaxed);
+            }
+            // Rings open at epoch 1 like the slots, so unregistered
+            // (fixed-id) programs can serve against the creator epoch.
+            for ring in &table.rings {
+                ring.reset(1);
             }
             // Publish.
             table.magic().store(MAGIC, Ordering::Release);
@@ -361,6 +433,10 @@ impl ShmTable {
                     expected_cores: cores,
                     expected_programs: programs,
                 });
+            }
+            let r = table.u32_at(24).load(Ordering::Relaxed) as usize;
+            if r != ring_capacity {
+                return Err(ShmError::RingMismatch { found: r, expected: ring_capacity });
             }
         }
         Ok(table)
@@ -417,6 +493,10 @@ impl ShmTable {
             {
                 self.lease_pid(p).store(pid, Ordering::Release);
                 self.lease_heartbeat(p).store(monotonic_ms(), Ordering::Release);
+                // Open the submission ring at the lease epoch *before*
+                // activating, so a client can never observe ACTIVE with a
+                // stale ring.
+                self.rings[p].reset(1);
                 st.store(pack_lease(1, LEASE_ACTIVE), Ordering::Release);
                 self.u32_at(20).fetch_add(1, Ordering::AcqRel);
                 return Ok(p);
@@ -443,6 +523,10 @@ impl ShmTable {
             {
                 self.lease_pid(p).store(pid, Ordering::Release);
                 self.lease_heartbeat(p).store(monotonic_ms(), Ordering::Release);
+                // Re-arm the ring under the bumped epoch: clients of the
+                // dead incarnation now get `SubmitError::Fenced`, and any
+                // requests they left behind are discarded with the reset.
+                self.rings[p].reset(u64::from(e));
                 self.lease_state(p).store(pack_lease(e, LEASE_ACTIVE), Ordering::Release);
                 self.u32_at(20).fetch_add(1, Ordering::AcqRel);
                 return Ok(p);
@@ -458,6 +542,12 @@ impl ShmTable {
             && self.u32_at(8).load(Ordering::Relaxed) == VERSION
             && self.u32_at(12).load(Ordering::Relaxed) as usize == self.cores
             && self.u32_at(16).load(Ordering::Relaxed) as usize == self.programs
+            && self.u32_at(24).load(Ordering::Relaxed) as usize == self.ring_capacity
+    }
+
+    /// Requests each per-program submission ring can hold.
+    pub fn ring_capacity(&self) -> usize {
+        self.ring_capacity
     }
 
     /// The lease epoch all of `prog`'s slot transitions are stamped with.
@@ -696,6 +786,10 @@ impl CoreTable for ShmTable {
     fn check_health(&self) -> bool {
         self.validate_header()
     }
+
+    fn submit_ring(&self, prog: usize) -> Option<&SubmitRing> {
+        self.rings.get(prog)
+    }
 }
 
 /// A [`CoreTable`] that degrades gracefully: every operation goes to the
@@ -864,6 +958,14 @@ impl CoreTable for FailoverTable {
 
     fn degraded(&self) -> bool {
         self.degraded.load(Ordering::Acquire)
+    }
+
+    fn submit_ring(&self, prog: usize) -> Option<&dws_deque::SubmitRing> {
+        // Degraded: the shared mapping is untrusted, so its rings are too.
+        match (&self.primary, self.degraded.load(Ordering::Acquire)) {
+            (Some(p), false) => p.submit_ring(prog),
+            _ => None,
+        }
     }
 }
 
@@ -1039,6 +1141,56 @@ mod tests {
     }
 
     #[test]
+    fn ring_capacity_mismatch_is_rejected() {
+        let path = temp_path("ring-cap");
+        let _a = ShmTable::create_or_open_with_rings(&path, 4, 2, 64).unwrap();
+        assert!(matches!(
+            ShmTable::create_or_open_with_rings(&path, 4, 2, 128),
+            Err(ShmError::RingMismatch { found: 64, expected: 128 })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn submissions_cross_mappings() {
+        let path = temp_path("ring-share");
+        let a = ShmTable::create_or_open_with_rings(&path, 4, 2, 8).unwrap();
+        let b = ShmTable::create_or_open_with_rings(&path, 4, 2, 8).unwrap();
+        assert_eq!(a.ring_capacity(), 8);
+        let ring_a = a.submit_ring(1).unwrap();
+        let req = dws_deque::Request { req_id: 7, submit_us: 42, demand_us: 5 };
+        ring_a.submit(req, ring_a.epoch()).unwrap();
+        // The other mapping drains the very same shm-resident ring.
+        assert_eq!(b.submit_ring(1).unwrap().pop(), Some(req));
+        assert!(a.submit_ring(1).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recycled_lease_fences_stale_ring_clients() {
+        let path = temp_path("ring-fence");
+        let t = ShmTable::create_or_open_with_rings(&path, 4, 2, 8).unwrap();
+        assert_eq!(t.register().unwrap(), 0);
+        assert_eq!(t.register().unwrap(), 1);
+        let req = dws_deque::Request { req_id: 1, submit_us: 1, demand_us: 1 };
+        let ring = t.submit_ring(1).unwrap();
+        assert_eq!(ring.epoch(), 1);
+        ring.submit(req, 1).unwrap();
+
+        // Prog 1 dies with a request still queued; prog 0 reaps it and a
+        // successor recycles the lease.
+        t.mark_dead(1);
+        let _ = reap_expired(&t, 0, Duration::ZERO);
+        assert_eq!(t.register().unwrap(), 1, "reaped lease recycled");
+        let ring = t.submit_ring(1).unwrap();
+        assert_eq!(ring.epoch(), 2, "ring epoch follows the recycled lease");
+        assert!(ring.is_empty(), "the dead incarnation's backlog is discarded");
+        assert_eq!(ring.submit(req, 1), Err(dws_deque::SubmitError::Fenced));
+        ring.submit(req, 2).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn concurrent_create_or_open_converges() {
         let path = temp_path("race");
         let p2 = path.clone();
@@ -1063,10 +1215,12 @@ mod tests {
         // Shared-table ops flow through while healthy.
         assert!(t.release(0, 0));
         assert_eq!(shm.current(0), None);
+        assert!(t.submit_ring(0).is_some(), "healthy failover exposes the shm rings");
 
         std::fs::remove_file(&path).unwrap();
         assert!(!t.check_health());
         assert!(t.degraded());
+        assert!(t.submit_ring(0).is_none(), "degraded rings are untrusted");
         // Degraded ops hit the private fallback: core 0 is home-owned
         // again there, so the release succeeds against the fresh state.
         assert!(t.release(0, 0));

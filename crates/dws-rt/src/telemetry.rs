@@ -132,6 +132,13 @@ pub struct CounterSample {
     /// Steal attempts that lost every CAS race against a non-empty deque
     /// (contention, not a work drought — kept out of `steals_failed`).
     pub steals_contended: u64,
+    /// External requests admitted from the submission ring (serving mode;
+    /// 0 otherwise).
+    pub requests_admitted: u64,
+    /// External requests dropped on a full submission ring.
+    pub requests_dropped: u64,
+    /// External requests refused for a stale client epoch.
+    pub requests_fenced: u64,
 }
 
 /// Rolling latency percentiles in nanoseconds (0 when no new samples
@@ -164,6 +171,14 @@ pub struct LatencySample {
     /// Task sojourn p99.9 over the last interval — the straggler tail the
     /// paper's demand-aware wakeups are meant to shorten.
     pub sojourn_p999_ns: u64,
+    /// End-to-end request sojourn (client submit→exec-begin) p50 over the
+    /// last interval. Fills only in serving mode with tracing on.
+    pub request_p50_ns: u64,
+    /// Request sojourn p99 over the last interval.
+    pub request_p99_ns: u64,
+    /// Request sojourn p99.9 over the last interval — the headline
+    /// tail-latency number of the serving evaluation.
+    pub request_p999_ns: u64,
 }
 
 /// One time-series frame: everything an observer needs to render the
@@ -356,6 +371,9 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
         degraded: table.degraded() as u64,
         tasks_stolen: snap.tasks_stolen,
         steals_contended: snap.steals_contended,
+        requests_admitted: snap.requests_admitted,
+        requests_dropped: snap.requests_dropped,
+        requests_fenced: snap.requests_fenced,
     };
     let hist = reg.metrics.aggregated_histograms();
     let window = match prev {
@@ -365,6 +383,7 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
             wake_to_first_task: hist.wake_to_first_task.saturating_diff(&p.wake_to_first_task),
             steal_batch: hist.steal_batch.saturating_diff(&p.steal_batch),
             task_sojourn: hist.task_sojourn.saturating_diff(&p.task_sojourn),
+            request_sojourn: hist.request_sojourn.saturating_diff(&p.request_sojourn),
         },
         None => hist,
     };
@@ -381,6 +400,9 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
         sojourn_p50_ns: q(&window.task_sojourn, 0.5),
         sojourn_p99_ns: q(&window.task_sojourn, 0.99),
         sojourn_p999_ns: q(&window.task_sojourn, 0.999),
+        request_p50_ns: q(&window.request_sojourn, 0.5),
+        request_p99_ns: q(&window.request_sojourn, 0.99),
+        request_p999_ns: q(&window.request_sojourn, 0.999),
     };
     TelemetryFrame {
         t_us: now_us(),
@@ -543,7 +565,7 @@ type LatencyMetric = (&'static str, &'static str, fn(&LatencySample) -> u64, &'s
 pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
     let mut w = PromWriter { out: String::new() };
 
-    let counters: [CounterMetric; 15] = [
+    let counters: [CounterMetric; 18] = [
         ("dws_steals_ok_total", "Successful steals.", |c| c.steals_ok),
         ("dws_steals_failed_total", "Failed steal attempts.", |c| c.steals_failed),
         (
@@ -572,6 +594,19 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
         }),
         ("dws_leases_expired_total", "Dead-program leases fenced by the reaper.", |c| {
             c.leases_expired
+        }),
+        (
+            "dws_requests_admitted_total",
+            "External requests admitted from the submission ring.",
+            |c| c.requests_admitted,
+        ),
+        (
+            "dws_requests_dropped_total",
+            "External requests dropped on a full submission ring.",
+            |c| c.requests_dropped,
+        ),
+        ("dws_requests_fenced_total", "External requests refused for a stale client epoch.", |c| {
+            c.requests_fenced
         }),
     ];
     for (name, help, get) in counters {
@@ -665,7 +700,7 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
         w.line("dws_coord_decisions_total", &[("prog", label)], f.coord.decisions);
     }
 
-    let lats: [LatencyMetric; 11] = [
+    let lats: [LatencyMetric; 14] = [
         ("dws_steal_latency_ns", "Rolling steal-attempt latency.", |l| l.steal_p50_ns, "0.5"),
         ("dws_steal_latency_ns", "Rolling steal-attempt latency.", |l| l.steal_p99_ns, "0.99"),
         ("dws_sleep_duration_ns", "Rolling sleep duration.", |l| l.sleep_p50_ns, "0.5"),
@@ -710,6 +745,24 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
             "dws_task_sojourn_ns",
             "Rolling task sojourn (spawn to exec-begin).",
             |l| l.sojourn_p999_ns,
+            "0.999",
+        ),
+        (
+            "dws_request_sojourn_ns",
+            "Rolling end-to-end request sojourn (client submit to exec-begin).",
+            |l| l.request_p50_ns,
+            "0.5",
+        ),
+        (
+            "dws_request_sojourn_ns",
+            "Rolling end-to-end request sojourn (client submit to exec-begin).",
+            |l| l.request_p99_ns,
+            "0.99",
+        ),
+        (
+            "dws_request_sojourn_ns",
+            "Rolling end-to-end request sojourn (client submit to exec-begin).",
+            |l| l.request_p999_ns,
             "0.999",
         ),
     ];

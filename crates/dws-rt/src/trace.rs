@@ -125,6 +125,17 @@ pub enum RtEvent {
         /// Packed task identity.
         id: u64,
     },
+    /// An external request was admitted: the coordinator drained it from
+    /// the shm submission ring and enqueued it on the injector. Extends
+    /// the lifecycle one hop earlier than [`RtEvent::Spawn`]: `submit_us`
+    /// is the client-side submission time, so `ExecBegin − submit_us` is
+    /// the end-to-end request sojourn.
+    Admit {
+        /// Packed task identity minted at admission (external lane).
+        id: u64,
+        /// Client submit time, µs since the trace epoch.
+        submit_us: u64,
+    },
     /// A successful batched steal moved `moved` tasks (including the one
     /// popped by the thief) from `victim`'s deque into `worker`'s. The
     /// moved ids are not enumerated — each surfaces at its `ExecBegin`,
@@ -183,6 +194,7 @@ impl RtEvent {
             RtEvent::CoordinatorDecision { .. } => "coordinator_decision",
             RtEvent::Spawn { .. } => "spawn",
             RtEvent::Enqueue { .. } => "enqueue",
+            RtEvent::Admit { .. } => "admit",
             RtEvent::BatchMoved { .. } => "batch_moved",
             RtEvent::ExecBegin { .. } => "exec_begin",
             RtEvent::ExecEnd { .. } => "exec_end",

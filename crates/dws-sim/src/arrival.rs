@@ -1,0 +1,293 @@
+//! Open-loop traffic models for the serving evaluation (DESIGN §13).
+//!
+//! A serving DWS program is driven by an *open-loop* generator: requests
+//! arrive on their own schedule regardless of how far the server has
+//! fallen behind, which is what makes tail latency honest (a closed loop
+//! self-throttles and hides queueing collapse). This module provides the
+//! three standard ingredients, each a pure function of its seed:
+//!
+//! * [`ArrivalProcess::Poisson`] — exponential inter-arrival gaps at a
+//!   fixed rate; the memoryless baseline.
+//! * [`ArrivalProcess::Mmpp`] — a 2-state Markov-modulated Poisson
+//!   process: the generator alternates between a *calm* and a *burst*
+//!   rate with exponentially distributed dwell times. Burstiness is what
+//!   stresses the coordinator's Eq. 1 wake decision — a calm period puts
+//!   workers to sleep, then a burst arrives and every sleeping worker is
+//!   latency on the critical path.
+//! * [`BoundedPareto`] — heavy-tailed service demands truncated to
+//!   `[min, max]`, the canonical model for request sizes (most requests
+//!   tiny, a bounded fraction huge).
+//!
+//! The samplers are shared by the harness's real-time generator
+//! (`dws-harness serve`) and any simulated serving experiments, so both
+//! draw identical request sequences from identical seeds.
+
+use crate::rng::XorShift64Star;
+
+/// An open-loop arrival process over a microsecond clock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: independent exponential gaps at `rate_per_sec`.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_per_sec: f64,
+    },
+    /// 2-state Markov-modulated Poisson process (calm/burst).
+    Mmpp {
+        /// Arrival rate while calm, requests per second.
+        calm_rate_per_sec: f64,
+        /// Arrival rate while bursting, requests per second.
+        burst_rate_per_sec: f64,
+        /// Mean dwell time in the calm state, µs.
+        calm_dwell_us: f64,
+        /// Mean dwell time in the burst state, µs.
+        burst_dwell_us: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// A bursty preset: `rate` on average, delivered as quiet stretches
+    /// punctuated by bursts at `burstiness ×` the calm rate (mean dwell
+    /// 50 ms calm / 10 ms burst).
+    pub fn bursty(rate_per_sec: f64, burstiness: f64) -> ArrivalProcess {
+        assert!(rate_per_sec > 0.0 && burstiness >= 1.0);
+        ArrivalProcess::Mmpp {
+            calm_rate_per_sec: rate_per_sec / burstiness,
+            burst_rate_per_sec: rate_per_sec * burstiness,
+            calm_dwell_us: 50_000.0,
+            burst_dwell_us: 10_000.0,
+        }
+    }
+
+    /// The long-run mean arrival rate in requests per second (for MMPP,
+    /// the dwell-time-weighted average of the two state rates).
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => rate_per_sec,
+            ArrivalProcess::Mmpp {
+                calm_rate_per_sec,
+                burst_rate_per_sec,
+                calm_dwell_us,
+                burst_dwell_us,
+            } => {
+                let total = calm_dwell_us + burst_dwell_us;
+                (calm_rate_per_sec * calm_dwell_us + burst_rate_per_sec * burst_dwell_us) / total
+            }
+        }
+    }
+}
+
+/// Draws one exponential variate with the given mean (inverse-CDF on a
+/// `[0, 1)` uniform; the `1 - u` flip avoids `ln(0)`).
+fn exp_us(rng: &mut XorShift64Star, mean_us: f64) -> f64 {
+    debug_assert!(mean_us > 0.0);
+    -mean_us * (1.0 - rng.next_f64()).ln()
+}
+
+/// Stateful arrival-time sampler: feeds out the absolute arrival times
+/// (µs) of an [`ArrivalProcess`], deterministically from its seed.
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    process: ArrivalProcess,
+    rng: XorShift64Star,
+    /// Absolute time of the previous arrival (µs).
+    now_us: f64,
+    /// MMPP only: are we currently in the burst state?
+    bursting: bool,
+    /// MMPP only: absolute time the current state ends (µs).
+    state_end_us: f64,
+}
+
+impl ArrivalSampler {
+    /// Starts the process at time 0 with the given seed. MMPP begins in
+    /// the calm state.
+    pub fn new(process: ArrivalProcess, seed: u64) -> ArrivalSampler {
+        let mut rng = XorShift64Star::new(seed);
+        let state_end_us = match process {
+            ArrivalProcess::Mmpp { calm_dwell_us, .. } => exp_us(&mut rng, calm_dwell_us),
+            ArrivalProcess::Poisson { .. } => f64::INFINITY,
+        };
+        ArrivalSampler { process, rng, now_us: 0.0, bursting: false, state_end_us }
+    }
+
+    /// The process this sampler draws from.
+    pub fn process(&self) -> &ArrivalProcess {
+        &self.process
+    }
+
+    /// Absolute arrival time (µs) of the next request. Monotone
+    /// non-decreasing across calls.
+    pub fn next_arrival_us(&mut self) -> u64 {
+        match self.process {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                self.now_us += exp_us(&mut self.rng, 1e6 / rate_per_sec);
+            }
+            ArrivalProcess::Mmpp {
+                calm_rate_per_sec,
+                burst_rate_per_sec,
+                calm_dwell_us,
+                burst_dwell_us,
+            } => {
+                // Advance through state switches until a gap drawn at the
+                // current state's rate lands inside the state. Redrawing
+                // after a switch is the standard memorylessness argument:
+                // an exponential gap conditioned on exceeding the state
+                // boundary restarts fresh at the boundary.
+                loop {
+                    let rate = if self.bursting { burst_rate_per_sec } else { calm_rate_per_sec };
+                    let gap = exp_us(&mut self.rng, 1e6 / rate);
+                    if self.now_us + gap <= self.state_end_us {
+                        self.now_us += gap;
+                        break;
+                    }
+                    self.now_us = self.state_end_us;
+                    self.bursting = !self.bursting;
+                    let dwell = if self.bursting { burst_dwell_us } else { calm_dwell_us };
+                    self.state_end_us = self.now_us + exp_us(&mut self.rng, dwell);
+                }
+            }
+        }
+        self.now_us as u64
+    }
+}
+
+/// Bounded-Pareto service-demand distribution on `[min_us, max_us]` with
+/// tail index `alpha` (smaller ⇒ heavier tail; the classic web-workload
+/// value is 1.1–1.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    /// Minimum demand, µs.
+    pub min_us: f64,
+    /// Maximum demand, µs (truncation point).
+    pub max_us: f64,
+    /// Tail index.
+    pub alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Validated constructor.
+    pub fn new(min_us: f64, max_us: f64, alpha: f64) -> BoundedPareto {
+        assert!(min_us > 0.0 && max_us > min_us, "need 0 < min < max");
+        assert!(alpha > 0.0, "tail index must be positive");
+        BoundedPareto { min_us, max_us, alpha }
+    }
+
+    /// One demand sample in µs (inverse-CDF of the truncated Pareto).
+    pub fn sample_us(&self, rng: &mut XorShift64Star) -> u64 {
+        let u = rng.next_f64();
+        let (l, h, a) = (self.min_us, self.max_us, self.alpha);
+        let ratio = (l / h).powf(a);
+        // Inverse CDF: x = L / (1 - U(1 - (L/H)^α))^(1/α), in [L, H].
+        let x = l / (1.0 - u * (1.0 - ratio)).powf(1.0 / a);
+        x.min(h).max(l) as u64
+    }
+
+    /// The distribution mean in µs (closed form; the `alpha == 1`
+    /// singularity uses the log form).
+    pub fn mean_us(&self) -> f64 {
+        let (l, h, a) = (self.min_us, self.max_us, self.alpha);
+        if (a - 1.0).abs() < 1e-9 {
+            let ratio = l / h;
+            l * (h / l).ln() / (1.0 - ratio)
+        } else {
+            // E[X] = (αL/(α−1)) · (1 − (L/H)^{α−1}) / (1 − (L/H)^α).
+            (a * l / (a - 1.0)) * (1.0 - (l / h).powf(a - 1.0)) / (1.0 - (l / h).powf(a))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut s = ArrivalSampler::new(ArrivalProcess::Poisson { rate_per_sec: 10_000.0 }, 42);
+        let n = 20_000;
+        let mut last = 0u64;
+        for _ in 0..n {
+            let t = s.next_arrival_us();
+            assert!(t >= last, "arrival times must be monotone");
+            last = t;
+        }
+        // 10k req/s ⇒ mean gap 100 µs ⇒ 20k arrivals span ~2 s.
+        let mean_gap = last as f64 / n as f64;
+        assert!((90.0..110.0).contains(&mean_gap), "mean gap {mean_gap} µs, expected ~100");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let p = ArrivalProcess::bursty(5_000.0, 4.0);
+        let mut a = ArrivalSampler::new(p.clone(), 7);
+        let mut b = ArrivalSampler::new(p, 7);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_arrival_us(), b.next_arrival_us());
+        }
+    }
+
+    #[test]
+    fn mmpp_long_run_rate_matches_mean() {
+        let p = ArrivalProcess::bursty(8_000.0, 4.0);
+        let expected = p.mean_rate_per_sec();
+        let mut s = ArrivalSampler::new(p, 3);
+        let n = 200_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = s.next_arrival_us();
+        }
+        let observed = n as f64 / (last as f64 / 1e6);
+        let err = (observed - expected).abs() / expected;
+        assert!(err < 0.1, "observed {observed:.0}/s vs expected {expected:.0}/s");
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Squared coefficient of variation of the gaps: 1 for Poisson,
+        // substantially above 1 for a rate-modulated process.
+        let cv2 = |mut s: ArrivalSampler| {
+            let (mut last, mut gaps) = (0u64, Vec::new());
+            for _ in 0..100_000 {
+                let t = s.next_arrival_us();
+                gaps.push((t - last) as f64);
+                last = t;
+            }
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson =
+            cv2(ArrivalSampler::new(ArrivalProcess::Poisson { rate_per_sec: 10_000.0 }, 1));
+        let mmpp = cv2(ArrivalSampler::new(ArrivalProcess::bursty(10_000.0, 8.0), 1));
+        assert!((0.9..1.1).contains(&poisson), "poisson CV² {poisson}");
+        assert!(mmpp > 1.5, "MMPP CV² {mmpp} should exceed Poisson's 1");
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds_and_tail() {
+        let d = BoundedPareto::new(50.0, 50_000.0, 1.3);
+        let mut rng = XorShift64Star::new(9);
+        let n = 100_000;
+        let mut max_seen = 0u64;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let x = d.sample_us(&mut rng);
+            assert!((50..=50_000).contains(&x), "sample {x} out of bounds");
+            max_seen = max_seen.max(x);
+            sum += x;
+        }
+        // Heavy tail: the max dwarfs the mean, and the empirical mean
+        // tracks the closed form.
+        let mean = sum as f64 / n as f64;
+        assert!(max_seen > 10_000, "tail never materialized (max {max_seen})");
+        let expected = d.mean_us();
+        let err = (mean - expected).abs() / expected;
+        assert!(err < 0.1, "empirical mean {mean:.0} vs closed-form {expected:.0}");
+    }
+
+    #[test]
+    fn bounded_pareto_alpha_one_mean_is_finite() {
+        let d = BoundedPareto::new(100.0, 10_000.0, 1.0);
+        let m = d.mean_us();
+        assert!(m > 100.0 && m < 10_000.0, "alpha=1 mean {m}");
+    }
+}

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc_table;
+pub mod arrival;
 pub mod cache;
 pub mod config;
 pub mod coordinator;
@@ -63,6 +64,7 @@ pub mod trace;
 pub mod workload;
 
 pub use alloc_table::{AllocTable, ProgId, Slot};
+pub use arrival::{ArrivalProcess, ArrivalSampler, BoundedPareto};
 pub use config::{CacheConfig, MachineConfig, Placement, SchedConfig, SimConfig, SimTime};
 pub use coordinator::{
     decide_dws, decide_nc, eq1_wake_target, CoordCase, CoordDecision, CoordObservation,

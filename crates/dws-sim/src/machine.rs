@@ -428,6 +428,11 @@ impl Simulator {
                 degraded: 0, // the simulated table has no file to lose
                 tasks_stolen: m.tasks_stolen,
                 steals_contended: 0, // serialized steals never lose a CAS race
+                // The sim has no cross-process submission ring; its
+                // arrival model drives the harness generator instead.
+                requests_admitted: 0,
+                requests_dropped: 0,
+                requests_fenced: 0,
             };
             tel.push(
                 p,

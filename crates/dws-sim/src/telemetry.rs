@@ -113,6 +113,17 @@ pub struct CounterSample {
     /// Always 0 in simulation: the discrete-event model serializes steal
     /// attempts, so no CAS race exists to lose.
     pub steals_contended: u64,
+    /// External requests admitted from the submission ring. Always 0 in
+    /// simulation: the sim has no cross-process ring — its arrival model
+    /// ([`crate::arrival`]) drives the harness generator instead.
+    pub requests_admitted: u64,
+    /// External requests dropped on a full submission ring. Always 0 in
+    /// simulation.
+    pub requests_dropped: u64,
+    /// External requests refused for a stale client epoch. Always 0 in
+    /// simulation: the simulated ring has no cross-process clients to
+    /// fence.
+    pub requests_fenced: u64,
 }
 
 /// Rolling latency percentiles in nanoseconds (always zero in simulation:
@@ -143,6 +154,14 @@ pub struct LatencySample {
     pub sojourn_p99_ns: u64,
     /// Task sojourn p99.9 over the last interval.
     pub sojourn_p999_ns: u64,
+    /// End-to-end request sojourn (client submit→exec-begin) p50 over the
+    /// last interval. Always 0 in simulation, like the other latency
+    /// percentiles.
+    pub request_p50_ns: u64,
+    /// Request sojourn p99 over the last interval.
+    pub request_p99_ns: u64,
+    /// Request sojourn p99.9 over the last interval.
+    pub request_p999_ns: u64,
 }
 
 /// One time-series frame: everything an observer needs to render the

@@ -72,6 +72,40 @@ fn checker_catches_seeded_reap_strand_via_w1() {
 }
 
 #[test]
+fn checker_catches_seeded_dropped_submit_via_the_admission_ledger() {
+    // The serving-path W1 analogue: the coordinator's drain pops a
+    // request from the submission ring but never admits it, reconciling
+    // the completion counter so the run settles cleanly. Every table
+    // transition is legal and every counter reaches zero — only the
+    // oracle's admission ledger (every submitted request is admitted,
+    // every admitted request reaches exactly-once exec) can see it.
+    let cfg = ModelConfig::serving().with_bug(Bug::DroppedSubmit);
+    let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
+    let explorer = Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &cfg, seed));
+
+    let report = explorer.random(0xDEAD_BEEF, 2_000);
+    let failing = report
+        .failing()
+        .unwrap_or_else(|| {
+            panic!("dropped-submit mutation survived {} schedules", report.schedules)
+        })
+        .clone();
+    let failure = failing.failure.as_deref().unwrap();
+    assert!(failure.contains("admission lost"), "unexpected failure: {failure}");
+    assert!(failure.contains("never admitted"), "unexpected failure: {failure}");
+    explorer.replay(&failing).expect("failing seed must replay identically");
+}
+
+#[test]
+fn unmutated_serving_model_passes_the_same_budget() {
+    let cfg = ModelConfig::serving();
+    let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
+    let explorer = Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &cfg, seed));
+    let report = explorer.random(0xDEAD_BEEF, 300);
+    assert!(report.failing().is_none(), "clean serving model flagged: {:?}", report.failing());
+}
+
+#[test]
 fn unmutated_model_passes_the_same_budget() {
     let cfg = ModelConfig::standard();
     let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };

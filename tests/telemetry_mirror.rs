@@ -54,6 +54,9 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             degraded: 1,
             tasks_stolen: 340,
             steals_contended: 12,
+            requests_admitted: 900,
+            requests_dropped: 11,
+            requests_fenced: 2,
         },
         latency: dws_rt::LatencySample {
             steal_p50_ns: 1_024,
@@ -67,6 +70,9 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             sojourn_p50_ns: 8_192,
             sojourn_p99_ns: 524_288,
             sojourn_p999_ns: 1_048_576,
+            request_p50_ns: 16_384,
+            request_p99_ns: 2_097_152,
+            request_p999_ns: 4_194_304,
         },
     }
 }
@@ -113,6 +119,9 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             degraded: 1,
             tasks_stolen: 340,
             steals_contended: 12,
+            requests_admitted: 900,
+            requests_dropped: 11,
+            requests_fenced: 2,
         },
         latency: dws_sim::LatencySample {
             steal_p50_ns: 1_024,
@@ -126,6 +135,9 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             sojourn_p50_ns: 8_192,
             sojourn_p99_ns: 524_288,
             sojourn_p999_ns: 1_048_576,
+            request_p50_ns: 16_384,
+            request_p99_ns: 2_097_152,
+            request_p999_ns: 4_194_304,
         },
     }
 }
@@ -203,8 +215,21 @@ fn real_runtime_and_simulator_frames_cross_deserialize() {
         cfg.sleep_timeout = Some(Duration::from_millis(4));
         cfg
     };
-    let p0 = dws_rt::Runtime::with_table(mk(), Arc::clone(&table), 0);
+    // p0 additionally serves external requests, so the request counters
+    // appear in real frames, not just the synthetic ones above.
+    let p0 = dws_rt::Runtime::serve_with_table(mk(), Arc::clone(&table), 0, |req| {
+        std::hint::black_box(req.demand_us);
+    });
     let p1 = dws_rt::Runtime::with_table(mk(), table, 1);
+    for i in 0..32 {
+        p0.submit(i, 10).unwrap();
+    }
+    // Pump until the ring is empty (the coordinator also drains; either
+    // path bumps the same admission counter).
+    while !p0.submission_ring().unwrap().is_empty() {
+        p0.drain_submissions();
+        std::thread::yield_now();
+    }
     let sum = p0.block_on(|| (1..=2000u64).sum::<u64>());
     let prod = p1.block_on(|| (1..=10u64).product::<u64>());
     assert_eq!((sum, prod), (2_001_000, 3_628_800));
@@ -213,6 +238,8 @@ fn real_runtime_and_simulator_frames_cross_deserialize() {
     drop(p1);
     let frames = handle.frames();
     assert!(!frames.is_empty(), "sampler left no frames");
+    let last = frames.last().unwrap();
+    assert_eq!(last.counters.requests_admitted, 32, "every submitted request admitted");
     for f in &frames {
         let line = serde_json::to_string(f).unwrap();
         let as_sim: dws_sim::TelemetryFrame = serde_json::from_str(&line).unwrap();
