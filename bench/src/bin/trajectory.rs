@@ -28,21 +28,33 @@
 //! trade — plus the lifecycle-tracing off/on overhead delta against the
 //! same 3% makespan budget.
 //!
+//! With `--fairness` it instead emits `BENCH_8.json`: the first
+//! *many-program* trajectory — a program-count sweep (2 → 32 DWS
+//! programs, half greedy and half bursty) on a simulated 64-core
+//! machine, reporting per point the settled per-program core-time
+//! integrals from the allocation ledger, Jain's fairness index over
+//! them, and demand-satisfaction (alloc/release) latency percentiles.
+//! Each point asserts the ledger's conservation law — attributed plus
+//! free core-µs equals `cores × elapsed` exactly — and the schema
+//! validator re-checks it on the committed document.
+//!
 //! ```text
-//! bench-trajectory [--batching | --task-trace | --serving] [--fast]
-//!                  [--cores N] [--reps N] [--batch-limit N] [--out PATH]
-//!                  [--check PATH] [--summary [DIR]]
+//! bench-trajectory [--batching | --task-trace | --serving | --fairness]
+//!                  [--fast] [--cores N] [--reps N] [--batch-limit N]
+//!                  [--out PATH] [--check PATH] [--summary [DIR]]
 //! ```
 //!
 //! * `--batching` — run the batching off/on comparison (`BENCH_5.json`);
 //! * `--task-trace` — run the tracing off/on comparison (`BENCH_6.json`);
 //! * `--serving` — run the open-loop serving sweep (`BENCH_7.json`);
+//! * `--fairness` — run the simulated fairness sweep (`BENCH_8.json`);
 //! * `--fast` — smaller workload for CI smoke runs;
 //! * `--cores N` / `--reps N` / `--batch-limit N` — override the workload
 //!   shape for probing (the emitted config records what actually ran);
 //! * `--out PATH` — where to write the JSON (default `BENCH_3.json`,
 //!   `BENCH_5.json` with `--batching`, `BENCH_6.json` with
-//!   `--task-trace`, `BENCH_7.json` with `--serving`);
+//!   `--task-trace`, `BENCH_7.json` with `--serving`, `BENCH_8.json`
+//!   with `--fairness`);
 //! * `--check PATH` — validate an existing document and exit (no run);
 //!   the schema is picked by the document's `bench` field;
 //! * `--summary [DIR]` — validate every committed `BENCH_N.json` under
@@ -55,7 +67,8 @@
 //! [`dws_bench::validate_bench_value`] /
 //! [`dws_bench::validate_bench5_value`] /
 //! [`dws_bench::validate_bench6_value`] /
-//! [`dws_bench::validate_bench7_value`]; the driver exits nonzero if its
+//! [`dws_bench::validate_bench7_value`] /
+//! [`dws_bench::validate_bench8_value`]; the driver exits nonzero if its
 //! own output ever fails the schema.
 
 use std::io::{Read, Write};
@@ -64,12 +77,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dws_bench::{
-    validate_bench5_value, validate_bench6_value, validate_bench7_value, validate_bench_value,
-    BENCH_SCHEMA_VERSION,
+    validate_bench5_value, validate_bench6_value, validate_bench7_value, validate_bench8_value,
+    validate_bench_value, BENCH_SCHEMA_VERSION,
 };
 use dws_harness::{demand_handler, offer_load, LoadSpec, LoadStats};
 use dws_rt::{
-    join, serve, CoreTable, InProcessTable, MetricsSnapshot, Policy, Runtime, RuntimeConfig,
+    jain_fairness, join, serve, CoreTable, InProcessTable, LedgerTable, MetricsSnapshot, Policy,
+    Runtime, RuntimeConfig,
 };
 use dws_sim::{ArrivalProcess, BoundedPareto};
 use serde::value::Value;
@@ -151,7 +165,8 @@ fn corun(
     tracing: bool,
     probe_endpoint: bool,
 ) -> RunStats {
-    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(p.cores, 2));
+    let table: Arc<dyn CoreTable> =
+        Arc::new(LedgerTable::new(Arc::new(InProcessTable::new(p.cores, 2))));
     let mk = || {
         let mut cfg = RuntimeConfig::new(p.cores, Policy::Dws).with_steal_batch_limit(batch_limit);
         if telemetry {
@@ -523,7 +538,8 @@ fn serve_corun(
     period: Duration,
     tracing: bool,
 ) -> (Duration, Vec<ServeProgStats>) {
-    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(sp.cores, 2));
+    let table: Arc<dyn CoreTable> =
+        Arc::new(LedgerTable::new(Arc::new(InProcessTable::new(sp.cores, 2))));
     let mk = || {
         let mut cfg = RuntimeConfig::new(sp.cores, Policy::Dws)
             .with_serving_geometry(sp.ring_capacity, sp.drain_batch);
@@ -708,14 +724,193 @@ fn run_serving(sp: &ServeParams, out: &str) {
     }
 }
 
+/// Parameters of the `--fairness` program-count sweep.
+#[derive(Clone)]
+struct FairParams {
+    cores: usize,
+    sockets: usize,
+    /// Simulated horizon per sweep point, µs of virtual time.
+    duration_us: u64,
+    seed: u64,
+    /// Program counts along the trajectory (2 → 32).
+    programs: Vec<usize>,
+    fast: bool,
+}
+
+/// The `--fairness` mode: sweep the number of co-running DWS programs on
+/// a simulated 64-core machine and report, per point, the settled
+/// per-program core-time integrals from the allocation ledger, Jain's
+/// fairness index over them, and demand-satisfaction (rise → grant,
+/// fall → release) latency percentiles.
+///
+/// Half the programs are *greedy* (recursive divide-and-conquer whose
+/// demand saturates any grant) and half *bursty* (waves separated by
+/// multi-ms serial sections, so demand rises and falls continuously).
+/// The rise/fall edges are what exercise the demand clocks, and the
+/// demand asymmetry is what makes Jain's index a non-trivial statement —
+/// a greedy program absorbs the cores its bursty neighbours release.
+///
+/// Every point asserts the ledger's conservation law before it is
+/// emitted: Σ per-program core-µs + free core-µs == cores × elapsed,
+/// exactly — the bench-side twin of `dws-check`'s conservation rule.
+fn run_fairness(fp: &FairParams, out: &str) {
+    let greedy = || dws_sim::WorkloadSpec {
+        name: "greedy".into(),
+        phases: vec![dws_sim::PhaseSpec::Recursive {
+            depth: 9,
+            branch: 2,
+            leaf_work_us: 40.0,
+            node_work_us: 1.0,
+            merge_work_us: 2.0,
+            merge_grows: false,
+            mem: 0.2,
+            jitter: 0.1,
+        }],
+    };
+    let bursty = || dws_sim::WorkloadSpec {
+        name: "bursty".into(),
+        phases: vec![dws_sim::PhaseSpec::Waves {
+            iters: 8,
+            width: 48,
+            width_end: 0,
+            task_work_us: 120.0,
+            serial_us: 2_000.0,
+            mem: 0.3,
+            jitter: 0.1,
+        }],
+    };
+
+    let mut sweep: Vec<Value> = Vec::new();
+    for (idx, &m) in fp.programs.iter().enumerate() {
+        let cfg = dws_sim::SimConfig {
+            machine: dws_sim::MachineConfig {
+                cores: fp.cores,
+                sockets: fp.sockets,
+                ..Default::default()
+            },
+            // Decorrelate the points: same base seed, distinct streams.
+            seed: fp.seed + idx as u64,
+            ..Default::default()
+        };
+        let specs: Vec<dws_sim::ProgramSpec> = (0..m)
+            .map(|p| dws_sim::ProgramSpec {
+                workload: if p % 2 == 0 { greedy() } else { bursty() },
+                sched: dws_sim::SchedConfig::for_policy(dws_sim::Policy::Dws, fp.cores),
+            })
+            .collect();
+        let mut sim = dws_sim::Simulator::new(cfg, specs);
+        while sim.now() < fp.duration_us {
+            sim.tick();
+        }
+
+        let elapsed_us = sim.now();
+        let (core_us, free_core_us) = sim.settled_core_us();
+        let core_us_total: u64 = core_us.iter().sum();
+        // Conservation: the ledger must account for every core-µs of the
+        // run. An exact equality — any drift is a leaked interval.
+        assert_eq!(
+            core_us_total + free_core_us,
+            fp.cores as u64 * elapsed_us,
+            "core-seconds conservation violated at {m} programs"
+        );
+
+        let shares: Vec<f64> = core_us.iter().map(|&c| c as f64).collect();
+        let jain = jain_fairness(&shares);
+        let machine_core_us = (fp.cores as u64 * elapsed_us) as f64;
+
+        let mut alloc_pool: Vec<u64> = Vec::new();
+        let mut release_pool: Vec<u64> = Vec::new();
+        let per_program: Vec<Value> = (0..m)
+            .map(|p| {
+                let alloc = sim.ledger().alloc_latency_ns(p);
+                let release = sim.ledger().release_latency_ns(p);
+                alloc_pool.extend_from_slice(alloc);
+                release_pool.extend_from_slice(release);
+                obj(vec![
+                    ("prog", Value::U64(p as u64)),
+                    (
+                        "label",
+                        Value::String(format!(
+                            "{}-{p}",
+                            if p % 2 == 0 { "greedy" } else { "bursty" }
+                        )),
+                    ),
+                    ("core_us", Value::U64(core_us[p])),
+                    ("share_received", Value::F64(core_us[p] as f64 / machine_core_us)),
+                    ("share_entitled", Value::F64(1.0 / m as f64)),
+                    ("alloc_p99_ns", Value::U64(dws_sim::quantile_nearest(alloc, 0.99))),
+                ])
+            })
+            .collect();
+
+        eprintln!(
+            "{m:2} programs: jain {jain:.4}, {} alloc samples, alloc p99 {} ns, free {:.1}%",
+            alloc_pool.len(),
+            dws_sim::quantile_nearest(&alloc_pool, 0.99),
+            free_core_us as f64 / machine_core_us * 100.0,
+        );
+        sweep.push(obj(vec![
+            ("programs", Value::U64(m as u64)),
+            ("elapsed_us", Value::U64(elapsed_us)),
+            ("core_us_total", Value::U64(core_us_total)),
+            ("free_core_us", Value::U64(free_core_us)),
+            ("jain_index", Value::F64(jain)),
+            ("alloc_samples", Value::U64(alloc_pool.len() as u64)),
+            ("alloc_p50_ns", Value::U64(dws_sim::quantile_nearest(&alloc_pool, 0.50))),
+            ("alloc_p99_ns", Value::U64(dws_sim::quantile_nearest(&alloc_pool, 0.99))),
+            ("release_p50_ns", Value::U64(dws_sim::quantile_nearest(&release_pool, 0.50))),
+            ("release_p99_ns", Value::U64(dws_sim::quantile_nearest(&release_pool, 0.99))),
+            ("per_program", Value::Array(per_program)),
+        ]));
+    }
+
+    let doc = obj(vec![
+        ("bench", Value::String("fairness-trajectory".into())),
+        ("schema_version", Value::U64(BENCH_SCHEMA_VERSION)),
+        ("pr", Value::U64(8)),
+        (
+            "config",
+            obj(vec![
+                ("cores", Value::U64(fp.cores as u64)),
+                ("sockets", Value::U64(fp.sockets as u64)),
+                ("duration_us", Value::U64(fp.duration_us)),
+                ("seed", Value::U64(fp.seed)),
+                ("fast", Value::Bool(fp.fast)),
+            ]),
+        ),
+        ("results", obj(vec![("sweep", Value::Array(sweep))])),
+    ]);
+
+    if let Err(errors) = validate_bench8_value(&doc) {
+        eprintln!("generated document fails its own schema: {errors:?}");
+        std::process::exit(1);
+    }
+    let text = serde_json::to_string(&doc).expect("serialize bench document");
+    std::fs::write(out, format!("{text}\n")).expect("write bench document");
+    println!(
+        "wrote {out}: {} sweep points ({:?} programs) on a simulated {}-core machine",
+        fp.programs.len(),
+        fp.programs,
+        fp.cores,
+    );
+}
+
 /// Picks the validator by the document's own `bench` field — the same
-/// dispatch `--check` uses for a single file.
+/// dispatch `--check` uses for a single file. A document whose `bench`
+/// kind is unknown (or missing) is a *failure*, not a fall-through — a
+/// typo'd kind must not silently validate against the wrong schema.
 fn validate_by_kind(doc: &Value) -> Result<(), Vec<String>> {
     match doc["bench"].as_str() {
+        Some("telemetry-trajectory") => validate_bench_value(doc),
         Some("batched-stealing") => validate_bench5_value(doc),
         Some("task-trace") => validate_bench6_value(doc),
         Some("serving-tail") => validate_bench7_value(doc),
-        _ => validate_bench_value(doc),
+        Some("fairness-trajectory") => validate_bench8_value(doc),
+        Some(other) => Err(vec![format!(
+            "unknown bench kind `{other}` (known: telemetry-trajectory, batched-stealing, \
+             task-trace, serving-tail, fairness-trajectory)"
+        )]),
+        None => Err(vec!["document has no `bench` kind field".to_string()]),
     }
 }
 
@@ -793,6 +988,7 @@ fn main() {
     let mut batching = false;
     let mut task_trace = false;
     let mut serving = false;
+    let mut fairness = false;
     let mut summary: Option<String> = None;
     let mut cores: Option<usize> = None;
     let mut reps: Option<usize> = None;
@@ -806,6 +1002,7 @@ fn main() {
             "--batching" => batching = true,
             "--task-trace" => task_trace = true,
             "--serving" => serving = true,
+            "--fairness" => fairness = true,
             "--summary" => {
                 // Optional DIR operand: consume the next arg unless it
                 // is another flag.
@@ -849,7 +1046,7 @@ fn main() {
             other => {
                 panic!(
                     "unknown flag {other}; known: --batching --task-trace --serving \
-                     --fast --cores N --reps N --batch-limit N --out PATH \
+                     --fairness --fast --cores N --reps N --batch-limit N --out PATH \
                      --check PATH --summary [DIR]"
                 )
             }
@@ -882,9 +1079,36 @@ fn main() {
     }
 
     assert!(
-        usize::from(batching) + usize::from(task_trace) + usize::from(serving) <= 1,
-        "--batching, --task-trace and --serving are mutually exclusive"
+        usize::from(batching)
+            + usize::from(task_trace)
+            + usize::from(serving)
+            + usize::from(fairness)
+            <= 1,
+        "--batching, --task-trace, --serving and --fairness are mutually exclusive"
     );
+    if fairness {
+        // Simulated, deterministic, and sized well beyond the real
+        // testbed: 64 cores and up to 32 co-running programs. `--fast`
+        // shortens the virtual horizon, not the trajectory — CI still
+        // sweeps every program count.
+        let mut fp = FairParams {
+            cores: 64,
+            sockets: 2,
+            duration_us: if fast { 60_000 } else { 300_000 },
+            seed: 11,
+            programs: vec![2, 4, 8, 16, 32],
+            fast,
+        };
+        if let Some(n) = cores {
+            assert!(
+                n >= *fp.programs.last().unwrap(),
+                "--cores: need at least one core per program at the widest sweep point"
+            );
+            fp.cores = n;
+        }
+        run_fairness(&fp, &out.unwrap_or_else(|| "BENCH_8.json".into()));
+        return;
+    }
     if serving {
         // Bursty open-loop load: calm stretches punctuated by 4× bursts,
         // bounded-Pareto demands (~130 µs mean, heavy right tail). The
@@ -1101,4 +1325,48 @@ fn main() {
         on.makespan.as_secs_f64() * 1e3,
         traced.endpoint_ok,
     );
+}
+
+#[cfg(test)]
+mod dispatch_tests {
+    use super::*;
+
+    #[test]
+    fn unknown_bench_kind_is_a_failure_not_a_fallthrough() {
+        let doc: Value =
+            serde_json::from_str(r#"{"bench": "mystery-metric", "schema_version": 1}"#).unwrap();
+        let errs = validate_by_kind(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("unknown bench kind `mystery-metric`")), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_bench_kind_is_a_failure() {
+        let doc: Value = serde_json::from_str(r#"{"schema_version": 1}"#).unwrap();
+        let errs = validate_by_kind(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("no `bench` kind")), "{errs:?}");
+    }
+
+    #[test]
+    fn known_kinds_route_to_their_own_schema() {
+        // A bare header of each known kind must produce that schema's
+        // errors (pr mismatch), never the unknown-kind error.
+        for (kind, pr) in [
+            ("telemetry-trajectory", 3),
+            ("batched-stealing", 5),
+            ("task-trace", 6),
+            ("serving-tail", 7),
+            ("fairness-trajectory", 8),
+        ] {
+            let doc: Value = serde_json::from_str(&format!(
+                r#"{{"bench": "{kind}", "schema_version": 1, "pr": {pr}}}"#
+            ))
+            .unwrap();
+            let errs = validate_by_kind(&doc).unwrap_err();
+            assert!(
+                !errs.iter().any(|m| m.contains("unknown bench kind")),
+                "{kind} fell through: {errs:?}"
+            );
+            assert!(!errs.iter().any(|m| m.contains("pr must be")), "{kind} wrong pr: {errs:?}");
+        }
+    }
 }

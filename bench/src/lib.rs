@@ -2,8 +2,10 @@
 //! the `bench-trajectory` driver that emits `BENCH_3.json` (telemetry
 //! overhead), `BENCH_5.json` with `--batching` (batched-stealing off/on
 //! comparison), `BENCH_6.json` with `--task-trace` (task-lifecycle
-//! tracing overhead + sojourn percentiles), and `BENCH_7.json` with
-//! `--serving` (open-loop serving tail latency) at the repo root. The
+//! tracing overhead + sojourn percentiles), `BENCH_7.json` with
+//! `--serving` (open-loop serving tail latency), and `BENCH_8.json` with
+//! `--fairness` (simulated many-program fairness trajectory) at the repo
+//! root. The
 //! benchmarks regenerate the paper's figures and measure the runtime
 //! substrates; run them with `cargo bench --workspace`.
 
@@ -404,6 +406,157 @@ pub fn validate_bench7_value(doc: &Value) -> Result<(), Vec<String>> {
     }
 }
 
+/// Validates a parsed `BENCH_8.json` document against the schema the
+/// `bench-trajectory --fairness` mode emits: identification header, the
+/// simulated-machine configuration, and a program-count sweep where each
+/// point carries the settled per-program core-time integrals, Jain's
+/// fairness index over them, and pooled demand-satisfaction latency
+/// percentiles from the allocation ledger. Beyond shape, the validator
+/// re-checks the ledger's conservation law — per-program core-µs plus
+/// free core-µs must equal `cores × elapsed` exactly — so a committed
+/// document *proves* the run leaked no core-time. Returns every
+/// violation found, not just the first.
+pub fn validate_bench8_value(doc: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let e = &mut errors;
+
+    require(doc["bench"].as_str() == Some("fairness-trajectory"), e, "bench name mismatch");
+    require(
+        doc["schema_version"].as_u64() == Some(BENCH_SCHEMA_VERSION),
+        e,
+        "schema_version mismatch",
+    );
+    require(doc["pr"].as_u64() == Some(8), e, "pr must be 8");
+
+    let cfg = &doc["config"];
+    for key in ["cores", "sockets", "duration_us", "seed"] {
+        require(is_int(&cfg[key]), e, &format!("config.{key} must be an integer"));
+    }
+    require(matches!(cfg["fast"], Value::Bool(_)), e, "config.fast must be a bool");
+    let cores = cfg["cores"].as_u64();
+
+    let r = &doc["results"];
+    match &r["sweep"] {
+        Value::Array(points) if !points.is_empty() => {
+            let mut prev_programs = 0u64;
+            for (i, pt) in points.iter().enumerate() {
+                for key in [
+                    "programs",
+                    "elapsed_us",
+                    "core_us_total",
+                    "free_core_us",
+                    "alloc_samples",
+                    "alloc_p50_ns",
+                    "alloc_p99_ns",
+                    "release_p50_ns",
+                    "release_p99_ns",
+                ] {
+                    require(is_int(&pt[key]), e, &format!("sweep[{i}].{key} must be an integer"));
+                }
+                // The trajectory axis: points ordered by program count.
+                if let Some(m) = pt["programs"].as_u64() {
+                    require(
+                        m > prev_programs,
+                        e,
+                        &format!("sweep[{i}].programs must increase along the sweep"),
+                    );
+                    prev_programs = m;
+                }
+                // Jain's index over m programs lives in [1/m, 1].
+                match num(&pt["jain_index"]) {
+                    Some(j) => require(
+                        j > 0.0 && j <= 1.0 + 1e-9,
+                        e,
+                        &format!("sweep[{i}].jain_index must be in (0, 1]"),
+                    ),
+                    None => e.push(format!("sweep[{i}].jain_index must be numeric")),
+                }
+                // Quantiles of one distribution cannot invert.
+                for (lo, hi) in
+                    [("alloc_p50_ns", "alloc_p99_ns"), ("release_p50_ns", "release_p99_ns")]
+                {
+                    if let (Some(p50), Some(p99)) = (pt[lo].as_u64(), pt[hi].as_u64()) {
+                        require(
+                            p50 <= p99,
+                            e,
+                            &format!("sweep[{i}]: {lo} must be <= {hi} (monotone quantiles)"),
+                        );
+                    }
+                }
+                // Conservation: the ledger accounts for every core-µs of
+                // the run — attributed plus free equals cores × elapsed.
+                if let (Some(k), Some(el), Some(total), Some(free)) = (
+                    cores,
+                    pt["elapsed_us"].as_u64(),
+                    pt["core_us_total"].as_u64(),
+                    pt["free_core_us"].as_u64(),
+                ) {
+                    require(
+                        total + free == k * el,
+                        e,
+                        &format!(
+                            "sweep[{i}]: core_us_total + free_core_us must equal \
+                             cores x elapsed_us (conservation)"
+                        ),
+                    );
+                }
+                match &pt["per_program"] {
+                    Value::Array(progs) if !progs.is_empty() => {
+                        if let Some(m) = pt["programs"].as_u64() {
+                            require(
+                                progs.len() as u64 == m,
+                                e,
+                                &format!("sweep[{i}].per_program must have `programs` entries"),
+                            );
+                        }
+                        let mut sum_core_us = 0u64;
+                        for (j, p) in progs.iter().enumerate() {
+                            let at = format!("sweep[{i}].per_program[{j}]");
+                            require(p["label"].as_str().is_some(), e, &format!("{at}.label"));
+                            for key in ["prog", "core_us", "alloc_p99_ns"] {
+                                require(
+                                    is_int(&p[key]),
+                                    e,
+                                    &format!("{at}.{key} must be an integer"),
+                                );
+                            }
+                            for key in ["share_received", "share_entitled"] {
+                                match num(&p[key]) {
+                                    Some(s) => require(
+                                        (0.0..=1.0 + 1e-9).contains(&s),
+                                        e,
+                                        &format!("{at}.{key} must be in [0, 1]"),
+                                    ),
+                                    None => e.push(format!("{at}.{key} must be numeric")),
+                                }
+                            }
+                            sum_core_us += p["core_us"].as_u64().unwrap_or(0);
+                        }
+                        // The sweep-level total is the sum of its parts.
+                        if let Some(total) = pt["core_us_total"].as_u64() {
+                            require(
+                                sum_core_us == total,
+                                e,
+                                &format!(
+                                    "sweep[{i}]: per_program core_us must sum to core_us_total"
+                                ),
+                            );
+                        }
+                    }
+                    _ => e.push(format!("sweep[{i}].per_program must be a non-empty array")),
+                }
+            }
+        }
+        _ => e.push("results.sweep must be a non-empty array".to_string()),
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 fn num(v: &Value) -> Option<f64> {
     match *v {
         Value::U64(n) => Some(n as f64),
@@ -697,6 +850,104 @@ mod tests {
         set(&mut doc, &["results", "sweep"], Value::Array(vec![]));
         let errs = validate_bench7_value(&doc).unwrap_err();
         assert!(errs.iter().any(|m| m.contains("sweep")), "{errs:?}");
+    }
+
+    fn valid_bench8_doc() -> Value {
+        serde_json::from_str(
+            r#"{
+              "bench": "fairness-trajectory",
+              "schema_version": 1,
+              "pr": 8,
+              "config": {"cores": 4, "sockets": 2, "duration_us": 100000,
+                         "seed": 11, "fast": false},
+              "results": {
+                "sweep": [
+                  {"programs": 2, "elapsed_us": 100000, "core_us_total": 380000,
+                   "free_core_us": 20000, "jain_index": 0.98,
+                   "alloc_samples": 40, "alloc_p50_ns": 30000,
+                   "alloc_p99_ns": 900000, "release_p50_ns": 20000,
+                   "release_p99_ns": 500000,
+                   "per_program": [
+                     {"prog": 0, "label": "greedy-0", "core_us": 200000,
+                      "share_received": 0.5, "share_entitled": 0.5,
+                      "alloc_p99_ns": 900000},
+                     {"prog": 1, "label": "bursty-1", "core_us": 180000,
+                      "share_received": 0.45, "share_entitled": 0.5,
+                      "alloc_p99_ns": 800000}
+                   ]}
+                ]
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    fn set_bench8_point(doc: &mut Value, key: &str, v: Value) {
+        let Value::Object(pairs) = doc else { panic!("not an object") };
+        let results = &mut pairs.iter_mut().find(|(k, _)| k == "results").unwrap().1;
+        let Value::Object(pairs) = results else { panic!() };
+        let sweep = &mut pairs.iter_mut().find(|(k, _)| k == "sweep").unwrap().1;
+        let Value::Array(points) = sweep else { panic!() };
+        set(&mut points[0], &[key], v);
+    }
+
+    #[test]
+    fn valid_bench8_document_passes() {
+        assert_eq!(validate_bench8_value(&valid_bench8_doc()), Ok(()));
+    }
+
+    #[test]
+    fn bench8_rejects_other_schemas_and_vice_versa() {
+        assert!(validate_bench8_value(&valid_doc()).is_err());
+        assert!(validate_bench8_value(&valid_bench7_doc()).is_err());
+        assert!(validate_bench_value(&valid_bench8_doc()).is_err());
+        assert!(validate_bench7_value(&valid_bench8_doc()).is_err());
+    }
+
+    #[test]
+    fn bench8_leaked_core_seconds_fail_conservation() {
+        // 4 cores x 100 ms elapsed = 400 000 core-µs; attributing one µs
+        // less without moving it to `free` is exactly the leak the
+        // conservation rule exists to catch.
+        let mut doc = valid_bench8_doc();
+        set_bench8_point(&mut doc, "core_us_total", Value::U64(379_999));
+        let errs = validate_bench8_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("conservation")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench8_per_program_sum_must_match_total() {
+        let mut doc = valid_bench8_doc();
+        // Shift the same µs *into* a program so conservation still holds
+        // but the per-program breakdown no longer sums to the total.
+        set_bench8_point(&mut doc, "free_core_us", Value::U64(19_999));
+        set_bench8_point(&mut doc, "core_us_total", Value::U64(380_001));
+        let errs = validate_bench8_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("sum to core_us_total")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench8_jain_index_out_of_range_fails() {
+        let mut doc = valid_bench8_doc();
+        set_bench8_point(&mut doc, "jain_index", Value::F64(1.7));
+        let errs = validate_bench8_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("jain_index")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench8_inverted_alloc_quantiles_fail() {
+        let mut doc = valid_bench8_doc();
+        set_bench8_point(&mut doc, "alloc_p99_ns", Value::U64(1));
+        let errs = validate_bench8_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("monotone")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench8_program_count_must_match_breakdown() {
+        let mut doc = valid_bench8_doc();
+        set_bench8_point(&mut doc, "programs", Value::U64(3));
+        let errs = validate_bench8_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("`programs` entries")), "{errs:?}");
     }
 
     #[test]

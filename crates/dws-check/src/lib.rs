@@ -68,5 +68,5 @@ pub use explorer::{
     RunResult, ThreadHandle,
 };
 pub use fault::FaultPlan;
-pub use oracle::{Oracle, ProtoEvent, Violation};
+pub use oracle::{replay_core_time, CoreTime, Oracle, ProtoEvent, Violation};
 pub use source::Source;

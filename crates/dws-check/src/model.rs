@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::explorer::{Env, PostCheck};
-use crate::oracle::{Oracle, ProtoEvent};
+use crate::oracle::{replay_core_time, Oracle, ProtoEvent};
 use crate::sync::{
     fault_below, fault_hit, fault_plan, preempt_point, sleep, yield_now, AtomicBool, AtomicI32,
     AtomicUsize, Condvar, Mutex, Ordering,
@@ -71,6 +71,15 @@ pub enum Bug {
     /// admitted, every admitted request reaches exactly-once exec")
     /// catches it. Implies the serving scenario.
     DroppedSubmit,
+    /// `try_reap` returns the core to the free pool but never charges
+    /// the dead program's final interval to the conservation ledger —
+    /// the clock advances with nobody billed, the checker-side analogue
+    /// of a runtime `AllocLedger` that forgets to settle on the reap
+    /// path. Every logged transition stays legal and the run settles
+    /// cleanly; only the core-seconds conservation rule
+    /// (Σ per-program + free == cores × elapsed, DESIGN §14) sees the
+    /// hole. Implies the crash scenario (reaps need a victim).
+    LeakedCoreSeconds,
 }
 
 /// Shape and timing of one model instance. All times are virtual
@@ -243,14 +252,32 @@ pub fn plan_wakes(n_w: usize, n_f: usize, n_r: usize) -> (usize, usize) {
     }
 }
 
+/// The live core-seconds conservation ledger (the model analogue of the
+/// runtime's `AllocLedger`, DESIGN §14): every successful table
+/// transition settles the interval since the core's previous transition
+/// onto the owner that held it. Kept behind a *std* mutex, like the
+/// event log, so the ledger adds no scheduler operations and every
+/// pinned seed's schedule is unchanged.
+#[derive(Debug)]
+struct CoreLedger {
+    /// Virtual time of each core's last settled transition.
+    last: Vec<u64>,
+    /// Core-nanoseconds charged to each program so far.
+    prog_ns: Vec<u64>,
+    /// Core-nanoseconds no program owned.
+    free_ns: u64,
+}
+
 /// The model's Table-1 core-allocation table: `current[core]` is the
 /// owning program or [`FREE`], with the same CAS protocol as the
 /// runtime's `InProcessTable`. Successful transitions are logged
-/// atomically with the CAS (no yield point in between).
+/// atomically with the CAS (no yield point in between), stamped with
+/// the virtual clock, and settled into the conservation ledger.
 pub struct ModelTable {
     home: Vec<usize>,
     current: Vec<AtomicI32>,
-    log: std::sync::Mutex<Vec<ProtoEvent>>,
+    log: std::sync::Mutex<Vec<(u64, ProtoEvent)>>,
+    ledger: std::sync::Mutex<CoreLedger>,
     bug: Option<Bug>,
 }
 
@@ -258,11 +285,56 @@ impl ModelTable {
     /// Creates a table fully owned per the home map.
     pub fn new(home: Vec<usize>, bug: Option<Bug>) -> Self {
         let current = home.iter().map(|&p| AtomicI32::new(p as i32)).collect();
-        ModelTable { home, current, log: std::sync::Mutex::new(Vec::new()), bug }
+        let programs = home.iter().copied().max().map_or(0, |m| m + 1);
+        let ledger =
+            CoreLedger { last: vec![0; home.len()], prog_ns: vec![0; programs], free_ns: 0 };
+        ModelTable {
+            home,
+            current,
+            log: std::sync::Mutex::new(Vec::new()),
+            ledger: std::sync::Mutex::new(ledger),
+            bug,
+        }
     }
 
     fn log_event(&self, e: ProtoEvent) {
-        self.log.lock().unwrap_or_else(|x| x.into_inner()).push(e);
+        self.log_event_at(crate::sync::now_ns(), e);
+    }
+
+    fn log_event_at(&self, now: u64, e: ProtoEvent) {
+        self.log.lock().unwrap_or_else(|x| x.into_inner()).push((now, e));
+    }
+
+    /// Charges the interval since `core`'s last transition to `prev`
+    /// (its owner until this instant; [`FREE`] bills the free pool).
+    fn settle(&self, core: usize, prev: i32, now: u64) {
+        let mut led = self.ledger.lock().unwrap_or_else(|x| x.into_inner());
+        let dt = now.saturating_sub(led.last[core]);
+        if prev == FREE {
+            led.free_ns += dt;
+        } else {
+            led.prog_ns[prev as usize] += dt;
+        }
+        led.last[core] = now;
+    }
+
+    /// Closes the ledger at horizon `t_end` (charging each core's open
+    /// interval to its current owner) and returns
+    /// `(per-program core-ns, free core-ns)`. Non-destructive.
+    pub fn settled_core_time(&self, t_end: u64) -> (Vec<u64>, u64) {
+        let led = self.ledger.lock().unwrap_or_else(|x| x.into_inner());
+        let mut prog_ns = led.prog_ns.clone();
+        let mut free_ns = led.free_ns;
+        for (core, &last) in led.last.iter().enumerate() {
+            let dt = t_end.saturating_sub(last);
+            let cur = self.current[core].load(Ordering::SeqCst);
+            if cur == FREE {
+                free_ns += dt;
+            } else {
+                prog_ns[cur as usize] += dt;
+            }
+        }
+        (prog_ns, free_ns)
     }
 
     /// Current owner of `core` ([`FREE`] or a program index).
@@ -276,7 +348,9 @@ impl ModelTable {
             .compare_exchange(FREE, prog as i32, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
         {
-            self.log_event(ProtoEvent::Acquire { prog, core });
+            let now = crate::sync::now_ns();
+            self.settle(core, FREE, now);
+            self.log_event_at(now, ProtoEvent::Acquire { prog, core });
             true
         } else {
             false
@@ -293,7 +367,9 @@ impl ModelTable {
             if cur == prog as i32 {
                 if self.bug == Some(Bug::DoubleReclaim) {
                     self.current[core].store(prog as i32, Ordering::SeqCst);
-                    self.log_event(ProtoEvent::Reclaim { prog, core });
+                    let now = crate::sync::now_ns();
+                    self.settle(core, cur, now);
+                    self.log_event_at(now, ProtoEvent::Reclaim { prog, core });
                     return true;
                 }
                 return false;
@@ -302,7 +378,9 @@ impl ModelTable {
                 .compare_exchange(cur, prog as i32, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
-                self.log_event(ProtoEvent::Reclaim { prog, core });
+                let now = crate::sync::now_ns();
+                self.settle(core, cur, now);
+                self.log_event_at(now, ProtoEvent::Reclaim { prog, core });
                 return true;
             }
         }
@@ -315,7 +393,9 @@ impl ModelTable {
             .compare_exchange(prog as i32, FREE, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
         {
-            self.log_event(ProtoEvent::Release { prog, core });
+            let now = crate::sync::now_ns();
+            self.settle(core, prog as i32, now);
+            self.log_event_at(now, ProtoEvent::Release { prog, core });
             true
         } else {
             false
@@ -330,7 +410,16 @@ impl ModelTable {
             .compare_exchange(dead as i32, FREE, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
         {
-            self.log_event(ProtoEvent::Reap { prog: dead, core });
+            let now = crate::sync::now_ns();
+            if self.bug == Some(Bug::LeakedCoreSeconds) {
+                // Seeded bug: advance the core's clock without billing
+                // the dead program's final interval. The Reap below is
+                // still logged and legal — only conservation notices.
+                self.ledger.lock().unwrap_or_else(|x| x.into_inner()).last[core] = now;
+            } else {
+                self.settle(core, dead as i32, now);
+            }
+            self.log_event_at(now, ProtoEvent::Reap { prog: dead, core });
             true
         } else {
             false
@@ -363,8 +452,15 @@ impl ModelTable {
             .collect()
     }
 
-    /// Drains the event log.
+    /// Drains the event log, stripped of timestamps.
     pub fn take_log(&self) -> Vec<ProtoEvent> {
+        self.take_timed_log().into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Drains the event log with each event's virtual-ns timestamp
+    /// (zero for events logged outside an exploration, where the
+    /// virtual clock does not run).
+    pub fn take_timed_log(&self) -> Vec<(u64, ProtoEvent)> {
         std::mem::take(&mut *self.log.lock().unwrap_or_else(|x| x.into_inner()))
     }
 }
@@ -881,7 +977,8 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
     }
     let crash = cfg.crash;
     move |clean: bool| {
-        let events = sh.table.take_log();
+        let timed = sh.table.take_timed_log();
+        let events: Vec<ProtoEvent> = timed.iter().map(|&(_, e)| e).collect();
         let mut error = None;
         let mut oracle = Oracle::new(&home);
         for &e in &events {
@@ -932,6 +1029,39 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
             // the counters but not the ledger.
             if let Err(e) = oracle.finish(crash) {
                 error = Some(e);
+            }
+        }
+        if error.is_none() && clean {
+            // Core-seconds conservation (DESIGN §14's checker-side
+            // mirror of the runtime `AllocLedger`): settle the live
+            // ledger at the log's horizon and demand every
+            // core-nanosecond is attributed — Σ per-program + free ==
+            // cores × elapsed — then that the ledger's attribution
+            // matches an independent replay of the timed log. A
+            // transition path that frees a core without billing its
+            // final interval (Bug::LeakedCoreSeconds) is legal
+            // event-by-event; only these rules see the hole.
+            let t_end = timed.iter().map(|&(t, _)| t).max().unwrap_or(0);
+            let (led_prog, led_free) = sh.table.settled_core_time(t_end);
+            let total = led_prog.iter().sum::<u64>() + led_free;
+            let expected = sh.cfg.cores as u64 * t_end;
+            if total != expected {
+                error = Some(format!(
+                    "core-seconds conservation violated: ledger attributes {total} core-ns \
+                     but {} cores x {t_end} elapsed ns = {expected} core-ns \
+                     ({} core-ns leaked)",
+                    sh.cfg.cores,
+                    expected.abs_diff(total)
+                ));
+            } else {
+                let ct = replay_core_time(&home, &timed);
+                if ct.per_prog != led_prog || ct.free_ns != led_free {
+                    error = Some(format!(
+                        "ledger/replay core-time disagree: ledger {led_prog:?} + {led_free} free, \
+                         replay {:?} + {} free",
+                        ct.per_prog, ct.free_ns
+                    ));
+                }
             }
         }
         PostCheck { events, error }
@@ -1012,6 +1142,27 @@ mod tests {
         assert!(!ModelConfig::standard().is_serving());
         assert!(!ModelConfig::small().is_serving());
         assert!(!ModelConfig::crash().is_serving());
+    }
+
+    #[test]
+    fn unmanaged_table_ledger_is_timeless_but_complete() {
+        // Outside an exploration the virtual clock reads zero, so the
+        // ledger conserves trivially — and the timed log still records
+        // every transition, in order, with zero stamps.
+        let t = ModelTable::new(vec![0, 0, 1, 1], None);
+        assert!(t.release(0, 0));
+        assert!(t.try_acquire_free(1, 0));
+        let (prog_ns, free_ns) = t.settled_core_time(0);
+        assert_eq!(prog_ns, vec![0, 0]);
+        assert_eq!(free_ns, 0);
+        let timed = t.take_timed_log();
+        assert_eq!(
+            timed,
+            vec![
+                (0, ProtoEvent::Release { prog: 0, core: 0 }),
+                (0, ProtoEvent::Acquire { prog: 1, core: 0 }),
+            ]
+        );
     }
 
     #[test]

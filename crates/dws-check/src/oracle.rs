@@ -220,6 +220,74 @@ pub struct OracleStats {
     pub admits: usize,
 }
 
+/// Per-owner core-time attribution of a *timed* trace — the checker-side
+/// mirror of the runtime's `AllocLedger` (DESIGN §14).
+///
+/// Produced by [`replay_core_time`], which charges every interval between
+/// consecutive table transitions of a core to the owner the log proves
+/// held it. Attribution is exhaustive by construction:
+/// `per_prog.sum() + free_ns == home.len() * t_end_ns`. The *live*
+/// conservation ledger inside the model table is the thing that can leak;
+/// comparing it against this replay (and against `cores × elapsed`) is
+/// how the post-check catches `Bug::LeakedCoreSeconds`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreTime {
+    /// Core-nanoseconds attributed to each program.
+    pub per_prog: Vec<u64>,
+    /// Core-nanoseconds during which no program owned the core.
+    pub free_ns: u64,
+    /// The trace horizon: the largest timestamp of any event.
+    pub t_end_ns: u64,
+}
+
+impl CoreTime {
+    /// Total attributed core-nanoseconds (programs + free).
+    pub fn total(&self) -> u64 {
+        self.per_prog.iter().sum::<u64>() + self.free_ns
+    }
+}
+
+/// Replays a timed trace into per-program core-time, starting from the
+/// fully-owned equipartition state. Only the four table transitions
+/// (`Acquire`/`Reclaim`/`Release`/`Reap`) move ownership; every other
+/// event merely extends the horizon `t_end_ns`, so time a core spends
+/// past its last transition is still charged to its final owner.
+pub fn replay_core_time(home: &[usize], events: &[(u64, ProtoEvent)]) -> CoreTime {
+    let cores = home.len();
+    let programs = home.iter().copied().max().map_or(0, |m| m + 1);
+    let mut owner: Vec<Option<usize>> = home.iter().map(|&p| Some(p)).collect();
+    let mut last = vec![0u64; cores];
+    let mut ct = CoreTime { per_prog: vec![0; programs], free_ns: 0, t_end_ns: 0 };
+    let charge = |owner: Option<usize>, dt: u64, ct: &mut CoreTime| match owner {
+        Some(p) => {
+            if p >= ct.per_prog.len() {
+                ct.per_prog.resize(p + 1, 0);
+            }
+            ct.per_prog[p] += dt;
+        }
+        None => ct.free_ns += dt,
+    };
+    for &(t, e) in events {
+        ct.t_end_ns = ct.t_end_ns.max(t);
+        let (core, next) = match e {
+            ProtoEvent::Acquire { prog, core } | ProtoEvent::Reclaim { prog, core } => {
+                (core, Some(prog))
+            }
+            ProtoEvent::Release { core, .. } | ProtoEvent::Reap { core, .. } => (core, None),
+            _ => continue,
+        };
+        // Log order is linearization order, so per-core timestamps are
+        // monotone; saturate anyway so a hand-built trace cannot panic.
+        charge(owner[core], t.saturating_sub(last[core]), &mut ct);
+        last[core] = t;
+        owner[core] = next;
+    }
+    for c in 0..cores {
+        charge(owner[c], ct.t_end_ns.saturating_sub(last[c]), &mut ct);
+    }
+    ct
+}
+
 /// Replays a trace against the ownership rules, starting (like the
 /// runtime's `ReplayChecker`) from the fully-owned equipartition state:
 /// every core owned by its home program.
@@ -778,6 +846,33 @@ mod tests {
         let trace = [Submit { prog: 1, id: 2 }, Expired { prog: 1 }, Admit { prog: 1, id: 2 }];
         let v = Oracle::replay(&HOME, &trace).unwrap_err();
         assert!(v.reason.contains("by expired prog 1"), "{}", v.reason);
+    }
+
+    #[test]
+    fn replay_core_time_attributes_and_conserves() {
+        use ProtoEvent::*;
+        let timed = [
+            (100, Release { prog: 0, core: 1 }),
+            (250, Acquire { prog: 1, core: 1 }),
+            // A non-transition event extends the horizon: time past the
+            // last transition is charged to the final owners.
+            (400, Sleep { prog: 0, worker: 0 }),
+        ];
+        let ct = replay_core_time(&HOME, &timed);
+        assert_eq!(ct.t_end_ns, 400);
+        // core 0: prog 0 the whole 400; core 1: prog 0 for 100, free for
+        // 150, prog 1 for 150; cores 2-3: prog 1 the whole 400 each.
+        assert_eq!(ct.per_prog, vec![500, 950]);
+        assert_eq!(ct.free_ns, 150);
+        assert_eq!(ct.total(), 4 * 400, "attribution is exhaustive by construction");
+    }
+
+    #[test]
+    fn replay_core_time_of_an_empty_trace_is_zero() {
+        let ct = replay_core_time(&HOME, &[]);
+        assert_eq!(ct.per_prog, vec![0, 0]);
+        assert_eq!(ct.free_ns, 0);
+        assert_eq!(ct.total(), 0);
     }
 
     #[test]

@@ -195,6 +195,30 @@ fn seeded_reap_alive_is_caught_and_replays() {
     explorer.replay(&failing).expect("failing seed must replay identically");
 }
 
+#[test]
+fn seeded_leaked_core_seconds_is_caught_and_replays() {
+    // The reap path frees the core but never bills the dead program's
+    // final interval to the conservation ledger. Every logged
+    // transition is legal, all surviving tasks execute, and the log
+    // agrees with the live table — only the core-seconds conservation
+    // rule (Σ per-program + free == cores × elapsed) sees the hole.
+    let cfg = ModelConfig::crash().with_bug(Bug::LeakedCoreSeconds);
+    let explorer = Explorer::new(CheckOptions::default(), move |env: &Env, seed| {
+        model::spawn_model(env, &cfg, seed)
+    });
+    let report = explorer.random(0x1EA, 500);
+    let failing = report
+        .failing()
+        .unwrap_or_else(|| {
+            panic!("leaked-core-seconds bug not found in {} schedules", report.schedules)
+        })
+        .clone();
+    let failure = failing.failure.as_deref().unwrap();
+    assert!(failure.contains("conservation violated"), "unexpected failure: {failure}");
+    assert!(failure.contains("core-ns leaked"), "unexpected failure: {failure}");
+    explorer.replay(&failing).expect("failing seed must replay identically");
+}
+
 /// Builds a two-thread wake/sleep race and records the sleeper's
 /// outcome(s).
 fn sleeper_race(

@@ -71,7 +71,13 @@ const USAGE: &str = "usage: check [OPTIONS]
                      dropped-submit   the coordinator's drain pops a
                                       ringed request but never admits it
                                       (implies --serving; caught only by
-                                      the admission ledger)";
+                                      the admission ledger)
+                     leaked-core-seconds
+                                      the reap path frees the core but
+                                      never bills the dead program's
+                                      final interval (implies --crash;
+                                      caught only by the core-seconds
+                                      conservation rule)";
 
 fn parse() -> Result<Cli, String> {
     let mut cli = Cli {
@@ -139,6 +145,10 @@ fn parse() -> Result<Cli, String> {
                     "dropped-submit" => {
                         cli.serving = true;
                         Bug::DroppedSubmit
+                    }
+                    "leaked-core-seconds" => {
+                        cli.crash = true;
+                        Bug::LeakedCoreSeconds
                     }
                     other => return Err(format!("unknown bug `{other}`")),
                 });
@@ -258,6 +268,9 @@ fn main() -> ExitCode {
             Some(Bug::LostBatch) => ", seeded bug: lost-batch (W1 ledger)",
             Some(Bug::ReapStrand) => ", seeded bug: reap-strand (W1 ledger)",
             Some(Bug::DroppedSubmit) => ", seeded bug: dropped-submit (admission ledger)",
+            Some(Bug::LeakedCoreSeconds) => {
+                ", seeded bug: leaked-core-seconds (conservation ledger)"
+            }
             None => "",
         },
     );

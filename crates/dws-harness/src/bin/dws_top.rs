@@ -23,7 +23,8 @@ use std::time::{Duration, Instant};
 
 use dws_harness::top::{render_top, ANSI_REFRESH};
 use dws_rt::{
-    frames_to_jsonl, join, serve, CoreTable, InProcessTable, Policy, Runtime, RuntimeConfig,
+    frames_to_jsonl, join, serve, CoreTable, InProcessTable, LedgerTable, Policy, Runtime,
+    RuntimeConfig,
 };
 
 fn fib(n: u64) -> u64 {
@@ -87,7 +88,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let o = parse_args(&args);
 
-    let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(o.cores, 2));
+    // The ledger wrapper feeds the fairness panel (core-seconds + Jain).
+    let table: Arc<dyn CoreTable> =
+        Arc::new(LedgerTable::new(Arc::new(InProcessTable::new(o.cores, 2))));
     let mk = || {
         let mut cfg = RuntimeConfig::new(o.cores, Policy::Dws)
             .with_telemetry()

@@ -6,9 +6,10 @@
 //! ```text
 //! dws-trace analyze rttrace.jsonl            # report + W1/W2 verdict
 //! dws-trace analyze rttrace.jsonl --chrome out.trace.json
+//! dws-trace fairness rttrace.jsonl --svg alloc.svg
 //! ```
 //!
-//! The report shows, per program, exact sojourn p50/p99/p999
+//! `analyze` shows, per program, exact sojourn p50/p99/p999
 //! (spawn → exec-begin), end-to-end request sojourn p50/p99/p999 for
 //! served traffic (client submit → exec-begin, from `Admit` events —
 //! DESIGN §13), steal-chain depth, a critical-path estimate,
@@ -17,38 +18,27 @@
 //! can gate on it. `--chrome` re-exports the parsed events as a Chrome
 //! `trace_event` file whose flow arrows link each migrated task's spawn
 //! to its remote exec (open at `ui.perfetto.dev`).
+//!
+//! `fairness` replays the trace's core-allocation transitions into a
+//! per-program allocation timeline (DESIGN §14): attributed core-time
+//! per program, Jain's fairness index, and — with `--svg` — a stacked
+//! band chart of cores owned over time. `--bins N` sets the timeline
+//! resolution (default 48).
 
+use dws_harness::fairness::{analyze_fairness, fairness_svg, render_fairness_report};
 use dws_harness::tracecheck::{analyze, parse_jsonl, render_report};
 use dws_rt::export::to_chrome_trace;
 
 fn usage() -> ! {
-    eprintln!("usage: dws-trace analyze <trace.jsonl> [--chrome OUT.json]");
+    eprintln!(
+        "usage: dws-trace analyze <trace.jsonl> [--chrome OUT.json]\n\
+         \x20      dws-trace fairness <trace.jsonl> [--svg OUT.svg] [--bins N]"
+    );
     std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("analyze") {
-        usage();
-    }
-    let mut input = None;
-    let mut chrome_out = None;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--chrome" => {
-                i += 1;
-                chrome_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            flag if flag.starts_with("--") => usage(),
-            path if input.is_none() => input = Some(path.to_string()),
-            _ => usage(),
-        }
-        i += 1;
-    }
-    let Some(input) = input else { usage() };
-
-    let text = match std::fs::read_to_string(&input) {
+fn read_programs(input: &str) -> std::collections::BTreeMap<usize, dws_rt::TraceSnapshot> {
+    let text = match std::fs::read_to_string(input) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("dws-trace: cannot read {input}: {e}");
@@ -66,6 +56,27 @@ fn main() {
         eprintln!("dws-trace: {input} holds no events");
         std::process::exit(2);
     }
+    programs
+}
+
+fn cmd_analyze(args: &[String]) {
+    let mut input = None;
+    let mut chrome_out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--chrome" => {
+                i += 1;
+                chrome_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            flag if flag.starts_with("--") => usage(),
+            path if input.is_none() => input = Some(path.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(input) = input else { usage() };
+    let programs = read_programs(&input);
 
     let mut all_clean = true;
     for (&prog, snap) in &programs {
@@ -88,5 +99,56 @@ fn main() {
     } else {
         println!("verdict: IDENTITY VIOLATIONS (see above)");
         std::process::exit(1);
+    }
+}
+
+fn cmd_fairness(args: &[String]) {
+    let mut input = None;
+    let mut svg_out = None;
+    let mut bins = 48usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--svg" => {
+                i += 1;
+                svg_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--bins" => {
+                i += 1;
+                bins = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&b| b > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            flag if flag.starts_with("--") => usage(),
+            path if input.is_none() => input = Some(path.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(input) = input else { usage() };
+    let programs = read_programs(&input);
+
+    let Some(report) = analyze_fairness(&programs, bins) else {
+        eprintln!("dws-trace: {input} records no core-allocation transitions");
+        std::process::exit(1);
+    };
+    print!("{}", render_fairness_report(&report));
+    if let Some(path) = svg_out {
+        if let Err(e) = std::fs::write(&path, fairness_svg(&report)) {
+            eprintln!("dws-trace: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path} (stacked cores-owned bands per program)");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("fairness") => cmd_fairness(&args[1..]),
+        _ => usage(),
     }
 }

@@ -19,7 +19,9 @@ use std::time::{Duration, Instant};
 use dws_harness::report::{render_histogram, render_worker_table};
 use dws_harness::{demand_handler, offer_load, LoadSpec};
 use dws_rt::export::{to_chrome_trace, to_jsonl};
-use dws_rt::{join, CoreTable, InProcessTable, Policy, Runtime, RuntimeConfig, TracedTable};
+use dws_rt::{
+    join, CoreTable, InProcessTable, LedgerTable, Policy, Runtime, RuntimeConfig, TracedTable,
+};
 use dws_sim::{ArrivalProcess, BoundedPareto};
 
 fn fib(n: u64) -> u64 {
@@ -78,7 +80,12 @@ fn main() {
     let fib_n: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(24);
     let prefix = args.get(3).cloned().unwrap_or_else(|| "rttrace".to_string());
 
-    let table = Arc::new(TracedTable::new(Arc::new(InProcessTable::new(cores, 2)), 1 << 18));
+    // Ledger inside the traced wrapper: transitions recorded AND settled
+    // into per-program core-time integrals (forwarded by TracedTable).
+    let table = Arc::new(TracedTable::new(
+        Arc::new(LedgerTable::new(Arc::new(InProcessTable::new(cores, 2)))),
+        1 << 18,
+    ));
     let shared: Arc<dyn CoreTable> = Arc::clone(&table) as Arc<dyn CoreTable>;
     let mk = || {
         let mut cfg = RuntimeConfig::new(cores, Policy::Dws).with_tracing_capacity(1 << 17);

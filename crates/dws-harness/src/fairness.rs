@@ -1,0 +1,316 @@
+//! Offline fairness analysis for `dws-trace fairness`: replays the
+//! core-allocation transitions recorded in a task-lifecycle trace
+//! (`Acquire` / `Reclaim` / `Release` / `Reap`) into a per-program
+//! allocation timeline, integrates per-program core-time, and scores the
+//! run with Jain's fairness index — the offline twin of the runtime's
+//! `AllocLedger` (DESIGN §14).
+//!
+//! Ownership before a core's first recorded transition is usually
+//! unknowable from the trace alone; the analyzer back-fills the one case
+//! the events do prove (a first `Release`/`Reap` names the prior owner)
+//! and reports the rest as *unattributed* rather than guessing — a
+//! truncated ring must read as an undercount, never as fabricated time.
+
+use std::collections::BTreeMap;
+
+use dws_rt::{jain_fairness, RtEvent, TraceSnapshot};
+
+use crate::svg::{band_chart, ChartSpec, Series};
+
+/// What a core's time is charged to during one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Own {
+    /// Owned by a program.
+    Prog(usize),
+    /// Known free (follows a `Release`/`Reap`).
+    Free,
+    /// Before the core's first transition, with no back-fill evidence.
+    Unknown,
+}
+
+/// One time slice of the reconstructed allocation timeline.
+#[derive(Debug, Clone)]
+pub struct TimelineBin {
+    /// Midpoint of the slice (µs, trace clock).
+    pub t_mid_us: u64,
+    /// Mean cores owned per program over the slice.
+    pub cores: BTreeMap<usize, f64>,
+}
+
+/// The reconstructed fairness picture of one traced co-run.
+#[derive(Debug, Clone)]
+pub struct FairnessReport {
+    /// First event timestamp in the trace (µs).
+    pub t_start_us: u64,
+    /// Last event timestamp in the trace (µs).
+    pub t_end_us: u64,
+    /// Attributed core-µs per program.
+    pub core_us: BTreeMap<usize, u64>,
+    /// Core-µs provably free.
+    pub free_us: u64,
+    /// Core-µs before a core's first ownership evidence.
+    pub unattributed_us: u64,
+    /// Jain's fairness index over the programs' attributed core-time.
+    pub jain: f64,
+    /// Table transitions replayed.
+    pub transitions: usize,
+    /// The binned allocation timeline (for the band chart).
+    pub bins: Vec<TimelineBin>,
+}
+
+impl FairnessReport {
+    /// Span of the trace in µs.
+    pub fn span_us(&self) -> u64 {
+        self.t_end_us.saturating_sub(self.t_start_us)
+    }
+}
+
+/// Extracts `(t, core, new state, prior-owner hint)` from one event.
+fn transition(ev: &RtEvent) -> Option<(usize, Own, Option<usize>)> {
+    match *ev {
+        RtEvent::Acquire { prog, core } | RtEvent::Reclaim { prog, core } => {
+            Some((core, Own::Prog(prog), None))
+        }
+        RtEvent::Release { prog, core } | RtEvent::Reap { prog, core } => {
+            Some((core, Own::Free, Some(prog)))
+        }
+        _ => None,
+    }
+}
+
+/// Replays every program's trace into a [`FairnessReport`] with `bins`
+/// timeline slices. Returns `None` when the traces hold no
+/// core-allocation transitions at all (nothing to analyze — e.g. a
+/// solo run that never touched the table).
+pub fn analyze_fairness(
+    programs: &BTreeMap<usize, TraceSnapshot>,
+    bins: usize,
+) -> Option<FairnessReport> {
+    let bins = bins.max(1);
+    // The timeline spans the whole trace, not just table activity, so a
+    // program that holds its equipartition and never transitions still
+    // accrues its share of the span.
+    let mut t_start = u64::MAX;
+    let mut t_end = 0u64;
+    // Per-core transition list: (t, new state, prior-owner hint).
+    let mut by_core: BTreeMap<usize, Vec<(u64, Own, Option<usize>)>> = BTreeMap::new();
+    let mut transitions = 0usize;
+    for snap in programs.values() {
+        for te in &snap.events {
+            t_start = t_start.min(te.t_us);
+            t_end = t_end.max(te.t_us);
+            if let Some((core, state, hint)) = transition(&te.event) {
+                by_core.entry(core).or_default().push((te.t_us, state, hint));
+                transitions += 1;
+            }
+        }
+    }
+    if transitions == 0 {
+        return None;
+    }
+    let span = t_end.saturating_sub(t_start).max(1);
+    let bin_w = span as f64 / bins as f64;
+
+    let mut core_us: BTreeMap<usize, u64> = programs.keys().map(|&p| (p, 0)).collect();
+    let mut free_us = 0u64;
+    let mut unattributed_us = 0u64;
+    let mut bin_core_us: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); bins];
+
+    // Charges [a, b) of one core to `own`, split across timeline bins.
+    let mut charge = |a: u64, b: u64, own: Own| {
+        let dt = b.saturating_sub(a);
+        match own {
+            Own::Prog(p) => {
+                *core_us.entry(p).or_insert(0) += dt;
+                let (mut x0, x1) = ((a - t_start) as f64, (b - t_start) as f64);
+                while x0 < x1 {
+                    let bin = ((x0 / bin_w) as usize).min(bins - 1);
+                    let edge = (bin as f64 + 1.0) * bin_w;
+                    let seg = x1.min(edge) - x0;
+                    *bin_core_us[bin].entry(p).or_insert(0.0) += seg;
+                    x0 = if edge > x0 { edge } else { x1 };
+                }
+            }
+            Own::Free => free_us += dt,
+            Own::Unknown => unattributed_us += dt,
+        }
+    };
+
+    for (_, mut evs) in by_core {
+        evs.sort_by_key(|&(t, _, _)| t);
+        // Back-fill: a first Release/Reap proves who held the core since
+        // the trace began.
+        let mut own = match evs.first() {
+            Some(&(_, _, Some(prior))) => Own::Prog(prior),
+            _ => Own::Unknown,
+        };
+        let mut t = t_start;
+        for &(t_ev, state, _) in &evs {
+            let t_ev = t_ev.clamp(t_start, t_end);
+            charge(t, t_ev, own);
+            own = state;
+            t = t_ev;
+        }
+        charge(t, t_end, own);
+    }
+
+    let shares: Vec<f64> = core_us.values().map(|&us| us as f64).collect();
+    let timeline = bin_core_us
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| TimelineBin {
+            t_mid_us: t_start + ((i as f64 + 0.5) * bin_w) as u64,
+            cores: m.into_iter().map(|(p, us)| (p, us / bin_w)).collect(),
+        })
+        .collect();
+
+    Some(FairnessReport {
+        t_start_us: t_start,
+        t_end_us: t_end,
+        core_us,
+        free_us,
+        unattributed_us,
+        jain: jain_fairness(&shares),
+        transitions,
+        bins: timeline,
+    })
+}
+
+/// Human-readable summary (multi-line, trailing newline).
+pub fn render_fairness_report(r: &FairnessReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fairness: {} programs, {} table transitions over {:.3}s\n",
+        r.core_us.len(),
+        r.transitions,
+        r.span_us() as f64 / 1e6,
+    ));
+    let attributed: u64 = r.core_us.values().sum();
+    for (&p, &us) in &r.core_us {
+        let pct = if attributed == 0 { 0.0 } else { 100.0 * us as f64 / attributed as f64 };
+        out.push_str(&format!(
+            "  prog {p}: {:.3} core-s ({pct:.1}% of attributed)\n",
+            us as f64 / 1e6
+        ));
+    }
+    out.push_str(&format!("  free: {:.3} core-s\n", r.free_us as f64 / 1e6));
+    if r.unattributed_us > 0 {
+        out.push_str(&format!(
+            "  unattributed: {:.3} core-s (before first ownership evidence)\n",
+            r.unattributed_us as f64 / 1e6
+        ));
+    }
+    out.push_str(&format!("  Jain index over core-time: {:.3}\n", r.jain));
+    out
+}
+
+/// The allocation timeline as a stacked SVG band chart: one band per
+/// program, height = mean cores owned in the slice.
+pub fn fairness_svg(r: &FairnessReport) -> String {
+    let progs: Vec<usize> = r.core_us.keys().copied().collect();
+    let palette = ["#4f81bd", "#c0504d", "#9bbb59", "#f0a030", "#8064a2", "#4bacc6"];
+    let series: Vec<Series> = progs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| Series {
+            label: format!("prog {p}"),
+            values: r.bins.iter().map(|b| b.cores.get(&p).copied().unwrap_or(0.0)).collect(),
+            color: palette[i % palette.len()].to_string(),
+        })
+        .collect();
+    let spec = ChartSpec {
+        title: format!(
+            "Core allocation over time (Jain {:.3}, {} transitions)",
+            r.jain, r.transitions
+        ),
+        y_label: "cores owned".into(),
+        categories: r.bins.iter().map(|b| format!("{}ms", b.t_mid_us / 1_000)).collect(),
+        reference: None,
+    };
+    band_chart(&spec, &series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_rt::{TimedEvent, TraceSnapshot};
+
+    fn snap(events: Vec<(u64, RtEvent)>) -> TraceSnapshot {
+        TraceSnapshot {
+            events: events
+                .into_iter()
+                .map(|(t_us, event)| TimedEvent { t_us, lane: 0, event })
+                .collect(),
+            dropped: 0,
+        }
+    }
+
+    /// Two programs on two cores over t = 0..1000: prog 1 releases
+    /// core 1 at t=400 (so it provably held it from t=0) and prog 0
+    /// acquires it at t=600; core 0's first event is prog 0's Acquire at
+    /// t=500, so its earlier history is unattributable.
+    fn two_prog_trace() -> BTreeMap<usize, TraceSnapshot> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            0,
+            snap(vec![
+                (0, RtEvent::Wake { worker: 0 }),
+                (500, RtEvent::Acquire { prog: 0, core: 0 }),
+                (600, RtEvent::Acquire { prog: 0, core: 1 }),
+                (1000, RtEvent::Sleep { worker: 0, evicted: false }),
+            ]),
+        );
+        m.insert(1, snap(vec![(400, RtEvent::Release { prog: 1, core: 1 })]));
+        m
+    }
+
+    #[test]
+    fn replay_attributes_backfills_and_reports_unknowns() {
+        let r = analyze_fairness(&two_prog_trace(), 4).unwrap();
+        assert_eq!((r.t_start_us, r.t_end_us), (0, 1000));
+        assert_eq!(r.transitions, 3);
+        // Core 0: unknown 0..500 (first event is an Acquire — no prior
+        // evidence), prog 0 500..1000. Core 1: prog 1 held 0..400
+        // (back-filled from its Release), free 400..600, prog 0 600..1000.
+        assert_eq!(r.core_us[&0], 500 + 400);
+        assert_eq!(r.core_us[&1], 400);
+        assert_eq!(r.free_us, 200);
+        assert_eq!(r.unattributed_us, 500);
+        // Conservation over the two observed cores.
+        let total: u64 = r.core_us.values().sum::<u64>() + r.free_us + r.unattributed_us;
+        assert_eq!(total, 2 * r.span_us());
+        // Jain over (900, 400): 1300² / (2·(900²+400²)) ≈ 0.871.
+        assert!((r.jain - 0.8711).abs() < 1e-3, "jain {}", r.jain);
+    }
+
+    #[test]
+    fn timeline_bins_track_the_handoff() {
+        let r = analyze_fairness(&two_prog_trace(), 4).unwrap();
+        assert_eq!(r.bins.len(), 4);
+        // Bin 0 covers 0..250: prog 1 owns core 1 throughout.
+        assert!((r.bins[0].cores[&1] - 1.0).abs() < 1e-9);
+        assert!(!r.bins[0].cores.contains_key(&0));
+        // Bin 3 covers 750..1000: prog 0 owns both cores throughout.
+        assert!((r.bins[3].cores[&0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traces_without_table_activity_yield_none() {
+        let mut m = BTreeMap::new();
+        m.insert(0, snap(vec![(5, RtEvent::Wake { worker: 0 })]));
+        assert!(analyze_fairness(&m, 8).is_none());
+    }
+
+    #[test]
+    fn report_and_svg_render() {
+        let r = analyze_fairness(&two_prog_trace(), 4).unwrap();
+        let text = render_fairness_report(&r);
+        assert!(text.contains("2 programs, 3 table transitions"));
+        assert!(text.contains("prog 0: 0.001 core-s (69.2% of attributed)"), "{text}");
+        assert!(text.contains("unattributed"), "{text}");
+        assert!(text.contains("Jain index over core-time: 0.871"), "{text}");
+        let svg = fairness_svg(&r);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert!(svg.contains("prog 0") && svg.contains("prog 1"));
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod corun;
+pub mod fairness;
 pub mod figures;
 pub mod report;
 pub mod serve_gen;

@@ -195,6 +195,68 @@ pub fn line_chart(spec: &ChartSpec, series: &[Series]) -> String {
     frame(spec, y_max, &body, series)
 }
 
+/// Renders a stacked band chart: categories are X positions, each series
+/// a filled band stacked on the ones before it (values are band
+/// heights — e.g. cores owned per program over time). Category labels
+/// thin out automatically when there are many bins.
+pub fn band_chart(spec: &ChartSpec, series: &[Series]) -> String {
+    assert!(series.iter().all(|s| s.values.len() == spec.categories.len()));
+    let n = spec.categories.len();
+    let mut totals = vec![0.0; n];
+    for s in series {
+        for (i, &v) in s.values.iter().enumerate() {
+            if v.is_finite() {
+                totals[i] += v;
+            }
+        }
+    }
+    let max_total = totals.iter().fold(spec.reference.unwrap_or(0.0), |a, &b| a.max(b));
+    let y_max = if max_total <= 0.0 { 1.0 } else { max_total * 1.05 };
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let nx = n.max(2) as f64;
+    let x_of = |i: usize| MARGIN_L + plot_w * (i as f64 + 0.5) / nx;
+    let y_of = |v: f64| MARGIN_T + plot_h * (1.0 - v / y_max);
+
+    let mut body = String::new();
+    let mut base = vec![0.0; n];
+    for s in series {
+        let mut pts = Vec::with_capacity(2 * n);
+        // Top edge left → right, then bottom edge right → left.
+        for (i, &v) in s.values.iter().enumerate() {
+            let v = if v.is_finite() { v } else { 0.0 };
+            pts.push(format!("{:.1},{:.1}", x_of(i), y_of(base[i] + v)));
+        }
+        for i in (0..n).rev() {
+            pts.push(format!("{:.1},{:.1}", x_of(i), y_of(base[i])));
+        }
+        body.push_str(&format!(
+            r#"<polygon points="{}" fill="{}" fill-opacity="0.85" stroke="none"><title>{}</title></polygon>"#,
+            pts.join(" "),
+            s.color,
+            esc(&s.label)
+        ));
+        for (i, &v) in s.values.iter().enumerate() {
+            if v.is_finite() {
+                base[i] += v;
+            }
+        }
+    }
+    let label_step = n.div_ceil(12).max(1);
+    for (i, cat) in spec.categories.iter().enumerate() {
+        if i % label_step != 0 {
+            continue;
+        }
+        body.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="middle">{}</text>"#,
+            x_of(i),
+            H - MARGIN_B + 16.0,
+            esc(cat)
+        ));
+    }
+    frame(spec, y_max, &body, series)
+}
+
 /// Standard colours for the policy series, matching across figures.
 pub fn policy_color(label: &str) -> &'static str {
     match label {
@@ -259,6 +321,30 @@ mod tests {
         sp.title = "a < b & c".into();
         let svg = bar_chart(&sp, &series());
         assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn band_chart_stacks_one_polygon_per_series() {
+        let svg = band_chart(&spec(), &series());
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polygon").count(), 2);
+        // Stacked scale: y axis reaches past the 3.2 + 2.6 column totals.
+        assert!(svg.contains("3.36"), "y_max = 1.05 × max stacked total: {svg}");
+    }
+
+    #[test]
+    fn band_chart_thins_labels_on_many_bins() {
+        let n = 60;
+        let sp = ChartSpec {
+            title: "t".into(),
+            y_label: "y".into(),
+            categories: (0..n).map(|i| format!("{i}ms")).collect(),
+            reference: None,
+        };
+        let s = vec![Series { label: "p".into(), values: vec![1.0; n], color: "red".into() }];
+        let svg = band_chart(&sp, &s);
+        let labels = svg.matches("font-size=\"10\"").count();
+        assert!(labels <= 12, "60 bins thin to ≤12 labels, got {labels}");
     }
 
     #[test]

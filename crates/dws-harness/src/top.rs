@@ -114,6 +114,28 @@ pub fn render_program_panel(label: &str, f: &TelemetryFrame, color: bool) -> Str
             fmt_ns(f.latency.request_p999_ns),
         ));
     }
+    if k.core_us_total > 0 {
+        // Fairness panel (ledger-backed, so it only appears when the
+        // runtime's table is ledger-wrapped): cumulative core-time, the
+        // received machine share vs. the §3.1 static entitlement (home
+        // cores / machine), and the Eq. 1 demand-satisfaction latencies.
+        let home_cores = f.cores.iter().filter(|c| c.home == f.prog).count();
+        let entitled = 100.0 * home_cores as f64 / total.max(1) as f64;
+        let received = if f.t_us == 0 {
+            0.0
+        } else {
+            100.0 * k.core_us_total as f64 / (f.t_us as f64 * total as f64)
+        };
+        out.push_str(&format!(
+            "  fair   core-time {:.3}s   received {received:.1}% vs entitled {entitled:.1}%   \
+             alloc p50 {} p99 {}   release p50 {} p99 {}\n",
+            k.core_us_total as f64 / 1e6,
+            fmt_ns(f.latency.alloc_p50_ns),
+            fmt_ns(f.latency.alloc_p99_ns),
+            fmt_ns(f.latency.release_p50_ns),
+            fmt_ns(f.latency.release_p99_ns),
+        ));
+    }
     if k.degraded != 0 {
         out.push_str(&format!(
             "  {}  shared table lost — running on a private in-process table\n",
@@ -164,6 +186,16 @@ pub fn render_top(panels: &[(String, TelemetryFrame)], color: bool) -> String {
             "table  [{}]   {}\n",
             core_strip(first),
             paint(color, DIM, "(digit = owning program, . = free)"),
+        ));
+    }
+    // Machine-wide fairness over the ledger integrals in view (absent
+    // until some frame carries core-time, i.e. the table is ledgered).
+    let shares: Vec<f64> = panels.iter().map(|(_, f)| f.counters.core_us_total as f64).collect();
+    if shares.iter().any(|&s| s > 0.0) {
+        out.push_str(&format!(
+            "fair   Jain index {:.3} over {} programs\n",
+            dws_rt::jain_fairness(&shares),
+            shares.len(),
         ));
     }
     for (label, frame) in panels {
@@ -273,6 +305,43 @@ mod tests {
             "admission totals shown: {text}"
         );
         assert!(text.contains("request p50 40us p99 9ms p999 30ms"), "{text}");
+    }
+
+    #[test]
+    fn fairness_panel_appears_only_with_a_ledgered_table() {
+        let f = frame();
+        let text = render_program_panel("p", &f, false);
+        assert!(!text.contains("fair"), "no ledger → no fairness panel: {text}");
+        let mut f = frame();
+        // 2.5 core-seconds over t=12.345ms on 4 cores would exceed the
+        // machine; use a consistent value: 24 690µs = 50% of 4×12 345µs.
+        f.counters.core_us_total = 24_690;
+        f.latency.alloc_p50_ns = 50_000;
+        f.latency.alloc_p99_ns = 3_000_000;
+        f.latency.release_p50_ns = 80_000;
+        f.latency.release_p99_ns = 12_000_000;
+        let text = render_program_panel("p", &f, false);
+        // Golden line: prog 0 is entitled to its 2 home cores of 4.
+        assert!(
+            text.contains(
+                "fair   core-time 0.025s   received 50.0% vs entitled 50.0%   \
+                 alloc p50 50us p99 3ms   release p50 80us p99 12ms"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn full_render_shows_jain_index_over_ledgered_frames() {
+        let mut fa = frame();
+        let mut fb = frame();
+        let no_ledger = render_top(&[("a".into(), fa.clone()), ("b".into(), fb.clone())], false);
+        assert!(!no_ledger.contains("Jain"), "no ledger → no Jain line: {no_ledger}");
+        fa.counters.core_us_total = 30_000;
+        fb.counters.core_us_total = 10_000;
+        let text = render_top(&[("a".into(), fa), ("b".into(), fb)], false);
+        // (30+10)² / (2·(30²+10²)) = 1600/2000 = 0.8.
+        assert!(text.contains("fair   Jain index 0.800 over 2 programs"), "{text}");
     }
 
     #[test]

@@ -24,6 +24,13 @@ use crate::trace::{
     LANE_SHARED,
 };
 
+// The fairness ledger is observability-only state: it uses std atomics
+// directly (not the `crate::sync` shim) so running the runtime under
+// dws-check adds no scheduling yield points for it.
+use std::sync::atomic::{
+    AtomicI64 as StdAtomicI64, AtomicU64 as StdAtomicU64, Ordering as StdOrdering,
+};
+
 /// Slot value for a free core.
 pub const FREE: i32 = -1;
 
@@ -128,6 +135,14 @@ pub trait CoreTable: Send + Sync {
     /// serving [`crate::Runtime`] then falls back to a heap-backed ring
     /// reachable only in-process.
     fn submit_ring(&self, _prog: usize) -> Option<&dws_deque::SubmitRing> {
+        None
+    }
+
+    /// The per-program core-time ledger, when this backend (or a wrapping
+    /// [`LedgerTable`]) maintains one. The default — no ledger — keeps
+    /// every backend fairness-oblivious; telemetry then reports zero
+    /// core-seconds and the dashboards hide the fairness panel.
+    fn alloc_ledger(&self) -> Option<&AllocLedger> {
         None
     }
 }
@@ -471,6 +486,324 @@ impl CoreTable for TracedTable {
     fn submit_ring(&self, prog: usize) -> Option<&dws_deque::SubmitRing> {
         self.inner.submit_ring(prog)
     }
+
+    fn alloc_ledger(&self) -> Option<&AllocLedger> {
+        self.inner.alloc_ledger()
+    }
+}
+
+/// Jain's fairness index over non-negative allocations:
+/// `(Σx)² / (n · Σx²)`. 1.0 when every program received the same amount,
+/// approaching `1/n` under maximal skew. Defined as 1.0 for empty or
+/// all-zero input (nothing was allocated, so nothing was unfair).
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if xs.is_empty() || sumsq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sumsq)
+}
+
+/// Per-program core-time integrals — the fairness ledger (DESIGN §14).
+///
+/// Every successful table transition routed through a [`LedgerTable`]
+/// settles the elapsed core-time against the slot's *previous* owner
+/// before the owner changes, so at any instant
+///
+/// ```text
+/// Σ_p core_us[p] + free_us + Σ_c (now − last_us[c])·charge(c) == cores × elapsed_us
+/// ```
+///
+/// i.e. once open intervals are virtually settled (which
+/// [`AllocLedger::snapshot`] does), per-program core-time plus free time
+/// exactly tiles `cores × elapsed` — the conservation rule the dws-check
+/// oracle enforces in virtual time. Integrals are monotonic: they only
+/// ever grow.
+///
+/// Readers take seqlock-consistent snapshots like PR 3's `DecisionCell`:
+/// a write section brackets its mutations with the sequence word odd, and
+/// a reader retries until it observes the same even value on both sides.
+/// Writer exclusivity comes from the owning [`LedgerTable`]'s transition
+/// mutex (the same serialization that makes `TracedTable`'s recorded
+/// order the table's transition order).
+pub struct AllocLedger {
+    /// Seqlock word: odd while a transition is being stamped.
+    seq: StdAtomicU64,
+    /// Clock value ([`now_us`]) when the ledger started integrating.
+    epoch_us: u64,
+    /// Current owner per core (`-1` = free). Mirrors the table slots but
+    /// transitions atomically with the integral settlement.
+    owner: Vec<StdAtomicI64>,
+    /// Per-core timestamp of the last ownership change.
+    last_us: Vec<StdAtomicU64>,
+    /// Per-program settled core-µs integral.
+    core_us: Vec<StdAtomicU64>,
+    /// Settled core-µs spent with no owner at all.
+    free_us: StdAtomicU64,
+}
+
+impl std::fmt::Debug for AllocLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AllocLedger")
+            .field("cores", &self.owner.len())
+            .field("programs", &self.core_us.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AllocLedger {
+    /// Starts integrating from `inner`'s current occupancy, at the current
+    /// trace clock.
+    pub fn new(inner: &dyn CoreTable) -> Self {
+        let now = now_us();
+        let owner = inner.owners().into_iter().map(StdAtomicI64::new).collect::<Vec<_>>();
+        AllocLedger {
+            seq: StdAtomicU64::new(0),
+            epoch_us: now,
+            last_us: (0..owner.len()).map(|_| StdAtomicU64::new(now)).collect(),
+            core_us: (0..inner.max_programs()).map(|_| StdAtomicU64::new(0)).collect(),
+            free_us: StdAtomicU64::new(0),
+            owner,
+        }
+    }
+
+    /// Number of cores being integrated.
+    pub fn cores(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of programs with an integral.
+    pub fn programs(&self) -> usize {
+        self.core_us.len()
+    }
+
+    /// Stamps an ownership change of `core` to `new_owner` (`-1` = free):
+    /// settles the open interval against the previous owner, then moves
+    /// the slot. Must be called with transitions serialized (the owning
+    /// [`LedgerTable`] holds its order mutex). The timestamp is taken
+    /// *inside* the write section so a snapshot that did not observe this
+    /// transition is guaranteed to predate it — settled integrals can
+    /// then never undercut a snapshot's virtual settlement, keeping
+    /// integrals monotonic across snapshots.
+    fn transition(&self, core: usize, new_owner: i64) {
+        self.seq.fetch_add(1, StdOrdering::AcqRel); // odd: write section open
+        let now = now_us();
+        let prev = self.owner[core].load(StdOrdering::Relaxed);
+        let dt = now.saturating_sub(self.last_us[core].load(StdOrdering::Relaxed));
+        if prev >= 0 {
+            self.core_us[prev as usize].fetch_add(dt, StdOrdering::Relaxed);
+        } else {
+            self.free_us.fetch_add(dt, StdOrdering::Relaxed);
+        }
+        self.last_us[core].store(now, StdOrdering::Relaxed);
+        self.owner[core].store(new_owner, StdOrdering::Relaxed);
+        self.seq.fetch_add(1, StdOrdering::AcqRel); // even: section closed
+    }
+
+    /// A consistent snapshot with every open interval virtually settled
+    /// at the snapshot instant, so the conservation identity holds
+    /// exactly: `snap.total_core_us() == cores × snap.elapsed_us()`.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        loop {
+            let s1 = self.seq.load(StdOrdering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let at_us = now_us();
+            let mut core_us: Vec<u64> =
+                self.core_us.iter().map(|c| c.load(StdOrdering::Relaxed)).collect();
+            let mut free_us = self.free_us.load(StdOrdering::Relaxed);
+            let open: Vec<(i64, u64)> = (0..self.owner.len())
+                .map(|c| {
+                    (
+                        self.owner[c].load(StdOrdering::Relaxed),
+                        self.last_us[c].load(StdOrdering::Relaxed),
+                    )
+                })
+                .collect();
+            std::sync::atomic::fence(StdOrdering::Acquire);
+            if self.seq.load(StdOrdering::Relaxed) != s1 {
+                continue; // raced with a transition; retry
+            }
+            for (owner, last) in open {
+                let dt = at_us.saturating_sub(last);
+                if owner >= 0 {
+                    core_us[owner as usize] += dt;
+                } else {
+                    free_us += dt;
+                }
+            }
+            return LedgerSnapshot { since_us: self.epoch_us, at_us, core_us, free_us };
+        }
+    }
+}
+
+/// A settled, conservation-exact view of an [`AllocLedger`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerSnapshot {
+    /// Clock value when the ledger started integrating.
+    pub since_us: u64,
+    /// Clock value the snapshot was settled at.
+    pub at_us: u64,
+    /// Per-program core-µs received over `[since_us, at_us]`.
+    pub core_us: Vec<u64>,
+    /// Core-µs spent free over the same window.
+    pub free_us: u64,
+}
+
+impl LedgerSnapshot {
+    /// Wall time covered by the snapshot.
+    pub fn elapsed_us(&self) -> u64 {
+        self.at_us.saturating_sub(self.since_us)
+    }
+
+    /// Total settled core-µs (programs + free). Equals
+    /// `cores × elapsed_us()` by the conservation invariant.
+    pub fn total_core_us(&self) -> u64 {
+        self.core_us.iter().sum::<u64>() + self.free_us
+    }
+
+    /// `prog`'s received share of the whole machine over the window.
+    pub fn share(&self, prog: usize) -> f64 {
+        let total = self.total_core_us();
+        if total == 0 {
+            return 0.0;
+        }
+        self.core_us[prog] as f64 / total as f64
+    }
+
+    /// Jain's fairness index across all programs' received core-time.
+    pub fn jain_index(&self) -> f64 {
+        let xs: Vec<f64> = self.core_us.iter().map(|&u| u as f64).collect();
+        jain_fairness(&xs)
+    }
+}
+
+/// A [`CoreTable`] decorator that maintains an [`AllocLedger`]: every
+/// successful ownership transition (acquire / reclaim / release / reap)
+/// settles the slot's open interval before moving it.
+///
+/// Like [`TracedTable`], mutating operations are serialized under a small
+/// mutex so the integral's settle-then-move step is atomic with the
+/// underlying CAS; transitions happen at sleep/wake/coordinator cadence,
+/// not on the steal hot path. Wrap the *shared* table once at creation so
+/// a single ledger sees every co-runner; compose freely with
+/// [`TracedTable`] (which forwards [`CoreTable::alloc_ledger`]).
+pub struct LedgerTable {
+    inner: Arc<dyn CoreTable>,
+    ledger: AllocLedger,
+    order: Mutex<()>,
+}
+
+impl std::fmt::Debug for LedgerTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LedgerTable").field("ledger", &self.ledger).finish_non_exhaustive()
+    }
+}
+
+impl LedgerTable {
+    /// Wraps `inner`, integrating from its current occupancy.
+    pub fn new(inner: Arc<dyn CoreTable>) -> Self {
+        let ledger = AllocLedger::new(&*inner);
+        LedgerTable { inner, ledger, order: Mutex::new(()) }
+    }
+
+    /// The ledger being maintained.
+    pub fn ledger(&self) -> &AllocLedger {
+        &self.ledger
+    }
+}
+
+impl CoreTable for LedgerTable {
+    fn cores(&self) -> usize {
+        self.inner.cores()
+    }
+
+    fn max_programs(&self) -> usize {
+        self.inner.max_programs()
+    }
+
+    fn home(&self, core: usize) -> usize {
+        self.inner.home(core)
+    }
+
+    fn current(&self, core: usize) -> Option<usize> {
+        self.inner.current(core)
+    }
+
+    fn release(&self, core: usize, prog: usize) -> bool {
+        let _g = self.order.lock();
+        let ok = self.inner.release(core, prog);
+        if ok {
+            self.ledger.transition(core, FREE as i64);
+        }
+        ok
+    }
+
+    fn try_acquire_free(&self, core: usize, prog: usize) -> bool {
+        let _g = self.order.lock();
+        let ok = self.inner.try_acquire_free(core, prog);
+        if ok {
+            self.ledger.transition(core, prog as i64);
+        }
+        ok
+    }
+
+    fn try_reclaim(&self, core: usize, prog: usize) -> bool {
+        let _g = self.order.lock();
+        let ok = self.inner.try_reclaim(core, prog);
+        if ok {
+            self.ledger.transition(core, prog as i64);
+        }
+        ok
+    }
+
+    fn heartbeat(&self, prog: usize) {
+        self.inner.heartbeat(prog);
+    }
+
+    fn mark_dead(&self, prog: usize) {
+        self.inner.mark_dead(prog);
+    }
+
+    fn reapable_programs(&self, caller: usize, timeout: Duration) -> Vec<usize> {
+        self.inner.reapable_programs(caller, timeout)
+    }
+
+    fn fence_expired(&self, prog: usize) -> bool {
+        self.inner.fence_expired(prog)
+    }
+
+    fn try_reap(&self, core: usize, dead: usize) -> bool {
+        let _g = self.order.lock();
+        let ok = self.inner.try_reap(core, dead);
+        if ok {
+            self.ledger.transition(core, FREE as i64);
+        }
+        ok
+    }
+
+    fn finish_reap(&self, dead: usize) -> bool {
+        self.inner.finish_reap(dead)
+    }
+
+    fn check_health(&self) -> bool {
+        self.inner.check_health()
+    }
+
+    fn degraded(&self) -> bool {
+        self.inner.degraded()
+    }
+
+    fn submit_ring(&self, prog: usize) -> Option<&dws_deque::SubmitRing> {
+        self.inner.submit_ring(prog)
+    }
+
+    fn alloc_ledger(&self) -> Option<&AllocLedger> {
+        Some(&self.ledger)
+    }
 }
 
 #[cfg(test)]
@@ -688,5 +1021,102 @@ mod tests {
         assert_eq!(t.reclaimable_cores(1), vec![2]);
         assert_eq!(t.reclaimable_cores(0), Vec::<usize>::new());
         assert_eq!(t.owners(), vec![-1, 0, 0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn jain_fairness_known_values() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_fairness(&[5.0, 5.0, 5.0]), 1.0);
+        // One of two programs gets everything: 1/n = 0.5.
+        assert!((jain_fairness(&[10.0, 0.0]) - 0.5).abs() < 1e-12);
+        // 3:1 split across two: (4)^2 / (2 * 10) = 0.8.
+        assert!((jain_fairness(&[3.0, 1.0]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_conserves_core_time_through_churn() {
+        let t = LedgerTable::new(Arc::new(InProcessTable::new(4, 2)));
+        assert!(t.release(0, 0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(t.try_acquire_free(0, 1));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(t.try_reclaim(0, 0));
+        let snap = t.ledger().snapshot();
+        assert_eq!(snap.core_us.len(), 2);
+        // Conservation: settled program time + free time tiles the window.
+        assert_eq!(snap.total_core_us(), 4 * snap.elapsed_us());
+        // Both programs and the free pool accumulated something.
+        assert!(snap.core_us[0] > 0 && snap.core_us[1] > 0 && snap.free_us > 0);
+        // Integrals are monotonic between snapshots.
+        let later = t.ledger().snapshot();
+        assert!(later.core_us[0] >= snap.core_us[0]);
+        assert!(later.core_us[1] >= snap.core_us[1]);
+        assert!(later.free_us >= snap.free_us);
+        assert_eq!(later.total_core_us(), 4 * later.elapsed_us());
+    }
+
+    #[test]
+    fn ledger_charges_reaped_cores_to_the_dead_owner_until_reap() {
+        let t = LedgerTable::new(Arc::new(InProcessTable::new(4, 2)));
+        t.mark_dead(1);
+        std::thread::sleep(Duration::from_millis(2));
+        let pass = reap_expired(&t, 0, Duration::ZERO);
+        assert_eq!(pass.cores_reaped, 2);
+        let snap = t.ledger().snapshot();
+        // The dead program was charged for its cores up to the reap, and
+        // the freed cores accumulate free time afterwards.
+        assert!(snap.core_us[1] > 0);
+        assert_eq!(snap.total_core_us(), 4 * snap.elapsed_us());
+    }
+
+    #[test]
+    fn ledger_snapshot_is_consistent_under_concurrent_transitions() {
+        let t = Arc::new(LedgerTable::new(Arc::new(InProcessTable::new(4, 2))));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let churner = {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(StdOrdering::Relaxed) {
+                    let core = i % 4;
+                    let prog = i % 2;
+                    if t.release(core, prog) {
+                        if !t.try_acquire_free(core, prog) {
+                            let _ = t.try_reclaim(core, prog);
+                        }
+                    } else {
+                        let _ = t.try_acquire_free(core, 1 - prog);
+                    }
+                    i += 1;
+                }
+            })
+        };
+        let mut prev = t.ledger().snapshot();
+        for _ in 0..500 {
+            let snap = t.ledger().snapshot();
+            assert_eq!(snap.total_core_us(), 4 * snap.elapsed_us(), "conservation under churn");
+            for p in 0..2 {
+                assert!(snap.core_us[p] >= prev.core_us[p], "monotonic integral");
+            }
+            prev = snap;
+        }
+        stop.store(true, StdOrdering::Relaxed);
+        if churner.join().is_err() {
+            panic!("ledger churn thread panicked");
+        }
+    }
+
+    #[test]
+    fn traced_table_forwards_the_ledger() {
+        let ledgered = Arc::new(LedgerTable::new(Arc::new(InProcessTable::new(4, 2))));
+        let traced = TracedTable::new(Arc::clone(&ledgered) as Arc<dyn CoreTable>, 64);
+        assert!(traced.alloc_ledger().is_some());
+        assert!(traced.release(0, 0));
+        let snap = traced.alloc_ledger().unwrap().snapshot();
+        assert_eq!(snap.total_core_us(), 4 * snap.elapsed_us());
+        // A bare table has no ledger.
+        assert!(InProcessTable::new(4, 2).alloc_ledger().is_none());
     }
 }

@@ -14,7 +14,7 @@ use crate::registry::Registry;
 use crate::rng::VictimRng;
 use crate::sync::{preempt_point, Ordering};
 use crate::telemetry::CoordSample;
-use crate::trace::{CoordCase, RtEvent, LANE_SHARED};
+use crate::trace::{now_us, CoordCase, RtEvent, LANE_SHARED};
 
 /// Eq. 1 with the divide-by-zero guard (all workers asleep but work is
 /// queued ⇒ demand is the queue length itself).
@@ -106,8 +106,15 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
         }
     };
 
+    let dws = reg.effective_policy == Policy::Dws;
     let sleeping = reg.sleeping_workers();
     if sleeping.is_empty() {
+        // Every worker is awake: the Eq. 1 demand is satisfied by
+        // definition, so any pending rise is cleared (no grant to time)
+        // and a demand fall starts waiting for the next release.
+        if dws {
+            reg.metrics.note_demand_fall(now_us());
+        }
         if observing {
             let (n_f, n_r) = supply();
             let (n_b, n_a) = (reg.queued_jobs(), reg.workers.len());
@@ -122,6 +129,12 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
     let active = reg.workers.len() - sleeping.len();
     let n_w = eq1_wake_target(queued, active).min(sleeping.len());
     if n_w == 0 {
+        // Demand fell (or never rose). Stamp the fall only while some
+        // worker is still awake — with everything already asleep and
+        // released there is no core left whose release could pair with it.
+        if dws && active > 0 {
+            reg.metrics.note_demand_fall(now_us());
+        }
         if observing {
             let (n_f, n_r) = supply();
             if tracing {
@@ -149,6 +162,10 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
             if tracing {
                 record_decision(queued, active, n_f, n_r, n_w);
             }
+            // Demand-satisfaction clock (DESIGN §14): stamp the rise once;
+            // the stamp survives supply-starved ticks so the measured
+            // latency spans the whole wait for a grant.
+            reg.metrics.note_demand_rise(now_us());
 
             let (want_free, want_reclaim) = plan_wakes(n_w, n_f, n_r);
             // The snapshot is stale by now under contention; the CAS
@@ -176,6 +193,9 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
                     reg.wake_worker(core);
                     woken += 1;
                 }
+            }
+            if woken > 0 {
+                reg.metrics.note_demand_met(now_us());
             }
             publish(queued, active, n_f, n_r, n_w, (want_free, want_reclaim), woken);
             woken

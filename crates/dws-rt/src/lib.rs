@@ -75,7 +75,8 @@ pub mod telemetry;
 pub mod trace;
 
 pub use alloc_table::{
-    equipartition_home, reap_expired, CoreTable, InProcessTable, ReapPass, TracedTable,
+    equipartition_home, jain_fairness, reap_expired, AllocLedger, CoreTable, InProcessTable,
+    LedgerSnapshot, LedgerTable, ReapPass, TracedTable,
 };
 pub use config::{Policy, RuntimeConfig, ServeConfig, TelemetryConfig, TraceConfig};
 pub use coordinator::{eq1_wake_target, plan_wakes};

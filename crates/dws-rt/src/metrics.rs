@@ -325,6 +325,23 @@ pub struct RtMetrics {
     /// Client submissions rejected by epoch fencing (stale clients after
     /// a crash/re-register), mirrored from the ring's counter.
     pub requests_fenced: AtomicU64,
+    /// Demand-satisfaction latency (DESIGN §14): Eq. 1 demand rise
+    /// (`N_w > 0` first observed) → the coordinator granting at least one
+    /// core. Runtime-level (written only by the coordinator thread), not
+    /// per-shard.
+    pub alloc_latency: LogHistogram,
+    /// Demand-release latency: Eq. 1 demand fall (`N_w == 0` first
+    /// observed with cores to spare) → a core actually released back to
+    /// the table for the co-runner (sleep path).
+    pub release_latency: LogHistogram,
+    /// Pending demand-rise timestamp (µs since trace epoch; 0 = none).
+    /// Set by the coordinator when demand first rises, cleared when the
+    /// matching grant lands or demand falls away.
+    pub demand_rise_us: AtomicU64,
+    /// Pending demand-fall timestamp (µs since trace epoch; 0 = none).
+    /// Set by the coordinator when demand falls, cleared by the first
+    /// subsequent core release.
+    pub demand_fall_us: AtomicU64,
     /// Per-worker shards (empty unless built via [`RtMetrics::with_workers`]).
     pub workers: Vec<WorkerMetrics>,
 }
@@ -385,6 +402,11 @@ pub struct AggregatedHistograms {
     pub task_sojourn: HistogramSnapshot,
     /// End-to-end request sojourns across all workers (submit → exec-begin).
     pub request_sojourn: HistogramSnapshot,
+    /// Demand-satisfaction latency (demand rise → core grant). Written at
+    /// coordinator cadence, so runtime-level rather than sharded.
+    pub alloc_latency: HistogramSnapshot,
+    /// Demand-release latency (demand fall → core released).
+    pub release_latency: HistogramSnapshot,
 }
 
 impl RtMetrics {
@@ -455,7 +477,56 @@ impl RtMetrics {
             agg.task_sojourn.merge(&s.task_sojourn);
             agg.request_sojourn.merge(&s.request_sojourn);
         }
+        agg.alloc_latency = self.alloc_latency.snapshot();
+        agg.release_latency = self.release_latency.snapshot();
         agg
+    }
+
+    /// Records a demand rise at `now_us` if none is already pending
+    /// (coordinator only). The stamp survives ticks where the demand
+    /// persists unmet, so the measured latency spans the full wait.
+    #[inline]
+    pub fn note_demand_rise(&self, now_us: u64) {
+        let _ = self.demand_rise_us.compare_exchange(
+            0,
+            now_us.max(1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// A grant landed at `now_us`: closes any pending demand rise into
+    /// [`RtMetrics::alloc_latency`].
+    #[inline]
+    pub fn note_demand_met(&self, now_us: u64) {
+        let rise = self.demand_rise_us.swap(0, Ordering::Relaxed);
+        if rise != 0 {
+            self.alloc_latency.record_ns(now_us.saturating_sub(rise).saturating_mul(1_000));
+        }
+    }
+
+    /// Demand fell at `now_us`: clears any unmet rise (it was never
+    /// satisfied, so no latency sample) and stamps the fall if none is
+    /// pending.
+    #[inline]
+    pub fn note_demand_fall(&self, now_us: u64) {
+        self.demand_rise_us.store(0, Ordering::Relaxed);
+        let _ = self.demand_fall_us.compare_exchange(
+            0,
+            now_us.max(1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// A core went back to the table at `now_us`: closes any pending
+    /// demand fall into [`RtMetrics::release_latency`].
+    #[inline]
+    pub fn note_core_released(&self, now_us: u64) {
+        let fall = self.demand_fall_us.swap(0, Ordering::Relaxed);
+        if fall != 0 {
+            self.release_latency.record_ns(now_us.saturating_sub(fall).saturating_mul(1_000));
+        }
     }
 }
 
@@ -616,6 +687,34 @@ mod tests {
         assert_eq!(agg.steal_batch.count(), 2);
         assert_eq!(agg.steal_batch.counts[0], 1, "batch of 1 → bucket 0");
         assert_eq!(agg.steal_batch.counts[2], 1, "batch of 5 → bucket 2");
+    }
+
+    #[test]
+    fn demand_latency_pairs_rise_with_grant_and_fall_with_release() {
+        let m = RtMetrics::default();
+        // Rise at t=100µs, still unmet at t=150µs (stamp survives), met at
+        // t=612µs → one 512µs sample.
+        m.note_demand_rise(100);
+        m.note_demand_rise(150);
+        m.note_demand_met(612);
+        let agg = m.aggregated_histograms();
+        assert_eq!(agg.alloc_latency.count(), 1);
+        assert_eq!(agg.alloc_latency.quantile_ns(1.0), Some(1 << 19), "512µs → bucket 18");
+        // A grant with no pending rise records nothing.
+        m.note_demand_met(700);
+        assert_eq!(m.aggregated_histograms().alloc_latency.count(), 1);
+        // A fall clears an unmet rise without sampling it.
+        m.note_demand_rise(800);
+        m.note_demand_fall(900);
+        m.note_demand_met(950);
+        assert_eq!(m.aggregated_histograms().alloc_latency.count(), 1);
+        // ... and pairs with the next release.
+        m.note_core_released(1924); // 1024µs later
+        let agg = m.aggregated_histograms();
+        assert_eq!(agg.release_latency.count(), 1);
+        // A release with no pending fall records nothing.
+        m.note_core_released(2000);
+        assert_eq!(m.aggregated_histograms().release_latency.count(), 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use dws_deque::{
 };
 
 use crate::affinity;
-use crate::alloc_table::{CoreTable, InProcessTable};
+use crate::alloc_table::{CoreTable, InProcessTable, LedgerTable};
 use crate::config::{Policy, RuntimeConfig};
 use crate::coordinator::coordinator_loop;
 use crate::job::{JobRef, StackJob};
@@ -225,7 +225,10 @@ impl Runtime {
     /// [`Runtime::with_table`] to co-run multiple programs.
     pub fn new(config: RuntimeConfig) -> Runtime {
         let workers = config.workers;
-        let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(workers, 1));
+        // A ledger wraps even the solo table so core-seconds telemetry
+        // (DESIGN §14) reports for single-program runs too.
+        let table: Arc<dyn CoreTable> =
+            Arc::new(LedgerTable::new(Arc::new(InProcessTable::new(workers, 1))));
         Self::build(config, table, 0, true, None)
     }
 
@@ -247,7 +250,8 @@ impl Runtime {
         F: Fn(Request) + Send + Sync + 'static,
     {
         let workers = config.workers;
-        let table: Arc<dyn CoreTable> = Arc::new(InProcessTable::new(workers, 1));
+        let table: Arc<dyn CoreTable> =
+            Arc::new(LedgerTable::new(Arc::new(InProcessTable::new(workers, 1))));
         Self::build(config.with_serving(), table, 0, true, Some(Arc::new(handler)))
     }
 
@@ -788,6 +792,9 @@ impl WorkerThread {
         loop {
             if reg.effective_policy == Policy::Dws && reg.table.release(core, reg.prog_id) {
                 RtMetrics::bump(&reg.metrics.cores_released);
+                // Closes any pending demand-fall stamp into the
+                // release-latency histogram (DESIGN §14).
+                reg.metrics.note_core_released(crate::trace::now_us());
                 reg.trace.record(lane, RtEvent::Release { prog: reg.prog_id, core });
             }
             RtMetrics::bump(&reg.metrics.sleeps);

@@ -967,6 +967,10 @@ impl CoreTable for FailoverTable {
             _ => None,
         }
     }
+
+    fn alloc_ledger(&self) -> Option<&crate::alloc_table::AllocLedger> {
+        self.active().alloc_ledger()
+    }
 }
 
 #[cfg(test)]

@@ -139,6 +139,10 @@ pub struct CounterSample {
     pub requests_dropped: u64,
     /// External requests refused for a stale client epoch.
     pub requests_fenced: u64,
+    /// This program's settled core-µs integral from the allocation ledger
+    /// (DESIGN §14): total core time received since the ledger started.
+    /// 0 when the table carries no ledger.
+    pub core_us_total: u64,
 }
 
 /// Rolling latency percentiles in nanoseconds (0 when no new samples
@@ -179,6 +183,16 @@ pub struct LatencySample {
     /// Request sojourn p99.9 over the last interval — the headline
     /// tail-latency number of the serving evaluation.
     pub request_p999_ns: u64,
+    /// Demand-satisfaction latency (Eq. 1 demand rise → core grant) p50
+    /// over the last interval (DESIGN §14).
+    pub alloc_p50_ns: u64,
+    /// Demand-satisfaction latency p99 over the last interval.
+    pub alloc_p99_ns: u64,
+    /// Demand-release latency (demand fall → core released) p50 over the
+    /// last interval.
+    pub release_p50_ns: u64,
+    /// Demand-release latency p99 over the last interval.
+    pub release_p99_ns: u64,
 }
 
 /// One time-series frame: everything an observer needs to render the
@@ -374,6 +388,9 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
         requests_admitted: snap.requests_admitted,
         requests_dropped: snap.requests_dropped,
         requests_fenced: snap.requests_fenced,
+        core_us_total: table
+            .alloc_ledger()
+            .map_or(0, |ledger| ledger.snapshot().core_us.get(prog).copied().unwrap_or(0)),
     };
     let hist = reg.metrics.aggregated_histograms();
     let window = match prev {
@@ -384,6 +401,8 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
             steal_batch: hist.steal_batch.saturating_diff(&p.steal_batch),
             task_sojourn: hist.task_sojourn.saturating_diff(&p.task_sojourn),
             request_sojourn: hist.request_sojourn.saturating_diff(&p.request_sojourn),
+            alloc_latency: hist.alloc_latency.saturating_diff(&p.alloc_latency),
+            release_latency: hist.release_latency.saturating_diff(&p.release_latency),
         },
         None => hist,
     };
@@ -403,6 +422,10 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
         request_p50_ns: q(&window.request_sojourn, 0.5),
         request_p99_ns: q(&window.request_sojourn, 0.99),
         request_p999_ns: q(&window.request_sojourn, 0.999),
+        alloc_p50_ns: q(&window.alloc_latency, 0.5),
+        alloc_p99_ns: q(&window.alloc_latency, 0.99),
+        release_p50_ns: q(&window.release_latency, 0.5),
+        release_p99_ns: q(&window.release_latency, 0.99),
     };
     TelemetryFrame {
         t_us: now_us(),
@@ -621,6 +644,30 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
         w.line("dws_frames_evicted_total", &[("prog", label)], f.counters.frames_evicted);
     }
 
+    w.header(
+        "dws_core_seconds_total",
+        "Core-seconds received by the program per the allocation ledger (DESIGN \u{a7}14).",
+        "counter",
+    );
+    for (label, f) in frames {
+        w.line(
+            "dws_core_seconds_total",
+            &[("prog", label)],
+            format!("{:.6}", f.counters.core_us_total as f64 / 1e6),
+        );
+    }
+
+    // Jain's fairness index across the exported programs' received
+    // core-time — one global gauge, not per-prog. Meaningful when the
+    // programs share one ledgered table; 1.0 when nothing was measured.
+    w.header(
+        "dws_fairness_index",
+        "Jain's fairness index across exported programs' ledger core-seconds.",
+        "gauge",
+    );
+    let shares: Vec<f64> = frames.iter().map(|(_, f)| f.counters.core_us_total as f64).collect();
+    w.line("dws_fairness_index", &[], format!("{:.6}", crate::alloc_table::jain_fairness(&shares)));
+
     w.header("dws_degraded", "1 when the allocation table fell back to in-process mode.", "gauge");
     for (label, f) in frames {
         w.line("dws_degraded", &[("prog", label)], f.counters.degraded);
@@ -700,7 +747,7 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
         w.line("dws_coord_decisions_total", &[("prog", label)], f.coord.decisions);
     }
 
-    let lats: [LatencyMetric; 14] = [
+    let lats: [LatencyMetric; 18] = [
         ("dws_steal_latency_ns", "Rolling steal-attempt latency.", |l| l.steal_p50_ns, "0.5"),
         ("dws_steal_latency_ns", "Rolling steal-attempt latency.", |l| l.steal_p99_ns, "0.99"),
         ("dws_sleep_duration_ns", "Rolling sleep duration.", |l| l.sleep_p50_ns, "0.5"),
@@ -764,6 +811,30 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
             "Rolling end-to-end request sojourn (client submit to exec-begin).",
             |l| l.request_p999_ns,
             "0.999",
+        ),
+        (
+            "dws_alloc_latency_ns",
+            "Rolling demand-satisfaction latency (Eq. 1 demand rise to core grant).",
+            |l| l.alloc_p50_ns,
+            "0.5",
+        ),
+        (
+            "dws_alloc_latency_ns",
+            "Rolling demand-satisfaction latency (Eq. 1 demand rise to core grant).",
+            |l| l.alloc_p99_ns,
+            "0.99",
+        ),
+        (
+            "dws_release_latency_ns",
+            "Rolling demand-release latency (demand fall to core released).",
+            |l| l.release_p50_ns,
+            "0.5",
+        ),
+        (
+            "dws_release_latency_ns",
+            "Rolling demand-release latency (demand fall to core released).",
+            |l| l.release_p99_ns,
+            "0.99",
         ),
     ];
     let mut last_header = "";

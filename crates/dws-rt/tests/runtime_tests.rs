@@ -344,3 +344,75 @@ fn panicking_detached_spawn_is_contained() {
         std::thread::yield_now();
     }
 }
+
+#[test]
+fn prometheus_endpoint_serves_versioned_content_type() {
+    // Prometheus's scraper negotiates the text exposition format off the
+    // Content-Type header — `version=0.0.4` is what makes the payload
+    // parseable, so the header is part of the contract, not cosmetics.
+    use std::io::{Read as _, Write as _};
+
+    let table: Arc<dyn CoreTable> =
+        Arc::new(dws_rt::LedgerTable::new(Arc::new(InProcessTable::new(2, 1))));
+    let cfg = RuntimeConfig::new(2, Policy::Dws).with_telemetry();
+    let pool = Runtime::with_table(cfg, table, 0);
+    pool.block_on(|| fib(12));
+
+    let server = dws_rt::serve(vec![pool.telemetry("p0")], "127.0.0.1:0").expect("bind endpoint");
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect endpoint");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response:.60}");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    assert!(
+        head.lines().any(|l| l == format!("Content-Type: {}", dws_rt::PROMETHEUS_CONTENT_TYPE)),
+        "missing versioned Content-Type header in: {head}"
+    );
+    // The fairness series of DESIGN §14 ride the same endpoint.
+    for needle in [
+        "# TYPE dws_core_seconds_total counter",
+        "# TYPE dws_fairness_index gauge",
+        "# TYPE dws_alloc_latency_ns gauge",
+        "# TYPE dws_jobs_executed_total counter",
+    ] {
+        assert!(body.contains(needle), "body lacks {needle}");
+    }
+}
+
+#[test]
+fn telemetry_ring_eviction_accounting_balances() {
+    // The bounded frame ring may forget history, but never silently:
+    // frames_evicted + frames_retained must equal frames_produced. A
+    // fast tick and a tiny ring force dozens of evictions in a short run.
+    let mut cfg = RuntimeConfig::new(2, Policy::Ws).with_telemetry_tick(Duration::from_millis(1));
+    cfg.telemetry.capacity = 8;
+    let pool = Runtime::new(cfg);
+    let handle = pool.telemetry("p0");
+    while handle.frames().last().is_none_or(|f| f.seq < 40) {
+        pool.block_on(|| fib(10));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Dropping the pool joins the sampler; the registry (and with it the
+    // ring) stays alive through the handle, now quiescent.
+    drop(pool);
+
+    let frames = handle.frames();
+    let produced = frames.last().expect("sampler left frames").seq + 1;
+    let evicted = handle.sample_now().counters.frames_evicted;
+    assert!(evicted > 0, "the ring never overflowed — the test lost its subject");
+    assert_eq!(frames.len(), 8, "an overflowed ring retains exactly its capacity");
+    assert_eq!(
+        evicted + frames.len() as u64,
+        produced,
+        "frames_evicted + frames_retained != frames_produced"
+    );
+    // Eviction is strictly oldest-first: the survivors are the contiguous
+    // tail of the sequence.
+    for (i, f) in frames.iter().enumerate() {
+        assert_eq!(f.seq, frames[0].seq + i as u64, "retained window has a hole");
+    }
+}

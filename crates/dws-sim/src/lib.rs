@@ -70,7 +70,8 @@ pub use coordinator::{
     decide_dws, decide_nc, eq1_wake_target, CoordCase, CoordDecision, CoordObservation,
 };
 pub use machine::{
-    run_pair, run_solo, ProgramReport, ProgramSpec, RunOptions, SimReport, Simulator,
+    quantile_nearest, run_pair, run_solo, ProgramReport, ProgramSpec, RunOptions, SimLedger,
+    SimReport, Simulator,
 };
 pub use metrics::ProgramMetrics;
 pub use policy::Policy;

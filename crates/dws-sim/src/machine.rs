@@ -26,6 +26,130 @@ use crate::workload::WorkloadSpec;
 /// (the "negligible overhead" of §3.4 / §4.4, made explicit).
 const COORDINATOR_COST_US: f64 = 5.0;
 
+/// Exact virtual-time core-allocation ledger plus demand-satisfaction
+/// clocks — the sim mirror of `dws_rt::AllocLedger` (DESIGN §14).
+///
+/// Every table transition settles the slot's open interval against its
+/// previous owner first, so at any instant
+/// `Σ_p prog_us[p] + free_us + open-intervals == cores × now` — exact in
+/// virtual time, with no clock noise. Always on: settling is O(1) per
+/// transition and transitions happen at sleep/wake cadence.
+#[derive(Debug)]
+pub struct SimLedger {
+    /// Per-core time of the last ownership change.
+    last_us: Vec<SimTime>,
+    /// Per-program settled core-µs.
+    prog_us: Vec<u64>,
+    /// Settled core-µs spent free.
+    free_us: u64,
+    /// Pending Eq. 1 demand-rise stamp per program.
+    demand_rise: Vec<Option<SimTime>>,
+    /// Pending demand-fall stamp per program.
+    demand_fall: Vec<Option<SimTime>>,
+    /// Demand-satisfaction latency samples per program (ns).
+    alloc_ns: Vec<Vec<u64>>,
+    /// Demand-release latency samples per program (ns).
+    release_ns: Vec<Vec<u64>>,
+}
+
+impl SimLedger {
+    fn new(cores: usize, programs: usize) -> Self {
+        SimLedger {
+            last_us: vec![0; cores],
+            prog_us: vec![0; programs],
+            free_us: 0,
+            demand_rise: vec![None; programs],
+            demand_fall: vec![None; programs],
+            alloc_ns: vec![Vec::new(); programs],
+            release_ns: vec![Vec::new(); programs],
+        }
+    }
+
+    /// Settles `core`'s open interval against its current owner. Must run
+    /// *before* any table mutation of that slot (harmless if the mutation
+    /// then fails — nothing moved).
+    fn settle(&mut self, table: &AllocTable, core: usize, now: SimTime) {
+        let dt = now.saturating_sub(self.last_us[core]);
+        match table.slot(core) {
+            Slot::Used(p) => self.prog_us[p] += dt,
+            Slot::Free => self.free_us += dt,
+        }
+        self.last_us[core] = now;
+    }
+
+    /// Settled per-program core-µs and free core-µs with every open
+    /// interval virtually closed at `now`; conservation holds exactly:
+    /// the grand total equals `cores × now`.
+    pub fn settled(&self, table: &AllocTable, now: SimTime) -> (Vec<u64>, u64) {
+        let mut prog_us = self.prog_us.clone();
+        let mut free_us = self.free_us;
+        for core in 0..self.last_us.len() {
+            let dt = now.saturating_sub(self.last_us[core]);
+            match table.slot(core) {
+                Slot::Used(p) => prog_us[p] += dt,
+                Slot::Free => free_us += dt,
+            }
+        }
+        (prog_us, free_us)
+    }
+
+    fn note_rise(&mut self, prog: usize, now: SimTime) {
+        self.demand_rise[prog].get_or_insert(now);
+    }
+
+    fn note_met(&mut self, prog: usize, satisfied_at: SimTime) {
+        if let Some(rise) = self.demand_rise[prog].take() {
+            self.alloc_ns[prog].push(satisfied_at.saturating_sub(rise).saturating_mul(1_000));
+        }
+    }
+
+    fn note_fall(&mut self, prog: usize, now: SimTime) {
+        self.demand_rise[prog] = None; // unmet demand evaporated, no sample
+        self.demand_fall[prog].get_or_insert(now);
+    }
+
+    fn note_released(&mut self, prog: usize, now: SimTime) {
+        if let Some(fall) = self.demand_fall[prog].take() {
+            self.release_ns[prog].push(now.saturating_sub(fall).saturating_mul(1_000));
+        }
+    }
+
+    /// All demand-satisfaction latency samples for `prog` so far (ns, in
+    /// arrival order).
+    pub fn alloc_latency_ns(&self, prog: usize) -> &[u64] {
+        &self.alloc_ns[prog]
+    }
+
+    /// All demand-release latency samples for `prog` so far (ns).
+    pub fn release_latency_ns(&self, prog: usize) -> &[u64] {
+        &self.release_ns[prog]
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_conservation(&self, table: &AllocTable, now: SimTime) {
+        let (prog_us, free_us) = self.settled(table, now);
+        let total: u64 = prog_us.iter().sum::<u64>() + free_us;
+        assert_eq!(
+            total,
+            self.last_us.len() as u64 * now,
+            "ledger conservation: Σ prog + free must tile cores × elapsed"
+        );
+    }
+}
+
+/// Nearest-rank quantile over an unsorted sample set (`q` in [0, 1]);
+/// 0 when empty. Used for the sim's exact-µs latency percentiles (the rt
+/// side quantizes to log2 bucket bounds instead).
+pub fn quantile_nearest(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// One co-running program: its workload and scheduler configuration.
 #[derive(Debug, Clone)]
 pub struct ProgramSpec {
@@ -105,6 +229,8 @@ pub struct Simulator {
     lease_hb: Vec<SimTime>,
     /// Heartbeat staleness before a dead program's lease expires.
     lease_timeout_us: SimTime,
+    /// Per-program core-allocation ledger and demand clocks (DESIGN §14).
+    ledger: SimLedger,
 }
 
 impl Simulator {
@@ -208,6 +334,7 @@ impl Simulator {
             // 3× the paper's 10 ms coordinator period, matching
             // `RuntimeConfig::effective_lease_timeout`'s default.
             lease_timeout_us: 30_000,
+            ledger: SimLedger::new(k, m),
         };
         sim.seed_run_queues();
         sim
@@ -256,6 +383,18 @@ impl Simulator {
     /// Read access to program state (tests / diagnostics).
     pub fn program(&self, p: usize) -> &SimProgram {
         &self.programs[p]
+    }
+
+    /// The core-allocation ledger: exact per-program core-time integrals
+    /// plus demand-satisfaction latency samples (always on).
+    pub fn ledger(&self) -> &SimLedger {
+        &self.ledger
+    }
+
+    /// Per-program settled core-µs and free core-µs as of the current
+    /// simulated time; the grand total is exactly `cores × now`.
+    pub fn settled_core_us(&self) -> (Vec<u64>, u64) {
+        self.ledger.settled(&self.table, self.now)
     }
 
     /// Turns on scheduling-event recording (at most `capacity` events).
@@ -365,6 +504,8 @@ impl Simulator {
 
         #[cfg(debug_assertions)]
         self.table.check_invariants(self.programs.len());
+        #[cfg(debug_assertions)]
+        self.ledger.check_conservation(&self.table, now);
     }
 
     /// Emits one telemetry frame per program when the sampling period has
@@ -396,6 +537,7 @@ impl Simulator {
                 },
             })
             .collect();
+        let (ledger_us, _free_us) = self.ledger.settled(&self.table, now);
         for (p, prog) in self.programs.iter().enumerate() {
             let workers: Vec<WorkerSample> = prog
                 .workers
@@ -407,8 +549,24 @@ impl Simulator {
                     queue: prog.deques[w].len(),
                 })
                 .collect();
-            let pt = &tel.progs[p];
+            let pt = &mut tel.progs[p];
             let coord = CoordSample { decisions: pt.decisions, ..pt.last_coord };
+            // Demand-latency percentiles over this frame's window only,
+            // mirroring the rt sampler's rolling histogram diff — but
+            // exact-µs nearest-rank here rather than log2 bucket bounds.
+            let alloc = &self.ledger.alloc_latency_ns(p)[pt.alloc_seen..];
+            let release = &self.ledger.release_latency_ns(p)[pt.release_seen..];
+            pt.alloc_seen += alloc.len();
+            pt.release_seen += release.len();
+            let latency = LatencySample {
+                alloc_p50_ns: quantile_nearest(alloc, 0.5),
+                alloc_p99_ns: quantile_nearest(alloc, 0.99),
+                release_p50_ns: quantile_nearest(release, 0.5),
+                release_p99_ns: quantile_nearest(release, 0.99),
+                // The µs-resolution event model has no ns task/steal
+                // histograms; those stay zero in simulation.
+                ..LatencySample::default()
+            };
             let m = &prog.metrics;
             let counters = CounterSample {
                 steals_ok: m.steals_ok,
@@ -433,6 +591,7 @@ impl Simulator {
                 requests_admitted: 0,
                 requests_dropped: 0,
                 requests_fenced: 0,
+                core_us_total: ledger_us[p],
             };
             tel.push(
                 p,
@@ -444,8 +603,7 @@ impl Simulator {
                     workers,
                     coord,
                     counters,
-                    // The µs-resolution event model has no ns histograms.
-                    latency: LatencySample::default(),
+                    latency,
                 },
             );
         }
@@ -499,6 +657,7 @@ impl Simulator {
             }
             for core in 0..self.table.cores() {
                 if self.table.slot(core) == Slot::Used(q) {
+                    self.ledger.settle(&self.table, core, now);
                     self.table.release(core, q);
                     self.programs[reaper].metrics.cores_reaped += 1;
                     self.trace.record(now, SchedEvent::Reap { prog: q, core });
@@ -590,6 +749,7 @@ impl Simulator {
                     );
                     let mut woken = 0u64;
                     for &core in &decision.take_free {
+                        self.ledger.settle(&self.table, core, now);
                         if self.table.acquire_free(core, p) {
                             self.programs[p].metrics.cores_acquired += 1;
                             self.trace.record(now, SchedEvent::Acquire { prog: p, core });
@@ -598,12 +758,26 @@ impl Simulator {
                         }
                     }
                     for &core in &decision.reclaim {
+                        self.ledger.settle(&self.table, core, now);
                         if self.table.reclaim(core, p) {
                             self.programs[p].metrics.cores_reclaimed += 1;
                             self.trace.record(now, SchedEvent::Reclaim { prog: p, core });
                             self.schedule_wake(p, core, now);
                             woken += 1;
                         }
+                    }
+                    // Demand clocks (mirror of the rt coordinator's): a
+                    // rise stamp survives starved ticks; a grant closes it
+                    // when the woken worker actually lands (wake latency),
+                    // so same-tick satisfaction still costs the wake path.
+                    if decision.n_w > 0 {
+                        self.ledger.note_rise(p, now);
+                        if woken > 0 {
+                            let landed = now + self.programs[p].sched.wake_latency_us;
+                            self.ledger.note_met(p, landed);
+                        }
+                    } else if obs.active_workers > 0 {
+                        self.ledger.note_fall(p, now);
                     }
                     if let Some(tel) = self.telemetry.as_mut() {
                         let pt = &mut tel.progs[p];
@@ -757,7 +931,9 @@ impl Simulator {
                 && self.programs[p].sched.policy == Policy::Dws
                 && self.table.slot(core) == Slot::Used(p)
             {
+                self.ledger.settle(&self.table, core, now);
                 self.table.release(core, p);
+                self.ledger.note_released(p, now);
                 self.programs[p].metrics.cores_released += 1;
                 self.trace.record(now, SchedEvent::Release { prog: p, core });
             }
@@ -989,8 +1165,31 @@ mod tests {
             // The coordinator plan never exceeds the observed supply.
             assert!(last.coord.planned_free <= last.coord.n_f);
             assert!(last.coord.planned_reclaim <= last.coord.n_r);
-            assert_eq!(last.latency, crate::telemetry::LatencySample::default());
+            // Steal/task histograms stay zero in the µs event model, but
+            // the demand-latency quantiles are live: p99 bounds p50.
+            assert_eq!(last.latency.steal_p50_ns, 0);
+            assert!(last.latency.alloc_p99_ns >= last.latency.alloc_p50_ns);
+            assert!(last.latency.release_p99_ns >= last.latency.release_p50_ns);
+            // The ledger feeds frames: by 500 ms each program has been
+            // charged some core time, and no program exceeds the machine.
+            assert!(last.counters.core_us_total > 0, "ledger core time flows into frames");
+            assert!(last.counters.core_us_total <= 4 * last.t_us);
             assert_eq!(last.counters.frames_evicted, 0);
+        }
+        // Conservation across the whole co-run: settled per-program time
+        // plus free time tiles cores × elapsed exactly.
+        let (prog_us, free_us) = sim.settled_core_us();
+        assert_eq!(prog_us.iter().sum::<u64>() + free_us, 4 * sim.now());
+        // Demand-satisfaction samples were collected and each costs at
+        // least the wake latency.
+        assert!(
+            (0..2).any(|p| !sim.ledger().alloc_latency_ns(p).is_empty()),
+            "expected demand-satisfaction samples in a DWS co-run"
+        );
+        for p in 0..2 {
+            for &ns in sim.ledger().alloc_latency_ns(p) {
+                assert!(ns >= 1_000, "a grant costs at least the wake path: {ns}ns");
+            }
         }
     }
 

@@ -124,6 +124,10 @@ pub struct CounterSample {
     /// simulation: the simulated ring has no cross-process clients to
     /// fence.
     pub requests_fenced: u64,
+    /// This program's settled core-µs integral from the allocation ledger
+    /// (DESIGN §14). Filled in simulation too: the simulator keeps an
+    /// exact virtual-time ledger over its core table.
+    pub core_us_total: u64,
 }
 
 /// Rolling latency percentiles in nanoseconds (always zero in simulation:
@@ -162,6 +166,17 @@ pub struct LatencySample {
     pub request_p99_ns: u64,
     /// Request sojourn p99.9 over the last interval.
     pub request_p999_ns: u64,
+    /// Demand-satisfaction latency (Eq. 1 demand rise → core grant) p50
+    /// over the last interval. Filled in simulation (µs-resolution demand
+    /// clock, reported in ns), unlike the sub-µs histograms above.
+    pub alloc_p50_ns: u64,
+    /// Demand-satisfaction latency p99 over the last interval.
+    pub alloc_p99_ns: u64,
+    /// Demand-release latency (demand fall → core released) p50 over the
+    /// last interval. Filled in simulation.
+    pub release_p50_ns: u64,
+    /// Demand-release latency p99 over the last interval.
+    pub release_p99_ns: u64,
 }
 
 /// One time-series frame: everything an observer needs to render the
@@ -232,6 +247,12 @@ pub(crate) struct ProgTelemetry {
     pub(crate) last_coord: CoordSample,
     /// Coordinator evaluations captured so far.
     pub(crate) decisions: u64,
+    /// Demand-latency samples already folded into earlier frames, so each
+    /// frame's percentiles cover only its own sampling window (the sim
+    /// analogue of the rt side's rolling histogram diff).
+    pub(crate) alloc_seen: usize,
+    /// Same, for demand-release samples.
+    pub(crate) release_seen: usize,
 }
 
 impl ProgTelemetry {
@@ -242,6 +263,8 @@ impl ProgTelemetry {
             evicted: 0,
             last_coord: CoordSample::default(),
             decisions: 0,
+            alloc_seen: 0,
+            release_seen: 0,
         }
     }
 

@@ -57,6 +57,7 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             requests_admitted: 900,
             requests_dropped: 11,
             requests_fenced: 2,
+            core_us_total: 654_321,
         },
         latency: dws_rt::LatencySample {
             steal_p50_ns: 1_024,
@@ -73,6 +74,10 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             request_p50_ns: 16_384,
             request_p99_ns: 2_097_152,
             request_p999_ns: 4_194_304,
+            alloc_p50_ns: 32_768,
+            alloc_p99_ns: 8_388_608,
+            release_p50_ns: 65_536,
+            release_p99_ns: 16_777_216,
         },
     }
 }
@@ -122,6 +127,7 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             requests_admitted: 900,
             requests_dropped: 11,
             requests_fenced: 2,
+            core_us_total: 654_321,
         },
         latency: dws_sim::LatencySample {
             steal_p50_ns: 1_024,
@@ -138,6 +144,10 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             request_p50_ns: 16_384,
             request_p99_ns: 2_097_152,
             request_p999_ns: 4_194_304,
+            alloc_p50_ns: 32_768,
+            alloc_p99_ns: 8_388_608,
+            release_p50_ns: 65_536,
+            release_p99_ns: 16_777_216,
         },
     }
 }
