@@ -78,7 +78,7 @@ use std::time::{Duration, Instant};
 
 use dws_bench::{
     validate_bench5_value, validate_bench6_value, validate_bench7_value, validate_bench8_value,
-    validate_bench_value, BENCH_SCHEMA_VERSION,
+    validate_bench9_value, validate_bench_value, BENCH_SCHEMA_VERSION,
 };
 use dws_harness::{demand_handler, offer_load, LoadSpec, LoadStats};
 use dws_rt::{
@@ -906,9 +906,10 @@ fn validate_by_kind(doc: &Value) -> Result<(), Vec<String>> {
         Some("task-trace") => validate_bench6_value(doc),
         Some("serving-tail") => validate_bench7_value(doc),
         Some("fairness-trajectory") => validate_bench8_value(doc),
+        Some("chaos-mttr") => validate_bench9_value(doc),
         Some(other) => Err(vec![format!(
             "unknown bench kind `{other}` (known: telemetry-trajectory, batched-stealing, \
-             task-trace, serving-tail, fairness-trajectory)"
+             task-trace, serving-tail, fairness-trajectory, chaos-mttr)"
         )]),
         None => Err(vec!["document has no `bench` kind field".to_string()]),
     }

@@ -557,6 +557,109 @@ pub fn validate_bench8_value(doc: &Value) -> Result<(), Vec<String>> {
     }
 }
 
+/// Validates a parsed `BENCH_9.json` document against the schema the
+/// `chaos --emit-bench` run emits: identification header, the fault-
+/// injection configuration, and per-fault-class MTTR (fault injected →
+/// invariants restored) percentiles. Beyond shape, the validator
+/// re-checks the run's internal consistency — class names must be the
+/// known fault classes (no duplicates), per-class runs must sum to the
+/// schedules actually run, the MTTR quantiles of each class must be
+/// monotone (min ≤ p50 ≤ p99 ≤ max), and a committed document must
+/// record **zero** invariant violations: a chaos artifact with
+/// violations is a bug report, not a benchmark. Returns every violation
+/// found, not just the first.
+pub fn validate_bench9_value(doc: &Value) -> Result<(), Vec<String>> {
+    const FAULT_CLASSES: [&str; 6] = ["pause", "kill", "stall", "churn", "torn", "ring"];
+
+    let mut errors = Vec::new();
+    let e = &mut errors;
+
+    require(doc["bench"].as_str() == Some("chaos-mttr"), e, "bench name mismatch");
+    require(
+        doc["schema_version"].as_u64() == Some(BENCH_SCHEMA_VERSION),
+        e,
+        "schema_version mismatch",
+    );
+    require(doc["pr"].as_u64() == Some(9), e, "pr must be 9");
+
+    let cfg = &doc["config"];
+    for key in ["schedules", "seed", "cores", "lease_timeout_ms", "stall_timeout_ms"] {
+        require(is_int(&cfg[key]), e, &format!("config.{key} must be an integer"));
+    }
+    require(matches!(cfg["fast"], Value::Bool(_)), e, "config.fast must be a bool");
+
+    let r = &doc["results"];
+    require(is_int(&r["schedules_run"]), e, "results.schedules_run must be an integer");
+    require(
+        r["violations"].as_u64() == Some(0),
+        e,
+        "results.violations must be 0 (a run with violations is not committable)",
+    );
+    match &r["per_class"] {
+        Value::Array(classes) if !classes.is_empty() => {
+            let mut seen: Vec<&str> = Vec::new();
+            let mut runs_total = 0u64;
+            for (i, c) in classes.iter().enumerate() {
+                match c["class"].as_str() {
+                    Some(name) => {
+                        require(
+                            FAULT_CLASSES.contains(&name),
+                            e,
+                            &format!(
+                                "per_class[{i}].class {name:?} is not a known fault class \
+                                 (expected one of {FAULT_CLASSES:?})"
+                            ),
+                        );
+                        require(
+                            !seen.contains(&name),
+                            e,
+                            &format!("per_class[{i}].class {name:?} appears more than once"),
+                        );
+                        seen.push(name);
+                    }
+                    None => e.push(format!("per_class[{i}].class must be a string")),
+                }
+                for key in ["runs", "mttr_min_ns", "mttr_p50_ns", "mttr_p99_ns", "mttr_max_ns"] {
+                    require(
+                        is_int(&c[key]),
+                        e,
+                        &format!("per_class[{i}].{key} must be an integer"),
+                    );
+                }
+                if let Some(n) = c["runs"].as_u64() {
+                    require(n >= 1, e, &format!("per_class[{i}].runs must be >= 1"));
+                    runs_total += n;
+                }
+                // Quantiles of one distribution cannot invert.
+                let qs = ["mttr_min_ns", "mttr_p50_ns", "mttr_p99_ns", "mttr_max_ns"];
+                for w in qs.windows(2) {
+                    if let (Some(lo), Some(hi)) = (c[w[0]].as_u64(), c[w[1]].as_u64()) {
+                        require(
+                            lo <= hi,
+                            e,
+                            &format!(
+                                "per_class[{i}]: {} must be <= {} (monotone quantiles)",
+                                w[0], w[1]
+                            ),
+                        );
+                    }
+                }
+            }
+            // Every schedule that ran landed in exactly one class.
+            if let Some(total) = r["schedules_run"].as_u64() {
+                require(runs_total == total, e, "per_class runs must sum to results.schedules_run");
+            }
+        }
+        _ => e.push("results.per_class must be a non-empty array".to_string()),
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 fn num(v: &Value) -> Option<f64> {
     match *v {
         Value::U64(n) => Some(n as f64),
@@ -948,6 +1051,106 @@ mod tests {
         set_bench8_point(&mut doc, "programs", Value::U64(3));
         let errs = validate_bench8_value(&doc).unwrap_err();
         assert!(errs.iter().any(|m| m.contains("`programs` entries")), "{errs:?}");
+    }
+
+    fn valid_bench9_doc() -> Value {
+        serde_json::from_str(
+            r#"{
+              "bench": "chaos-mttr",
+              "schema_version": 1,
+              "pr": 9,
+              "config": {"schedules": 12, "seed": 3298843565, "cores": 4,
+                         "lease_timeout_ms": 100, "stall_timeout_ms": 120,
+                         "fast": false},
+              "results": {
+                "schedules_run": 12,
+                "violations": 0,
+                "per_class": [
+                  {"class": "pause", "runs": 2, "mttr_min_ns": 120000000,
+                   "mttr_p50_ns": 140000000, "mttr_p99_ns": 150000000,
+                   "mttr_max_ns": 150000000},
+                  {"class": "kill", "runs": 2, "mttr_min_ns": 110000000,
+                   "mttr_p50_ns": 130000000, "mttr_p99_ns": 190000000,
+                   "mttr_max_ns": 190000000},
+                  {"class": "stall", "runs": 2, "mttr_min_ns": 125000000,
+                   "mttr_p50_ns": 140000000, "mttr_p99_ns": 165000000,
+                   "mttr_max_ns": 165000000},
+                  {"class": "churn", "runs": 2, "mttr_min_ns": 100000000,
+                   "mttr_p50_ns": 140000000, "mttr_p99_ns": 195000000,
+                   "mttr_max_ns": 195000000},
+                  {"class": "torn", "runs": 2, "mttr_min_ns": 1300000,
+                   "mttr_p50_ns": 7000000, "mttr_p99_ns": 7200000,
+                   "mttr_max_ns": 7200000},
+                  {"class": "ring", "runs": 2, "mttr_min_ns": 80000000,
+                   "mttr_p50_ns": 180000000, "mttr_p99_ns": 200000000,
+                   "mttr_max_ns": 200000000}
+                ]
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    fn set_bench9_class(doc: &mut Value, idx: usize, key: &str, v: Value) {
+        let Value::Object(pairs) = doc else { panic!("not an object") };
+        let results = &mut pairs.iter_mut().find(|(k, _)| k == "results").unwrap().1;
+        let Value::Object(pairs) = results else { panic!() };
+        let classes = &mut pairs.iter_mut().find(|(k, _)| k == "per_class").unwrap().1;
+        let Value::Array(classes) = classes else { panic!() };
+        set(&mut classes[idx], &[key], v);
+    }
+
+    #[test]
+    fn valid_bench9_document_passes() {
+        assert_eq!(validate_bench9_value(&valid_bench9_doc()), Ok(()));
+    }
+
+    #[test]
+    fn bench9_rejects_other_schemas_and_vice_versa() {
+        assert!(validate_bench9_value(&valid_doc()).is_err());
+        assert!(validate_bench9_value(&valid_bench8_doc()).is_err());
+        assert!(validate_bench_value(&valid_bench9_doc()).is_err());
+        assert!(validate_bench8_value(&valid_bench9_doc()).is_err());
+    }
+
+    #[test]
+    fn bench9_violations_make_the_document_uncommittable() {
+        let mut doc = valid_bench9_doc();
+        set(&mut doc, &["results", "violations"], Value::U64(1));
+        let errs = validate_bench9_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("violations")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench9_unknown_fault_class_fails() {
+        let mut doc = valid_bench9_doc();
+        set_bench9_class(&mut doc, 0, "class", Value::String("gremlin".into()));
+        let errs = validate_bench9_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("known fault class")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench9_duplicate_fault_class_fails() {
+        let mut doc = valid_bench9_doc();
+        set_bench9_class(&mut doc, 1, "class", Value::String("pause".into()));
+        let errs = validate_bench9_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("more than once")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench9_runs_must_sum_to_schedules_run() {
+        let mut doc = valid_bench9_doc();
+        set_bench9_class(&mut doc, 2, "runs", Value::U64(3));
+        let errs = validate_bench9_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("sum to results.schedules_run")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench9_inverted_mttr_quantiles_fail() {
+        let mut doc = valid_bench9_doc();
+        set_bench9_class(&mut doc, 3, "mttr_p99_ns", Value::U64(1));
+        let errs = validate_bench9_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("monotone")), "{errs:?}");
     }
 
     #[test]

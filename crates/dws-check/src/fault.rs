@@ -13,7 +13,10 @@
 //!   and reports empty even though the victim had work (consumed by the
 //!   model's worker loop);
 //! * **coordinator-tick jitter** — the coordinator period stretching
-//!   under load (consumed by the model's coordinator loop).
+//!   under load (consumed by the model's coordinator loop);
+//! * **pause skew** — SIGSTOP/SIGCONT delivery drifting relative to the
+//!   lease clock, so a stop-the-world stall straddles (or narrowly
+//!   misses) lease expiry (consumed by the model's pauser thread).
 //!
 //! All probabilities are parts-per-million of the respective decision
 //! sites; all faults are driven by a dedicated PRNG seeded from the
@@ -41,6 +44,12 @@ pub struct FaultPlan {
     /// Maximum extra virtual delay added to each model coordinator tick,
     /// nanoseconds (0 disables jitter).
     pub coord_jitter_ns: u64,
+    /// Maximum virtual skew added independently to the pause scenario's
+    /// SIGSTOP and SIGCONT instants, nanoseconds (0 = exact schedule).
+    /// Sweeping the stall window across the lease timeout is what makes
+    /// exploration cover both "resumed before the fence" and "fenced
+    /// while stopped" outcomes from one seed base.
+    pub pause_jitter_ns: u64,
 }
 
 impl FaultPlan {
@@ -56,6 +65,7 @@ impl FaultPlan {
             max_preempt_ns: 50_000,
             drop_steal_ppm: 150_000,
             coord_jitter_ns: 25_000,
+            pause_jitter_ns: 30_000,
         }
     }
 

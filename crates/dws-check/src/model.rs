@@ -71,6 +71,16 @@ pub enum Bug {
     /// admitted, every admitted request reaches exactly-once exec")
     /// catches it. Implies the serving scenario.
     DroppedSubmit,
+    /// A SIGCONTed program skips the post-resume fence check — the
+    /// model analogue of a zombie runtime handle whose table CAS
+    /// "incorrectly succeeds" after its lease was stall-fenced and
+    /// reaped (the exact hole `ShmTable::self_check`'s latched epoch
+    /// closes in `dws-rt`). The resumed victim happily finishes its own
+    /// work, so every completion counter reconciles, the conservation
+    /// ledger balances and the log agrees with the live table — only
+    /// the oracle's post-fence rule ("no transition or work by an
+    /// expired prog") sees the zombie. Implies the pause scenario.
+    ZombieWrite,
     /// `try_reap` returns the core to the free pool but never charges
     /// the dead program's final interval to the conservation ledger —
     /// the clock advances with nobody billed, the checker-side analogue
@@ -113,6 +123,19 @@ pub struct ModelConfig {
     pub crash: Option<usize>,
     /// Virtual time at which the crash is delivered.
     pub crash_at_ns: u64,
+    /// Program SIGSTOPped mid-run by the pause scenario (`None` = no
+    /// pause; exclusive with `crash`). Its threads park at their loop
+    /// tops until SIGCONT; once every thread is quiescent a survivor's
+    /// reaper may stall-fence the lease and reap the stranded cores, and
+    /// the resumed threads must then refuse all further table activity
+    /// (the model analogue of the runtime's zombie fencing).
+    pub pause: Option<usize>,
+    /// Virtual time at which the SIGSTOP is delivered (plus per-seed
+    /// fault jitter).
+    pub pause_at_ns: u64,
+    /// Virtual time at which the SIGCONT is delivered (plus per-seed
+    /// fault jitter).
+    pub resume_at_ns: u64,
     /// Lease timeout: how long a reaper waits between scans for dead
     /// co-runners (the model analogue of the heartbeat staleness
     /// window).
@@ -149,6 +172,9 @@ impl ModelConfig {
             steal_batch_limit: 2,
             crash: None,
             crash_at_ns: 0,
+            pause: None,
+            pause_at_ns: 0,
+            resume_at_ns: 0,
             lease_timeout_ns: 40_000,
             submits: vec![0, 0],
             ring_capacity: 4,
@@ -171,6 +197,9 @@ impl ModelConfig {
             steal_batch_limit: 2,
             crash: None,
             crash_at_ns: 0,
+            pause: None,
+            pause_at_ns: 0,
+            resume_at_ns: 0,
             lease_timeout_ns: 40_000,
             submits: vec![0, 0],
             ring_capacity: 4,
@@ -190,6 +219,29 @@ impl ModelConfig {
             tasks: vec![5, 30],
             crash: Some(1),
             crash_at_ns: 60_000,
+            ..ModelConfig::standard()
+        }
+    }
+
+    /// The stall-fence instance: the standard 2-program/4-core shape
+    /// with program 1 SIGSTOPped mid-run and SIGCONTed much later —
+    /// long enough (relative to the lease timeout) that the survivor's
+    /// reaper usually sees a fully quiescent, stale co-runner straddle
+    /// lease expiry and stall-fences it. Exploration covers both
+    /// outcomes: schedules where the victim resumes before any fence
+    /// (it must then finish all its work) and schedules where the fence
+    /// lands first (the resumed zombie must refuse every further table
+    /// transition — the property [`Bug::ZombieWrite`] breaks).
+    pub fn pause() -> Self {
+        ModelConfig {
+            // Enough work that the victim is still busy — and owns
+            // cores — when the stop lands, and still has work left when
+            // it resumes (a zombie with nothing to do writes nothing).
+            tasks: vec![5, 30],
+            pause: Some(1),
+            pause_at_ns: 30_000,
+            resume_at_ns: 150_000,
+            coord_ticks: 6,
             ..ModelConfig::standard()
         }
     }
@@ -579,7 +631,25 @@ struct Shared {
     /// `kill(pid, 0) == ESRCH`, which guarantees the dead program
     /// performs no transition after the fence.
     exited: Vec<AtomicUsize>,
+    /// Pause-scenario state machine: [`PS_PAUSED`] while the victim is
+    /// SIGSTOPped, [`PS_FENCED`] (sticky) once a reaper stall-fenced
+    /// it. The fence is a CAS from exactly `PS_PAUSED`, so it can only
+    /// land while the stop is still in force — and a parked thread
+    /// cannot leave its gate while `PS_PAUSED` is set, which together
+    /// make "fence ⇒ every victim thread quiescent, and every later
+    /// victim step sees the fence first" a protocol guarantee rather
+    /// than a timing assumption.
+    pause_state: AtomicUsize,
+    /// Victim threads currently parked at their pause gate.
+    parked: AtomicUsize,
 }
+
+/// [`Shared::pause_state`] bit: the victim is currently SIGSTOPped.
+const PS_PAUSED: usize = 1;
+/// [`Shared::pause_state`] bit (sticky): the victim was stall-fenced.
+const PS_FENCED: usize = 2;
+/// Virtual re-check period of a parked victim thread.
+const PARK_POLL_NS: u64 = 5_000;
 
 impl Shared {
     /// Threads `prog` runs: one worker per core + the coordinator, plus
@@ -598,6 +668,45 @@ impl Shared {
         self.dead[prog].load(Ordering::SeqCst)
             && self.exited[prog].load(Ordering::SeqCst) == self.threads_of(prog)
     }
+}
+
+/// What a victim thread learns at its loop-top pause gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    /// Keep running (possibly after having been parked for a while).
+    Run,
+    /// The lease was stall-fenced while the thread was stopped: stop
+    /// touching anything shared and exit.
+    Fenced,
+}
+
+/// The pause scenario's loop-top stop point. A SIGSTOPped victim thread
+/// parks here — counted in [`Shared::parked`], so a reaper knows when
+/// the whole program is quiescent — until SIGCONT, then (like the
+/// runtime handle's `self_check`) consults the fence before touching
+/// anything shared. [`Bug::ZombieWrite`] skips that check: the resumed
+/// zombie's next CAS "incorrectly succeeds" and only the oracle's
+/// post-fence rule can object. Programs other than the configured
+/// victim return immediately with no shim operation, so non-pause
+/// scenarios (and every pinned seed) keep their schedule spaces
+/// byte-identical.
+fn pause_gate(sh: &Shared, prog: usize) -> Gate {
+    if sh.cfg.pause != Some(prog) {
+        return Gate::Run;
+    }
+    if sh.pause_state.load(Ordering::SeqCst) & PS_PAUSED != 0 {
+        sh.parked.fetch_add(1, Ordering::SeqCst);
+        while sh.pause_state.load(Ordering::SeqCst) & PS_PAUSED != 0 {
+            sleep(Duration::from_nanos(PARK_POLL_NS));
+        }
+        sh.parked.fetch_sub(1, Ordering::SeqCst);
+    }
+    if sh.cfg.bug != Some(Bug::ZombieWrite)
+        && sh.pause_state.load(Ordering::SeqCst) & PS_FENCED != 0
+    {
+        return Gate::Fenced;
+    }
+    Gate::Run
 }
 
 /// CAS-reserves a batch of tasks from the program queue, capped (like
@@ -623,6 +732,13 @@ fn worker_loop(sh: &Shared, prog: usize, core: usize) {
     let work = Duration::from_nanos(sh.cfg.work_ns.max(1));
     let mut failed = 0u32;
     loop {
+        if pause_gate(sh, prog) == Gate::Fenced {
+            // Stall-fenced while stopped: the core (if we held one) was
+            // already reaped, and releasing — or acquiring — anything
+            // now would be a zombie write. Exit touching nothing.
+            sh.awake[prog][core].store(false, Ordering::SeqCst);
+            return;
+        }
         if sh.dead[prog].load(Ordering::SeqCst) {
             // SIGKILL: stop dead. The core (if owned) stays stranded in
             // the table until a survivor's reaper recovers it.
@@ -729,6 +845,11 @@ fn client_loop(sh: &Shared, prog: usize) {
     let cap = sh.cfg.ring_capacity.max(1);
     let mut next = 0usize;
     while next < sh.cfg.submits[prog] {
+        if pause_gate(sh, prog) == Gate::Fenced {
+            // The ring now belongs to the successor incarnation;
+            // unsent requests die with the fenced client.
+            return;
+        }
         if sh.dead[prog].load(Ordering::SeqCst) {
             // SIGKILL: unsent requests die with the program (and the
             // oracle's crash exemption covers whatever was ringed).
@@ -784,6 +905,9 @@ fn drain_ring(sh: &Shared, prog: usize) {
 fn coordinator_loop(sh: &Shared, prog: usize) {
     let period = sh.cfg.coord_period_ns.max(1);
     for _ in 0..sh.cfg.coord_ticks {
+        if pause_gate(sh, prog) == Gate::Fenced {
+            return;
+        }
         if sh.dead[prog].load(Ordering::SeqCst)
             || sh.prog_remaining[prog].load(Ordering::SeqCst) == 0
         {
@@ -893,6 +1017,84 @@ fn reaper_loop(sh: &Shared, me: usize, victim: usize) {
     }
 }
 
+/// The pause scenario's pauser: delivers SIGSTOP at `pause_at_ns` and
+/// SIGCONT at `resume_at_ns`, each skewed by an independent draw from
+/// the fault PRNG (`FaultPlan::pause_jitter_ns`) so the stall window
+/// sweeps across lease expiry from one seed base.
+fn pauser_loop(sh: &Shared) {
+    let jitter = |bound: u64| match bound {
+        0 => 0,
+        b => fault_below(b),
+    };
+    let plan = fault_plan();
+    let stop_at = sh.cfg.pause_at_ns.max(1) + jitter(plan.pause_jitter_ns);
+    sleep(Duration::from_nanos(stop_at));
+    ps_update(sh, |ps| ps | PS_PAUSED);
+    let dwell = sh.cfg.resume_at_ns.saturating_sub(sh.cfg.pause_at_ns).max(1)
+        + jitter(plan.pause_jitter_ns);
+    sleep(Duration::from_nanos(dwell));
+    ps_update(sh, |ps| ps & !PS_PAUSED);
+}
+
+/// CAS-updates [`Shared::pause_state`] (the shim atomics expose no
+/// `fetch_or`/`fetch_and`).
+fn ps_update(sh: &Shared, f: impl Fn(usize) -> usize) {
+    loop {
+        let ps = sh.pause_state.load(Ordering::SeqCst);
+        if sh.pause_state.compare_exchange(ps, f(ps), Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            return;
+        }
+    }
+}
+
+/// A survivor's stall reaper: the model analogue of the runtime's
+/// opt-in `set_stall_timeout` fencing. Every lease timeout it checks
+/// whether the victim is SIGSTOPped with *every* thread quiescent
+/// (parked at a gate or exited) — the analogue of a stale heartbeat
+/// with no operation in flight — and if so CAS-fences the lease (from
+/// exactly [`PS_PAUSED`], so the fence cannot land after SIGCONT) and
+/// reaps the stranded cores. The resumed victim must then behave like a
+/// runtime zombie: refuse every further table transition.
+fn stall_reaper_loop(sh: &Shared, victim: usize) {
+    let timeout = Duration::from_nanos(sh.cfg.lease_timeout_ns.max(1));
+    loop {
+        sleep(timeout);
+        let ps = sh.pause_state.load(Ordering::SeqCst);
+        if ps & PS_FENCED != 0 {
+            // A racing reaper fenced (and reaped) already.
+            return;
+        }
+        if ps & PS_PAUSED == 0 {
+            if sh.prog_remaining[victim].load(Ordering::SeqCst) == 0 {
+                // The victim outran the stall and finished: no reap duty.
+                return;
+            }
+            continue;
+        }
+        let quiescent = sh.parked.load(Ordering::SeqCst) + sh.exited[victim].load(Ordering::SeqCst)
+            == sh.threads_of(victim);
+        if !quiescent {
+            continue;
+        }
+        preempt_point("stall-fence");
+        if sh
+            .pause_state
+            .compare_exchange(PS_PAUSED, PS_PAUSED | PS_FENCED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            sh.table.log_event(ProtoEvent::Expired { prog: victim });
+            for core in 0..sh.cfg.cores {
+                if sh.table.current(core) != victim as i32 {
+                    continue;
+                }
+                preempt_point("stall-reap");
+                sh.table.try_reap(victim, core);
+            }
+            return;
+        }
+    }
+}
+
 /// Builds the model inside an exploration: spawns one worker per
 /// `(program, core)` and one coordinator per program, and returns the
 /// post-check closure that linearizes the event log, replays it through
@@ -906,6 +1108,12 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
     if let Some(v) = cfg.crash {
         assert!(v < cfg.programs, "crash victim out of range");
         assert!(cfg.programs >= 2, "crash scenario needs a survivor");
+    }
+    if let Some(v) = cfg.pause {
+        assert!(v < cfg.programs, "pause victim out of range");
+        assert!(cfg.programs >= 2, "pause scenario needs a fencing survivor");
+        assert!(cfg.crash.is_none(), "pause and crash scenarios are exclusive");
+        assert!(cfg.pause_at_ns < cfg.resume_at_ns, "pause window must be positive");
     }
     let home = cfg.home();
     let sh = Arc::new(Shared {
@@ -932,6 +1140,8 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
         dead: (0..cfg.programs).map(|_| AtomicBool::new(false)).collect(),
         fenced: (0..cfg.programs).map(|_| AtomicBool::new(false)).collect(),
         exited: (0..cfg.programs).map(|_| AtomicUsize::new(0)).collect(),
+        pause_state: AtomicUsize::new(0),
+        parked: AtomicUsize::new(0),
         cfg: cfg.clone(),
     });
     // Spawn every initial task into the ledger before any thread runs:
@@ -975,7 +1185,16 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
             env.spawn(&format!("reaper{p}"), move || reaper_loop(&sh2, p, victim));
         }
     }
+    if let Some(victim) = cfg.pause {
+        let sh2 = Arc::clone(&sh);
+        env.spawn("pauser", move || pauser_loop(&sh2));
+        for p in (0..cfg.programs).filter(|&p| p != victim) {
+            let sh2 = Arc::clone(&sh);
+            env.spawn(&format!("stall-reaper{p}"), move || stall_reaper_loop(&sh2, victim));
+        }
+    }
     let crash = cfg.crash;
+    let pause = cfg.pause;
     move |clean: bool| {
         let timed = sh.table.take_timed_log();
         let events: Vec<ProtoEvent> = timed.iter().map(|&(_, e)| e).collect();
@@ -987,13 +1206,22 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
                 break;
             }
         }
+        // A stall-fenced pause victim is exempt exactly like a crash
+        // victim: its remaining work legitimately dies with the fence
+        // (the zombie must NOT finish it — that is the point). A victim
+        // that resumed un-fenced gets no exemption and must finish
+        // everything. The flag is sticky, so reading it post-run is
+        // race-free.
+        let stall_fenced = pause.filter(|_| sh.pause_state.load(Ordering::SeqCst) & PS_FENCED != 0);
+        let lost = crash.or(stall_fenced);
         if error.is_none() && clean {
-            // A crash victim's tasks legitimately die with it.
+            // A crash (or stall-fenced) victim's tasks legitimately die
+            // with it.
             let left: usize = sh
                 .prog_remaining
                 .iter()
                 .enumerate()
-                .filter(|&(p, _)| crash != Some(p))
+                .filter(|&(p, _)| lost != Some(p))
                 .map(|(_, r)| r.load(Ordering::SeqCst))
                 .sum();
             if left != 0 {
@@ -1021,13 +1249,25 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
                     ));
                 }
             }
+            if let Some(v) = stall_fenced {
+                // Same property for a stall-fence: the reap pass freed
+                // every core the stopped victim held, and the resumed
+                // zombie acquired nothing back.
+                let stranded: Vec<usize> =
+                    (0..sh.cfg.cores).filter(|&c| sh.table.current(c) == v as i32).collect();
+                if !stranded.is_empty() {
+                    error = Some(format!(
+                        "cores {stranded:?} still owned by stall-fenced prog {v} at end of run"
+                    ));
+                }
+            }
         }
         if error.is_none() && clean {
             // W1: every spawned identity of a surviving program executed.
             // Strictly stronger than the counter check above — a run that
             // reconciles `prog_remaining` while dropping a task passes
             // the counters but not the ledger.
-            if let Err(e) = oracle.finish(crash) {
+            if let Err(e) = oracle.finish(lost) {
                 error = Some(e);
             }
         }
@@ -1142,6 +1382,21 @@ mod tests {
         assert!(!ModelConfig::standard().is_serving());
         assert!(!ModelConfig::small().is_serving());
         assert!(!ModelConfig::crash().is_serving());
+    }
+
+    #[test]
+    fn pause_config_straddles_the_lease() {
+        let cfg = ModelConfig::pause();
+        assert_eq!(cfg.pause, Some(1));
+        assert!(cfg.crash.is_none(), "pause and crash are exclusive");
+        assert!(cfg.pause_at_ns < cfg.resume_at_ns);
+        assert!(
+            cfg.resume_at_ns - cfg.pause_at_ns > cfg.lease_timeout_ns,
+            "the stall window must straddle lease expiry or no schedule can fence"
+        );
+        assert!(ModelConfig::standard().pause.is_none());
+        assert!(ModelConfig::crash().pause.is_none());
+        assert!(ModelConfig::serving().pause.is_none());
     }
 
     #[test]

@@ -11,8 +11,14 @@
 //! 4. `Release` is only legal by the current owner (no double release);
 //! 5. `Reap` is only legal for a core owned by a program whose lease
 //!    already `Expired`, and an expired program performs no further
-//!    table transition (it is dead — mirror of the runtime's
-//!    `LeaseExpired`/`Reap` replay rules).
+//!    table transition (it is dead or fenced — mirror of the runtime's
+//!    `LeaseExpired`/`Reap` replay rules);
+//! 6. an expired program also consumes no further work: no `StealBatch`
+//!    and no `TaskExec` after its `Expired` — the post-fence rule. A
+//!    stall-fenced program whose threads resume (SIGCONT after the
+//!    lease was reaped) is a *zombie*: its queue and cores belong to
+//!    its successor incarnation, so any post-fence activity is positive
+//!    evidence of a fencing hole even when every counter reconciles.
 //!
 //! Task-identity rules (the model analogue of `dws-rt`'s per-task
 //! lifecycle trace):
@@ -340,6 +346,15 @@ impl Oracle {
         {
             if self.expired.contains(&prog) {
                 return fail(format!("table transition by expired prog {prog}"));
+            }
+        }
+        // The post-fence rule's second half: an expired program consumes
+        // no further work either. A zombie executing tasks races its
+        // successor incarnation for the same identities in the runtime,
+        // so the model rejects it even though no counter goes wrong.
+        if let ProtoEvent::StealBatch { prog, .. } | ProtoEvent::TaskExec { prog, .. } = event {
+            if self.expired.contains(&prog) {
+                return fail(format!("post-fence activity by expired prog {prog}"));
             }
         }
         match event {
@@ -891,5 +906,24 @@ mod tests {
             let v = Oracle::replay(&HOME, &trace).unwrap_err();
             assert!(v.reason.contains("by expired prog 1"), "{}", v.reason);
         }
+    }
+
+    #[test]
+    fn expired_program_consumes_no_further_work() {
+        use ProtoEvent::*;
+        // A zombie stealing a batch after its fence.
+        let trace = [Expired { prog: 1 }, StealBatch { prog: 1, worker: 0, observed: 4, taken: 2 }];
+        let v = Oracle::replay(&HOME, &trace).unwrap_err();
+        assert!(v.reason.contains("post-fence activity by expired prog 1"), "{}", v.reason);
+        // A zombie executing a legitimately spawned task after its fence:
+        // W1/W2 would both stay clean, only the post-fence rule objects.
+        let trace =
+            [TaskSpawn { prog: 1, id: 0 }, Expired { prog: 1 }, TaskExec { prog: 1, id: 0 }];
+        let v = Oracle::replay(&HOME, &trace).unwrap_err();
+        assert!(v.reason.contains("post-fence activity by expired prog 1"), "{}", v.reason);
+        // The same work *before* the fence is fine.
+        let trace =
+            [TaskSpawn { prog: 1, id: 0 }, TaskExec { prog: 1, id: 0 }, Expired { prog: 1 }];
+        Oracle::replay(&HOME, &trace).expect("pre-fence work is legal");
     }
 }

@@ -24,6 +24,21 @@
 //!   instead of landing in the successor's queue. During a
 //!   [`SubmitRing::reset`] the epoch is parked at [`EPOCH_FENCED`] so
 //!   *every* producer is locked out while the sequences re-initialize.
+//! * **Crash recovery (abandoned reservations).** A client that dies
+//!   *between* its tail-CAS claim and its sequence publish leaves a slot
+//!   whose sequence never ages — exactly what the head sees once every
+//!   earlier request drains, which in a plain Vyukov ring wedges the
+//!   consumer forever. The consumer detects the signature (sequence still
+//!   at the claim value while `tail` has moved past it) and, after
+//!   [`ABANDON_AFTER_POLLS`] consecutive empty polls stuck on the same
+//!   position, *abandons* the reservation: the slot's sequence is CAS'd
+//!   to a tombstone both sides skip from then on, the head moves past it,
+//!   and the loss is counted in [`SubmitRing::abandoned`]. The tombstone
+//!   is permanent (the ring gives up one slot per abandonment) because
+//!   recycling it would let the dead client's buffered payload writes
+//!   land in a *successor's* request; the publish is a CAS precisely so a
+//!   slow-but-alive client that loses this race gets a typed
+//!   [`SubmitError::Abandoned`] instead of silently corrupting the queue.
 //!
 //! The memory layout is `#[repr(C)]` and position-independent
 //! (header + slot array, all `u64` words), so the same code runs over a
@@ -36,6 +51,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// reset between lease generations, and as the initial state of a ring
 /// whose owner has not registered yet).
 pub const EPOCH_FENCED: u64 = u64::MAX;
+
+/// Consecutive empty polls the consumer tolerates while the head is stuck
+/// on the same claimed-but-unpublished slot before abandoning the
+/// reservation. With the runtime draining once per coordinator period
+/// (10 ms) a wedged ring self-heals in well under a second; a live client
+/// merely slow between claim and publish for that long loses the race
+/// with a typed [`SubmitError::Abandoned`] rather than a corrupted slot.
+pub const ABANDON_AFTER_POLLS: u64 = 8;
+
+/// Tombstone sequence for a slot whose reservation was abandoned. Larger
+/// than any reachable position (positions are monotone claim counts), so
+/// producers and the consumer both recognize and skip it forever.
+const SEQ_ABANDONED: u64 = u64::MAX;
 
 /// One external request: an opaque client-chosen identity, the submit
 /// timestamp (µs, in whatever clock the serving deployment shares — the
@@ -60,6 +88,10 @@ pub enum SubmitError {
     /// owner's lease was recycled (or the ring is mid-reset) and this
     /// client must re-register before submitting again.
     Fenced,
+    /// The consumer abandoned this client's slot reservation while the
+    /// client stalled between claim and publish (it was presumed dead).
+    /// The request was *not* delivered; a live client should resubmit.
+    Abandoned,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -67,6 +99,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Full => f.write_str("submission ring full"),
             SubmitError::Fenced => f.write_str("stale epoch: client fenced"),
+            SubmitError::Abandoned => f.write_str("reservation abandoned: client presumed dead"),
         }
     }
 }
@@ -84,7 +117,14 @@ struct Header {
     dropped: AtomicU64,
     /// Requests refused because the client's epoch was stale.
     fenced: AtomicU64,
-    _pad: [u64; 3],
+    /// Reservations abandoned (client died between claim and publish).
+    abandoned: AtomicU64,
+    /// Consumer-side stall tracking: position + 1 of the claimed slot the
+    /// head is currently stuck behind (0 = none). Occupies what used to be
+    /// header padding, so pre-existing zeroed regions stay compatible.
+    stall_pos: AtomicU64,
+    /// Consecutive empty polls spent stuck on `stall_pos`.
+    stall_polls: AtomicU64,
 }
 
 /// One slot: a Vyukov sequence word plus the fixed-size request payload.
@@ -206,6 +246,10 @@ impl SubmitRing {
         h.epoch.store(EPOCH_FENCED, Ordering::SeqCst);
         h.tail.store(0, Ordering::SeqCst);
         h.head.store(0, Ordering::SeqCst);
+        h.stall_pos.store(0, Ordering::SeqCst);
+        h.stall_polls.store(0, Ordering::SeqCst);
+        // Tombstoned slots are revived: a new generation starts with the
+        // full capacity (the dead claimant's epoch is fenced out above).
         for i in 0..self.capacity {
             self.slot(i).seq.store(i as u64, Ordering::SeqCst);
         }
@@ -251,6 +295,13 @@ impl SubmitRing {
         self.hdr().fenced.load(Ordering::Relaxed)
     }
 
+    /// Slot reservations abandoned so far (client died — or stalled past
+    /// the patience window — between its claim and its publish). Each
+    /// abandonment permanently tombstones one slot.
+    pub fn abandoned(&self) -> u64 {
+        self.hdr().abandoned.load(Ordering::Relaxed)
+    }
+
     /// Submits one request under the client's registered `epoch`.
     ///
     /// Never blocks: a full ring or a stale epoch refuses immediately
@@ -263,6 +314,7 @@ impl SubmitRing {
         }
         let cap = self.capacity as u64;
         let mut pos = h.tail.load(Ordering::Relaxed);
+        let mut skipped = 0u64;
         loop {
             let slot = self.slot((pos % cap) as usize);
             let seq = slot.seq.load(Ordering::Acquire);
@@ -278,11 +330,39 @@ impl SubmitRing {
                         slot.submit_us.store(req.submit_us, Ordering::Relaxed);
                         slot.demand_us.store(req.demand_us, Ordering::Relaxed);
                         // Publish: consumers read the payload only after
-                        // acquiring this store.
-                        slot.seq.store(pos + 1, Ordering::Release);
-                        return Ok(());
+                        // acquiring this transition. A CAS rather than a
+                        // plain store so the consumer's abandonment of a
+                        // stalled reservation and a late publish race
+                        // resolve atomically — exactly one side wins.
+                        return match slot.seq.compare_exchange(
+                            pos,
+                            pos + 1,
+                            Ordering::Release,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => Ok(()),
+                            Err(_) => Err(SubmitError::Abandoned),
+                        };
                     }
                     Err(cur) => pos = cur,
+                }
+            } else if seq == SEQ_ABANDONED {
+                // Tombstoned slot (a dead client's abandoned reservation):
+                // consume the position so the lap moves past it, then keep
+                // looking for a live slot. If a whole lap is tombstones the
+                // ring has no usable slots left — report Full rather than
+                // spinning forever.
+                skipped += 1;
+                if skipped > cap {
+                    h.dropped.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::Full);
+                }
+                if h.tail.compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    == Ok(pos)
+                {
+                    pos += 1;
+                } else {
+                    pos = h.tail.load(Ordering::Relaxed);
                 }
             } else if seq < pos {
                 // The slot still holds a request from one lap ago: full.
@@ -295,7 +375,66 @@ impl SubmitRing {
         }
     }
 
+    /// Chaos/test hook: claims a slot exactly like [`SubmitRing::submit`]
+    /// but "dies" before publishing — the sequence is never advanced, so
+    /// the ring is left in the state a client killed between reserve and
+    /// publish leaves behind. Returns `Ok(())` once a slot has been
+    /// claimed (the doomed reservation), or the same refusals as
+    /// `submit`. The consumer recovers via abandonment; see the module
+    /// docs.
+    pub fn reserve_abandon(&self, epoch: u64) -> Result<(), SubmitError> {
+        let h = self.hdr();
+        if h.epoch.load(Ordering::Acquire) != epoch {
+            h.fenced.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Fenced);
+        }
+        let cap = self.capacity as u64;
+        let mut pos = h.tail.load(Ordering::Relaxed);
+        let mut skipped = 0u64;
+        loop {
+            let slot = self.slot((pos % cap) as usize);
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                match h.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return Ok(()), // claimed; "die" here
+                    Err(cur) => pos = cur,
+                }
+            } else if seq == SEQ_ABANDONED {
+                skipped += 1;
+                if skipped > cap {
+                    h.dropped.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::Full);
+                }
+                if h.tail.compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    == Ok(pos)
+                {
+                    pos += 1;
+                } else {
+                    pos = h.tail.load(Ordering::Relaxed);
+                }
+            } else if seq < pos {
+                h.dropped.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Full);
+            } else {
+                pos = h.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Pops the oldest published request, if any.
+    ///
+    /// Never blocks on a producer mid-publish: an unpublished head slot
+    /// reads as empty. If the *same* claimed-but-unpublished slot stays
+    /// stuck at the head for [`ABANDON_AFTER_POLLS`] consecutive empty
+    /// polls, the claimant is presumed dead (killed between reserve and
+    /// publish) and the reservation is abandoned — the slot is
+    /// tombstoned, counted in [`SubmitRing::abandoned`], and the head
+    /// moves on, un-wedging the ring.
     pub fn pop(&self) -> Option<Request> {
         let h = self.hdr();
         let cap = self.capacity as u64;
@@ -318,14 +457,74 @@ impl SubmitRing {
                         };
                         // Recycle the slot one lap ahead for producers.
                         slot.seq.store(pos + cap, Ordering::Release);
+                        if h.stall_pos.load(Ordering::Relaxed) != 0 {
+                            h.stall_pos.store(0, Ordering::Relaxed);
+                            h.stall_polls.store(0, Ordering::Relaxed);
+                        }
                         return Some(req);
                     }
                     Err(cur) => pos = cur,
                 }
+            } else if seq == SEQ_ABANDONED {
+                // Tombstone at the head (dead slot from an earlier
+                // abandonment): step over it, no new loss to count. Only
+                // while the position was actually claimed (`tail` past it)
+                // — otherwise the head would run ahead of the tail chasing
+                // the same dead slots lap after lap.
+                if h.tail.load(Ordering::Acquire) > pos {
+                    let _ =
+                        h.head.compare_exchange(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed);
+                    pos = h.head.load(Ordering::Relaxed);
+                } else {
+                    return None;
+                }
             } else if seq <= pos {
-                // Nothing published at the head: empty (a producer may
-                // have claimed the slot but not published yet — treating
-                // that as empty keeps the drain non-blocking).
+                // Nothing published at the head. `seq == pos` with the
+                // tail already past `pos` is the abandoned-reservation
+                // signature: the position was claimed (tail only advances
+                // over a claim) yet its sequence never aged. Tolerate it
+                // for a patience window, then tombstone the slot.
+                if seq == pos && h.tail.load(Ordering::Acquire) > pos {
+                    if h.stall_pos.load(Ordering::Relaxed) == pos + 1 {
+                        let polls = h.stall_polls.fetch_add(1, Ordering::Relaxed) + 1;
+                        if polls >= ABANDON_AFTER_POLLS {
+                            h.stall_pos.store(0, Ordering::Relaxed);
+                            h.stall_polls.store(0, Ordering::Relaxed);
+                            if slot
+                                .seq
+                                .compare_exchange(
+                                    pos,
+                                    SEQ_ABANDONED,
+                                    Ordering::AcqRel,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                            {
+                                // We won against any late publish: the
+                                // claimant's request is lost for good.
+                                h.abandoned.fetch_add(1, Ordering::Relaxed);
+                                let _ = h.head.compare_exchange(
+                                    pos,
+                                    pos + 1,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                );
+                            }
+                            // Either way the slot is now decided
+                            // (tombstone or published); re-examine it.
+                            pos = h.head.load(Ordering::Relaxed);
+                            continue;
+                        }
+                    } else {
+                        h.stall_pos.store(pos + 1, Ordering::Relaxed);
+                        h.stall_polls.store(1, Ordering::Relaxed);
+                    }
+                } else if h.stall_pos.load(Ordering::Relaxed) != 0 {
+                    // Genuinely empty (or a fresh head): any stall track
+                    // belongs to a position we have moved past.
+                    h.stall_pos.store(0, Ordering::Relaxed);
+                    h.stall_polls.store(0, Ordering::Relaxed);
+                }
                 return None;
             } else {
                 pos = h.head.load(Ordering::Relaxed);
@@ -442,6 +641,102 @@ mod tests {
     }
 
     #[test]
+    fn abandoned_reservation_unwedges_ring() {
+        let r = SubmitRing::with_capacity(8);
+        r.submit(req(0), 0).unwrap();
+        // A client dies between its tail-CAS claim and its publish.
+        r.reserve_abandon(0).unwrap();
+        r.submit(req(2), 0).unwrap();
+
+        // Requests ahead of the dead slot drain normally.
+        assert_eq!(r.pop().unwrap().req_id, 0);
+
+        // The head now sits on the claimed-but-unpublished slot. The
+        // consumer tolerates it for ABANDON_AFTER_POLLS empty polls...
+        let mut empties = 0;
+        let recovered = loop {
+            match r.pop() {
+                Some(q) => break q,
+                None => empties += 1,
+            }
+            assert!(empties < 4 * ABANDON_AFTER_POLLS, "ring stayed wedged");
+        };
+        // ...then tombstones it and delivers the request behind it.
+        assert_eq!(recovered.req_id, 2);
+        assert_eq!(empties, ABANDON_AFTER_POLLS - 1);
+        assert_eq!(r.abandoned(), 1);
+        assert_eq!(r.pop(), None);
+
+        // The ring keeps working around the permanent tombstone: run
+        // several laps and re-prove FIFO conservation.
+        for lap in 10u64..40 {
+            r.submit(req(lap), 0).unwrap();
+            assert_eq!(r.pop().unwrap().req_id, lap);
+        }
+        assert_eq!(r.abandoned(), 1);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn stalled_slot_not_abandoned_before_patience_window() {
+        let r = SubmitRing::with_capacity(4);
+        r.reserve_abandon(0).unwrap();
+        for _ in 0..ABANDON_AFTER_POLLS - 1 {
+            assert_eq!(r.pop(), None);
+        }
+        // One poll short of the window: nothing abandoned yet.
+        assert_eq!(r.abandoned(), 0);
+        assert_eq!(r.pop(), None); // crosses the threshold
+        assert_eq!(r.abandoned(), 1);
+    }
+
+    #[test]
+    fn fully_tombstoned_ring_reports_full_and_reset_revives_it() {
+        let r = SubmitRing::with_capacity(2);
+        // Kill a client mid-publish in every slot.
+        for k in 0..2u64 {
+            r.reserve_abandon(0).unwrap();
+            let mut polls = 0;
+            while r.abandoned() < k + 1 {
+                assert_eq!(r.pop(), None);
+                polls += 1;
+                assert!(polls < 4 * ABANDON_AFTER_POLLS, "slot never abandoned");
+            }
+        }
+        assert_eq!(r.abandoned(), 2);
+        // No usable slots remain: submit sheds instead of spinning.
+        assert_eq!(r.submit(req(9), 0), Err(SubmitError::Full));
+        assert!(r.dropped() >= 1);
+        assert_eq!(r.pop(), None);
+
+        // A new lease generation revives the tombstoned capacity.
+        r.reset(1);
+        r.submit(req(7), 1).unwrap();
+        assert_eq!(r.pop().unwrap().req_id, 7);
+        assert_eq!(r.abandoned(), 2, "abandon counter is monotone telemetry");
+    }
+
+    #[test]
+    fn abandonment_with_queue_behind_it_preserves_fifo() {
+        let r = SubmitRing::with_capacity(8);
+        r.reserve_abandon(0).unwrap();
+        for i in 1..=5 {
+            r.submit(req(i), 0).unwrap();
+        }
+        let mut got = Vec::new();
+        let mut polls = 0;
+        while got.len() < 5 {
+            if let Some(q) = r.pop() {
+                got.push(q.req_id);
+            }
+            polls += 1;
+            assert!(polls < 100, "ring stayed wedged");
+        }
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+        assert_eq!(r.abandoned(), 1);
+    }
+
+    #[test]
     fn concurrent_submitters_conserve_requests() {
         use std::sync::atomic::{AtomicBool, AtomicU8};
         use std::sync::Arc;
@@ -475,9 +770,16 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..per {
                         let id = p as u64 * per + i;
-                        // Retry on Full: this test wants conservation of
-                        // every request, so nothing may be dropped.
-                        while ring.submit(req(id), 0) == Err(SubmitError::Full) {
+                        // Retry on Full (ring momentarily full) and on
+                        // Abandoned (this thread was preempted between
+                        // claim and publish long enough for the spinning
+                        // drainer to presume it dead — the documented
+                        // client response is to resubmit): this test wants
+                        // conservation of every request.
+                        while matches!(
+                            ring.submit(req(id), 0),
+                            Err(SubmitError::Full | SubmitError::Abandoned)
+                        ) {
                             std::hint::spin_loop();
                         }
                     }

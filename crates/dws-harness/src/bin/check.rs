@@ -31,6 +31,7 @@ struct Cli {
     small: bool,
     crash: bool,
     serving: bool,
+    pause: bool,
     fast: bool,
     bug: Option<Bug>,
 }
@@ -53,6 +54,10 @@ const USAGE: &str = "usage: check [OPTIONS]
                    model submission ring (client -> ring -> coordinator
                    drain -> queue -> exec), checked by the admission
                    ledger
+  --pause          SIGSTOP one co-runner mid-run and SIGCONT it later:
+                   explores the stall against the survivor's
+                   stall-fence/reap pass, including the resumed
+                   zombie's duty to refuse all further table activity
   --fast           coarser atomicity (loads are not yield points); much
                    higher schedule throughput
   --bug <name>     seed a protocol mutation (the run SHOULD fail; exits 0
@@ -77,7 +82,12 @@ const USAGE: &str = "usage: check [OPTIONS]
                                       never bills the dead program's
                                       final interval (implies --crash;
                                       caught only by the core-seconds
-                                      conservation rule)";
+                                      conservation rule)
+                     zombie-write     a SIGCONTed program skips the
+                                      post-resume fence check and its
+                                      table CAS incorrectly succeeds
+                                      (implies --pause; caught only by
+                                      the post-fence rule)";
 
 fn parse() -> Result<Cli, String> {
     let mut cli = Cli {
@@ -90,6 +100,7 @@ fn parse() -> Result<Cli, String> {
         small: false,
         crash: false,
         serving: false,
+        pause: false,
         fast: false,
         bug: None,
     };
@@ -127,6 +138,7 @@ fn parse() -> Result<Cli, String> {
             "--small" => cli.small = true,
             "--crash" => cli.crash = true,
             "--serving" => cli.serving = true,
+            "--pause" => cli.pause = true,
             "--fast" => cli.fast = true,
             "--bug" => {
                 let v = args.get(i + 1).ok_or("--bug needs a value")?;
@@ -149,6 +161,10 @@ fn parse() -> Result<Cli, String> {
                     "leaked-core-seconds" => {
                         cli.crash = true;
                         Bug::LeakedCoreSeconds
+                    }
+                    "zombie-write" => {
+                        cli.pause = true;
+                        Bug::ZombieWrite
                     }
                     other => return Err(format!("unknown bug `{other}`")),
                 });
@@ -179,7 +195,7 @@ fn print_failure(r: &RunResult) {
 // flags must match; remind the user which ones were active.
 fn replay_flags() -> String {
     let mut s = String::new();
-    for flag in ["--faults", "--small", "--crash", "--serving", "--fast", "--dfs"] {
+    for flag in ["--faults", "--small", "--crash", "--serving", "--pause", "--fast", "--dfs"] {
         if std::env::args().any(|a| a == flag) {
             s.push(' ');
             s.push_str(flag);
@@ -203,14 +219,15 @@ fn main() -> ExitCode {
         }
     };
 
-    if (cli.small && cli.crash) || (cli.serving && (cli.small || cli.crash)) {
-        eprintln!("error: --small, --crash and --serving are mutually exclusive");
+    if [cli.small, cli.crash, cli.serving, cli.pause].iter().filter(|&&f| f).count() > 1 {
+        eprintln!("error: --small, --crash, --serving and --pause are mutually exclusive");
         return ExitCode::from(2);
     }
-    let cfg = match (cli.small, cli.crash, cli.serving) {
-        (_, true, _) => ModelConfig::crash(),
-        (true, _, _) => ModelConfig::small(),
-        (_, _, true) => ModelConfig::serving(),
+    let cfg = match (cli.small, cli.crash, cli.serving, cli.pause) {
+        (_, true, _, _) => ModelConfig::crash(),
+        (true, _, _, _) => ModelConfig::small(),
+        (_, _, true, _) => ModelConfig::serving(),
+        (_, _, _, true) => ModelConfig::pause(),
         _ => ModelConfig::standard(),
     };
     let cfg = match cli.bug {
@@ -244,11 +261,18 @@ fn main() -> ExitCode {
         Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &model_cfg, seed));
 
     println!(
-        "model: {} programs x {} cores{}{}{}{}{}",
+        "model: {} programs x {} cores{}{}{}{}{}{}",
         cfg.home().iter().max().map_or(1, |m| m + 1),
         cfg.home().len(),
         match cfg.crash {
             Some(v) => format!(", SIGKILL prog {v} at {} virtual ns", cfg.crash_at_ns),
+            None => String::new(),
+        },
+        match cfg.pause {
+            Some(v) => format!(
+                ", SIGSTOP prog {v} over {}..{} virtual ns",
+                cfg.pause_at_ns, cfg.resume_at_ns
+            ),
             None => String::new(),
         },
         if cfg.is_serving() {
@@ -271,6 +295,7 @@ fn main() -> ExitCode {
             Some(Bug::LeakedCoreSeconds) => {
                 ", seeded bug: leaked-core-seconds (conservation ledger)"
             }
+            Some(Bug::ZombieWrite) => ", seeded bug: zombie-write (post-fence rule)",
             None => "",
         },
     );

@@ -53,12 +53,15 @@ pub struct LoadStats {
     pub shed: u64,
     /// Requests rejected because the client's epoch was stale.
     pub fenced: u64,
+    /// Requests lost because the consumer abandoned this client's slot
+    /// reservation mid-publish (the client was presumed dead).
+    pub abandoned: u64,
 }
 
 impl LoadStats {
     /// Total arrivals the schedule produced.
     pub fn offered(&self) -> u64 {
-        self.submitted + self.shed + self.fenced
+        self.submitted + self.shed + self.fenced + self.abandoned
     }
 }
 
@@ -113,6 +116,7 @@ pub fn offer_load(rt: &Runtime, spec: &LoadSpec) -> LoadStats {
             Ok(()) => stats.submitted += 1,
             Err(SubmitError::Full) => stats.shed += 1,
             Err(SubmitError::Fenced) => stats.fenced += 1,
+            Err(SubmitError::Abandoned) => stats.abandoned += 1,
         }
     }
     stats

@@ -145,6 +145,54 @@ pub trait CoreTable: Send + Sync {
     fn alloc_ledger(&self) -> Option<&AllocLedger> {
         None
     }
+
+    // ---- zombie fencing (stale-lease self-protection) ------------------
+    //
+    // A coordinator SIGSTOPped past its lease timeout can be reaped and
+    // then *resume* — a zombie whose handle would keep mutating a table it
+    // no longer owns. Backends with leases (ShmTable) latch the caller's
+    // own (program, epoch) at registration and verify it before every
+    // mutation; the defaults keep lease-less backends oblivious.
+
+    /// Latches the caller's identity against `prog`'s *current* lease so
+    /// every subsequent mutation through this handle is checked against
+    /// it. Called automatically by registration; call it explicitly when
+    /// using a fixed program id without registering.
+    fn bind_self(&self, _prog: usize) {}
+
+    /// Has this handle discovered that its own lease was fenced or
+    /// recycled while it was stalled (it is a **zombie**)? Sticky: once
+    /// set, every mutating operation through the handle refuses until a
+    /// successful [`CoreTable::try_rearm`]. Surfaces in telemetry as
+    /// `zombies_fenced`.
+    fn zombie_fenced(&self) -> bool {
+        false
+    }
+
+    /// Attempts to recover a zombie handle by re-claiming its own fully
+    /// **reaped** lease under a bumped epoch (same program id, fresh
+    /// incarnation). Fails while the reap is still in flight or a
+    /// successor already recycled the lease — the caller should then
+    /// degrade instead. Clears the zombie flag on success.
+    fn try_rearm(&self, _prog: usize) -> bool {
+        false
+    }
+
+    /// Opts this *handle* into treating a live-but-stalled co-runner as
+    /// expired: a program whose heartbeat is stale beyond `timeout` may be
+    /// fenced and reaped even though its pid still exists. Safe only
+    /// because every handle self-checks its lease (a stalled program that
+    /// resumes finds itself fenced and stops, instead of corrupting its
+    /// successor). `None` (the default state) restores the conservative
+    /// confirmed-dead-only behavior.
+    fn set_stall_timeout(&self, _timeout: Option<Duration>) {}
+
+    /// Forces the table into degraded mode (where supported): the program
+    /// retreats to plain work-stealing on its home partition. Called when
+    /// a zombie cannot [`CoreTable::try_rearm`] — its lease now belongs to
+    /// a successor — so continuing against the shared table is unsound.
+    /// No-op for backends without a degraded mode.
+    fn degrade_now(&self) {}
 }
 
 /// Outcome of one [`reap_expired`] pass.
@@ -490,6 +538,26 @@ impl CoreTable for TracedTable {
     fn alloc_ledger(&self) -> Option<&AllocLedger> {
         self.inner.alloc_ledger()
     }
+
+    fn bind_self(&self, prog: usize) {
+        self.inner.bind_self(prog);
+    }
+
+    fn zombie_fenced(&self) -> bool {
+        self.inner.zombie_fenced()
+    }
+
+    fn try_rearm(&self, prog: usize) -> bool {
+        self.inner.try_rearm(prog)
+    }
+
+    fn set_stall_timeout(&self, timeout: Option<Duration>) {
+        self.inner.set_stall_timeout(timeout);
+    }
+
+    fn degrade_now(&self) {
+        self.inner.degrade_now();
+    }
 }
 
 /// Jain's fairness index over non-negative allocations:
@@ -803,6 +871,26 @@ impl CoreTable for LedgerTable {
 
     fn alloc_ledger(&self) -> Option<&AllocLedger> {
         Some(&self.ledger)
+    }
+
+    fn bind_self(&self, prog: usize) {
+        self.inner.bind_self(prog);
+    }
+
+    fn zombie_fenced(&self) -> bool {
+        self.inner.zombie_fenced()
+    }
+
+    fn try_rearm(&self, prog: usize) -> bool {
+        self.inner.try_rearm(prog)
+    }
+
+    fn set_stall_timeout(&self, timeout: Option<Duration>) {
+        self.inner.set_stall_timeout(timeout);
+    }
+
+    fn degrade_now(&self) {
+        self.inner.degrade_now();
     }
 }
 

@@ -244,6 +244,9 @@ pub(crate) fn coordinator_loop(reg: Arc<Registry>) {
     // "slow-but-alive owner" the lease epoch protects, so count it.
     let stall_after = period * 3;
     let mut last_tick = std::time::Instant::now();
+    // Edge-detect for `zombies_fenced`: one fence discovery counts once,
+    // however many ticks recovery takes.
+    let mut was_zombie = false;
     'outer: while !reg.shutdown.load(Ordering::Acquire) {
         let mut slept = std::time::Duration::ZERO;
         while slept < period {
@@ -259,7 +262,31 @@ pub(crate) fn coordinator_loop(reg: Arc<Registry>) {
         }
         last_tick = std::time::Instant::now();
         if shared_table {
+            // The heartbeat self-checks the lease first: a coordinator
+            // resuming from a long SIGSTOP discovers right here that it
+            // was fenced/reaped while stalled.
             reg.table.heartbeat(reg.prog_id);
+            if reg.table.zombie_fenced() {
+                if !was_zombie {
+                    was_zombie = true;
+                    RtMetrics::bump(&reg.metrics.zombies_fenced);
+                }
+                if reg.table.try_rearm(reg.prog_id) {
+                    RtMetrics::bump(&reg.metrics.leases_rearmed);
+                    was_zombie = false;
+                    reg.table.heartbeat(reg.prog_id);
+                } else if reg.table.zombie_fenced() {
+                    // Unrecoverable this tick (reap in flight → retry
+                    // next tick; successor owns the lease → degrade for
+                    // good and run on the home partition).
+                    reg.table.degrade_now();
+                    if reg.table.degraded() {
+                        was_zombie = false;
+                    }
+                }
+            } else {
+                was_zombie = false;
+            }
             // A vanished or corrupted shm file flips a FailoverTable to
             // degraded in-process mode; other backends report healthy.
             let _healthy = reg.table.check_health();

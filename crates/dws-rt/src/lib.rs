@@ -89,7 +89,7 @@ pub use par::{par_chunks_mut, par_for_each_index, par_for_each_mut, par_map_redu
 pub use registry::Runtime;
 pub use scope::{scope, Scope};
 pub use serve::RequestHandler;
-pub use shm::{FailoverTable, ShmError, ShmTable, DEFAULT_RING_CAPACITY};
+pub use shm::{Backoff, FailoverTable, ShmError, ShmTable, DEFAULT_RING_CAPACITY};
 pub use sleep::{Sleeper, WakeReason};
 pub use telemetry::{
     escape_label_value, frames_to_jsonl, render_prometheus, serve, CoordSample, CoreSample,

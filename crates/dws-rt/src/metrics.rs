@@ -325,6 +325,15 @@ pub struct RtMetrics {
     /// Client submissions rejected by epoch fencing (stale clients after
     /// a crash/re-register), mirrored from the ring's counter.
     pub requests_fenced: AtomicU64,
+    /// Reserved-but-never-published ring slots the consumer abandoned
+    /// (client died mid-publish), mirrored from the ring's counter.
+    pub requests_abandoned: AtomicU64,
+    /// Times this runtime discovered its own lease fenced/recycled while
+    /// it was stalled (zombie fencing tripped).
+    pub zombies_fenced: AtomicU64,
+    /// Zombie recoveries: own lease successfully re-armed under a bumped
+    /// epoch after a fence.
+    pub leases_rearmed: AtomicU64,
     /// Demand-satisfaction latency (DESIGN §14): Eq. 1 demand rise
     /// (`N_w > 0` first observed) → the coordinator granting at least one
     /// core. Runtime-level (written only by the coordinator thread), not
@@ -385,6 +394,12 @@ pub struct MetricsSnapshot {
     pub requests_dropped: u64,
     /// Submissions rejected by epoch fencing (mirrored from the ring).
     pub requests_fenced: u64,
+    /// Abandoned mid-publish reservations (mirrored from the ring).
+    pub requests_abandoned: u64,
+    /// Own-lease fence discoveries (zombie fencing tripped).
+    pub zombies_fenced: u64,
+    /// Successful zombie recoveries (lease re-armed, epoch bumped).
+    pub leases_rearmed: u64,
 }
 
 /// Histograms aggregated across all worker shards.
@@ -455,6 +470,9 @@ impl RtMetrics {
             requests_admitted: self.requests_admitted.load(Ordering::Relaxed),
             requests_dropped: self.requests_dropped.load(Ordering::Relaxed),
             requests_fenced: self.requests_fenced.load(Ordering::Relaxed),
+            requests_abandoned: self.requests_abandoned.load(Ordering::Relaxed),
+            zombies_fenced: self.zombies_fenced.load(Ordering::Relaxed),
+            leases_rearmed: self.leases_rearmed.load(Ordering::Relaxed),
         }
     }
 

@@ -559,9 +559,15 @@ impl Runtime {
     /// Submits one external request (in-process client convenience): the
     /// submit timestamp is stamped here, at the client. `Err(Full)` means
     /// the ring is at capacity — open-loop overload sheds at the edge, and
-    /// the caller decides whether to retry or count the drop.
+    /// the caller decides whether to retry or count the drop. `Err(Fenced)`
+    /// also covers a serving runtime whose ring has been withdrawn — a
+    /// degraded [`crate::shm::FailoverTable`] stops trusting the shared
+    /// ring, so admission sheds with a typed error instead of panicking.
     pub fn submit(&self, req_id: u64, demand_us: u64) -> Result<(), SubmitError> {
-        let ring = self.registry.submission_ring().expect("not a serving runtime");
+        assert!(self.registry.serving.is_some(), "not a serving runtime");
+        let Some(ring) = self.registry.submission_ring() else {
+            return Err(SubmitError::Fenced);
+        };
         ring.submit(Request { req_id, submit_us: now_us(), demand_us }, ring.epoch())
     }
 

@@ -85,6 +85,12 @@ impl Registry {
     /// manual pumping).
     pub(crate) fn drain_submissions(&self) -> usize {
         let Some(serving) = &self.serving else { return 0 };
+        // A zombie's ring belongs to its successor incarnation (the
+        // recycle reset it): draining would steal the successor's
+        // requests. Park until re-armed or degraded.
+        if self.table.zombie_fenced() {
+            return 0;
+        }
         let Some(ring) = serving.ring(&*self.table, self.prog_id) else { return 0 };
         let tracing = self.trace.enabled();
         let mut admitted = 0usize;
@@ -115,6 +121,7 @@ impl Registry {
         // the ring counters are already monotone totals.
         self.metrics.requests_dropped.store(ring.dropped(), Ordering::Relaxed);
         self.metrics.requests_fenced.store(ring.fenced(), Ordering::Relaxed);
+        self.metrics.requests_abandoned.store(ring.abandoned(), Ordering::Relaxed);
         admitted
     }
 }

@@ -55,6 +55,23 @@
 //!   `degraded` flag and routes every operation to a private
 //!   [`InProcessTable`] (plain work-stealing on the home partition)
 //!   instead of panicking.
+//! * **Zombie fencing** — a coordinator SIGSTOPped past its lease timeout
+//!   can be reaped and then *resume*, a stale-lease **zombie** that would
+//!   keep writing a table it no longer owns. Registration latches the
+//!   handle's own `(program, epoch)`; every mutating operation first
+//!   self-checks the live lease against the latch and, on mismatch, sets
+//!   a sticky `zombie` flag and refuses — the resumed coordinator detects
+//!   the fence on its first table touch instead of corrupting a
+//!   co-runner. Slot CASes stamp the *latched* epoch (never a re-read of
+//!   the live lease word), so even a mutation racing its own reap writes
+//!   the old incarnation's epoch, which the in-flight reap ladder frees.
+//!   A zombie recovers by [`ShmTable::try_rearm`] (re-claiming its own
+//!   reaped lease under a bumped epoch) or degrades via [`FailoverTable`].
+//! * **Stall fencing (opt-in)** — [`CoreTable::set_stall_timeout`] lets a
+//!   deployment treat a live-but-stalled program (heartbeat stale beyond
+//!   the stall timeout, pid still present) as expired. Only sound
+//!   together with zombie fencing: the stalled program that resumes finds
+//!   itself fenced and stops.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -173,6 +190,16 @@ pub enum ShmError {
     InitTimeout,
     /// Every program lease is taken and none is reaped.
     Exhausted,
+    /// A retry loop ([`Backoff::retry`]) exhausted its attempts. Wraps
+    /// the last transient error so callers keep the root cause.
+    Timeout {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Wall-clock time spent retrying (including backoff sleeps).
+        elapsed: Duration,
+        /// The transient error the final attempt died on.
+        last: Box<ShmError>,
+    },
 }
 
 impl std::fmt::Display for ShmError {
@@ -197,6 +224,9 @@ impl std::fmt::Display for ShmError {
             }
             ShmError::InitTimeout => write!(f, "shared table never initialized"),
             ShmError::Exhausted => write!(f, "all program slots taken"),
+            ShmError::Timeout { attempts, elapsed, last } => {
+                write!(f, "gave up after {attempts} attempts over {elapsed:?}: {last}")
+            }
         }
     }
 }
@@ -205,6 +235,7 @@ impl std::error::Error for ShmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ShmError::Io(e) => Some(e),
+            ShmError::Timeout { last, .. } => Some(last),
             _ => None,
         }
     }
@@ -216,11 +247,84 @@ impl From<io::Error> for ShmError {
     }
 }
 
+/// Jittered exponential-backoff policy — the one retry loop every shm
+/// open/attach path shares ([`ShmTable::open_with_retry`],
+/// [`ShmTable::register_with_retry`], [`FailoverTable::open_or_degraded`]).
+///
+/// The delay doubles per attempt from `base` up to `max`, and each sleep
+/// is drawn uniformly from `[delay/2, delay]` (equal jitter): when a
+/// churn burst restarts a whole cohort of programs at once, their
+/// retries decorrelate instead of hammering the table creator in
+/// lockstep. Exhausting `attempts` yields [`ShmError::Timeout`] wrapping
+/// the last transient error.
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    /// Total attempts (≥ 1; 0 is treated as 1).
+    pub attempts: u32,
+    /// Delay before the second attempt; doubles each retry.
+    pub base: Duration,
+    /// Ceiling the doubling saturates at.
+    pub max: Duration,
+}
+
+impl Backoff {
+    /// A policy with `max` capped at 64× the base (six doublings).
+    pub const fn new(attempts: u32, base: Duration) -> Self {
+        Backoff { attempts, base, max: Duration::from_nanos(base.as_nanos() as u64 * 64) }
+    }
+
+    /// Runs `op` until it succeeds, fails non-transiently, or the
+    /// attempts run out. `transient` decides which errors are worth
+    /// retrying; anything else propagates immediately (retrying cannot
+    /// fix an incompatible file).
+    pub fn retry<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, ShmError>,
+        transient: impl Fn(&ShmError) -> bool,
+    ) -> Result<T, ShmError> {
+        let attempts = self.attempts.max(1);
+        let started = std::time::Instant::now();
+        // Jitter PRNG (xorshift64*): seeded per call from the pid and the
+        // policy address, so co-launched processes draw different delays.
+        // Deliberately *not* part of any replayable seed — jitter shapes
+        // wall-clock contention only, never logical outcomes.
+        let mut jrng: u64 = (u64::from(std::process::id()) << 17)
+            ^ (self as *const Backoff as u64)
+            ^ 0x9E37_79B9_7F4A_7C15;
+        let mut delay = self.base;
+        let mut last = None;
+        for attempt in 0..attempts {
+            match op() {
+                Ok(t) => return Ok(t),
+                Err(e) if transient(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+            if attempt + 1 < attempts {
+                jrng ^= jrng << 13;
+                jrng ^= jrng >> 7;
+                jrng ^= jrng << 17;
+                let frac =
+                    (jrng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64 / (1u64 << 24) as f64;
+                let half = delay.as_secs_f64() / 2.0;
+                std::thread::sleep(Duration::from_secs_f64(half + half * frac));
+                delay = delay.saturating_mul(2).min(self.max);
+            }
+        }
+        Err(ShmError::Timeout {
+            attempts,
+            elapsed: started.elapsed(),
+            last: Box::new(last.unwrap_or(ShmError::InitTimeout)),
+        })
+    }
+}
+
 impl From<ShmError> for io::Error {
     fn from(e: ShmError) -> Self {
         match e {
             ShmError::Io(e) => e,
-            ShmError::InitTimeout => io::Error::new(io::ErrorKind::TimedOut, e.to_string()),
+            ShmError::InitTimeout | ShmError::Timeout { .. } => {
+                io::Error::new(io::ErrorKind::TimedOut, e.to_string())
+            }
             ShmError::Exhausted => io::Error::new(io::ErrorKind::QuotaExceeded, e.to_string()),
             _ => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
         }
@@ -245,6 +349,23 @@ impl Drop for Mapping {
     }
 }
 
+/// Handle-local latch of "my own lease": `(epoch << 32) | prog`, or
+/// [`UNBOUND`] when this handle never registered (fixed-id tests stay
+/// oblivious to zombie fencing).
+const UNBOUND: u64 = u64::MAX;
+
+const fn pack_bound(prog: usize, epoch: u32) -> u64 {
+    ((epoch as u64) << 32) | prog as u64
+}
+
+const fn bound_prog(v: u64) -> usize {
+    v as u32 as usize
+}
+
+const fn bound_epoch(v: u64) -> u32 {
+    (v >> 32) as u32
+}
+
 /// Cross-process core-allocation table over a shared file.
 pub struct ShmTable {
     // (fields below; Debug is implemented manually to avoid printing the
@@ -258,6 +379,18 @@ pub struct ShmTable {
     /// `Mapping` they borrow from lives in the same struct and is dropped
     /// after them.
     rings: Vec<SubmitRing>,
+    /// This handle's own latched lease identity (`pack_bound`), or
+    /// [`UNBOUND`]. Handle-local, never in shared memory: it is precisely
+    /// the state that must *not* follow the live lease word.
+    bound: AtomicU64,
+    /// Sticky zombie flag: this handle's lease was fenced or recycled
+    /// behind its back. Set by the first failing self-check; cleared only
+    /// by a successful [`ShmTable::try_rearm`].
+    zombie: AtomicBool,
+    /// Opt-in stall fence: heartbeats staler than this many ms mark a
+    /// program expired even when its pid is alive. 0 = disabled
+    /// (confirmed-dead-only, the conservative default).
+    stall_timeout_ms: AtomicU64,
 }
 
 impl ShmTable {
@@ -380,6 +513,9 @@ impl ShmTable {
             programs,
             ring_capacity,
             rings,
+            bound: AtomicU64::new(UNBOUND),
+            zombie: AtomicBool::new(false),
+            stall_timeout_ms: AtomicU64::new(0),
         };
 
         if creator {
@@ -442,10 +578,11 @@ impl ShmTable {
         Ok(table)
     }
 
-    /// [`ShmTable::create_or_open`] with retry-with-backoff on transient
-    /// failures (I/O errors, an unpublished table). Validation failures —
+    /// [`ShmTable::create_or_open`] under the shared [`Backoff`] retry
+    /// loop. Transient failures (I/O errors, an unpublished table) are
+    /// retried with jittered exponential backoff; validation failures —
     /// wrong magic, version or geometry — fail fast: retrying cannot fix
-    /// an incompatible file. `backoff` doubles after every attempt.
+    /// an incompatible file. Exhaustion yields [`ShmError::Timeout`].
     pub fn open_with_retry(
         path: &Path,
         cores: usize,
@@ -453,21 +590,18 @@ impl ShmTable {
         attempts: u32,
         backoff: Duration,
     ) -> Result<ShmTable, ShmError> {
-        let attempts = attempts.max(1);
-        let mut delay = backoff;
-        let mut last = ShmError::InitTimeout;
-        for attempt in 0..attempts {
-            match ShmTable::create_or_open(path, cores, programs) {
-                Ok(t) => return Ok(t),
-                Err(e @ (ShmError::Io(_) | ShmError::InitTimeout)) => last = e,
-                Err(e) => return Err(e),
-            }
-            if attempt + 1 < attempts {
-                std::thread::sleep(delay);
-                delay = delay.saturating_mul(2);
-            }
-        }
-        Err(last)
+        Backoff::new(attempts, backoff).retry(
+            || ShmTable::create_or_open(path, cores, programs),
+            |e| matches!(e, ShmError::Io(_) | ShmError::InitTimeout),
+        )
+    }
+
+    /// [`ShmTable::register`] under the shared [`Backoff`] retry loop,
+    /// treating [`ShmError::Exhausted`] as transient: under program churn
+    /// a lease frees as soon as a reaper finishes with it, so an arriving
+    /// program should wait out a full table instead of dying at the door.
+    pub fn register_with_retry(&self, policy: Backoff) -> Result<usize, ShmError> {
+        policy.retry(|| self.register(), |e| matches!(e, ShmError::Exhausted))
     }
 
     /// Registers the calling program, claiming a lease record (pid +
@@ -497,8 +631,25 @@ impl ShmTable {
                 // activating, so a client can never observe ACTIVE with a
                 // stale ring.
                 self.rings[p].reset(1);
-                st.store(pack_lease(1, LEASE_ACTIVE), Ordering::Release);
+                // Activate with a CAS, not a store: a fencer may have
+                // taken this lease for dead mid-registration (REGISTERING
+                // with a stale pid looks expired). Losing means the slot
+                // is on its way to REAPED — just try the next one.
+                if st
+                    .compare_exchange(
+                        pack_lease(1, LEASE_REGISTERING),
+                        pack_lease(1, LEASE_ACTIVE),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
+                    .is_err()
+                {
+                    continue;
+                }
                 self.u32_at(20).fetch_add(1, Ordering::AcqRel);
+                // Latch "this handle IS (p, epoch 1)" for zombie fencing.
+                self.bound.store(pack_bound(p, 1), Ordering::Release);
+                self.zombie.store(false, Ordering::Release);
                 return Ok(p);
             }
         }
@@ -527,8 +678,23 @@ impl ShmTable {
                 // dead incarnation now get `SubmitError::Fenced`, and any
                 // requests they left behind are discarded with the reset.
                 self.rings[p].reset(u64::from(e));
-                self.lease_state(p).store(pack_lease(e, LEASE_ACTIVE), Ordering::Release);
+                // CAS, not store (see pass 1): a fencer may have fenced
+                // us mid-registration; concede the slot and move on.
+                if self
+                    .lease_state(p)
+                    .compare_exchange(
+                        pack_lease(e, LEASE_REGISTERING),
+                        pack_lease(e, LEASE_ACTIVE),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
+                    .is_err()
+                {
+                    continue;
+                }
                 self.u32_at(20).fetch_add(1, Ordering::AcqRel);
+                self.bound.store(pack_bound(p, e), Ordering::Release);
+                self.zombie.store(false, Ordering::Release);
                 return Ok(p);
             }
         }
@@ -550,11 +716,118 @@ impl ShmTable {
         self.ring_capacity
     }
 
+    /// Settled-state table audit: every core slot is either exactly
+    /// [`FREE`] (owner −1, epoch 0) or owned by an in-range program whose
+    /// lease is ACTIVE at the *same* epoch the slot is stamped with.
+    /// Returns every violation found, not just the first.
+    ///
+    /// This is the invariant the whole fencing design defends — a slot
+    /// naming a fenced, reaped, or previous-epoch incarnation is core
+    /// theft in progress. The check is only meaningful at a *settled*
+    /// instant (mid-reap a slot legitimately names a FENCED lease for a
+    /// few ticks), so chaos/recovery harnesses poll it until clean
+    /// rather than asserting it mid-transition.
+    pub fn audit(&self) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        for core in 0..self.cores {
+            let s = self.slot(core).load(Ordering::Acquire);
+            let owner = slot_owner(s);
+            if owner == FREE {
+                if slot_epoch(s) != 0 {
+                    errors.push(format!(
+                        "core {core}: free slot carries epoch {} (expected 0)",
+                        slot_epoch(s)
+                    ));
+                }
+                continue;
+            }
+            if owner < 0 || owner as usize >= self.programs {
+                errors.push(format!("core {core}: owner {owner} out of range (torn write?)"));
+                continue;
+            }
+            let st = self.lease_state(owner as usize).load(Ordering::Acquire);
+            if lease_status(st) == LEASE_UNUSED && slot_epoch(s) == 1 {
+                // The creator pre-stamps every slot owned-by-home at
+                // epoch 1 before anyone registers (fixed-id co-runs never
+                // do); that initial state is legitimate.
+                continue;
+            }
+            if lease_status(st) != LEASE_ACTIVE {
+                errors.push(format!(
+                    "core {core}: owner {owner} lease status {} is not ACTIVE",
+                    lease_status(st)
+                ));
+            } else if lease_epoch(st) != slot_epoch(s) {
+                errors.push(format!(
+                    "core {core}: slot epoch {} != owner {owner} lease epoch {} (zombie stamp?)",
+                    slot_epoch(s),
+                    lease_epoch(st)
+                ));
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
     /// The lease epoch all of `prog`'s slot transitions are stamped with.
     /// Programs that never registered (tests, fixed-id co-runs) fall back
     /// to epoch 1 — the epoch the creator stamped the initial slots with.
-    fn epoch_of(&self, prog: usize) -> u32 {
+    /// Public for fencing diagnostics and wraparound tests.
+    pub fn epoch_of(&self, prog: usize) -> u32 {
         lease_epoch(self.lease_state(prog).load(Ordering::Acquire)).max(1)
+    }
+
+    /// The epoch a mutation *by this handle on behalf of `prog`* must be
+    /// stamped with. When the handle is bound to `prog`, this is the
+    /// **latched** registration epoch — never a re-read of the live lease
+    /// word, which after a reap/recycle belongs to a successor (stamping
+    /// the successor's epoch is exactly the zombie corruption this PR
+    /// fences). Unbound handles (fixed-id tests) keep the live read.
+    fn stamp_epoch(&self, prog: usize) -> u32 {
+        let b = self.bound.load(Ordering::Acquire);
+        if b != UNBOUND && bound_prog(b) == prog {
+            bound_epoch(b).max(1)
+        } else {
+            self.epoch_of(prog)
+        }
+    }
+
+    /// Pre-mutation self-check: when this handle is bound to `prog`, the
+    /// live lease must still be ACTIVE at the latched epoch. On mismatch
+    /// the handle has been fenced or recycled behind its back — set the
+    /// sticky zombie flag and refuse. Ops on *other* programs (shared
+    /// test handles) pass through; a zombie handle refuses everything.
+    #[inline]
+    fn self_check(&self, prog: usize) -> bool {
+        if self.zombie.load(Ordering::Acquire) {
+            return false;
+        }
+        let b = self.bound.load(Ordering::Acquire);
+        if b == UNBOUND || bound_prog(b) != prog {
+            return true;
+        }
+        let st = self.lease_state(prog).load(Ordering::Acquire);
+        if lease_status(st) == LEASE_ACTIVE && lease_epoch(st) == bound_epoch(b) {
+            return true;
+        }
+        self.zombie.store(true, Ordering::Release);
+        false
+    }
+
+    /// Is the (possibly merely stalled) program expired right now?
+    /// Confirmed-dead always counts; with a stall timeout armed, a
+    /// heartbeat staler than it counts too even when the pid is alive.
+    fn expired_now(&self, prog: usize) -> bool {
+        if pid_is_dead(self.lease_pid(prog).load(Ordering::Acquire)) {
+            return true;
+        }
+        let stall_ms = self.stall_timeout_ms.load(Ordering::Relaxed);
+        stall_ms != 0
+            && monotonic_ms().saturating_sub(self.lease_heartbeat(prog).load(Ordering::Acquire))
+                > stall_ms
     }
 
     fn magic(&self) -> &AtomicU64 {
@@ -627,9 +900,12 @@ impl CoreTable for ShmTable {
     }
 
     fn release(&self, core: usize, prog: usize) -> bool {
+        if !self.self_check(prog) {
+            return false;
+        }
         self.slot(core)
             .compare_exchange(
-                pack_slot(prog as i32, self.epoch_of(prog)),
+                pack_slot(prog as i32, self.stamp_epoch(prog)),
                 FREE_SLOT,
                 Ordering::AcqRel,
                 Ordering::Relaxed,
@@ -638,10 +914,13 @@ impl CoreTable for ShmTable {
     }
 
     fn try_acquire_free(&self, core: usize, prog: usize) -> bool {
+        if !self.self_check(prog) {
+            return false;
+        }
         self.slot(core)
             .compare_exchange(
                 FREE_SLOT,
-                pack_slot(prog as i32, self.epoch_of(prog)),
+                pack_slot(prog as i32, self.stamp_epoch(prog)),
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             )
@@ -657,10 +936,10 @@ impl CoreTable for ShmTable {
     }
 
     fn try_reclaim(&self, core: usize, prog: usize) -> bool {
-        if self.home[core] != prog {
+        if self.home[core] != prog || !self.self_check(prog) {
             return false;
         }
-        let mine = pack_slot(prog as i32, self.epoch_of(prog));
+        let mine = pack_slot(prog as i32, self.stamp_epoch(prog));
         let mut cur = self.slot(core).load(Ordering::Acquire);
         loop {
             if slot_owner(cur) == prog as i32 {
@@ -684,10 +963,19 @@ impl CoreTable for ShmTable {
     }
 
     fn heartbeat(&self, prog: usize) {
+        // A zombie refreshing "its" heartbeat would keep a successor's (or
+        // its own fenced) lease artificially fresh — the self-check is
+        // where a resumed coordinator first discovers the fence.
+        if !self.self_check(prog) {
+            return;
+        }
         self.lease_heartbeat(prog).store(monotonic_ms(), Ordering::Release);
     }
 
     fn mark_dead(&self, prog: usize) {
+        if self.zombie.load(Ordering::Acquire) {
+            return;
+        }
         // Claim a never-used lease first so unregistered (fixed-id) test
         // programs are killable too; a registered lease stays ACTIVE.
         let _ = self.lease_state(prog).compare_exchange(
@@ -701,6 +989,11 @@ impl CoreTable for ShmTable {
     }
 
     fn reapable_programs(&self, caller: usize, timeout: Duration) -> Vec<usize> {
+        // A fenced zombie holds no reap duties: its view of who is dead
+        // is as stale as its lease.
+        if self.zombie.load(Ordering::Acquire) {
+            return Vec::new();
+        }
         let timeout_ms = timeout.as_millis().min(u128::from(u64::MAX)) as u64;
         let now = monotonic_ms();
         (0..self.programs)
@@ -712,10 +1005,13 @@ impl CoreTable for ShmTable {
                 match lease_status(st) {
                     // A crashed reaper's half-done work is resumable.
                     LEASE_FENCED => true,
-                    LEASE_ACTIVE => {
+                    // A registrant killed between claiming REGISTERING and
+                    // activating would otherwise leak its lease forever —
+                    // no registration pass can claim it, so the reaper
+                    // must. Same staleness bar as ACTIVE.
+                    LEASE_ACTIVE | LEASE_REGISTERING => {
                         let hb = self.lease_heartbeat(p).load(Ordering::Acquire);
-                        now.saturating_sub(hb) > timeout_ms
-                            && pid_is_dead(self.lease_pid(p).load(Ordering::Acquire))
+                        now.saturating_sub(hb) > timeout_ms && self.expired_now(p)
                     }
                     _ => false,
                 }
@@ -724,13 +1020,20 @@ impl CoreTable for ShmTable {
     }
 
     fn fence_expired(&self, prog: usize) -> bool {
-        let st = self.lease_state(prog).load(Ordering::Acquire);
-        if lease_status(st) != LEASE_ACTIVE {
+        if self.zombie.load(Ordering::Acquire) {
             return false;
         }
-        // Re-confirm death right before the fence: the staleness scan and
+        let st = self.lease_state(prog).load(Ordering::Acquire);
+        // REGISTERING counts: a registrant killed before activating left a
+        // lease only the fence→reap path can recycle. If the registrant is
+        // actually alive and about to activate, its REGISTERING→ACTIVE CAS
+        // loses against ours and it concedes the slot (see `register`).
+        if lease_status(st) != LEASE_ACTIVE && lease_status(st) != LEASE_REGISTERING {
+            return false;
+        }
+        // Re-confirm expiry right before the fence: the staleness scan and
         // this CAS may be far apart under preemption.
-        if !pid_is_dead(self.lease_pid(prog).load(Ordering::Acquire)) {
+        if !self.expired_now(prog) {
             return false;
         }
         self.lease_state(prog)
@@ -744,6 +1047,9 @@ impl CoreTable for ShmTable {
     }
 
     fn try_reap(&self, core: usize, dead: usize) -> bool {
+        if self.zombie.load(Ordering::Acquire) {
+            return false;
+        }
         let st = self.lease_state(dead).load(Ordering::Acquire);
         if lease_status(st) != LEASE_FENCED {
             return false;
@@ -762,6 +1068,9 @@ impl CoreTable for ShmTable {
     }
 
     fn finish_reap(&self, dead: usize) -> bool {
+        if self.zombie.load(Ordering::Acquire) {
+            return false;
+        }
         let st = self.lease_state(dead).load(Ordering::Acquire);
         if lease_status(st) != LEASE_FENCED {
             return false;
@@ -789,6 +1098,98 @@ impl CoreTable for ShmTable {
 
     fn submit_ring(&self, prog: usize) -> Option<&SubmitRing> {
         self.rings.get(prog)
+    }
+
+    fn bind_self(&self, prog: usize) {
+        self.bound.store(pack_bound(prog, self.epoch_of(prog)), Ordering::Release);
+        self.zombie.store(false, Ordering::Release);
+    }
+
+    fn zombie_fenced(&self) -> bool {
+        self.zombie.load(Ordering::Acquire)
+    }
+
+    fn set_stall_timeout(&self, timeout: Option<Duration>) {
+        let ms = timeout.map(|t| t.as_millis().min(u128::from(u64::MAX)) as u64).unwrap_or(0);
+        self.stall_timeout_ms.store(ms, Ordering::Release);
+    }
+
+    fn try_rearm(&self, prog: usize) -> bool {
+        let b = self.bound.load(Ordering::Acquire);
+        if b == UNBOUND || bound_prog(b) != prog || !self.zombie.load(Ordering::Acquire) {
+            return false;
+        }
+        let my_epoch = bound_epoch(b);
+        let st = self.lease_state(prog).load(Ordering::Acquire);
+        if lease_epoch(st) != my_epoch {
+            // A successor already recycled the lease under a later epoch:
+            // this incarnation is permanently dead. Stay fenced; the
+            // caller degrades instead.
+            return false;
+        }
+        // Self-reap: finish (or perform) the reap of our own fenced
+        // incarnation. The reap ladder frees slots stamped with exactly
+        // `my_epoch`, which is also the only epoch this handle ever
+        // stamps — so nothing a concurrent reaper or this handle does can
+        // free a successor's cores. Note the raw CAS loop, not the
+        // zombie-guarded trait methods: reaping *ourselves* is the one
+        // reap duty a zombie keeps.
+        if lease_status(st) == LEASE_FENCED {
+            for c in 0..self.cores {
+                let _ = self.slot(c).compare_exchange(
+                    pack_slot(prog as i32, my_epoch.max(1)),
+                    FREE_SLOT,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
+            if self
+                .lease_state(prog)
+                .compare_exchange(
+                    st,
+                    pack_lease(my_epoch, LEASE_REAPED),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_err()
+            {
+                // A concurrent reaper moved the lease meanwhile; retry on
+                // the next tick from whatever state it reached.
+                return false;
+            }
+        } else if lease_status(st) != LEASE_REAPED {
+            // ACTIVE at our own epoch means the fence call raced a lost
+            // heartbeat (no reaper ever fenced us) — rebinding is enough.
+            if lease_status(st) == LEASE_ACTIVE {
+                self.zombie.store(false, Ordering::Release);
+                return true;
+            }
+            return false;
+        }
+        // Recycle REAPED → ACTIVE under the next epoch, exactly like
+        // `register`'s pass 2, but pinned to our own program id.
+        let reaped = pack_lease(my_epoch, LEASE_REAPED);
+        let ne = my_epoch.wrapping_add(1).max(1);
+        if self
+            .lease_state(prog)
+            .compare_exchange(
+                reaped,
+                pack_lease(ne, LEASE_REGISTERING),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return false; // lost the recycle race to a fresh registrant
+        }
+        self.lease_pid(prog).store(u64::from(std::process::id()), Ordering::Release);
+        self.lease_heartbeat(prog).store(monotonic_ms(), Ordering::Release);
+        self.rings[prog].reset(u64::from(ne));
+        self.lease_state(prog).store(pack_lease(ne, LEASE_ACTIVE), Ordering::Release);
+        self.u32_at(20).fetch_add(1, Ordering::AcqRel);
+        self.bound.store(pack_bound(prog, ne), Ordering::Release);
+        self.zombie.store(false, Ordering::Release);
+        true
     }
 }
 
@@ -971,6 +1372,29 @@ impl CoreTable for FailoverTable {
     fn alloc_ledger(&self) -> Option<&crate::alloc_table::AllocLedger> {
         self.active().alloc_ledger()
     }
+
+    fn bind_self(&self, prog: usize) {
+        self.active().bind_self(prog);
+    }
+
+    fn zombie_fenced(&self) -> bool {
+        self.active().zombie_fenced()
+    }
+
+    fn try_rearm(&self, prog: usize) -> bool {
+        self.active().try_rearm(prog)
+    }
+
+    fn set_stall_timeout(&self, timeout: Option<Duration>) {
+        self.active().set_stall_timeout(timeout);
+    }
+
+    fn degrade_now(&self) {
+        // Same sticky flag check_health sets; used when a zombie cannot
+        // re-arm its lease (a successor took it) and must retreat to the
+        // home partition.
+        self.degraded.store(true, Ordering::Release);
+    }
 }
 
 #[cfg(test)]
@@ -996,6 +1420,71 @@ mod tests {
         assert_eq!(t.owners(), vec![0, 0, 0, 0, 1, 1, 1, 1]);
         assert!(t.release(2, 0));
         assert_eq!(t.owners()[2], -1, "bulk owners() read sees FREE as -1");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn audit_tracks_the_fencing_lifecycle() {
+        let path = temp_path("audit");
+        let t = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        // Pre-registration initial state (slots at epoch 1, leases
+        // UNUSED) is legitimate.
+        assert_eq!(t.audit(), Ok(()));
+        let b = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(t.register().unwrap(), 0);
+        assert_eq!(b.register().unwrap(), 1);
+        assert_eq!(t.audit(), Ok(()));
+        // Mid-reap: fencing b's lease while its slots are still stamped
+        // is exactly the transient the audit exists to flag.
+        t.mark_dead(1);
+        assert!(t.fence_expired(1));
+        let errs = t.audit().unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("not ACTIVE")), "{errs:?}");
+        // Reap both stranded cores and the table settles clean again.
+        assert!(t.try_reap(2, 1));
+        assert!(t.try_reap(3, 1));
+        assert!(t.finish_reap(1));
+        assert_eq!(t.audit(), Ok(()));
+        // A recycled lease re-stamps its home cores under the new epoch.
+        let c = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(c.register().unwrap(), 1);
+        assert!(c.try_reclaim(2, 1));
+        assert_eq!(t.audit(), Ok(()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn audit_flags_an_out_of_range_owner() {
+        let path = temp_path("audit-torn");
+        let t = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        // A torn/garbage write lands a nonsense owner in a slot word.
+        t.slot(1).store(pack_slot(77, 9), Ordering::Release);
+        let errs = t.audit().unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("out of range")), "{errs:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn killed_mid_registration_lease_is_fenced_and_recycled() {
+        let path = temp_path("registering-leak");
+        let t = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(t.register().unwrap(), 0);
+        // A registrant SIGKILLed between claiming REGISTERING and
+        // activating: lease claimed, pid at the dead sentinel, heartbeat
+        // never stored. No registration pass can touch such a lease
+        // (pass 1 wants UNUSED, pass 2 wants REAPED)...
+        t.lease_state(1).store(pack_lease(1, LEASE_REGISTERING), Ordering::Release);
+        t.lease_pid(1).store(0, Ordering::Release);
+        t.lease_heartbeat(1).store(0, Ordering::Release);
+        let b = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert!(matches!(b.register(), Err(ShmError::Exhausted)));
+        // ...so the reap ladder must: the stale claim is fenceable like
+        // any expired ACTIVE lease, and one reaper pass recycles it.
+        assert_eq!(t.reapable_programs(0, Duration::ZERO), vec![1]);
+        let pass = reap_expired(&t, 0, Duration::ZERO);
+        assert_eq!(pass.leases_expired, 1);
+        assert_eq!(b.register().unwrap(), 1);
+        assert_eq!(b.epoch_of(1), 2, "recycled under a bumped epoch");
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -1247,5 +1736,187 @@ mod tests {
         assert_eq!(t.register().unwrap(), 1);
         assert!(matches!(t.register(), Err(ShmError::Exhausted)));
         assert_eq!(t.used_by(0), vec![0, 1]);
+    }
+
+    /// The stale-lease zombie scenario (DESIGN §15): program A is
+    /// SIGSTOPped past its lease timeout, B reaps it, A resumes. A's
+    /// first mutation must trip the fence and every subsequent mutation
+    /// must refuse — and `try_rearm` must bring A back under a fresh
+    /// epoch because nobody claimed its lease meanwhile.
+    #[test]
+    fn zombie_handle_refuses_mutations_and_rearms_its_own_lease() {
+        let path = temp_path("zombie-rearm");
+        let a = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(a.register().unwrap(), 0);
+        let b = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(b.register().unwrap(), 1);
+
+        // B's view: A died (pid cleared, heartbeat ancient) and is reaped.
+        b.mark_dead(0);
+        let pass = reap_expired(&b, 1, Duration::ZERO);
+        assert_eq!(pass.leases_expired, 1);
+        assert_eq!(pass.cores_reaped, 2, "A's home cores returned to the pool");
+        assert_eq!(a.current(0), None);
+
+        // A resumes. The first mutation discovers the fence...
+        assert!(!a.zombie_fenced(), "fence latches on first touch, not eagerly");
+        assert!(!a.release(0, 0));
+        assert!(a.zombie_fenced());
+        // ...and everything after it refuses without touching shared state.
+        assert!(!a.try_acquire_free(0, 0));
+        assert!(!a.try_reclaim(0, 0));
+        let hb_before = b.lease_heartbeat(0).load(Ordering::Acquire);
+        a.heartbeat(0);
+        assert_eq!(
+            b.lease_heartbeat(0).load(Ordering::Acquire),
+            hb_before,
+            "a zombie cannot refresh the lease heartbeat"
+        );
+        assert!(a.reapable_programs(0, Duration::ZERO).is_empty(), "zombies hold no reap duties");
+
+        // The lease is REAPED and unclaimed: re-arm succeeds, epoch bumps.
+        assert!(a.try_rearm(0));
+        assert!(!a.zombie_fenced());
+        assert_eq!(a.epoch_of(0), 2);
+        assert!(a.try_acquire_free(0, 0), "re-armed handle mutates again");
+        assert_eq!(b.current(0), Some(0), "new-epoch ownership visible to B");
+        // And the new incarnation is first-class: B can see its fresh
+        // heartbeat instead of the tombstone.
+        assert!(!pid_is_dead(b.lease_pid(0).load(Ordering::Acquire)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// If a *successor* recycled the zombie's lease before it resumed,
+    /// re-arming must fail and the zombie must stay fenced forever — its
+    /// epoch-1 CASes can never free or steal the successor's epoch-2
+    /// cores.
+    #[test]
+    fn zombie_cannot_rearm_once_a_successor_recycled_its_lease() {
+        let path = temp_path("zombie-successor");
+        let a = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(a.register().unwrap(), 0);
+        let b = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(b.register().unwrap(), 1);
+        b.mark_dead(0);
+        reap_expired(&b, 1, Duration::ZERO);
+
+        // A successor process takes A's recycled lease (both leases are
+        // used, so registration must go through the recycle path).
+        let c = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(c.register().unwrap(), 0);
+        assert_eq!(c.epoch_of(0), 2);
+        assert!(c.try_acquire_free(0, 0));
+
+        // The zombie resumes: fenced, and permanently unrecoverable.
+        assert!(!a.release(0, 0));
+        assert!(a.zombie_fenced());
+        assert!(!a.try_rearm(0), "lease now belongs to the successor");
+        assert!(a.zombie_fenced(), "still fenced after the failed re-arm");
+        assert_eq!(b.current(0), Some(0), "successor's core untouched by the zombie");
+        assert_eq!(c.epoch_of(0), 2, "successor's epoch untouched");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Stall fencing (opt-in): a live-but-stalled program (pid exists,
+    /// heartbeat ancient) is only reapable once a handle arms
+    /// `set_stall_timeout` — and the stalled program recovers through the
+    /// same zombie → re-arm path as a reaped-while-paused one.
+    #[test]
+    fn stall_timeout_fences_live_programs_only_when_armed() {
+        let path = temp_path("stall-fence");
+        let a = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(a.register().unwrap(), 0);
+        let b = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(b.register().unwrap(), 1);
+
+        // A's heartbeat goes ancient but its pid (this process) is alive.
+        b.lease_heartbeat(0).store(1, Ordering::Release);
+        assert!(
+            b.reapable_programs(1, Duration::ZERO).is_empty(),
+            "confirmed-dead-only default never fences a live pid"
+        );
+
+        b.set_stall_timeout(Some(Duration::from_millis(5)));
+        assert_eq!(b.reapable_programs(1, Duration::ZERO), vec![0]);
+        let pass = reap_expired(&b, 1, Duration::ZERO);
+        assert_eq!((pass.leases_expired, pass.cores_reaped), (1, 2));
+
+        // The stalled program wakes, finds itself fenced, re-arms.
+        assert!(!a.try_acquire_free(0, 0));
+        assert!(a.zombie_fenced());
+        assert!(a.try_rearm(0));
+        assert_eq!(a.epoch_of(0), 2);
+        // Disarming restores the conservative behavior.
+        b.set_stall_timeout(None);
+        b.lease_heartbeat(0).store(1, Ordering::Release);
+        assert!(b.reapable_programs(1, Duration::ZERO).is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn retry_exhaustion_is_a_typed_timeout_wrapping_the_cause() {
+        // A directory can never become a table: every attempt fails with
+        // Io, and exhaustion wraps the last one.
+        let dir = std::env::temp_dir();
+        let t0 = std::time::Instant::now();
+        match ShmTable::open_with_retry(&dir, 4, 2, 3, Duration::from_micros(200)) {
+            Err(ShmError::Timeout { attempts: 3, last, .. }) => {
+                assert!(matches!(*last, ShmError::Io(_)), "root cause preserved: {last:?}");
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(t0.elapsed() >= Duration::from_micros(300), "backoff slept between attempts");
+        // And the io::Error conversion classifies it as a timeout.
+        let err: io::Error =
+            ShmTable::open_with_retry(&dir, 4, 2, 1, Duration::ZERO).unwrap_err().into();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn register_with_retry_waits_out_a_full_table() {
+        let path = temp_path("register-retry");
+        let a = ShmTable::create_or_open(&path, 4, 1).unwrap();
+        assert_eq!(a.register().unwrap(), 0);
+
+        // Fail fast when nothing will free a lease.
+        let b = ShmTable::create_or_open(&path, 4, 1).unwrap();
+        match b.register_with_retry(Backoff::new(2, Duration::from_micros(100))) {
+            Err(ShmError::Timeout { last, .. }) => assert!(matches!(*last, ShmError::Exhausted)),
+            other => panic!("expected Timeout(Exhausted), got {other:?}"),
+        }
+
+        // A reaper frees the lease mid-retry; the arriving program gets
+        // the recycled slot instead of dying at the door.
+        let p2 = path.clone();
+        let reaper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let c = ShmTable::create_or_open(&p2, 4, 1).unwrap();
+            c.mark_dead(0);
+            reap_expired(&c, usize::MAX, Duration::ZERO)
+        });
+        let got = b.register_with_retry(Backoff::new(200, Duration::from_millis(1))).unwrap();
+        assert_eq!(got, 0);
+        assert_eq!(b.epoch_of(0), 2, "recycled under a bumped epoch");
+        let pass = reaper.join().unwrap();
+        assert_eq!(pass.leases_expired, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A fence that never went through (the reaper fenced nobody — e.g. a
+    /// heartbeat hiccup healed) must not strand the handle: `try_rearm`
+    /// on a still-ACTIVE own lease just clears the flag.
+    #[test]
+    fn spurious_zombie_flag_clears_when_lease_is_still_active() {
+        let path = temp_path("zombie-spurious");
+        let a = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(a.register().unwrap(), 0);
+        // Force the sticky flag without any lease transition.
+        a.zombie.store(true, Ordering::Release);
+        assert!(!a.release(0, 0), "flag alone blocks mutation");
+        assert!(a.try_rearm(0), "ACTIVE own lease at the latched epoch: rebind suffices");
+        assert!(!a.zombie_fenced());
+        assert_eq!(a.epoch_of(0), 1, "no epoch bump for a spurious fence");
+        assert!(a.release(0, 0));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -139,6 +139,14 @@ pub struct CounterSample {
     pub requests_dropped: u64,
     /// External requests refused for a stale client epoch.
     pub requests_fenced: u64,
+    /// Ring reservations abandoned by the consumer (client died between
+    /// reserve and publish).
+    pub requests_abandoned: u64,
+    /// Times this program found its own lease fenced/recycled (zombie
+    /// fencing tripped).
+    pub zombies_fenced: u64,
+    /// Zombie recoveries: own lease re-armed under a bumped epoch.
+    pub leases_rearmed: u64,
     /// This program's settled core-µs integral from the allocation ledger
     /// (DESIGN §14): total core time received since the ledger started.
     /// 0 when the table carries no ledger.
@@ -388,6 +396,9 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
         requests_admitted: snap.requests_admitted,
         requests_dropped: snap.requests_dropped,
         requests_fenced: snap.requests_fenced,
+        requests_abandoned: snap.requests_abandoned,
+        zombies_fenced: snap.zombies_fenced,
+        leases_rearmed: snap.leases_rearmed,
         core_us_total: table
             .alloc_ledger()
             .map_or(0, |ledger| ledger.snapshot().core_us.get(prog).copied().unwrap_or(0)),
@@ -588,7 +599,7 @@ type LatencyMetric = (&'static str, &'static str, fn(&LatencySample) -> u64, &'s
 pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
     let mut w = PromWriter { out: String::new() };
 
-    let counters: [CounterMetric; 18] = [
+    let counters: [CounterMetric; 21] = [
         ("dws_steals_ok_total", "Successful steals.", |c| c.steals_ok),
         ("dws_steals_failed_total", "Failed steal attempts.", |c| c.steals_failed),
         (
@@ -631,6 +642,21 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
         ("dws_requests_fenced_total", "External requests refused for a stale client epoch.", |c| {
             c.requests_fenced
         }),
+        (
+            "dws_requests_abandoned_total",
+            "Ring reservations abandoned by the consumer (client died mid-publish).",
+            |c| c.requests_abandoned,
+        ),
+        (
+            "dws_zombies_fenced_total",
+            "Times the program found its own lease fenced or recycled.",
+            |c| c.zombies_fenced,
+        ),
+        (
+            "dws_leases_rearmed_total",
+            "Zombie recoveries: own lease re-armed under a bumped epoch.",
+            |c| c.leases_rearmed,
+        ),
     ];
     for (name, help, get) in counters {
         w.header(name, help, "counter");

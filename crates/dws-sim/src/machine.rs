@@ -591,6 +591,11 @@ impl Simulator {
                 requests_admitted: 0,
                 requests_dropped: 0,
                 requests_fenced: 0,
+                requests_abandoned: 0,
+                // Zombie/rearm transitions live in the dws-check model in
+                // virtual time, not in this machine.
+                zombies_fenced: 0,
+                leases_rearmed: 0,
                 core_us_total: ledger_us[p],
             };
             tel.push(

@@ -124,6 +124,16 @@ pub struct CounterSample {
     /// simulation: the simulated ring has no cross-process clients to
     /// fence.
     pub requests_fenced: u64,
+    /// Ring reservations abandoned by the consumer (client died between
+    /// reserve and publish). Always 0 in simulation.
+    pub requests_abandoned: u64,
+    /// Times the program found its own lease fenced/recycled while
+    /// stalled (zombie fencing). Always 0 in simulation: the checker
+    /// models zombies separately in virtual time.
+    pub zombies_fenced: u64,
+    /// Zombie recoveries (own lease re-armed under a bumped epoch).
+    /// Always 0 in simulation.
+    pub leases_rearmed: u64,
     /// This program's settled core-µs integral from the allocation ledger
     /// (DESIGN §14). Filled in simulation too: the simulator keeps an
     /// exact virtual-time ledger over its core table.

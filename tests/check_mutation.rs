@@ -97,6 +97,41 @@ fn checker_catches_seeded_dropped_submit_via_the_admission_ledger() {
 }
 
 #[test]
+fn checker_catches_seeded_zombie_write_via_the_post_fence_rule() {
+    // The pause scenario: a SIGSTOPped co-runner is stall-fenced and
+    // reaped while quiescent, then SIGCONTed. With Bug::ZombieWrite the
+    // resumed victim skips the post-resume fence check and keeps
+    // working — its reclaims/acquires succeed, its tasks all finish and
+    // every counter, ledger and table snapshot reconciles. Only the
+    // oracle's post-fence rule (no transition or work by an expired
+    // prog) can see the zombie.
+    let cfg = ModelConfig::pause().with_bug(Bug::ZombieWrite);
+    let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
+    let explorer = Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &cfg, seed));
+
+    let report = explorer.random(0xDEAD_BEEF, 2_000);
+    let failing = report
+        .failing()
+        .unwrap_or_else(|| panic!("zombie-write mutation survived {} schedules", report.schedules))
+        .clone();
+    let failure = failing.failure.as_deref().unwrap();
+    assert!(failure.contains("expired prog"), "unexpected failure: {failure}");
+    explorer.replay(&failing).expect("failing seed must replay identically");
+}
+
+#[test]
+fn unmutated_pause_model_passes_the_same_budget() {
+    // Both outcomes must be clean: schedules where the victim resumes
+    // before any fence (and finishes everything) and schedules where
+    // the stall-fence lands (and the resumed victim stops dead).
+    let cfg = ModelConfig::pause();
+    let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
+    let explorer = Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &cfg, seed));
+    let report = explorer.random(0xDEAD_BEEF, 300);
+    assert!(report.failing().is_none(), "clean pause model flagged: {:?}", report.failing());
+}
+
+#[test]
 fn unmutated_serving_model_passes_the_same_budget() {
     let cfg = ModelConfig::serving();
     let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };

@@ -1,0 +1,122 @@
+//! Lease-epoch wraparound and ABA property test (chaos satellite):
+//! recycling a lease near `u32::MAX` must wrap without ever minting
+//! epoch 0 (the pre-registration sentinel), the whole fence→reap→recycle
+//! ladder must keep working across the wrap, and a stale handle that
+//! observed its fence must stay fenced even when wraparound brings the
+//! lease back to the *exact epoch the handle latched* — the ABA case the
+//! sticky zombie flag exists for.
+//!
+//! The near-wrap epoch is planted by patching the table file directly
+//! (the lease word is `epoch << 32 | status` at a fixed offset); mmap
+//! and file writes are coherent, so every live handle sees the patch.
+
+use std::fs::OpenOptions;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use dws_rt::{reap_expired, CoreTable, ShmTable};
+use proptest::prelude::*;
+
+const CORES: usize = 4;
+const PROGRAMS: usize = 2;
+
+// Byte layout of the v3 table (shm.rs): 32-byte header, then one 24-byte
+// lease record per program (state word first), then one 8-byte slot word
+// per core. Program 1's home cores under equipartition are 2 and 3.
+const HEADER_BYTES: u64 = 32;
+const LEASE_BYTES: u64 = 24;
+const LEASE_ACTIVE: u64 = 2;
+
+fn lease_state_offset(prog: u64) -> u64 {
+    HEADER_BYTES + prog * LEASE_BYTES
+}
+
+fn slot_offset(core: u64) -> u64 {
+    HEADER_BYTES + PROGRAMS as u64 * LEASE_BYTES + core * 8
+}
+
+fn patch_u64(path: &Path, offset: u64, value: u64) {
+    let mut f = OpenOptions::new().write(true).open(path).expect("reopen table file");
+    f.seek(SeekFrom::Start(offset)).expect("seek");
+    f.write_all(&value.to_ne_bytes()).expect("patch word");
+    f.sync_all().expect("sync patch");
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dws-epoch-wrap-{tag}-{}", std::process::id()));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    #[test]
+    fn epochs_wrap_without_minting_zero_and_aba_handles_stay_fenced(
+        // Close enough to the wrap that a handful of recycles crosses it.
+        wrap_distance in 0u32..13,
+        recycles in 1usize..17,
+    ) {
+        let start_epoch = u32::MAX - wrap_distance;
+        let path = temp_path(&format!("{start_epoch}-{recycles}"));
+        let _ = std::fs::remove_file(&path);
+
+        let a = ShmTable::create_or_open(&path, CORES, PROGRAMS).expect("create table");
+        prop_assert_eq!(a.register().expect("register a"), 0);
+        let b = ShmTable::create_or_open(&path, CORES, PROGRAMS).expect("open table");
+        prop_assert_eq!(b.register().expect("register b"), 1);
+
+        // Plant prog 1's lease (and its pre-stamped home slots 2, 3) at
+        // the near-wrap epoch. Handle `b` latched epoch 1 at
+        // registration, so it is now a stale incarnation.
+        let planted = (u64::from(start_epoch) << 32) | LEASE_ACTIVE;
+        patch_u64(&path, lease_state_offset(1), planted);
+        for core in [2u64, 3] {
+            patch_u64(&path, slot_offset(core), (u64::from(start_epoch) << 32) | 1);
+        }
+        prop_assert_eq!(a.epoch_of(1), start_epoch);
+        prop_assert!(a.audit().is_ok(), "planted table must audit clean: {:?}", a.audit());
+
+        // The stale handle discovers the fence on its first op and the
+        // zombie flag latches.
+        b.heartbeat(1);
+        prop_assert!(b.zombie_fenced(), "stale incarnation must self-fence");
+
+        let mut expected = start_epoch;
+        let mut incarnations = Vec::new();
+        for round in 0..recycles {
+            // Kill the current incarnation and run one reaper pass: the
+            // full fence → reap → REAPED ladder at the current epoch.
+            a.mark_dead(1);
+            let pass = reap_expired(&a, 0, Duration::ZERO);
+            prop_assert_eq!(pass.leases_expired, 1, "round {}: lease must fence", round);
+            prop_assert!(a.used_by(1).is_empty(), "round {}: all slots reaped", round);
+
+            // Recycle: the epoch advances by exactly one, skipping 0 —
+            // epoch 0 is the pre-registration sentinel and must never be
+            // minted for a live lease.
+            let c = ShmTable::create_or_open(&path, CORES, PROGRAMS).expect("reopen");
+            prop_assert_eq!(c.register().expect("recycle registration"), 1);
+            expected = expected.wrapping_add(1).max(1);
+            prop_assert_eq!(a.epoch_of(1), expected, "round {}", round);
+            prop_assert!(a.epoch_of(1) != 0, "round {}: epoch 0 minted", round);
+            prop_assert!(a.audit().is_ok(), "round {}: {:?}", round, a.audit());
+            incarnations.push(c);
+        }
+
+        // ABA: when the recycles crossed the wrap, some later incarnation
+        // may hold the lease ACTIVE at the *same* epoch handle `b`
+        // latched (epoch 1). A naive epoch equality check would let the
+        // zombie write again; the sticky flag must not.
+        prop_assert!(b.zombie_fenced(), "zombie flag must be sticky across wraparound");
+        prop_assert!(!b.release(2, 1), "zombie release must be refused");
+        prop_assert!(!b.try_reclaim(2, 1), "zombie reclaim must be refused");
+        prop_assert!(!b.try_acquire_free(0, 1), "zombie acquire must be refused");
+        b.heartbeat(1); // must stay a no-op
+        prop_assert_eq!(a.epoch_of(1), expected, "zombie ops must not move the table");
+
+        drop(incarnations);
+        let _ = std::fs::remove_file(&path);
+    }
+}

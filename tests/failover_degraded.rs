@@ -1,0 +1,246 @@
+//! FailoverTable degraded-mode concurrency tests (chaos satellite).
+//!
+//! Three properties of the failover path under concurrency:
+//!
+//! 1. The `degraded` flag is *sticky*: once a health check sees the
+//!    backing file corrupted, no thread ever observes the table healthy
+//!    again — even if the corruption is repaired underneath it. A
+//!    degraded→healthy flap would let a program trust a mapping that was
+//!    mid-corruption moments ago.
+//! 2. The in-process fallback conserves cores under concurrent churn:
+//!    with two programs hammering acquire/release on the same fallback,
+//!    every `owners()` snapshot shows each core owned by at most one
+//!    program, and a full release drains the table back to all-free.
+//! 3. A serving runtime whose table degrades sheds submissions with a
+//!    *typed* error (`SubmitError::Fenced`) instead of panicking: the
+//!    shared ring is untrusted, so admission closes at the edge while
+//!    already-admitted work keeps running on the fallback partition.
+
+use std::fs::OpenOptions;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dws_rt::{CoreTable, FailoverTable, Policy, Runtime, RuntimeConfig, ShmTable, SubmitError};
+
+const CORES: usize = 4;
+const PROGRAMS: usize = 2;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dws-failover-{tag}-{}", std::process::id()));
+    p
+}
+
+fn patch_bytes(path: &Path, offset: u64, bytes: &[u8]) {
+    let mut f = OpenOptions::new().write(true).open(path).expect("reopen table file");
+    f.seek(SeekFrom::Start(offset)).expect("seek");
+    f.write_all(bytes).expect("patch");
+    f.sync_all().expect("sync");
+}
+
+fn read_header(path: &Path) -> Vec<u8> {
+    std::fs::read(path).expect("read table file")[..32].to_vec()
+}
+
+/// Property 1: sticky degradation. Hammer `check_health` / `degraded`
+/// from several threads while the main thread corrupts the header, waits
+/// for the flag, then *repairs* the header. No thread may ever observe a
+/// degraded→healthy transition.
+#[test]
+fn degraded_flag_is_sticky_under_concurrent_health_checks() {
+    let path = temp_path("sticky");
+    let _ = std::fs::remove_file(&path);
+
+    let primary = Arc::new(ShmTable::create_or_open(&path, CORES, PROGRAMS).expect("create"));
+    assert_eq!(primary.register().expect("register"), 0);
+    let table = Arc::new(FailoverTable::new(primary, &path));
+    assert!(table.check_health(), "fresh table must be healthy");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flapped = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for _ in 0..4 {
+        let (t, stop, flapped) = (Arc::clone(&table), Arc::clone(&stop), Arc::clone(&flapped));
+        threads.push(std::thread::spawn(move || {
+            let mut seen_degraded = false;
+            while !stop.load(Ordering::Acquire) {
+                let healthy = t.check_health();
+                if seen_degraded && (healthy || !t.degraded()) {
+                    flapped.store(true, Ordering::Release);
+                }
+                if !healthy {
+                    seen_degraded = true;
+                }
+                // Keep routing ops through the table while the flag flips.
+                let _ = t.owners();
+                t.heartbeat(0);
+                std::thread::yield_now();
+            }
+            seen_degraded
+        }));
+    }
+
+    // Let the hammering run healthy for a moment, then corrupt the magic.
+    std::thread::sleep(Duration::from_millis(20));
+    let saved = read_header(&path);
+    patch_bytes(&path, 0, &[0xEEu8; 8]);
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !table.degraded() {
+        assert!(Instant::now() < deadline, "corruption never detected");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Repair the header. Sticky means this must NOT bring the table back.
+    patch_bytes(&path, 0, &saved);
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Release);
+    for t in threads {
+        assert!(t.join().expect("checker thread"), "every checker must have seen the fence");
+    }
+
+    assert!(!flapped.load(Ordering::Acquire), "degraded flag flapped back to healthy");
+    assert!(!table.check_health(), "check_health must stay false after repair");
+    assert!(table.degraded());
+    // Degraded: the shared ring is withdrawn.
+    assert!(table.submit_ring(0).is_none(), "degraded table must not expose the shm ring");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Property 2: the degraded fallback conserves cores under concurrent
+/// acquire/release churn from two programs, and registration hands out
+/// local ids with a typed exhaustion error past the cap.
+#[test]
+fn degraded_fallback_conserves_cores_under_churn() {
+    let path = temp_path("fallback");
+    let table = Arc::new(FailoverTable::degraded_from_scratch(&path, CORES, PROGRAMS));
+    assert!(table.degraded(), "from-scratch table starts degraded");
+    assert!(!table.check_health());
+
+    // Local registration: ids 0..PROGRAMS, then typed exhaustion.
+    assert_eq!(table.register().expect("local id 0"), 0);
+    assert_eq!(table.register().expect("local id 1"), 1);
+    assert!(table.register().is_err(), "past the cap must be Exhausted");
+
+    // The fallback starts at equipartition (each core owned by its home
+    // program); drain it to all-free so the churn below contends on every
+    // core instead of each program sitting on its partition.
+    for core in 0..CORES {
+        let h = table.home(core);
+        assert!(table.release(core, h), "home release of core {core}");
+    }
+    assert!(table.owners().iter().all(|&o| o == -1));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for prog in 0..PROGRAMS {
+        let (t, stop) = (Arc::clone(&table), Arc::clone(&stop));
+        workers.push(std::thread::spawn(move || {
+            let mut held = [false; CORES];
+            while !stop.load(Ordering::Acquire) {
+                for (core, h) in held.iter_mut().enumerate() {
+                    if *h {
+                        assert!(t.release(core, prog), "release of a held core must succeed");
+                        *h = false;
+                    } else if t.try_acquire_free(core, prog) {
+                        *h = true;
+                    }
+                }
+            }
+            for (core, h) in held.iter().enumerate() {
+                if *h {
+                    t.release(core, prog);
+                }
+            }
+        }));
+    }
+
+    // Observer: every snapshot is internally consistent — CORES entries,
+    // each either free (-1) or one of the two registered programs.
+    let start = Instant::now();
+    let mut snapshots = 0u32;
+    while start.elapsed() < Duration::from_millis(200) {
+        let owners = table.owners();
+        assert_eq!(owners.len(), CORES);
+        for (core, &o) in owners.iter().enumerate() {
+            assert!(o == -1 || o == 0 || o == 1, "core {core} owned by impossible program {o}");
+        }
+        snapshots += 1;
+    }
+    assert!(snapshots > 0);
+
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        w.join().expect("churn worker");
+    }
+
+    // Quiescent: everything released, nothing leaked.
+    assert!(
+        table.owners().iter().all(|&o| o == -1),
+        "all cores must drain back to free, got {:?}",
+        table.owners()
+    );
+    assert!(table.degraded(), "fallback churn must not clear the flag");
+
+    // Reclaim still works on the fallback: prog 0 borrows one of prog 1's
+    // home cores; 1 takes it back with the DWS reclaim edge.
+    let borrowed = (0..CORES).find(|&c| table.home(c) == 1).expect("prog 1 has a home core");
+    assert!(table.try_acquire_free(borrowed, 0));
+    assert!(table.try_reclaim(borrowed, 1), "home reclaim from a borrower");
+    assert_eq!(table.current(borrowed), Some(1));
+    assert!(table.release(borrowed, 1));
+}
+
+/// Property 3: a serving runtime built over a FailoverTable sheds
+/// submissions with `SubmitError::Fenced` once the table degrades —
+/// admission closes at the edge; no panic, and the drain path stays a
+/// no-op instead of touching the untrusted ring.
+#[test]
+fn degraded_serving_sheds_typed_error() {
+    let path = temp_path("serve");
+    let _ = std::fs::remove_file(&path);
+
+    let primary = Arc::new(ShmTable::create_or_open(&path, 2, 1).expect("create"));
+    let prog = primary.register().expect("register");
+    let table = Arc::new(FailoverTable::new(primary, &path));
+
+    let mut cfg = RuntimeConfig::new(2, Policy::Dws).with_lease_timeout(Duration::from_millis(200));
+    cfg.coordinator_period = Duration::from_millis(5);
+    let handled = Arc::new(AtomicUsize::new(0));
+    let handled2 = Arc::clone(&handled);
+    let rt = Runtime::serve_with_table(
+        cfg,
+        Arc::clone(&table) as Arc<dyn CoreTable>,
+        prog,
+        move |_req| {
+            handled2.fetch_add(1, Ordering::AcqRel);
+        },
+    );
+
+    // Healthy: submissions land on the shm ring and get handled.
+    for i in 0..8 {
+        rt.submit(i, 10).expect("healthy submit");
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handled.load(Ordering::Acquire) < 8 {
+        assert!(Instant::now() < deadline, "healthy requests never handled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Degrade. The shared ring is untrusted from this moment on.
+    table.degrade_now();
+    assert!(table.submit_ring(prog).is_none());
+
+    // Typed shed, not a panic: the in-process client gets Fenced back.
+    assert_eq!(rt.submit(99, 10), Err(SubmitError::Fenced));
+    // Draining is a no-op, not a crash.
+    assert_eq!(rt.drain_submissions(), 0);
+    assert_eq!(handled.load(Ordering::Acquire), 8, "no phantom admissions after degrade");
+
+    drop(rt);
+    let _ = std::fs::remove_file(&path);
+}

@@ -57,6 +57,9 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             requests_admitted: 900,
             requests_dropped: 11,
             requests_fenced: 2,
+            requests_abandoned: 1,
+            zombies_fenced: 1,
+            leases_rearmed: 1,
             core_us_total: 654_321,
         },
         latency: dws_rt::LatencySample {
@@ -127,6 +130,9 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             requests_admitted: 900,
             requests_dropped: 11,
             requests_fenced: 2,
+            requests_abandoned: 1,
+            zombies_fenced: 1,
+            leases_rearmed: 1,
             core_us_total: 654_321,
         },
         latency: dws_sim::LatencySample {

@@ -52,6 +52,12 @@ pub const O_EXCL: c_int = 0o200;
 pub const EEXIST: c_int = 17;
 /// `errno`: no such process.
 pub const ESRCH: c_int = 3;
+/// `SIGKILL` (Linux).
+pub const SIGKILL: c_int = 9;
+/// `SIGCONT` (Linux).
+pub const SIGCONT: c_int = 18;
+/// `SIGSTOP` (Linux).
+pub const SIGSTOP: c_int = 19;
 /// `clockid_t`.
 pub type clockid_t = c_int;
 /// Monotonic clock id (`<time.h>`, Linux).
