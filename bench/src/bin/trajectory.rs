@@ -38,8 +38,21 @@
 //! free core-µs equals `cores × elapsed` exactly — and the schema
 //! validator re-checks it on the committed document.
 //!
+//! With `--control-plane` it instead emits `BENCH_10.json`: the
+//! event-driven control plane's three-arm comparison at a deliberately
+//! *long* coordinator period — `polling` (edge-triggered wakes off, the
+//! pre-doorbell behaviour: submissions wait in the ring for the next
+//! tick), `doorbell` (every submit / release / demand edge rings the
+//! coordinator awake), and `doorbell-adaptive` (wakes plus the AIMD knob
+//! controller). Each arm measures wake-to-first-task end to end
+//! (idle runtime, one probe request, submit → executed) and the serving
+//! request-sojourn tail under open-loop load; the headline block records
+//! whether the doorbell beat the polling baseline on wake p99 and
+//! whether the request p99 escaped the coordinator-period floor.
+//!
 //! ```text
-//! bench-trajectory [--batching | --task-trace | --serving | --fairness]
+//! bench-trajectory [--batching | --task-trace | --serving | --fairness
+//!                   | --control-plane]
 //!                  [--fast] [--cores N] [--reps N] [--batch-limit N]
 //!                  [--out PATH] [--check PATH] [--summary [DIR]]
 //! ```
@@ -48,6 +61,8 @@
 //! * `--task-trace` — run the tracing off/on comparison (`BENCH_6.json`);
 //! * `--serving` — run the open-loop serving sweep (`BENCH_7.json`);
 //! * `--fairness` — run the simulated fairness sweep (`BENCH_8.json`);
+//! * `--control-plane` — run the polling vs doorbell vs doorbell+adaptive
+//!   comparison (`BENCH_10.json`);
 //! * `--fast` — smaller workload for CI smoke runs;
 //! * `--cores N` / `--reps N` / `--batch-limit N` — override the workload
 //!   shape for probing (the emitted config records what actually ran);
@@ -77,8 +92,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dws_bench::{
-    validate_bench5_value, validate_bench6_value, validate_bench7_value, validate_bench8_value,
-    validate_bench9_value, validate_bench_value, BENCH_SCHEMA_VERSION,
+    validate_bench10_value, validate_bench5_value, validate_bench6_value, validate_bench7_value,
+    validate_bench8_value, validate_bench9_value, validate_bench_value, BENCH_SCHEMA_VERSION,
 };
 use dws_harness::{demand_handler, offer_load, LoadSpec, LoadStats};
 use dws_rt::{
@@ -724,6 +739,280 @@ fn run_serving(sp: &ServeParams, out: &str) {
     }
 }
 
+/// One arm of the `--control-plane` comparison.
+struct ArmSpec {
+    name: &'static str,
+    event_driven: bool,
+    adaptive: bool,
+}
+
+/// The three arms, in the order the schema fixes: the polling baseline,
+/// then edge-triggered wakes, then wakes plus the adaptive controller.
+const CP_ARMS: [ArmSpec; 3] = [
+    ArmSpec { name: "polling", event_driven: false, adaptive: false },
+    ArmSpec { name: "doorbell", event_driven: true, adaptive: false },
+    ArmSpec { name: "doorbell-adaptive", event_driven: true, adaptive: true },
+];
+
+/// Parameters of the `--control-plane` comparison: the serving workload
+/// plus the deliberately long coordinator period that gives polling a
+/// visible floor, and the idle-submit probe schedule.
+#[derive(Clone)]
+struct CpParams {
+    sp: ServeParams,
+    /// Coordinator period of every arm. Long on purpose: under polling
+    /// it floors both admission latency and the wake path; under the
+    /// doorbell it is only the fallback heartbeat.
+    period: Duration,
+    t_sleep: Duration,
+    /// Idle-submit wake probes per arm (after warm-up discards).
+    probes: usize,
+    /// Idle gap before each probe so workers have parked again.
+    probe_gap: Duration,
+}
+
+fn cp_cfg(cp: &CpParams, arm: &ArmSpec, tracing: bool) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::new(cp.sp.cores, Policy::Dws)
+        .with_serving_geometry(cp.sp.ring_capacity, cp.sp.drain_batch);
+    if tracing {
+        cfg = cfg.with_tracing_capacity(TRACE_CAPACITY);
+    }
+    cfg.coordinator_period = cp.period;
+    cfg.sleep_timeout = Some(cp.t_sleep);
+    if !arm.event_driven {
+        cfg = cfg.with_polling_only();
+    }
+    if arm.adaptive {
+        cfg = cfg.with_adaptive();
+    }
+    cfg
+}
+
+/// Wake-to-first-task, measured end to end at the control plane's grain:
+/// an *idle* serving runtime (workers parked, coordinator waiting on its
+/// period or doorbell), one probe request, submit → the job has
+/// executed. Under polling the request sits in the submission ring until
+/// the next tick — the latency is the period, not the work. Returns one
+/// sample (µs) per probe.
+fn cp_wake_probe(cp: &CpParams, arm: &ArmSpec) -> Vec<u64> {
+    // Warm-up discards: thread spawn, first-touch, ring paging.
+    const WARMUP: usize = 3;
+    let table: Arc<dyn CoreTable> =
+        Arc::new(LedgerTable::new(Arc::new(InProcessTable::new(cp.sp.cores, 2))));
+    let rt = Runtime::serve_with_table(cp_cfg(cp, arm, false), table, 0, demand_handler());
+    let mut samples = Vec::with_capacity(cp.probes);
+    for i in 0..cp.probes + WARMUP {
+        std::thread::sleep(cp.probe_gap);
+        let base = rt.metrics().jobs_executed;
+        let t0 = Instant::now();
+        rt.submit(i as u64, 1).expect("probe submit on an idle ring");
+        while rt.metrics().jobs_executed <= base {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "{} arm never executed probe {i} — control-plane wake path is wedged",
+                arm.name,
+            );
+            std::thread::yield_now();
+        }
+        if i >= WARMUP {
+            samples.push(t0.elapsed().as_micros() as u64);
+        }
+    }
+    samples
+}
+
+/// One serving co-run of an arm (both programs under the arm's config,
+/// tracing on so the request-sojourn histogram fills). Unlike
+/// [`serve_corun`], the drain tail does *not* nudge `drain_submissions`
+/// by hand — admission stays on the arm's own control plane, so a
+/// polling arm pays its period in the tail too. Returns the makespan,
+/// per-program stats, total doorbell wakes, and p0's final knob values.
+#[allow(clippy::type_complexity)]
+fn cp_serve(
+    cp: &CpParams,
+    arm: &ArmSpec,
+) -> (Duration, Vec<ServeProgStats>, u64, (u32, Duration, usize)) {
+    let sp = &cp.sp;
+    let table: Arc<dyn CoreTable> =
+        Arc::new(LedgerTable::new(Arc::new(InProcessTable::new(sp.cores, 2))));
+    let p0 =
+        Runtime::serve_with_table(cp_cfg(cp, arm, true), Arc::clone(&table), 0, demand_handler());
+    let p1 = Runtime::serve_with_table(cp_cfg(cp, arm, true), table, 1, demand_handler());
+
+    let spec = |seed: u64| LoadSpec {
+        arrivals: ArrivalProcess::bursty(sp.rate_per_sec, sp.burstiness),
+        demand: BoundedPareto::new(sp.demand_min_us, sp.demand_max_us, sp.demand_alpha),
+        seed,
+        duration: sp.duration,
+    };
+    let start = Instant::now();
+    let (l0, l1) = std::thread::scope(|scope| {
+        let g0 = scope.spawn(|| offer_load(&p0, &spec(sp.seed)));
+        let g1 = scope.spawn(|| offer_load(&p1, &spec(sp.seed ^ 0xB15B_05E5)));
+        (g0.join().unwrap(), g1.join().unwrap())
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for (rt, l) in [(&p0, &l0), (&p1, &l1)] {
+        loop {
+            let m = rt.metrics();
+            let done = m.requests_admitted == l.submitted && m.jobs_executed >= m.requests_admitted;
+            if done || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let makespan = start.elapsed();
+
+    let doorbell_wakes = p0.metrics().doorbell_wakes + p1.metrics().doorbell_wakes;
+    let knobs = p0.knob_values();
+    let collect = |rt: &Runtime, label: &str, load: LoadStats| ServeProgStats {
+        label: label.to_string(),
+        load,
+        admitted: rt.metrics().requests_admitted,
+        sojourn: rt.histograms().request_sojourn,
+    };
+    (makespan, vec![collect(&p0, "p0", l0), collect(&p1, "p1", l1)], doorbell_wakes, knobs)
+}
+
+/// The `--control-plane` mode: run [`CP_ARMS`] through the wake probe
+/// and the open-loop serving load, then emit `BENCH_10.json` with the
+/// headline comparison. A full run exits nonzero if the doorbell fails
+/// to beat the polling baseline on wake p99, or fails to pull the
+/// serving request p99 under the coordinator period — those two numbers
+/// are what the event-driven control plane exists for.
+fn run_control_plane(cp: &CpParams, out: &str) {
+    let mut arms: Vec<Value> = Vec::new();
+    // (wake_p99_us, worst request_p99_us) per arm for the headline.
+    let mut headline: Vec<(u64, u64)> = Vec::new();
+    for arm in &CP_ARMS {
+        let wake = cp_wake_probe(cp, arm);
+        let wake_p50 = dws_sim::quantile_nearest(&wake, 0.5);
+        let wake_p99 = dws_sim::quantile_nearest(&wake, 0.99);
+
+        let (makespan, progs, doorbell_wakes, (k_sleep, k_period, k_batch)) = cp_serve(cp, arm);
+        let admitted: u64 = progs.iter().map(|s| s.admitted).sum();
+        let throughput = admitted as f64 / makespan.as_secs_f64();
+        let mut req_p99_worst = 0u64;
+        let per_program: Vec<Value> = progs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let q = |quant: f64| s.sojourn.quantile_ns(quant).unwrap_or(0) / 1_000;
+                req_p99_worst = req_p99_worst.max(q(0.99));
+                obj(vec![
+                    ("prog", Value::U64(i as u64)),
+                    ("label", Value::String(s.label.clone())),
+                    ("offered", Value::U64(s.load.offered())),
+                    ("submitted", Value::U64(s.load.submitted)),
+                    ("shed", Value::U64(s.load.shed)),
+                    ("fenced", Value::U64(s.load.fenced)),
+                    ("admitted", Value::U64(s.admitted)),
+                    ("request_p50_us", Value::U64(q(0.5))),
+                    ("request_p99_us", Value::U64(q(0.99))),
+                    ("request_p999_us", Value::U64(q(0.999))),
+                ])
+            })
+            .collect();
+        eprintln!(
+            "{:<18} wake p50 {wake_p50} µs p99 {wake_p99} µs | request p99 {req_p99_worst} µs, \
+             {admitted} admitted ({throughput:.0} req/s), {doorbell_wakes} doorbell wakes, \
+             knobs T_SLEEP {k_sleep} period {} µs batch {k_batch}",
+            arm.name,
+            k_period.as_micros(),
+        );
+        headline.push((wake_p99, req_p99_worst));
+        arms.push(obj(vec![
+            ("arm", Value::String(arm.name.into())),
+            ("event_driven", Value::Bool(arm.event_driven)),
+            ("adaptive", Value::Bool(arm.adaptive)),
+            ("doorbell_wakes", Value::U64(doorbell_wakes)),
+            ("wake_p50_us", Value::U64(wake_p50)),
+            ("wake_p99_us", Value::U64(wake_p99)),
+            ("throughput_req_per_s", Value::F64(throughput)),
+            (
+                "knobs",
+                obj(vec![
+                    ("t_sleep", Value::U64(u64::from(k_sleep))),
+                    ("period_us", Value::U64(k_period.as_micros() as u64)),
+                    ("steal_batch", Value::U64(k_batch as u64)),
+                ]),
+            ),
+            ("per_program", Value::Array(per_program)),
+        ]));
+    }
+
+    let (polling_wake_p99, polling_req_p99) = headline[0];
+    let (doorbell_wake_p99, doorbell_req_p99) = headline[1];
+    let period_us = cp.period.as_micros() as u64;
+    let beats_wake = doorbell_wake_p99 < polling_wake_p99;
+    let unfloors_req = doorbell_req_p99 < period_us;
+
+    let sp = &cp.sp;
+    let doc = obj(vec![
+        ("bench", Value::String("control-plane".into())),
+        ("schema_version", Value::U64(BENCH_SCHEMA_VERSION)),
+        ("pr", Value::U64(10)),
+        (
+            "config",
+            obj(vec![
+                ("cores", Value::U64(sp.cores as u64)),
+                ("coordinator_period_ms", Value::U64(cp.period.as_millis() as u64)),
+                ("t_sleep_ms", Value::U64(cp.t_sleep.as_millis() as u64)),
+                ("probes", Value::U64(cp.probes as u64)),
+                ("rate_per_sec", Value::F64(sp.rate_per_sec)),
+                ("burstiness", Value::F64(sp.burstiness)),
+                ("demand_min_us", Value::F64(sp.demand_min_us)),
+                ("demand_max_us", Value::F64(sp.demand_max_us)),
+                ("demand_alpha", Value::F64(sp.demand_alpha)),
+                ("duration_ms", Value::U64(sp.duration.as_millis() as u64)),
+                ("ring_capacity", Value::U64(sp.ring_capacity as u64)),
+                ("drain_batch", Value::U64(sp.drain_batch as u64)),
+                ("seed", Value::U64(sp.seed)),
+                ("fast", Value::Bool(sp.fast)),
+            ]),
+        ),
+        (
+            "results",
+            obj(vec![
+                ("arms", Value::Array(arms)),
+                (
+                    "headline",
+                    obj(vec![
+                        ("polling_wake_p99_us", Value::U64(polling_wake_p99)),
+                        ("doorbell_wake_p99_us", Value::U64(doorbell_wake_p99)),
+                        ("polling_request_p99_us", Value::U64(polling_req_p99)),
+                        ("doorbell_request_p99_us", Value::U64(doorbell_req_p99)),
+                        ("coordinator_period_us", Value::U64(period_us)),
+                        ("doorbell_beats_polling_wake", Value::Bool(beats_wake)),
+                        ("doorbell_unfloors_request_p99", Value::Bool(unfloors_req)),
+                    ]),
+                ),
+            ]),
+        ),
+    ]);
+
+    if let Err(errors) = validate_bench10_value(&doc) {
+        eprintln!("generated document fails its own schema: {errors:?}");
+        std::process::exit(1);
+    }
+    let text = serde_json::to_string(&doc).expect("serialize bench document");
+    std::fs::write(out, format!("{text}\n")).expect("write bench document");
+    println!(
+        "wrote {out}: wake p99 polling {polling_wake_p99} µs → doorbell {doorbell_wake_p99} µs, \
+         request p99 polling {polling_req_p99} µs → doorbell {doorbell_req_p99} µs \
+         (period {period_us} µs; beats_wake={beats_wake}, unfloors_request={unfloors_req})",
+    );
+    if !(beats_wake && unfloors_req) {
+        eprintln!("doorbell failed its headline comparison against the polling baseline");
+        // The fast smoke run is a schema/plumbing check on noisy shared
+        // runners, not a measurement — only the full run enforces the gate.
+        if !sp.fast {
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Parameters of the `--fairness` program-count sweep.
 #[derive(Clone)]
 struct FairParams {
@@ -907,9 +1196,10 @@ fn validate_by_kind(doc: &Value) -> Result<(), Vec<String>> {
         Some("serving-tail") => validate_bench7_value(doc),
         Some("fairness-trajectory") => validate_bench8_value(doc),
         Some("chaos-mttr") => validate_bench9_value(doc),
+        Some("control-plane") => validate_bench10_value(doc),
         Some(other) => Err(vec![format!(
             "unknown bench kind `{other}` (known: telemetry-trajectory, batched-stealing, \
-             task-trace, serving-tail, fairness-trajectory, chaos-mttr)"
+             task-trace, serving-tail, fairness-trajectory, chaos-mttr, control-plane)"
         )]),
         None => Err(vec!["document has no `bench` kind field".to_string()]),
     }
@@ -990,6 +1280,7 @@ fn main() {
     let mut task_trace = false;
     let mut serving = false;
     let mut fairness = false;
+    let mut control_plane = false;
     let mut summary: Option<String> = None;
     let mut cores: Option<usize> = None;
     let mut reps: Option<usize> = None;
@@ -1004,6 +1295,7 @@ fn main() {
             "--task-trace" => task_trace = true,
             "--serving" => serving = true,
             "--fairness" => fairness = true,
+            "--control-plane" => control_plane = true,
             "--summary" => {
                 // Optional DIR operand: consume the next arg unless it
                 // is another flag.
@@ -1047,8 +1339,8 @@ fn main() {
             other => {
                 panic!(
                     "unknown flag {other}; known: --batching --task-trace --serving \
-                     --fairness --fast --cores N --reps N --batch-limit N --out PATH \
-                     --check PATH --summary [DIR]"
+                     --fairness --control-plane --fast --cores N --reps N --batch-limit N \
+                     --out PATH --check PATH --summary [DIR]"
                 )
             }
         }
@@ -1084,9 +1376,67 @@ fn main() {
             + usize::from(task_trace)
             + usize::from(serving)
             + usize::from(fairness)
+            + usize::from(control_plane)
             <= 1,
-        "--batching, --task-trace, --serving and --fairness are mutually exclusive"
+        "--batching, --task-trace, --serving, --fairness and --control-plane are \
+         mutually exclusive"
     );
+    if control_plane {
+        // A deliberately long coordinator period: under polling it floors
+        // both the wake path and ring admission; under the doorbell it is
+        // only the fallback heartbeat — that gap is the measurement. The
+        // offered load sits well under capacity so the tails come from
+        // the control plane, not saturation.
+        let mut cp = if fast {
+            CpParams {
+                sp: ServeParams {
+                    cores: 4,
+                    rate_per_sec: 600.0,
+                    burstiness: 4.0,
+                    demand_min_us: 50.0,
+                    demand_max_us: 1_000.0,
+                    demand_alpha: 1.5,
+                    duration: Duration::from_millis(250),
+                    ring_capacity: 1024,
+                    drain_batch: 256,
+                    seed: 10,
+                    reps: 1,
+                    fast,
+                },
+                period: Duration::from_millis(20),
+                t_sleep: Duration::from_millis(2),
+                probes: 25,
+                probe_gap: Duration::from_millis(6),
+            }
+        } else {
+            CpParams {
+                sp: ServeParams {
+                    cores: 4,
+                    rate_per_sec: 1_000.0,
+                    burstiness: 4.0,
+                    demand_min_us: 50.0,
+                    demand_max_us: 1_000.0,
+                    demand_alpha: 1.5,
+                    duration: Duration::from_millis(600),
+                    ring_capacity: 1024,
+                    drain_batch: 256,
+                    seed: 10,
+                    reps: 1,
+                    fast,
+                },
+                period: Duration::from_millis(40),
+                t_sleep: Duration::from_millis(2),
+                probes: 60,
+                probe_gap: Duration::from_millis(8),
+            }
+        };
+        if let Some(n) = cores {
+            assert!(n >= 2, "--cores: need at least one core per program");
+            cp.sp.cores = n;
+        }
+        run_control_plane(&cp, &out.unwrap_or_else(|| "BENCH_10.json".into()));
+        return;
+    }
     if fairness {
         // Simulated, deterministic, and sized well beyond the real
         // testbed: 64 cores and up to 32 co-running programs. `--fast`
@@ -1357,6 +1707,8 @@ mod dispatch_tests {
             ("task-trace", 6),
             ("serving-tail", 7),
             ("fairness-trajectory", 8),
+            ("chaos-mttr", 9),
+            ("control-plane", 10),
         ] {
             let doc: Value = serde_json::from_str(&format!(
                 r#"{{"bench": "{kind}", "schema_version": 1, "pr": {pr}}}"#

@@ -3,8 +3,10 @@
 //! overhead), `BENCH_5.json` with `--batching` (batched-stealing off/on
 //! comparison), `BENCH_6.json` with `--task-trace` (task-lifecycle
 //! tracing overhead + sojourn percentiles), `BENCH_7.json` with
-//! `--serving` (open-loop serving tail latency), and `BENCH_8.json` with
-//! `--fairness` (simulated many-program fairness trajectory) at the repo
+//! `--serving` (open-loop serving tail latency), `BENCH_8.json` with
+//! `--fairness` (simulated many-program fairness trajectory), and
+//! `BENCH_10.json` with `--control-plane` (polling vs doorbell vs
+//! doorbell+adaptive wake/sojourn comparison) at the repo
 //! root. The
 //! benchmarks regenerate the paper's figures and measure the runtime
 //! substrates; run them with `cargo bench --workspace`.
@@ -569,7 +571,8 @@ pub fn validate_bench8_value(doc: &Value) -> Result<(), Vec<String>> {
 /// violations is a bug report, not a benchmark. Returns every violation
 /// found, not just the first.
 pub fn validate_bench9_value(doc: &Value) -> Result<(), Vec<String>> {
-    const FAULT_CLASSES: [&str; 6] = ["pause", "kill", "stall", "churn", "torn", "ring"];
+    const FAULT_CLASSES: [&str; 7] =
+        ["pause", "kill", "stall", "churn", "torn", "ring", "doorbell"];
 
     let mut errors = Vec::new();
     let e = &mut errors;
@@ -651,6 +654,259 @@ pub fn validate_bench9_value(doc: &Value) -> Result<(), Vec<String>> {
             }
         }
         _ => e.push("results.per_class must be a non-empty array".to_string()),
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Validates a parsed `BENCH_10.json` document against the schema the
+/// `bench-trajectory --control-plane` mode emits: identification header,
+/// the workload configuration (idle-submit probes + open-loop serving
+/// load at a deliberately *long* coordinator period), and a three-arm
+/// comparison — `polling` (event-driven wakes off), `doorbell`
+/// (edge-triggered wakes), `doorbell-adaptive` (wakes + the AIMD knob
+/// controller). Beyond shape, the validator re-checks the run's internal
+/// consistency — the arms must appear in that exact order with flags
+/// matching their names, the polling arm must have recorded **zero**
+/// doorbell wakes (and the doorbell arms at least one), quantiles must
+/// be monotone, arrival accounting must balance, and the headline block
+/// must quote the arm numbers it summarizes with verdict booleans that
+/// agree with them. An honest losing document is schema-valid (the CI
+/// gate judges the verdicts, not the validator). Returns every violation
+/// found, not just the first.
+pub fn validate_bench10_value(doc: &Value) -> Result<(), Vec<String>> {
+    const ARMS: [(&str, bool, bool); 3] =
+        [("polling", false, false), ("doorbell", true, false), ("doorbell-adaptive", true, true)];
+
+    let mut errors = Vec::new();
+    let e = &mut errors;
+
+    require(doc["bench"].as_str() == Some("control-plane"), e, "bench name mismatch");
+    require(
+        doc["schema_version"].as_u64() == Some(BENCH_SCHEMA_VERSION),
+        e,
+        "schema_version mismatch",
+    );
+    require(doc["pr"].as_u64() == Some(10), e, "pr must be 10");
+
+    let cfg = &doc["config"];
+    for key in [
+        "cores",
+        "coordinator_period_ms",
+        "t_sleep_ms",
+        "probes",
+        "duration_ms",
+        "ring_capacity",
+        "drain_batch",
+        "seed",
+    ] {
+        require(is_int(&cfg[key]), e, &format!("config.{key} must be an integer"));
+    }
+    for key in ["rate_per_sec", "burstiness", "demand_min_us", "demand_max_us", "demand_alpha"] {
+        require(is_num(&cfg[key]), e, &format!("config.{key} must be numeric"));
+    }
+    require(matches!(cfg["fast"], Value::Bool(_)), e, "config.fast must be a bool");
+
+    let r = &doc["results"];
+    // Arm lookups for the headline cross-checks below.
+    let mut wake_p99 = [None::<u64>; 3];
+    let mut req_p99 = [None::<u64>; 3];
+    match &r["arms"] {
+        Value::Array(arms) if arms.len() == ARMS.len() => {
+            for (i, (arm, &(name, event_driven, adaptive))) in arms.iter().zip(&ARMS).enumerate() {
+                let at = format!("arms[{i}]");
+                require(
+                    arm["arm"].as_str() == Some(name),
+                    e,
+                    &format!("{at}.arm must be {name:?} (fixed order)"),
+                );
+                require(
+                    matches!(arm["event_driven"], Value::Bool(b) if b == event_driven),
+                    e,
+                    &format!("{at}.event_driven must be {event_driven} for the {name} arm"),
+                );
+                require(
+                    matches!(arm["adaptive"], Value::Bool(b) if b == adaptive),
+                    e,
+                    &format!("{at}.adaptive must be {adaptive} for the {name} arm"),
+                );
+                for key in ["doorbell_wakes", "wake_p50_us", "wake_p99_us"] {
+                    require(is_int(&arm[key]), e, &format!("{at}.{key} must be an integer"));
+                }
+                require(
+                    is_num(&arm["throughput_req_per_s"]),
+                    e,
+                    &format!("{at}.throughput_req_per_s must be numeric"),
+                );
+                // The polling arm must not have taken a single doorbell
+                // wake — that is what makes it the baseline — and an
+                // event-driven arm that never woke on a ring measured
+                // nothing.
+                if let Some(wakes) = arm["doorbell_wakes"].as_u64() {
+                    if event_driven {
+                        require(
+                            wakes >= 1,
+                            e,
+                            &format!("{at}: the {name} arm must record doorbell wakes"),
+                        );
+                    } else {
+                        require(
+                            wakes == 0,
+                            e,
+                            &format!("{at}: the polling arm must record zero doorbell wakes"),
+                        );
+                    }
+                }
+                if let (Some(p50), Some(p99)) =
+                    (arm["wake_p50_us"].as_u64(), arm["wake_p99_us"].as_u64())
+                {
+                    require(p50 <= p99, e, &format!("{at}: wake quantiles must be monotone"));
+                    wake_p99[i] = Some(p99);
+                }
+                let k = &arm["knobs"];
+                for key in ["t_sleep", "period_us", "steal_batch"] {
+                    require(is_int(&k[key]), e, &format!("{at}.knobs.{key} must be an integer"));
+                }
+                match &arm["per_program"] {
+                    Value::Array(progs) if !progs.is_empty() => {
+                        let mut p99_max = 0u64;
+                        for (j, p) in progs.iter().enumerate() {
+                            let at = format!("{at}.per_program[{j}]");
+                            require(p["label"].as_str().is_some(), e, &format!("{at}.label"));
+                            for key in [
+                                "prog",
+                                "offered",
+                                "submitted",
+                                "shed",
+                                "fenced",
+                                "admitted",
+                                "request_p50_us",
+                                "request_p99_us",
+                                "request_p999_us",
+                            ] {
+                                require(
+                                    is_int(&p[key]),
+                                    e,
+                                    &format!("{at}.{key} must be an integer"),
+                                );
+                            }
+                            // An open-loop generator accounts for every
+                            // arrival exactly once, and the coordinator
+                            // can only admit what the ring accepted.
+                            if let (Some(off), Some(sub), Some(shed), Some(fen)) = (
+                                p["offered"].as_u64(),
+                                p["submitted"].as_u64(),
+                                p["shed"].as_u64(),
+                                p["fenced"].as_u64(),
+                            ) {
+                                require(
+                                    off == sub + shed + fen,
+                                    e,
+                                    &format!("{at}: offered must equal submitted+shed+fenced"),
+                                );
+                            }
+                            if let (Some(adm), Some(sub)) =
+                                (p["admitted"].as_u64(), p["submitted"].as_u64())
+                            {
+                                require(
+                                    adm <= sub,
+                                    e,
+                                    &format!("{at}: admitted must be <= submitted"),
+                                );
+                            }
+                            // Quantiles of one distribution cannot invert.
+                            if let (Some(p50), Some(p99), Some(p999)) = (
+                                p["request_p50_us"].as_u64(),
+                                p["request_p99_us"].as_u64(),
+                                p["request_p999_us"].as_u64(),
+                            ) {
+                                require(
+                                    p50 <= p99 && p99 <= p999,
+                                    e,
+                                    &format!("{at}: request quantiles must be monotone"),
+                                );
+                                p99_max = p99_max.max(p99);
+                            }
+                        }
+                        req_p99[i] = Some(p99_max);
+                    }
+                    _ => e.push(format!("{at}.per_program must be a non-empty array")),
+                }
+            }
+        }
+        _ => e.push(format!(
+            "results.arms must be an array of exactly {} arms (polling, doorbell, \
+             doorbell-adaptive)",
+            ARMS.len()
+        )),
+    }
+
+    // The headline block must quote the arm numbers it summarizes and
+    // draw verdicts that agree with them.
+    let h = &r["headline"];
+    for key in [
+        "polling_wake_p99_us",
+        "doorbell_wake_p99_us",
+        "polling_request_p99_us",
+        "doorbell_request_p99_us",
+        "coordinator_period_us",
+    ] {
+        require(is_int(&h[key]), e, &format!("results.headline.{key} must be an integer"));
+    }
+    for key in ["doorbell_beats_polling_wake", "doorbell_unfloors_request_p99"] {
+        require(
+            matches!(h[key], Value::Bool(_)),
+            e,
+            &format!("results.headline.{key} must be a bool"),
+        );
+    }
+    for (key, arm_val) in
+        [("polling_wake_p99_us", wake_p99[0]), ("doorbell_wake_p99_us", wake_p99[1])]
+    {
+        if let (Some(quoted), Some(measured)) = (h[key].as_u64(), arm_val) {
+            require(
+                quoted == measured,
+                e,
+                &format!("results.headline.{key} must quote the arm's wake_p99_us"),
+            );
+        }
+    }
+    for (key, arm_val) in
+        [("polling_request_p99_us", req_p99[0]), ("doorbell_request_p99_us", req_p99[1])]
+    {
+        if let (Some(quoted), Some(measured)) = (h[key].as_u64(), arm_val) {
+            require(
+                quoted == measured,
+                e,
+                &format!("results.headline.{key} must quote the arm's worst request_p99_us"),
+            );
+        }
+    }
+    if let (Some(poll), Some(door), Value::Bool(beats)) = (
+        h["polling_wake_p99_us"].as_u64(),
+        h["doorbell_wake_p99_us"].as_u64(),
+        &h["doorbell_beats_polling_wake"],
+    ) {
+        require(
+            *beats == (door < poll),
+            e,
+            "results.headline.doorbell_beats_polling_wake disagrees with the wake numbers",
+        );
+    }
+    if let (Some(req), Some(period), Value::Bool(unfloored)) = (
+        h["doorbell_request_p99_us"].as_u64(),
+        h["coordinator_period_us"].as_u64(),
+        &h["doorbell_unfloors_request_p99"],
+    ) {
+        require(
+            *unfloored == (req < period),
+            e,
+            "results.headline.doorbell_unfloors_request_p99 disagrees with the period",
+        );
     }
 
     if errors.is_empty() {
@@ -1151,6 +1407,175 @@ mod tests {
         set_bench9_class(&mut doc, 3, "mttr_p99_ns", Value::U64(1));
         let errs = validate_bench9_value(&doc).unwrap_err();
         assert!(errs.iter().any(|m| m.contains("monotone")), "{errs:?}");
+    }
+
+    fn valid_bench10_doc() -> Value {
+        serde_json::from_str(
+            r#"{
+              "bench": "control-plane",
+              "schema_version": 1,
+              "pr": 10,
+              "config": {"cores": 4, "coordinator_period_ms": 40, "t_sleep_ms": 2,
+                         "probes": 60, "rate_per_sec": 1000.0, "burstiness": 4.0,
+                         "demand_min_us": 50.0, "demand_max_us": 1000.0,
+                         "demand_alpha": 1.5, "duration_ms": 600,
+                         "ring_capacity": 1024, "drain_batch": 256,
+                         "seed": 10, "fast": false},
+              "results": {
+                "arms": [
+                  {"arm": "polling", "event_driven": false, "adaptive": false,
+                   "doorbell_wakes": 0, "wake_p50_us": 19000, "wake_p99_us": 39000,
+                   "throughput_req_per_s": 950.0,
+                   "knobs": {"t_sleep": 16, "period_us": 40000, "steal_batch": 8},
+                   "per_program": [
+                     {"prog": 0, "label": "p0", "offered": 600, "submitted": 600,
+                      "shed": 0, "fenced": 0, "admitted": 600,
+                      "request_p50_us": 20000, "request_p99_us": 39500,
+                      "request_p999_us": 40000}
+                   ]},
+                  {"arm": "doorbell", "event_driven": true, "adaptive": false,
+                   "doorbell_wakes": 1200, "wake_p50_us": 150, "wake_p99_us": 900,
+                   "throughput_req_per_s": 990.0,
+                   "knobs": {"t_sleep": 16, "period_us": 40000, "steal_batch": 8},
+                   "per_program": [
+                     {"prog": 0, "label": "p0", "offered": 600, "submitted": 600,
+                      "shed": 0, "fenced": 0, "admitted": 600,
+                      "request_p50_us": 300, "request_p99_us": 2500,
+                      "request_p999_us": 8000}
+                   ]},
+                  {"arm": "doorbell-adaptive", "event_driven": true, "adaptive": true,
+                   "doorbell_wakes": 1100, "wake_p50_us": 140, "wake_p99_us": 850,
+                   "throughput_req_per_s": 995.0,
+                   "knobs": {"t_sleep": 32, "period_us": 9000, "steal_batch": 8},
+                   "per_program": [
+                     {"prog": 0, "label": "p0", "offered": 600, "submitted": 600,
+                      "shed": 0, "fenced": 0, "admitted": 600,
+                      "request_p50_us": 280, "request_p99_us": 2200,
+                      "request_p999_us": 7000}
+                   ]}
+                ],
+                "headline": {
+                  "polling_wake_p99_us": 39000,
+                  "doorbell_wake_p99_us": 900,
+                  "polling_request_p99_us": 39500,
+                  "doorbell_request_p99_us": 2500,
+                  "coordinator_period_us": 40000,
+                  "doorbell_beats_polling_wake": true,
+                  "doorbell_unfloors_request_p99": true
+                }
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    fn set_bench10_arm(doc: &mut Value, idx: usize, key: &str, v: Value) {
+        let Value::Object(pairs) = doc else { panic!("not an object") };
+        let results = &mut pairs.iter_mut().find(|(k, _)| k == "results").unwrap().1;
+        let Value::Object(pairs) = results else { panic!() };
+        let arms = &mut pairs.iter_mut().find(|(k, _)| k == "arms").unwrap().1;
+        let Value::Array(arms) = arms else { panic!() };
+        set(&mut arms[idx], &[key], v);
+    }
+
+    #[test]
+    fn valid_bench10_document_passes() {
+        assert_eq!(validate_bench10_value(&valid_bench10_doc()), Ok(()));
+    }
+
+    #[test]
+    fn bench10_rejects_other_schemas_and_vice_versa() {
+        assert!(validate_bench10_value(&valid_doc()).is_err());
+        assert!(validate_bench10_value(&valid_bench7_doc()).is_err());
+        assert!(validate_bench10_value(&valid_bench9_doc()).is_err());
+        assert!(validate_bench_value(&valid_bench10_doc()).is_err());
+        assert!(validate_bench7_value(&valid_bench10_doc()).is_err());
+        assert!(validate_bench9_value(&valid_bench10_doc()).is_err());
+    }
+
+    #[test]
+    fn bench10_arms_must_come_in_the_fixed_order() {
+        let mut doc = valid_bench10_doc();
+        set_bench10_arm(&mut doc, 0, "arm", Value::String("doorbell".into()));
+        let errs = validate_bench10_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("fixed order")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench10_polling_arm_with_doorbell_wakes_fails() {
+        // A "polling baseline" that took doorbell wakes measured nothing.
+        let mut doc = valid_bench10_doc();
+        set_bench10_arm(&mut doc, 0, "doorbell_wakes", Value::U64(3));
+        let errs = validate_bench10_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("zero doorbell wakes")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench10_doorbell_arm_without_wakes_fails() {
+        let mut doc = valid_bench10_doc();
+        set_bench10_arm(&mut doc, 1, "doorbell_wakes", Value::U64(0));
+        let errs = validate_bench10_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("must record doorbell wakes")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench10_arm_flags_must_match_the_arm_name() {
+        let mut doc = valid_bench10_doc();
+        set_bench10_arm(&mut doc, 2, "adaptive", Value::Bool(false));
+        let errs = validate_bench10_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("adaptive must be true")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench10_headline_must_quote_the_arm_numbers() {
+        let mut doc = valid_bench10_doc();
+        set(&mut doc, &["results", "headline", "doorbell_wake_p99_us"], Value::U64(1));
+        let errs = validate_bench10_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("must quote the arm's wake_p99_us")), "{errs:?}");
+    }
+
+    #[test]
+    fn bench10_headline_verdict_must_match_the_numbers() {
+        let mut doc = valid_bench10_doc();
+        set(
+            &mut doc,
+            &["results", "headline", "doorbell_unfloors_request_p99"],
+            Value::Bool(false),
+        );
+        let errs = validate_bench10_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("disagrees with the period")), "{errs:?}");
+        // An honest losing document is schema-valid (the CI gate judges
+        // the verdicts, not the validator).
+        set(&mut doc, &["results", "headline", "doorbell_request_p99_us"], Value::U64(50_000));
+        set_bench10_arm(&mut doc, 1, "per_program", {
+            let Value::Array(arms) = &valid_bench10_doc()["results"]["arms"].clone() else {
+                panic!()
+            };
+            let mut progs = arms[1]["per_program"].clone();
+            if let Value::Array(progs) = &mut progs {
+                set(&mut progs[0], &["request_p99_us"], Value::U64(50_000));
+                set(&mut progs[0], &["request_p999_us"], Value::U64(50_000));
+            }
+            progs
+        });
+        assert_eq!(validate_bench10_value(&doc), Ok(()));
+    }
+
+    #[test]
+    fn bench10_arrival_accounting_must_balance() {
+        let mut doc = valid_bench10_doc();
+        set_bench10_arm(&mut doc, 1, "per_program", {
+            let Value::Array(arms) = &valid_bench10_doc()["results"]["arms"].clone() else {
+                panic!()
+            };
+            let mut progs = arms[1]["per_program"].clone();
+            if let Value::Array(progs) = &mut progs {
+                set(&mut progs[0], &["shed"], Value::U64(999));
+            }
+            progs
+        });
+        let errs = validate_bench10_value(&doc).unwrap_err();
+        assert!(errs.iter().any(|m| m.contains("submitted+shed+fenced")), "{errs:?}");
     }
 
     #[test]

@@ -90,6 +90,16 @@ pub enum Bug {
     /// (Σ per-program + free == cores × elapsed, DESIGN §14) sees the
     /// hole. Implies the crash scenario (reaps need a victim).
     LeakedCoreSeconds,
+    /// A doorbell ring notifies the condvar but never persists the
+    /// pending word — the classic check-then-park lost wake the
+    /// runtime `Doorbell`'s permit protocol closes. A ring delivered
+    /// while the coordinator is *not* parked evaporates; the
+    /// coordinator's next doorbell sleep then starts with a ring
+    /// pending that it will never consume, which the oracle's doorbell
+    /// wake rule flags. Every table transition and every counter stays
+    /// clean (the timeout fallback still runs the passes), so only that
+    /// rule can see it. Implies the doorbell scenario.
+    LostWake,
 }
 
 /// Shape and timing of one model instance. All times are virtual
@@ -153,6 +163,14 @@ pub struct ModelConfig {
     /// Most requests one coordinator drain chunk may move (mirrors the
     /// runtime's `ServeConfig::drain_batch`).
     pub drain_batch: usize,
+    /// Event-driven control plane: each program gets a model doorbell
+    /// (pending word + condvar over the shim primitives). Workers ring
+    /// the home program's doorbell on release, clients ring on submit,
+    /// and the coordinator waits on it instead of sleeping blind —
+    /// exactly the runtime's DESIGN §16 wake edges. `false` adds *no*
+    /// scheduler operations, keeping every non-doorbell schedule space
+    /// (and every pinned seed) byte-identical to the pre-doorbell model.
+    pub doorbell: bool,
     /// Seeded protocol mutation, if any.
     pub bug: Option<Bug>,
 }
@@ -179,6 +197,7 @@ impl ModelConfig {
             submits: vec![0, 0],
             ring_capacity: 4,
             drain_batch: 2,
+            doorbell: false,
             bug: None,
         }
     }
@@ -204,6 +223,7 @@ impl ModelConfig {
             submits: vec![0, 0],
             ring_capacity: 4,
             drain_batch: 2,
+            doorbell: false,
             bug: None,
         }
     }
@@ -257,6 +277,23 @@ impl ModelConfig {
             submits: vec![4, 0],
             ring_capacity: 3,
             drain_batch: 2,
+            coord_ticks: 8,
+            ..ModelConfig::standard()
+        }
+    }
+
+    /// The event-driven instance: the standard 2-program/4-core shape
+    /// with the per-program doorbell on and program 0 also submitting
+    /// two external requests, so all three wake edges exist — release
+    /// rings (worker → home program's coordinator), submit rings
+    /// (client → own coordinator) and the timeout fallback. Exploration
+    /// covers every interleaving of ring vs wait vs timeout — the space
+    /// where a check-then-park doorbell loses wakes
+    /// ([`Bug::LostWake`]).
+    pub fn doorbell() -> Self {
+        ModelConfig {
+            doorbell: true,
+            submits: vec![2, 0],
             coord_ticks: 8,
             ..ModelConfig::standard()
         }
@@ -597,6 +634,72 @@ impl ModelSleeper {
     }
 }
 
+/// A port of the runtime `Doorbell`'s pending-word protocol over the
+/// shim primitives, collapsed to a boolean (the model does not need
+/// reason bits). Ring and wait both log their protocol event *inside*
+/// the mutex critical section, so log order is the doorbell's
+/// linearization order — which is what lets the oracle's wake rule
+/// treat "sleep logged after an unconsumed ring" as a genuine lost
+/// wake rather than a racy observation.
+#[derive(Default)]
+pub struct ModelDoorbell {
+    pending: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl ModelDoorbell {
+    /// Creates an un-rung doorbell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Rings `prog`'s doorbell: persists the pending word and notifies the
+/// waiter. Under [`Bug::LostWake`] the notification fires but the word
+/// is never set — a ring delivered while nobody waits evaporates, the
+/// exact hole the pending word exists to close. No-op (zero shim
+/// operations) when the config has no doorbell.
+fn ring_doorbell(sh: &Shared, prog: usize) {
+    if !sh.cfg.doorbell {
+        return;
+    }
+    let db = &sh.doorbells[prog];
+    let mut pending = db.pending.lock();
+    if sh.cfg.bug != Some(Bug::LostWake) {
+        *pending = true;
+    }
+    sh.table.log_event(ProtoEvent::DoorbellRing { prog });
+    db.cond.notify_one();
+}
+
+/// Waits on `prog`'s doorbell until rung or `timeout` elapses,
+/// consuming the pending word. Returns `true` if rung. A pending ring
+/// is consumed at entry without parking; otherwise the wait logs its
+/// `DoorbellSleep` (still inside the critical section, before the
+/// condvar releases the mutex) and parks.
+fn wait_doorbell(sh: &Shared, prog: usize, timeout: Duration) -> bool {
+    let db = &sh.doorbells[prog];
+    let mut pending = db.pending.lock();
+    if *pending {
+        *pending = false;
+        sh.table.log_event(ProtoEvent::DoorbellConsume { prog });
+        return true;
+    }
+    sh.table.log_event(ProtoEvent::DoorbellSleep { prog });
+    loop {
+        let r = db.cond.wait_for(&mut pending, timeout);
+        if *pending {
+            *pending = false;
+            sh.table.log_event(ProtoEvent::DoorbellConsume { prog });
+            return true;
+        }
+        if r.timed_out() {
+            return false;
+        }
+        // Spurious wake with nothing pending: keep waiting.
+    }
+}
+
 struct Shared {
     cfg: ModelConfig,
     home: Vec<usize>,
@@ -620,6 +723,10 @@ struct Shared {
     /// `task_cursor`: only the (single) coordinator advances it.
     admit_cursor: Vec<std::sync::atomic::AtomicU64>,
     sleepers: Vec<Vec<ModelSleeper>>,
+    /// One doorbell per program (coordinator-side wake edge). Only
+    /// touched when `cfg.doorbell` is set, so non-doorbell schedule
+    /// spaces are unchanged.
+    doorbells: Vec<ModelDoorbell>,
     awake: Vec<Vec<AtomicBool>>,
     /// SIGKILL delivered to the program: its threads exit at the next
     /// check without releasing anything.
@@ -726,6 +833,18 @@ fn take_batch(q: &AtomicUsize, limit: usize, bug: Option<Bug>) -> Option<(usize,
     }
 }
 
+/// Releases `core` and — when the release succeeded and the doorbell is
+/// on — rings the core's *home* program: a freed core is above all
+/// reclaimable by its home owner, so its starved coordinator should
+/// re-run Eq. 1 now instead of next tick (the model analogue of the
+/// runtime's `go_to_sleep` release ring). The releaser's own home core
+/// becoming free is not news to it.
+fn release_and_ring(sh: &Shared, prog: usize, core: usize) {
+    if sh.table.release(prog, core) && sh.home[core] != prog {
+        ring_doorbell(sh, sh.home[core]);
+    }
+}
+
 fn worker_loop(sh: &Shared, prog: usize, core: usize) {
     let t_sleep = sh.cfg.t_sleep.max(1);
     let timeout = Duration::from_nanos(sh.cfg.sleep_timeout_ns.max(1));
@@ -746,7 +865,7 @@ fn worker_loop(sh: &Shared, prog: usize, core: usize) {
             return;
         }
         if sh.prog_remaining[prog].load(Ordering::SeqCst) == 0 {
-            sh.table.release(prog, core);
+            release_and_ring(sh, prog, core);
             sh.awake[prog][core].store(false, Ordering::SeqCst);
             return;
         }
@@ -825,7 +944,7 @@ fn worker_loop(sh: &Shared, prog: usize, core: usize) {
                 // Algorithm 1: T_SLEEP failed takes → release the core
                 // into the table and go to sleep (next iteration).
                 failed = 0;
-                sh.table.release(prog, core);
+                release_and_ring(sh, prog, core);
             } else {
                 yield_now();
             }
@@ -863,6 +982,10 @@ fn client_loop(sh: &Shared, prog: usize) {
         if sh.ring[prog].compare_exchange(n, n + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
             sh.table.log_event(ProtoEvent::Submit { prog, id: offset + next as u64 });
             next += 1;
+            // Submit edge: wake the coordinator to drain now instead of
+            // next tick (the model analogue of `Runtime::submit`'s
+            // DOORBELL_SUBMIT ring).
+            ring_doorbell(sh, prog);
         }
     }
 }
@@ -904,7 +1027,8 @@ fn drain_ring(sh: &Shared, prog: usize) {
 
 fn coordinator_loop(sh: &Shared, prog: usize) {
     let period = sh.cfg.coord_period_ns.max(1);
-    for _ in 0..sh.cfg.coord_ticks {
+    let mut ticks = 0u32;
+    while ticks < sh.cfg.coord_ticks {
         if pause_gate(sh, prog) == Gate::Fenced {
             return;
         }
@@ -917,7 +1041,18 @@ fn coordinator_loop(sh: &Shared, prog: usize) {
             0 => 0,
             j => fault_below(j),
         };
-        sleep(Duration::from_nanos(period + jitter));
+        if sh.cfg.doorbell {
+            // Event-driven: park on the doorbell with the period as the
+            // fallback heartbeat. A ring is a *bonus* pass — it does not
+            // consume the tick budget, mirroring the runtime where rings
+            // never starve the configured-cadence chores.
+            if !wait_doorbell(sh, prog, Duration::from_nanos(period + jitter)) {
+                ticks += 1;
+            }
+        } else {
+            sleep(Duration::from_nanos(period + jitter));
+            ticks += 1;
+        }
         if sh.dead[prog].load(Ordering::SeqCst)
             || sh.prog_remaining[prog].load(Ordering::SeqCst) == 0
         {
@@ -1134,6 +1269,7 @@ pub fn spawn_model(env: &Env, cfg: &ModelConfig, _seed: u64) -> impl FnOnce(bool
         sleepers: (0..cfg.programs)
             .map(|_| (0..cfg.cores).map(|_| ModelSleeper::new()).collect())
             .collect(),
+        doorbells: (0..cfg.programs).map(|_| ModelDoorbell::new()).collect(),
         awake: (0..cfg.programs)
             .map(|p| (0..cfg.cores).map(|c| AtomicBool::new(home[c] == p)).collect())
             .collect(),
@@ -1382,6 +1518,26 @@ mod tests {
         assert!(!ModelConfig::standard().is_serving());
         assert!(!ModelConfig::small().is_serving());
         assert!(!ModelConfig::crash().is_serving());
+    }
+
+    #[test]
+    fn doorbell_config_has_all_three_wake_edges_and_default_configs_stay_polling() {
+        let cfg = ModelConfig::doorbell();
+        assert!(cfg.doorbell);
+        assert!(cfg.is_serving(), "submit rings need a client");
+        assert!(cfg.ring_capacity >= cfg.submits[0], "no full-ring retries in this scenario");
+        assert!(cfg.crash.is_none() && cfg.pause.is_none());
+        // Every other scenario must add zero doorbell operations, or
+        // pinned seeds stop replaying byte-identically.
+        for other in [
+            ModelConfig::standard(),
+            ModelConfig::small(),
+            ModelConfig::crash(),
+            ModelConfig::pause(),
+            ModelConfig::serving(),
+        ] {
+            assert!(!other.doorbell);
+        }
     }
 
     #[test]

@@ -44,6 +44,18 @@
 //!   program must have been admitted — a drain that drops a ringed
 //!   request on the floor is caught here even when every completion
 //!   counter reconciles.
+//!
+//! Doorbell wake rules (the model analogue of the event-driven control
+//! plane's per-program doorbell, DESIGN §16):
+//!
+//! * a `DoorbellSleep` — the coordinator parking with *nothing pending*
+//!   — is only legal when every prior `DoorbellRing` was consumed. A
+//!   sleep that begins with a ring still pending is positive evidence of
+//!   a **lost wake**: the ring's notification fired but its permit was
+//!   not persisted, so the waiter parked straight past it (the
+//!   check-then-park hole the pending-word protocol closes);
+//! * a `DoorbellConsume` requires a pending ring — consuming a wake
+//!   nobody delivered means the doorbell fabricated one.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -146,6 +158,28 @@ pub enum ProtoEvent {
         /// Request id (shared task-id space).
         id: u64,
     },
+    /// Program `prog`'s doorbell was rung (a release/submit edge wants
+    /// its coordinator to run a pass now). Logged inside the doorbell's
+    /// critical section, so log order is the protocol's linearization
+    /// order.
+    DoorbellRing {
+        /// Program whose doorbell was rung.
+        prog: usize,
+    },
+    /// Program `prog`'s coordinator began a doorbell wait with nothing
+    /// pending. Legal only when every prior ring was consumed — a sleep
+    /// that starts with a ring still pending is the lost-wake signature
+    /// (the check-then-park window a naive condvar doorbell has).
+    DoorbellSleep {
+        /// Program whose coordinator parked.
+        prog: usize,
+    },
+    /// Program `prog`'s coordinator consumed the pending ring (either
+    /// immediately at wait entry or after being woken).
+    DoorbellConsume {
+        /// Program whose coordinator consumed the ring.
+        prog: usize,
+    },
     /// A reaper fenced the lease of dead program `prog` (stale
     /// heartbeat + death confirmed).
     Expired {
@@ -180,6 +214,9 @@ impl fmt::Display for ProtoEvent {
             ProtoEvent::TaskExec { prog, id } => write!(f, "exec     prog={prog} task={id}"),
             ProtoEvent::Submit { prog, id } => write!(f, "submit   prog={prog} req={id}"),
             ProtoEvent::Admit { prog, id } => write!(f, "admit    prog={prog} req={id}"),
+            ProtoEvent::DoorbellRing { prog } => write!(f, "ring     prog={prog}"),
+            ProtoEvent::DoorbellSleep { prog } => write!(f, "dbsleep  prog={prog}"),
+            ProtoEvent::DoorbellConsume { prog } => write!(f, "consume  prog={prog}"),
             ProtoEvent::Expired { prog } => write!(f, "expired  prog={prog}"),
             ProtoEvent::Reap { prog, core } => write!(f, "reap     prog={prog} core={core}"),
         }
@@ -306,6 +343,8 @@ pub struct Oracle {
     executed: HashSet<(usize, u64)>,
     submitted: HashSet<(usize, u64)>,
     admitted: HashSet<(usize, u64)>,
+    /// Programs with a doorbell ring delivered but not yet consumed.
+    db_pending: HashSet<usize>,
     next_index: usize,
     /// Counts of table transitions replayed so far.
     pub stats: OracleStats,
@@ -323,6 +362,7 @@ impl Oracle {
             executed: HashSet::new(),
             submitted: HashSet::new(),
             admitted: HashSet::new(),
+            db_pending: HashSet::new(),
             next_index: 0,
             stats: OracleStats::default(),
         }
@@ -496,6 +536,26 @@ impl Oracle {
                     ));
                 }
                 self.stats.admits += 1;
+            }
+            ProtoEvent::DoorbellRing { prog } => {
+                // Rings accumulate into one pending word, so a ring
+                // while one is already pending is legal (OR semantics).
+                // Rings are advisory and may legally target an expired
+                // program's doorbell (nobody is listening).
+                self.db_pending.insert(prog);
+            }
+            ProtoEvent::DoorbellSleep { prog } => {
+                if self.db_pending.contains(&prog) {
+                    return fail(format!(
+                        "lost wake: prog {prog} began a doorbell sleep with a ring \
+                         pending (the pending word was not consumed)"
+                    ));
+                }
+            }
+            ProtoEvent::DoorbellConsume { prog } => {
+                if !self.db_pending.remove(&prog) {
+                    return fail(format!("doorbell consume by prog {prog} without a pending ring"));
+                }
             }
             ProtoEvent::Sleep { .. } | ProtoEvent::Wake { .. } | ProtoEvent::CoordTick { .. } => {}
         }
@@ -906,6 +966,62 @@ mod tests {
             let v = Oracle::replay(&HOME, &trace).unwrap_err();
             assert!(v.reason.contains("by expired prog 1"), "{}", v.reason);
         }
+    }
+
+    #[test]
+    fn doorbell_ring_wait_consume_replays_clean() {
+        use ProtoEvent::*;
+        let trace = [
+            // Ring before the wait: consumed at wait entry, no sleep.
+            DoorbellRing { prog: 0 },
+            DoorbellConsume { prog: 0 },
+            // Nothing pending: the coordinator parks, a ring lands, the
+            // woken waiter consumes it.
+            DoorbellSleep { prog: 0 },
+            DoorbellRing { prog: 0 },
+            DoorbellConsume { prog: 0 },
+            // Rings accumulate: two rings collapse into one consume, and
+            // the next sleep is legal again.
+            DoorbellRing { prog: 1 },
+            DoorbellRing { prog: 1 },
+            DoorbellConsume { prog: 1 },
+            DoorbellSleep { prog: 1 },
+        ];
+        Oracle::replay(&HOME, &trace).expect("clean doorbell trace");
+    }
+
+    #[test]
+    fn doorbell_sleep_with_a_pending_ring_is_a_lost_wake() {
+        use ProtoEvent::*;
+        let trace = [DoorbellRing { prog: 0 }, DoorbellSleep { prog: 0 }];
+        let v = Oracle::replay(&HOME, &trace).unwrap_err();
+        assert!(v.reason.contains("lost wake"), "{}", v.reason);
+        assert!(v.reason.contains("ring pending"), "{}", v.reason);
+        // Per-program pending: prog 1's ring does not excuse prog 0.
+        let trace = [DoorbellRing { prog: 1 }, DoorbellSleep { prog: 0 }];
+        Oracle::replay(&HOME, &trace).expect("pending ring is per program");
+    }
+
+    #[test]
+    fn doorbell_consume_without_a_ring_is_caught() {
+        use ProtoEvent::*;
+        let v = Oracle::replay(&HOME, &[DoorbellConsume { prog: 0 }]).unwrap_err();
+        assert!(v.reason.contains("without a pending ring"), "{}", v.reason);
+        // A consumed ring does not satisfy a second consume.
+        let trace =
+            [DoorbellRing { prog: 0 }, DoorbellConsume { prog: 0 }, DoorbellConsume { prog: 0 }];
+        let v = Oracle::replay(&HOME, &trace).unwrap_err();
+        assert!(v.reason.contains("without a pending ring"), "{}", v.reason);
+    }
+
+    #[test]
+    fn rings_to_an_expired_programs_doorbell_are_advisory() {
+        use ProtoEvent::*;
+        // A surviving worker may ring the doorbell of a fenced co-runner
+        // (its release targets the core's home program): harmless, since
+        // nobody is listening.
+        let trace = [Expired { prog: 1 }, DoorbellRing { prog: 1 }];
+        Oracle::replay(&HOME, &trace).expect("advisory ring to a dead program");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! against real co-running processes on a real mmap-backed
 //! [`ShmTable`]; the class and every parameter derive from the
 //! schedule seed alone, so any schedule replays exactly with
-//! `--replay 0x<seed>`. Six fault classes:
+//! `--replay 0x<seed>`. Seven fault classes:
 //!
 //! * **pause** — `SIGSTOP` a co-runner so the stop straddles lease
 //!   expiry (stall fencing armed), `SIGCONT` it after the survivor has
@@ -28,7 +28,15 @@
 //!   survivor must degrade to its private table and complete;
 //! * **ring** — submission-ring clients killed between reserve and
 //!   publish; the serving survivor abandons the tombstoned slots and
-//!   drains everything that was actually published.
+//!   drains everything that was actually published;
+//! * **doorbell** — a spurious-ring storm against the event-driven
+//!   control plane (DESIGN §16): co-processes hammer program 0's
+//!   doorbell with rings that announce nothing while real clients
+//!   publish through the shm ring, the coordinator period parked at
+//!   ten minutes so *only* doorbell admissions can explain progress;
+//!   storm ringers are SIGKILLed mid-ring and the doorbell must keep
+//!   delivering (rings are advisory — a dead ringer cannot wedge the
+//!   futex word), with admission accounting exact throughout.
 //!
 //! After every fault the harness asserts the invariant stack: the
 //! table audit ([`ShmTable::audit`]: every slot FREE or owned at the
@@ -56,7 +64,7 @@ use std::time::{Duration, Instant};
 
 use dws_rt::{
     join, Backoff, CoreTable, FailoverTable, Policy, Request, Runtime, RuntimeConfig, ShmTable,
-    TracedTable,
+    TracedTable, DOORBELL_DEMAND, DOORBELL_SUBMIT,
 };
 
 const CORES: usize = 4;
@@ -64,12 +72,12 @@ const PERIOD: Duration = Duration::from_millis(10);
 const LEASE_TIMEOUT: Duration = Duration::from_millis(100);
 const STALL_TIMEOUT: Duration = Duration::from_millis(120);
 
-/// Default schedule count: four visits to each of the six classes.
-const DEFAULT_SCHEDULES: usize = 24;
-const FAST_SCHEDULES: usize = 6;
+/// Default schedule count: four visits to each of the seven classes.
+const DEFAULT_SCHEDULES: usize = 28;
+const FAST_SCHEDULES: usize = 7;
 const ROOT_SEED: u64 = 0xC4A0_5BAD;
 
-const CLASSES: [&str; 6] = ["pause", "kill", "stall", "churn", "torn", "ring"];
+const CLASSES: [&str; 7] = ["pause", "kill", "stall", "churn", "torn", "ring", "doorbell"];
 
 // ---------------------------------------------------------------------------
 // Seeded PRNG: the schedule seed determines the class and every parameter.
@@ -396,6 +404,43 @@ fn role_client(path: &Path, client_id: u64, good: u64, doomed: bool) -> ExitCode
         // SAFETY: plain SIGKILL aimed at ourselves.
         unsafe { libc::kill(std::process::id() as i32, libc::SIGKILL) };
     }
+    ExitCode::SUCCESS
+}
+
+/// A spurious-ring storm process: hammers program 0's doorbell from its
+/// own mapping with rings that announce nothing — `DOORBELL_SUBMIT`
+/// without a publish, `DOORBELL_DEMAND` without a demand change — until
+/// SIGKILLed. Rings are advisory, so the only damage a storm *could* do
+/// is phantom admissions or a wedged coordinator; the parent asserts
+/// neither happens.
+fn role_ringer(path: &Path, gap_us: u64) -> ExitCode {
+    let table = ShmTable::open_with_retry(path, CORES, 2, 20, Duration::from_millis(5))
+        .expect("ringer: open shared table");
+    println!("ringer-ready");
+    std::io::stdout().flush().expect("ringer: flush");
+    loop {
+        table.ring_doorbell(0, DOORBELL_SUBMIT | DOORBELL_DEMAND);
+        std::thread::sleep(Duration::from_micros(gap_us));
+    }
+}
+
+/// A doorbell-era submission client: publishes `good` requests into
+/// program 0's ring and rings `DOORBELL_SUBMIT` after each publish —
+/// the cross-process edge-triggered admission path.
+fn role_bell_client(path: &Path, client_id: u64, good: u64) -> ExitCode {
+    let table = ShmTable::open_with_retry(path, CORES, 2, 20, Duration::from_millis(5))
+        .expect("bell-client: open shared table");
+    let ring = table.submit_ring(0).expect("bell-client: server ring");
+    let epoch = ring.epoch();
+    for i in 0..good {
+        let req = Request { req_id: (client_id << 32) | i, submit_us: 0, demand_us: 50 };
+        while ring.submit(req, epoch) == Err(dws_rt::SubmitError::Full) {
+            std::thread::yield_now();
+        }
+        table.ring_doorbell(0, DOORBELL_SUBMIT);
+    }
+    println!("client-done {good}");
+    std::io::stdout().flush().expect("bell-client: flush");
     ExitCode::SUCCESS
 }
 
@@ -919,6 +964,117 @@ fn run_ring(seed: u64) -> Outcome {
     Outcome { class: "ring", mttr, detail }
 }
 
+/// Spurious-ring storm against the event-driven serving path: with the
+/// coordinator period parked at ten minutes, every admission below is
+/// doorbell-driven by construction. Storm ringers hammer the doorbell
+/// with rings that announce nothing (the coordinator must wake, find an
+/// empty ring, and go back to sleep without inventing admissions), real
+/// clients publish-and-ring concurrently, and the storm is SIGKILLed
+/// mid-ring — after which a probe proves the doorbell still delivers.
+/// MTTR here is storm-death → probe-handled: how fast the control plane
+/// returns to quiescent edge-triggered service.
+fn run_doorbell(seed: u64) -> Outcome {
+    let mut rng = Rng(seed ^ 0x96);
+    let ringers = rng.range(1, 3);
+    let clients = rng.range(2, 4);
+    let gap_us = rng.range(50, 400);
+    let path = table_path("doorbell", seed);
+    let _ = std::fs::remove_file(&path);
+
+    let shm = Arc::new(ShmTable::create_or_open(&path, CORES, 2).expect("create table"));
+    assert_eq!(shm.register().expect("register server"), 0);
+    // Ten-minute period: no polling tick fires inside this schedule, so
+    // progress is attributable to doorbell wakes alone. Chores (lease
+    // heartbeats) stop with the tick, but nothing else runs a
+    // coordinator here, so no one can fence the server.
+    let mut cfg =
+        RuntimeConfig::new(CORES, Policy::Dws).with_lease_timeout(Duration::from_secs(600));
+    cfg.coordinator_period = Duration::from_secs(600);
+    cfg.sleep_timeout = Some(Duration::from_millis(2));
+    let handled = Arc::new(AtomicU64::new(0));
+    let rt = {
+        let handled = Arc::clone(&handled);
+        Runtime::serve_with_table(cfg, Arc::clone(&shm) as Arc<dyn CoreTable>, 0, move |_req| {
+            burn();
+            handled.fetch_add(1, Ordering::Relaxed);
+        })
+    };
+
+    let mut storm: Vec<ChildGuard> = Vec::new();
+    for _ in 0..ringers {
+        let mut guard = spawn_role("ringer", &path, &[gap_us.to_string()]);
+        let stdout = guard.0.as_mut().unwrap().stdout.take().expect("ringer stdout");
+        assert_eq!(read_line(&mut BufReader::new(stdout), "ringer"), "ringer-ready");
+        storm.push(guard);
+    }
+
+    let mut published = 0u64;
+    for c in 0..clients {
+        let good = rng.range(5, 40);
+        let mut guard = spawn_role("bell-client", &path, &[c.to_string(), good.to_string()]);
+        let stdout = guard.0.as_mut().unwrap().stdout.take().expect("bell-client stdout");
+        let line = read_line(&mut BufReader::new(stdout), "bell-client");
+        let n: u64 = line
+            .strip_prefix("client-done ")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unexpected bell-client report {line:?}"));
+        published += n;
+        guard.kill_and_wait();
+    }
+
+    // Everything published drains under the storm, with no polling tick
+    // to fall back on.
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    while handled.load(Ordering::Relaxed) < published {
+        assert!(
+            Instant::now() < drain_deadline,
+            "doorbell: {}/{published} requests handled with the period parked — \
+             submit doorbell lost under the storm",
+            handled.load(Ordering::Relaxed)
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // SIGKILL the storm mid-ring: a ringer dying between the pending-word
+    // store and the futex wake must leave nothing wedged.
+    let killed_at = Instant::now();
+    for g in storm.iter_mut() {
+        g.kill_and_wait();
+    }
+
+    // Post-storm probe: the doorbell still delivers after its abusers die.
+    let ring = shm.submit_ring(0).expect("server ring");
+    ring.submit(Request { req_id: u64::MAX, submit_us: 0, demand_us: 50 }, ring.epoch())
+        .expect("post-storm probe submit");
+    shm.ring_doorbell(0, DOORBELL_SUBMIT);
+    let probe_deadline = Instant::now() + Duration::from_secs(5);
+    while handled.load(Ordering::Relaxed) < published + 1 {
+        assert!(Instant::now() < probe_deadline, "doorbell: probe request never handled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mttr = killed_at.elapsed();
+
+    // Spurious rings woke the coordinator but admitted nothing: the
+    // admission counter covers exactly what was published.
+    let m = rt.metrics();
+    assert_eq!(
+        m.requests_admitted,
+        published + 1,
+        "spurious rings must not admit phantom requests: {m:?}"
+    );
+    assert!(m.doorbell_wakes >= 1, "a 10-minute period admitted without doorbell wakes: {m:?}");
+    wait_audit_clean(&shm, Duration::from_secs(2), "doorbell");
+
+    let detail = format!(
+        "{ringers} ringer(s) at {gap_us} µs, {clients} clients, {published} published, \
+         {} doorbell wakes, admissions exact",
+        m.doorbell_wakes
+    );
+    drop(rt);
+    let _ = std::fs::remove_file(&path);
+    Outcome { class: "doorbell", mttr, detail }
+}
+
 fn run_schedule(seed: u64, fast: bool) -> Outcome {
     match class_of(seed) {
         "pause" => run_pause(seed),
@@ -927,6 +1083,7 @@ fn run_schedule(seed: u64, fast: bool) -> Outcome {
         "churn" => run_churn(seed, fast),
         "torn" => run_torn(seed),
         "ring" => run_ring(seed),
+        "doorbell" => run_doorbell(seed),
         other => unreachable!("unknown class {other}"),
     }
 }
@@ -1047,6 +1204,12 @@ fn main() -> ExitCode {
                 args[3].parse().expect("client id"),
                 args[4].parse().expect("client good count"),
                 args[5] == "1",
+            ),
+            "ringer" => role_ringer(&path, args[3].parse().expect("ringer gap µs")),
+            "bell-client" => role_bell_client(
+                &path,
+                args[3].parse().expect("bell-client id"),
+                args[4].parse().expect("bell-client good count"),
             ),
             other => {
                 eprintln!("unknown role {other}");

@@ -32,6 +32,7 @@ struct Cli {
     crash: bool,
     serving: bool,
     pause: bool,
+    doorbell: bool,
     fast: bool,
     bug: Option<Bug>,
 }
@@ -58,6 +59,11 @@ const USAGE: &str = "usage: check [OPTIONS]
                    explores the stall against the survivor's
                    stall-fence/reap pass, including the resumed
                    zombie's duty to refuse all further table activity
+  --doorbell       event-driven control plane: coordinators park on a
+                   per-program doorbell (release/submit edges ring it,
+                   the period is only the fallback heartbeat), checked
+                   by the doorbell wake rule (a sleep never begins with
+                   a ring pending)
   --fast           coarser atomicity (loads are not yield points); much
                    higher schedule throughput
   --bug <name>     seed a protocol mutation (the run SHOULD fail; exits 0
@@ -87,7 +93,12 @@ const USAGE: &str = "usage: check [OPTIONS]
                                       post-resume fence check and its
                                       table CAS incorrectly succeeds
                                       (implies --pause; caught only by
-                                      the post-fence rule)";
+                                      the post-fence rule)
+                     lost-wake        a doorbell ring notifies without
+                                      persisting the pending word, so a
+                                      ring between waits evaporates
+                                      (implies --doorbell; caught only
+                                      by the doorbell wake rule)";
 
 fn parse() -> Result<Cli, String> {
     let mut cli = Cli {
@@ -101,6 +112,7 @@ fn parse() -> Result<Cli, String> {
         crash: false,
         serving: false,
         pause: false,
+        doorbell: false,
         fast: false,
         bug: None,
     };
@@ -139,6 +151,7 @@ fn parse() -> Result<Cli, String> {
             "--crash" => cli.crash = true,
             "--serving" => cli.serving = true,
             "--pause" => cli.pause = true,
+            "--doorbell" => cli.doorbell = true,
             "--fast" => cli.fast = true,
             "--bug" => {
                 let v = args.get(i + 1).ok_or("--bug needs a value")?;
@@ -165,6 +178,10 @@ fn parse() -> Result<Cli, String> {
                     "zombie-write" => {
                         cli.pause = true;
                         Bug::ZombieWrite
+                    }
+                    "lost-wake" => {
+                        cli.doorbell = true;
+                        Bug::LostWake
                     }
                     other => return Err(format!("unknown bug `{other}`")),
                 });
@@ -195,7 +212,9 @@ fn print_failure(r: &RunResult) {
 // flags must match; remind the user which ones were active.
 fn replay_flags() -> String {
     let mut s = String::new();
-    for flag in ["--faults", "--small", "--crash", "--serving", "--pause", "--fast", "--dfs"] {
+    for flag in
+        ["--faults", "--small", "--crash", "--serving", "--pause", "--doorbell", "--fast", "--dfs"]
+    {
         if std::env::args().any(|a| a == flag) {
             s.push(' ');
             s.push_str(flag);
@@ -219,15 +238,20 @@ fn main() -> ExitCode {
         }
     };
 
-    if [cli.small, cli.crash, cli.serving, cli.pause].iter().filter(|&&f| f).count() > 1 {
-        eprintln!("error: --small, --crash, --serving and --pause are mutually exclusive");
+    if [cli.small, cli.crash, cli.serving, cli.pause, cli.doorbell].iter().filter(|&&f| f).count()
+        > 1
+    {
+        eprintln!(
+            "error: --small, --crash, --serving, --pause and --doorbell are mutually exclusive"
+        );
         return ExitCode::from(2);
     }
-    let cfg = match (cli.small, cli.crash, cli.serving, cli.pause) {
-        (_, true, _, _) => ModelConfig::crash(),
-        (true, _, _, _) => ModelConfig::small(),
-        (_, _, true, _) => ModelConfig::serving(),
-        (_, _, _, true) => ModelConfig::pause(),
+    let cfg = match (cli.small, cli.crash, cli.serving, cli.pause, cli.doorbell) {
+        (_, true, _, _, _) => ModelConfig::crash(),
+        (true, _, _, _, _) => ModelConfig::small(),
+        (_, _, true, _, _) => ModelConfig::serving(),
+        (_, _, _, true, _) => ModelConfig::pause(),
+        (_, _, _, _, true) => ModelConfig::doorbell(),
         _ => ModelConfig::standard(),
     };
     let cfg = match cli.bug {
@@ -261,7 +285,7 @@ fn main() -> ExitCode {
         Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &model_cfg, seed));
 
     println!(
-        "model: {} programs x {} cores{}{}{}{}{}{}",
+        "model: {} programs x {} cores{}{}{}{}{}{}{}",
         cfg.home().iter().max().map_or(1, |m| m + 1),
         cfg.home().len(),
         match cfg.crash {
@@ -283,6 +307,7 @@ fn main() -> ExitCode {
         } else {
             String::new()
         },
+        if cfg.doorbell { ", doorbell control plane" } else { "" },
         if cli.faults { ", aggressive faults" } else { "" },
         if cli.fast { ", fast (coarse loads)" } else { "" },
         match cli.bug {
@@ -296,6 +321,7 @@ fn main() -> ExitCode {
                 ", seeded bug: leaked-core-seconds (conservation ledger)"
             }
             Some(Bug::ZombieWrite) => ", seeded bug: zombie-write (post-fence rule)",
+            Some(Bug::LostWake) => ", seeded bug: lost-wake (doorbell wake rule)",
             None => "",
         },
     );

@@ -176,8 +176,11 @@ mod tests {
     #[test]
     fn shed_requests_surface_in_stats_not_in_admissions() {
         // 4-slot ring, coordinator effectively off: almost everything
-        // past the first four arrivals is shed at the edge.
-        let mut cfg = RuntimeConfig::new(2, Policy::Ws).with_serving_geometry(4, 64);
+        // past the first four arrivals is shed at the edge. Polling-only,
+        // or the submit doorbell would drain the ring between arrivals
+        // and nothing would ever shed.
+        let mut cfg =
+            RuntimeConfig::new(2, Policy::Ws).with_serving_geometry(4, 64).with_polling_only();
         cfg.coordinator_period = Duration::from_secs(3600);
         let rt = Runtime::serve(cfg, |_req| {});
         let stats = offer_load(&rt, &spec(20_000.0, 50, 3));

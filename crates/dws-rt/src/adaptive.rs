@@ -1,0 +1,238 @@
+//! The adaptive knob controller (DESIGN §16.2): a small feedback loop in
+//! the coordinator that retunes the paper's fixed constants — `T_SLEEP`,
+//! the coordinator period `T`, and `steal_batch_limit` — from the Eq. 1
+//! demand signal the coordinator already samples every pass.
+//!
+//! The controller is AIMD-shaped and deliberately boring:
+//!
+//! * **Pressure** (`N_w > 0`, unmet demand): the period halves toward
+//!   [`AdaptiveConfig::period_floor`] so grants land sooner; `T_SLEEP`
+//!   doubles toward its ceiling so awake workers ride through transient
+//!   droughts instead of oscillating through sleep; the steal-batch limit
+//!   tracks the observed queue depth per active worker so one steal
+//!   amortizes over a deep backlog.
+//! * **Calm** (a streak of demand-met passes): every knob relaxes 25% per
+//!   pass back toward its configured value — low demand is exactly when
+//!   the paper wants cores released promptly and the control plane quiet.
+//!
+//! Safety floors are structural, not behavioural: the adaptive period is
+//! clamped to `[period_floor, coordinator_period]`, and lease heartbeats
+//! plus [`crate::RuntimeConfig::effective_lease_timeout`] are computed
+//! from the *configured* period (see `coordinator_loop`), so no
+//! controller decision can starve the failure model.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use crate::config::{AdaptiveConfig, RuntimeConfig};
+
+/// The live knob cell: written by the coordinator's controller, read from
+/// the worker hot paths. Plain `std` atomics on purpose — reading a knob
+/// must add no model-checker yield points and no synchronization beyond a
+/// relaxed load (every value is independently valid; a torn *set* is
+/// impossible and a stale read is just last tick's tuning).
+#[derive(Debug)]
+pub(crate) struct Knobs {
+    /// Consecutive failed steals before a worker sleeps.
+    t_sleep: AtomicU32,
+    /// Coordinator decision period, µs.
+    period_us: AtomicU64,
+    /// Per-steal batch limit.
+    steal_batch: AtomicUsize,
+}
+
+impl Knobs {
+    pub(crate) fn from_config(cfg: &RuntimeConfig) -> Knobs {
+        Knobs {
+            t_sleep: AtomicU32::new(cfg.t_sleep),
+            period_us: AtomicU64::new(cfg.coordinator_period.as_micros().max(1) as u64),
+            steal_batch: AtomicUsize::new(cfg.steal_batch_limit),
+        }
+    }
+
+    pub(crate) fn t_sleep(&self) -> u32 {
+        self.t_sleep.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn period(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.period_us.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn period_us(&self) -> u64 {
+        self.period_us.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn steal_batch(&self) -> usize {
+        self.steal_batch.load(Ordering::Relaxed)
+    }
+}
+
+/// Coordinator-local controller state (nothing here is shared; the shared
+/// surface is [`Knobs`]).
+pub(crate) struct Controller {
+    bounds: AdaptiveConfig,
+    /// Configured values — the attractor the calm branch relaxes toward.
+    base_t_sleep: u32,
+    base_period_us: u64,
+    base_batch: usize,
+    /// Consecutive demand-met passes; relaxation starts after a short
+    /// streak so one quiet tick between bursts does not unwind the tuning.
+    calm: u32,
+}
+
+/// Demand-met passes before the knobs start relaxing.
+const CALM_STREAK: u32 = 4;
+
+impl Controller {
+    pub(crate) fn new(cfg: &RuntimeConfig) -> Controller {
+        Controller {
+            bounds: cfg.adaptive,
+            base_t_sleep: cfg.t_sleep,
+            base_period_us: cfg.coordinator_period.as_micros().max(1) as u64,
+            base_batch: cfg.steal_batch_limit,
+            calm: 0,
+        }
+    }
+
+    /// One feedback step from the pass the coordinator just ran: `queued`
+    /// and `active` are the Eq. 1 inputs, `n_w` its output (the unmet
+    /// wake demand).
+    pub(crate) fn update(&mut self, knobs: &Knobs, queued: usize, active: usize, n_w: usize) {
+        let floor_us = self.bounds.period_floor.as_micros().max(1) as u64;
+        if n_w > 0 {
+            self.calm = 0;
+            // Control plane speeds up: halve the period toward the floor.
+            let p = knobs.period_us.load(Ordering::Relaxed);
+            knobs.period_us.store((p / 2).max(floor_us), Ordering::Relaxed);
+            // Awake workers persist through the burst.
+            let t = knobs.t_sleep.load(Ordering::Relaxed);
+            knobs.t_sleep.store(
+                t.saturating_mul(2).clamp(self.bounds.t_sleep_min, self.bounds.t_sleep_max),
+                Ordering::Relaxed,
+            );
+            // Batch depth tracks backlog per active worker (one steal
+            // should move a meaningful share of a deep queue).
+            let depth = queued / active.max(1);
+            let b = knobs.steal_batch.load(Ordering::Relaxed);
+            knobs
+                .steal_batch
+                .store(b.max(depth).clamp(1, self.bounds.batch_max), Ordering::Relaxed);
+            return;
+        }
+        self.calm = self.calm.saturating_add(1);
+        if self.calm < CALM_STREAK {
+            return;
+        }
+        // Relax each knob 25% of its distance back toward the configured
+        // value per calm pass (exactly reaching it in the limit).
+        knobs.t_sleep.store(
+            relax_u64(
+                u64::from(knobs.t_sleep.load(Ordering::Relaxed)),
+                u64::from(self.base_t_sleep),
+            )
+            .clamp(u64::from(self.bounds.t_sleep_min), u64::from(self.bounds.t_sleep_max))
+                as u32,
+            Ordering::Relaxed,
+        );
+        knobs.period_us.store(
+            relax_u64(knobs.period_us.load(Ordering::Relaxed), self.base_period_us)
+                .clamp(floor_us, self.base_period_us),
+            Ordering::Relaxed,
+        );
+        knobs.steal_batch.store(
+            relax_u64(knobs.steal_batch.load(Ordering::Relaxed) as u64, self.base_batch as u64)
+                .clamp(1, self.bounds.batch_max as u64) as usize,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Moves `cur` 25% of the way toward `target`, always by at least 1 when
+/// they differ (so the relaxation terminates instead of stalling on
+/// integer division).
+fn relax_u64(cur: u64, target: u64) -> u64 {
+    match cur.cmp(&target) {
+        std::cmp::Ordering::Equal => cur,
+        std::cmp::Ordering::Greater => cur - ((cur - target) / 4).max(1),
+        std::cmp::Ordering::Less => cur + ((target - cur) / 4).max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Policy;
+    use std::time::Duration;
+
+    fn cfg() -> RuntimeConfig {
+        RuntimeConfig::new(4, Policy::Dws).with_adaptive()
+    }
+
+    #[test]
+    fn pressure_speeds_up_and_calm_relaxes_home() {
+        let cfg = cfg();
+        let knobs = Knobs::from_config(&cfg);
+        let mut ctl = Controller::new(&cfg);
+        // Sustained pressure: period dives to the floor, T_SLEEP and the
+        // batch limit grow.
+        for _ in 0..16 {
+            ctl.update(&knobs, 400, 2, 8);
+        }
+        assert_eq!(knobs.period(), cfg.adaptive.period_floor);
+        assert!(knobs.t_sleep() > cfg.t_sleep);
+        assert!(knobs.steal_batch() > cfg.steal_batch_limit);
+        assert!(knobs.steal_batch() <= cfg.adaptive.batch_max);
+        assert!(knobs.t_sleep() <= cfg.adaptive.t_sleep_max);
+        // Sustained calm: every knob relaxes exactly back to configured.
+        for _ in 0..256 {
+            ctl.update(&knobs, 0, 4, 0);
+        }
+        assert_eq!(knobs.t_sleep(), cfg.t_sleep);
+        assert_eq!(knobs.period(), cfg.coordinator_period);
+        assert_eq!(knobs.steal_batch(), cfg.steal_batch_limit);
+    }
+
+    #[test]
+    fn one_quiet_pass_does_not_unwind_the_tuning() {
+        let cfg = cfg();
+        let knobs = Knobs::from_config(&cfg);
+        let mut ctl = Controller::new(&cfg);
+        ctl.update(&knobs, 100, 1, 4);
+        let tuned_period = knobs.period_us();
+        // Fewer calm passes than the streak: knobs hold still.
+        for _ in 0..(CALM_STREAK - 1) {
+            ctl.update(&knobs, 0, 4, 0);
+        }
+        assert_eq!(knobs.period_us(), tuned_period);
+    }
+
+    #[test]
+    fn period_never_breaches_floor_or_configured_ceiling() {
+        let mut cfg = RuntimeConfig::new(4, Policy::Dws);
+        cfg.coordinator_period = Duration::from_millis(4);
+        let cfg = cfg.with_adaptive_bounds(Duration::from_millis(2), (2, 64), 16);
+        let knobs = Knobs::from_config(&cfg);
+        let mut ctl = Controller::new(&cfg);
+        for _ in 0..32 {
+            ctl.update(&knobs, 1000, 1, 16);
+        }
+        assert_eq!(knobs.period(), Duration::from_millis(2), "floor holds");
+        for _ in 0..512 {
+            ctl.update(&knobs, 0, 4, 0);
+        }
+        assert_eq!(knobs.period(), Duration::from_millis(4), "ceiling is the configured period");
+    }
+
+    #[test]
+    fn relax_terminates_from_any_distance() {
+        for (a, b) in [(0u64, 1u64), (1, 0), (3, 1000), (1000, 3), (7, 7)] {
+            let mut cur = a;
+            for _ in 0..10_000 {
+                if cur == b {
+                    break;
+                }
+                cur = relax_u64(cur, b);
+            }
+            assert_eq!(cur, b, "relax({a} -> {b}) stalled");
+        }
+    }
+}

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::sync::{AtomicI32, Mutex, Ordering};
+use crate::sync::{AtomicI32, Condvar, Mutex, Ordering};
 
 use crate::trace::{
     now_us, EventRing, ReplayChecker, ReplayStats, ReplayViolation, RtEvent, TimedEvent,
@@ -33,6 +33,73 @@ use std::sync::atomic::{
 
 /// Slot value for a free core.
 pub const FREE: i32 = -1;
+
+// ---- doorbell reason bits (DESIGN §16) --------------------------------
+//
+// Each program owns one doorbell word in the table. Ringing ORs a reason
+// bit in and wakes the program's coordinator; waiting consumes the whole
+// accumulated word. Reasons are advisory — a wake with stale reasons is
+// harmless (the coordinator re-reads the table) — but they make telemetry
+// and the bench's wake-source attribution possible.
+
+/// A core was released back to the table (rung on the core's *home*
+/// program: it is the one whose reclaim supply just changed).
+pub const DOORBELL_RELEASE: u32 = 1 << 0;
+/// Surplus work was parked with every local worker busy — more workers
+/// could help (rung on the program's own doorbell).
+pub const DOORBELL_SURPLUS: u32 = 1 << 1;
+/// The demand signal rose (e.g. all workers asleep with work queued) and
+/// the coordinator should re-run Eq. 1 now.
+pub const DOORBELL_DEMAND: u32 = 1 << 2;
+/// A request was pushed into the program's submission ring and should be
+/// admitted without waiting out the coordinator period.
+pub const DOORBELL_SUBMIT: u32 = 1 << 3;
+/// The runtime is shutting down; the coordinator should exit promptly.
+pub const DOORBELL_SHUTDOWN: u32 = 1 << 4;
+
+/// A per-program doorbell over the `crate::sync` shim primitives: the
+/// [`crate::Sleeper`] permit protocol generalized from a boolean to a
+/// reason bitmask. A ring *before* the wait is never lost (the pending
+/// word survives until consumed), so the check-then-park window that
+/// loses wakes in naive condvar code does not exist here — the property
+/// `dws-check`'s `Bug::LostWake` mutation deletes.
+#[derive(Debug, Default)]
+pub struct Doorbell {
+    /// Accumulated reason bits; consumed wholesale by the waiter.
+    pending: Mutex<u32>,
+    cond: Condvar,
+}
+
+impl Doorbell {
+    /// Creates an un-rung doorbell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// ORs `reason` into the pending word and wakes the waiter. Idempotent
+    /// and never lost: a ring delivered while nobody waits makes the next
+    /// [`Doorbell::wait`] return immediately.
+    pub fn ring(&self, reason: u32) {
+        let mut pending = self.pending.lock();
+        *pending |= reason;
+        self.cond.notify_one();
+    }
+
+    /// Blocks until rung or until `timeout` elapses, consuming and
+    /// returning the accumulated reason bits (0 = timed out un-rung).
+    pub fn wait(&self, timeout: Duration) -> u32 {
+        let mut pending = self.pending.lock();
+        loop {
+            if *pending != 0 {
+                return std::mem::take(&mut *pending);
+            }
+            if self.cond.wait_for(&mut pending, timeout).timed_out() {
+                return std::mem::take(&mut *pending);
+            }
+            // Spurious wake-up with nothing pending: wait again.
+        }
+    }
+}
 
 /// The table protocol. All operations are lock-free single-slot CASes;
 /// `prog` identifiers are indices in `0..max_programs()`.
@@ -193,6 +260,28 @@ pub trait CoreTable: Send + Sync {
     /// a successor — so continuing against the shared table is unsound.
     /// No-op for backends without a degraded mode.
     fn degrade_now(&self) {}
+
+    // ---- doorbells (event-driven control plane, DESIGN §16) ------------
+    //
+    // One doorbell word per program. Edge events — a released core, parked
+    // surplus, a demand rise, a ring submission — ring the interested
+    // program's doorbell so its coordinator acts immediately instead of
+    // waiting out the polling period. Defaults keep oblivious backends on
+    // pure polling: rings vanish and waits degrade to plain sleeps.
+
+    /// ORs `reason` into `prog`'s doorbell word and wakes its waiter (the
+    /// program's coordinator). Must never block and must never be lost
+    /// when a waiter is parked or about to park.
+    fn ring_doorbell(&self, _prog: usize, _reason: u32) {}
+
+    /// Blocks until `prog`'s doorbell is rung or `timeout` elapses,
+    /// consuming and returning the accumulated reason bits (0 = timed out
+    /// un-rung). The default — a plain sleep — preserves the polling
+    /// cadence for doorbell-oblivious backends.
+    fn wait_doorbell(&self, _prog: usize, timeout: Duration) -> u32 {
+        crate::sync::sleep(timeout);
+        0
+    }
 }
 
 /// Outcome of one [`reap_expired`] pass.
@@ -262,6 +351,9 @@ pub struct InProcessTable {
     programs: usize,
     /// Per-program lease state (`INPROC_*`).
     lease: Vec<AtomicI32>,
+    /// Per-program doorbells (condvar-backed; the in-process mirror of
+    /// the ShmTable's futex words).
+    doorbells: Vec<Doorbell>,
 }
 
 impl InProcessTable {
@@ -272,7 +364,8 @@ impl InProcessTable {
         let home = equipartition_home(cores, programs);
         let slots = home.iter().map(|&p| AtomicI32::new(p as i32)).collect();
         let lease = (0..programs).map(|_| AtomicI32::new(INPROC_ALIVE)).collect();
-        InProcessTable { slots, home, programs, lease }
+        let doorbells = (0..programs).map(|_| Doorbell::new()).collect();
+        InProcessTable { slots, home, programs, lease, doorbells }
     }
 }
 
@@ -377,6 +470,14 @@ impl CoreTable for InProcessTable {
         self.lease[dead]
             .compare_exchange(INPROC_FENCED, INPROC_REAPED, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
+    }
+
+    fn ring_doorbell(&self, prog: usize, reason: u32) {
+        self.doorbells[prog].ring(reason);
+    }
+
+    fn wait_doorbell(&self, prog: usize, timeout: Duration) -> u32 {
+        self.doorbells[prog].wait(timeout)
     }
 }
 
@@ -557,6 +658,14 @@ impl CoreTable for TracedTable {
 
     fn degrade_now(&self) {
         self.inner.degrade_now();
+    }
+
+    fn ring_doorbell(&self, prog: usize, reason: u32) {
+        self.inner.ring_doorbell(prog, reason);
+    }
+
+    fn wait_doorbell(&self, prog: usize, timeout: Duration) -> u32 {
+        self.inner.wait_doorbell(prog, timeout)
     }
 }
 
@@ -892,6 +1001,14 @@ impl CoreTable for LedgerTable {
     fn degrade_now(&self) {
         self.inner.degrade_now();
     }
+
+    fn ring_doorbell(&self, prog: usize, reason: u32) {
+        self.inner.ring_doorbell(prog, reason);
+    }
+
+    fn wait_doorbell(&self, prog: usize, timeout: Duration) -> u32 {
+        self.inner.wait_doorbell(prog, timeout)
+    }
 }
 
 #[cfg(test)]
@@ -980,6 +1097,45 @@ mod tests {
             };
             assert_eq!(winners, 1, "round {round}: {winners} winners");
         }
+    }
+
+    #[test]
+    fn doorbell_ring_before_wait_is_not_lost() {
+        let d = Doorbell::new();
+        d.ring(DOORBELL_RELEASE);
+        d.ring(DOORBELL_SUBMIT); // reasons accumulate
+        let t0 = std::time::Instant::now();
+        assert_eq!(d.wait(Duration::from_secs(5)), DOORBELL_RELEASE | DOORBELL_SUBMIT);
+        assert!(t0.elapsed() < Duration::from_millis(500), "must not block");
+        // The pending word was consumed wholesale: the next wait times out.
+        assert_eq!(d.wait(Duration::from_millis(10)), 0);
+    }
+
+    #[test]
+    fn doorbell_wakes_parked_waiter() {
+        let t = Arc::new(InProcessTable::new(2, 2));
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.wait_doorbell(1, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        t.ring_doorbell(1, DOORBELL_DEMAND);
+        assert_eq!(h.join().expect("waiter"), DOORBELL_DEMAND);
+    }
+
+    #[test]
+    fn doorbell_is_per_program() {
+        let t = InProcessTable::new(2, 2);
+        t.ring_doorbell(0, DOORBELL_SURPLUS);
+        assert_eq!(t.wait_doorbell(1, Duration::from_millis(10)), 0);
+        assert_eq!(t.wait_doorbell(0, Duration::from_millis(10)), DOORBELL_SURPLUS);
+    }
+
+    #[test]
+    fn decorators_forward_doorbells() {
+        let inner = Arc::new(InProcessTable::new(4, 2));
+        let ledger = Arc::new(LedgerTable::new(Arc::clone(&inner) as Arc<dyn CoreTable>));
+        let traced = TracedTable::new(Arc::clone(&ledger) as Arc<dyn CoreTable>, 16);
+        traced.ring_doorbell(0, DOORBELL_SHUTDOWN);
+        assert_eq!(inner.wait_doorbell(0, Duration::from_millis(10)), DOORBELL_SHUTDOWN);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! never a core another program holds and has not released.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use crate::adaptive::Controller;
 use crate::config::Policy;
 use crate::metrics::RtMetrics;
 use crate::registry::Registry;
@@ -48,9 +50,26 @@ pub fn plan_wakes(n_w: usize, n_f: usize, n_r: usize) -> (usize, usize) {
     }
 }
 
+/// What one coordinator pass observed — the adaptive controller's
+/// feedback signal (`queued`/`active` are the Eq. 1 inputs, `n_w` its
+/// output; the wakes delivered are published to telemetry, not returned).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CoordPass {
+    pub(crate) queued: usize,
+    pub(crate) active: usize,
+    pub(crate) n_w: usize,
+}
+
+impl CoordPass {
+    /// A demand-met pass (demand satisfied, nothing to wake).
+    fn idle(queued: usize, active: usize) -> CoordPass {
+        CoordPass { queued, active, n_w: 0 }
+    }
+}
+
 /// One coordinator evaluation. Factored out of the loop for testing; the
-/// return value is the number of wakes actually delivered.
-pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
+/// return value reports the pass for the controller and the tests.
+pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> CoordPass {
     RtMetrics::bump(&reg.metrics.coordinator_runs);
     let tracing = reg.trace.enabled();
     // Observability gate for the early-return paths: the table supply scan
@@ -77,6 +96,9 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
             planned_reclaim: planned.1 as u64,
             woken: woken as u64,
             decisions: 0, // the cell counts publishes itself
+            knob_t_sleep: u64::from(reg.knobs.t_sleep()),
+            knob_period_us: reg.knobs.period_us(),
+            knob_steal_batch: reg.knobs.steal_batch() as u64,
         });
     };
 
@@ -123,7 +145,7 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
             }
             publish(n_b, n_a, n_f, n_r, 0, (0, 0), 0);
         }
-        return 0;
+        return CoordPass::idle(0, reg.workers.len());
     }
     let queued = reg.queued_jobs();
     let active = reg.workers.len() - sleeping.len();
@@ -142,7 +164,7 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
             }
             publish(queued, active, n_f, n_r, 0, (0, 0), 0);
         }
-        return 0;
+        return CoordPass::idle(queued, active);
     }
 
     match reg.effective_policy {
@@ -198,7 +220,7 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
                 reg.metrics.note_demand_met(now_us());
             }
             publish(queued, active, n_f, n_r, n_w, (want_free, want_reclaim), woken);
-            woken
+            CoordPass { queued, active, n_w }
         }
         Policy::DwsNc => {
             if tracing {
@@ -218,50 +240,78 @@ pub(crate) fn coordinate_once(reg: &Registry, rng: &VictimRng) -> usize {
                 reg.wake_worker(w);
             }
             publish(queued, active, 0, 0, n_w, (0, 0), woken);
-            n_w
+            CoordPass { queued, active, n_w }
         }
-        _ => 0,
+        _ => CoordPass { queued, active, n_w },
     }
 }
 
-/// The coordinator thread body: evaluate every `coordinator_period` until
-/// shutdown. The period sleep is chunked so shutdown never waits longer
-/// than ~50 ms for the coordinator to notice.
+/// The coordinator thread body: evaluate on every doorbell edge and at
+/// least every `coordinator_period` until shutdown (the polling tick is
+/// the slow-path fallback heartbeat, not the primary wake mechanism — see
+/// DESIGN §16.1). The period wait is chunked so shutdown never waits
+/// longer than ~50 ms even on a non-futex fallback backend.
 ///
-/// Under `Policy::Dws` every tick also runs the failure-model duties
-/// (DESIGN §10): renew this program's lease heartbeat, self-report a
-/// stalled tick through the watchdog, verify the shared table is still
-/// healthy (flipping to degraded in-process mode if not), and reap
-/// expired co-runners' stranded cores.
+/// Under `Policy::Dws` the failure-model duties (DESIGN §10) — lease
+/// heartbeat, stall watchdog, zombie re-arm, health check, reaping expired
+/// co-runners — run on the *configured* period regardless of how often
+/// doorbells fire or how far the adaptive controller has shrunk the
+/// decision period, so the lease/heartbeat safety story is untouched by
+/// this PR's event-driven fast path.
 pub(crate) fn coordinator_loop(reg: Arc<Registry>) {
     let rng = VictimRng::new(0xC0FF_EE00 ^ (reg.prog_id as u64 + 1).wrapping_mul(0x9E37_79B9));
-    let period = reg.config.coordinator_period;
-    let chunk = period.min(std::time::Duration::from_millis(50));
+    let configured = reg.config.coordinator_period;
+    let event_driven = reg.config.event_driven;
+    let mut controller = reg.config.adaptive.enabled.then(|| Controller::new(&reg.config));
     let shared_table = reg.effective_policy == Policy::Dws;
     let lease_timeout = reg.config.effective_lease_timeout();
     // Watchdog: if a full tick (sleep + work) takes more than 3× the
-    // period, this coordinator itself is the slow party — exactly the
-    // "slow-but-alive owner" the lease epoch protects, so count it.
-    let stall_after = period * 3;
-    let mut last_tick = std::time::Instant::now();
+    // configured period, this coordinator itself is the slow party —
+    // exactly the "slow-but-alive owner" the lease epoch protects, so
+    // count it. Configured, not adaptive: a controller that legitimately
+    // shrank the period must not re-arm the watchdog against itself.
+    let stall_after = configured * 3;
+    let mut last_tick = Instant::now();
+    // Chore deadline: heartbeat/reap cadence is pinned to the configured
+    // period even when doorbells run decision passes far more often.
+    let mut next_chores = Instant::now();
     // Edge-detect for `zombies_fenced`: one fence discovery counts once,
     // however many ticks recovery takes.
     let mut was_zombie = false;
     'outer: while !reg.shutdown.load(Ordering::Acquire) {
-        let mut slept = std::time::Duration::ZERO;
+        // The decision cadence follows the live knob (== configured unless
+        // the adaptive controller retuned it).
+        let period = reg.knobs.period();
+        let chunk = period.min(Duration::from_millis(50));
+        let mut slept = Duration::ZERO;
         while slept < period {
             let step = chunk.min(period - slept);
-            crate::sync::sleep(step);
-            slept += step;
-            if reg.shutdown.load(Ordering::Acquire) {
-                break 'outer;
+            if event_driven {
+                // Edge-triggered wait: a release/surplus/demand/submit
+                // ring pops us out immediately; `step` elapsing is the
+                // polling fallback heartbeat.
+                let rung = reg.table.wait_doorbell(reg.prog_id, step);
+                if reg.shutdown.load(Ordering::Acquire) {
+                    break 'outer;
+                }
+                if rung != 0 {
+                    RtMetrics::bump(&reg.metrics.doorbell_wakes);
+                    break; // run a pass now — that's what the ring asked for
+                }
+            } else {
+                crate::sync::sleep(step);
+                if reg.shutdown.load(Ordering::Acquire) {
+                    break 'outer;
+                }
             }
+            slept += step;
         }
         if last_tick.elapsed() > stall_after {
             RtMetrics::bump(&reg.metrics.coordinator_stalls);
         }
-        last_tick = std::time::Instant::now();
-        if shared_table {
+        last_tick = Instant::now();
+        if shared_table && Instant::now() >= next_chores {
+            next_chores = Instant::now() + configured;
             // The heartbeat self-checks the lease first: a coordinator
             // resuming from a long SIGSTOP discovers right here that it
             // was fenced/reaped while stalled.
@@ -295,9 +345,14 @@ pub(crate) fn coordinator_loop(reg: Arc<Registry>) {
             RtMetrics::add(&reg.metrics.cores_reaped, pass.cores_reaped);
         }
         // Serving: drain the submission ring *before* the wake decision,
-        // so freshly admitted requests count toward this tick's N_b.
+        // so freshly admitted requests count toward this pass's N_b. On a
+        // submit doorbell this is the admission fast path — request →
+        // injector without waiting out a polling period.
         let _ = reg.drain_submissions();
-        coordinate_once(&reg, &rng);
+        let pass = coordinate_once(&reg, &rng);
+        if let Some(ctl) = controller.as_mut() {
+            ctl.update(&reg.knobs, pass.queued, pass.active, pass.n_w);
+        }
     }
 }
 

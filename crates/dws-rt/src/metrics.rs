@@ -334,6 +334,9 @@ pub struct RtMetrics {
     /// Zombie recoveries: own lease successfully re-armed under a bumped
     /// epoch after a fence.
     pub leases_rearmed: AtomicU64,
+    /// Coordinator passes triggered by an edge (doorbell ring) rather than
+    /// the polling heartbeat — the event-driven control plane at work.
+    pub doorbell_wakes: AtomicU64,
     /// Demand-satisfaction latency (DESIGN §14): Eq. 1 demand rise
     /// (`N_w > 0` first observed) → the coordinator granting at least one
     /// core. Runtime-level (written only by the coordinator thread), not
@@ -400,6 +403,8 @@ pub struct MetricsSnapshot {
     pub zombies_fenced: u64,
     /// Successful zombie recoveries (lease re-armed, epoch bumped).
     pub leases_rearmed: u64,
+    /// Coordinator passes triggered by a doorbell edge.
+    pub doorbell_wakes: u64,
 }
 
 /// Histograms aggregated across all worker shards.
@@ -473,6 +478,7 @@ impl RtMetrics {
             requests_abandoned: self.requests_abandoned.load(Ordering::Relaxed),
             zombies_fenced: self.zombies_fenced.load(Ordering::Relaxed),
             leases_rearmed: self.leases_rearmed.load(Ordering::Relaxed),
+            doorbell_wakes: self.doorbell_wakes.load(Ordering::Relaxed),
         }
     }
 

@@ -9,14 +9,18 @@
 use std::cell::Cell;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dws_deque::{
     deque, Injector, Request, Steal, Stealer, SubmitError, SubmitRing, TaskId, Worker as Deque,
 };
 
+use crate::adaptive::Knobs;
 use crate::affinity;
-use crate::alloc_table::{CoreTable, InProcessTable, LedgerTable};
+use crate::alloc_table::{
+    CoreTable, InProcessTable, LedgerTable, DOORBELL_DEMAND, DOORBELL_RELEASE, DOORBELL_SHUTDOWN,
+    DOORBELL_SUBMIT, DOORBELL_SURPLUS,
+};
 use crate::config::{Policy, RuntimeConfig};
 use crate::coordinator::coordinator_loop;
 use crate::job::{JobRef, StackJob};
@@ -73,6 +77,10 @@ pub(crate) struct Registry {
     /// Serving mode: submission ring + request handler (None unless built
     /// via [`Runtime::serve`] / [`Runtime::serve_with_table`]).
     pub(crate) serving: Option<ServingState>,
+    /// Live knob values (`T_SLEEP`, coordinator period, steal-batch
+    /// limit): equal to the configured values unless the adaptive
+    /// controller retunes them (DESIGN §16.2).
+    pub(crate) knobs: Knobs,
 }
 
 impl Registry {
@@ -111,6 +119,15 @@ impl Registry {
         self.workers[i].sleeper.wake();
     }
 
+    /// Rings `prog`'s doorbell (edge-triggered control plane, DESIGN
+    /// §16) — a no-op when the runtime was configured polling-only or the
+    /// table backend has no doorbells.
+    pub(crate) fn ring_doorbell(&self, prog: usize, reason: u32) {
+        if self.config.event_driven {
+            self.table.ring_doorbell(prog, reason);
+        }
+    }
+
     /// Makes sure at least one worker will notice freshly injected work,
     /// granting it a core first when the table demands exclusivity.
     pub(crate) fn ensure_progress(&self) {
@@ -142,11 +159,13 @@ impl Registry {
                     }
                 }
                 // No core obtainable right now; wake the first home worker
-                // anyway — it will re-sleep if it cannot legitimize, and
-                // the coordinator will sort things out next period.
+                // anyway — it will re-sleep if it cannot legitimize — and
+                // ring our own doorbell so the coordinator re-plans *now*
+                // instead of at the next period.
                 if let Some(&w) = sleeping.first() {
                     self.wake_worker(w);
                 }
+                self.ring_doorbell(self.prog_id, DOORBELL_DEMAND);
             }
             _ => {
                 if let Some(&w) = sleeping.first() {
@@ -178,8 +197,10 @@ impl Registry {
             } else if self.table.try_reclaim(core, self.prog_id) {
                 self.trace.record(LANE_SHARED, RtEvent::Reclaim { prog: self.prog_id, core });
             } else {
-                // No core for it right now; the coordinator will sort the
-                // demand out next period — don't wake into an eviction.
+                // No core for it right now; don't wake into an eviction.
+                // The doorbell makes the coordinator re-plan immediately
+                // instead of letting the surplus sit out the period.
+                self.ring_doorbell(self.prog_id, DOORBELL_SURPLUS);
                 return;
             }
         }
@@ -319,6 +340,7 @@ impl Runtime {
             };
             ServingState::new(owned, handler)
         });
+        let knobs = Knobs::from_config(&config);
         let registry = Arc::new(Registry {
             config,
             effective_policy,
@@ -334,6 +356,7 @@ impl Runtime {
             detached: AtomicUsize::new(0),
             external_seq: AtomicU64::new(0),
             serving,
+            knobs,
         });
 
         let threads = deques
@@ -568,7 +591,24 @@ impl Runtime {
         let Some(ring) = self.registry.submission_ring() else {
             return Err(SubmitError::Fenced);
         };
-        ring.submit(Request { req_id, submit_us: now_us(), demand_us }, ring.epoch())
+        let res = ring.submit(Request { req_id, submit_us: now_us(), demand_us }, ring.epoch());
+        if res.is_ok() {
+            // Edge-triggered admission (DESIGN §16.1): the coordinator
+            // drains the ring on this doorbell instead of on its next
+            // polling tick, so admission latency stops scaling with the
+            // coordinator period.
+            self.registry.ring_doorbell(self.registry.prog_id, DOORBELL_SUBMIT);
+        }
+        res
+    }
+
+    /// The live adaptive knob values — `(T_SLEEP, coordinator period,
+    /// steal-batch limit)`. Equal to the configured constants unless
+    /// [`crate::AdaptiveConfig`] is enabled and the controller has retuned
+    /// them (observability surface for `dws-top` and the benches).
+    pub fn knob_values(&self) -> (u32, Duration, usize) {
+        let k = &self.registry.knobs;
+        (k.t_sleep(), k.period(), k.steal_batch())
     }
 
     /// One manual drain pass of the submission ring (tests, pumping
@@ -587,6 +627,10 @@ impl Drop for Runtime {
             std::thread::yield_now();
         }
         self.registry.shutdown.store(true, Ordering::Release);
+        // Pop the coordinator out of its doorbell wait immediately — the
+        // slow-path heartbeat would notice the flag anyway, but shutdown
+        // should not cost a period.
+        self.registry.ring_doorbell(self.registry.prog_id, DOORBELL_SHUTDOWN);
         for i in 0..self.registry.workers.len() {
             self.registry.wake_worker(i);
         }
@@ -762,7 +806,10 @@ impl WorkerThread {
                     std::thread::yield_now();
                 }
                 Policy::Dws | Policy::DwsNc => {
-                    if failed_steals > reg.config.t_sleep {
+                    // The knob read, not the config: T_SLEEP may have been
+                    // retuned by the adaptive controller (one relaxed load
+                    // either way).
+                    if failed_steals > reg.knobs.t_sleep() {
                         failed_steals = 0;
                         self.go_to_sleep(false);
                     } else {
@@ -802,6 +849,14 @@ impl WorkerThread {
                 // release-latency histogram (DESIGN §14).
                 reg.metrics.note_core_released(crate::trace::now_us());
                 reg.trace.record(lane, RtEvent::Release { prog: reg.prog_id, core });
+                // A released core is above all *reclaimable by its home
+                // program*: ring that program's doorbell so its starved
+                // coordinator reclaims now instead of next period. Our own
+                // home core becoming free is not news to us — skip.
+                let owner = reg.table.home(core);
+                if owner != reg.prog_id {
+                    reg.ring_doorbell(owner, DOORBELL_RELEASE);
+                }
             }
             RtMetrics::bump(&reg.metrics.sleeps);
             RtMetrics::bump(&shard.sleeps);
@@ -893,10 +948,10 @@ impl WorkerThread {
             return StealOutcome::Job(job);
         }
         // Bulk injector drain: one lock acquisition moves a chunk of
-        // injected work (ceil-half, capped by `steal_batch_limit`) — the
-        // surplus parks in our own deque, where it is popped lock-free
+        // injected work (ceil-half, capped by the live steal-batch knob) —
+        // the surplus parks in our own deque, where it is popped lock-free
         // next round and remains stealable by siblings.
-        let limit = self.registry.config.steal_batch_limit;
+        let limit = self.registry.knobs.steal_batch();
         if let Some(job) = self.registry.injector.steal_batch_and_pop(&self.deque, limit) {
             if !self.deque.is_empty() {
                 self.registry.wake_one_for_surplus();
@@ -944,7 +999,8 @@ impl WorkerThread {
         }
         let victim = pick(n, self.index);
         let stealer = &reg.workers[victim].stealer;
-        let batch = reg.config.steal_batch_limit > 1 && stealer.len() >= 2;
+        let batch_limit = reg.knobs.steal_batch();
+        let batch = batch_limit > 1 && stealer.len() >= 2;
         // Latency timing and per-attempt events only while tracing: the
         // disabled hot path must not take timestamps.
         let t0 = if self.trace_on { Some(Instant::now()) } else { None };
@@ -952,7 +1008,7 @@ impl WorkerThread {
         let (result, moved) = loop {
             let r = if batch {
                 let before = self.deque.len();
-                match stealer.steal_batch_and_pop(&self.deque, reg.config.steal_batch_limit) {
+                match stealer.steal_batch_and_pop(&self.deque, batch_limit) {
                     Steal::Success(job) => {
                         // Statistics only: a sibling may already be
                         // re-stealing from our deque, so the count can
@@ -1192,6 +1248,7 @@ mod tests {
             });
         }
         let config = RuntimeConfig::new(n, policy);
+        let knobs = Knobs::from_config(&config);
         let programs_table = InProcessTable::new(n, programs);
         let registry = Arc::new(Registry {
             effective_policy: config.policy,
@@ -1208,6 +1265,7 @@ mod tests {
             detached: AtomicUsize::new(0),
             external_seq: AtomicU64::new(0),
             serving: None,
+            knobs,
         });
         (registry, deques)
     }

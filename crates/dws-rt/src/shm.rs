@@ -6,7 +6,7 @@
 //! the file into the shared memory using `mmap()` ... all the following
 //! programs can easily access the core allocation table using `mmap()`."
 //!
-//! Layout of the mapped file (version 3; all fields little-endian):
+//! Layout of the mapped file (version 4; all fields little-endian):
 //!
 //! ```text
 //! offset 0        u64  MAGIC (written last by the creator, release order)
@@ -22,9 +22,12 @@
 //!                   +16  u64  last heartbeat, CLOCK_MONOTONIC ms
 //! offset 32+24m   u64  slot[0] .. slot[k-1] = (epoch << 32) | owner
 //!                   (owner is an i32 in the low half; -1 = FREE)
-//! offset 32+24m+8k   ring[0] .. ring[m-1], SubmitRing::bytes_for(r) each:
-//!                   the per-program MPSC submission rings (serving mode,
-//!                   DESIGN §13); ring epochs mirror the lease epochs
+//! offset 32+24m+8k   doorbell[0] .. doorbell[m-1], 8 bytes each:
+//!                   +0   u32  pending-reason bits (futex word; DESIGN §16)
+//!                   +4   u32  pad (keeps the rings 8-aligned)
+//! offset 32+24m+8k+8m   ring[0] .. ring[m-1], SubmitRing::bytes_for(r)
+//!                   each: the per-program MPSC submission rings (serving
+//!                   mode, DESIGN §13); ring epochs mirror the lease epochs
 //! ```
 //!
 //! The creator initializes dimensions, leases and slots (the §3.1
@@ -84,9 +87,12 @@ use dws_deque::SubmitRing;
 use crate::alloc_table::{equipartition_home, CoreTable, InProcessTable, FREE};
 
 const MAGIC: u64 = 0x4457_535F_5441_424C; // "DWS_TABL"
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
 const HEADER_BYTES: usize = 32;
 const LEASE_BYTES: usize = 24;
+/// Bytes per program in the doorbell section: the u32 futex word plus a
+/// u32 pad keeping the rings behind it 8-aligned.
+const DOORBELL_BYTES: usize = 8;
 
 /// Submission-ring capacity every table carries by default. ~32 KiB per
 /// program in the segment; use [`ShmTable::create_or_open_with_rings`] to
@@ -150,6 +156,34 @@ fn pid_is_dead(pid: u64) -> bool {
     // SAFETY: kill with signal 0 only probes for existence.
     let r = unsafe { libc::kill(pid, 0) };
     r == -1 && io::Error::last_os_error().raw_os_error() == Some(libc::ESRCH)
+}
+
+/// Parks on the futex word while it still reads `expected`, for at most
+/// `timeout`. Spurious returns (EINTR, a wake with the bits already
+/// consumed) are fine: the caller loops re-reading the word. **No**
+/// `FUTEX_PRIVATE_FLAG` — ringers and waiters are different processes
+/// sharing the mapping.
+#[cfg(target_os = "linux")]
+fn futex_wait(word: &AtomicU32, expected: u32, timeout: Duration) {
+    let ts = libc::timespec {
+        tv_sec: timeout.as_secs().min(i64::MAX as u64) as libc::time_t,
+        tv_nsec: libc::c_long::from(timeout.subsec_nanos()),
+    };
+    // SAFETY: `word` points into the live mapping (held by &self),
+    // `ts` outlives the call; FUTEX_WAIT reads, never writes.
+    unsafe {
+        libc::syscall(libc::SYS_futex, word.as_ptr(), libc::FUTEX_WAIT, expected, &ts, 0usize, 0);
+    }
+}
+
+/// Wakes up to `n` waiters parked on the futex word.
+#[cfg(target_os = "linux")]
+fn futex_wake(word: &AtomicU32, n: u32) {
+    // SAFETY: `word` points into the live mapping; FUTEX_WAKE takes no
+    // timeout or address arguments beyond the word itself.
+    unsafe {
+        libc::syscall(libc::SYS_futex, word.as_ptr(), libc::FUTEX_WAKE, n, 0usize, 0usize, 0);
+    }
 }
 
 /// Typed failures of the shared-table lifecycle ([`ShmTable::create_or_open`],
@@ -421,7 +455,11 @@ impl ShmTable {
         assert!(programs > 0 && programs <= cores);
         assert!(ring_capacity >= 2, "submission ring needs capacity >= 2");
         let ring_bytes = SubmitRing::bytes_for(ring_capacity);
-        let len = HEADER_BYTES + programs * LEASE_BYTES + cores * 8 + programs * ring_bytes;
+        let len = HEADER_BYTES
+            + programs * LEASE_BYTES
+            + cores * 8
+            + programs * DOORBELL_BYTES
+            + programs * ring_bytes;
 
         let cpath = std::ffi::CString::new(path.as_os_str().as_encoded_bytes())
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "NUL in path"))?;
@@ -493,7 +531,8 @@ impl ShmTable {
         // is pointer arithmetic only — no byte of the region is touched
         // until after the creator's init (below) or the opener's
         // validation, so a mismatched file can never be misread as rings.
-        let rings_base = HEADER_BYTES + programs * LEASE_BYTES + cores * 8;
+        let rings_base =
+            HEADER_BYTES + programs * LEASE_BYTES + cores * 8 + programs * DOORBELL_BYTES;
         let rings: Vec<SubmitRing> = (0..programs)
             .map(|p| {
                 // SAFETY: the region is in-bounds of the `len`-byte mapping
@@ -524,7 +563,8 @@ impl ShmTable {
             table.u32_at(16).store(programs as u32, Ordering::Relaxed);
             table.u32_at(20).store(0, Ordering::Relaxed);
             table.u32_at(24).store(ring_capacity as u32, Ordering::Relaxed);
-            // Leases start zeroed by ftruncate: UNUSED, epoch 0, pid 0.
+            // Leases and doorbell words start zeroed by ftruncate: UNUSED,
+            // epoch 0, pid 0, no pending wake.
             // Slots carry epoch 1, matching the first registration epoch.
             for c in 0..cores {
                 table.slot(c).store(pack_slot(table.home[c] as i32, 1), Ordering::Relaxed);
@@ -629,8 +669,10 @@ impl ShmTable {
                 self.lease_heartbeat(p).store(monotonic_ms(), Ordering::Release);
                 // Open the submission ring at the lease epoch *before*
                 // activating, so a client can never observe ACTIVE with a
-                // stale ring.
+                // stale ring; clear the doorbell so a wake rung for a dead
+                // predecessor can't leak into the new incarnation.
                 self.rings[p].reset(1);
+                self.doorbell_word(p).store(0, Ordering::Release);
                 // Activate with a CAS, not a store: a fencer may have
                 // taken this lease for dead mid-registration (REGISTERING
                 // with a stale pid looks expired). Losing means the slot
@@ -677,7 +719,10 @@ impl ShmTable {
                 // Re-arm the ring under the bumped epoch: clients of the
                 // dead incarnation now get `SubmitError::Fenced`, and any
                 // requests they left behind are discarded with the reset.
+                // The doorbell clears with it — stale wakes die with the
+                // lease they were rung for.
                 self.rings[p].reset(u64::from(e));
+                self.doorbell_word(p).store(0, Ordering::Release);
                 // CAS, not store (see pass 1): a fencer may have fenced
                 // us mid-registration; concede the slot and move on.
                 if self
@@ -867,6 +912,17 @@ impl ShmTable {
     fn slot(&self, core: usize) -> &AtomicU64 {
         debug_assert!(core < self.cores);
         self.u64_at(HEADER_BYTES + self.programs * LEASE_BYTES + core * 8)
+    }
+
+    /// The program's doorbell futex word (pending-reason bits).
+    fn doorbell_word(&self, prog: usize) -> &AtomicU32 {
+        debug_assert!(prog < self.programs);
+        let off =
+            HEADER_BYTES + self.programs * LEASE_BYTES + self.cores * 8 + prog * DOORBELL_BYTES;
+        debug_assert!(off + 4 <= self.map.len && off.is_multiple_of(4));
+        // SAFETY: in-bounds, 4-aligned (the doorbell section sits at an
+        // 8-byte multiple from the page-aligned base).
+        unsafe { &*self.map.ptr.add(off).cast::<AtomicU32>() }
     }
 }
 
@@ -1100,6 +1156,52 @@ impl CoreTable for ShmTable {
         self.rings.get(prog)
     }
 
+    fn ring_doorbell(&self, prog: usize, reason: u32) {
+        // Deliberately *not* behind `self_check`: a ring is purely
+        // advisory (the woken coordinator re-reads the table before
+        // acting), so a zombie's stray ring costs one wasted scan, never
+        // corruption — and gating it would let a fenced releaser strand
+        // the beneficiary of its last release until the fallback timeout.
+        debug_assert!(reason != 0, "a zero-reason ring wakes nobody");
+        if prog >= self.programs {
+            return;
+        }
+        let w = self.doorbell_word(prog);
+        w.fetch_or(reason, Ordering::AcqRel);
+        #[cfg(target_os = "linux")]
+        futex_wake(w, 1);
+    }
+
+    fn wait_doorbell(&self, prog: usize, timeout: Duration) -> u32 {
+        if prog >= self.programs {
+            crate::sync::sleep(timeout);
+            return 0;
+        }
+        let w = self.doorbell_word(prog);
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            // Consume-then-park: a ring landing between this swap and the
+            // futex_wait flips the word nonzero, so the FUTEX_WAIT's
+            // compare against 0 fails (EAGAIN) and the loop re-reads —
+            // the classic futex no-lost-wake protocol.
+            let v = w.swap(0, Ordering::AcqRel);
+            if v != 0 {
+                return v;
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|r| !r.is_zero())
+            else {
+                return 0;
+            };
+            #[cfg(target_os = "linux")]
+            futex_wait(w, 0, remaining);
+            // Portable fallback: chunked naps bound the ring-to-wake
+            // latency at 1ms instead of the caller's full timeout.
+            #[cfg(not(target_os = "linux"))]
+            std::thread::sleep(remaining.min(Duration::from_millis(1)));
+        }
+    }
+
     fn bind_self(&self, prog: usize) {
         self.bound.store(pack_bound(prog, self.epoch_of(prog)), Ordering::Release);
         self.zombie.store(false, Ordering::Release);
@@ -1185,6 +1287,7 @@ impl CoreTable for ShmTable {
         self.lease_pid(prog).store(u64::from(std::process::id()), Ordering::Release);
         self.lease_heartbeat(prog).store(monotonic_ms(), Ordering::Release);
         self.rings[prog].reset(u64::from(ne));
+        self.doorbell_word(prog).store(0, Ordering::Release);
         self.lease_state(prog).store(pack_lease(ne, LEASE_ACTIVE), Ordering::Release);
         self.u32_at(20).fetch_add(1, Ordering::AcqRel);
         self.bound.store(pack_bound(prog, ne), Ordering::Release);
@@ -1373,6 +1476,17 @@ impl CoreTable for FailoverTable {
         self.active().alloc_ledger()
     }
 
+    fn ring_doorbell(&self, prog: usize, reason: u32) {
+        self.active().ring_doorbell(prog, reason);
+    }
+
+    fn wait_doorbell(&self, prog: usize, timeout: Duration) -> u32 {
+        // A waiter parked in the primary's futex when degradation flips
+        // recovers at its own timeout: wait_doorbell is always called
+        // with the fallback-heartbeat bound, never indefinitely.
+        self.active().wait_doorbell(prog, timeout)
+    }
+
     fn bind_self(&self, prog: usize) {
         self.active().bind_self(prog);
     }
@@ -1501,6 +1615,74 @@ mod tests {
         assert_eq!(a.reclaimable_cores(0), vec![0]);
         assert!(a.try_reclaim(0, 0));
         assert_eq!(b.current(0), Some(0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn doorbell_rings_cross_handle_and_ring_before_wait_is_not_lost() {
+        let path = temp_path("doorbell");
+        let a = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        let b = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        // Rung through one handle (one "process") before the other waits:
+        // the pending bits persist in the shared word, so the wait
+        // consumes them without parking.
+        a.ring_doorbell(1, crate::alloc_table::DOORBELL_RELEASE);
+        a.ring_doorbell(1, crate::alloc_table::DOORBELL_SUBMIT);
+        assert_eq!(
+            b.wait_doorbell(1, Duration::from_secs(5)),
+            crate::alloc_table::DOORBELL_RELEASE | crate::alloc_table::DOORBELL_SUBMIT,
+            "reasons accumulate and a pre-delivered ring is consumed without parking"
+        );
+        // Consumed: the next wait times out empty, well under the bound.
+        let t0 = std::time::Instant::now();
+        assert_eq!(b.wait_doorbell(1, Duration::from_millis(20)), 0);
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        // Per-program isolation: prog 0's word was never touched.
+        assert_eq!(a.wait_doorbell(0, Duration::from_millis(10)), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn doorbell_wakes_a_parked_cross_handle_waiter() {
+        let path = temp_path("doorbell-park");
+        let a = Arc::new(ShmTable::create_or_open(&path, 4, 2).unwrap());
+        let b = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        let a2 = Arc::clone(&a);
+        let waiter = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            let v = a2.wait_doorbell(0, Duration::from_secs(30));
+            (v, t0.elapsed())
+        });
+        // Give the waiter time to actually park in the futex.
+        std::thread::sleep(Duration::from_millis(50));
+        b.ring_doorbell(0, crate::alloc_table::DOORBELL_DEMAND);
+        let (v, waited) = waiter.join().unwrap();
+        assert_eq!(v, crate::alloc_table::DOORBELL_DEMAND);
+        assert!(waited < Duration::from_secs(10), "woken by the ring, not the timeout");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lease_recycling_clears_a_stale_doorbell() {
+        let path = temp_path("doorbell-recycle");
+        let t = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(t.register().unwrap(), 0);
+        let b = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(b.register().unwrap(), 1);
+        // A wake rung for incarnation 1 of prog 1, never consumed...
+        t.ring_doorbell(1, crate::alloc_table::DOORBELL_SUBMIT);
+        // ...then prog 1 dies and is reaped.
+        t.mark_dead(1);
+        let pass = reap_expired(&t, 0, Duration::ZERO);
+        assert_eq!(pass.leases_expired, 1);
+        // The recycled incarnation must not inherit the dead one's wake.
+        let c = ShmTable::create_or_open(&path, 4, 2).unwrap();
+        assert_eq!(c.register().unwrap(), 1);
+        assert_eq!(
+            c.wait_doorbell(1, Duration::from_millis(20)),
+            0,
+            "stale pre-reap ring leaked into the recycled lease"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -4,8 +4,9 @@
 //! This module adds the *while it happens* view: a sampler thread
 //! snapshots the per-worker metric shards, the core-allocation table and
 //! the coordinator's latest Eq. 1 inputs every [`TelemetryConfig::tick`]
-//! (default 10 ms, aligned with the coordinator period `T`) into a
-//! bounded ring of [`TelemetryFrame`]s. Frames yield per-core occupancy
+//! (a fixed sampling cadence, deliberately independent of the — possibly
+//! adaptive — coordinator period) into a bounded ring of
+//! [`TelemetryFrame`]s. Frames yield per-core occupancy
 //! timelines (who owns each core over time, reclaims, sleeps) and
 //! *rolling* steal/wake/reclaim latency percentiles (percentiles over the
 //! samples recorded since the previous frame, not merely cumulative).
@@ -89,6 +90,13 @@ pub struct CoordSample {
     pub woken: u64,
     /// Total coordinator evaluations so far (monotone).
     pub decisions: u64,
+    /// Live `T_SLEEP` knob at decision time (== the configured constant
+    /// unless the adaptive controller retuned it, DESIGN §16.2).
+    pub knob_t_sleep: u64,
+    /// Live coordinator decision period knob, µs.
+    pub knob_period_us: u64,
+    /// Live steal-batch limit knob.
+    pub knob_steal_batch: u64,
 }
 
 /// Monotone counters at sample time.
@@ -147,6 +155,9 @@ pub struct CounterSample {
     pub zombies_fenced: u64,
     /// Zombie recoveries: own lease re-armed under a bumped epoch.
     pub leases_rearmed: u64,
+    /// Coordinator passes triggered by a doorbell edge instead of the
+    /// polling fallback heartbeat (0 with `event_driven` off).
+    pub doorbell_wakes: u64,
     /// This program's settled core-µs integral from the allocation ledger
     /// (DESIGN §14): total core time received since the ledger started.
     /// 0 when the table carries no ledger.
@@ -262,6 +273,9 @@ pub(crate) struct DecisionCell {
     planned_reclaim: AtomicU64,
     woken: AtomicU64,
     decisions: AtomicU64,
+    knob_t_sleep: AtomicU64,
+    knob_period_us: AtomicU64,
+    knob_steal_batch: AtomicU64,
 }
 
 impl DecisionCell {
@@ -277,6 +291,9 @@ impl DecisionCell {
         self.planned_free.store(d.planned_free, Ordering::Relaxed);
         self.planned_reclaim.store(d.planned_reclaim, Ordering::Relaxed);
         self.woken.store(d.woken, Ordering::Relaxed);
+        self.knob_t_sleep.store(d.knob_t_sleep, Ordering::Relaxed);
+        self.knob_period_us.store(d.knob_period_us, Ordering::Relaxed);
+        self.knob_steal_batch.store(d.knob_steal_batch, Ordering::Relaxed);
         self.decisions.fetch_add(1, Ordering::Relaxed);
         self.seq.fetch_add(1, Ordering::AcqRel); // even: published
     }
@@ -299,6 +316,9 @@ impl DecisionCell {
                 planned_reclaim: self.planned_reclaim.load(Ordering::Relaxed),
                 woken: self.woken.load(Ordering::Relaxed),
                 decisions: self.decisions.load(Ordering::Relaxed),
+                knob_t_sleep: self.knob_t_sleep.load(Ordering::Relaxed),
+                knob_period_us: self.knob_period_us.load(Ordering::Relaxed),
+                knob_steal_batch: self.knob_steal_batch.load(Ordering::Relaxed),
             };
             if self.seq.load(Ordering::Acquire) == s1 {
                 return d;
@@ -399,6 +419,7 @@ pub(crate) fn sample_frame(reg: &Registry, prev: Option<&AggregatedHistograms>) 
         requests_abandoned: snap.requests_abandoned,
         zombies_fenced: snap.zombies_fenced,
         leases_rearmed: snap.leases_rearmed,
+        doorbell_wakes: snap.doorbell_wakes,
         core_us_total: table
             .alloc_ledger()
             .map_or(0, |ledger| ledger.snapshot().core_us.get(prog).copied().unwrap_or(0)),
@@ -599,7 +620,7 @@ type LatencyMetric = (&'static str, &'static str, fn(&LatencySample) -> u64, &'s
 pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
     let mut w = PromWriter { out: String::new() };
 
-    let counters: [CounterMetric; 21] = [
+    let counters: [CounterMetric; 22] = [
         ("dws_steals_ok_total", "Successful steals.", |c| c.steals_ok),
         ("dws_steals_failed_total", "Failed steal attempts.", |c| c.steals_failed),
         (
@@ -656,6 +677,11 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
             "dws_leases_rearmed_total",
             "Zombie recoveries: own lease re-armed under a bumped epoch.",
             |c| c.leases_rearmed,
+        ),
+        (
+            "dws_doorbell_wakes_total",
+            "Coordinator passes triggered by a doorbell edge instead of the polling heartbeat.",
+            |c| c.doorbell_wakes,
         ),
     ];
     for (name, help, get) in counters {
@@ -752,7 +778,7 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
         }
     }
 
-    let coords: [CoordMetric; 8] = [
+    let coords: [CoordMetric; 11] = [
         ("dws_coord_n_b", "Queued jobs observed by the coordinator (Eq. 1 N_b).", |c| c.n_b),
         ("dws_coord_n_a", "Active workers observed (Eq. 1 N_a).", |c| c.n_a),
         ("dws_coord_n_f", "Free cores observed (N_f).", |c| c.n_f),
@@ -761,6 +787,11 @@ pub fn render_prometheus(frames: &[(String, TelemetryFrame)]) -> String {
         ("dws_coord_planned_free", "Cores the plan takes from the free pool.", |c| c.planned_free),
         ("dws_coord_planned_reclaim", "Cores the plan reclaims.", |c| c.planned_reclaim),
         ("dws_coord_woken", "Wakes actually delivered by the last decision.", |c| c.woken),
+        ("dws_knob_t_sleep", "Live T_SLEEP knob (failed steals before sleep).", |c| c.knob_t_sleep),
+        ("dws_knob_period_us", "Live coordinator decision period knob, microseconds.", |c| {
+            c.knob_period_us
+        }),
+        ("dws_knob_steal_batch", "Live steal-batch limit knob.", |c| c.knob_steal_batch),
     ];
     for (name, help, get) in coords {
         w.header(name, help, "gauge");

@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex as StdMutex};
 use std::time::Duration;
 
 use dws_check::{explore_dfs, explore_random, CheckOptions, Env, FaultPlan, Outcome, PostCheck};
-use dws_rt::{Sleeper, WakeReason};
+use dws_rt::{Doorbell, Sleeper, WakeReason, DOORBELL_DEMAND, DOORBELL_RELEASE, DOORBELL_SUBMIT};
 
 /// Spawns the two-thread wake/sleep race from `sleep.rs` and records the
 /// sleeper's outcome(s). A first-timeout path re-sleeps once: the permit
@@ -126,6 +126,91 @@ fn real_sleeper_survives_fault_injection() {
                 None
             } else {
                 Some(format!("wake lost under faults: sleeper saw {:?}", *o))
+            };
+            PostCheck { events: Vec::new(), error }
+        }
+    });
+    assert!(matches!(report.outcome, Outcome::Pass), "{:?}", report.failing());
+}
+
+#[test]
+fn real_doorbell_rings_are_never_lost_and_reasons_accumulate() {
+    // Two ringers race one waiter over the *production* Doorbell (the
+    // event-driven control plane's wake edge, DESIGN §16). Whatever the
+    // interleaving — both rings before the wait, one during, one after a
+    // timeout — the waiter must eventually observe BOTH reason bits:
+    // the pending word survives until consumed, so the check-then-park
+    // window that loses wakes in naive condvar code does not exist.
+    // DFS exhausts the whole schedule space.
+    let report = explore_dfs(&CheckOptions::default(), 5_000, |env: &Env, _seed| {
+        let d = Arc::new(Doorbell::new());
+        for (name, reason) in [("ring-release", DOORBELL_RELEASE), ("ring-submit", DOORBELL_SUBMIT)]
+        {
+            let d2 = Arc::clone(&d);
+            env.spawn(name, move || d2.ring(reason));
+        }
+        let got = Arc::new(StdMutex::new(0u32));
+        {
+            let (d2, got2) = (Arc::clone(&d), Arc::clone(&got));
+            env.spawn("waiter", move || {
+                let mut acc = d2.wait(Duration::from_nanos(300_000));
+                if acc != DOORBELL_RELEASE | DOORBELL_SUBMIT {
+                    // One ring raced past the first wait: the second wait
+                    // owes us the other bit.
+                    acc |= d2.wait(Duration::from_nanos(300_000));
+                }
+                *got2.lock().unwrap() = acc;
+            });
+        }
+        move |clean: bool| {
+            let acc = *got.lock().unwrap();
+            let error = if !clean || acc == DOORBELL_RELEASE | DOORBELL_SUBMIT {
+                None
+            } else {
+                Some(format!("doorbell ring lost: waiter accumulated {acc:#x}"))
+            };
+            PostCheck { events: Vec::new(), error }
+        }
+    });
+    assert!(matches!(report.outcome, Outcome::Pass), "{:?}", report.failing());
+    assert!(report.schedules < 5_000, "schedule space unexpectedly large");
+}
+
+#[test]
+fn real_doorbell_survives_fault_injection() {
+    // Delayed notification delivery and spurious wake-ups must not break
+    // the pending-word protocol: a spurious wake with nothing pending
+    // re-waits, and a notification delayed past the first timeout still
+    // lands because the word itself persists for the next wait.
+    let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
+    let report = explore_random(&opts, 0xBE11, 300, |env: &Env, _seed| {
+        let d = Arc::new(Doorbell::new());
+        {
+            let d2 = Arc::clone(&d);
+            env.spawn("ringer", move || {
+                dws_check::sync::sleep(Duration::from_nanos(1_000));
+                d2.ring(DOORBELL_DEMAND);
+            });
+        }
+        let got = Arc::new(StdMutex::new(0u32));
+        {
+            let (d2, got2) = (Arc::clone(&d), Arc::clone(&got));
+            env.spawn("waiter", move || {
+                // Short first wait racing the ring, generous second wait
+                // as the fallback heartbeat.
+                let mut acc = d2.wait(Duration::from_nanos(2_000));
+                if acc == 0 {
+                    acc = d2.wait(Duration::from_nanos(500_000));
+                }
+                *got2.lock().unwrap() = acc;
+            });
+        }
+        move |clean: bool| {
+            let acc = *got.lock().unwrap();
+            let error = if !clean || acc == DOORBELL_DEMAND {
+                None
+            } else {
+                Some(format!("doorbell ring lost under faults: waiter accumulated {acc:#x}"))
             };
             PostCheck { events: Vec::new(), error }
         }

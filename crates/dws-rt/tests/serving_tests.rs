@@ -46,6 +46,39 @@ fn solo_serving_executes_every_request_exactly_once() {
 }
 
 #[test]
+fn submit_admission_does_not_scale_with_the_coordinator_period() {
+    // The event-driven control plane's serving edge (DESIGN §16): every
+    // submit rings the coordinator's doorbell, so admission latency is
+    // set by the wake path, not by `coordinator_period`. The period here
+    // is ten minutes — far beyond the test's own deadline — so every
+    // request that executes below *proves* a doorbell admission; before
+    // edge-triggered wakes this test could only pass by waiting out the
+    // polling tick.
+    let n = 16u64;
+    let done = Arc::new(AtomicU64::new(0));
+    let d = Arc::clone(&done);
+    let mut cfg = RuntimeConfig::new(2, Policy::Ws).with_serving();
+    cfg.coordinator_period = Duration::from_secs(600);
+    cfg.sleep_timeout = Some(Duration::from_millis(2));
+    let rt = Runtime::serve(cfg, move |_req| {
+        d.fetch_add(1, Ordering::Relaxed);
+    });
+    for i in 0..n {
+        rt.submit(i, 1).expect("submit on an idle ring");
+        assert!(
+            wait_until(Duration::from_secs(5), || done.load(Ordering::Relaxed) > i),
+            "request {i} sat in the ring waiting for a polling tick — submit doorbell lost"
+        );
+    }
+    let snap = rt.metrics();
+    assert_eq!(snap.requests_admitted, n);
+    assert!(
+        snap.doorbell_wakes >= 1,
+        "admissions inside a 600 s period must come from doorbell wakes"
+    );
+}
+
+#[test]
 fn non_serving_runtime_has_no_ring() {
     let rt = Runtime::new(RuntimeConfig::new(2, Policy::Ws));
     assert!(!rt.serving());

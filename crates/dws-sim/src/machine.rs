@@ -596,6 +596,9 @@ impl Simulator {
                 // virtual time, not in this machine.
                 zombies_fenced: 0,
                 leases_rearmed: 0,
+                // The sim coordinator ticks in virtual time; no futex
+                // doorbells exist to ring.
+                doorbell_wakes: 0,
                 core_us_total: ledger_us[p],
             };
             tel.push(
@@ -797,6 +800,11 @@ impl Simulator {
                             planned_reclaim: decision.reclaim.len() as u64,
                             woken,
                             decisions: 0, // running count kept separately
+                            // No adaptive controller in simulation: the
+                            // knob gauges report the configured constants.
+                            knob_t_sleep: u64::from(self.programs[p].sched.t_sleep),
+                            knob_period_us: self.programs[p].sched.coord_period_us,
+                            knob_steal_batch: self.programs[p].sched.steal_batch_limit as u64,
                         };
                     }
                 }
@@ -838,6 +846,9 @@ impl Simulator {
                             planned_reclaim: 0,
                             woken,
                             decisions: 0,
+                            knob_t_sleep: u64::from(self.programs[p].sched.t_sleep),
+                            knob_period_us: self.programs[p].sched.coord_period_us,
+                            knob_steal_batch: self.programs[p].sched.steal_batch_limit as u64,
                         };
                     }
                 }

@@ -68,6 +68,14 @@ pub struct CoordSample {
     pub woken: u64,
     /// Total coordinator evaluations so far (monotone).
     pub decisions: u64,
+    /// Live `T_SLEEP` knob at decision time. The simulator has no
+    /// adaptive controller, so this reports the configured constant.
+    pub knob_t_sleep: u64,
+    /// Live coordinator decision period knob, µs (configured constant in
+    /// simulation).
+    pub knob_period_us: u64,
+    /// Live steal-batch limit knob (configured constant in simulation).
+    pub knob_steal_batch: u64,
 }
 
 /// Monotone counters at sample time.
@@ -134,6 +142,10 @@ pub struct CounterSample {
     /// Zombie recoveries (own lease re-armed under a bumped epoch).
     /// Always 0 in simulation.
     pub leases_rearmed: u64,
+    /// Coordinator passes triggered by a doorbell edge. Always 0 in
+    /// simulation: the sim coordinator runs on virtual-time ticks, not
+    /// futex wakes.
+    pub doorbell_wakes: u64,
     /// This program's settled core-µs integral from the allocation ledger
     /// (DESIGN §14). Filled in simulation too: the simulator keeps an
     /// exact virtual-time ledger over its core table.

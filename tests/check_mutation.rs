@@ -120,6 +120,45 @@ fn checker_catches_seeded_zombie_write_via_the_post_fence_rule() {
 }
 
 #[test]
+fn checker_catches_seeded_lost_wake_via_the_doorbell_rule() {
+    // The event-driven control plane's headline hazard: a doorbell ring
+    // that notifies without persisting the pending word. A ring landing
+    // while the coordinator is between waits evaporates; the timeout
+    // fallback still runs every pass, so all work completes, every table
+    // transition is legal and every counter reconciles — only the
+    // oracle's doorbell wake rule (a sleep must never begin with a ring
+    // pending) can see the lost wake.
+    let cfg = ModelConfig::doorbell().with_bug(Bug::LostWake);
+    let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
+    let explorer = Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &cfg, seed));
+
+    let report = explorer.random(0xDEAD_BEEF, 2_000);
+    let failing = report
+        .failing()
+        .unwrap_or_else(|| panic!("lost-wake mutation survived {} schedules", report.schedules))
+        .clone();
+    let failure = failing.failure.as_deref().unwrap();
+    assert!(failure.contains("lost wake"), "unexpected failure: {failure}");
+    assert!(failure.contains("ring pending"), "unexpected failure: {failure}");
+    explorer.replay(&failing).expect("failing seed must replay identically");
+}
+
+#[test]
+fn unmutated_doorbell_model_passes_the_same_budget() {
+    // Every interleaving of ring vs wait vs timeout must replay clean:
+    // rings before the wait are consumed at entry, rings during the wait
+    // wake the parked coordinator, and timeouts fall back to a plain
+    // pass. Schedules are only exhaustive over what the doorbell's
+    // critical sections allow — which is the point: the pending word
+    // makes the check-then-park window unreachable.
+    let cfg = ModelConfig::doorbell();
+    let opts = CheckOptions { faults: FaultPlan::aggressive(), ..CheckOptions::default() };
+    let explorer = Explorer::new(opts, move |env: &Env, seed| model::spawn_model(env, &cfg, seed));
+    let report = explorer.random(0xDEAD_BEEF, 300);
+    assert!(report.failing().is_none(), "clean doorbell model flagged: {:?}", report.failing());
+}
+
+#[test]
 fn unmutated_pause_model_passes_the_same_budget() {
     // Both outcomes must be clean: schedules where the victim resumes
     // before any fence (and finishes everything) and schedules where

@@ -23,7 +23,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dws_rt::{CoreTable, FailoverTable, Policy, Runtime, RuntimeConfig, ShmTable, SubmitError};
+use dws_rt::{
+    CoreTable, FailoverTable, Policy, Runtime, RuntimeConfig, ShmTable, SubmitError,
+    DOORBELL_DEMAND,
+};
 
 const CORES: usize = 4;
 const PROGRAMS: usize = 2;
@@ -193,6 +196,130 @@ fn degraded_fallback_conserves_cores_under_churn() {
     assert!(table.try_reclaim(borrowed, 1), "home reclaim from a borrower");
     assert_eq!(table.current(borrowed), Some(1));
     assert!(table.release(borrowed, 1));
+}
+
+/// Doorbell × degradation, half 1: a waiter parked in the *primary's*
+/// futex when the table degrades recovers at its own timeout — it is
+/// never stranded on a futex word nothing will ring again — and a ring
+/// delivered *after* degradation persists in the fallback's doorbell
+/// until consumed, exactly like a healthy ring would.
+#[test]
+fn doorbell_waiter_parked_in_the_primary_recovers_across_degradation() {
+    let path = temp_path("doorbell-park");
+    let _ = std::fs::remove_file(&path);
+    let primary = Arc::new(ShmTable::create_or_open(&path, CORES, PROGRAMS).expect("create"));
+    assert_eq!(primary.register().expect("register"), 0);
+    let table = Arc::new(FailoverTable::new(primary, &path));
+
+    // Park a waiter in the healthy primary's futex, then degrade under
+    // it and ring — the ring routes to the fallback, so the parked
+    // waiter cannot see it and must come back on its own timeout. The
+    // coordinator only ever waits with the fallback-heartbeat bound, so
+    // "recovers at timeout" is the property that keeps failover live.
+    let waiter = {
+        let t = Arc::clone(&table);
+        std::thread::spawn(move || t.wait_doorbell(0, Duration::from_millis(200)))
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    table.degrade_now();
+    table.ring_doorbell(0, DOORBELL_DEMAND);
+    let t0 = Instant::now();
+    let _reasons = waiter.join().expect("parked waiter must return, not strand");
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "waiter overstayed its timeout after degradation"
+    );
+
+    // The post-degradation ring is pending in the fallback: the next
+    // wait consumes it at entry, and the one after that times out clean.
+    assert_eq!(table.wait_doorbell(0, Duration::from_millis(50)), DOORBELL_DEMAND);
+    assert_eq!(table.wait_doorbell(0, Duration::from_millis(50)), 0);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Doorbell × degradation, half 2: a ring accepted while healthy but
+/// still unconsumed when the table degrades is confined to the untrusted
+/// mapping — the fallback starts with clean doorbells, so failing over
+/// costs at most one heartbeat of latency but never delivers a phantom
+/// wake from a mapping that may be mid-corruption.
+#[test]
+fn stale_primary_rings_are_not_inherited_by_the_fallback() {
+    let path = temp_path("doorbell-stale");
+    let _ = std::fs::remove_file(&path);
+    let primary = Arc::new(ShmTable::create_or_open(&path, CORES, PROGRAMS).expect("create"));
+    assert_eq!(primary.register().expect("register"), 0);
+    let table = Arc::new(FailoverTable::new(primary, &path));
+
+    table.ring_doorbell(0, DOORBELL_DEMAND);
+    table.degrade_now();
+    assert_eq!(
+        table.wait_doorbell(0, Duration::from_millis(50)),
+        0,
+        "the fallback inherited a pending ring from the untrusted mapping"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Doorbell × degradation, half 3: an event-driven serving runtime over
+/// a FailoverTable. The coordinator period is ten minutes, so every
+/// healthy admission below is doorbell-driven by construction; after
+/// `degrade_now` the typed shed closes admission at the edge and the
+/// runtime still shuts down promptly even though its coordinator may be
+/// parked in the primary's futex at the moment the world degrades (the
+/// doorbell wait is chunked at the fallback heartbeat, never parked
+/// indefinitely).
+#[test]
+fn doorbell_admissions_close_with_a_typed_shed_on_degradation() {
+    let path = temp_path("doorbell-serve");
+    let _ = std::fs::remove_file(&path);
+
+    let primary = Arc::new(ShmTable::create_or_open(&path, 2, 1).expect("create"));
+    let prog = primary.register().expect("register");
+    let table = Arc::new(FailoverTable::new(primary, &path));
+
+    // Long lease: chores (heartbeats) are pinned to the configured
+    // period, so a short lease would expire inside the long period.
+    let mut cfg = RuntimeConfig::new(2, Policy::Dws).with_lease_timeout(Duration::from_secs(30));
+    cfg.coordinator_period = Duration::from_secs(600);
+    cfg.sleep_timeout = Some(Duration::from_millis(2));
+    let handled = Arc::new(AtomicUsize::new(0));
+    let handled2 = Arc::clone(&handled);
+    let rt = Runtime::serve_with_table(
+        cfg,
+        Arc::clone(&table) as Arc<dyn CoreTable>,
+        prog,
+        move |_req| {
+            handled2.fetch_add(1, Ordering::AcqRel);
+        },
+    );
+
+    // Healthy: each submit rings the doorbell; waiting out the polling
+    // tick would take ten minutes, so handling within the deadline
+    // proves the doorbell carried the admission.
+    for i in 0..8 {
+        rt.submit(i, 10).expect("healthy submit");
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handled.load(Ordering::Acquire) < 8 {
+        assert!(Instant::now() < deadline, "doorbell admissions never handled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(rt.metrics().doorbell_wakes >= 1, "admissions must have come from doorbell wakes");
+
+    table.degrade_now();
+    assert_eq!(rt.submit(99, 10), Err(SubmitError::Fenced));
+    assert_eq!(handled.load(Ordering::Acquire), 8, "no phantom admissions after degrade");
+
+    // Prompt shutdown across the degraded boundary: Drop rings the
+    // shutdown doorbell (now into the fallback); a coordinator parked in
+    // the primary's futex notices at its ≤50 ms wait chunk.
+    let t0 = Instant::now();
+    drop(rt);
+    assert!(t0.elapsed() < Duration::from_secs(5), "shutdown stranded across degradation");
+
+    let _ = std::fs::remove_file(&path);
 }
 
 /// Property 3: a serving runtime built over a FailoverTable sheds

@@ -35,6 +35,9 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             planned_reclaim: 2,
             woken: 2,
             decisions: 17,
+            knob_t_sleep: 16,
+            knob_period_us: 10_000,
+            knob_steal_batch: 8,
         },
         counters: dws_rt::CounterSample {
             steals_ok: 100,
@@ -60,6 +63,7 @@ fn rt_frame() -> dws_rt::TelemetryFrame {
             requests_abandoned: 1,
             zombies_fenced: 1,
             leases_rearmed: 1,
+            doorbell_wakes: 23,
             core_us_total: 654_321,
         },
         latency: dws_rt::LatencySample {
@@ -108,6 +112,9 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             planned_reclaim: 2,
             woken: 2,
             decisions: 17,
+            knob_t_sleep: 16,
+            knob_period_us: 10_000,
+            knob_steal_batch: 8,
         },
         counters: dws_sim::CounterSample {
             steals_ok: 100,
@@ -133,6 +140,7 @@ fn sim_frame() -> dws_sim::TelemetryFrame {
             requests_abandoned: 1,
             zombies_fenced: 1,
             leases_rearmed: 1,
+            doorbell_wakes: 23,
             core_us_total: 654_321,
         },
         latency: dws_sim::LatencySample {

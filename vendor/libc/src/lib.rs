@@ -6,6 +6,7 @@
 //! `<fcntl.h>` / `<sys/mman.h>` / `<errno.h>` for Linux.
 
 #![allow(non_camel_case_types)]
+#![allow(non_upper_case_globals)] // SYS_* names mirror the real libc crate
 #![warn(missing_docs)]
 
 /// Opaque C `void` for pointer types.
@@ -52,6 +53,22 @@ pub const O_EXCL: c_int = 0o200;
 pub const EEXIST: c_int = 17;
 /// `errno`: no such process.
 pub const ESRCH: c_int = 3;
+/// `errno`: interrupted by a signal.
+pub const EINTR: c_int = 4;
+/// `errno`: resource temporarily unavailable (futex word changed).
+pub const EAGAIN: c_int = 11;
+/// `errno`: timed out (futex wait expired).
+pub const ETIMEDOUT: c_int = 110;
+/// `futex(2)` op: block while the word equals the expected value.
+pub const FUTEX_WAIT: c_int = 0;
+/// `futex(2)` op: wake up to `val` waiters on the word.
+pub const FUTEX_WAKE: c_int = 1;
+/// `futex(2)` syscall number (x86_64).
+#[cfg(target_arch = "x86_64")]
+pub const SYS_futex: c_long = 202;
+/// `futex(2)` syscall number (aarch64).
+#[cfg(target_arch = "aarch64")]
+pub const SYS_futex: c_long = 98;
 /// `SIGKILL` (Linux).
 pub const SIGKILL: c_int = 9;
 /// `SIGCONT` (Linux).
@@ -181,6 +198,9 @@ extern "C" {
     /// `kill(2)` — with signal 0, a liveness probe (errno `ESRCH` when the
     /// process is gone).
     pub fn kill(pid: pid_t, sig: c_int) -> c_int;
+    /// `syscall(2)` — used for `futex(2)`, which glibc exposes only via
+    /// the generic syscall entry point.
+    pub fn syscall(num: c_long, ...) -> c_long;
 }
 
 #[cfg(test)]
@@ -202,6 +222,26 @@ mod tests {
         CPU_SET(3, &mut s);
         assert!(CPU_ISSET(3, &s));
         assert!(!CPU_ISSET(4, &s));
+    }
+
+    #[test]
+    fn futex_wait_times_out_and_wake_returns() {
+        let word = std::sync::atomic::AtomicU32::new(0);
+        let ts = timespec { tv_sec: 0, tv_nsec: 5_000_000 };
+        // Word matches the expected value: the wait blocks until the
+        // relative timeout and fails with ETIMEDOUT.
+        let r = unsafe { syscall(SYS_futex, word.as_ptr(), FUTEX_WAIT, 0u32, &ts, 0usize, 0usize) };
+        assert_eq!(r, -1);
+        assert_eq!(std::io::Error::last_os_error().raw_os_error(), Some(ETIMEDOUT));
+        // Word no longer matches: the wait returns immediately with EAGAIN.
+        word.store(7, std::sync::atomic::Ordering::Release);
+        let r = unsafe { syscall(SYS_futex, word.as_ptr(), FUTEX_WAIT, 0u32, &ts, 0usize, 0usize) };
+        assert_eq!(r, -1);
+        assert_eq!(std::io::Error::last_os_error().raw_os_error(), Some(EAGAIN));
+        // Waking with no waiters parked reports zero woken.
+        let r =
+            unsafe { syscall(SYS_futex, word.as_ptr(), FUTEX_WAKE, 1u32, 0usize, 0usize, 0usize) };
+        assert_eq!(r, 0);
     }
 
     #[test]
